@@ -1,0 +1,96 @@
+// Reproduces the paper's Figure 17: relative improvement in execution time
+// per query when partition selection is enabled, versus the same optimizer
+// with partition selection disabled. Queries are bucketed into
+// short/medium/long-running by their selection-disabled runtime.
+//
+// Paper result: improvements across the board, >50% for more than half the
+// queries, >70% for a quarter; a few small negative outliers where the
+// cost model picks a slightly worse plan with selection enabled.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "db/database.h"
+#include "workload/tpcds_lite.h"
+
+namespace mppdb {
+namespace {
+
+struct Measurement {
+  std::string name;
+  double off_ms;
+  double on_ms;
+  double improvement;  // % of the selection-disabled time
+};
+
+void RunBenchmark() {
+  benchutil::Header(
+      "Figure 17: runtime improvement from enabling partition selection");
+
+  workload::TpcdsConfig config;
+  config.base_rows = 6000;
+  Database db(4);
+  MPPDB_CHECK(workload::CreateAndLoadTpcds(&db, config).ok());
+
+  const int kIterations = 3;
+  std::vector<Measurement> measurements;
+  for (const auto& query : workload::TpcdsQueries(config)) {
+    QueryOptions off;
+    off.enable_partition_selection = false;
+    QueryOptions on;
+    double off_ms = benchutil::MedianMillis(kIterations, [&]() {
+      MPPDB_CHECK(db.Run(query.sql, off).ok());
+    });
+    double on_ms = benchutil::MedianMillis(kIterations, [&]() {
+      MPPDB_CHECK(db.Run(query.sql, on).ok());
+    });
+    double improvement = (off_ms - on_ms) / off_ms * 100.0;
+    measurements.push_back({query.name, off_ms, on_ms, improvement});
+  }
+
+  // Bucket by selection-disabled runtime into terciles (the paper's
+  // short/medium/long-running blocks), then report per query.
+  std::vector<double> sorted_off;
+  for (const auto& m : measurements) sorted_off.push_back(m.off_ms);
+  std::sort(sorted_off.begin(), sorted_off.end());
+  double t1 = sorted_off[sorted_off.size() / 3];
+  double t2 = sorted_off[2 * sorted_off.size() / 3];
+  auto bucket_of = [&](double ms) {
+    if (ms < t1) return "short";
+    if (ms < t2) return "medium";
+    return "long";
+  };
+
+  std::sort(measurements.begin(), measurements.end(),
+            [](const Measurement& a, const Measurement& b) {
+              return a.off_ms < b.off_ms;
+            });
+  std::printf("%-28s %8s %12s %12s %14s\n", "query", "class", "off (ms)", "on (ms)",
+              "improvement");
+  benchutil::Rule(80);
+  int above50 = 0, above70 = 0, negative = 0;
+  for (const auto& m : measurements) {
+    std::printf("%-28s %8s %12.2f %12.2f %13.1f%%\n", m.name.c_str(),
+                bucket_of(m.off_ms), m.off_ms, m.on_ms, m.improvement);
+    if (m.improvement > 50) ++above50;
+    if (m.improvement > 70) ++above70;
+    if (m.improvement < 0) ++negative;
+  }
+  double n = static_cast<double>(measurements.size());
+  benchutil::Header("Summary (measured vs paper)");
+  std::printf("queries improving > 50%%: %4.0f%%   (paper: more than half)\n",
+              above50 / n * 100);
+  std::printf("queries improving > 70%%: %4.0f%%   (paper: over a quarter)\n",
+              above70 / n * 100);
+  std::printf("negative outliers:       %4.0f%%   (paper: a few small outliers)\n",
+              negative / n * 100);
+}
+
+}  // namespace
+}  // namespace mppdb
+
+int main() {
+  mppdb::RunBenchmark();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces the paper's Figure 18(a): plan size for a query with a constant
+// partition-eliminating predicate (l_shipdate < X), varying X so that 1%,
+// 25%, 50%, 75%, and 100% of the partitions are selected.
+//
+// Paper result: the legacy Planner's plan grows linearly with the number of
+// selected partitions (each is enumerated as a scan node); the Orca-style
+// plan (DynamicScan + PartitionSelector) stays constant.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "db/database.h"
+#include "types/date.h"
+#include "workload/tpch_lite.h"
+
+namespace mppdb {
+namespace {
+
+void RunBenchmark() {
+  benchutil::Header("Figure 18(a): plan size, static partition elimination");
+
+  workload::TpchConfig config;
+  config.rows = 2000;  // plan size does not depend on data volume
+  Database db(4);
+  MPPDB_CHECK(workload::CreateAndLoadLineitem(
+                  &db, config, workload::LineitemPartitioning::kMonthly84, "lineitem")
+                  .ok());
+
+  const int total_parts = 84;
+  const int32_t first_day = date::FromYMD(config.start_year, 1, 1);
+  const int32_t last_day = date::FromYMD(config.start_year + config.years, 1, 1);
+
+  std::printf("%12s %10s %18s %16s\n", "% selected", "#parts", "Planner plan (B)",
+              "Orca plan (B)");
+  benchutil::Rule(62);
+  for (int percent : {1, 25, 50, 75, 100}) {
+    int32_t cutoff =
+        first_day + static_cast<int32_t>((static_cast<int64_t>(last_day - first_day) *
+                                          percent) /
+                                         100);
+    if (percent == 1) cutoff = first_day + 30;  // one month's partition
+    std::string sql = "SELECT * FROM lineitem WHERE l_shipdate < DATE '" +
+                      date::ToString(cutoff) + "'";
+
+    QueryOptions planner;
+    planner.optimizer = OptimizerKind::kLegacyPlanner;
+    auto planner_plan = db.PlanSql(sql, planner);
+    MPPDB_CHECK(planner_plan.ok());
+    auto orca_plan = db.PlanSql(sql);
+    MPPDB_CHECK(orca_plan.ok());
+
+    std::printf("%11d%% %10d %18zu %16zu\n", percent,
+                std::max(1, total_parts * percent / 100),
+                SerializePlan(*planner_plan).size(), SerializePlan(*orca_plan).size());
+  }
+  std::printf(
+      "\nExpectation (paper): Planner grows linearly with the selected\n"
+      "partition count; Orca stays flat.\n");
+}
+
+}  // namespace
+}  // namespace mppdb
+
+int main() {
+  mppdb::RunBenchmark();
+  return 0;
+}

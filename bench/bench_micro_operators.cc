@@ -1,0 +1,130 @@
+// Google-benchmark micro benchmarks for the hot primitives behind partition
+// selection: tuple routing (f_T), partition selection (f*_T), constraint
+// derivation, interval algebra, and end-to-end optimization time for a
+// star-join statement.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/partition_scheme.h"
+#include "common/macros.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "expr/constraint_derivation.h"
+#include "optimizer/cascades/cascades_optimizer.h"
+#include "sql/binder.h"
+#include "types/date.h"
+#include "workload/tpcds_lite.h"
+
+namespace mppdb {
+namespace {
+
+std::unique_ptr<PartitionScheme> MonthlyScheme(int months) {
+  Oid next_oid = 1;
+  auto root =
+      BuildUniformHierarchy({partition_bounds::Monthly(2000, 1, months)}, &next_oid);
+  return std::make_unique<PartitionScheme>(
+      std::vector<PartitionLevelDesc>{{0, PartitionMethod::kRange}}, std::move(root));
+}
+
+void BM_RouteTuple(benchmark::State& state) {
+  auto scheme = MonthlyScheme(static_cast<int>(state.range(0)));
+  Random rng(42);
+  int32_t base = date::FromYMD(2000, 1, 1);
+  int32_t span = date::FromYMD(2000 + static_cast<int>(state.range(0)) / 12, 1, 1) - base;
+  for (auto _ : state) {
+    Datum d = Datum::Date(base + static_cast<int32_t>(rng.Uniform(
+                                     static_cast<uint64_t>(span))));
+    benchmark::DoNotOptimize(scheme->RouteValues({d}));
+  }
+}
+BENCHMARK(BM_RouteTuple)->Arg(24)->Arg(120)->Arg(360);
+
+void BM_SelectPartitionsRange(benchmark::State& state) {
+  auto scheme = MonthlyScheme(static_cast<int>(state.range(0)));
+  ConstraintSet quarter = ConstraintSet::FromInterval(
+      Interval::Closed(Datum::Date(date::FromYMD(2000, 10, 1)),
+                       Datum::Date(date::FromYMD(2000, 12, 31))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->SelectPartitions({quarter}));
+  }
+}
+BENCHMARK(BM_SelectPartitionsRange)->Arg(24)->Arg(120)->Arg(360);
+
+void BM_DeriveConstraint(benchmark::State& state) {
+  ExprPtr key = MakeColumnRef(1, "pk", TypeId::kInt64);
+  ExprPtr pred = Conj({MakeComparison(CompareOp::kGe, key, MakeConst(Datum::Int64(10))),
+                       MakeComparison(CompareOp::kLe, key, MakeConst(Datum::Int64(50))),
+                       MakeOr({MakeComparison(CompareOp::kEq, key,
+                                              MakeConst(Datum::Int64(20))),
+                               MakeComparison(CompareOp::kGt, key,
+                                              MakeConst(Datum::Int64(40)))})});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeriveConstraint(pred, 1));
+  }
+}
+BENCHMARK(BM_DeriveConstraint);
+
+void BM_ConstraintSetUnion(benchmark::State& state) {
+  Random rng(7);
+  std::vector<ConstraintSet> sets;
+  for (int i = 0; i < 64; ++i) {
+    int64_t lo = rng.UniformRange(0, 1000);
+    sets.push_back(ConstraintSet::FromInterval(
+        Interval::RightOpen(Datum::Int64(lo), Datum::Int64(lo + 50))));
+  }
+  for (auto _ : state) {
+    ConstraintSet acc = ConstraintSet::None();
+    for (const auto& s : sets) acc = acc.Union(s);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ConstraintSetUnion);
+
+void BM_OptimizeStarJoin(benchmark::State& state) {
+  static Database* db = [] {
+    auto* database = new Database(4);
+    workload::TpcdsConfig config;
+    config.base_rows = 200;
+    MPPDB_CHECK(workload::CreateAndLoadTpcds(database, config).ok());
+    return database;
+  }();
+  Binder binder(&db->catalog());
+  auto stmt = binder.BindSql(
+      "SELECT count(*) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+      "WHERE d.d_moy = 6 AND i.i_current_price > 10");
+  MPPDB_CHECK(stmt.ok());
+  for (auto _ : state) {
+    CascadesOptimizer optimizer(&db->catalog(), &db->storage());
+    auto plan = optimizer.Plan(*stmt);
+    MPPDB_CHECK(plan.ok());
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeStarJoin);
+
+void BM_ExecutePrunedScan(benchmark::State& state) {
+  static Database* db = [] {
+    auto* database = new Database(4);
+    workload::TpcdsConfig config;
+    config.base_rows = 5000;
+    MPPDB_CHECK(workload::CreateAndLoadTpcds(database, config).ok());
+    return database;
+  }();
+  std::string sql =
+      "SELECT count(*) FROM store_sales WHERE ss_sold_date_sk BETWEEN " +
+      std::to_string(date::FromYMD(2003, 10, 1)) + " AND " +
+      std::to_string(date::FromYMD(2003, 12, 31));
+  for (auto _ : state) {
+    auto result = db->Run(sql);
+    MPPDB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->rows);
+  }
+}
+BENCHMARK(BM_ExecutePrunedScan);
+
+}  // namespace
+}  // namespace mppdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+#ifndef MPPDB_BENCH_BENCH_UTIL_H_
+#define MPPDB_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mppdb {
+namespace benchutil {
+
+/// Median wall-clock milliseconds over `iterations` runs of `fn`.
+inline double MedianMillis(int iterations, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end -
+                                                                              start)
+            .count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Prints a horizontal rule sized to `width`.
+inline void Rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace benchutil
+}  // namespace mppdb
+
+#endif  // MPPDB_BENCH_BENCH_UTIL_H_

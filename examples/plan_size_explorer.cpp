@@ -1,0 +1,77 @@
+// Plan-compactness explorer (paper §4.4): prints EXPLAIN output and plan
+// sizes for the same statements under both optimizers while the partition
+// count grows, demonstrating why plan size independence matters.
+//
+// Build & run:  cmake --build build && ./build/examples/plan_size_explorer
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "db/database.h"
+
+using namespace mppdb;  // NOLINT — example brevity
+
+namespace {
+
+void SetupPair(Database* db, int parts) {
+  for (const char* name : {"r", "s"}) {
+    MPPDB_CHECK(db->CreatePartitionedTable(
+                      name, Schema({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}}),
+                      TableDistribution::kHashed, {0}, {{1, PartitionMethod::kRange}},
+                      {partition_bounds::IntRanges(0, 10, parts)})
+                    .ok());
+    std::vector<Row> rows;
+    for (int i = 0; i < 30; ++i) {
+      rows.push_back({Datum::Int64(i), Datum::Int64((i * 37) % (parts * 10))});
+    }
+    MPPDB_CHECK(db->Load(name, rows).ok());
+  }
+}
+
+}  // namespace
+
+int main() {
+  {
+    // Show the actual plans once, at a small partition count.
+    Database db(4);
+    SetupPair(&db, 8);
+    const char* sql = "SELECT * FROM r, s WHERE r.b = s.b AND s.a < 100";
+    std::printf("Query: %s\n\n", sql);
+
+    auto orca = db.Explain(sql);
+    MPPDB_CHECK(orca.ok());
+    std::printf("--- Orca-style plan (8 partitions per table) ---\n%s\n",
+                orca->c_str());
+
+    QueryOptions legacy;
+    legacy.optimizer = OptimizerKind::kLegacyPlanner;
+    auto planner = db.Explain(sql, legacy);
+    MPPDB_CHECK(planner.ok());
+    std::printf("--- legacy Planner plan (8 partitions per table) ---\n%s\n",
+                planner->c_str());
+  }
+
+  std::printf("%10s %22s %22s %24s\n", "#parts", "SELECT join: planner/orca",
+              "UPDATE: planner/orca", "(bytes)");
+  for (int parts : {8, 32, 128}) {
+    Database db(4);
+    SetupPair(&db, parts);
+    const char* join_sql = "SELECT * FROM r, s WHERE r.b = s.b AND s.a < 100";
+    const char* dml_sql = "UPDATE r SET b = s.b FROM s WHERE r.a = s.a";
+    QueryOptions legacy;
+    legacy.optimizer = OptimizerKind::kLegacyPlanner;
+
+    auto j_planner = db.PlanSql(join_sql, legacy);
+    auto j_orca = db.PlanSql(join_sql);
+    auto d_planner = db.PlanSql(dml_sql, legacy);
+    auto d_orca = db.PlanSql(dml_sql);
+    MPPDB_CHECK(j_planner.ok() && j_orca.ok() && d_planner.ok() && d_orca.ok());
+    std::printf("%10d %12zu / %-10zu %12zu / %-10zu\n", parts,
+                SerializePlan(*j_planner).size(), SerializePlan(*j_orca).size(),
+                SerializePlan(*d_planner).size(), SerializePlan(*d_orca).size());
+  }
+  std::printf(
+      "\nThe legacy plans grow linearly (join) and quadratically (DML) with\n"
+      "the partition count; the Orca-style plans do not (paper Fig. 18).\n");
+  return 0;
+}

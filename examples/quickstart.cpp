@@ -1,0 +1,100 @@
+// Quickstart: create a partitioned table, load data, and watch static and
+// dynamic partition elimination at work — the paper's introductory example
+// (Figs. 1, 2 and 4): an `orders` table partitioned by month, queried with a
+// date range and through a date-dimension subquery.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "db/database.h"
+#include "types/date.h"
+
+using namespace mppdb;  // NOLINT — example brevity
+
+int main() {
+  // A 4-segment simulated MPP cluster.
+  Database db(4);
+
+  // Fig. 1: orders for the past 2 years, partitioned into monthly partitions.
+  auto orders = db.CreatePartitionedTable(
+      "orders",
+      Schema({{"order_id", TypeId::kInt64},
+              {"amount", TypeId::kDouble},
+              {"date", TypeId::kDate}}),
+      TableDistribution::kHashed, /*distribution_columns=*/{0},
+      {{2, PartitionMethod::kRange}}, {partition_bounds::Monthly(2012, 1, 24)});
+  if (!orders.ok()) {
+    std::fprintf(stderr, "%s\n", orders.status().ToString().c_str());
+    return 1;
+  }
+
+  // The normalized star-schema variant (Fig. 3): a date dimension.
+  auto dates = db.CreateTable("date_dim",
+                              Schema({{"date_id", TypeId::kDate},
+                                      {"year", TypeId::kInt64},
+                                      {"month", TypeId::kInt64}}),
+                              TableDistribution::kHashed, {0});
+  MPPDB_CHECK(dates.ok());
+
+  // Load one order per day plus the matching dimension rows.
+  std::vector<Row> order_rows, date_rows;
+  int64_t id = 0;
+  for (int year : {2012, 2013}) {
+    for (int month = 1; month <= 12; ++month) {
+      for (int day = 1; day <= date::DaysInMonth(year, month); ++day) {
+        int32_t d = date::FromYMD(year, month, day);
+        order_rows.push_back({Datum::Int64(id++), Datum::Double(100.0 + day),
+                              Datum::Date(d)});
+        date_rows.push_back({Datum::Date(d), Datum::Int64(year), Datum::Int64(month)});
+      }
+    }
+  }
+  MPPDB_CHECK(db.Load("orders", order_rows).ok());
+  MPPDB_CHECK(db.Load("date_dim", date_rows).ok());
+
+  Oid orders_oid = db.catalog().FindTable("orders")->oid;
+
+  // --- Static partition elimination (paper Fig. 2) --------------------------
+  const char* static_sql =
+      "SELECT avg(amount) FROM orders "
+      "WHERE date BETWEEN '2013-10-01' AND '2013-12-31'";
+  std::printf("Query (static elimination):\n  %s\n\n", static_sql);
+  auto plan = db.Explain(static_sql);
+  MPPDB_CHECK(plan.ok());
+  std::printf("Plan:\n%s\n", plan->c_str());
+  auto result = db.Run(static_sql);
+  MPPDB_CHECK(result.ok());
+  std::printf("avg(amount) = %s\n", result->rows[0][0].ToString().c_str());
+  std::printf("partitions scanned: %zu of 24\n\n",
+              result->stats.PartitionsScanned(orders_oid));
+
+  // --- Dynamic partition elimination (paper Fig. 4) --------------------------
+  const char* dynamic_sql =
+      "SELECT avg(amount) FROM orders WHERE date IN "
+      "(SELECT date_id FROM date_dim WHERE year = 2013 "
+      " AND month BETWEEN 10 AND 12)";
+  std::printf("Query (dynamic elimination via IN subquery):\n  %s\n\n", dynamic_sql);
+  plan = db.Explain(dynamic_sql);
+  MPPDB_CHECK(plan.ok());
+  std::printf("Plan (note the pass-through PartitionSelector feeding the\n"
+              "DynamicScan at run time):\n%s\n",
+              plan->c_str());
+  result = db.Run(dynamic_sql);
+  MPPDB_CHECK(result.ok());
+  std::printf("avg(amount) = %s\n", result->rows[0][0].ToString().c_str());
+  std::printf("partitions scanned: %zu of 24\n\n",
+              result->stats.PartitionsScanned(orders_oid));
+
+  // --- The same query with partition selection disabled ----------------------
+  QueryOptions off;
+  off.enable_partition_selection = false;
+  auto unpruned = db.Run(dynamic_sql, off);
+  MPPDB_CHECK(unpruned.ok());
+  std::printf("with partition selection disabled: %zu of 24 partitions, "
+              "%zu vs %zu tuples read\n",
+              unpruned->stats.PartitionsScanned(orders_oid),
+              unpruned->stats.tuples_scanned, result->stats.tuples_scanned);
+  return 0;
+}

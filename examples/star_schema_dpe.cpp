@@ -1,0 +1,62 @@
+// Star-schema dynamic partition elimination on the TPC-DS-style workload
+// schema, comparing the Cascades/Orca-style optimizer against the legacy
+// Planner baseline on the paper's §2.3 running example pattern:
+//
+//   SELECT ... FROM sales_fact s, date_dim d, customer_dim c
+//   WHERE d.month BETWEEN 10 AND 12 AND c.state='CA'
+//     AND d.id = s.date_id AND c.id = s.cust_id;
+//
+// Build & run:  cmake --build build && ./build/examples/star_schema_dpe
+
+#include <cstdio>
+
+#include "common/macros.h"
+#include "db/database.h"
+#include "types/date.h"
+#include "workload/tpcds_lite.h"
+
+using namespace mppdb;  // NOLINT — example brevity
+
+int main() {
+  Database db(4);
+  workload::TpcdsConfig config;
+  config.base_rows = 4000;
+  MPPDB_CHECK(workload::CreateAndLoadTpcds(&db, config).ok());
+
+  // The paper's Fig. 6 query over the TPC-DS-style schema.
+  std::string sql =
+      "SELECT count(*), sum(ss.ss_sales_price) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "JOIN customer c ON ss.ss_customer_sk = c.c_customer_sk "
+      "WHERE d.d_year = 2003 AND d.d_moy BETWEEN 10 AND 12 AND c.c_state = 'CA'";
+
+  Oid fact = db.catalog().FindTable("store_sales")->oid;
+
+  std::printf("Query:\n  %s\n\n", sql.c_str());
+
+  for (OptimizerKind kind : {OptimizerKind::kCascades, OptimizerKind::kLegacyPlanner}) {
+    QueryOptions options;
+    options.optimizer = kind;
+    const char* name = kind == OptimizerKind::kCascades ? "Orca-style (Cascades)"
+                                                        : "legacy Planner";
+    auto explain = db.Explain(sql, options);
+    MPPDB_CHECK(explain.ok());
+    auto result = db.Run(sql, options);
+    MPPDB_CHECK(result.ok());
+    std::printf("--- %s ---\n", name);
+    std::printf("%s\n", explain->c_str());
+    std::printf("rows matched:        %s\n", result->rows[0][0].ToString().c_str());
+    std::printf("partitions scanned:  %zu of %zu\n",
+                result->stats.PartitionsScanned(fact),
+                db.catalog().FindTable(fact)->partition_scheme->NumLeaves());
+    std::printf("plan size (bytes):   %zu\n", SerializePlan(result->plan).size());
+    std::printf("tuples read:         %zu\n\n", result->stats.tuples_scanned);
+  }
+
+  std::printf(
+      "Observation: both optimizers prune to the last quarter at run time,\n"
+      "but the Planner's plan enumerates every partition explicitly while\n"
+      "the Cascades plan keeps one DynamicScan regardless of the partition\n"
+      "count (the paper's compactness property, §4.4).\n");
+  return 0;
+}

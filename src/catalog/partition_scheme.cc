@@ -1,0 +1,238 @@
+#include "catalog/partition_scheme.h"
+
+#include "common/macros.h"
+#include "types/date.h"
+
+namespace mppdb {
+
+PartitionBound PartitionBound::Range(Datum lo_inclusive, Datum hi_exclusive,
+                                     std::string name) {
+  PartitionBound bound;
+  bound.constraint = ConstraintSet::FromInterval(
+      Interval::RightOpen(std::move(lo_inclusive), std::move(hi_exclusive)));
+  bound.name = std::move(name);
+  return bound;
+}
+
+PartitionBound PartitionBound::List(std::vector<Datum> values, std::string name) {
+  PartitionBound bound;
+  bound.constraint = ConstraintSet::FromPoints(std::move(values));
+  bound.name = std::move(name);
+  return bound;
+}
+
+PartitionBound PartitionBound::Default(std::string name) {
+  PartitionBound bound;
+  bound.is_default = true;
+  bound.name = std::move(name);
+  return bound;
+}
+
+PartitionScheme::PartitionScheme(std::vector<PartitionLevelDesc> levels,
+                                 std::unique_ptr<PartitionNode> root)
+    : levels_(std::move(levels)), root_(std::move(root)) {
+  MPPDB_CHECK(!levels_.empty());
+  MPPDB_CHECK(root_ != nullptr);
+  std::vector<ConstraintSet> path;
+  std::string name_path;
+  CollectLeaves(*root_, 0, &path, &name_path);
+}
+
+void PartitionScheme::CollectLeaves(const PartitionNode& node, size_t level,
+                                    std::vector<ConstraintSet>* path,
+                                    std::string* name_path) {
+  for (const auto& child : node.children) {
+    path->push_back(child->bound.is_default ? ConstraintSet::All()
+                                            : child->bound.constraint);
+    size_t name_len = name_path->size();
+    if (!name_path->empty()) *name_path += "/";
+    *name_path += child->bound.name;
+    if (child->IsLeaf()) {
+      MPPDB_CHECK(level + 1 == levels_.size());
+      LeafPartitionInfo info;
+      info.oid = child->oid;
+      info.qualified_name = *name_path;
+      info.level_constraints = *path;
+      leaves_.push_back(std::move(info));
+    } else {
+      CollectLeaves(*child, level + 1, path, name_path);
+    }
+    path->pop_back();
+    name_path->resize(name_len);
+  }
+}
+
+Oid PartitionScheme::RouteTuple(const Row& row) const {
+  std::vector<Datum> keys;
+  keys.reserve(levels_.size());
+  for (const auto& level : levels_) {
+    keys.push_back(row[static_cast<size_t>(level.key_column)]);
+  }
+  return RouteValues(keys);
+}
+
+Oid PartitionScheme::RouteValues(const std::vector<Datum>& key_values) const {
+  MPPDB_CHECK(key_values.size() == levels_.size());
+  return RouteRecursive(*root_, 0, key_values);
+}
+
+Oid PartitionScheme::RouteRecursive(const PartitionNode& node, size_t level,
+                                    const std::vector<Datum>& key_values) const {
+  const Datum& key = key_values[level];
+  const PartitionNode* match = nullptr;
+  const PartitionNode* default_part = nullptr;
+  for (const auto& child : node.children) {
+    if (child->bound.is_default) {
+      default_part = child.get();
+    } else if (!key.is_null() && child->bound.constraint.Contains(key)) {
+      match = child.get();
+      break;
+    }
+  }
+  if (match == nullptr) match = default_part;
+  if (match == nullptr) return kInvalidOid;  // the paper's ⊥
+  if (match->IsLeaf()) return match->oid;
+  return RouteRecursive(*match, level + 1, key_values);
+}
+
+std::vector<Oid> PartitionScheme::SelectPartitions(
+    const std::vector<ConstraintSet>& constraints) const {
+  std::vector<Oid> out;
+  SelectRecursive(*root_, 0, constraints, &out);
+  return out;
+}
+
+void PartitionScheme::SelectRecursive(const PartitionNode& node, size_t level,
+                                      const std::vector<ConstraintSet>& constraints,
+                                      std::vector<Oid>* out) const {
+  const ConstraintSet* level_constraint =
+      level < constraints.size() ? &constraints[level] : nullptr;
+  for (const auto& child : node.children) {
+    bool qualifies;
+    if (level_constraint == nullptr || level_constraint->IsAll()) {
+      qualifies = true;
+    } else if (level_constraint->IsNone()) {
+      qualifies = false;
+    } else if (child->bound.is_default) {
+      // A default partition may hold any value not claimed by siblings;
+      // proving exclusion would need complement reasoning, so keep it.
+      qualifies = true;
+    } else {
+      qualifies = false;
+      for (const Interval& in : child->bound.constraint.intervals()) {
+        if (level_constraint->Overlaps(in)) {
+          qualifies = true;
+          break;
+        }
+      }
+    }
+    if (!qualifies) continue;
+    if (child->IsLeaf()) {
+      out->push_back(child->oid);
+    } else {
+      SelectRecursive(*child, level + 1, constraints, out);
+    }
+  }
+}
+
+std::vector<Oid> PartitionScheme::AllLeafOids() const {
+  std::vector<Oid> out;
+  out.reserve(leaves_.size());
+  for (const auto& leaf : leaves_) out.push_back(leaf.oid);
+  return out;
+}
+
+bool PartitionScheme::IsLeafOid(Oid oid) const {
+  for (const auto& leaf : leaves_) {
+    if (leaf.oid == oid) return true;
+  }
+  return false;
+}
+
+namespace partition_bounds {
+
+std::vector<PartitionBound> Monthly(int start_year, int start_month, int count) {
+  std::vector<PartitionBound> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  int year = start_year, month = start_month;
+  for (int i = 0; i < count; ++i) {
+    int next_year = year, next_month = month + 1;
+    if (next_month > 12) {
+      next_month = 1;
+      ++next_year;
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "m%04d_%02d", year, month);
+    bounds.push_back(PartitionBound::Range(Datum::Date(date::FromYMD(year, month, 1)),
+                                           Datum::Date(date::FromYMD(next_year, next_month, 1)),
+                                           name));
+    year = next_year;
+    month = next_month;
+  }
+  return bounds;
+}
+
+std::vector<PartitionBound> DateRanges(int start_year, int start_month, int start_day,
+                                       int count, int width_days) {
+  std::vector<PartitionBound> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  int32_t lo = date::FromYMD(start_year, start_month, start_day);
+  for (int i = 0; i < count; ++i) {
+    int32_t hi = lo + width_days;
+    bounds.push_back(PartitionBound::Range(Datum::Date(lo), Datum::Date(hi),
+                                           "d" + std::to_string(i)));
+    lo = hi;
+  }
+  return bounds;
+}
+
+std::vector<PartitionBound> IntRanges(int64_t lo, int64_t step, int count) {
+  std::vector<PartitionBound> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int64_t start = lo + step * i;
+    bounds.push_back(PartitionBound::Range(Datum::Int64(start), Datum::Int64(start + step),
+                                           "r" + std::to_string(i)));
+  }
+  return bounds;
+}
+
+std::vector<PartitionBound> ListValues(const std::vector<Datum>& values) {
+  std::vector<PartitionBound> bounds;
+  bounds.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    bounds.push_back(PartitionBound::List({values[i]}, "v" + std::to_string(i)));
+  }
+  return bounds;
+}
+
+}  // namespace partition_bounds
+
+namespace {
+
+void AddLevel(PartitionNode* node, size_t level,
+              const std::vector<std::vector<PartitionBound>>& bounds_per_level,
+              Oid* next_oid) {
+  if (level >= bounds_per_level.size()) return;
+  for (const PartitionBound& bound : bounds_per_level[level]) {
+    auto child = std::make_unique<PartitionNode>();
+    child->oid = (*next_oid)++;
+    child->bound = bound;
+    AddLevel(child.get(), level + 1, bounds_per_level, next_oid);
+    node->children.push_back(std::move(child));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<PartitionNode> BuildUniformHierarchy(
+    const std::vector<std::vector<PartitionBound>>& bounds_per_level, Oid* next_oid) {
+  auto root = std::make_unique<PartitionNode>();
+  root->oid = (*next_oid)++;
+  root->bound = PartitionBound::Default("root");
+  root->bound.is_default = false;
+  AddLevel(root.get(), 0, bounds_per_level, next_oid);
+  return root;
+}
+
+}  // namespace mppdb

@@ -1,0 +1,39 @@
+#ifndef MPPDB_COMMON_MACROS_H_
+#define MPPDB_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal invariant check. Used for programming errors that cannot be reported
+/// through Status (e.g. broken internal invariants); aborts with location.
+#define MPPDB_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MPPDB_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Propagates a non-OK Status from the current function.
+#define MPPDB_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::mppdb::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define MPPDB_CONCAT_IMPL(a, b) a##b
+#define MPPDB_CONCAT(a, b) MPPDB_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T>-returning expression; on error returns its Status,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define MPPDB_ASSIGN_OR_RETURN(lhs, expr)                            \
+  MPPDB_ASSIGN_OR_RETURN_IMPL(MPPDB_CONCAT(_result_, __LINE__), lhs, \
+                              expr)
+
+#define MPPDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#endif  // MPPDB_COMMON_MACROS_H_

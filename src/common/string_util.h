@@ -1,0 +1,23 @@
+#ifndef MPPDB_COMMON_STRING_UTIL_H_
+#define MPPDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mppdb {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Lower-cases ASCII letters in `s`.
+std::string ToLower(const std::string& s);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Repeats `s` `n` times.
+std::string Repeat(const std::string& s, size_t n);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_COMMON_STRING_UTIL_H_

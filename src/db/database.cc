@@ -1,0 +1,353 @@
+#include "db/database.h"
+
+#include "common/macros.h"
+#include "sql/parser.h"
+#include "types/date.h"
+
+namespace mppdb {
+
+Result<Oid> Database::CreateTable(const std::string& name, Schema schema,
+                                  TableDistribution distribution,
+                                  std::vector<int> distribution_columns) {
+  MPPDB_ASSIGN_OR_RETURN(Oid oid,
+                         catalog_.CreateTable(name, std::move(schema), distribution,
+                                              std::move(distribution_columns)));
+  MPPDB_RETURN_IF_ERROR(storage_.CreateStorage(catalog_.FindTable(oid)));
+  return oid;
+}
+
+Result<Oid> Database::CreatePartitionedTable(
+    const std::string& name, Schema schema, TableDistribution distribution,
+    std::vector<int> distribution_columns, std::vector<PartitionLevelDesc> level_descs,
+    const std::vector<std::vector<PartitionBound>>& bounds_per_level) {
+  MPPDB_ASSIGN_OR_RETURN(
+      Oid oid, catalog_.CreatePartitionedTable(name, std::move(schema), distribution,
+                                               std::move(distribution_columns),
+                                               std::move(level_descs),
+                                               bounds_per_level));
+  MPPDB_RETURN_IF_ERROR(storage_.CreateStorage(catalog_.FindTable(oid)));
+  return oid;
+}
+
+Status Database::Load(const std::string& table, const std::vector<Row>& rows) {
+  const TableDescriptor* desc = catalog_.FindTable(table);
+  if (desc == nullptr) return Status::NotFound("table '" + table + "' does not exist");
+  return storage_.GetStore(desc->oid)->InsertBatch(rows);
+}
+
+Result<BoundStatement> Database::BindSql(const std::string& sql) {
+  Binder binder(&catalog_);
+  return binder.BindSql(sql);
+}
+
+namespace {
+
+// Rewrites every scalar expression embedded in a plan with `fn`.
+PhysPtr RewritePlanExprs(const PhysPtr& node,
+                         const std::function<ExprPtr(const ExprPtr&)>& fn) {
+  std::vector<PhysPtr> children;
+  children.reserve(node->children().size());
+  for (const auto& child : node->children()) {
+    children.push_back(RewritePlanExprs(child, fn));
+  }
+  switch (node->kind()) {
+    case PhysNodeKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(*node);
+      return std::make_shared<FilterNode>(fn(filter.predicate()), children[0]);
+    }
+    case PhysNodeKind::kProject: {
+      const auto& project = static_cast<const ProjectNode&>(*node);
+      std::vector<ProjectItem> items = project.items();
+      for (auto& item : items) item.expr = fn(item.expr);
+      return std::make_shared<ProjectNode>(std::move(items), children[0]);
+    }
+    case PhysNodeKind::kHashJoin: {
+      const auto& join = static_cast<const HashJoinNode&>(*node);
+      return std::make_shared<HashJoinNode>(
+          join.join_type(), join.build_keys(), join.probe_keys(),
+          join.residual() ? fn(join.residual()) : nullptr, children[0], children[1]);
+    }
+    case PhysNodeKind::kNestedLoopJoin: {
+      const auto& join = static_cast<const NestedLoopJoinNode&>(*node);
+      return std::make_shared<NestedLoopJoinNode>(
+          join.join_type(), join.predicate() ? fn(join.predicate()) : nullptr,
+          children[0], children[1]);
+    }
+    case PhysNodeKind::kIndexNLJoin: {
+      const auto& join = static_cast<const IndexNLJoinNode&>(*node);
+      return std::make_shared<IndexNLJoinNode>(
+          children[0], join.inner_table(), join.inner_column_ids(),
+          join.inner_key_column(), join.outer_key(),
+          join.residual() ? fn(join.residual()) : nullptr);
+    }
+    case PhysNodeKind::kHashAgg: {
+      const auto& agg = static_cast<const HashAggNode&>(*node);
+      std::vector<AggItem> aggs = agg.aggs();
+      for (auto& item : aggs) {
+        if (item.arg != nullptr) item.arg = fn(item.arg);
+      }
+      return std::make_shared<HashAggNode>(agg.group_by(), std::move(aggs),
+                                           children[0]);
+    }
+    case PhysNodeKind::kPartitionSelector: {
+      const auto& sel = static_cast<const PartitionSelectorNode&>(*node);
+      std::vector<ExprPtr> preds = sel.level_predicates();
+      for (auto& pred : preds) {
+        if (pred != nullptr) pred = fn(pred);
+      }
+      return std::make_shared<PartitionSelectorNode>(
+          sel.table_oid(), sel.scan_id(), sel.level_keys(), std::move(preds),
+          children.empty() ? nullptr : children[0]);
+    }
+    case PhysNodeKind::kUpdate: {
+      const auto& update = static_cast<const UpdateNode&>(*node);
+      std::vector<UpdateSetItem> items = update.set_items();
+      for (auto& item : items) item.value = fn(item.value);
+      return std::make_shared<UpdateNode>(update.table_oid(),
+                                          update.table_column_ids(),
+                                          update.rowid_ids(), std::move(items),
+                                          update.OutputIds()[0], children[0]);
+    }
+    default:
+      return CloneWithChildren(node, std::move(children));
+  }
+}
+
+}  // namespace
+
+Result<PhysPtr> BindPlanParams(const PhysPtr& plan, const std::vector<Datum>& params) {
+  return RewritePlanExprs(
+      plan, [&params](const ExprPtr& expr) { return SubstituteParams(expr, params); });
+}
+
+Result<PhysPtr> Database::PlanStatement(const BoundStatement& stmt,
+                                        const QueryOptions& options) {
+  if (options.optimizer == OptimizerKind::kCascades) {
+    CascadesOptimizer::Options opt;
+    opt.enable_partition_selection = options.enable_partition_selection;
+    opt.enable_dynamic_elimination = options.enable_dynamic_elimination;
+    opt.enable_two_phase_agg = options.enable_two_phase_agg;
+    opt.enable_index_join = options.enable_index_join;
+    CascadesOptimizer optimizer(&catalog_, &storage_, opt);
+    return optimizer.Plan(stmt);
+  }
+  LegacyPlanner::Options opt;
+  opt.enable_static_elimination = options.enable_partition_selection;
+  opt.enable_dynamic_elimination =
+      options.enable_partition_selection && options.enable_dynamic_elimination;
+  LegacyPlanner planner(&catalog_, &storage_, opt);
+  // The legacy planner expects a normalized tree (selections pushed down).
+  BoundStatement normalized = stmt;
+  normalized.root = NormalizeLogical(stmt.root);
+  return planner.Plan(normalized);
+}
+
+Result<PhysPtr> Database::PlanSql(const std::string& sql, const QueryOptions& options) {
+  MPPDB_ASSIGN_OR_RETURN(BoundStatement stmt, BindSql(sql));
+  return PlanStatement(stmt, options);
+}
+
+namespace {
+
+Result<TypeId> ParseTypeName(const std::string& name) {
+  if (name == "int" || name == "integer") return TypeId::kInt32;
+  if (name == "bigint") return TypeId::kInt64;
+  if (name == "double" || name == "float") return TypeId::kDouble;
+  if (name == "varchar" || name == "text" || name == "string") return TypeId::kString;
+  if (name == "date") return TypeId::kDate;
+  if (name == "bool" || name == "boolean") return TypeId::kBool;
+  return Status::BindError("unknown type '" + name + "'");
+}
+
+// Evaluates a DDL literal (bound against an empty scope) to a Datum, with
+// date coercion for date-typed partition columns.
+Result<Datum> DdlLiteral(const sql_ast::ParseExpr& expr, TypeId column_type) {
+  using K = sql_ast::ParseExpr::Kind;
+  switch (expr.kind) {
+    case K::kIntLit:
+      return Datum::Int64(expr.int_value);
+    case K::kDoubleLit:
+      return Datum::Double(expr.double_value);
+    case K::kDateLit:
+    case K::kStringLit: {
+      if (column_type == TypeId::kDate || expr.kind == K::kDateLit) {
+        int32_t days = 0;
+        if (!date::Parse(expr.text, &days)) {
+          return Status::BindError("malformed date literal '" + expr.text + "'");
+        }
+        return Datum::Date(days);
+      }
+      return Datum::String(expr.text);
+    }
+    case K::kBoolLit:
+      return Datum::Bool(expr.int_value != 0);
+    default:
+      return Status::BindError("partition bounds must be literals");
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
+  QueryResult result;
+  result.columns = {"status"};
+  if (parsed.kind == sql_ast::Statement::Kind::kCreateIndex) {
+    const sql_ast::CreateIndexStmt& index = *parsed.create_index;
+    MPPDB_RETURN_IF_ERROR(catalog_.CreateIndex(index.table, index.column));
+    const TableDescriptor* table = catalog_.FindTable(index.table);
+    MPPDB_RETURN_IF_ERROR(storage_.GetStore(table->oid)->CreateIndex(
+        table->schema.FindColumn(index.column)));
+    result.rows = {{Datum::String("CREATE INDEX")}};
+    return result;
+  }
+  if (parsed.kind == sql_ast::Statement::Kind::kDropTable) {
+    const TableDescriptor* table = catalog_.FindTable(parsed.drop_table->table);
+    if (table == nullptr) {
+      return Status::NotFound("table '" + parsed.drop_table->table +
+                              "' does not exist");
+    }
+    Oid oid = table->oid;
+    MPPDB_RETURN_IF_ERROR(catalog_.DropTable(parsed.drop_table->table));
+    MPPDB_RETURN_IF_ERROR(storage_.DropStorage(oid));
+    result.rows = {{Datum::String("DROP TABLE")}};
+    return result;
+  }
+
+  const sql_ast::CreateTableStmt& create = *parsed.create_table;
+  std::vector<Column> columns;
+  for (const sql_ast::ColumnDef& def : create.columns) {
+    MPPDB_ASSIGN_OR_RETURN(TypeId type, ParseTypeName(def.type));
+    columns.push_back({def.name, type});
+  }
+  Schema schema(std::move(columns));
+
+  TableDistribution distribution = TableDistribution::kRandom;
+  std::vector<int> distribution_columns;
+  switch (create.distribution) {
+    case sql_ast::CreateTableStmt::Distribution::kRandom:
+      break;
+    case sql_ast::CreateTableStmt::Distribution::kReplicated:
+      distribution = TableDistribution::kReplicated;
+      break;
+    case sql_ast::CreateTableStmt::Distribution::kHash:
+      distribution = TableDistribution::kHashed;
+      for (const std::string& name : create.distribution_columns) {
+        int index = schema.FindColumn(name);
+        if (index < 0) {
+          return Status::BindError("distribution column '" + name + "' not found");
+        }
+        distribution_columns.push_back(index);
+      }
+      break;
+  }
+
+  if (create.partition_levels.empty()) {
+    MPPDB_RETURN_IF_ERROR(
+        CreateTable(create.table, std::move(schema), distribution,
+                    std::move(distribution_columns))
+            .status());
+    result.rows = {{Datum::String("CREATE TABLE")}};
+    return result;
+  }
+
+  std::vector<PartitionLevelDesc> level_descs;
+  std::vector<std::vector<PartitionBound>> bounds_per_level;
+  for (const sql_ast::PartitionLevelSpec& level : create.partition_levels) {
+    int key = schema.FindColumn(level.column);
+    if (key < 0) {
+      return Status::BindError("partition column '" + level.column + "' not found");
+    }
+    TypeId key_type = schema.column(static_cast<size_t>(key)).type;
+    std::vector<PartitionBound> bounds;
+    if (level.is_range) {
+      MPPDB_ASSIGN_OR_RETURN(Datum start, DdlLiteral(*level.start, key_type));
+      MPPDB_ASSIGN_OR_RETURN(Datum end, DdlLiteral(*level.end, key_type));
+      if (level.every <= 0 || !IsIntegral(start.type()) ||
+          Datum::Compare(start, end) >= 0) {
+        return Status::BindError(
+            "range partitioning needs integral bounds with START < END and a "
+            "positive EVERY step");
+      }
+      int64_t lo = start.AsInt64();
+      int64_t hi = end.AsInt64();
+      int part = 0;
+      for (int64_t v = lo; v < hi; v += level.every, ++part) {
+        int64_t upper = std::min(v + level.every, hi);
+        Datum lo_datum = start.type() == TypeId::kDate
+                             ? Datum::Date(static_cast<int32_t>(v))
+                             : Datum::Int64(v);
+        Datum hi_datum = start.type() == TypeId::kDate
+                             ? Datum::Date(static_cast<int32_t>(upper))
+                             : Datum::Int64(upper);
+        bounds.push_back(PartitionBound::Range(std::move(lo_datum),
+                                               std::move(hi_datum),
+                                               "p" + std::to_string(part)));
+      }
+      level_descs.push_back({key, PartitionMethod::kRange});
+    } else {
+      std::vector<Datum> values;
+      for (const auto& value_expr : level.values) {
+        MPPDB_ASSIGN_OR_RETURN(Datum v, DdlLiteral(*value_expr, key_type));
+        values.push_back(std::move(v));
+      }
+      bounds = partition_bounds::ListValues(values);
+      level_descs.push_back({key, PartitionMethod::kList});
+    }
+    bounds_per_level.push_back(std::move(bounds));
+  }
+  MPPDB_RETURN_IF_ERROR(CreatePartitionedTable(create.table, std::move(schema),
+                                               distribution,
+                                               std::move(distribution_columns),
+                                               std::move(level_descs),
+                                               bounds_per_level)
+                            .status());
+  result.rows = {{Datum::String("CREATE TABLE")}};
+  return result;
+}
+
+Result<QueryResult> Database::Run(const std::string& sql, const QueryOptions& options) {
+  MPPDB_ASSIGN_OR_RETURN(sql_ast::Statement parsed, ParseStatement(sql));
+  if (parsed.kind == sql_ast::Statement::Kind::kCreateTable ||
+      parsed.kind == sql_ast::Statement::Kind::kDropTable ||
+      parsed.kind == sql_ast::Statement::Kind::kCreateIndex) {
+    return RunDdl(parsed);
+  }
+  Binder binder(&catalog_);
+  MPPDB_ASSIGN_OR_RETURN(BoundStatement stmt, binder.Bind(parsed));
+  PhysPtr plan;
+  MPPDB_ASSIGN_OR_RETURN(plan, PlanStatement(stmt, options));
+  if (!options.params.empty()) {
+    MPPDB_ASSIGN_OR_RETURN(plan, BindPlanParams(plan, options.params));
+  }
+  if (stmt.explain) {
+    QueryResult explained;
+    explained.rows = {{Datum::String(PlanToString(plan))}};
+    explained.columns = {"QUERY PLAN"};
+    explained.plan = plan;
+    return explained;
+  }
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, executor_.Execute(plan));
+  QueryResult result;
+  result.rows = std::move(rows);
+  result.columns = stmt.output_names;
+  result.plan = plan;
+  result.stats = executor_.stats();
+  return result;
+}
+
+Result<QueryResult> Database::ExecutePlan(const PhysPtr& plan) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, executor_.Execute(plan));
+  QueryResult result;
+  result.rows = std::move(rows);
+  result.plan = plan;
+  result.stats = executor_.stats();
+  return result;
+}
+
+Result<std::string> Database::Explain(const std::string& sql,
+                                      const QueryOptions& options) {
+  MPPDB_ASSIGN_OR_RETURN(PhysPtr plan, PlanSql(sql, options));
+  return PlanToString(plan);
+}
+
+}  // namespace mppdb

@@ -1,0 +1,110 @@
+#ifndef MPPDB_DB_DATABASE_H_
+#define MPPDB_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "optimizer/cascades/cascades_optimizer.h"
+#include "optimizer/planner/legacy_planner.h"
+#include "sql/binder.h"
+#include "storage/storage.h"
+
+namespace mppdb {
+
+/// Which optimizer compiles a statement: the paper's Orca-style Cascades
+/// optimizer or the legacy Planner baseline.
+enum class OptimizerKind { kCascades, kLegacyPlanner };
+
+/// Per-statement execution options.
+struct QueryOptions {
+  OptimizerKind optimizer = OptimizerKind::kCascades;
+  /// Fig. 17 switch: disable partition selection (selectors select all).
+  bool enable_partition_selection = true;
+  /// Disable only join-induced dynamic elimination.
+  bool enable_dynamic_elimination = true;
+  /// Disable the two-phase (local/global) aggregation alternative.
+  bool enable_two_phase_agg = true;
+  /// Disable the index nested-loop join alternative.
+  bool enable_index_join = true;
+  /// Values for $1, $2, ... parameters, substituted before optimization.
+  std::vector<Datum> params;
+};
+
+/// Result of one statement: rows, column names, the executed plan, and the
+/// execution statistics that back the paper's experiments.
+struct QueryResult {
+  std::vector<Row> rows;
+  std::vector<std::string> columns;
+  PhysPtr plan;
+  ExecStats stats;
+};
+
+/// The top-level embedded-database facade: catalog + storage + SQL front end
+/// + both optimizers + the simulated MPP executor. This is the public entry
+/// point used by the examples and benchmarks.
+///
+///   Database db(/*num_segments=*/4);
+///   db.CreatePartitionedTable(...);
+///   auto result = db.Run("SELECT avg(amount) FROM orders WHERE ...");
+class Database {
+ public:
+  explicit Database(int num_segments)
+      : storage_(num_segments), executor_(&catalog_, &storage_) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  StorageEngine& storage() { return storage_; }
+  int num_segments() const { return storage_.num_segments(); }
+
+  /// DDL: creates the table in the catalog and allocates storage.
+  Result<Oid> CreateTable(const std::string& name, Schema schema,
+                          TableDistribution distribution,
+                          std::vector<int> distribution_columns);
+  Result<Oid> CreatePartitionedTable(
+      const std::string& name, Schema schema, TableDistribution distribution,
+      std::vector<int> distribution_columns,
+      std::vector<PartitionLevelDesc> level_descs,
+      const std::vector<std::vector<PartitionBound>>& bounds_per_level);
+
+  /// Bulk load (bypasses SQL; rows routed by f_T and the distribution).
+  Status Load(const std::string& table, const std::vector<Row>& rows);
+
+  /// Parses, binds, optimizes, and executes a statement.
+  Result<QueryResult> Run(const std::string& sql, const QueryOptions& options = {});
+
+  /// Parses, binds, and optimizes only — for plan-shape and plan-size
+  /// experiments (§4.4).
+  Result<PhysPtr> PlanSql(const std::string& sql, const QueryOptions& options = {});
+
+  /// EXPLAIN-style rendering of the chosen plan.
+  Result<std::string> Explain(const std::string& sql, const QueryOptions& options = {});
+
+  /// Executes a pre-built physical plan.
+  Result<QueryResult> ExecutePlan(const PhysPtr& plan);
+
+ private:
+  Result<BoundStatement> BindSql(const std::string& sql);
+  Result<PhysPtr> PlanStatement(const BoundStatement& stmt,
+                                const QueryOptions& options);
+  /// Executes CREATE TABLE / DROP TABLE statements (paper §3.2's DDL: range
+  /// or categorical constraints per partition, GPDB-flavored syntax).
+  Result<QueryResult> RunDdl(const sql_ast::Statement& parsed);
+
+  Catalog catalog_;
+  StorageEngine storage_;
+  Executor executor_;
+};
+
+/// Substitutes $N parameters throughout a physical plan's expressions
+/// (prepared-statement execution: the plan is compiled once with parameter
+/// placeholders and bound at run time — the paper's second dynamic-
+/// elimination use case).
+Result<PhysPtr> BindPlanParams(const PhysPtr& plan, const std::vector<Datum>& params);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_DB_DATABASE_H_

@@ -1,0 +1,860 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/macros.h"
+#include "expr/constraint_derivation.h"
+#include "runtime/partition_functions.h"
+
+namespace mppdb {
+
+size_t ExecStats::PartitionsScanned(Oid table_oid) const {
+  auto it = partitions_scanned.find(table_oid);
+  return it == partitions_scanned.end() ? 0 : it->second.size();
+}
+
+size_t ExecStats::TotalPartitionsScanned() const {
+  size_t total = 0;
+  for (const auto& [table, parts] : partitions_scanned) total += parts.size();
+  return total;
+}
+
+Executor::Executor(const Catalog* catalog, StorageEngine* storage)
+    : catalog_(catalog),
+      storage_(storage),
+      num_segments_(storage->num_segments()),
+      hub_(storage->num_segments()) {}
+
+Result<std::vector<Row>> Executor::Execute(const PhysPtr& plan) {
+  hub_.Reset();
+  stats_ = ExecStats();
+  motion_cache_.clear();
+  std::vector<Row> result;
+  for (int segment = 0; segment < num_segments_; ++segment) {
+    MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(plan, segment));
+    result.insert(result.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+  }
+  return result;
+}
+
+Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
+  switch (node->kind()) {
+    case PhysNodeKind::kTableScan:
+      return ExecTableScan(static_cast<const TableScanNode&>(*node), segment);
+    case PhysNodeKind::kCheckedPartScan:
+      return ExecCheckedPartScan(static_cast<const CheckedPartScanNode&>(*node),
+                                 segment);
+    case PhysNodeKind::kDynamicScan:
+      return ExecDynamicScan(static_cast<const DynamicScanNode&>(*node), segment);
+    case PhysNodeKind::kPartitionSelector:
+      return ExecPartitionSelector(static_cast<const PartitionSelectorNode&>(*node),
+                                   segment);
+    case PhysNodeKind::kSequence: {
+      std::vector<Row> last;
+      for (const auto& child : node->children()) {
+        MPPDB_ASSIGN_OR_RETURN(last, ExecNode(child, segment));
+      }
+      return last;
+    }
+    case PhysNodeKind::kAppend: {
+      std::vector<Row> out;
+      for (const auto& child : node->children()) {
+        MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(child, segment));
+        out.insert(out.end(), std::make_move_iterator(rows.begin()),
+                   std::make_move_iterator(rows.end()));
+      }
+      return out;
+    }
+    case PhysNodeKind::kFilter:
+      return ExecFilter(static_cast<const FilterNode&>(*node), segment);
+    case PhysNodeKind::kProject:
+      return ExecProject(static_cast<const ProjectNode&>(*node), segment);
+    case PhysNodeKind::kHashJoin:
+      return ExecHashJoin(static_cast<const HashJoinNode&>(*node), segment);
+    case PhysNodeKind::kNestedLoopJoin:
+      return ExecNestedLoopJoin(static_cast<const NestedLoopJoinNode&>(*node), segment);
+    case PhysNodeKind::kIndexNLJoin:
+      return ExecIndexNLJoin(static_cast<const IndexNLJoinNode&>(*node), segment);
+    case PhysNodeKind::kHashAgg:
+      return ExecHashAgg(static_cast<const HashAggNode&>(*node), segment);
+    case PhysNodeKind::kSort:
+      return ExecSort(static_cast<const SortNode&>(*node), segment);
+    case PhysNodeKind::kLimit: {
+      const auto& limit = static_cast<const LimitNode&>(*node);
+      MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(limit.child(0), segment));
+      if (rows.size() > limit.limit()) rows.resize(limit.limit());
+      return rows;
+    }
+    case PhysNodeKind::kMotion:
+      return ExecMotion(static_cast<const MotionNode&>(*node), segment);
+    case PhysNodeKind::kValues: {
+      const auto& values = static_cast<const ValuesNode&>(*node);
+      if (segment != 0) return std::vector<Row>{};
+      return values.rows();
+    }
+    case PhysNodeKind::kInsert:
+      return ExecInsert(static_cast<const InsertNode&>(*node), segment);
+    case PhysNodeKind::kUpdate:
+      return ExecUpdate(static_cast<const UpdateNode&>(*node), segment);
+    case PhysNodeKind::kDelete:
+      return ExecDelete(static_cast<const DeleteNode&>(*node), segment);
+  }
+  return Status::Internal("unreachable physical node kind");
+}
+
+void Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
+                        int segment, bool emit_rowids, std::vector<Row>* out) {
+  const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
+  stats_.partitions_scanned[table_oid].insert(unit_oid);
+  stats_.tuples_scanned += rows.size();
+  if (!emit_rowids) {
+    out->insert(out->end(), rows.begin(), rows.end());
+    return;
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Row row = rows[i];
+    row.push_back(Datum::Int64(unit_oid));
+    row.push_back(Datum::Int64(segment));
+    row.push_back(Datum::Int64(static_cast<int64_t>(i)));
+    out->push_back(std::move(row));
+  }
+}
+
+Result<std::vector<Row>> Executor::ExecTableScan(const TableScanNode& node,
+                                                 int segment) {
+  const TableStore* store = storage_->GetStore(node.table_oid());
+  if (store == nullptr) {
+    return Status::ExecutionError("no storage for table oid " +
+                                  std::to_string(node.table_oid()));
+  }
+  // Replicated base tables produce rows on one segment only (see header).
+  if (store->descriptor().distribution == TableDistribution::kReplicated &&
+      segment != 0) {
+    return std::vector<Row>{};
+  }
+  std::vector<Row> out;
+  ScanUnit(*store, node.table_oid(), node.unit_oid(), segment,
+           !node.rowid_ids().empty(), &out);
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecCheckedPartScan(const CheckedPartScanNode& node,
+                                                       int segment) {
+  const TableStore* store = storage_->GetStore(node.table_oid());
+  if (store == nullptr) {
+    return Status::ExecutionError("no storage for table oid " +
+                                  std::to_string(node.table_oid()));
+  }
+  if (!hub_.HasChannel(segment, node.scan_id())) {
+    return Status::ExecutionError(
+        "CheckedPartScan: no partition parameter for scan id " +
+        std::to_string(node.scan_id()));
+  }
+  const std::vector<Oid>& selected = hub_.Selected(segment, node.scan_id());
+  std::vector<Row> out;
+  if (std::find(selected.begin(), selected.end(), node.leaf_oid()) != selected.end()) {
+    ScanUnit(*store, node.table_oid(), node.leaf_oid(), segment, false, &out);
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecDynamicScan(const DynamicScanNode& node,
+                                                   int segment) {
+  const TableStore* store = storage_->GetStore(node.table_oid());
+  if (store == nullptr) {
+    return Status::ExecutionError("no storage for table oid " +
+                                  std::to_string(node.table_oid()));
+  }
+  if (!hub_.HasChannel(segment, node.scan_id())) {
+    return Status::ExecutionError(
+        "DynamicScan executed before its PartitionSelector (scan id " +
+        std::to_string(node.scan_id()) + ", segment " + std::to_string(segment) + ")");
+  }
+  if (store->descriptor().distribution == TableDistribution::kReplicated &&
+      segment != 0) {
+    return std::vector<Row>{};
+  }
+  std::vector<Row> out;
+  for (Oid oid : hub_.Selected(segment, node.scan_id())) {
+    if (!store->HasUnit(oid)) {
+      return Status::ExecutionError("selected partition oid " + std::to_string(oid) +
+                                    " is not a leaf of table " +
+                                    std::to_string(node.table_oid()));
+    }
+    ScanUnit(*store, node.table_oid(), oid, segment, !node.rowid_ids().empty(), &out);
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecPartitionSelector(
+    const PartitionSelectorNode& node, int segment) {
+  const TableDescriptor* table = catalog_->FindTable(node.table_oid());
+  if (table == nullptr || !table->IsPartitioned()) {
+    return Status::ExecutionError("PartitionSelector on non-partitioned table oid " +
+                                  std::to_string(node.table_oid()));
+  }
+  const PartitionScheme& scheme = *table->partition_scheme;
+  const size_t num_levels = scheme.num_levels();
+  MPPDB_CHECK(node.level_keys().size() == num_levels);
+  MPPDB_CHECK(node.level_predicates().size() == num_levels);
+
+  hub_.OpenChannel(segment, node.scan_id());
+
+  auto select_with = [&](const std::vector<ExprPtr>& preds) {
+    std::vector<ConstraintSet> constraints;
+    constraints.reserve(num_levels);
+    for (size_t level = 0; level < num_levels; ++level) {
+      if (preds[level] == nullptr) {
+        constraints.push_back(ConstraintSet::All());
+      } else {
+        constraints.push_back(
+            DeriveConstraint(preds[level], node.level_keys()[level]));
+      }
+    }
+    for (Oid oid : scheme.SelectPartitions(constraints)) {
+      hub_.Push(segment, node.scan_id(), oid);
+    }
+  };
+
+  if (!node.HasChild()) {
+    // Static selection: predicates reference only the partition key and
+    // constants; one selection run covers the whole scan.
+    select_with(node.level_predicates());
+    return std::vector<Row>{};
+  }
+
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+
+  // Predicates that reference no child column are row-invariant; evaluate
+  // once instead of per tuple.
+  bool row_dependent = false;
+  for (const auto& pred : node.level_predicates()) {
+    if (pred == nullptr) continue;
+    std::unordered_set<ColRefId> refs;
+    CollectColumnRefs(pred, &refs);
+    for (ColRefId id : refs) {
+      if (layout.PositionOf(id) >= 0) {
+        row_dependent = true;
+        break;
+      }
+    }
+    if (row_dependent) break;
+  }
+
+  if (!row_dependent) {
+    select_with(node.level_predicates());
+    return rows;
+  }
+
+  // Fast path (paper Fig. 15(a)): when every level's predicate is
+  // `partition_key = <column of the input row>`, each tuple routes directly
+  // through the partition_selection built-in instead of the generic
+  // constraint machinery.
+  std::vector<int> eq_positions(num_levels, -1);
+  bool all_equality = true;
+  for (size_t level = 0; level < num_levels && all_equality; ++level) {
+    const ExprPtr& pred = node.level_predicates()[level];
+    if (pred == nullptr || pred->kind() != ExprKind::kComparison) {
+      all_equality = false;
+      break;
+    }
+    const auto& cmp = static_cast<const ComparisonExpr&>(*pred);
+    if (cmp.op() != CompareOp::kEq) {
+      all_equality = false;
+      break;
+    }
+    ExprPtr other;
+    if (cmp.child(0)->kind() == ExprKind::kColumnRef &&
+        static_cast<const ColumnRefExpr&>(*cmp.child(0)).id() ==
+            node.level_keys()[level]) {
+      other = cmp.child(1);
+    } else if (cmp.child(1)->kind() == ExprKind::kColumnRef &&
+               static_cast<const ColumnRefExpr&>(*cmp.child(1)).id() ==
+                   node.level_keys()[level]) {
+      other = cmp.child(0);
+    }
+    if (other == nullptr || other->kind() != ExprKind::kColumnRef) {
+      all_equality = false;
+      break;
+    }
+    int pos = layout.PositionOf(static_cast<const ColumnRefExpr&>(*other).id());
+    if (pos < 0) {
+      all_equality = false;
+      break;
+    }
+    eq_positions[level] = pos;
+  }
+  if (all_equality) {
+    std::vector<Datum> key_values(num_levels);
+    for (const Row& row : rows) {
+      for (size_t level = 0; level < num_levels; ++level) {
+        key_values[level] = row[static_cast<size_t>(eq_positions[level])];
+      }
+      Result<Oid> oid = partition_functions::PartitionSelection(
+          *catalog_, node.table_oid(), key_values);
+      MPPDB_CHECK(oid.ok());
+      if (*oid != kInvalidOid) {
+        partition_functions::PartitionPropagation(&hub_, segment, node.scan_id(),
+                                                  *oid);
+      }
+    }
+    return rows;
+  }
+
+  for (const Row& row : rows) {
+    std::unordered_map<ColRefId, Datum> bindings;
+    for (size_t i = 0; i < layout.ids().size(); ++i) {
+      bindings.emplace(layout.ids()[i], row[i]);
+    }
+    // The partition key itself must stay symbolic: it names the scanned
+    // table's column, not a value from this (outer) row.
+    for (ColRefId key : node.level_keys()) bindings.erase(key);
+    std::vector<ExprPtr> bound;
+    bound.reserve(num_levels);
+    for (const auto& pred : node.level_predicates()) {
+      bound.push_back(pred == nullptr ? nullptr : SubstituteColumns(pred, bindings));
+    }
+    select_with(bound);
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Executor::ExecFilter(const FilterNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (Row& row : rows) {
+    MPPDB_ASSIGN_OR_RETURN(bool keep, EvalPredicate(node.predicate(), layout, row));
+    if (keep) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecProject(const ProjectNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    Row projected;
+    projected.reserve(node.items().size());
+    for (const auto& item : node.items()) {
+      MPPDB_ASSIGN_OR_RETURN(Datum v, EvalExpr(item.expr, layout, row));
+      projected.push_back(std::move(v));
+    }
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+namespace {
+
+// Hash-map key over a subset of row columns.
+struct JoinKey {
+  std::vector<Datum> values;
+
+  bool HasNull() const {
+    for (const auto& v : values) {
+      if (v.is_null()) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const JoinKey& other) const {
+    if (values.size() != other.values.size()) return false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (Datum::Compare(values[i], other.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& key) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto& v : key.values) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+JoinKey ExtractKey(const Row& row, const std::vector<int>& positions) {
+  JoinKey key;
+  key.values.reserve(positions.size());
+  for (int pos : positions) key.values.push_back(row[static_cast<size_t>(pos)]);
+  return key;
+}
+
+Result<std::vector<int>> ResolvePositions(const ColumnLayout& layout,
+                                          const std::vector<ColRefId>& ids) {
+  std::vector<int> positions;
+  positions.reserve(ids.size());
+  for (ColRefId id : ids) {
+    int pos = layout.PositionOf(id);
+    if (pos < 0) {
+      return Status::ExecutionError("column #" + std::to_string(id) +
+                                    " not found in child layout");
+    }
+    positions.push_back(pos);
+  }
+  return positions;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int segment) {
+  // children[0] (build) runs to completion first — the property
+  // PartitionSelector placement relies on.
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> build_rows, ExecNode(node.child(0), segment));
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> probe_rows, ExecNode(node.child(1), segment));
+
+  ColumnLayout build_layout = node.child(0)->OutputLayout();
+  ColumnLayout probe_layout = node.child(1)->OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> build_pos,
+                         ResolvePositions(build_layout, node.build_keys()));
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> probe_pos,
+                         ResolvePositions(probe_layout, node.probe_keys()));
+
+  std::unordered_multimap<JoinKey, const Row*, JoinKeyHash> table;
+  table.reserve(build_rows.size());
+  for (const Row& row : build_rows) {
+    JoinKey key = ExtractKey(row, build_pos);
+    if (key.HasNull()) continue;  // NULL keys never join
+    table.emplace(std::move(key), &row);
+  }
+
+  ColumnLayout joint_layout = ColumnLayout::Concat(build_layout, probe_layout);
+  std::vector<Row> out;
+  for (const Row& probe : probe_rows) {
+    JoinKey key = ExtractKey(probe, probe_pos);
+    if (key.HasNull()) continue;
+    auto [begin, end] = table.equal_range(key);
+    for (auto it = begin; it != end; ++it) {
+      Row joined = *it->second;
+      joined.insert(joined.end(), probe.begin(), probe.end());
+      if (node.residual() != nullptr) {
+        MPPDB_ASSIGN_OR_RETURN(bool keep,
+                               EvalPredicate(node.residual(), joint_layout, joined));
+        if (!keep) continue;
+      }
+      if (node.join_type() == JoinType::kSemi) {
+        out.push_back(probe);
+        break;  // one match is enough for semi join
+      }
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecNestedLoopJoin(const NestedLoopJoinNode& node,
+                                                      int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> outer_rows, ExecNode(node.child(0), segment));
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> inner_rows, ExecNode(node.child(1), segment));
+  ColumnLayout joint_layout = ColumnLayout::Concat(node.child(0)->OutputLayout(),
+                                                   node.child(1)->OutputLayout());
+  std::vector<Row> out;
+  if (node.join_type() == JoinType::kSemi) {
+    for (const Row& inner : inner_rows) {
+      for (const Row& outer : outer_rows) {
+        Row joined = outer;
+        joined.insert(joined.end(), inner.begin(), inner.end());
+        bool keep = true;
+        if (node.predicate() != nullptr) {
+          MPPDB_ASSIGN_OR_RETURN(keep,
+                                 EvalPredicate(node.predicate(), joint_layout, joined));
+        }
+        if (keep) {
+          out.push_back(inner);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+  for (const Row& outer : outer_rows) {
+    for (const Row& inner : inner_rows) {
+      Row joined = outer;
+      joined.insert(joined.end(), inner.begin(), inner.end());
+      bool keep = true;
+      if (node.predicate() != nullptr) {
+        MPPDB_ASSIGN_OR_RETURN(keep,
+                               EvalPredicate(node.predicate(), joint_layout, joined));
+      }
+      if (keep) out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecIndexNLJoin(const IndexNLJoinNode& node,
+                                                   int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> outer_rows, ExecNode(node.child(0), segment));
+  TableStore* store = storage_->GetStore(node.inner_table());
+  if (store == nullptr) {
+    return Status::ExecutionError("no storage for table oid " +
+                                  std::to_string(node.inner_table()));
+  }
+  const TableDescriptor& table = store->descriptor();
+  if (table.distribution == TableDistribution::kReplicated) {
+    return Status::ExecutionError(
+        "IndexNLJoin over a replicated inner table would duplicate matches");
+  }
+  if (!table.HasIndexOn(node.inner_key_column())) {
+    return Status::ExecutionError("IndexNLJoin without an index on column " +
+                                  std::to_string(node.inner_key_column()) + " of " +
+                                  table.name);
+  }
+  if (!store->HasIndex(node.inner_key_column())) {
+    MPPDB_RETURN_IF_ERROR(store->CreateIndex(node.inner_key_column()));
+  }
+  const PartitionScheme* scheme =
+      table.IsPartitioned() ? table.partition_scheme.get() : nullptr;
+  if (scheme != nullptr && scheme->num_levels() != 1) {
+    return Status::ExecutionError(
+        "IndexNLJoin supports single-level partitioned inner tables");
+  }
+
+  ColumnLayout outer_layout = node.child(0)->OutputLayout();
+  int key_pos = outer_layout.PositionOf(node.outer_key());
+  if (key_pos < 0) {
+    return Status::ExecutionError("IndexNLJoin outer key column not in outer layout");
+  }
+  ColumnLayout joint_layout =
+      ColumnLayout::Concat(outer_layout, ColumnLayout(node.inner_column_ids()));
+
+  std::vector<Row> out;
+  for (const Row& outer : outer_rows) {
+    const Datum& key = outer[static_cast<size_t>(key_pos)];
+    if (key.is_null()) continue;
+    // The outer child computes "the keys of partitions to be scanned"
+    // (paper 2.2): route through f_T to the single qualifying partition.
+    Oid unit = table.oid;
+    if (scheme != nullptr) {
+      unit = scheme->RouteValues({key});
+      if (unit == kInvalidOid) continue;  // the invalid partition: no match
+    }
+    stats_.partitions_scanned[table.oid].insert(unit);
+    const std::vector<size_t>& positions =
+        store->IndexLookup(unit, segment, node.inner_key_column(), key);
+    stats_.tuples_scanned += positions.size();
+    if (positions.empty()) continue;
+    const std::vector<Row>& unit_rows = store->UnitRows(unit, segment);
+    for (size_t pos : positions) {
+      Row joined = outer;
+      const Row& inner = unit_rows[pos];
+      joined.insert(joined.end(), inner.begin(), inner.end());
+      if (node.residual() != nullptr) {
+        MPPDB_ASSIGN_OR_RETURN(bool keep,
+                               EvalPredicate(node.residual(), joint_layout, joined));
+        if (!keep) continue;
+      }
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;          // non-null inputs (or all rows for count(*))
+  double sum_double = 0;
+  int64_t sum_int = 0;
+  bool saw_double = false;
+  bool saw_value = false;
+  Datum min;
+  Datum max;
+};
+
+}  // namespace
+
+Result<std::vector<Row>> Executor::ExecHashAgg(const HashAggNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> group_pos,
+                         ResolvePositions(layout, node.group_by()));
+
+  std::unordered_map<JoinKey, std::vector<AggState>, JoinKeyHash> groups;
+  std::vector<JoinKey> group_order;
+
+  for (const Row& row : rows) {
+    JoinKey key = ExtractKey(row, group_pos);
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key, std::vector<AggState>(node.aggs().size())).first;
+      group_order.push_back(key);
+    }
+    std::vector<AggState>& states = it->second;
+    for (size_t i = 0; i < node.aggs().size(); ++i) {
+      const AggItem& agg = node.aggs()[i];
+      AggState& state = states[i];
+      if (agg.func == AggFunc::kCountStar) {
+        ++state.count;
+        continue;
+      }
+      MPPDB_ASSIGN_OR_RETURN(Datum v, EvalExpr(agg.arg, layout, row));
+      if (v.is_null()) continue;
+      ++state.count;
+      switch (agg.func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          if (!IsNumeric(v.type())) {
+            return Status::ExecutionError("sum/avg over a non-numeric value");
+          }
+          if (v.type() == TypeId::kDouble) {
+            state.saw_double = true;
+            state.sum_double += v.double_value();
+          } else {
+            state.sum_int += v.AsInt64();
+            state.sum_double += static_cast<double>(v.AsInt64());
+          }
+          break;
+        case AggFunc::kMin:
+          if (!state.saw_value || Datum::Compare(v, state.min) < 0) state.min = v;
+          break;
+        case AggFunc::kMax:
+          if (!state.saw_value || Datum::Compare(v, state.max) > 0) state.max = v;
+          break;
+        default:
+          break;
+      }
+      state.saw_value = true;
+    }
+  }
+
+  // Scalar aggregate over empty input still has one (empty-keyed) group —
+  // emitted on segment 0 only (see header).
+  if (node.group_by().empty() && group_order.empty() && segment == 0) {
+    groups.emplace(JoinKey{}, std::vector<AggState>(node.aggs().size()));
+    group_order.push_back(JoinKey{});
+  }
+
+  std::vector<Row> out;
+  out.reserve(group_order.size());
+  for (const JoinKey& key : group_order) {
+    const std::vector<AggState>& states = groups.at(key);
+    Row row = key.values;
+    for (size_t i = 0; i < node.aggs().size(); ++i) {
+      const AggItem& agg = node.aggs()[i];
+      const AggState& state = states[i];
+      switch (agg.func) {
+        case AggFunc::kCount:
+        case AggFunc::kCountStar:
+          row.push_back(Datum::Int64(state.count));
+          break;
+        case AggFunc::kSum:
+          if (state.count == 0) {
+            row.push_back(Datum::Null());
+          } else if (state.saw_double) {
+            row.push_back(Datum::Double(state.sum_double));
+          } else {
+            row.push_back(Datum::Int64(state.sum_int));
+          }
+          break;
+        case AggFunc::kAvg:
+          if (state.count == 0) {
+            row.push_back(Datum::Null());
+          } else {
+            row.push_back(
+                Datum::Double(state.sum_double / static_cast<double>(state.count)));
+          }
+          break;
+        case AggFunc::kMin:
+          row.push_back(state.saw_value ? state.min : Datum::Null());
+          break;
+        case AggFunc::kMax:
+          row.push_back(state.saw_value ? state.max : Datum::Null());
+          break;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecSort(const SortNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  std::vector<int> positions;
+  std::vector<bool> ascending;
+  for (const SortKey& key : node.keys()) {
+    int pos = layout.PositionOf(key.column);
+    if (pos < 0) {
+      return Status::ExecutionError("sort column #" + std::to_string(key.column) +
+                                    " not in child layout");
+    }
+    positions.push_back(pos);
+    ascending.push_back(key.ascending);
+  }
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    for (size_t i = 0; i < positions.size(); ++i) {
+      int c = Datum::Compare(a[static_cast<size_t>(positions[i])],
+                             b[static_cast<size_t>(positions[i])]);
+      if (c != 0) return ascending[i] ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  return rows;
+}
+
+Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segment) {
+  auto it = motion_cache_.find(&node);
+  if (it == motion_cache_.end()) {
+    std::vector<std::vector<Row>> buffers(static_cast<size_t>(num_segments_));
+    ColumnLayout layout = node.child(0)->OutputLayout();
+    std::vector<int> hash_pos;
+    if (node.motion_kind() == MotionKind::kRedistribute) {
+      MPPDB_ASSIGN_OR_RETURN(hash_pos, ResolvePositions(layout, node.hash_columns()));
+    }
+    for (int source = 0; source < num_segments_; ++source) {
+      MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), source));
+      stats_.rows_moved += rows.size();
+      switch (node.motion_kind()) {
+        case MotionKind::kGather:
+          buffers[0].insert(buffers[0].end(), std::make_move_iterator(rows.begin()),
+                            std::make_move_iterator(rows.end()));
+          break;
+        case MotionKind::kBroadcast:
+          for (auto& buffer : buffers) {
+            buffer.insert(buffer.end(), rows.begin(), rows.end());
+          }
+          break;
+        case MotionKind::kRedistribute:
+          for (Row& row : rows) {
+            uint64_t h = HashRowColumns(row, hash_pos);
+            buffers[h % static_cast<uint64_t>(num_segments_)].push_back(std::move(row));
+          }
+          break;
+      }
+    }
+    it = motion_cache_.emplace(&node, std::move(buffers)).first;
+  }
+  return it->second[static_cast<size_t>(segment)];
+}
+
+Result<std::vector<Row>> Executor::ExecInsert(const InsertNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  TableStore* store = storage_->GetStore(node.table_oid());
+  if (store == nullptr) {
+    return Status::ExecutionError("no storage for table oid " +
+                                  std::to_string(node.table_oid()));
+  }
+  for (const Row& row : rows) {
+    MPPDB_RETURN_IF_ERROR(store->Insert(row));
+  }
+  if (segment != 0) return std::vector<Row>{};
+  return std::vector<Row>{{Datum::Int64(static_cast<int64_t>(rows.size()))}};
+}
+
+namespace {
+
+struct RowLocator {
+  Oid unit;
+  int segment;
+  size_t index;
+};
+
+Result<RowLocator> ExtractLocator(const Row& row, const std::vector<int>& rowid_pos) {
+  RowLocator loc;
+  loc.unit = static_cast<Oid>(row[static_cast<size_t>(rowid_pos[0])].AsInt64());
+  loc.segment = static_cast<int>(row[static_cast<size_t>(rowid_pos[1])].AsInt64());
+  loc.index = static_cast<size_t>(row[static_cast<size_t>(rowid_pos[2])].AsInt64());
+  return loc;
+}
+
+// Deletes the located rows from storage; descending index order per unit
+// vector keeps earlier indices valid.
+void ApplyDeletes(TableStore* store, std::vector<RowLocator> locators) {
+  std::sort(locators.begin(), locators.end(),
+            [](const RowLocator& a, const RowLocator& b) {
+              if (a.unit != b.unit) return a.unit < b.unit;
+              if (a.segment != b.segment) return a.segment < b.segment;
+              return a.index > b.index;
+            });
+  for (const RowLocator& loc : locators) {
+    std::vector<Row>* rows = store->MutableUnitRows(loc.unit, loc.segment);
+    MPPDB_CHECK(loc.index < rows->size());
+    rows->erase(rows->begin() + static_cast<std::ptrdiff_t>(loc.index));
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Row>> Executor::ExecUpdate(const UpdateNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  if (rows.empty()) {
+    if (segment != 0) return std::vector<Row>{};
+    return std::vector<Row>{{Datum::Int64(0)}};
+  }
+  TableStore* store = storage_->GetStore(node.table_oid());
+  if (store == nullptr) {
+    return Status::ExecutionError("no storage for table oid " +
+                                  std::to_string(node.table_oid()));
+  }
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> rowid_pos,
+                         ResolvePositions(layout, node.rowid_ids()));
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> table_pos,
+                         ResolvePositions(layout, node.table_column_ids()));
+
+  std::vector<RowLocator> to_delete;
+  std::vector<Row> to_insert;
+  // A target row may join multiple source rows; SQL UPDATE applies one of
+  // the matches (we keep the first), never several.
+  std::set<std::tuple<Oid, int, size_t>> seen_locators;
+  for (const Row& row : rows) {
+    MPPDB_ASSIGN_OR_RETURN(RowLocator loc, ExtractLocator(row, rowid_pos));
+    if (!seen_locators.insert({loc.unit, loc.segment, loc.index}).second) continue;
+    to_delete.push_back(loc);
+    Row updated;
+    updated.reserve(table_pos.size());
+    for (int pos : table_pos) updated.push_back(row[static_cast<size_t>(pos)]);
+    for (const UpdateSetItem& item : node.set_items()) {
+      MPPDB_ASSIGN_OR_RETURN(Datum v, EvalExpr(item.value, layout, row));
+      updated[static_cast<size_t>(item.column_index)] = std::move(v);
+    }
+    to_insert.push_back(std::move(updated));
+  }
+  // Delete-then-reinsert handles partition-key changes via f_T routing.
+  ApplyDeletes(store, std::move(to_delete));
+  for (const Row& row : to_insert) {
+    MPPDB_RETURN_IF_ERROR(store->Insert(row));
+  }
+  if (segment != 0) return std::vector<Row>{};
+  return std::vector<Row>{{Datum::Int64(static_cast<int64_t>(rows.size()))}};
+}
+
+Result<std::vector<Row>> Executor::ExecDelete(const DeleteNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  if (rows.empty()) {
+    if (segment != 0) return std::vector<Row>{};
+    return std::vector<Row>{{Datum::Int64(0)}};
+  }
+  TableStore* store = storage_->GetStore(node.table_oid());
+  if (store == nullptr) {
+    return Status::ExecutionError("no storage for table oid " +
+                                  std::to_string(node.table_oid()));
+  }
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> rowid_pos,
+                         ResolvePositions(layout, node.rowid_ids()));
+  std::vector<RowLocator> to_delete;
+  std::set<std::tuple<Oid, int, size_t>> seen_locators;
+  for (const Row& row : rows) {
+    MPPDB_ASSIGN_OR_RETURN(RowLocator loc, ExtractLocator(row, rowid_pos));
+    if (!seen_locators.insert({loc.unit, loc.segment, loc.index}).second) continue;
+    to_delete.push_back(loc);
+  }
+  ApplyDeletes(store, std::move(to_delete));
+  if (segment != 0) return std::vector<Row>{};
+  return std::vector<Row>{{Datum::Int64(static_cast<int64_t>(rows.size()))}};
+}
+
+}  // namespace mppdb

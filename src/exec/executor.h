@@ -1,0 +1,98 @@
+#ifndef MPPDB_EXEC_EXECUTOR_H_
+#define MPPDB_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/plan.h"
+#include "runtime/propagation.h"
+#include "storage/storage.h"
+
+namespace mppdb {
+
+/// Counters collected during one query execution; the raw material for the
+/// paper's partition-elimination experiments (Table 3, Fig. 16, Fig. 17).
+struct ExecStats {
+  /// Per table OID: distinct storage units (leaf partitions) actually
+  /// scanned, across all segments.
+  std::map<Oid, std::set<Oid>> partitions_scanned;
+  /// Total tuples read from storage (across segments).
+  size_t tuples_scanned = 0;
+  /// Total rows shipped through Motion operators.
+  size_t rows_moved = 0;
+
+  /// Distinct partitions scanned for `table_oid` (0 if never scanned).
+  size_t PartitionsScanned(Oid table_oid) const;
+  /// Sum over all tables.
+  size_t TotalPartitionsScanned() const;
+};
+
+/// Executes physical plans against the simulated MPP cluster.
+///
+/// Execution model: every plan slice (maximal Motion-free subtree) runs once
+/// per segment, operators materialize their outputs, and children execute
+/// left to right — so a PartitionSelector placed in children[0] of a join
+/// always completes before the DynamicScan in children[1] starts, on the
+/// same segment, matching the paper's producer/consumer contract.
+///
+/// Simulation conventions (documented deviations from a multi-process MPP):
+///  * Gather delivers to segment 0 (standing in for the coordinator).
+///  * Values nodes and scans of kReplicated base tables produce rows on
+///    segment 0 only; runtime replication is expressed via Broadcast Motion.
+///  * Scalar aggregates over empty input emit their single row on segment 0.
+///  * DML nodes expect gathered input and apply changes through the global
+///    TableStore (which re-routes rows to partitions and segments).
+class Executor {
+ public:
+  Executor(const Catalog* catalog, StorageEngine* storage);
+
+  /// Runs the plan and returns the concatenated root output (for plans with
+  /// a Gather root this is exactly the coordinator's result).
+  Result<std::vector<Row>> Execute(const PhysPtr& plan);
+
+  /// Stats of the most recent Execute call.
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  Result<std::vector<Row>> ExecNode(const PhysPtr& node, int segment);
+
+  Result<std::vector<Row>> ExecTableScan(const TableScanNode& node, int segment);
+  Result<std::vector<Row>> ExecCheckedPartScan(const CheckedPartScanNode& node,
+                                               int segment);
+  Result<std::vector<Row>> ExecDynamicScan(const DynamicScanNode& node, int segment);
+  Result<std::vector<Row>> ExecPartitionSelector(const PartitionSelectorNode& node,
+                                                 int segment);
+  Result<std::vector<Row>> ExecFilter(const FilterNode& node, int segment);
+  Result<std::vector<Row>> ExecProject(const ProjectNode& node, int segment);
+  Result<std::vector<Row>> ExecHashJoin(const HashJoinNode& node, int segment);
+  Result<std::vector<Row>> ExecNestedLoopJoin(const NestedLoopJoinNode& node,
+                                              int segment);
+  Result<std::vector<Row>> ExecIndexNLJoin(const IndexNLJoinNode& node, int segment);
+  Result<std::vector<Row>> ExecHashAgg(const HashAggNode& node, int segment);
+  Result<std::vector<Row>> ExecSort(const SortNode& node, int segment);
+  Result<std::vector<Row>> ExecMotion(const MotionNode& node, int segment);
+  Result<std::vector<Row>> ExecInsert(const InsertNode& node, int segment);
+  Result<std::vector<Row>> ExecUpdate(const UpdateNode& node, int segment);
+  Result<std::vector<Row>> ExecDelete(const DeleteNode& node, int segment);
+
+  /// Scans one storage unit on one segment, appending (optionally
+  /// rowid-extended) rows to `out` and recording stats.
+  void ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid, int segment,
+                bool emit_rowids, std::vector<Row>* out);
+
+  const Catalog* catalog_;
+  StorageEngine* storage_;
+  int num_segments_;
+  PartitionPropagationHub hub_;
+  ExecStats stats_;
+  /// Motion outputs computed once per node: node -> per-destination buffers.
+  std::unordered_map<const PhysicalNode*, std::vector<std::vector<Row>>> motion_cache_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_EXEC_EXECUTOR_H_

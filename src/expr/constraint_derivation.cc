@@ -1,0 +1,202 @@
+#include "expr/constraint_derivation.h"
+
+#include "expr/eval.h"
+
+namespace mppdb {
+
+namespace {
+
+// Returns true if `expr` is a bare reference to `key`.
+bool IsKeyRef(const ExprPtr& expr, ColRefId key) {
+  return expr->kind() == ExprKind::kColumnRef &&
+         static_cast<const ColumnRefExpr&>(*expr).id() == key;
+}
+
+// Logical negation of a comparison operator (NOT (a < b)  ==  a >= b, under
+// two-valued evaluation; NULL inputs yield unknown either way, which both
+// sides treat as "filtered").
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+// Dual of DeriveConstraint: a sound superset of the `key` values for which
+// `pred` can evaluate to FALSE (so that NOT pred can be TRUE). Conservative:
+// All() when unanalyzable. De Morgan flips intersection/union.
+ConstraintSet DeriveNegatedConstraint(const ExprPtr& pred, ColRefId key) {
+  if (pred == nullptr) return ConstraintSet::All();
+  switch (pred->kind()) {
+    case ExprKind::kConst: {
+      const Datum& v = static_cast<const ConstExpr&>(*pred).value();
+      // NOT NULL-literal is unknown (never true); NOT TRUE is never true.
+      if (v.is_null()) return ConstraintSet::None();
+      if (v.type() == TypeId::kBool && v.bool_value()) return ConstraintSet::None();
+      return ConstraintSet::All();
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*pred);
+      CompareOp op = cmp.op();
+      ExprPtr const_side;
+      if (IsKeyRef(cmp.child(0), key)) {
+        const_side = cmp.child(1);
+      } else if (IsKeyRef(cmp.child(1), key)) {
+        const_side = cmp.child(0);
+        op = SwapCompareOp(op);
+      } else {
+        return ConstraintSet::All();
+      }
+      std::optional<Datum> folded = TryFoldConst(const_side);
+      if (!folded.has_value()) return ConstraintSet::All();
+      return ConstraintSet::FromComparison(NegateCompareOp(op), std::move(*folded));
+    }
+    case ExprKind::kAnd: {
+      // NOT (a AND b) == NOT a OR NOT b.
+      ConstraintSet result = ConstraintSet::None();
+      for (const auto& child : pred->children()) {
+        ConstraintSet c = DeriveNegatedConstraint(child, key);
+        if (c.IsAll()) return ConstraintSet::All();
+        result = result.Union(c);
+      }
+      return result;
+    }
+    case ExprKind::kOr: {
+      // NOT (a OR b) == NOT a AND NOT b.
+      ConstraintSet result = ConstraintSet::All();
+      for (const auto& child : pred->children()) {
+        result = result.Intersect(DeriveNegatedConstraint(child, key));
+        if (result.IsNone()) return result;
+      }
+      return result;
+    }
+    case ExprKind::kNot:
+      return DeriveConstraint(pred->child(0), key);
+    case ExprKind::kInList: {
+      // NOT (key IN (c1, ..., cn)): key differs from every element.
+      if (!IsKeyRef(pred->child(0), key)) return ConstraintSet::All();
+      ConstraintSet result = ConstraintSet::All();
+      for (size_t i = 1; i < pred->children().size(); ++i) {
+        std::optional<Datum> folded = TryFoldConst(pred->child(i));
+        if (!folded.has_value()) return ConstraintSet::All();
+        result = result.Intersect(
+            ConstraintSet::FromComparison(CompareOp::kNe, std::move(*folded)));
+      }
+      return result;
+    }
+    default:
+      return ConstraintSet::All();
+  }
+}
+
+}  // namespace
+
+ConstraintSet DeriveConstraint(const ExprPtr& pred, ColRefId key) {
+  if (pred == nullptr) return ConstraintSet::All();
+  switch (pred->kind()) {
+    case ExprKind::kConst: {
+      const Datum& v = static_cast<const ConstExpr&>(*pred).value();
+      if (v.is_null()) return ConstraintSet::None();
+      if (v.type() == TypeId::kBool && !v.bool_value()) return ConstraintSet::None();
+      return ConstraintSet::All();
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*pred);
+      CompareOp op = cmp.op();
+      ExprPtr key_side, const_side;
+      if (IsKeyRef(cmp.child(0), key)) {
+        key_side = cmp.child(0);
+        const_side = cmp.child(1);
+      } else if (IsKeyRef(cmp.child(1), key)) {
+        key_side = cmp.child(1);
+        const_side = cmp.child(0);
+        op = SwapCompareOp(op);
+      } else {
+        return ConstraintSet::All();
+      }
+      std::optional<Datum> folded = TryFoldConst(const_side);
+      if (!folded.has_value()) return ConstraintSet::All();
+      return ConstraintSet::FromComparison(op, std::move(*folded));
+    }
+    case ExprKind::kAnd: {
+      ConstraintSet result = ConstraintSet::All();
+      for (const auto& child : pred->children()) {
+        result = result.Intersect(DeriveConstraint(child, key));
+        if (result.IsNone()) return result;
+      }
+      return result;
+    }
+    case ExprKind::kOr: {
+      ConstraintSet result = ConstraintSet::None();
+      for (const auto& child : pred->children()) {
+        ConstraintSet c = DeriveConstraint(child, key);
+        if (c.IsAll()) return ConstraintSet::All();
+        result = result.Union(c);
+      }
+      return result;
+    }
+    case ExprKind::kInList: {
+      if (!IsKeyRef(pred->child(0), key)) return ConstraintSet::All();
+      std::vector<Datum> points;
+      for (size_t i = 1; i < pred->children().size(); ++i) {
+        std::optional<Datum> folded = TryFoldConst(pred->child(i));
+        if (!folded.has_value()) return ConstraintSet::All();
+        points.push_back(std::move(*folded));
+      }
+      return ConstraintSet::FromPoints(std::move(points));
+    }
+    case ExprKind::kNot:
+      // NOT pred is true exactly where pred is false: use the dual.
+      return DeriveNegatedConstraint(pred->child(0), key);
+    default:
+      // IS NULL, arithmetic on the key, etc. — no sound derivation beyond
+      // "anything".
+      return ConstraintSet::All();
+  }
+}
+
+ExprPtr FindPredOnKey(ColRefId key, const ExprPtr& pred,
+                      const std::unordered_set<ColRefId>& available) {
+  if (pred == nullptr) return nullptr;
+  std::vector<ExprPtr> qualifying;
+  for (const ExprPtr& conjunct : SplitConjuncts(pred)) {
+    std::unordered_set<ColRefId> refs;
+    CollectColumnRefs(conjunct, &refs);
+    if (refs.find(key) == refs.end()) continue;
+    bool usable = true;
+    for (ColRefId id : refs) {
+      if (id != key && available.find(id) == available.end()) {
+        usable = false;
+        break;
+      }
+    }
+    if (usable) qualifying.push_back(conjunct);
+  }
+  return Conj(std::move(qualifying));
+}
+
+std::vector<ExprPtr> FindPredsOnKeys(const std::vector<ColRefId>& keys,
+                                     const ExprPtr& pred,
+                                     const std::unordered_set<ColRefId>& available) {
+  std::vector<ExprPtr> result(keys.size());
+  bool any = false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    result[i] = FindPredOnKey(keys[i], pred, available);
+    any = any || result[i] != nullptr;
+  }
+  if (!any) return {};
+  return result;
+}
+
+}  // namespace mppdb

@@ -1,0 +1,41 @@
+#ifndef MPPDB_EXPR_CONSTRAINT_DERIVATION_H_
+#define MPPDB_EXPR_CONSTRAINT_DERIVATION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "expr/expr.h"
+#include "expr/interval.h"
+
+namespace mppdb {
+
+/// Derives the set of values of column `key` that can possibly satisfy
+/// `pred`. Conservative: returns ConstraintSet::All() for anything it cannot
+/// analyze, so pruning based on the result is always sound (never drops a
+/// partition that could contain a qualifying tuple).
+///
+/// Understood forms: comparisons between `key` and constant-foldable
+/// expressions (either side), `key IN (consts...)`, AND (intersection),
+/// OR (union), and constant TRUE/FALSE predicates.
+ConstraintSet DeriveConstraint(const ExprPtr& pred, ColRefId key);
+
+/// The paper's FindPredOnKey helper (§2.3): extracts from `pred`'s top-level
+/// conjuncts those usable for partition selection on `key`. A conjunct
+/// qualifies if it references `key` and all of its other column references
+/// are in `available` (columns whose values the PartitionSelector will have
+/// at runtime — empty for static selection, the outer child's columns for
+/// join-induced dynamic selection). Returns the conjunction of qualifying
+/// conjuncts, or nullptr if none qualify.
+ExprPtr FindPredOnKey(ColRefId key, const ExprPtr& pred,
+                      const std::unordered_set<ColRefId>& available);
+
+/// Multi-level variant (paper §2.4): one result slot per partitioning level
+/// key; slots without a qualifying predicate are nullptr. Returns an empty
+/// vector if no level has a qualifying predicate.
+std::vector<ExprPtr> FindPredsOnKeys(const std::vector<ColRefId>& keys,
+                                     const ExprPtr& pred,
+                                     const std::unordered_set<ColRefId>& available);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_EXPR_CONSTRAINT_DERIVATION_H_

@@ -1,0 +1,52 @@
+#ifndef MPPDB_EXPR_EVAL_H_
+#define MPPDB_EXPR_EVAL_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "types/row.h"
+
+namespace mppdb {
+
+/// Maps ColRefIds to positions in a row. Every executor operator knows the
+/// layout of the rows it produces; expressions are evaluated against a layout
+/// plus a row.
+class ColumnLayout {
+ public:
+  ColumnLayout() = default;
+  explicit ColumnLayout(std::vector<ColRefId> ids);
+
+  /// Position of `id` in the row, or -1 if not present.
+  int PositionOf(ColRefId id) const;
+
+  const std::vector<ColRefId>& ids() const { return ids_; }
+  size_t size() const { return ids_.size(); }
+
+  /// Layout of a join output: left columns followed by right columns.
+  static ColumnLayout Concat(const ColumnLayout& left, const ColumnLayout& right);
+
+ private:
+  std::vector<ColRefId> ids_;
+  std::unordered_map<ColRefId, int> positions_;
+};
+
+/// Evaluates `expr` against `row` (positions resolved via `layout`).
+/// SQL NULL semantics: comparisons/arithmetic propagate NULL; AND/OR use
+/// three-valued logic. Returns an error Status for unbound params, aggregate
+/// calls outside an Agg operator, or division by zero.
+Result<Datum> EvalExpr(const ExprPtr& expr, const ColumnLayout& layout, const Row& row);
+
+/// Evaluates a predicate: NULL and false both yield `false` (WHERE semantics).
+Result<bool> EvalPredicate(const ExprPtr& expr, const ColumnLayout& layout,
+                           const Row& row);
+
+/// If `expr` references no columns, evaluates it to a constant. Returns
+/// nullopt if it references columns or evaluation fails.
+std::optional<Datum> TryFoldConst(const ExprPtr& expr);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_EXPR_EVAL_H_

@@ -1,0 +1,333 @@
+#include "expr/expr.h"
+
+#include "common/macros.h"
+
+namespace mppdb {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+CompareOp SwapCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + child(0)->ToString() + " " + CompareOpToString(op_) + " " +
+         child(1)->ToString() + ")";
+}
+
+std::string AndExpr::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < children().size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += child(i)->ToString();
+  }
+  return out + ")";
+}
+
+std::string OrExpr::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < children().size(); ++i) {
+    if (i > 0) out += " OR ";
+    out += child(i)->ToString();
+  }
+  return out + ")";
+}
+
+std::string ArithExpr::ToString() const {
+  return "(" + child(0)->ToString() + " " + ArithOpToString(op_) + " " +
+         child(1)->ToString() + ")";
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = child(0)->ToString() + " IN (";
+  for (size_t i = 1; i < children().size(); ++i) {
+    if (i > 1) out += ", ";
+    out += child(i)->ToString();
+  }
+  return out + ")";
+}
+
+std::string AggCallExpr::ToString() const {
+  if (func_ == AggFunc::kCountStar) return "count(*)";
+  std::string out = AggFuncToString(func_);
+  out += "(";
+  for (size_t i = 0; i < children().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += child(i)->ToString();
+  }
+  return out + ")";
+}
+
+bool Expr::Equals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  if (a->children().size() != b->children().size()) return false;
+  switch (a->kind()) {
+    case ExprKind::kConst: {
+      const auto& ca = static_cast<const ConstExpr&>(*a);
+      const auto& cb = static_cast<const ConstExpr&>(*b);
+      if (ca.value().is_null() != cb.value().is_null()) return false;
+      if (!ca.value().is_null() && !ca.value().Equals(cb.value())) return false;
+      break;
+    }
+    case ExprKind::kColumnRef: {
+      const auto& ca = static_cast<const ColumnRefExpr&>(*a);
+      const auto& cb = static_cast<const ColumnRefExpr&>(*b);
+      if (ca.id() != cb.id()) return false;
+      break;
+    }
+    case ExprKind::kParam: {
+      const auto& pa = static_cast<const ParamExpr&>(*a);
+      const auto& pb = static_cast<const ParamExpr&>(*b);
+      if (pa.index() != pb.index()) return false;
+      break;
+    }
+    case ExprKind::kComparison: {
+      const auto& ca = static_cast<const ComparisonExpr&>(*a);
+      const auto& cb = static_cast<const ComparisonExpr&>(*b);
+      if (ca.op() != cb.op()) return false;
+      break;
+    }
+    case ExprKind::kArith: {
+      const auto& aa = static_cast<const ArithExpr&>(*a);
+      const auto& ab = static_cast<const ArithExpr&>(*b);
+      if (aa.op() != ab.op()) return false;
+      break;
+    }
+    case ExprKind::kAggCall: {
+      const auto& aa = static_cast<const AggCallExpr&>(*a);
+      const auto& ab = static_cast<const AggCallExpr&>(*b);
+      if (aa.func() != ab.func()) return false;
+      break;
+    }
+    default:
+      break;
+  }
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!Equals(a->child(i), b->child(i))) return false;
+  }
+  return true;
+}
+
+ExprPtr MakeConst(Datum value) { return std::make_shared<ConstExpr>(std::move(value)); }
+
+ExprPtr MakeColumnRef(ColRefId id, std::string name, TypeId type) {
+  return std::make_shared<ColumnRefExpr>(id, std::move(name), type);
+}
+
+ExprPtr MakeParam(int index, TypeId type) {
+  return std::make_shared<ParamExpr>(index, type);
+}
+
+ExprPtr MakeComparison(CompareOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<ComparisonExpr>(op, std::move(left), std::move(right));
+}
+
+ExprPtr MakeNot(ExprPtr input) { return std::make_shared<NotExpr>(std::move(input)); }
+
+ExprPtr MakeArith(ArithOp op, ExprPtr left, ExprPtr right) {
+  return std::make_shared<ArithExpr>(op, std::move(left), std::move(right));
+}
+
+ExprPtr MakeInList(std::vector<ExprPtr> children) {
+  return std::make_shared<InListExpr>(std::move(children));
+}
+
+ExprPtr Conj(std::vector<ExprPtr> preds) {
+  std::vector<ExprPtr> nonnull;
+  for (auto& p : preds) {
+    if (p != nullptr) nonnull.push_back(std::move(p));
+  }
+  if (nonnull.empty()) return nullptr;
+  if (nonnull.size() == 1) return nonnull[0];
+  return std::make_shared<AndExpr>(std::move(nonnull));
+}
+
+ExprPtr MakeOr(std::vector<ExprPtr> preds) {
+  std::vector<ExprPtr> nonnull;
+  for (auto& p : preds) {
+    if (p != nullptr) nonnull.push_back(std::move(p));
+  }
+  if (nonnull.empty()) return nullptr;
+  if (nonnull.size() == 1) return nonnull[0];
+  return std::make_shared<OrExpr>(std::move(nonnull));
+}
+
+void CollectColumnRefs(const ExprPtr& expr, std::unordered_set<ColRefId>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kColumnRef) {
+    out->insert(static_cast<const ColumnRefExpr&>(*expr).id());
+    return;
+  }
+  for (const auto& child : expr->children()) CollectColumnRefs(child, out);
+}
+
+bool ReferencesColumn(const ExprPtr& expr, ColRefId id) {
+  if (expr == nullptr) return false;
+  if (expr->kind() == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr&>(*expr).id() == id;
+  }
+  for (const auto& child : expr->children()) {
+    if (ReferencesColumn(child, id)) return true;
+  }
+  return false;
+}
+
+bool IsConstantExpr(const ExprPtr& expr) {
+  std::unordered_set<ColRefId> refs;
+  CollectColumnRefs(expr, &refs);
+  return refs.empty();
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (expr == nullptr) return out;
+  if (expr->kind() == ExprKind::kAnd) {
+    for (const auto& child : expr->children()) {
+      auto sub = SplitConjuncts(child);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+  out.push_back(expr);
+  return out;
+}
+
+namespace {
+
+// Rebuilds `expr` with `children`; shares the node if nothing changed.
+ExprPtr WithChildren(const ExprPtr& expr, std::vector<ExprPtr> children) {
+  bool same = children.size() == expr->children().size();
+  if (same) {
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i] != expr->child(i)) {
+        same = false;
+        break;
+      }
+    }
+  }
+  if (same) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kComparison:
+      return std::make_shared<ComparisonExpr>(
+          static_cast<const ComparisonExpr&>(*expr).op(), children[0], children[1]);
+    case ExprKind::kAnd:
+      return std::make_shared<AndExpr>(std::move(children));
+    case ExprKind::kOr:
+      return std::make_shared<OrExpr>(std::move(children));
+    case ExprKind::kNot:
+      return std::make_shared<NotExpr>(children[0]);
+    case ExprKind::kIsNull:
+      return std::make_shared<IsNullExpr>(children[0]);
+    case ExprKind::kArith:
+      return std::make_shared<ArithExpr>(static_cast<const ArithExpr&>(*expr).op(),
+                                         children[0], children[1]);
+    case ExprKind::kInList:
+      return std::make_shared<InListExpr>(std::move(children));
+    case ExprKind::kAggCall:
+      return std::make_shared<AggCallExpr>(static_cast<const AggCallExpr&>(*expr).func(),
+                                           std::move(children));
+    default:
+      MPPDB_CHECK(false);
+      return expr;
+  }
+}
+
+}  // namespace
+
+ExprPtr SubstituteColumns(const ExprPtr& expr,
+                          const std::unordered_map<ColRefId, Datum>& bindings) {
+  if (expr == nullptr) return nullptr;
+  if (expr->kind() == ExprKind::kColumnRef) {
+    auto it = bindings.find(static_cast<const ColumnRefExpr&>(*expr).id());
+    if (it != bindings.end()) return MakeConst(it->second);
+    return expr;
+  }
+  if (expr->children().empty()) return expr;
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children().size());
+  for (const auto& child : expr->children()) {
+    children.push_back(SubstituteColumns(child, bindings));
+  }
+  return WithChildren(expr, std::move(children));
+}
+
+ExprPtr SubstituteParams(const ExprPtr& expr, const std::vector<Datum>& params) {
+  if (expr == nullptr) return nullptr;
+  if (expr->kind() == ExprKind::kParam) {
+    int idx = static_cast<const ParamExpr&>(*expr).index();
+    MPPDB_CHECK(idx >= 0 && static_cast<size_t>(idx) < params.size());
+    return MakeConst(params[static_cast<size_t>(idx)]);
+  }
+  if (expr->children().empty()) return expr;
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children().size());
+  for (const auto& child : expr->children()) {
+    children.push_back(SubstituteParams(child, params));
+  }
+  return WithChildren(expr, std::move(children));
+}
+
+}  // namespace mppdb

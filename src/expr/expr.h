@@ -1,0 +1,219 @@
+#ifndef MPPDB_EXPR_EXPR_H_
+#define MPPDB_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "types/datum.h"
+
+namespace mppdb {
+
+/// Unique identifier of a column instance within one query. Issued by the
+/// binder / optimizer; base-table columns and computed columns each get one.
+/// Expressions reference columns by ColRefId; the executor lowers ids to row
+/// positions per operator (see expr/eval.h).
+using ColRefId = int32_t;
+
+enum class ExprKind {
+  kConst,       // literal Datum
+  kColumnRef,   // reference to a column by ColRefId
+  kParam,       // prepared-statement parameter ($n), bound at execution
+  kComparison,  // =, <>, <, <=, >, >=
+  kAnd,
+  kOr,
+  kNot,
+  kIsNull,      // IS [NOT] NULL via kNot wrapping
+  kArith,       // +, -, *, /, %
+  kInList,      // key IN (c1, c2, ...)
+  kAggCall,     // aggregate function over an argument (binder output)
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+enum class AggFunc { kCount, kCountStar, kSum, kAvg, kMin, kMax };
+
+const char* CompareOpToString(CompareOp op);
+const char* ArithOpToString(ArithOp op);
+const char* AggFuncToString(AggFunc func);
+
+/// Flips an operator across '=' (a < b  <=>  b > a).
+CompareOp SwapCompareOp(CompareOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression tree node. Shared subtrees are allowed; nodes are
+/// never mutated after construction.
+class Expr {
+ public:
+  Expr(ExprKind kind, std::vector<ExprPtr> children)
+      : kind_(kind), children_(std::move(children)) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child(size_t i) const { return children_[i]; }
+
+  /// Structural rendering for debugging and plan serialization.
+  virtual std::string ToString() const = 0;
+
+  /// Deep structural equality.
+  static bool Equals(const ExprPtr& a, const ExprPtr& b);
+
+ protected:
+  ExprKind kind_;
+  std::vector<ExprPtr> children_;
+};
+
+class ConstExpr : public Expr {
+ public:
+  explicit ConstExpr(Datum value) : Expr(ExprKind::kConst, {}), value_(std::move(value)) {}
+  const Datum& value() const { return value_; }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Datum value_;
+};
+
+class ColumnRefExpr : public Expr {
+ public:
+  ColumnRefExpr(ColRefId id, std::string name, TypeId type)
+      : Expr(ExprKind::kColumnRef, {}), id_(id), name_(std::move(name)), type_(type) {}
+
+  ColRefId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  TypeId type() const { return type_; }
+  std::string ToString() const override { return name_ + "#" + std::to_string(id_); }
+
+ private:
+  ColRefId id_;
+  std::string name_;
+  TypeId type_;
+};
+
+class ParamExpr : public Expr {
+ public:
+  ParamExpr(int index, TypeId type)
+      : Expr(ExprKind::kParam, {}), index_(index), type_(type) {}
+  int index() const { return index_; }
+  TypeId type() const { return type_; }
+  std::string ToString() const override { return "$" + std::to_string(index_); }
+
+ private:
+  int index_;
+  TypeId type_;
+};
+
+class ComparisonExpr : public Expr {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kComparison, {std::move(left), std::move(right)}), op_(op) {}
+  CompareOp op() const { return op_; }
+  std::string ToString() const override;
+
+ private:
+  CompareOp op_;
+};
+
+class AndExpr : public Expr {
+ public:
+  explicit AndExpr(std::vector<ExprPtr> conjuncts)
+      : Expr(ExprKind::kAnd, std::move(conjuncts)) {}
+  std::string ToString() const override;
+};
+
+class OrExpr : public Expr {
+ public:
+  explicit OrExpr(std::vector<ExprPtr> disjuncts)
+      : Expr(ExprKind::kOr, std::move(disjuncts)) {}
+  std::string ToString() const override;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr input) : Expr(ExprKind::kNot, {std::move(input)}) {}
+  std::string ToString() const override { return "NOT (" + child(0)->ToString() + ")"; }
+};
+
+class IsNullExpr : public Expr {
+ public:
+  explicit IsNullExpr(ExprPtr input) : Expr(ExprKind::kIsNull, {std::move(input)}) {}
+  std::string ToString() const override { return "(" + child(0)->ToString() + ") IS NULL"; }
+};
+
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kArith, {std::move(left), std::move(right)}), op_(op) {}
+  ArithOp op() const { return op_; }
+  std::string ToString() const override;
+
+ private:
+  ArithOp op_;
+};
+
+class InListExpr : public Expr {
+ public:
+  /// children[0] is the probe expression; children[1..] are list items.
+  explicit InListExpr(std::vector<ExprPtr> children)
+      : Expr(ExprKind::kInList, std::move(children)) {}
+  std::string ToString() const override;
+};
+
+class AggCallExpr : public Expr {
+ public:
+  /// For kCountStar the argument list is empty.
+  AggCallExpr(AggFunc func, std::vector<ExprPtr> args)
+      : Expr(ExprKind::kAggCall, std::move(args)), func_(func) {}
+  AggFunc func() const { return func_; }
+  std::string ToString() const override;
+
+ private:
+  AggFunc func_;
+};
+
+// --- Construction helpers ---------------------------------------------------
+
+ExprPtr MakeConst(Datum value);
+ExprPtr MakeColumnRef(ColRefId id, std::string name, TypeId type);
+ExprPtr MakeParam(int index, TypeId type);
+ExprPtr MakeComparison(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeNot(ExprPtr input);
+ExprPtr MakeArith(ArithOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeInList(std::vector<ExprPtr> children);
+
+/// Conjunction of the given predicates, dropping nulls; returns nullptr for an
+/// empty list, the sole element for a singleton (paper's Conj helper).
+ExprPtr Conj(std::vector<ExprPtr> preds);
+ExprPtr MakeOr(std::vector<ExprPtr> preds);
+
+// --- Analysis helpers --------------------------------------------------------
+
+/// Collects the ColRefIds referenced anywhere in `expr` into `out`.
+void CollectColumnRefs(const ExprPtr& expr, std::unordered_set<ColRefId>* out);
+
+/// True if `expr` references the given column anywhere.
+bool ReferencesColumn(const ExprPtr& expr, ColRefId id);
+
+/// True if `expr` references no columns at all (constants/params only).
+bool IsConstantExpr(const ExprPtr& expr);
+
+/// Splits a predicate into its top-level conjuncts (flattens nested ANDs).
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+/// Replaces column references per `bindings` (id -> constant). References not
+/// in the map are preserved.
+ExprPtr SubstituteColumns(const ExprPtr& expr,
+                          const std::unordered_map<ColRefId, Datum>& bindings);
+
+/// Replaces kParam nodes with the given constants (index -> value).
+ExprPtr SubstituteParams(const ExprPtr& expr, const std::vector<Datum>& params);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_EXPR_EXPR_H_

@@ -1,0 +1,193 @@
+#include "expr/interval.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace mppdb {
+
+namespace {
+
+// Compares two lower bounds: negative if `a` starts before `b`.
+int LoBoundCompare(const IntervalBound& a, const IntervalBound& b) {
+  if (a.unbounded || b.unbounded) {
+    if (a.unbounded && b.unbounded) return 0;
+    return a.unbounded ? -1 : 1;
+  }
+  int cmp = Datum::Compare(a.value, b.value);
+  if (cmp != 0) return cmp;
+  if (a.inclusive == b.inclusive) return 0;
+  return a.inclusive ? -1 : 1;  // inclusive lower bound starts earlier
+}
+
+// Compares two upper bounds: negative if `a` ends before `b`.
+int HiBoundCompare(const IntervalBound& a, const IntervalBound& b) {
+  if (a.unbounded || b.unbounded) {
+    if (a.unbounded && b.unbounded) return 0;
+    return a.unbounded ? 1 : -1;
+  }
+  int cmp = Datum::Compare(a.value, b.value);
+  if (cmp != 0) return cmp;
+  if (a.inclusive == b.inclusive) return 0;
+  return a.inclusive ? 1 : -1;  // inclusive upper bound ends later
+}
+
+// True if interval `a` (with earlier-or-equal start) overlaps or exactly
+// touches `b`, i.e. their union is one contiguous interval.
+bool OverlapsOrTouches(const Interval& a, const Interval& b) {
+  if (!Interval::Intersect(a, b).IsEmpty()) return true;
+  if (a.hi().unbounded || b.lo().unbounded) return false;
+  if (Datum::Compare(a.hi().value, b.lo().value) != 0) return false;
+  return a.hi().inclusive || b.lo().inclusive;
+}
+
+std::string BoundValueToString(const IntervalBound& b) {
+  return b.unbounded ? "inf" : b.value.ToString();
+}
+
+}  // namespace
+
+bool Interval::IsEmpty() const {
+  if (lo_.unbounded || hi_.unbounded) return false;
+  int cmp = Datum::Compare(lo_.value, hi_.value);
+  if (cmp > 0) return true;
+  if (cmp == 0) return !(lo_.inclusive && hi_.inclusive);
+  return false;
+}
+
+bool Interval::Contains(const Datum& v) const {
+  if (v.is_null()) return false;
+  if (!lo_.unbounded) {
+    int cmp = Datum::Compare(v, lo_.value);
+    if (cmp < 0 || (cmp == 0 && !lo_.inclusive)) return false;
+  }
+  if (!hi_.unbounded) {
+    int cmp = Datum::Compare(v, hi_.value);
+    if (cmp > 0 || (cmp == 0 && !hi_.inclusive)) return false;
+  }
+  return true;
+}
+
+Interval Interval::Intersect(const Interval& a, const Interval& b) {
+  IntervalBound lo = LoBoundCompare(a.lo_, b.lo_) >= 0 ? a.lo_ : b.lo_;
+  IntervalBound hi = HiBoundCompare(a.hi_, b.hi_) <= 0 ? a.hi_ : b.hi_;
+  return Interval(std::move(lo), std::move(hi));
+}
+
+bool Interval::Overlaps(const Interval& other) const {
+  return !Intersect(*this, other).IsEmpty();
+}
+
+bool Interval::ContainsInterval(const Interval& other) const {
+  if (other.IsEmpty()) return true;
+  return LoBoundCompare(lo_, other.lo_) <= 0 && HiBoundCompare(hi_, other.hi_) >= 0;
+}
+
+std::string Interval::ToString() const {
+  std::string out;
+  out += (lo_.unbounded || !lo_.inclusive) ? "(" : "[";
+  out += lo_.unbounded ? "-inf" : BoundValueToString(lo_);
+  out += ", ";
+  out += hi_.unbounded ? "+inf" : BoundValueToString(hi_);
+  out += (hi_.unbounded || !hi_.inclusive) ? ")" : "]";
+  return out;
+}
+
+ConstraintSet ConstraintSet::FromInterval(Interval in) {
+  if (in.IsEmpty()) return None();
+  return ConstraintSet({std::move(in)});
+}
+
+ConstraintSet ConstraintSet::FromComparison(CompareOp op, Datum v) {
+  if (v.is_null()) return None();  // comparison with NULL is never true
+  switch (op) {
+    case CompareOp::kEq:
+      return FromInterval(Interval::Point(std::move(v)));
+    case CompareOp::kLt:
+      return FromInterval(Interval::LessThan(std::move(v)));
+    case CompareOp::kLe:
+      return FromInterval(Interval::AtMost(std::move(v)));
+    case CompareOp::kGt:
+      return FromInterval(Interval::GreaterThan(std::move(v)));
+    case CompareOp::kGe:
+      return FromInterval(Interval::AtLeast(std::move(v)));
+    case CompareOp::kNe:
+      return ConstraintSet(
+          Normalize({Interval::LessThan(v), Interval::GreaterThan(v)}));
+  }
+  return All();
+}
+
+ConstraintSet ConstraintSet::FromPoints(std::vector<Datum> points) {
+  std::vector<Interval> intervals;
+  intervals.reserve(points.size());
+  for (auto& p : points) {
+    if (p.is_null()) continue;
+    intervals.push_back(Interval::Point(std::move(p)));
+  }
+  return ConstraintSet(Normalize(std::move(intervals)));
+}
+
+bool ConstraintSet::Contains(const Datum& v) const {
+  for (const auto& in : intervals_) {
+    if (in.Contains(v)) return true;
+  }
+  return false;
+}
+
+bool ConstraintSet::Overlaps(const Interval& in) const {
+  for (const auto& mine : intervals_) {
+    if (mine.Overlaps(in)) return true;
+  }
+  return false;
+}
+
+ConstraintSet ConstraintSet::Union(const ConstraintSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return ConstraintSet(Normalize(std::move(all)));
+}
+
+ConstraintSet ConstraintSet::Intersect(const ConstraintSet& other) const {
+  std::vector<Interval> out;
+  for (const auto& a : intervals_) {
+    for (const auto& b : other.intervals_) {
+      Interval x = Interval::Intersect(a, b);
+      if (!x.IsEmpty()) out.push_back(std::move(x));
+    }
+  }
+  return ConstraintSet(Normalize(std::move(out)));
+}
+
+std::vector<Interval> ConstraintSet::Normalize(std::vector<Interval> intervals) {
+  std::vector<Interval> nonempty;
+  for (auto& in : intervals) {
+    if (!in.IsEmpty()) nonempty.push_back(std::move(in));
+  }
+  std::sort(nonempty.begin(), nonempty.end(), [](const Interval& a, const Interval& b) {
+    return LoBoundCompare(a.lo(), b.lo()) < 0;
+  });
+  std::vector<Interval> out;
+  for (auto& in : nonempty) {
+    if (!out.empty() && OverlapsOrTouches(out.back(), in)) {
+      IntervalBound hi =
+          HiBoundCompare(out.back().hi(), in.hi()) >= 0 ? out.back().hi() : in.hi();
+      out.back() = Interval(out.back().lo(), std::move(hi));
+    } else {
+      out.push_back(std::move(in));
+    }
+  }
+  return out;
+}
+
+std::string ConstraintSet::ToString() const {
+  if (IsNone()) return "{}";
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += " U ";
+    out += intervals_[i].ToString();
+  }
+  return out + "}";
+}
+
+}  // namespace mppdb

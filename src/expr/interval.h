@@ -1,0 +1,121 @@
+#ifndef MPPDB_EXPR_INTERVAL_H_
+#define MPPDB_EXPR_INTERVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "types/datum.h"
+
+namespace mppdb {
+
+/// One endpoint of an interval. `unbounded` means -inf (lower) or +inf
+/// (upper); then `value` / `inclusive` are ignored.
+struct IntervalBound {
+  Datum value;
+  bool inclusive = false;
+  bool unbounded = true;
+
+  static IntervalBound Unbounded() { return IntervalBound{}; }
+  static IntervalBound Inclusive(Datum v) { return {std::move(v), true, false}; }
+  static IntervalBound Exclusive(Datum v) { return {std::move(v), false, false}; }
+};
+
+/// A contiguous range of values of the partition-key domain. Both constraints
+/// (catalog check constraints on partitions) and derived predicate ranges are
+/// expressed as intervals; pruning reduces to interval overlap tests.
+class Interval {
+ public:
+  /// (-inf, +inf)
+  Interval() = default;
+  Interval(IntervalBound lo, IntervalBound hi) : lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  static Interval All() { return Interval(); }
+  static Interval Point(Datum v) {
+    return Interval(IntervalBound::Inclusive(v), IntervalBound::Inclusive(v));
+  }
+  static Interval LessThan(Datum v) {
+    return Interval(IntervalBound::Unbounded(), IntervalBound::Exclusive(std::move(v)));
+  }
+  static Interval AtMost(Datum v) {
+    return Interval(IntervalBound::Unbounded(), IntervalBound::Inclusive(std::move(v)));
+  }
+  static Interval GreaterThan(Datum v) {
+    return Interval(IntervalBound::Exclusive(std::move(v)), IntervalBound::Unbounded());
+  }
+  static Interval AtLeast(Datum v) {
+    return Interval(IntervalBound::Inclusive(std::move(v)), IntervalBound::Unbounded());
+  }
+  /// [lo, hi) — the catalog's canonical range-partition bound form.
+  static Interval RightOpen(Datum lo, Datum hi) {
+    return Interval(IntervalBound::Inclusive(std::move(lo)),
+                    IntervalBound::Exclusive(std::move(hi)));
+  }
+  /// [lo, hi] — SQL BETWEEN.
+  static Interval Closed(Datum lo, Datum hi) {
+    return Interval(IntervalBound::Inclusive(std::move(lo)),
+                    IntervalBound::Inclusive(std::move(hi)));
+  }
+
+  const IntervalBound& lo() const { return lo_; }
+  const IntervalBound& hi() const { return hi_; }
+
+  bool IsEmpty() const;
+  bool Contains(const Datum& v) const;
+  bool Overlaps(const Interval& other) const;
+
+  /// Intersection; may be empty (check IsEmpty()).
+  static Interval Intersect(const Interval& a, const Interval& b);
+
+  /// True if this interval contains every value of `other`.
+  bool ContainsInterval(const Interval& other) const;
+
+  /// "[3, 7)" style rendering.
+  std::string ToString() const;
+
+ private:
+  IntervalBound lo_;
+  IntervalBound hi_;
+};
+
+/// A union of intervals over one column — the result of deriving a predicate
+/// constraint (e.g. `x < 5 OR x IN (8, 9)`), kept sorted and pairwise
+/// disjoint. ConstraintSet::All() means "no restriction" (f*_T must return all
+/// partitions); None() means "provably empty".
+class ConstraintSet {
+ public:
+  static ConstraintSet All() { return ConstraintSet({Interval::All()}); }
+  static ConstraintSet None() { return ConstraintSet({}); }
+  static ConstraintSet FromInterval(Interval in);
+  static ConstraintSet FromComparison(CompareOp op, Datum v);
+  static ConstraintSet FromPoints(std::vector<Datum> points);
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  bool IsNone() const { return intervals_.empty(); }
+  bool IsAll() const {
+    return intervals_.size() == 1 && intervals_[0].lo().unbounded &&
+           intervals_[0].hi().unbounded;
+  }
+
+  bool Contains(const Datum& v) const;
+  bool Overlaps(const Interval& in) const;
+
+  ConstraintSet Union(const ConstraintSet& other) const;
+  ConstraintSet Intersect(const ConstraintSet& other) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit ConstraintSet(std::vector<Interval> intervals)
+      : intervals_(std::move(intervals)) {}
+
+  /// Sorts by lower bound and merges overlapping/adjacent intervals.
+  static std::vector<Interval> Normalize(std::vector<Interval> intervals);
+
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_EXPR_INTERVAL_H_

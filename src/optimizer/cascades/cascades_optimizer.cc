@@ -1,0 +1,809 @@
+#include "optimizer/cascades/cascades_optimizer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "expr/constraint_derivation.h"
+#include "optimizer/placement.h"
+
+namespace mppdb {
+
+namespace {
+
+constexpr double kSelectorRowCost = 0.1;
+constexpr double kFilterRowCost = 0.05;
+constexpr double kHashBuildRowCost = 1.5;
+constexpr double kPinnedScanFraction = 0.15;
+
+PhysPtr MakeMotion(MotionKind kind, std::vector<ColRefId> cols, PhysPtr child) {
+  return std::make_shared<MotionNode>(kind, std::move(cols), std::move(child));
+}
+
+// Sorts specs by scan id for deterministic request keys.
+void SortSpecs(std::vector<PartSelectorSpec>* specs) {
+  std::sort(specs->begin(), specs->end(),
+            [](const PartSelectorSpec& a, const PartSelectorSpec& b) {
+              return a.scan_id < b.scan_id;
+            });
+}
+
+}  // namespace
+
+std::string CascadesOptimizer::Request::Key() const {
+  std::string key = dist.ToString();
+  key += "|";
+  for (const auto& spec : specs) {
+    key += spec.ToString();
+    key += ";";
+  }
+  key += "|";
+  for (int pin : pinned) {
+    key += std::to_string(pin);
+    key += ",";
+  }
+  return key;
+}
+
+CascadesOptimizer::CascadesOptimizer(const Catalog* catalog,
+                                     const StorageEngine* storage)
+    : catalog_(catalog), storage_(storage), estimator_(storage) {}
+
+CascadesOptimizer::CascadesOptimizer(const Catalog* catalog, const StorageEngine* storage,
+                                     Options options)
+    : catalog_(catalog), storage_(storage), estimator_(storage), options_(options) {}
+
+double CascadesOptimizer::MotionCost(MotionKind kind, double rows) const {
+  // Interconnect traffic dominates local work in an MPP cluster; a moved row
+  // costs a multiple of a locally processed one (serialization + network).
+  constexpr double kNetworkRowCost = 2.0;
+  switch (kind) {
+    case MotionKind::kGather:
+      return rows * kNetworkRowCost;
+    case MotionKind::kRedistribute:
+      return rows * kNetworkRowCost * 1.2;
+    case MotionKind::kBroadcast:
+      return rows * kNetworkRowCost * static_cast<double>(storage_->num_segments());
+  }
+  return rows;
+}
+
+CascadesOptimizer::Request CascadesOptimizer::ForwardToChild(
+    const Request& req, DistributionSpec child_dist) {
+  Request child = req;
+  child.dist = std::move(child_dist);
+  return child;
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::OptimizeGroup(int group_id,
+                                                             const Request& req) {
+  auto key = std::make_pair(group_id, req.Key());
+  auto it = best_.find(key);
+  if (it != best_.end()) return it->second;
+  ++last_request_count_;
+
+  const Group& group = memo_->group(group_id);
+
+  // Specs whose DynamicScan lives outside this subtree are resolved here by
+  // pass-through PartitionSelector enforcers (paper Fig. 13, Group 2): peel
+  // one, recurse for the rest.
+  for (size_t i = 0; i < req.specs.size(); ++i) {
+    if (group.scan_ids.count(req.specs[i].scan_id) > 0) continue;
+    PartSelectorSpec spec = req.specs[i];
+    Request inner = req;
+    inner.specs.erase(inner.specs.begin() + static_cast<std::ptrdiff_t>(i));
+    BestPlan child = OptimizeGroup(group_id, inner);
+    BestPlan out;
+    if (child.valid) {
+      // Keep only predicate conjuncts evaluable with this group's output.
+      std::unordered_set<ColRefId> available(group.output_ids.begin(),
+                                             group.output_ids.end());
+      for (size_t level = 0; level < spec.part_predicates.size(); ++level) {
+        if (spec.part_predicates[level] == nullptr) continue;
+        spec.part_predicates[level] =
+            FindPredOnKey(spec.part_keys[level], spec.part_predicates[level],
+                          available);
+      }
+      if (!options_.enable_partition_selection) {
+        spec.part_predicates.assign(spec.part_keys.size(), nullptr);
+      }
+      out.valid = true;
+      out.plan = MakePartitionSelector(spec, child.plan);
+      out.cost = child.cost + kSelectorRowCost * group.row_estimate;
+      out.delivered = child.delivered;
+    }
+    best_[key] = out;
+    return out;
+  }
+
+  BestPlan best;
+  for (const GroupExpr& expr : group.exprs) {
+    BestPlan candidate = OptimizeExpr(group_id, expr, req);
+    if (candidate.valid && (!best.valid || candidate.cost < best.cost)) {
+      best = std::move(candidate);
+    }
+  }
+
+  // Distribution enforcers (Motion). Blocked for pinned requests: a Motion
+  // here would separate the pinned DynamicScan from its PartitionSelector.
+  if (req.pinned.empty() && (req.dist.kind == DistributionSpec::Kind::kHashed ||
+                             req.dist.kind == DistributionSpec::Kind::kReplicated ||
+                             req.dist.kind == DistributionSpec::Kind::kSingleton)) {
+    Request relaxed = req;
+    relaxed.dist = DistributionSpec::Any();
+    BestPlan child = OptimizeGroup(group_id, relaxed);
+    if (child.valid) {
+      BestPlan enforced;
+      if (child.delivered.Satisfies(req.dist)) {
+        enforced = child;
+      } else if (child.delivered.kind != DistributionSpec::Kind::kReplicated) {
+        MotionKind kind = MotionKind::kGather;
+        std::vector<ColRefId> cols;
+        switch (req.dist.kind) {
+          case DistributionSpec::Kind::kHashed:
+            kind = MotionKind::kRedistribute;
+            cols = req.dist.columns;
+            break;
+          case DistributionSpec::Kind::kReplicated:
+            kind = MotionKind::kBroadcast;
+            break;
+          default:
+            kind = MotionKind::kGather;
+            break;
+        }
+        enforced.valid = true;
+        enforced.plan = MakeMotion(kind, std::move(cols), child.plan);
+        enforced.cost = child.cost + MotionCost(kind, group.row_estimate);
+        enforced.delivered = req.dist;
+      }
+      if (enforced.valid && (!best.valid || enforced.cost < best.cost)) {
+        best = std::move(enforced);
+      }
+    }
+  }
+
+  best_[key] = best;
+  return best;
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::OptimizeExpr(int group_id,
+                                                            const GroupExpr& expr,
+                                                            const Request& req) {
+  switch (expr.op->kind()) {
+    case LogicalKind::kGet:
+      return ImplementGet(expr, req);
+    case LogicalKind::kSelect:
+      return ImplementSelect(group_id, expr, req);
+    case LogicalKind::kJoin:
+      return ImplementJoin(group_id, expr, req);
+    case LogicalKind::kProject:
+      return ImplementProject(expr, req);
+    case LogicalKind::kAgg:
+      return ImplementAgg(expr, req);
+    case LogicalKind::kSort:
+    case LogicalKind::kLimit:
+    case LogicalKind::kValues:
+      return ImplementSortLimitValues(expr, req);
+  }
+  return BestPlan{};
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementGet(const GroupExpr& expr,
+                                                            const Request& req) {
+  const auto& get = static_cast<const LogicalGet&>(*expr.op);
+  const TableDescriptor* table = get.table();
+  double rows = estimator_.EstimateRows(expr.op);
+
+  DistributionSpec natural = DistributionSpec::Random();
+  switch (table->distribution) {
+    case TableDistribution::kHashed:
+      natural = DistributionSpec::Hashed(get.DistributionKeyIds());
+      break;
+    case TableDistribution::kReplicated:
+      natural = DistributionSpec::Replicated();
+      break;
+    case TableDistribution::kRandom:
+      natural = DistributionSpec::Random();
+      break;
+  }
+  if (!natural.Satisfies(req.dist)) return BestPlan{};
+
+  BestPlan out;
+  if (!table->IsPartitioned()) {
+    out.valid = true;
+    out.plan = std::make_shared<TableScanNode>(table->oid, table->oid,
+                                               get.column_ids(), get.rowid_ids());
+    out.cost = rows;
+    out.delivered = natural;
+    return out;
+  }
+
+  const PartitionScheme& scheme = *table->partition_scheme;
+  auto scan = std::make_shared<DynamicScanNode>(table->oid, expr.scan_id,
+                                                get.column_ids(), get.rowid_ids());
+
+  const PartSelectorSpec* spec = nullptr;
+  for (const auto& s : req.specs) {
+    if (s.scan_id == expr.scan_id) {
+      spec = &s;
+      break;
+    }
+  }
+  bool pinned = std::find(req.pinned.begin(), req.pinned.end(), expr.scan_id) !=
+                req.pinned.end();
+
+  if (spec != nullptr) {
+    PartSelectorSpec local = *spec;
+    if (!options_.enable_partition_selection) {
+      local.part_predicates.assign(local.part_keys.size(), nullptr);
+    }
+    PhysPtr selector = MakePartitionSelector(local, nullptr);
+    out.plan = std::make_shared<SequenceNode>(std::vector<PhysPtr>{selector, scan});
+    // Cost: estimate the statically selected fraction of partitions.
+    std::vector<ConstraintSet> constraints;
+    for (size_t level = 0; level < local.part_keys.size(); ++level) {
+      ExprPtr static_pred =
+          local.part_predicates[level] == nullptr
+              ? nullptr
+              : FindPredOnKey(local.part_keys[level], local.part_predicates[level], {});
+      constraints.push_back(static_pred == nullptr
+                                ? ConstraintSet::All()
+                                : DeriveConstraint(static_pred, local.part_keys[level]));
+    }
+    double selected = static_cast<double>(scheme.SelectPartitions(constraints).size());
+    double fraction = selected / static_cast<double>(scheme.NumLeaves());
+    out.cost = std::max(1.0, rows * fraction);
+  } else if (pinned) {
+    // Selector placed above (join-induced dynamic elimination).
+    out.plan = scan;
+    out.cost = std::max(1.0, rows * kPinnedScanFraction);
+  } else {
+    return BestPlan{};  // nothing would open the propagation channel
+  }
+  out.valid = true;
+  out.delivered = natural;
+  return out;
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementSelect(int group_id,
+                                                               const GroupExpr& expr,
+                                                               const Request& req) {
+  (void)group_id;
+  const auto& select = static_cast<const LogicalSelect&>(*expr.op);
+  Request child_req = ForwardToChild(req, req.dist);
+  if (options_.enable_partition_selection) {
+    // Algorithm 3: collect static partition-key conjuncts into the specs.
+    for (PartSelectorSpec& spec : child_req.specs) {
+      AugmentSpecFromPredicate(select.predicate(), {}, &spec);
+    }
+  }
+  BestPlan child = OptimizeGroup(expr.child_groups[0], child_req);
+  if (!child.valid) return BestPlan{};
+  BestPlan out;
+  out.valid = true;
+  out.plan = std::make_shared<FilterNode>(select.predicate(), child.plan);
+  out.cost = child.cost +
+             kFilterRowCost * memo_->group(expr.child_groups[0]).row_estimate;
+  out.delivered = child.delivered;
+  return out;
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementProject(const GroupExpr& expr,
+                                                                const Request& req) {
+  const auto& project = static_cast<const LogicalProject&>(*expr.op);
+
+  // Which output columns are identity pass-throughs?
+  std::unordered_set<ColRefId> pass_through;
+  for (const auto& item : project.items()) {
+    if (item.expr->kind() == ExprKind::kColumnRef &&
+        static_cast<const ColumnRefExpr&>(*item.expr).id() == item.output_id) {
+      pass_through.insert(item.output_id);
+    }
+  }
+  if (req.dist.kind == DistributionSpec::Kind::kHashed) {
+    for (ColRefId col : req.dist.columns) {
+      if (pass_through.count(col) == 0) return BestPlan{};  // enforcer path
+    }
+  }
+  Request child_req = ForwardToChild(req, req.dist);
+  BestPlan child = OptimizeGroup(expr.child_groups[0], child_req);
+  if (!child.valid) return BestPlan{};
+  BestPlan out;
+  out.valid = true;
+  out.plan = std::make_shared<ProjectNode>(project.items(), child.plan);
+  out.cost = child.cost;
+  out.delivered = child.delivered;
+  if (out.delivered.kind == DistributionSpec::Kind::kHashed) {
+    for (ColRefId col : out.delivered.columns) {
+      if (pass_through.count(col) == 0) {
+        out.delivered = DistributionSpec::Random();
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Rewrites aggregate items into the global stage of a two-phase aggregation:
+// each item consumes its own partial output column (count becomes a sum of
+// partial counts; sum/min/max combine naturally). Returns false — two-phase
+// is not applicable — when an avg is present (it would need a sum/count
+// column pair).
+bool MakeGlobalAggItems(const std::vector<AggItem>& items,
+                        std::vector<AggItem>* global_items) {
+  for (const AggItem& item : items) {
+    AggItem global = item;
+    global.arg = MakeColumnRef(item.output_id, item.name, TypeId::kInt64);
+    switch (item.func) {
+      case AggFunc::kCount:
+      case AggFunc::kCountStar:
+        global.func = AggFunc::kSum;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        break;
+      case AggFunc::kAvg:
+        return false;
+    }
+    global_items->push_back(std::move(global));
+  }
+  return true;
+}
+
+}  // namespace
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementAgg(const GroupExpr& expr,
+                                                            const Request& req) {
+  const auto& agg = static_cast<const LogicalAgg&>(*expr.op);
+  double child_rows = memo_->group(expr.child_groups[0]).row_estimate;
+  double group_rows = memo_->group(expr.child_groups[0]).row_estimate * 0.1 + 1;
+
+  std::vector<DistributionSpec> alternatives;
+  alternatives.push_back(DistributionSpec::Singleton());
+  if (!agg.group_by().empty()) {
+    alternatives.push_back(DistributionSpec::Hashed(agg.group_by()));
+  }
+
+  BestPlan best;
+  // Single-phase: aggregate where the (re)distributed data lives.
+  for (DistributionSpec& child_dist : alternatives) {
+    if (!child_dist.Satisfies(req.dist)) continue;  // agg preserves child dist
+    BestPlan child = OptimizeGroup(expr.child_groups[0],
+                                   ForwardToChild(req, child_dist));
+    if (!child.valid) continue;
+    BestPlan out;
+    out.valid = true;
+    out.plan = std::make_shared<HashAggNode>(agg.group_by(), agg.aggs(), child.plan);
+    out.cost = child.cost + child_rows;
+    out.delivered = child.delivered;
+    if (!best.valid || out.cost < best.cost) best = std::move(out);
+  }
+
+  // Two-phase: aggregate locally on whatever distribution the child has,
+  // move only the partial groups, then combine. Invalid when a selector
+  // above this group is pinned to a scan below (the Motion would split the
+  // producer/consumer pair) — and skipped for avg (needs a sum/count pair).
+  std::vector<AggItem> global_items;
+  if (options_.enable_two_phase_agg && req.pinned.empty() &&
+      MakeGlobalAggItems(agg.aggs(), &global_items)) {
+    BestPlan child = OptimizeGroup(expr.child_groups[0],
+                                   ForwardToChild(req, DistributionSpec::Any()));
+    if (child.valid &&
+        child.delivered.kind != DistributionSpec::Kind::kReplicated) {
+      PhysPtr local =
+          std::make_shared<HashAggNode>(agg.group_by(), agg.aggs(), child.plan);
+      DistributionSpec delivered = DistributionSpec::Singleton();
+      MotionKind motion_kind = MotionKind::kGather;
+      std::vector<ColRefId> motion_cols;
+      if (req.dist.kind == DistributionSpec::Kind::kHashed &&
+          !agg.group_by().empty() &&
+          DistributionSpec::Hashed(agg.group_by()).Satisfies(req.dist)) {
+        motion_kind = MotionKind::kRedistribute;
+        motion_cols = agg.group_by();
+        delivered = DistributionSpec::Hashed(agg.group_by());
+      }
+      if (delivered.Satisfies(req.dist)) {
+        PhysPtr moved = std::make_shared<MotionNode>(motion_kind, motion_cols, local);
+        PhysPtr global = std::make_shared<HashAggNode>(agg.group_by(),
+                                                       std::move(global_items), moved);
+        double partial_rows =
+            std::min(child_rows,
+                     group_rows * static_cast<double>(storage_->num_segments()));
+        BestPlan out;
+        out.valid = true;
+        out.plan = std::move(global);
+        out.cost = child.cost + child_rows + MotionCost(motion_kind, partial_rows) +
+                   partial_rows;
+        out.delivered = delivered;
+        if (!best.valid || out.cost < best.cost) best = std::move(out);
+      }
+    }
+  }
+  return best;
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementSortLimitValues(
+    const GroupExpr& expr, const Request& req) {
+  if (expr.op->kind() == LogicalKind::kValues) {
+    const auto& values = static_cast<const LogicalValues&>(*expr.op);
+    DistributionSpec delivered = DistributionSpec::Singleton();
+    if (!delivered.Satisfies(req.dist)) return BestPlan{};
+    BestPlan out;
+    out.valid = true;
+    out.plan = std::make_shared<ValuesNode>(values.rows(), values.OutputIds());
+    out.cost = static_cast<double>(values.rows().size());
+    out.delivered = delivered;
+    return out;
+  }
+  // Sort and Limit are computed on gathered data.
+  DistributionSpec delivered = DistributionSpec::Singleton();
+  if (!delivered.Satisfies(req.dist)) return BestPlan{};
+  BestPlan child = OptimizeGroup(expr.child_groups[0],
+                                 ForwardToChild(req, DistributionSpec::Singleton()));
+  if (!child.valid) return BestPlan{};
+  BestPlan out;
+  out.valid = true;
+  double child_rows = memo_->group(expr.child_groups[0]).row_estimate;
+  if (expr.op->kind() == LogicalKind::kSort) {
+    out.plan = std::make_shared<SortNode>(
+        static_cast<const LogicalSort&>(*expr.op).keys(), child.plan);
+    out.cost = child.cost + child_rows * 2;
+  } else {
+    out.plan = std::make_shared<LimitNode>(
+        static_cast<const LogicalLimit&>(*expr.op).limit(), child.plan);
+    out.cost = child.cost;
+  }
+  out.delivered = delivered;
+  return out;
+}
+
+namespace {
+
+// Collects static partition-key conjuncts from Select operators below
+// `group_id` (on the path to the spec's scan) into the spec. Used when a
+// join moves a spec to its build side: the selector then combines the
+// join-induced predicate with the probe side's own static restrictions, so
+// dynamic and static elimination intersect (e.g. "fact.sk >= X" below the
+// join AND "fact.sk = dim.sk" from the join).
+void CollectStaticPredsBelow(const Memo& memo, int group_id, PartSelectorSpec* spec) {
+  const Group& group = memo.group(group_id);
+  if (group.scan_ids.count(spec->scan_id) == 0) return;
+  for (const GroupExpr& expr : group.exprs) {
+    if (expr.op->kind() == LogicalKind::kSelect) {
+      const auto& select = static_cast<const LogicalSelect&>(*expr.op);
+      AugmentSpecFromPredicate(select.predicate(), {}, spec);
+    }
+    for (int child : expr.child_groups) {
+      CollectStaticPredsBelow(memo, child, spec);
+    }
+  }
+}
+
+}  // namespace
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementJoin(int group_id,
+                                                             const GroupExpr& expr,
+                                                             const Request& req) {
+  const auto& join = static_cast<const LogicalJoin&>(*expr.op);
+  const Group& group = memo_->group(group_id);
+  double out_rows = group.row_estimate;
+
+  // Side assignments: children[0] of the physical join is the build side
+  // (executes first). Inner joins commute; semi joins must probe with the
+  // preserved (left) side.
+  struct SideAssignment {
+    int build_group;
+    int probe_group;
+  };
+  std::vector<SideAssignment> sides;
+  sides.push_back({expr.child_groups[1], expr.child_groups[0]});
+  if (join.join_type() == JoinType::kInner) {
+    sides.push_back({expr.child_groups[0], expr.child_groups[1]});
+  }
+
+  BestPlan best;
+
+  // The Index-Join implementation of the model (paper §2.2): the outer child
+  // computes the partition keys; the inner looks up an index on the
+  // partition key. Applicable when the inner side is a bare (possibly
+  // filtered) Get of a non-replicated, indexed table — single-level
+  // partitioned on the join key or unpartitioned.
+  if (options_.enable_index_join && join.join_type() == JoinType::kInner) {
+    for (const SideAssignment& side : sides) {
+      const Group& outer_group = memo_->group(side.build_group);
+      const Group& inner_group = memo_->group(side.probe_group);
+      if (inner_group.exprs.size() != 1) continue;
+      const GroupExpr& inner_expr = inner_group.exprs[0];
+      const LogicalGet* get = nullptr;
+      ExprPtr inner_filter;
+      if (inner_expr.op->kind() == LogicalKind::kGet) {
+        get = static_cast<const LogicalGet*>(inner_expr.op.get());
+      } else if (inner_expr.op->kind() == LogicalKind::kSelect) {
+        const Group& below = memo_->group(inner_expr.child_groups[0]);
+        if (below.exprs.size() == 1 &&
+            below.exprs[0].op->kind() == LogicalKind::kGet) {
+          get = static_cast<const LogicalGet*>(below.exprs[0].op.get());
+          inner_filter = static_cast<const LogicalSelect&>(*inner_expr.op).predicate();
+        }
+      }
+      if (get == nullptr || !get->rowid_ids().empty()) continue;
+      const TableDescriptor* table = get->table();
+      if (table->distribution == TableDistribution::kReplicated) continue;
+      if (table->IsPartitioned() && table->partition_scheme->num_levels() != 1) {
+        continue;
+      }
+      EquiJoinKeys keys = ExtractEquiJoinKeys(join.predicate(),
+                                              outer_group.output_ids,
+                                              inner_group.output_ids);
+      if (keys.left.empty()) continue;
+      // Pick the equi pair usable for routing + index seek.
+      int chosen = -1;
+      int key_column = -1;
+      for (size_t k = 0; k < keys.right.size(); ++k) {
+        int column = -1;
+        for (size_t c = 0; c < get->column_ids().size(); ++c) {
+          if (get->column_ids()[c] == keys.right[k]) {
+            column = static_cast<int>(c);
+            break;
+          }
+        }
+        if (column < 0) continue;
+        if (table->IsPartitioned() &&
+            get->PartitionKeyIds()[0] != keys.right[k]) {
+          continue;  // must route through f_T on the partitioning key
+        }
+        if (!table->HasIndexOn(column)) continue;
+        chosen = static_cast<int>(k);
+        key_column = column;
+        break;
+      }
+      if (chosen < 0) continue;
+      // No selector pins may target the inner scan (its spec is subsumed by
+      // the per-tuple routing), and the outer side must resolve its own
+      // specs; the inner scan's spec is dropped.
+      bool pinned_inner = false;
+      std::vector<int> outer_pins;
+      for (int pin : req.pinned) {
+        if (inner_group.scan_ids.count(pin) > 0) {
+          pinned_inner = true;
+        } else {
+          outer_pins.push_back(pin);
+        }
+      }
+      if (pinned_inner) continue;
+      std::vector<PartSelectorSpec> outer_specs;
+      for (const PartSelectorSpec& spec : req.specs) {
+        if (inner_group.scan_ids.count(spec.scan_id) > 0) continue;  // subsumed
+        outer_specs.push_back(spec);
+      }
+      SortSpecs(&outer_specs);
+
+      Request outer_req{DistributionSpec::Replicated(), outer_specs, outer_pins};
+      BestPlan outer = OptimizeGroup(side.build_group, outer_req);
+      if (!outer.valid) continue;
+
+      // Remaining equi pairs + any residual + the inner filter apply after
+      // the lookup.
+      std::vector<ExprPtr> residuals;
+      for (size_t k = 0; k < keys.left.size(); ++k) {
+        if (static_cast<int>(k) == chosen) continue;
+        residuals.push_back(MakeComparison(
+            CompareOp::kEq,
+            MakeColumnRef(keys.left[k], "o", TypeId::kInt64),
+            MakeColumnRef(keys.right[k], "i", TypeId::kInt64)));
+      }
+      residuals.push_back(keys.residual);
+      residuals.push_back(inner_filter);
+
+      DistributionSpec delivered = DistributionSpec::Random();
+      if (table->distribution == TableDistribution::kHashed) {
+        delivered = DistributionSpec::Hashed(get->DistributionKeyIds());
+      }
+      if (!delivered.Satisfies(req.dist)) continue;
+
+      BestPlan out;
+      out.valid = true;
+      out.plan = std::make_shared<IndexNLJoinNode>(
+          outer.plan, table->oid, get->column_ids(), key_column,
+          keys.left[static_cast<size_t>(chosen)], Conj(std::move(residuals)));
+      double outer_rows = memo_->group(side.build_group).row_estimate;
+      out.cost = outer.cost + outer_rows * 4.0 + out_rows;
+      out.delivered = delivered;
+      if (!best.valid || out.cost < best.cost) best = std::move(out);
+    }
+  }
+
+  for (const SideAssignment& side : sides) {
+    const Group& build_group = memo_->group(side.build_group);
+    const Group& probe_group = memo_->group(side.probe_group);
+    EquiJoinKeys keys = ExtractEquiJoinKeys(join.predicate(), build_group.output_ids,
+                                            probe_group.output_ids);
+    std::vector<ColRefId>& build_keys = keys.left;
+    std::vector<ColRefId>& probe_keys = keys.right;
+
+    // Route specs and pins to the side containing each scan; probe-side
+    // specs whose partition key is constrained by the join predicate are
+    // dynamic-elimination candidates (Algorithm 4).
+    std::vector<PartSelectorSpec> build_specs, probe_specs, dpe_candidates;
+    for (const PartSelectorSpec& spec : req.specs) {
+      if (build_group.scan_ids.count(spec.scan_id) > 0) {
+        build_specs.push_back(spec);
+        continue;
+      }
+      PartSelectorSpec augmented = spec;
+      std::unordered_set<ColRefId> available(build_group.output_ids.begin(),
+                                             build_group.output_ids.end());
+      bool useful = options_.enable_dynamic_elimination &&
+                    options_.enable_partition_selection &&
+                    AugmentSpecFromPredicate(join.predicate(), available, &augmented);
+      if (useful) {
+        // Fold in static key restrictions from below the join so dynamic and
+        // static elimination intersect at the selector.
+        CollectStaticPredsBelow(*memo_, side.probe_group, &augmented);
+        dpe_candidates.push_back(std::move(augmented));
+      } else {
+        probe_specs.push_back(spec);
+      }
+    }
+    std::vector<int> build_pins, probe_pins;
+    for (int pin : req.pinned) {
+      (build_group.scan_ids.count(pin) > 0 ? build_pins : probe_pins).push_back(pin);
+    }
+
+    // Two routings when DPE candidates exist: eliminate dynamically (specs
+    // move to the build side; scans become pinned on the probe side) or not.
+    std::vector<bool> dpe_choices = dpe_candidates.empty() ? std::vector<bool>{false}
+                                                           : std::vector<bool>{true,
+                                                                               false};
+    for (bool use_dpe : dpe_choices) {
+      std::vector<PartSelectorSpec> b_specs = build_specs;
+      std::vector<PartSelectorSpec> p_specs = probe_specs;
+      std::vector<int> p_pins = probe_pins;
+      if (use_dpe) {
+        for (const auto& cand : dpe_candidates) {
+          b_specs.push_back(cand);
+          p_pins.push_back(cand.scan_id);
+        }
+      } else {
+        for (const auto& cand : dpe_candidates) {
+          PartSelectorSpec original = cand;
+          // Recover the pre-augmentation spec from the request.
+          for (const auto& spec : req.specs) {
+            if (spec.scan_id == cand.scan_id) {
+              original = spec;
+              break;
+            }
+          }
+          p_specs.push_back(original);
+        }
+      }
+      SortSpecs(&b_specs);
+      SortSpecs(&p_specs);
+      std::sort(p_pins.begin(), p_pins.end());
+
+      // Distribution alternatives.
+      struct DistAlt {
+        DistributionSpec build;
+        DistributionSpec probe;
+        bool delivered_from_probe;
+      };
+      std::vector<DistAlt> alts;
+      if (!build_keys.empty()) {
+        alts.push_back({DistributionSpec::Hashed(build_keys),
+                        DistributionSpec::Hashed(probe_keys), true});
+      }
+      alts.push_back({DistributionSpec::Replicated(), DistributionSpec::Any(), true});
+      if (join.join_type() == JoinType::kInner) {
+        alts.push_back({DistributionSpec::Any(), DistributionSpec::Replicated(),
+                        false});
+      }
+
+      for (const DistAlt& alt : alts) {
+        Request build_req{alt.build, b_specs, build_pins};
+        Request probe_req{alt.probe, p_specs, p_pins};
+        BestPlan build = OptimizeGroup(side.build_group, build_req);
+        if (!build.valid) continue;
+        BestPlan probe = OptimizeGroup(side.probe_group, probe_req);
+        if (!probe.valid) continue;
+
+        DistributionSpec delivered =
+            alt.delivered_from_probe ? probe.delivered : build.delivered;
+        if (alt.delivered_from_probe &&
+            build.delivered.kind == DistributionSpec::Kind::kReplicated &&
+            probe.delivered.kind == DistributionSpec::Kind::kReplicated) {
+          delivered = DistributionSpec::Replicated();
+        }
+        if (!delivered.Satisfies(req.dist)) continue;
+
+        BestPlan out;
+        out.valid = true;
+        if (!build_keys.empty()) {
+          out.plan = std::make_shared<HashJoinNode>(join.join_type(), build_keys,
+                                                    probe_keys, keys.residual,
+                                                    build.plan, probe.plan);
+        } else {
+          out.plan = std::make_shared<NestedLoopJoinNode>(
+              join.join_type(), join.predicate(), build.plan, probe.plan);
+        }
+        out.cost = build.cost + probe.cost +
+                   kHashBuildRowCost * build_group.row_estimate +
+                   probe_group.row_estimate + out_rows;
+        if (build_keys.empty()) {
+          out.cost += build_group.row_estimate * probe_group.row_estimate * 0.01;
+        }
+        out.delivered = delivered;
+        if (!best.valid || out.cost < best.cost) best = std::move(out);
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<PartSelectorSpec> CascadesOptimizer::InitialSpecs() const {
+  std::vector<PartSelectorSpec> specs;
+  for (size_t gid = 0; gid < memo_->size(); ++gid) {
+    for (const GroupExpr& expr : memo_->group(static_cast<int>(gid)).exprs) {
+      if (expr.scan_id < 0) continue;
+      const auto& get = static_cast<const LogicalGet&>(*expr.op);
+      PartSelectorSpec spec;
+      spec.scan_id = expr.scan_id;
+      spec.table_oid = get.table()->oid;
+      spec.part_keys = get.PartitionKeyIds();
+      spec.part_predicates.assign(spec.part_keys.size(), nullptr);
+      specs.push_back(std::move(spec));
+    }
+  }
+  SortSpecs(&specs);
+  return specs;
+}
+
+Result<PhysPtr> CascadesOptimizer::PlanSelect(const BoundStatement& stmt) {
+  (void)stmt;
+  Request root_req{DistributionSpec::Singleton(), InitialSpecs(), {}};
+  int root_group = static_cast<int>(memo_->size()) - 1;
+  BestPlan best = OptimizeGroup(root_group, root_req);
+  if (!best.valid) {
+    return Status::PlanError("cascades optimizer found no valid plan for statement");
+  }
+  MPPDB_RETURN_IF_ERROR(ValidateSelectorPlacement(best.plan));
+  return best.plan;
+}
+
+Result<PhysPtr> CascadesOptimizer::PlanDml(const BoundStatement& stmt) {
+  Request root_req{DistributionSpec::Singleton(), InitialSpecs(), {}};
+  int root_group = static_cast<int>(memo_->size()) - 1;
+  BestPlan best = OptimizeGroup(root_group, root_req);
+  if (!best.valid) {
+    return Status::PlanError("cascades optimizer found no valid plan for DML source");
+  }
+  MPPDB_RETURN_IF_ERROR(ValidateSelectorPlacement(best.plan));
+  switch (stmt.kind) {
+    case BoundStatement::Kind::kInsert:
+      return PhysPtr(std::make_shared<InsertNode>(stmt.target_table->oid,
+                                                  stmt.count_output_id, best.plan));
+    case BoundStatement::Kind::kUpdate:
+      return PhysPtr(std::make_shared<UpdateNode>(
+          stmt.target_table->oid, stmt.target_column_ids, stmt.target_rowid_ids,
+          stmt.set_items, stmt.count_output_id, best.plan));
+    case BoundStatement::Kind::kDelete:
+      return PhysPtr(std::make_shared<DeleteNode>(stmt.target_table->oid,
+                                                  stmt.target_rowid_ids,
+                                                  stmt.count_output_id, best.plan));
+    default:
+      return Status::PlanError("not a DML statement");
+  }
+}
+
+Result<PhysPtr> CascadesOptimizer::Plan(const BoundStatement& stmt) {
+  memo_ = std::make_unique<Memo>(&estimator_);
+  best_.clear();
+  last_request_count_ = 0;
+  memo_->Insert(NormalizeLogical(stmt.root));
+  if (stmt.kind == BoundStatement::Kind::kSelect) return PlanSelect(stmt);
+  return PlanDml(stmt);
+}
+
+}  // namespace mppdb

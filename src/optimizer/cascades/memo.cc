@@ -1,0 +1,47 @@
+#include "optimizer/cascades/memo.h"
+
+namespace mppdb {
+
+int Memo::Insert(const LogicalPtr& node) {
+  GroupExpr expr;
+  expr.op = node;
+  Group group;
+  for (const auto& child : node->children()) {
+    int child_id = Insert(child);
+    expr.child_groups.push_back(child_id);
+    const Group& child_group = groups_[static_cast<size_t>(child_id)];
+    group.scan_ids.insert(child_group.scan_ids.begin(), child_group.scan_ids.end());
+  }
+  if (node->kind() == LogicalKind::kGet) {
+    const auto& get = static_cast<const LogicalGet&>(*node);
+    if (get.table()->IsPartitioned()) {
+      expr.scan_id = next_scan_id_++;
+      group.scan_ids.insert(expr.scan_id);
+    }
+  }
+  group.output_ids = node->OutputIds();
+  group.row_estimate = estimator_->EstimateRows(node);
+  group.exprs.push_back(std::move(expr));
+  groups_.push_back(std::move(group));
+  return static_cast<int>(groups_.size()) - 1;
+}
+
+std::string Memo::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    out += "Group " + std::to_string(i) + ":\n";
+    for (const GroupExpr& expr : groups_[i].exprs) {
+      out += "  " + expr.op->Describe() + " [";
+      for (size_t c = 0; c < expr.child_groups.size(); ++c) {
+        if (c > 0) out += ",";
+        out += std::to_string(expr.child_groups[c]);
+      }
+      out += "]";
+      if (expr.scan_id >= 0) out += " scanId=" + std::to_string(expr.scan_id);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace mppdb

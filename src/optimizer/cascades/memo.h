@@ -1,0 +1,58 @@
+#ifndef MPPDB_OPTIMIZER_CASCADES_MEMO_H_
+#define MPPDB_OPTIMIZER_CASCADES_MEMO_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "optimizer/logical.h"
+#include "optimizer/stats.h"
+
+namespace mppdb {
+
+/// One logically equivalent expression inside a group: a logical operator
+/// whose children are other groups (paper §3.1 / Fig. 13).
+struct GroupExpr {
+  LogicalPtr op;  ///< children of this node are ignored; use child_groups
+  std::vector<int> child_groups;
+  /// Partition scan id if `op` is a Get of a partitioned table, else -1.
+  int scan_id = -1;
+};
+
+/// A set of logically equivalent expressions plus shared logical properties.
+struct Group {
+  std::vector<GroupExpr> exprs;
+  std::vector<ColRefId> output_ids;
+  /// Partition scan ids of DynamicScans contained in this subtree.
+  std::unordered_set<int> scan_ids;
+  double row_estimate = 1.0;
+};
+
+/// Compact encoding of the optimizer's search space (paper §3.1): groups of
+/// logically equivalent expressions referencing child groups.
+class Memo {
+ public:
+  explicit Memo(const CardinalityEstimator* estimator) : estimator_(estimator) {}
+
+  /// Recursively inserts a logical tree; returns the root group id.
+  /// Partitioned-table Gets are assigned scan ids on the way.
+  int Insert(const LogicalPtr& node);
+
+  const Group& group(int id) const { return groups_[static_cast<size_t>(id)]; }
+  Group& group(int id) { return groups_[static_cast<size_t>(id)]; }
+  size_t size() const { return groups_.size(); }
+
+  int next_scan_id() const { return next_scan_id_; }
+
+  /// Debug rendering of all groups.
+  std::string ToString() const;
+
+ private:
+  const CardinalityEstimator* estimator_;
+  std::vector<Group> groups_;
+  int next_scan_id_ = 1;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_CASCADES_MEMO_H_

@@ -1,0 +1,84 @@
+#ifndef MPPDB_OPTIMIZER_DISTRIBUTION_H_
+#define MPPDB_OPTIMIZER_DISTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace mppdb {
+
+/// A physical data-distribution property (paper §3.1): how an intermediate
+/// result is spread across the cluster's segments. Used both as a delivered
+/// property (what a plan produces) and a required property (what a parent
+/// needs); Motion operators are the enforcers that convert between them.
+struct DistributionSpec {
+  enum class Kind {
+    kAny,         ///< requirement only: anything goes
+    kHashed,      ///< rows hashed on `columns`
+    kReplicated,  ///< full copy on every segment
+    kSingleton,   ///< all rows on one segment (coordinator-side)
+    kRandom,      ///< delivered only: spread with no co-location guarantee
+  };
+
+  Kind kind = Kind::kAny;
+  std::vector<ColRefId> columns;  ///< for kHashed
+
+  static DistributionSpec Any() { return {Kind::kAny, {}}; }
+  static DistributionSpec Hashed(std::vector<ColRefId> cols) {
+    return {Kind::kHashed, std::move(cols)};
+  }
+  static DistributionSpec Replicated() { return {Kind::kReplicated, {}}; }
+  static DistributionSpec Singleton() { return {Kind::kSingleton, {}}; }
+  static DistributionSpec Random() { return {Kind::kRandom, {}}; }
+
+  bool operator==(const DistributionSpec& other) const {
+    return kind == other.kind && columns == other.columns;
+  }
+
+  /// True if data delivered as `*this` meets requirement `required`.
+  /// Singleton trivially co-locates, so it satisfies kHashed; kAny accepts
+  /// everything.
+  bool Satisfies(const DistributionSpec& required) const {
+    switch (required.kind) {
+      case Kind::kAny:
+        return true;
+      case Kind::kHashed:
+        return (kind == Kind::kHashed && columns == required.columns) ||
+               kind == Kind::kSingleton;
+      case Kind::kReplicated:
+        return kind == Kind::kReplicated;
+      case Kind::kSingleton:
+        return kind == Kind::kSingleton;
+      case Kind::kRandom:
+        return true;  // "random" imposes nothing
+    }
+    return false;
+  }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kAny:
+        return "Any";
+      case Kind::kReplicated:
+        return "Replicated";
+      case Kind::kSingleton:
+        return "Singleton";
+      case Kind::kRandom:
+        return "Random";
+      case Kind::kHashed: {
+        std::string out = "Hashed(";
+        for (size_t i = 0; i < columns.size(); ++i) {
+          if (i > 0) out += ",";
+          out += std::to_string(columns[i]);
+        }
+        return out + ")";
+      }
+    }
+    return "?";
+  }
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_DISTRIBUTION_H_

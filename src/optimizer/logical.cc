@@ -1,0 +1,273 @@
+#include "optimizer/logical.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace mppdb {
+
+std::vector<ColRefId> LogicalGet::PartitionKeyIds() const {
+  std::vector<ColRefId> keys;
+  for (int col : table_->PartitionKeyColumns()) {
+    keys.push_back(column_ids_[static_cast<size_t>(col)]);
+  }
+  return keys;
+}
+
+std::vector<ColRefId> LogicalGet::DistributionKeyIds() const {
+  std::vector<ColRefId> keys;
+  for (int col : table_->distribution_columns) {
+    keys.push_back(column_ids_[static_cast<size_t>(col)]);
+  }
+  return keys;
+}
+
+std::vector<ColRefId> LogicalGet::OutputIds() const {
+  std::vector<ColRefId> out = column_ids_;
+  out.insert(out.end(), rowid_ids_.begin(), rowid_ids_.end());
+  return out;
+}
+
+std::string LogicalGet::Describe() const {
+  return "Get(" + table_->name + (alias_.empty() ? "" : " as " + alias_) + ")";
+}
+
+std::vector<ColRefId> LogicalJoin::OutputIds() const {
+  std::vector<ColRefId> out = child(0)->OutputIds();
+  if (join_type_ == JoinType::kSemi) return out;
+  std::vector<ColRefId> right = child(1)->OutputIds();
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+std::string LogicalJoin::Describe() const {
+  std::string name = join_type_ == JoinType::kSemi ? "SemiJoin" : "Join";
+  return name + "(" + (predicate_ ? predicate_->ToString() : "true") + ")";
+}
+
+std::vector<ColRefId> LogicalProject::OutputIds() const {
+  std::vector<ColRefId> out;
+  out.reserve(items_.size());
+  for (const auto& item : items_) out.push_back(item.output_id);
+  return out;
+}
+
+std::string LogicalProject::Describe() const {
+  std::vector<std::string> parts;
+  for (const auto& item : items_) parts.push_back(item.name);
+  return "Project(" + Join(parts, ", ") + ")";
+}
+
+std::vector<ColRefId> LogicalAgg::OutputIds() const {
+  std::vector<ColRefId> out = group_by_;
+  for (const auto& agg : aggs_) out.push_back(agg.output_id);
+  return out;
+}
+
+std::string LogicalAgg::Describe() const {
+  return "Agg(groups=" + std::to_string(group_by_.size()) +
+         ", aggs=" + std::to_string(aggs_.size()) + ")";
+}
+
+namespace {
+
+void LogicalToStringRecursive(const LogicalPtr& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node->Describe());
+  out->append("\n");
+  for (const auto& child : node->children()) {
+    LogicalToStringRecursive(child, depth + 1, out);
+  }
+}
+
+LogicalPtr WithChildren(const LogicalPtr& node, std::vector<LogicalPtr> children) {
+  bool same = true;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children[i] != node->child(i)) {
+      same = false;
+      break;
+    }
+  }
+  if (same) return node;
+  switch (node->kind()) {
+    case LogicalKind::kSelect:
+      return std::make_shared<LogicalSelect>(
+          static_cast<const LogicalSelect&>(*node).predicate(), children[0]);
+    case LogicalKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(*node);
+      return std::make_shared<LogicalJoin>(join.join_type(), join.predicate(),
+                                           children[0], children[1]);
+    }
+    case LogicalKind::kProject:
+      return std::make_shared<LogicalProject>(
+          static_cast<const LogicalProject&>(*node).items(), children[0]);
+    case LogicalKind::kAgg: {
+      const auto& agg = static_cast<const LogicalAgg&>(*node);
+      return std::make_shared<LogicalAgg>(agg.group_by(), agg.aggs(), children[0]);
+    }
+    case LogicalKind::kSort:
+      return std::make_shared<LogicalSort>(
+          static_cast<const LogicalSort&>(*node).keys(), children[0]);
+    case LogicalKind::kLimit:
+      return std::make_shared<LogicalLimit>(
+          static_cast<const LogicalLimit&>(*node).limit(), children[0]);
+    default:
+      MPPDB_CHECK(false);
+      return node;
+  }
+}
+
+// True if every column referenced by `expr` is produced by `node`.
+bool CoveredBy(const ExprPtr& expr, const LogicalPtr& node) {
+  std::unordered_set<ColRefId> refs;
+  CollectColumnRefs(expr, &refs);
+  std::vector<ColRefId> outputs = node->OutputIds();
+  std::unordered_set<ColRefId> produced(outputs.begin(), outputs.end());
+  for (ColRefId id : refs) {
+    if (produced.count(id) == 0) return false;
+  }
+  return true;
+}
+
+// Pushes the conjuncts of `pred` as deep as possible over `node`; conjuncts
+// that cannot descend wrap the result in a Select.
+LogicalPtr PushPredicate(std::vector<ExprPtr> conjuncts, LogicalPtr node);
+
+LogicalPtr NormalizeRecursive(const LogicalPtr& node) {
+  if (node->kind() == LogicalKind::kSelect) {
+    const auto& select = static_cast<const LogicalSelect&>(*node);
+    LogicalPtr child = NormalizeRecursive(select.child(0));
+    return PushPredicate(SplitConjuncts(select.predicate()), std::move(child));
+  }
+  std::vector<LogicalPtr> children;
+  children.reserve(node->children().size());
+  for (const auto& child : node->children()) {
+    children.push_back(NormalizeRecursive(child));
+  }
+  return WithChildren(node, std::move(children));
+}
+
+LogicalPtr PushPredicate(std::vector<ExprPtr> conjuncts, LogicalPtr node) {
+  if (conjuncts.empty()) return node;
+  switch (node->kind()) {
+    case LogicalKind::kSelect: {
+      // Merge adjacent selects, then retry.
+      const auto& select = static_cast<const LogicalSelect&>(*node);
+      std::vector<ExprPtr> merged = SplitConjuncts(select.predicate());
+      merged.insert(merged.end(), conjuncts.begin(), conjuncts.end());
+      return PushPredicate(std::move(merged), select.child(0));
+    }
+    case LogicalKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(*node);
+      std::vector<ExprPtr> left_preds, right_preds, here;
+      for (ExprPtr& conjunct : conjuncts) {
+        if (CoveredBy(conjunct, join.child(0))) {
+          left_preds.push_back(std::move(conjunct));
+        } else if (join.join_type() == JoinType::kInner &&
+                   CoveredBy(conjunct, join.child(1))) {
+          right_preds.push_back(std::move(conjunct));
+        } else {
+          here.push_back(std::move(conjunct));
+        }
+      }
+      LogicalPtr left = PushPredicate(std::move(left_preds), join.child(0));
+      LogicalPtr right = PushPredicate(std::move(right_preds), join.child(1));
+      // Conjuncts spanning both sides of an inner join merge into the join
+      // predicate (enabling hash joins and join-induced partition
+      // elimination for comma-join syntax); semi joins keep them above.
+      ExprPtr join_pred = join.predicate();
+      ExprPtr rest = nullptr;
+      if (join.join_type() == JoinType::kInner) {
+        here.push_back(join_pred);
+        join_pred = Conj(std::move(here));
+      } else {
+        rest = Conj(std::move(here));
+      }
+      LogicalPtr rebuilt = std::make_shared<LogicalJoin>(
+          join.join_type(), join_pred, std::move(left), std::move(right));
+      if (rest == nullptr) return rebuilt;
+      return std::make_shared<LogicalSelect>(std::move(rest), std::move(rebuilt));
+    }
+    case LogicalKind::kProject: {
+      // Push conjuncts that only reference pass-through columns.
+      const auto& project = static_cast<const LogicalProject&>(*node);
+      std::unordered_set<ColRefId> pass_through;
+      for (const auto& item : project.items()) {
+        if (item.expr->kind() == ExprKind::kColumnRef &&
+            static_cast<const ColumnRefExpr&>(*item.expr).id() == item.output_id) {
+          pass_through.insert(item.output_id);
+        }
+      }
+      std::vector<ExprPtr> below, here;
+      for (ExprPtr& conjunct : conjuncts) {
+        std::unordered_set<ColRefId> refs;
+        CollectColumnRefs(conjunct, &refs);
+        bool ok = true;
+        for (ColRefId id : refs) {
+          if (pass_through.count(id) == 0) {
+            ok = false;
+            break;
+          }
+        }
+        (ok ? below : here).push_back(std::move(conjunct));
+      }
+      LogicalPtr child = PushPredicate(std::move(below), project.child(0));
+      LogicalPtr rebuilt = std::make_shared<LogicalProject>(project.items(),
+                                                            std::move(child));
+      ExprPtr rest = Conj(std::move(here));
+      if (rest == nullptr) return rebuilt;
+      return std::make_shared<LogicalSelect>(std::move(rest), std::move(rebuilt));
+    }
+    default: {
+      ExprPtr pred = Conj(std::move(conjuncts));
+      MPPDB_CHECK(pred != nullptr);
+      return std::make_shared<LogicalSelect>(std::move(pred), std::move(node));
+    }
+  }
+}
+
+}  // namespace
+
+EquiJoinKeys ExtractEquiJoinKeys(const ExprPtr& pred,
+                                 const std::vector<ColRefId>& left_ids,
+                                 const std::vector<ColRefId>& right_ids) {
+  EquiJoinKeys keys;
+  std::unordered_set<ColRefId> left_set(left_ids.begin(), left_ids.end());
+  std::unordered_set<ColRefId> right_set(right_ids.begin(), right_ids.end());
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& conjunct : SplitConjuncts(pred)) {
+    if (conjunct->kind() == ExprKind::kComparison) {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*conjunct);
+      if (cmp.op() == CompareOp::kEq &&
+          cmp.child(0)->kind() == ExprKind::kColumnRef &&
+          cmp.child(1)->kind() == ExprKind::kColumnRef) {
+        ColRefId a = static_cast<const ColumnRefExpr&>(*cmp.child(0)).id();
+        ColRefId b = static_cast<const ColumnRefExpr&>(*cmp.child(1)).id();
+        if (left_set.count(a) > 0 && right_set.count(b) > 0) {
+          keys.left.push_back(a);
+          keys.right.push_back(b);
+          continue;
+        }
+        if (left_set.count(b) > 0 && right_set.count(a) > 0) {
+          keys.left.push_back(b);
+          keys.right.push_back(a);
+          continue;
+        }
+      }
+    }
+    residual.push_back(conjunct);
+  }
+  keys.residual = Conj(std::move(residual));
+  return keys;
+}
+
+std::string LogicalToString(const LogicalPtr& plan) {
+  std::string out;
+  LogicalToStringRecursive(plan, 0, &out);
+  return out;
+}
+
+LogicalPtr NormalizeLogical(const LogicalPtr& plan) { return NormalizeRecursive(plan); }
+
+}  // namespace mppdb

@@ -1,0 +1,253 @@
+#ifndef MPPDB_OPTIMIZER_LOGICAL_H_
+#define MPPDB_OPTIMIZER_LOGICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/plan.h"
+#include "expr/expr.h"
+
+namespace mppdb {
+
+/// Allocates query-unique ColRefIds (the binder and optimizers share one
+/// allocator per statement).
+class ColRefAllocator {
+ public:
+  explicit ColRefAllocator(ColRefId first = 1) : next_(first) {}
+  ColRefId Next() { return next_++; }
+  ColRefId Peek() const { return next_; }
+
+ private:
+  ColRefId next_;
+};
+
+enum class LogicalKind {
+  kGet,
+  kSelect,
+  kJoin,
+  kProject,
+  kAgg,
+  kSort,
+  kLimit,
+  kValues,
+};
+
+class LogicalNode;
+using LogicalPtr = std::shared_ptr<const LogicalNode>;
+
+/// Immutable logical operator tree produced by the binder and consumed by
+/// both optimizers.
+class LogicalNode {
+ public:
+  LogicalNode(LogicalKind kind, std::vector<LogicalPtr> children)
+      : kind_(kind), children_(std::move(children)) {}
+  virtual ~LogicalNode() = default;
+
+  LogicalKind kind() const { return kind_; }
+  const std::vector<LogicalPtr>& children() const { return children_; }
+  const LogicalPtr& child(size_t i) const { return children_[i]; }
+
+  virtual std::vector<ColRefId> OutputIds() const = 0;
+  virtual std::string Describe() const = 0;
+
+ private:
+  LogicalKind kind_;
+  std::vector<LogicalPtr> children_;
+};
+
+/// Base-table access. `column_ids` are the allocated ColRefIds, one per
+/// schema column; `rowid_ids` (3 ids) are present when this Get feeds a DML
+/// statement that must locate physical rows.
+class LogicalGet : public LogicalNode {
+ public:
+  LogicalGet(const TableDescriptor* table, std::string alias,
+             std::vector<ColRefId> column_ids, std::vector<ColRefId> rowid_ids = {})
+      : LogicalNode(LogicalKind::kGet, {}),
+        table_(table),
+        alias_(std::move(alias)),
+        column_ids_(std::move(column_ids)),
+        rowid_ids_(std::move(rowid_ids)) {}
+
+  const TableDescriptor* table() const { return table_; }
+  const std::string& alias() const { return alias_; }
+  const std::vector<ColRefId>& column_ids() const { return column_ids_; }
+  const std::vector<ColRefId>& rowid_ids() const { return rowid_ids_; }
+
+  /// ColRefIds of the partition-key columns (one per level; empty if the
+  /// table is unpartitioned).
+  std::vector<ColRefId> PartitionKeyIds() const;
+
+  /// ColRefIds of the distribution-key columns (kHashed only).
+  std::vector<ColRefId> DistributionKeyIds() const;
+
+  std::vector<ColRefId> OutputIds() const override;
+  std::string Describe() const override;
+
+ private:
+  const TableDescriptor* table_;
+  std::string alias_;
+  std::vector<ColRefId> column_ids_;
+  std::vector<ColRefId> rowid_ids_;
+};
+
+class LogicalSelect : public LogicalNode {
+ public:
+  LogicalSelect(ExprPtr predicate, LogicalPtr child)
+      : LogicalNode(LogicalKind::kSelect, {std::move(child)}),
+        predicate_(std::move(predicate)) {}
+
+  const ExprPtr& predicate() const { return predicate_; }
+  std::vector<ColRefId> OutputIds() const override { return child(0)->OutputIds(); }
+  std::string Describe() const override {
+    return "Select(" + predicate_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Inner or (left-preserving) semi join; `predicate` is the full join
+/// condition. For kSemi, children[0] is the preserved side and children[1]
+/// the IN-subquery side; output columns are children[0]'s.
+class LogicalJoin : public LogicalNode {
+ public:
+  LogicalJoin(JoinType join_type, ExprPtr predicate, LogicalPtr left, LogicalPtr right)
+      : LogicalNode(LogicalKind::kJoin, {std::move(left), std::move(right)}),
+        join_type_(join_type),
+        predicate_(std::move(predicate)) {}
+
+  JoinType join_type() const { return join_type_; }
+  const ExprPtr& predicate() const { return predicate_; }
+
+  std::vector<ColRefId> OutputIds() const override;
+  std::string Describe() const override;
+
+ private:
+  JoinType join_type_;
+  ExprPtr predicate_;
+};
+
+class LogicalProject : public LogicalNode {
+ public:
+  LogicalProject(std::vector<ProjectItem> items, LogicalPtr child)
+      : LogicalNode(LogicalKind::kProject, {std::move(child)}),
+        items_(std::move(items)) {}
+
+  const std::vector<ProjectItem>& items() const { return items_; }
+  std::vector<ColRefId> OutputIds() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<ProjectItem> items_;
+};
+
+class LogicalAgg : public LogicalNode {
+ public:
+  LogicalAgg(std::vector<ColRefId> group_by, std::vector<AggItem> aggs, LogicalPtr child)
+      : LogicalNode(LogicalKind::kAgg, {std::move(child)}),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)) {}
+
+  const std::vector<ColRefId>& group_by() const { return group_by_; }
+  const std::vector<AggItem>& aggs() const { return aggs_; }
+  std::vector<ColRefId> OutputIds() const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<ColRefId> group_by_;
+  std::vector<AggItem> aggs_;
+};
+
+class LogicalSort : public LogicalNode {
+ public:
+  LogicalSort(std::vector<SortKey> keys, LogicalPtr child)
+      : LogicalNode(LogicalKind::kSort, {std::move(child)}), keys_(std::move(keys)) {}
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+  std::vector<ColRefId> OutputIds() const override { return child(0)->OutputIds(); }
+  std::string Describe() const override { return "Sort"; }
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+class LogicalLimit : public LogicalNode {
+ public:
+  LogicalLimit(size_t limit, LogicalPtr child)
+      : LogicalNode(LogicalKind::kLimit, {std::move(child)}), limit_(limit) {}
+
+  size_t limit() const { return limit_; }
+  std::vector<ColRefId> OutputIds() const override { return child(0)->OutputIds(); }
+  std::string Describe() const override { return "Limit " + std::to_string(limit_); }
+
+ private:
+  size_t limit_;
+};
+
+class LogicalValues : public LogicalNode {
+ public:
+  LogicalValues(std::vector<Row> rows, std::vector<ColRefId> output_ids)
+      : LogicalNode(LogicalKind::kValues, {}),
+        rows_(std::move(rows)),
+        output_ids_(std::move(output_ids)) {}
+
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<ColRefId> OutputIds() const override { return output_ids_; }
+  std::string Describe() const override {
+    return "Values(" + std::to_string(rows_.size()) + ")";
+  }
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<ColRefId> output_ids_;
+};
+
+/// A bound statement handed to an optimizer. SELECTs carry just `root`; DML
+/// statements additionally carry the target table and (for UPDATE) SET
+/// items; their `root` computes the affected rows (including rowid columns
+/// for UPDATE/DELETE).
+struct BoundStatement {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete };
+
+  Kind kind = Kind::kSelect;
+  /// EXPLAIN prefix: plan only, return the rendered plan.
+  bool explain = false;
+  LogicalPtr root;
+  /// Names of the root output columns, aligned with root->OutputIds().
+  std::vector<std::string> output_names;
+
+  // DML fields.
+  const TableDescriptor* target_table = nullptr;
+  std::vector<ColRefId> target_column_ids;  ///< target Get's column ids
+  std::vector<ColRefId> target_rowid_ids;   ///< target Get's rowid ids
+  std::vector<UpdateSetItem> set_items;     ///< UPDATE only
+  ColRefId count_output_id = -1;            ///< DML result column
+};
+
+/// Equi-join keys mined from a join predicate: aligned column pairs plus the
+/// non-equi residual (nullptr if fully equi).
+struct EquiJoinKeys {
+  std::vector<ColRefId> left;
+  std::vector<ColRefId> right;
+  ExprPtr residual;
+};
+
+/// Splits `pred` into `left col = right col` pairs (sides identified by the
+/// given output-id sets) and a residual conjunction.
+EquiJoinKeys ExtractEquiJoinKeys(const ExprPtr& pred,
+                                 const std::vector<ColRefId>& left_ids,
+                                 const std::vector<ColRefId>& right_ids);
+
+/// Multi-line rendering of a logical tree.
+std::string LogicalToString(const LogicalPtr& plan);
+
+/// Normalization pass shared by both optimizers: flattens nested ANDs and
+/// pushes Select predicates below Projects and into join children when a
+/// conjunct references only one side (predicate pushdown).
+LogicalPtr NormalizeLogical(const LogicalPtr& plan);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_LOGICAL_H_

@@ -1,0 +1,32 @@
+#ifndef MPPDB_OPTIMIZER_PART_SELECTOR_SPEC_H_
+#define MPPDB_OPTIMIZER_PART_SELECTOR_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/partition_scheme.h"
+#include "expr/expr.h"
+
+namespace mppdb {
+
+/// The paper's PartSelectorSpec (Fig. 7, extended to multi-level in Fig. 11):
+/// a compact description of the PartitionSelector that must be placed for one
+/// unresolved DynamicScan. `part_predicates[i]` (nullable) is the predicate
+/// collected so far for partitioning level i; it is augmented as the spec is
+/// pushed through Select and Join operators (Algorithms 3 and 4).
+struct PartSelectorSpec {
+  int scan_id = -1;
+  Oid table_oid = kInvalidOid;
+  /// ColRefIds of the DynamicScan's partition-key output columns, per level.
+  std::vector<ColRefId> part_keys;
+  /// Per-level predicate over part_keys[i] (plus, for join-induced dynamic
+  /// elimination, columns of the subtree the selector is placed on); null
+  /// when no predicate has been collected for that level.
+  std::vector<ExprPtr> part_predicates;
+
+  std::string ToString() const;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_PART_SELECTOR_SPEC_H_

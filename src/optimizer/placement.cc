@@ -1,0 +1,292 @@
+#include "optimizer/placement.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "expr/constraint_derivation.h"
+
+namespace mppdb {
+
+std::string PartSelectorSpec::ToString() const {
+  std::vector<std::string> preds;
+  for (const auto& p : part_predicates) {
+    preds.push_back(p == nullptr ? "-" : p->ToString());
+  }
+  return "<scan " + std::to_string(scan_id) + ", table " + std::to_string(table_oid) +
+         ", preds [" + Join(preds, "; ") + "]>";
+}
+
+namespace {
+
+// The paper's Operator::HasPartScanId helper.
+bool HasScanId(const PhysPtr& node, int scan_id) {
+  if (node->kind() == PhysNodeKind::kDynamicScan) {
+    return static_cast<const DynamicScanNode&>(*node).scan_id() == scan_id;
+  }
+  for (const auto& child : node->children()) {
+    if (HasScanId(child, scan_id)) return true;
+  }
+  return false;
+}
+
+// True if DynamicScan `scan_id` is reachable from `node` without crossing a
+// Motion boundary — the precondition for feeding it from a selector placed
+// in a sibling subtree (paper §3.1).
+bool MotionFreePathToScan(const PhysPtr& node, int scan_id) {
+  if (node->kind() == PhysNodeKind::kMotion) return false;
+  if (node->kind() == PhysNodeKind::kDynamicScan) {
+    return static_cast<const DynamicScanNode&>(*node).scan_id() == scan_id;
+  }
+  for (const auto& child : node->children()) {
+    if (MotionFreePathToScan(child, scan_id)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AugmentSpecFromPredicate(const ExprPtr& pred,
+                              const std::unordered_set<ColRefId>& available,
+                              PartSelectorSpec* spec) {
+  bool any = false;
+  for (size_t level = 0; level < spec->part_keys.size(); ++level) {
+    ExprPtr found = FindPredOnKey(spec->part_keys[level], pred, available);
+    if (found != nullptr) {
+      spec->part_predicates[level] = Conj({found, spec->part_predicates[level]});
+      any = true;
+    }
+  }
+  return any;
+}
+
+PhysPtr MakePartitionSelector(const PartSelectorSpec& spec, PhysPtr child) {
+  std::vector<ExprPtr> preds = spec.part_predicates;
+  if (child == nullptr) {
+    // Standalone selectors keep only statically evaluable conjuncts per
+    // level; the remaining constraint is a sound superset.
+    for (size_t level = 0; level < preds.size(); ++level) {
+      if (preds[level] == nullptr) continue;
+      preds[level] = FindPredOnKey(spec.part_keys[level], preds[level], {});
+    }
+  }
+  return std::make_shared<PartitionSelectorNode>(spec.table_oid, spec.scan_id,
+                                                 spec.part_keys, std::move(preds),
+                                                 std::move(child));
+}
+
+namespace {
+
+ExprPtr MakeRef(ColRefId id) {
+  return MakeColumnRef(id, "c" + std::to_string(id), TypeId::kInt64);
+}
+
+// Reconstructs a join's full predicate (equi-conditions plus residual) as a
+// scalar expression so that FindPredOnKey can mine it (Algorithm 4's
+// this.Predicate()).
+ExprPtr JoinPredicateExpr(const PhysPtr& node) {
+  if (node->kind() == PhysNodeKind::kHashJoin) {
+    const auto& join = static_cast<const HashJoinNode&>(*node);
+    std::vector<ExprPtr> conjuncts;
+    for (size_t i = 0; i < join.build_keys().size(); ++i) {
+      conjuncts.push_back(MakeComparison(CompareOp::kEq, MakeRef(join.build_keys()[i]),
+                                         MakeRef(join.probe_keys()[i])));
+    }
+    if (join.residual() != nullptr) conjuncts.push_back(join.residual());
+    return Conj(std::move(conjuncts));
+  }
+  MPPDB_CHECK(node->kind() == PhysNodeKind::kNestedLoopJoin);
+  return static_cast<const NestedLoopJoinNode&>(*node).predicate();
+}
+
+// The paper's EnforcePartSelectors: places each on-top spec either as a
+// pass-through selector (its DynamicScan lives elsewhere) or via a Sequence
+// with a standalone selector (its DynamicScan is inside `expr`).
+PhysPtr EnforcePartSelectors(const std::vector<PartSelectorSpec>& on_top,
+                             PhysPtr expr) {
+  for (const PartSelectorSpec& spec : on_top) {
+    if (HasScanId(expr, spec.scan_id)) {
+      PhysPtr selector = MakePartitionSelector(spec, nullptr);
+      expr = std::make_shared<SequenceNode>(std::vector<PhysPtr>{selector, expr});
+    } else {
+      expr = MakePartitionSelector(spec, expr);
+    }
+  }
+  return expr;
+}
+
+// ComputePartSelectors dispatch: fills `on_top` and `child_specs` (one list
+// per child) for the given operator, per Algorithms 2-4.
+void ComputePartSelectors(const PhysPtr& expr, std::vector<PartSelectorSpec> input,
+                          std::vector<PartSelectorSpec>* on_top,
+                          std::vector<std::vector<PartSelectorSpec>>* child_specs) {
+  child_specs->assign(expr->children().size(), {});
+  const bool is_join = expr->kind() == PhysNodeKind::kHashJoin ||
+                       expr->kind() == PhysNodeKind::kNestedLoopJoin;
+  const bool is_filter = expr->kind() == PhysNodeKind::kFilter;
+
+  for (PartSelectorSpec& spec : input) {
+    if (!HasScanId(expr, spec.scan_id)) {
+      on_top->push_back(std::move(spec));  // Algorithm 2 line 3
+      continue;
+    }
+    if (expr->kind() == PhysNodeKind::kDynamicScan) {
+      on_top->push_back(std::move(spec));  // resolved adjacent to the scan
+      continue;
+    }
+    if (is_filter) {
+      // Algorithm 3: mine the selection predicate for static conjuncts on
+      // the partitioning keys before pushing down.
+      const auto& filter = static_cast<const FilterNode&>(*expr);
+      AugmentSpecFromPredicate(filter.predicate(), {}, &spec);
+      (*child_specs)[0].push_back(std::move(spec));
+      continue;
+    }
+    if (is_join) {
+      // Algorithm 4.
+      bool defined_in_outer = HasScanId(expr->child(0), spec.scan_id);
+      if (defined_in_outer) {
+        (*child_specs)[0].push_back(std::move(spec));  // line 9
+        continue;
+      }
+      ExprPtr join_pred = JoinPredicateExpr(expr);
+      std::vector<ColRefId> outer_ids = expr->child(0)->OutputIds();
+      std::unordered_set<ColRefId> available(outer_ids.begin(), outer_ids.end());
+      PartSelectorSpec augmented = spec;
+      bool useful = join_pred != nullptr &&
+                    AugmentSpecFromPredicate(join_pred, available, &augmented);
+      if (useful && MotionFreePathToScan(expr->child(1), spec.scan_id)) {
+        // line 16: dynamic elimination — selector goes to the side that
+        // executes first.
+        (*child_specs)[0].push_back(std::move(augmented));
+      } else {
+        // line 12, or Motion-safety fallback: resolve near the scan.
+        (*child_specs)[1].push_back(std::move(spec));
+      }
+      continue;
+    }
+    // Algorithm 2 default: push to the child that defines the scan.
+    for (size_t i = 0; i < expr->children().size(); ++i) {
+      if (HasScanId(expr->child(i), spec.scan_id)) {
+        (*child_specs)[i].push_back(std::move(spec));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+void CollectScansAndSelectors(const PhysPtr& node,
+                              std::vector<const DynamicScanNode*>* scans,
+                              std::unordered_set<int>* selector_ids) {
+  if (node->kind() == PhysNodeKind::kDynamicScan) {
+    scans->push_back(&static_cast<const DynamicScanNode&>(*node));
+    return;
+  }
+  if (node->kind() == PhysNodeKind::kPartitionSelector) {
+    selector_ids->insert(static_cast<const PartitionSelectorNode&>(*node).scan_id());
+  }
+  for (const auto& child : node->children()) {
+    CollectScansAndSelectors(child, scans, selector_ids);
+  }
+}
+
+}  // namespace
+
+std::vector<PartSelectorSpec> CollectUnresolvedScans(const PhysPtr& plan,
+                                                     const Catalog& catalog) {
+  std::vector<const DynamicScanNode*> scans;
+  std::unordered_set<int> selector_ids;
+  CollectScansAndSelectors(plan, &scans, &selector_ids);
+  std::vector<PartSelectorSpec> specs;
+  for (const DynamicScanNode* scan : scans) {
+    if (selector_ids.count(scan->scan_id()) > 0) continue;  // already resolved
+    const TableDescriptor* table = catalog.FindTable(scan->table_oid());
+    MPPDB_CHECK(table != nullptr && table->IsPartitioned());
+    PartSelectorSpec spec;
+    spec.scan_id = scan->scan_id();
+    spec.table_oid = scan->table_oid();
+    for (int key_column : table->PartitionKeyColumns()) {
+      spec.part_keys.push_back(scan->column_ids()[static_cast<size_t>(key_column)]);
+    }
+    spec.part_predicates.assign(spec.part_keys.size(), nullptr);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Result<PhysPtr> PlacePartSelectors(const PhysPtr& expr,
+                                   std::vector<PartSelectorSpec> specs,
+                                   const Catalog& catalog) {
+  std::vector<PartSelectorSpec> on_top;
+  std::vector<std::vector<PartSelectorSpec>> child_specs;
+  ComputePartSelectors(expr, std::move(specs), &on_top, &child_specs);
+
+  std::vector<PhysPtr> new_children;
+  new_children.reserve(expr->children().size());
+  for (size_t i = 0; i < expr->children().size(); ++i) {
+    MPPDB_ASSIGN_OR_RETURN(PhysPtr new_child,
+                           PlacePartSelectors(expr->child(i),
+                                              std::move(child_specs[i]), catalog));
+    new_children.push_back(std::move(new_child));
+  }
+  PhysPtr rebuilt = CloneWithChildren(expr, std::move(new_children));
+  return EnforcePartSelectors(on_top, std::move(rebuilt));
+}
+
+Result<PhysPtr> PlaceAllPartSelectors(const PhysPtr& plan, const Catalog& catalog) {
+  std::vector<PartSelectorSpec> specs = CollectUnresolvedScans(plan, catalog);
+  MPPDB_ASSIGN_OR_RETURN(PhysPtr placed, PlacePartSelectors(plan, std::move(specs),
+                                                            catalog));
+  MPPDB_RETURN_IF_ERROR(ValidateSelectorPlacement(placed));
+  return placed;
+}
+
+namespace {
+
+// Simulated execution-order walk: children left to right, then the node.
+// Selector events record completion of OID production; scan events check a
+// matching earlier selector in the same slice.
+struct PlacementValidator {
+  int next_slice = 0;
+  // (scan_id, slice) pairs for selectors that have completed.
+  std::unordered_set<int64_t> produced;
+  Status status = Status::OK();
+
+  static int64_t Key(int scan_id, int slice) {
+    return (static_cast<int64_t>(scan_id) << 32) | static_cast<uint32_t>(slice);
+  }
+
+  void Walk(const PhysPtr& node, int slice) {
+    if (!status.ok()) return;
+    for (const auto& child : node->children()) {
+      int child_slice = slice;
+      if (node->kind() == PhysNodeKind::kMotion) child_slice = ++next_slice;
+      Walk(child, child_slice);
+    }
+    if (node->kind() == PhysNodeKind::kPartitionSelector) {
+      const auto& sel = static_cast<const PartitionSelectorNode&>(*node);
+      produced.insert(Key(sel.scan_id(), slice));
+    } else if (node->kind() == PhysNodeKind::kDynamicScan) {
+      const auto& scan = static_cast<const DynamicScanNode&>(*node);
+      if (produced.count(Key(scan.scan_id(), slice)) == 0) {
+        status = Status::PlanError(
+            "DynamicScan (scan id " + std::to_string(scan.scan_id()) +
+            ") has no PartitionSelector that runs earlier in its slice");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Status ValidateSelectorPlacement(const PhysPtr& plan) {
+  PlacementValidator validator;
+  validator.Walk(plan, 0);
+  return validator.status;
+}
+
+}  // namespace mppdb

@@ -1,0 +1,70 @@
+#ifndef MPPDB_OPTIMIZER_PLACEMENT_H_
+#define MPPDB_OPTIMIZER_PLACEMENT_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/plan.h"
+#include "optimizer/part_selector_spec.h"
+
+namespace mppdb {
+
+/// Direct implementation of the paper's PartitionSelector placement
+/// (§2.3, Algorithms 1-4) over physical expression trees.
+///
+/// Input: a physical tree containing DynamicScans but no PartitionSelectors.
+/// Output: an equivalent tree where every DynamicScan has exactly one
+/// PartitionSelector placed for it —
+///   * adjacent (Sequence(PartitionSelector, DynamicScan)) when only static
+///     predicates apply (Figs. 5(a)-(c)), or
+///   * as a pass-through operator on the join side that executes first, when
+///     a join predicate constrains the partitioning key (Fig. 5(d)),
+/// with all predicates accumulated on the way down (Algorithms 3-4).
+///
+/// Motion safety: a (PartitionSelector, DynamicScan) pair must share a plan
+/// slice (paper §3.1). When pushing a join spec to the opposite side would
+/// strand the pair across a Motion (the DynamicScan sits below a Motion on
+/// its own side), the algorithm falls back to resolving the spec on the
+/// scan's side, forgoing dynamic elimination rather than producing an
+/// invalid plan.
+
+/// Builds the initial specs by traversing the tree and collecting every
+/// DynamicScan (paper: "initialized by traversing the tree and identifying
+/// all DynamicScans that need corresponding PartitionSelectors").
+std::vector<PartSelectorSpec> CollectUnresolvedScans(const PhysPtr& plan,
+                                                     const Catalog& catalog);
+
+/// Algorithm 1 (PlacePartSelectors): returns the tree with all specs
+/// enforced.
+Result<PhysPtr> PlacePartSelectors(const PhysPtr& expr,
+                                   std::vector<PartSelectorSpec> specs,
+                                   const Catalog& catalog);
+
+/// Convenience: CollectUnresolvedScans + PlacePartSelectors.
+Result<PhysPtr> PlaceAllPartSelectors(const PhysPtr& plan, const Catalog& catalog);
+
+/// Per-level FindPredOnKey over `pred`; merges hits into `spec` (conjoined
+/// with whatever was already collected). Returns true if any level matched.
+/// `available` is the set of columns whose values the selector will have at
+/// runtime (empty for static extraction; the first-executing join side's
+/// outputs for join-induced dynamic elimination).
+bool AugmentSpecFromPredicate(const ExprPtr& pred,
+                              const std::unordered_set<ColRefId>& available,
+                              PartSelectorSpec* spec);
+
+/// Builds the PartitionSelector operator for a spec: pass-through when
+/// `child` is non-null, standalone otherwise (standalone selectors keep only
+/// statically evaluable predicate conjuncts per level).
+PhysPtr MakePartitionSelector(const PartSelectorSpec& spec, PhysPtr child);
+
+/// Validation of the producer/consumer contract (tested invariant): every
+/// DynamicScan has a PartitionSelector with its scan id that (a) executes
+/// before it (left of it in execution order, or its ancestor via Sequence)
+/// and (b) shares its slice (no Motion between either operator and their
+/// lowest common ancestor). Returns an error describing the first violation.
+Status ValidateSelectorPlacement(const PhysPtr& plan);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_PLACEMENT_H_

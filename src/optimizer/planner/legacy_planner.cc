@@ -1,0 +1,376 @@
+#include "optimizer/planner/legacy_planner.h"
+
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "expr/constraint_derivation.h"
+
+namespace mppdb {
+
+namespace {
+
+// Replaces the leaf TableScans of (a Filter over) an Append with
+// CheckedPartScans consulting the runtime parameter `scan_id` — the legacy
+// planner's dynamic-elimination plan shape.
+PhysPtr RewriteAppendToChecked(const PhysPtr& node, Oid table_oid, int scan_id) {
+  if (node->kind() == PhysNodeKind::kFilter) {
+    const auto& filter = static_cast<const FilterNode&>(*node);
+    return std::make_shared<FilterNode>(
+        filter.predicate(), RewriteAppendToChecked(filter.child(0), table_oid, scan_id));
+  }
+  if (node->kind() == PhysNodeKind::kAppend) {
+    std::vector<PhysPtr> children;
+    for (const auto& child : node->children()) {
+      children.push_back(RewriteAppendToChecked(child, table_oid, scan_id));
+    }
+    return std::make_shared<AppendNode>(std::move(children));
+  }
+  if (node->kind() == PhysNodeKind::kTableScan) {
+    const auto& scan = static_cast<const TableScanNode&>(*node);
+    if (scan.table_oid() == table_oid && scan.unit_oid() != table_oid &&
+        scan.rowid_ids().empty()) {
+      return std::make_shared<CheckedPartScanNode>(table_oid, scan.unit_oid(), scan_id,
+                                                   scan.column_ids());
+    }
+  }
+  return node;
+}
+
+PhysPtr Gather(PhysPtr plan) {
+  return std::make_shared<MotionNode>(MotionKind::kGather, std::vector<ColRefId>{},
+                                      std::move(plan));
+}
+
+PhysPtr Broadcast(PhysPtr plan) {
+  return std::make_shared<MotionNode>(MotionKind::kBroadcast, std::vector<ColRefId>{},
+                                      std::move(plan));
+}
+
+}  // namespace
+
+Result<LegacyPlanner::Planned> LegacyPlanner::PlanGet(const LogicalGet& get,
+                                                      const ExprPtr& pred) {
+  Planned out;
+  const TableDescriptor* table = get.table();
+  if (table->distribution == TableDistribution::kHashed) {
+    out.hash_columns = get.DistributionKeyIds();
+  }
+  out.distributed = table->distribution != TableDistribution::kReplicated;
+
+  if (!table->IsPartitioned()) {
+    out.plan = std::make_shared<TableScanNode>(table->oid, table->oid,
+                                               get.column_ids(), get.rowid_ids());
+    return out;
+  }
+
+  // Static partition elimination: evaluate the predicate against partition
+  // constraints at planning time.
+  std::vector<ConstraintSet> constraints;
+  if (options_.enable_static_elimination && pred != nullptr) {
+    for (ColRefId key : get.PartitionKeyIds()) {
+      constraints.push_back(DeriveConstraint(pred, key));
+    }
+  }
+  std::vector<Oid> leaves = table->partition_scheme->SelectPartitions(constraints);
+
+  if (leaves.empty()) {
+    out.plan = std::make_shared<ValuesNode>(std::vector<Row>{}, get.OutputIds());
+    out.distributed = false;
+    return out;
+  }
+  std::vector<PhysPtr> scans;
+  scans.reserve(leaves.size());
+  for (Oid leaf : leaves) {
+    scans.push_back(std::make_shared<TableScanNode>(table->oid, leaf, get.column_ids(),
+                                                    get.rowid_ids()));
+  }
+  out.plan = std::make_shared<AppendNode>(std::move(scans));
+  if (get.rowid_ids().empty()) {
+    out.partitioned_table = table;
+    out.partition_key_ids = get.PartitionKeyIds();
+  }
+  return out;
+}
+
+Result<LegacyPlanner::Planned> LegacyPlanner::PlanJoin(const LogicalJoin& join) {
+  MPPDB_ASSIGN_OR_RETURN(Planned left, PlanNode(join.child(0)));
+  MPPDB_ASSIGN_OR_RETURN(Planned right, PlanNode(join.child(1)));
+
+  std::vector<ColRefId> left_ids = join.child(0)->OutputIds();
+  std::vector<ColRefId> right_ids = join.child(1)->OutputIds();
+  EquiJoinKeys keys = ExtractEquiJoinKeys(join.predicate(), left_ids, right_ids);
+
+  // Build/probe selection. Semi joins preserve the left side, which must be
+  // the probe (our executor's semi join emits probe rows). For inner joins
+  // the smaller side builds.
+  Planned build, probe;
+  std::vector<ColRefId> build_keys, probe_keys;
+  if (join.join_type() == JoinType::kSemi ||
+      estimator_.EstimateRows(join.child(1)) <= estimator_.EstimateRows(join.child(0))) {
+    build = std::move(right);
+    probe = std::move(left);
+    build_keys = keys.right;
+    probe_keys = keys.left;
+  } else {
+    build = std::move(left);
+    probe = std::move(right);
+    build_keys = keys.left;
+    probe_keys = keys.right;
+  }
+
+  // The baseline always broadcasts the build side (correct, if not optimal).
+  PhysPtr build_plan = Broadcast(build.plan);
+
+  // Rudimentary parameter-based dynamic partition elimination (paper §4.4.2):
+  // the plan still lists every partition as a CheckedPartScan. True to the
+  // legacy planner's limitations (paper §5: "a handful of simple examples of
+  // single-level equality joins"), it only fires for plain inner joins —
+  // semi joins produced by IN (SELECT ...) rewrites are not covered.
+  if (options_.enable_dynamic_elimination && join.join_type() == JoinType::kInner &&
+      probe.partitioned_table != nullptr) {
+    std::vector<ExprPtr> level_preds(probe.partition_key_ids.size(), nullptr);
+    bool any = false;
+    for (size_t level = 0; level < probe.partition_key_ids.size(); ++level) {
+      for (size_t k = 0; k < probe_keys.size(); ++k) {
+        if (probe_keys[k] == probe.partition_key_ids[level]) {
+          level_preds[level] = MakeComparison(
+              CompareOp::kEq,
+              MakeColumnRef(probe.partition_key_ids[level], "pk", TypeId::kInt64),
+              MakeColumnRef(build_keys[k], "bk", TypeId::kInt64));
+          any = true;
+          break;
+        }
+      }
+    }
+    if (any) {
+      int scan_id = NextScanId();
+      probe.plan = RewriteAppendToChecked(probe.plan, probe.partitioned_table->oid,
+                                          scan_id);
+      build_plan = std::make_shared<PartitionSelectorNode>(
+          probe.partitioned_table->oid, scan_id, probe.partition_key_ids,
+          std::move(level_preds), build_plan);
+    }
+  }
+
+  Planned out;
+  if (build_keys.empty()) {
+    out.plan = std::make_shared<NestedLoopJoinNode>(join.join_type(), join.predicate(),
+                                                    build_plan, probe.plan);
+  } else {
+    out.plan = std::make_shared<HashJoinNode>(join.join_type(), build_keys, probe_keys,
+                                              keys.residual, build_plan, probe.plan);
+  }
+  out.distributed = probe.distributed;
+  out.hash_columns = probe.hash_columns;
+  return out;
+}
+
+Result<LegacyPlanner::Planned> LegacyPlanner::PlanNode(const LogicalPtr& node) {
+  switch (node->kind()) {
+    case LogicalKind::kGet:
+      return PlanGet(static_cast<const LogicalGet&>(*node), nullptr);
+    case LogicalKind::kSelect: {
+      const auto& select = static_cast<const LogicalSelect&>(*node);
+      if (select.child(0)->kind() == LogicalKind::kGet) {
+        MPPDB_ASSIGN_OR_RETURN(
+            Planned scan, PlanGet(static_cast<const LogicalGet&>(*select.child(0)),
+                                  select.predicate()));
+        scan.plan = std::make_shared<FilterNode>(select.predicate(), scan.plan);
+        return scan;
+      }
+      MPPDB_ASSIGN_OR_RETURN(Planned child, PlanNode(select.child(0)));
+      child.plan = std::make_shared<FilterNode>(select.predicate(), child.plan);
+      return child;
+    }
+    case LogicalKind::kJoin:
+      return PlanJoin(static_cast<const LogicalJoin&>(*node));
+    case LogicalKind::kProject: {
+      const auto& project = static_cast<const LogicalProject&>(*node);
+      MPPDB_ASSIGN_OR_RETURN(Planned child, PlanNode(project.child(0)));
+      child.plan = std::make_shared<ProjectNode>(project.items(), child.plan);
+      child.partitioned_table = nullptr;
+      child.hash_columns.clear();
+      return child;
+    }
+    case LogicalKind::kAgg: {
+      const auto& agg = static_cast<const LogicalAgg&>(*node);
+      MPPDB_ASSIGN_OR_RETURN(Planned child, PlanNode(agg.child(0)));
+      PhysPtr plan = child.distributed ? Gather(child.plan) : child.plan;
+      Planned out;
+      out.plan = std::make_shared<HashAggNode>(agg.group_by(), agg.aggs(), plan);
+      out.distributed = false;
+      return out;
+    }
+    case LogicalKind::kSort: {
+      const auto& sort = static_cast<const LogicalSort&>(*node);
+      MPPDB_ASSIGN_OR_RETURN(Planned child, PlanNode(sort.child(0)));
+      PhysPtr plan = child.distributed ? Gather(child.plan) : child.plan;
+      Planned out;
+      out.plan = std::make_shared<SortNode>(sort.keys(), plan);
+      out.distributed = false;
+      return out;
+    }
+    case LogicalKind::kLimit: {
+      const auto& limit = static_cast<const LogicalLimit&>(*node);
+      MPPDB_ASSIGN_OR_RETURN(Planned child, PlanNode(limit.child(0)));
+      PhysPtr plan = child.distributed ? Gather(child.plan) : child.plan;
+      Planned out;
+      out.plan = std::make_shared<LimitNode>(limit.limit(), plan);
+      out.distributed = false;
+      return out;
+    }
+    case LogicalKind::kValues: {
+      const auto& values = static_cast<const LogicalValues&>(*node);
+      Planned out;
+      out.plan = std::make_shared<ValuesNode>(values.rows(), values.OutputIds());
+      out.distributed = false;
+      return out;
+    }
+  }
+  return Status::PlanError("unsupported logical node in legacy planner");
+}
+
+Result<PhysPtr> LegacyPlanner::PlanDml(const BoundStatement& stmt) {
+  if (stmt.kind == BoundStatement::Kind::kUpdate ||
+      stmt.kind == BoundStatement::Kind::kDelete) {
+    Result<PhysPtr> pairwise = PlanPairwiseDmlJoin(stmt);
+    if (pairwise.ok()) return pairwise;
+  }
+  MPPDB_ASSIGN_OR_RETURN(Planned source, PlanNode(stmt.root));
+  PhysPtr plan = source.distributed ? Gather(source.plan) : source.plan;
+  switch (stmt.kind) {
+    case BoundStatement::Kind::kInsert:
+      return PhysPtr(std::make_shared<InsertNode>(stmt.target_table->oid,
+                                                  stmt.count_output_id, plan));
+    case BoundStatement::Kind::kUpdate:
+      return PhysPtr(std::make_shared<UpdateNode>(
+          stmt.target_table->oid, stmt.target_column_ids, stmt.target_rowid_ids,
+          stmt.set_items, stmt.count_output_id, plan));
+    case BoundStatement::Kind::kDelete:
+      return PhysPtr(std::make_shared<DeleteNode>(stmt.target_table->oid,
+                                                  stmt.target_rowid_ids,
+                                                  stmt.count_output_id, plan));
+    default:
+      return Status::PlanError("not a DML statement");
+  }
+}
+
+namespace {
+
+// Pattern helper: unwraps Select(Get) / Get, returning the Get and the local
+// predicate.
+const LogicalGet* UnwrapGet(const LogicalPtr& node, ExprPtr* pred) {
+  if (node->kind() == LogicalKind::kGet) {
+    *pred = nullptr;
+    return &static_cast<const LogicalGet&>(*node);
+  }
+  if (node->kind() == LogicalKind::kSelect &&
+      node->child(0)->kind() == LogicalKind::kGet) {
+    *pred = static_cast<const LogicalSelect&>(*node).predicate();
+    return &static_cast<const LogicalGet&>(*node->child(0));
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<PhysPtr> LegacyPlanner::PlanPairwiseDmlJoin(const BoundStatement& stmt) {
+  // Match: [Select(pred)] Join(jpred, side, side) where both sides are
+  // (filtered) Gets of partitioned tables. The legacy planner expands the
+  // join into per-partition-pair joins (paper §4.4.3).
+  LogicalPtr node = stmt.root;
+  ExprPtr top_pred = nullptr;
+  if (node->kind() == LogicalKind::kSelect) {
+    top_pred = static_cast<const LogicalSelect&>(*node).predicate();
+    node = node->child(0);
+  }
+  if (node->kind() != LogicalKind::kJoin) {
+    return Status::PlanError("not a pairwise DML join pattern");
+  }
+  const auto& join = static_cast<const LogicalJoin&>(*node);
+  if (join.join_type() != JoinType::kInner) {
+    return Status::PlanError("not a pairwise DML join pattern");
+  }
+  ExprPtr left_pred, right_pred;
+  const LogicalGet* left_get = UnwrapGet(join.child(0), &left_pred);
+  const LogicalGet* right_get = UnwrapGet(join.child(1), &right_pred);
+  if (left_get == nullptr || right_get == nullptr ||
+      !left_get->table()->IsPartitioned() || !right_get->table()->IsPartitioned()) {
+    return Status::PlanError("not a pairwise DML join pattern");
+  }
+
+  ExprPtr combined = Conj({top_pred, join.predicate()});
+  EquiJoinKeys keys = ExtractEquiJoinKeys(combined, join.child(0)->OutputIds(),
+                                  join.child(1)->OutputIds());
+  ExprPtr filter_pred = keys.residual;
+
+  // Static pruning per side (the planner does apply constraint exclusion).
+  auto select_leaves = [&](const LogicalGet& get, const ExprPtr& pred) {
+    std::vector<ConstraintSet> constraints;
+    if (options_.enable_static_elimination && pred != nullptr) {
+      for (ColRefId key : get.PartitionKeyIds()) {
+        constraints.push_back(DeriveConstraint(pred, key));
+      }
+    }
+    return get.table()->partition_scheme->SelectPartitions(constraints);
+  };
+  std::vector<Oid> left_leaves = select_leaves(*left_get, left_pred);
+  std::vector<Oid> right_leaves = select_leaves(*right_get, right_pred);
+
+  // One join per partition pair: build = right leaf (broadcast), probe =
+  // left leaf.
+  std::vector<PhysPtr> pair_joins;
+  pair_joins.reserve(left_leaves.size() * right_leaves.size());
+  for (Oid left_leaf : left_leaves) {
+    for (Oid right_leaf : right_leaves) {
+      PhysPtr left_scan = std::make_shared<TableScanNode>(
+          left_get->table()->oid, left_leaf, left_get->column_ids(),
+          left_get->rowid_ids());
+      if (left_pred != nullptr) {
+        left_scan = std::make_shared<FilterNode>(left_pred, left_scan);
+      }
+      PhysPtr right_scan = std::make_shared<TableScanNode>(
+          right_get->table()->oid, right_leaf, right_get->column_ids(),
+          right_get->rowid_ids());
+      if (right_pred != nullptr) {
+        right_scan = std::make_shared<FilterNode>(right_pred, right_scan);
+      }
+      PhysPtr pair;
+      if (!keys.left.empty()) {
+        pair = std::make_shared<HashJoinNode>(JoinType::kInner, keys.right, keys.left,
+                                              filter_pred, Broadcast(right_scan),
+                                              left_scan);
+      } else {
+        pair = std::make_shared<NestedLoopJoinNode>(JoinType::kInner, combined,
+                                                    Broadcast(right_scan), left_scan);
+      }
+      pair_joins.push_back(std::move(pair));
+    }
+  }
+  PhysPtr plan;
+  if (pair_joins.empty()) {
+    std::vector<ColRefId> out_ids = join.OutputIds();
+    plan = std::make_shared<ValuesNode>(std::vector<Row>{}, std::move(out_ids));
+  } else {
+    plan = std::make_shared<AppendNode>(std::move(pair_joins));
+  }
+  plan = Gather(std::move(plan));
+  if (stmt.kind == BoundStatement::Kind::kUpdate) {
+    return PhysPtr(std::make_shared<UpdateNode>(
+        stmt.target_table->oid, stmt.target_column_ids, stmt.target_rowid_ids,
+        stmt.set_items, stmt.count_output_id, plan));
+  }
+  return PhysPtr(std::make_shared<DeleteNode>(stmt.target_table->oid,
+                                              stmt.target_rowid_ids,
+                                              stmt.count_output_id, plan));
+}
+
+Result<PhysPtr> LegacyPlanner::Plan(const BoundStatement& stmt) {
+  next_scan_id_ = 1;
+  if (stmt.kind != BoundStatement::Kind::kSelect) return PlanDml(stmt);
+  MPPDB_ASSIGN_OR_RETURN(Planned planned, PlanNode(stmt.root));
+  if (planned.distributed) return Gather(planned.plan);
+  return planned.plan;
+}
+
+}  // namespace mppdb

@@ -1,0 +1,72 @@
+#ifndef MPPDB_OPTIMIZER_PLANNER_LEGACY_PLANNER_H_
+#define MPPDB_OPTIMIZER_PLANNER_LEGACY_PLANNER_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/plan.h"
+#include "optimizer/logical.h"
+#include "optimizer/stats.h"
+
+namespace mppdb {
+
+/// The legacy "Planner" baseline (paper §4): a PostgreSQL-inheritance-style
+/// optimizer whose plans reference partitions explicitly.
+///
+///  * Static partition elimination: selection predicates are evaluated
+///    against partition constraints at planning time; the plan is an Append
+///    listing one TableScan per surviving leaf — plan size grows linearly
+///    with the number of scanned partitions (Fig. 18(a)).
+///  * Dynamic (join-induced) elimination: supported in the rudimentary
+///    parameter style — a PartitionSelector computes qualifying OIDs at run
+///    time into a parameter, but the plan still lists every surviving leaf
+///    as a CheckedPartScan, so plan size stays linear in the partition count
+///    (Fig. 18(b)).
+///  * DML with joins between partitioned tables enumerates per-partition
+///    join combinations, growing quadratically (Fig. 18(c)).
+class LegacyPlanner {
+ public:
+  struct Options {
+    bool enable_static_elimination = true;
+    bool enable_dynamic_elimination = true;
+  };
+
+  LegacyPlanner(const Catalog* catalog, const StorageEngine* storage)
+      : catalog_(catalog), estimator_(storage) {}
+
+  LegacyPlanner(const Catalog* catalog, const StorageEngine* storage, Options options)
+      : catalog_(catalog), estimator_(storage), options_(options) {}
+
+  /// Produces an executable physical plan (Gather-rooted for SELECT).
+  Result<PhysPtr> Plan(const BoundStatement& stmt);
+
+ private:
+  struct Planned {
+    PhysPtr plan;
+    /// True if rows are spread across segments (false: singleton/values).
+    bool distributed = true;
+    /// Set when the subtree is (possibly a Filter over) an Append of leaf
+    /// scans of one partitioned table — the planner's hook for parameter-
+    /// based dynamic elimination.
+    const TableDescriptor* partitioned_table = nullptr;
+    std::vector<ColRefId> partition_key_ids;
+    /// Natural hash-distribution columns (empty if unknown).
+    std::vector<ColRefId> hash_columns;
+  };
+
+  Result<Planned> PlanNode(const LogicalPtr& node);
+  Result<Planned> PlanGet(const LogicalGet& get, const ExprPtr& pred);
+  Result<Planned> PlanJoin(const LogicalJoin& join);
+  Result<PhysPtr> PlanDml(const BoundStatement& stmt);
+  Result<PhysPtr> PlanPairwiseDmlJoin(const BoundStatement& stmt);
+
+  int NextScanId() { return next_scan_id_++; }
+
+  const Catalog* catalog_;
+  CardinalityEstimator estimator_;
+  Options options_;
+  int next_scan_id_ = 1;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_PLANNER_LEGACY_PLANNER_H_

@@ -1,0 +1,94 @@
+#include "optimizer/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mppdb {
+
+double CardinalityEstimator::Selectivity(const ExprPtr& pred) {
+  if (pred == nullptr) return 1.0;
+  switch (pred->kind()) {
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*pred);
+      switch (cmp.op()) {
+        case CompareOp::kEq:
+          return 0.05;
+        case CompareOp::kNe:
+          return 0.95;
+        default:
+          return 0.33;
+      }
+    }
+    case ExprKind::kAnd: {
+      double s = 1.0;
+      for (const auto& child : pred->children()) s *= Selectivity(child);
+      return std::max(s, 1e-6);
+    }
+    case ExprKind::kOr: {
+      double keep = 1.0;
+      for (const auto& child : pred->children()) keep *= 1.0 - Selectivity(child);
+      return 1.0 - keep;
+    }
+    case ExprKind::kNot:
+      return 1.0 - Selectivity(pred->child(0));
+    case ExprKind::kInList:
+      return std::min(1.0, 0.05 * static_cast<double>(pred->children().size() - 1));
+    case ExprKind::kIsNull:
+      return 0.05;
+    case ExprKind::kConst: {
+      const Datum& v = static_cast<const ConstExpr&>(*pred).value();
+      if (v.is_null()) return 0.0;
+      if (v.type() == TypeId::kBool) return v.bool_value() ? 1.0 : 0.0;
+      return 1.0;
+    }
+    default:
+      return 0.5;
+  }
+}
+
+double CardinalityEstimator::EstimateRows(const LogicalPtr& node) const {
+  switch (node->kind()) {
+    case LogicalKind::kGet: {
+      const auto& get = static_cast<const LogicalGet&>(*node);
+      const TableStore* store = storage_->GetStore(get.table()->oid);
+      if (store == nullptr) return 1000.0;
+      return std::max<double>(1.0, static_cast<double>(store->TotalRows()));
+    }
+    case LogicalKind::kSelect: {
+      const auto& select = static_cast<const LogicalSelect&>(*node);
+      return std::max(1.0,
+                      EstimateRows(select.child(0)) * Selectivity(select.predicate()));
+    }
+    case LogicalKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(*node);
+      double left = EstimateRows(join.child(0));
+      double right = EstimateRows(join.child(1));
+      if (join.join_type() == JoinType::kSemi) {
+        return std::max(1.0, left * 0.5);
+      }
+      // Equi-join heuristic: |L ⋈ R| ≈ L*R / max(L, R).
+      double sel = join.predicate() == nullptr ? 1.0 : 1.0 / std::max(left, right);
+      return std::max(1.0, left * right * sel);
+    }
+    case LogicalKind::kProject:
+      return EstimateRows(node->child(0));
+    case LogicalKind::kAgg: {
+      const auto& agg = static_cast<const LogicalAgg&>(*node);
+      if (agg.group_by().empty()) return 1.0;
+      return std::max(1.0, std::sqrt(EstimateRows(agg.child(0))));
+    }
+    case LogicalKind::kSort:
+      return EstimateRows(node->child(0));
+    case LogicalKind::kLimit: {
+      const auto& limit = static_cast<const LogicalLimit&>(*node);
+      return std::min(static_cast<double>(limit.limit()),
+                      EstimateRows(limit.child(0)));
+    }
+    case LogicalKind::kValues:
+      return static_cast<double>(
+          static_cast<const LogicalValues&>(*node).rows().size());
+  }
+  return 1000.0;
+}
+
+}  // namespace mppdb

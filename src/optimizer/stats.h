@@ -1,0 +1,29 @@
+#ifndef MPPDB_OPTIMIZER_STATS_H_
+#define MPPDB_OPTIMIZER_STATS_H_
+
+#include "optimizer/logical.h"
+#include "storage/storage.h"
+
+namespace mppdb {
+
+/// Heuristic cardinality estimation over logical trees. Row counts of base
+/// tables come from storage; predicate selectivities use the classic
+/// System-R constants. Good enough to drive the broadcast-vs-redistribute
+/// and build-side choices the paper's experiments depend on.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const StorageEngine* storage) : storage_(storage) {}
+
+  /// Estimated output rows of a logical subtree.
+  double EstimateRows(const LogicalPtr& node) const;
+
+  /// Estimated selectivity of a predicate in [0, 1].
+  static double Selectivity(const ExprPtr& pred);
+
+ private:
+  const StorageEngine* storage_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_STATS_H_

@@ -1,0 +1,57 @@
+#include "runtime/partition_functions.h"
+
+#include "common/macros.h"
+
+namespace mppdb {
+namespace partition_functions {
+
+namespace {
+
+Result<const PartitionScheme*> SchemeFor(const Catalog& catalog, Oid root_oid) {
+  const TableDescriptor* table = catalog.FindTable(root_oid);
+  if (table == nullptr) {
+    return Status::NotFound("no table with oid " + std::to_string(root_oid));
+  }
+  if (!table->IsPartitioned()) {
+    return Status::InvalidArgument("table " + table->name + " is not partitioned");
+  }
+  return table->partition_scheme.get();
+}
+
+}  // namespace
+
+Result<std::vector<Oid>> PartitionExpansion(const Catalog& catalog, Oid root_oid) {
+  MPPDB_ASSIGN_OR_RETURN(const PartitionScheme* scheme, SchemeFor(catalog, root_oid));
+  return scheme->AllLeafOids();
+}
+
+Result<Oid> PartitionSelection(const Catalog& catalog, Oid root_oid,
+                               const Datum& value) {
+  return PartitionSelection(catalog, root_oid, std::vector<Datum>{value});
+}
+
+Result<Oid> PartitionSelection(const Catalog& catalog, Oid root_oid,
+                               const std::vector<Datum>& values) {
+  MPPDB_ASSIGN_OR_RETURN(const PartitionScheme* scheme, SchemeFor(catalog, root_oid));
+  if (values.size() != scheme->num_levels()) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(scheme->num_levels()) +
+                                   " partition key values, got " +
+                                   std::to_string(values.size()));
+  }
+  return scheme->RouteValues(values);
+}
+
+Result<std::vector<LeafPartitionInfo>> PartitionConstraints(const Catalog& catalog,
+                                                            Oid root_oid) {
+  MPPDB_ASSIGN_OR_RETURN(const PartitionScheme* scheme, SchemeFor(catalog, root_oid));
+  return scheme->Leaves();
+}
+
+void PartitionPropagation(PartitionPropagationHub* hub, int segment, int scan_id,
+                          Oid oid) {
+  hub->Push(segment, scan_id, oid);
+}
+
+}  // namespace partition_functions
+}  // namespace mppdb

@@ -1,0 +1,44 @@
+#ifndef MPPDB_RUNTIME_PARTITION_FUNCTIONS_H_
+#define MPPDB_RUNTIME_PARTITION_FUNCTIONS_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "runtime/propagation.h"
+
+namespace mppdb {
+
+/// The built-in partition selection functions of the paper's Table 1,
+/// resolved against catalog metadata at query execution time. These are the
+/// primitives the PartitionSelector implementations compose (paper §3.2):
+/// static and dynamic selection differ only in whether the value argument
+/// comes from the query text or from a joined tuple.
+namespace partition_functions {
+
+/// partition_expansion(rootOid): all leaf partition OIDs of the table.
+Result<std::vector<Oid>> PartitionExpansion(const Catalog& catalog, Oid root_oid);
+
+/// partition_selection(rootOid, value): OID of the leaf containing `value`
+/// for the (single-level) partitioning key, or kInvalidOid (⊥).
+Result<Oid> PartitionSelection(const Catalog& catalog, Oid root_oid, const Datum& value);
+
+/// Multi-level overload: one key value per level.
+Result<Oid> PartitionSelection(const Catalog& catalog, Oid root_oid,
+                               const std::vector<Datum>& values);
+
+/// partition_constraints(rootOid): leaf OIDs with their per-level
+/// constraints (OID, min, minincl, max, maxincl generalized to interval
+/// unions).
+Result<std::vector<LeafPartitionInfo>> PartitionConstraints(const Catalog& catalog,
+                                                            Oid root_oid);
+
+/// partition_propagation(partScanId, oid): pushes the OID to the
+/// DynamicScan with the given id on the given segment.
+void PartitionPropagation(PartitionPropagationHub* hub, int segment, int scan_id,
+                          Oid oid);
+
+}  // namespace partition_functions
+}  // namespace mppdb
+
+#endif  // MPPDB_RUNTIME_PARTITION_FUNCTIONS_H_

@@ -1,0 +1,35 @@
+#include "runtime/propagation.h"
+
+#include "common/macros.h"
+
+namespace mppdb {
+
+void PartitionPropagationHub::Push(int segment, int scan_id, Oid oid) {
+  MPPDB_CHECK(segment >= 0 && static_cast<size_t>(segment) < channels_.size());
+  Channel& channel = channels_[static_cast<size_t>(segment)][scan_id];
+  if (channel.seen.insert(oid).second) {
+    channel.ordered.push_back(oid);
+  }
+}
+
+void PartitionPropagationHub::OpenChannel(int segment, int scan_id) {
+  MPPDB_CHECK(segment >= 0 && static_cast<size_t>(segment) < channels_.size());
+  channels_[static_cast<size_t>(segment)][scan_id];  // default-construct
+}
+
+bool PartitionPropagationHub::HasChannel(int segment, int scan_id) const {
+  MPPDB_CHECK(segment >= 0 && static_cast<size_t>(segment) < channels_.size());
+  return channels_[static_cast<size_t>(segment)].count(scan_id) > 0;
+}
+
+const std::vector<Oid>& PartitionPropagationHub::Selected(int segment,
+                                                          int scan_id) const {
+  MPPDB_CHECK(HasChannel(segment, scan_id));
+  return channels_[static_cast<size_t>(segment)].at(scan_id).ordered;
+}
+
+void PartitionPropagationHub::Reset() {
+  for (auto& segment : channels_) segment.clear();
+}
+
+}  // namespace mppdb

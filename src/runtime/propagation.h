@@ -1,0 +1,49 @@
+#ifndef MPPDB_RUNTIME_PROPAGATION_H_
+#define MPPDB_RUNTIME_PROPAGATION_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/partition_scheme.h"
+
+namespace mppdb {
+
+/// The shared-memory channel between PartitionSelector (producer) and
+/// DynamicScan (consumer) with the same scan id (paper §2.2, and the
+/// partition_propagation built-in of Table 1). In a real MPP system this is
+/// segment-process shared memory, which is why the optimizer forbids Motion
+/// between the pair; here it is scoped per simulated segment.
+class PartitionPropagationHub {
+ public:
+  explicit PartitionPropagationHub(int num_segments)
+      : channels_(static_cast<size_t>(num_segments)) {}
+
+  /// Pushes one selected partition OID for (segment, scan_id). Duplicate
+  /// pushes (e.g. one per joining tuple) are deduplicated; first-push order
+  /// is preserved so scans are deterministic.
+  void Push(int segment, int scan_id, Oid oid);
+
+  /// Marks the channel opened even if no OIDs were selected, so that a
+  /// DynamicScan can distinguish "selector selected nothing" (scan nothing)
+  /// from "selector never ran" (execution-order bug).
+  void OpenChannel(int segment, int scan_id);
+
+  bool HasChannel(int segment, int scan_id) const;
+
+  /// Selected OIDs in first-push order. Channel must exist.
+  const std::vector<Oid>& Selected(int segment, int scan_id) const;
+
+  void Reset();
+
+ private:
+  struct Channel {
+    std::vector<Oid> ordered;
+    std::unordered_set<Oid> seen;
+  };
+  std::vector<std::unordered_map<int, Channel>> channels_;  // per segment
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_RUNTIME_PROPAGATION_H_

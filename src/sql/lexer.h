@@ -1,0 +1,37 @@
+#ifndef MPPDB_SQL_LEXER_H_
+#define MPPDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mppdb {
+
+enum class TokenType {
+  kKeyword,     // normalized upper-case SQL keyword
+  kIdentifier,  // table/column name (lower-cased)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // contents without quotes
+  kParam,          // $N, value = N
+  kSymbol,         // punctuation / operators: ( ) , * = <> < <= > >= + - / % .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keyword/identifier/symbol text or literal contents
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively;
+/// identifiers are lower-cased. Returns ParseError on malformed input
+/// (unterminated string, bad number, stray character).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_SQL_LEXER_H_

@@ -1,0 +1,21 @@
+#ifndef MPPDB_SQL_PARSER_H_
+#define MPPDB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace mppdb {
+
+/// Parses one SQL statement (SELECT / INSERT / UPDATE / DELETE) of the
+/// supported subset into a parse tree. See sql/ast.h for the grammar shape;
+/// notable features: explicit JOIN ... ON and comma joins, WHERE with
+/// AND/OR/NOT, BETWEEN, IN (list) and IN (subquery), aggregates, GROUP BY,
+/// ORDER BY, LIMIT, prepared-statement parameters ($1, $2, ...), DATE
+/// literals, UPDATE ... FROM.
+Result<sql_ast::Statement> ParseStatement(const std::string& sql);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_SQL_PARSER_H_

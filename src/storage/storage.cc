@@ -1,0 +1,201 @@
+#include "storage/storage.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace mppdb {
+
+TableStore::TableStore(const TableDescriptor* desc, int num_segments)
+    : desc_(desc), num_segments_(num_segments) {
+  MPPDB_CHECK(desc != nullptr);
+  MPPDB_CHECK(num_segments > 0);
+  if (desc->IsPartitioned()) {
+    for (Oid oid : desc->partition_scheme->AllLeafOids()) {
+      units_.emplace(oid, std::vector<std::vector<Row>>(
+                              static_cast<size_t>(num_segments)));
+    }
+  } else {
+    units_.emplace(desc->oid, std::vector<std::vector<Row>>(
+                                  static_cast<size_t>(num_segments)));
+  }
+}
+
+int TableStore::SegmentForRow(const Row& row) {
+  switch (desc_->distribution) {
+    case TableDistribution::kHashed:
+      return static_cast<int>(HashRowColumns(row, desc_->distribution_columns) %
+                              static_cast<uint64_t>(num_segments_));
+    case TableDistribution::kRandom:
+      return static_cast<int>(round_robin_++ % static_cast<uint64_t>(num_segments_));
+    case TableDistribution::kReplicated:
+      return -1;  // handled by caller: insert everywhere
+  }
+  return 0;
+}
+
+Status TableStore::Insert(const Row& row) {
+  if (row.size() != desc_->schema.size()) {
+    return Status::InvalidArgument("row arity mismatch for table " + desc_->name);
+  }
+  Oid unit = desc_->oid;
+  if (desc_->IsPartitioned()) {
+    unit = desc_->partition_scheme->RouteTuple(row);
+    if (unit == kInvalidOid) {
+      return Status::OutOfRange("row " + RowToString(row) +
+                                " does not map to any partition of " + desc_->name);
+    }
+  }
+  auto it = units_.find(unit);
+  MPPDB_CHECK(it != units_.end());
+  if (desc_->distribution == TableDistribution::kReplicated) {
+    for (int segment = 0; segment < num_segments_; ++segment) {
+      it->second[static_cast<size_t>(segment)].push_back(row);
+      BumpVersion(unit, segment);
+    }
+  } else {
+    int segment = SegmentForRow(row);
+    it->second[static_cast<size_t>(segment)].push_back(row);
+    BumpVersion(unit, segment);
+  }
+  return Status::OK();
+}
+
+Status TableStore::InsertBatch(const std::vector<Row>& rows) {
+  for (const Row& row : rows) {
+    MPPDB_RETURN_IF_ERROR(Insert(row));
+  }
+  return Status::OK();
+}
+
+const std::vector<Row>& TableStore::UnitRows(Oid unit_oid, int segment) const {
+  auto it = units_.find(unit_oid);
+  MPPDB_CHECK(it != units_.end());
+  MPPDB_CHECK(segment >= 0 && segment < num_segments_);
+  return it->second[static_cast<size_t>(segment)];
+}
+
+std::vector<Row>* TableStore::MutableUnitRows(Oid unit_oid, int segment) {
+  auto it = units_.find(unit_oid);
+  MPPDB_CHECK(it != units_.end());
+  MPPDB_CHECK(segment >= 0 && segment < num_segments_);
+  BumpVersion(unit_oid, segment);
+  return &it->second[static_cast<size_t>(segment)];
+}
+
+void TableStore::BumpVersion(Oid unit_oid, int segment) {
+  auto it = versions_.find(unit_oid);
+  if (it == versions_.end()) {
+    it = versions_
+             .emplace(unit_oid,
+                      std::vector<uint64_t>(static_cast<size_t>(num_segments_), 0))
+             .first;
+  }
+  ++it->second[static_cast<size_t>(segment)];
+}
+
+Status TableStore::CreateIndex(int column) {
+  if (column < 0 || static_cast<size_t>(column) >= desc_->schema.size()) {
+    return Status::InvalidArgument("index column out of range for " + desc_->name);
+  }
+  indexes_[column];  // default-construct per-unit maps lazily
+  return Status::OK();
+}
+
+bool TableStore::HasIndex(int column) const { return indexes_.count(column) > 0; }
+
+const std::vector<size_t>& TableStore::IndexLookup(Oid unit_oid, int segment,
+                                                   int column, const Datum& key) {
+  auto index_it = indexes_.find(column);
+  MPPDB_CHECK(index_it != indexes_.end());
+  auto& per_unit = index_it->second;
+  auto unit_it = per_unit.find(unit_oid);
+  if (unit_it == per_unit.end()) {
+    unit_it = per_unit
+                  .emplace(unit_oid, std::vector<UnitIndex>(
+                                         static_cast<size_t>(num_segments_)))
+                  .first;
+  }
+  UnitIndex& index = unit_it->second[static_cast<size_t>(segment)];
+
+  uint64_t current_version = 1;
+  auto version_it = versions_.find(unit_oid);
+  if (version_it != versions_.end()) {
+    current_version = version_it->second[static_cast<size_t>(segment)] + 1;
+  }
+  if (index.built_version != current_version) {
+    // (Re)build: the slice changed since the index was last built.
+    const std::vector<Row>& rows = UnitRows(unit_oid, segment);
+    index.entries.clear();
+    index.entries.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      index.entries.emplace_back(rows[i][static_cast<size_t>(column)], i);
+    }
+    std::sort(index.entries.begin(), index.entries.end(),
+              [](const auto& a, const auto& b) {
+                return Datum::Compare(a.first, b.first) < 0;
+              });
+    index.built_version = current_version;
+  }
+
+  lookup_scratch_.clear();
+  if (key.is_null()) return lookup_scratch_;  // NULL keys never match
+  auto lower = std::lower_bound(index.entries.begin(), index.entries.end(), key,
+                                [](const auto& entry, const Datum& probe) {
+                                  return Datum::Compare(entry.first, probe) < 0;
+                                });
+  for (auto it = lower;
+       it != index.entries.end() && Datum::Compare(it->first, key) == 0; ++it) {
+    lookup_scratch_.push_back(it->second);
+  }
+  return lookup_scratch_;
+}
+
+std::vector<Oid> TableStore::UnitOids() const {
+  if (desc_->IsPartitioned()) return desc_->partition_scheme->AllLeafOids();
+  return {desc_->oid};
+}
+
+size_t TableStore::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [oid, segments] : units_) {
+    for (const auto& rows : segments) total += rows.size();
+  }
+  return total;
+}
+
+size_t TableStore::UnitTotalRows(Oid unit_oid) const {
+  auto it = units_.find(unit_oid);
+  MPPDB_CHECK(it != units_.end());
+  size_t total = 0;
+  for (const auto& rows : it->second) total += rows.size();
+  return total;
+}
+
+Status StorageEngine::CreateStorage(const TableDescriptor* desc) {
+  if (desc == nullptr) return Status::InvalidArgument("null table descriptor");
+  if (stores_.count(desc->oid) > 0) {
+    return Status::AlreadyExists("storage for table already exists: " + desc->name);
+  }
+  stores_.emplace(desc->oid, std::make_unique<TableStore>(desc, num_segments_));
+  return Status::OK();
+}
+
+Status StorageEngine::DropStorage(Oid table_oid) {
+  if (stores_.erase(table_oid) == 0) {
+    return Status::NotFound("no storage for table oid " + std::to_string(table_oid));
+  }
+  return Status::OK();
+}
+
+TableStore* StorageEngine::GetStore(Oid table_oid) {
+  auto it = stores_.find(table_oid);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+const TableStore* StorageEngine::GetStore(Oid table_oid) const {
+  auto it = stores_.find(table_oid);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mppdb

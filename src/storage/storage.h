@@ -1,0 +1,109 @@
+#ifndef MPPDB_STORAGE_STORAGE_H_
+#define MPPDB_STORAGE_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "types/row.h"
+
+namespace mppdb {
+
+/// An ordered secondary index over one column of one storage unit's slice on
+/// one segment: sorted (key, row position) pairs supporting equality seeks.
+/// Rebuilt lazily when the underlying slice changed (see TableStore).
+struct UnitIndex {
+  /// Sorted by key (Datum::Compare); positions index into the unit's rows.
+  std::vector<std::pair<Datum, size_t>> entries;
+  uint64_t built_version = 0;
+};
+
+/// Physical storage of one table across the simulated MPP cluster.
+///
+/// Mirrors GPDB's layout (paper §3.2): each leaf partition is its own
+/// physical storage unit, sliced across segments by the table's distribution.
+/// Unpartitioned tables have a single unit keyed by the table OID itself.
+class TableStore {
+ public:
+  TableStore(const TableDescriptor* desc, int num_segments);
+
+  const TableDescriptor& descriptor() const { return *desc_; }
+  int num_segments() const { return num_segments_; }
+
+  /// Routes a row to its leaf partition (f_T) and segment (distribution) and
+  /// appends it. Fails with OutOfRange if the partition scheme maps the row
+  /// to the invalid partition ⊥.
+  Status Insert(const Row& row);
+  Status InsertBatch(const std::vector<Row>& rows);
+
+  /// Rows of one storage unit on one segment. `unit_oid` must be a leaf
+  /// partition OID (partitioned) or the table OID (unpartitioned).
+  const std::vector<Row>& UnitRows(Oid unit_oid, int segment) const;
+  std::vector<Row>* MutableUnitRows(Oid unit_oid, int segment);
+
+  /// All storage-unit OIDs (leaf partitions, or the table itself).
+  std::vector<Oid> UnitOids() const;
+
+  bool HasUnit(Oid unit_oid) const { return units_.count(unit_oid) > 0; }
+
+  size_t TotalRows() const;
+  size_t UnitTotalRows(Oid unit_oid) const;
+
+  /// Declares an index on a schema column. Indexes build lazily per
+  /// (unit, segment) at first lookup and rebuild automatically after the
+  /// slice mutates (inserts or in-place DML edits bump a version counter).
+  Status CreateIndex(int column);
+  bool HasIndex(int column) const;
+
+  /// Equality seek: positions (into UnitRows(unit_oid, segment)) of rows
+  /// whose `column` value equals `key`. The index must exist.
+  const std::vector<size_t>& IndexLookup(Oid unit_oid, int segment, int column,
+                                         const Datum& key);
+
+ private:
+  int SegmentForRow(const Row& row);
+  void BumpVersion(Oid unit_oid, int segment);
+
+  const TableDescriptor* desc_;
+  int num_segments_;
+  uint64_t round_robin_ = 0;
+  /// unit oid -> one row vector per segment.
+  std::unordered_map<Oid, std::vector<std::vector<Row>>> units_;
+  /// Mutation counters, aligned with units_ ((unit, segment) granularity).
+  std::unordered_map<Oid, std::vector<uint64_t>> versions_;
+  /// column -> unit oid -> per-segment index.
+  std::map<int, std::unordered_map<Oid, std::vector<UnitIndex>>> indexes_;
+  /// Scratch result for IndexLookup (single-threaded executor).
+  std::vector<size_t> lookup_scratch_;
+};
+
+/// Owns the TableStores of all tables in a catalog-backed database instance.
+class StorageEngine {
+ public:
+  explicit StorageEngine(int num_segments) : num_segments_(num_segments) {}
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  int num_segments() const { return num_segments_; }
+
+  /// Allocates (empty) storage for the table; call once after catalog DDL.
+  Status CreateStorage(const TableDescriptor* desc);
+
+  TableStore* GetStore(Oid table_oid);
+  const TableStore* GetStore(Oid table_oid) const;
+
+  /// Releases a table's storage. Fails if absent.
+  Status DropStorage(Oid table_oid);
+
+ private:
+  int num_segments_;
+  std::unordered_map<Oid, std::unique_ptr<TableStore>> stores_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_STORAGE_STORAGE_H_

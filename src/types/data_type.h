@@ -1,0 +1,41 @@
+#ifndef MPPDB_TYPES_DATA_TYPE_H_
+#define MPPDB_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+namespace mppdb {
+
+/// Scalar SQL types supported by the engine. kDate is stored as days since
+/// 1970-01-01 (see types/date.h).
+enum class TypeId {
+  kBool,
+  kInt32,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// Returns the SQL-ish name of a type ("INT", "BIGINT", ...).
+const char* TypeIdToString(TypeId type);
+
+/// True if the type is orderable and usable as a range-partitioning key.
+inline bool IsOrderable(TypeId type) {
+  (void)type;  // All currently supported types have a total order.
+  return true;
+}
+
+/// True for integer-like types where a range [a, b) over consecutive values
+/// can be enumerated.
+inline bool IsIntegral(TypeId type) {
+  return type == TypeId::kInt32 || type == TypeId::kInt64 ||
+         type == TypeId::kDate;
+}
+
+inline bool IsNumeric(TypeId type) {
+  return IsIntegral(type) || type == TypeId::kDouble;
+}
+
+}  // namespace mppdb
+
+#endif  // MPPDB_TYPES_DATA_TYPE_H_

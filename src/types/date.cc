@@ -1,0 +1,76 @@
+#include "types/date.h"
+
+#include <cstdio>
+
+namespace mppdb {
+namespace date {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+namespace {
+
+// Civil-days algorithm (Howard Hinnant): days from 1970-01-01 to y-m-d.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yr = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                                      // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                           // [1, 12]
+  *y = yr + (*m <= 2);
+}
+
+}  // namespace
+
+int32_t FromYMD(int year, int month, int day) {
+  return static_cast<int32_t>(
+      DaysFromCivil(year, static_cast<unsigned>(month), static_cast<unsigned>(day)));
+}
+
+void ToYMD(int32_t days, int* year, int* month, int* day) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  *year = static_cast<int>(y);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+bool Parse(const std::string& text, int32_t* days) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) return false;
+  if (m < 1 || m > 12 || d < 1 || d > DaysInMonth(y, m)) return false;
+  *days = FromYMD(y, m, d);
+  return true;
+}
+
+std::string ToString(int32_t days) {
+  int y, m, d;
+  ToYMD(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace date
+}  // namespace mppdb

@@ -1,0 +1,35 @@
+#ifndef MPPDB_TYPES_DATE_H_
+#define MPPDB_TYPES_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mppdb {
+
+/// Calendar helpers for the kDate type. Dates are represented as int32 days
+/// since 1970-01-01 (proleptic Gregorian), matching how the engine stores and
+/// range-partitions dates.
+namespace date {
+
+/// Days since epoch for year-month-day. Valid for years in [1600, 9999].
+int32_t FromYMD(int year, int month, int day);
+
+/// Splits days-since-epoch into year, month, day.
+void ToYMD(int32_t days, int* year, int* month, int* day);
+
+/// Parses 'YYYY-MM-DD'. Returns false on malformed input.
+bool Parse(const std::string& text, int32_t* days);
+
+/// Formats as 'YYYY-MM-DD'.
+std::string ToString(int32_t days);
+
+/// Number of days in the given month (1-12) of the given year.
+int DaysInMonth(int year, int month);
+
+/// True for Gregorian leap years.
+bool IsLeapYear(int year);
+
+}  // namespace date
+}  // namespace mppdb
+
+#endif  // MPPDB_TYPES_DATE_H_

@@ -1,0 +1,76 @@
+#ifndef MPPDB_TYPES_DATUM_H_
+#define MPPDB_TYPES_DATUM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "types/data_type.h"
+
+namespace mppdb {
+
+/// A single scalar value: one of the supported SQL types or NULL.
+///
+/// Numeric comparison follows SQL-ish promotion: if either side is a double
+/// the comparison is in double, otherwise in int64. NULL ordering/semantics
+/// are the responsibility of the expression evaluator; Compare() sorts NULL
+/// before all non-NULL values so that Datum is usable as a sort key.
+class Datum {
+ public:
+  /// Constructs NULL.
+  Datum() : type_(TypeId::kInt64), value_(std::monostate{}) {}
+
+  static Datum Null() { return Datum(); }
+  static Datum Bool(bool v) { return Datum(TypeId::kBool, v); }
+  static Datum Int32(int32_t v) { return Datum(TypeId::kInt32, v); }
+  static Datum Int64(int64_t v) { return Datum(TypeId::kInt64, v); }
+  static Datum Double(double v) { return Datum(TypeId::kDouble, v); }
+  static Datum String(std::string v) { return Datum(TypeId::kString, std::move(v)); }
+  /// Days since 1970-01-01.
+  static Datum Date(int32_t days) { return Datum(TypeId::kDate, days); }
+  /// Parses 'YYYY-MM-DD'; aborts on malformed input (test/workload helper).
+  static Datum DateFromString(const std::string& ymd);
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(value_); }
+  TypeId type() const { return type_; }
+
+  bool bool_value() const { return std::get<bool>(value_); }
+  int32_t int32_value() const { return std::get<int32_t>(value_); }
+  int64_t int64_value() const { return std::get<int64_t>(value_); }
+  double double_value() const { return std::get<double>(value_); }
+  const std::string& string_value() const { return std::get<std::string>(value_); }
+  int32_t date_value() const { return std::get<int32_t>(value_); }
+
+  /// Numeric value widened to int64 (bool/int32/int64/date). Precondition:
+  /// integral type, non-null.
+  int64_t AsInt64() const;
+
+  /// Numeric value widened to double. Precondition: numeric type, non-null.
+  double AsDouble() const;
+
+  /// Three-way comparison: negative / zero / positive. NULL compares before
+  /// all non-NULL values; NULL == NULL here (sort semantics, not SQL).
+  static int Compare(const Datum& a, const Datum& b);
+
+  bool Equals(const Datum& other) const { return Compare(*this, other) == 0; }
+
+  /// Stable 64-bit hash, equal for Equals() datums across numeric widths.
+  uint64_t Hash() const;
+
+  /// Human-readable rendering ("NULL", "42", "'abc'", "1997-03-01").
+  std::string ToString() const;
+
+  friend bool operator==(const Datum& a, const Datum& b) { return a.Equals(b); }
+  friend bool operator<(const Datum& a, const Datum& b) { return Compare(a, b) < 0; }
+
+ private:
+  template <typename T>
+  Datum(TypeId type, T&& v) : type_(type), value_(std::forward<T>(v)) {}
+
+  TypeId type_;
+  std::variant<std::monostate, bool, int32_t, int64_t, double, std::string> value_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_TYPES_DATUM_H_

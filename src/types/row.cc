@@ -1,0 +1,24 @@
+#include "types/row.h"
+
+namespace mppdb {
+
+std::string RowToString(const Row& row) {
+  std::string out = "[";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+uint64_t HashRowColumns(const Row& row, const std::vector<int>& columns) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int col : columns) {
+    uint64_t v = row[static_cast<size_t>(col)].Hash();
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace mppdb

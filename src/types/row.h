@@ -1,0 +1,33 @@
+#ifndef MPPDB_TYPES_ROW_H_
+#define MPPDB_TYPES_ROW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/datum.h"
+#include "types/schema.h"
+
+namespace mppdb {
+
+/// A tuple: one Datum per schema column.
+using Row = std::vector<Datum>;
+
+/// Renders a row as "[v1, v2, ...]".
+std::string RowToString(const Row& row);
+
+/// Combined hash of the datums at the given column positions; used for hash
+/// distribution and hash joins.
+uint64_t HashRowColumns(const Row& row, const std::vector<int>& columns);
+
+/// A batch of rows sharing a schema; the unit of data flow in the executor.
+struct RowBatch {
+  Schema schema;
+  std::vector<Row> rows;
+
+  size_t NumRows() const { return rows.size(); }
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_TYPES_ROW_H_

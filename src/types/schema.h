@@ -1,0 +1,44 @@
+#ifndef MPPDB_TYPES_SCHEMA_H_
+#define MPPDB_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace mppdb {
+
+/// A named, typed column of a table or intermediate result.
+struct Column {
+  std::string name;
+  TypeId type;
+};
+
+/// Ordered list of columns describing a table or an operator's output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column with the given name, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  void AddColumn(Column col) { columns_.push_back(std::move(col)); }
+
+  /// Concatenation of two schemas (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "(a INT, b VARCHAR)" rendering for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_TYPES_SCHEMA_H_

@@ -1,0 +1,388 @@
+#include "workload/tpcds_lite.h"
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "types/date.h"
+
+namespace mppdb {
+namespace workload {
+
+namespace {
+
+// Month-aligned integer ranges over date surrogate keys.
+std::vector<PartitionBound> MonthlySkBounds(int start_year, int months) {
+  std::vector<PartitionBound> bounds;
+  int year = start_year, month = 1;
+  for (int i = 0; i < months; ++i) {
+    int next_year = year, next_month = month + 1;
+    if (next_month > 12) {
+      next_month = 1;
+      ++next_year;
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "m%04d_%02d", year, month);
+    bounds.push_back(PartitionBound::Range(
+        Datum::Int64(date::FromYMD(year, month, 1)),
+        Datum::Int64(date::FromYMD(next_year, next_month, 1)), name));
+    year = next_year;
+    month = next_month;
+  }
+  return bounds;
+}
+
+Status CreateFact(Database* db, const std::string& name,
+                  const std::vector<Column>& columns, const TpcdsConfig& config) {
+  // Column 0 is always the date surrogate key (partitioning key); column 1
+  // the item key (distribution key).
+  return db
+      ->CreatePartitionedTable(name, Schema(columns), TableDistribution::kHashed, {1},
+                               {{0, PartitionMethod::kRange}},
+                               {MonthlySkBounds(config.start_year, config.months)})
+      .status();
+}
+
+}  // namespace
+
+const std::vector<std::string>& TpcdsFactTables() {
+  static const auto* kTables = new std::vector<std::string>{
+      "store_sales",   "web_sales",   "catalog_sales", "store_returns",
+      "web_returns",   "catalog_returns", "inventory"};
+  return *kTables;
+}
+
+Status CreateAndLoadTpcds(Database* db, const TpcdsConfig& config) {
+  // --- Dimensions -----------------------------------------------------------
+  MPPDB_RETURN_IF_ERROR(db->CreateTable("date_dim",
+                                        Schema({{"d_date_sk", TypeId::kInt64},
+                                                {"d_year", TypeId::kInt64},
+                                                {"d_moy", TypeId::kInt64},
+                                                {"d_dom", TypeId::kInt64},
+                                                {"d_dow", TypeId::kInt64},
+                                                {"d_quarter", TypeId::kInt64}}),
+                                        TableDistribution::kHashed, {0})
+                            .status());
+  MPPDB_RETURN_IF_ERROR(db->CreateTable("item",
+                                        Schema({{"i_item_sk", TypeId::kInt64},
+                                                {"i_category", TypeId::kString},
+                                                {"i_current_price", TypeId::kDouble}}),
+                                        TableDistribution::kHashed, {0})
+                            .status());
+  MPPDB_RETURN_IF_ERROR(db->CreateTable("customer",
+                                        Schema({{"c_customer_sk", TypeId::kInt64},
+                                                {"c_state", TypeId::kString},
+                                                {"c_birth_year", TypeId::kInt64}}),
+                                        TableDistribution::kHashed, {0})
+                            .status());
+  MPPDB_RETURN_IF_ERROR(db->CreateTable("store",
+                                        Schema({{"s_store_sk", TypeId::kInt64},
+                                                {"s_state", TypeId::kString}}),
+                                        TableDistribution::kHashed, {0})
+                            .status());
+  MPPDB_RETURN_IF_ERROR(db->CreateTable("warehouse",
+                                        Schema({{"w_warehouse_sk", TypeId::kInt64},
+                                                {"w_state", TypeId::kString}}),
+                                        TableDistribution::kHashed, {0})
+                            .status());
+
+  // --- Facts ----------------------------------------------------------------
+  MPPDB_RETURN_IF_ERROR(CreateFact(db, "store_sales",
+                                   {{"ss_sold_date_sk", TypeId::kInt64},
+                                    {"ss_item_sk", TypeId::kInt64},
+                                    {"ss_customer_sk", TypeId::kInt64},
+                                    {"ss_store_sk", TypeId::kInt64},
+                                    {"ss_quantity", TypeId::kInt64},
+                                    {"ss_sales_price", TypeId::kDouble}},
+                                   config));
+  MPPDB_RETURN_IF_ERROR(CreateFact(db, "web_sales",
+                                   {{"ws_sold_date_sk", TypeId::kInt64},
+                                    {"ws_item_sk", TypeId::kInt64},
+                                    {"ws_customer_sk", TypeId::kInt64},
+                                    {"ws_quantity", TypeId::kInt64},
+                                    {"ws_sales_price", TypeId::kDouble}},
+                                   config));
+  MPPDB_RETURN_IF_ERROR(CreateFact(db, "catalog_sales",
+                                   {{"cs_sold_date_sk", TypeId::kInt64},
+                                    {"cs_item_sk", TypeId::kInt64},
+                                    {"cs_customer_sk", TypeId::kInt64},
+                                    {"cs_quantity", TypeId::kInt64},
+                                    {"cs_sales_price", TypeId::kDouble}},
+                                   config));
+  MPPDB_RETURN_IF_ERROR(CreateFact(db, "store_returns",
+                                   {{"sr_returned_date_sk", TypeId::kInt64},
+                                    {"sr_item_sk", TypeId::kInt64},
+                                    {"sr_customer_sk", TypeId::kInt64},
+                                    {"sr_return_amt", TypeId::kDouble}},
+                                   config));
+  MPPDB_RETURN_IF_ERROR(CreateFact(db, "web_returns",
+                                   {{"wr_returned_date_sk", TypeId::kInt64},
+                                    {"wr_item_sk", TypeId::kInt64},
+                                    {"wr_customer_sk", TypeId::kInt64},
+                                    {"wr_return_amt", TypeId::kDouble}},
+                                   config));
+  MPPDB_RETURN_IF_ERROR(CreateFact(db, "catalog_returns",
+                                   {{"cr_returned_date_sk", TypeId::kInt64},
+                                    {"cr_item_sk", TypeId::kInt64},
+                                    {"cr_customer_sk", TypeId::kInt64},
+                                    {"cr_return_amt", TypeId::kDouble}},
+                                   config));
+  MPPDB_RETURN_IF_ERROR(CreateFact(db, "inventory",
+                                   {{"inv_date_sk", TypeId::kInt64},
+                                    {"inv_item_sk", TypeId::kInt64},
+                                    {"inv_warehouse_sk", TypeId::kInt64},
+                                    {"inv_quantity_on_hand", TypeId::kInt64}},
+                                   config));
+
+  // --- Data -----------------------------------------------------------------
+  Random rng(config.seed);
+  const int32_t first_sk = date::FromYMD(config.start_year, 1, 1);
+  int end_year = config.start_year + config.months / 12;
+  int end_month = 1 + config.months % 12;
+  if (end_month > 12) {
+    end_month -= 12;
+    ++end_year;
+  }
+  const int32_t end_sk = date::FromYMD(end_year, end_month, 1);
+  const int span = end_sk - first_sk;
+
+  std::vector<Row> dates;
+  for (int32_t sk = first_sk; sk < end_sk; ++sk) {
+    int y, m, d;
+    date::ToYMD(sk, &y, &m, &d);
+    dates.push_back({Datum::Int64(sk), Datum::Int64(y), Datum::Int64(m),
+                     Datum::Int64(d), Datum::Int64(((sk % 7) + 7) % 7),
+                     Datum::Int64((m - 1) / 3 + 1)});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("date_dim", dates));
+
+  static const char* kCategories[] = {"books", "electronics", "home",
+                                      "sports", "apparel"};
+  std::vector<Row> items;
+  for (int i = 1; i <= config.items; ++i) {
+    items.push_back({Datum::Int64(i), Datum::String(kCategories[rng.Uniform(5)]),
+                     Datum::Double(1.0 + rng.NextDouble() * 200.0)});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("item", items));
+
+  static const char* kStates[] = {"CA", "WA", "OR", "NY", "TX", "UT"};
+  std::vector<Row> customers;
+  for (int i = 1; i <= config.customers; ++i) {
+    customers.push_back({Datum::Int64(i), Datum::String(kStates[rng.Uniform(6)]),
+                         Datum::Int64(1940 + static_cast<int64_t>(rng.Uniform(60)))});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("customer", customers));
+
+  std::vector<Row> stores;
+  for (int i = 1; i <= config.stores; ++i) {
+    stores.push_back({Datum::Int64(i), Datum::String(kStates[rng.Uniform(6)])});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("store", stores));
+
+  std::vector<Row> warehouses;
+  for (int i = 1; i <= config.warehouses; ++i) {
+    warehouses.push_back({Datum::Int64(i), Datum::String(kStates[rng.Uniform(6)])});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("warehouse", warehouses));
+
+  auto random_sk = [&]() {
+    return Datum::Int64(first_sk + static_cast<int64_t>(
+                                       rng.Uniform(static_cast<uint64_t>(span))));
+  };
+  auto random_item = [&]() {
+    return Datum::Int64(1 + static_cast<int64_t>(rng.Uniform(
+                                static_cast<uint64_t>(config.items))));
+  };
+  auto random_customer = [&]() {
+    return Datum::Int64(1 + static_cast<int64_t>(rng.Uniform(
+                                static_cast<uint64_t>(config.customers))));
+  };
+
+  std::vector<Row> rows;
+  rows.clear();
+  for (size_t i = 0; i < config.base_rows * 2; ++i) {
+    rows.push_back({random_sk(), random_item(), random_customer(),
+                    Datum::Int64(1 + static_cast<int64_t>(rng.Uniform(
+                                         static_cast<uint64_t>(config.stores)))),
+                    Datum::Int64(1 + static_cast<int64_t>(rng.Uniform(100))),
+                    Datum::Double(rng.NextDouble() * 300.0)});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("store_sales", rows));
+
+  rows.clear();
+  for (size_t i = 0; i < config.base_rows; ++i) {
+    rows.push_back({random_sk(), random_item(), random_customer(),
+                    Datum::Int64(1 + static_cast<int64_t>(rng.Uniform(100))),
+                    Datum::Double(rng.NextDouble() * 300.0)});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("web_sales", rows));
+
+  rows.clear();
+  for (size_t i = 0; i < config.base_rows; ++i) {
+    rows.push_back({random_sk(), random_item(), random_customer(),
+                    Datum::Int64(1 + static_cast<int64_t>(rng.Uniform(100))),
+                    Datum::Double(rng.NextDouble() * 300.0)});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("catalog_sales", rows));
+
+  for (const char* returns_table : {"store_returns", "web_returns",
+                                    "catalog_returns"}) {
+    rows.clear();
+    for (size_t i = 0; i < config.base_rows / 2; ++i) {
+      rows.push_back({random_sk(), random_item(), random_customer(),
+                      Datum::Double(rng.NextDouble() * 150.0)});
+    }
+    MPPDB_RETURN_IF_ERROR(db->Load(returns_table, rows));
+  }
+
+  rows.clear();
+  for (size_t i = 0; i < config.base_rows; ++i) {
+    rows.push_back({random_sk(), random_item(),
+                    Datum::Int64(1 + static_cast<int64_t>(rng.Uniform(
+                                         static_cast<uint64_t>(config.warehouses)))),
+                    Datum::Int64(static_cast<int64_t>(rng.Uniform(1000)))});
+  }
+  MPPDB_RETURN_IF_ERROR(db->Load("inventory", rows));
+
+  return Status::OK();
+}
+
+std::vector<WorkloadQuery> TpcdsQueries(const TpcdsConfig& config) {
+  auto sk = [&](int year, int month, int day) {
+    return std::to_string(date::FromYMD(year, month, day));
+  };
+  const int y0 = config.start_year;      // 2002
+  const int y1 = config.start_year + 1;  // 2003
+
+  std::vector<WorkloadQuery> queries;
+  auto add = [&](const std::string& name, const std::string& sql) {
+    queries.push_back({name, sql});
+  };
+
+  // --- Static partition elimination ----------------------------------------
+  add("q01_ss_static_quarter",
+      "SELECT count(*), sum(ss_sales_price) FROM store_sales "
+      "WHERE ss_sold_date_sk BETWEEN " + sk(y1, 10, 1) + " AND " + sk(y1, 12, 31));
+  add("q02_ws_static_month",
+      "SELECT avg(ws_sales_price) FROM web_sales "
+      "WHERE ws_sold_date_sk >= " + sk(y1, 6, 1) +
+      " AND ws_sold_date_sk < " + sk(y1, 7, 1));
+  add("q03_cs_static_halfopen",
+      "SELECT count(*) FROM catalog_sales WHERE cs_sold_date_sk >= " + sk(y1, 7, 1));
+  add("q04_inv_static_range",
+      "SELECT sum(inv_quantity_on_hand) FROM inventory "
+      "WHERE inv_date_sk BETWEEN " + sk(y0, 3, 1) + " AND " + sk(y0, 5, 31));
+  add("q05_ss_static_inlist",
+      "SELECT count(*) FROM store_sales WHERE ss_sold_date_sk IN (" +
+      sk(y0, 1, 15) + ", " + sk(y0, 7, 15) + ", " + sk(y1, 1, 15) + ")");
+
+  // --- Join-induced dynamic elimination -------------------------------------
+  add("q06_ss_join_quarter",
+      "SELECT avg(ss.ss_sales_price) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE d.d_year = " + std::to_string(y1) + " AND d.d_moy BETWEEN 10 AND 12");
+  add("q07_ws_join_month",
+      "SELECT count(*) FROM web_sales ws "
+      "JOIN date_dim d ON ws.ws_sold_date_sk = d.d_date_sk "
+      "WHERE d.d_year = " + std::to_string(y1) + " AND d.d_moy = 6");
+  add("q08_cs_in_subquery",
+      "SELECT sum(cs_sales_price) FROM catalog_sales WHERE cs_sold_date_sk IN "
+      "(SELECT d_date_sk FROM date_dim WHERE d_year = " + std::to_string(y0) +
+      " AND d_moy <= 3)");
+  add("q09_sr_join_quarter_col",
+      "SELECT count(*) FROM store_returns sr "
+      "JOIN date_dim d ON sr.sr_returned_date_sk = d.d_date_sk "
+      "WHERE d.d_quarter = 2 AND d.d_year = " + std::to_string(y0));
+  add("q10_wr_in_subquery",
+      "SELECT sum(wr_return_amt) FROM web_returns WHERE wr_returned_date_sk IN "
+      "(SELECT d_date_sk FROM date_dim WHERE d_year = " + std::to_string(y1) +
+      " AND d_moy BETWEEN 1 AND 2)");
+  add("q11_cr_in_subquery_dom",
+      "SELECT count(*) FROM catalog_returns WHERE cr_returned_date_sk IN "
+      "(SELECT d_date_sk FROM date_dim WHERE d_year = " + std::to_string(y1) +
+      " AND d_moy = 11 AND d_dom <= 7)");
+  add("q12_inv_join_month",
+      "SELECT avg(inv.inv_quantity_on_hand) FROM inventory inv "
+      "JOIN date_dim d ON inv.inv_date_sk = d.d_date_sk "
+      "WHERE d.d_year = " + std::to_string(y1) + " AND d.d_moy = 12");
+
+  // --- Star joins (fact + date + second dimension) --------------------------
+  add("q13_ss_star_item",
+      "SELECT i.i_category, count(*) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+      "WHERE d.d_year = " + std::to_string(y1) + " AND d.d_moy BETWEEN 4 AND 6 "
+      "GROUP BY i.i_category");
+  add("q14_ss_star_customer",
+      "SELECT count(*) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "JOIN customer c ON ss.ss_customer_sk = c.c_customer_sk "
+      "WHERE c.c_state = 'CA' AND d.d_year = " + std::to_string(y0));
+  add("q15_ws_star_item_price",
+      "SELECT sum(ws.ws_sales_price) FROM web_sales ws "
+      "JOIN date_dim d ON ws.ws_sold_date_sk = d.d_date_sk "
+      "JOIN item i ON ws.ws_item_sk = i.i_item_sk "
+      "WHERE i.i_current_price > 150 AND d.d_moy = 3 AND d.d_year = " +
+      std::to_string(y0));
+  add("q16_cs_star_customer_quarter",
+      "SELECT count(*) FROM catalog_sales cs "
+      "JOIN date_dim d ON cs.cs_sold_date_sk = d.d_date_sk "
+      "JOIN customer c ON cs.cs_customer_sk = c.c_customer_sk "
+      "WHERE d.d_quarter = 4 AND d.d_year = " + std::to_string(y1) +
+      " AND c.c_birth_year < 1970");
+
+  // --- No pruning opportunity ------------------------------------------------
+  add("q17_ss_groupby_item",
+      "SELECT ss_item_sk, count(*) FROM store_sales GROUP BY ss_item_sk "
+      "ORDER BY ss_item_sk LIMIT 20");
+  add("q18_ws_scalar_agg", "SELECT avg(ws_sales_price), count(*) FROM web_sales");
+  add("q19_ss_item_join_nodate",
+      "SELECT i.i_category, sum(ss.ss_sales_price) FROM store_sales ss "
+      "JOIN item i ON ss.ss_item_sk = i.i_item_sk GROUP BY i.i_category");
+  add("q20_inv_full_agg",
+      "SELECT inv_warehouse_sk, sum(inv_quantity_on_hand) FROM inventory "
+      "GROUP BY inv_warehouse_sk");
+
+  // --- Mixed static + dynamic -------------------------------------------------
+  add("q21_ss_static_plus_join",
+      "SELECT count(*) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE ss.ss_sold_date_sk >= " + sk(y1, 1, 1) + " AND d.d_moy = 11");
+  add("q22_ws_static_plus_customer",
+      "SELECT avg(ws.ws_sales_price) FROM web_sales ws "
+      "JOIN customer c ON ws.ws_customer_sk = c.c_customer_sk "
+      "WHERE ws.ws_sold_date_sk BETWEEN " + sk(y0, 6, 1) + " AND " + sk(y0, 8, 31) +
+      " AND c.c_state = 'WA'");
+
+  // --- Fact-to-fact joins ------------------------------------------------------
+  add("q23_ss_sr_item_join",
+      "SELECT count(*) FROM store_returns sr "
+      "JOIN store_sales ss ON sr.sr_item_sk = ss.ss_item_sk "
+      "WHERE sr.sr_returned_date_sk BETWEEN " + sk(y1, 12, 1) + " AND " +
+      sk(y1, 12, 31) + " AND ss.ss_sold_date_sk BETWEEN " + sk(y1, 11, 1) +
+      " AND " + sk(y1, 12, 31));
+  add("q24_ws_wr_date_join",
+      "SELECT count(*) FROM web_returns wr "
+      "JOIN web_sales ws ON wr.wr_returned_date_sk = ws.ws_sold_date_sk "
+      "WHERE wr.wr_returned_date_sk >= " + sk(y1, 10, 1));
+
+  // --- Adversarial: misleading selectivities (the paper's 6% bucket) ---------
+  add("q25_ss_skewed_estimate",
+      "SELECT count(*) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE ss.ss_quantity = 1 AND ss.ss_store_sk = 2 AND ss.ss_customer_sk = 5 "
+      "AND d.d_moy = 8");
+  add("q26_cs_eq_chain",
+      "SELECT count(*) FROM catalog_sales cs "
+      "JOIN date_dim d ON cs.cs_sold_date_sk = d.d_date_sk "
+      "WHERE cs.cs_quantity = 2 AND cs.cs_customer_sk = 10 AND d.d_dom = 15");
+
+  add("q27_ss_static_and_skew",
+      "SELECT count(*) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE ss.ss_sold_date_sk >= " + sk(y1, 1, 1) +
+      " AND ss.ss_quantity = 1 AND ss.ss_store_sk = 2 AND d.d_moy = 11");
+
+  return queries;
+}
+
+}  // namespace workload
+}  // namespace mppdb

@@ -1,0 +1,53 @@
+#ifndef MPPDB_WORKLOAD_TPCDS_LITE_H_
+#define MPPDB_WORKLOAD_TPCDS_LITE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace mppdb {
+namespace workload {
+
+/// Scaled-down TPC-DS-style star schema (paper §4.3): seven partitioned fact
+/// tables (store_sales, web_sales, catalog_sales, store_returns, web_returns,
+/// catalog_returns, inventory) partitioned monthly on their date surrogate
+/// key, plus dimensions (date_dim, item, customer, store, warehouse). Date
+/// surrogate keys are days-since-epoch integers so that monthly integer
+/// ranges align with the calendar.
+struct TpcdsConfig {
+  int start_year = 2002;
+  int months = 24;
+  /// Base row count; fact tables scale from it (store_sales = 2x, etc.).
+  size_t base_rows = 4000;
+  int items = 400;
+  int customers = 500;
+  int stores = 10;
+  int warehouses = 5;
+  uint64_t seed = 99;
+};
+
+/// Names of the seven partitioned fact tables, in the paper's Fig. 16 order.
+const std::vector<std::string>& TpcdsFactTables();
+
+/// Creates and loads the full schema into `db`.
+Status CreateAndLoadTpcds(Database* db, const TpcdsConfig& config);
+
+/// One workload query: a name, the SQL text, and the runtime class used to
+/// bucket Fig. 17 ("short" / "medium" / "long" measured empirically).
+struct WorkloadQuery {
+  std::string name;
+  std::string sql;
+};
+
+/// The query-template suite driving Table 3, Fig. 16, and Fig. 17: a mix of
+/// static range pruning, join-induced dynamic pruning (explicit joins and IN
+/// subqueries), multi-dimension star joins, aggregations without pruning
+/// opportunities, and adversarial cases where cost-based choices can lose
+/// pruning (the paper's 6% bucket).
+std::vector<WorkloadQuery> TpcdsQueries(const TpcdsConfig& config);
+
+}  // namespace workload
+}  // namespace mppdb
+
+#endif  // MPPDB_WORKLOAD_TPCDS_LITE_H_

@@ -1,0 +1,87 @@
+#include "workload/tpch_lite.h"
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "types/date.h"
+
+namespace mppdb {
+namespace workload {
+
+int LineitemPartitionCount(LineitemPartitioning partitioning) {
+  switch (partitioning) {
+    case LineitemPartitioning::kNone:
+      return 0;
+    case LineitemPartitioning::kBiMonthly42:
+      return 42;
+    case LineitemPartitioning::kMonthly84:
+      return 84;
+    case LineitemPartitioning::kBiWeekly169:
+      return 169;
+    case LineitemPartitioning::kWeekly361:
+      return 361;
+  }
+  return 0;
+}
+
+const char* LineitemPartitioningName(LineitemPartitioning partitioning) {
+  switch (partitioning) {
+    case LineitemPartitioning::kNone:
+      return "unpartitioned";
+    case LineitemPartitioning::kBiMonthly42:
+      return "each part represents 2 months";
+    case LineitemPartitioning::kMonthly84:
+      return "partitioned monthly";
+    case LineitemPartitioning::kBiWeekly169:
+      return "partitioned bi-weekly";
+    case LineitemPartitioning::kWeekly361:
+      return "partitioned weekly";
+  }
+  return "?";
+}
+
+Status CreateAndLoadLineitem(Database* db, const TpchConfig& config,
+                             LineitemPartitioning partitioning,
+                             const std::string& table_name) {
+  Schema schema({{"l_orderkey", TypeId::kInt64},
+                 {"l_suppkey", TypeId::kInt64},
+                 {"l_shipdate", TypeId::kDate},
+                 {"l_quantity", TypeId::kDouble},
+                 {"l_extendedprice", TypeId::kDouble},
+                 {"l_discount", TypeId::kDouble}});
+
+  const int32_t first_day = date::FromYMD(config.start_year, 1, 1);
+  const int32_t last_day = date::FromYMD(config.start_year + config.years, 1, 1);
+  const int total_days = last_day - first_day;
+
+  if (partitioning == LineitemPartitioning::kNone) {
+    MPPDB_RETURN_IF_ERROR(
+        db->CreateTable(table_name, schema, TableDistribution::kHashed, {0}).status());
+  } else {
+    int parts = LineitemPartitionCount(partitioning);
+    int width = (total_days + parts - 1) / parts;  // cover the full span
+    MPPDB_RETURN_IF_ERROR(
+        db->CreatePartitionedTable(
+              table_name, schema, TableDistribution::kHashed, {0},
+              {{2, PartitionMethod::kRange}},
+              {partition_bounds::DateRanges(config.start_year, 1, 1, parts, width)})
+            .status());
+  }
+
+  Random rng(config.seed);
+  std::vector<Row> rows;
+  rows.reserve(config.rows);
+  for (size_t i = 0; i < config.rows; ++i) {
+    int32_t ship = first_day + static_cast<int32_t>(rng.Uniform(
+                                   static_cast<uint64_t>(total_days)));
+    double quantity = static_cast<double>(1 + rng.Uniform(50));
+    double price = 900.0 + rng.NextDouble() * 104000.0;
+    rows.push_back({Datum::Int64(static_cast<int64_t>(i / 4) + 1),
+                    Datum::Int64(static_cast<int64_t>(rng.Uniform(1000)) + 1),
+                    Datum::Date(ship), Datum::Double(quantity), Datum::Double(price),
+                    Datum::Double(rng.NextDouble() * 0.1)});
+  }
+  return db->Load(table_name, rows);
+}
+
+}  // namespace workload
+}  // namespace mppdb

@@ -1,0 +1,47 @@
+#ifndef MPPDB_WORKLOAD_TPCH_LITE_H_
+#define MPPDB_WORKLOAD_TPCH_LITE_H_
+
+#include <string>
+
+#include "db/database.h"
+
+namespace mppdb {
+namespace workload {
+
+/// Partitioning variants of the paper's Table 2 (plus unpartitioned).
+enum class LineitemPartitioning {
+  kNone,
+  kBiMonthly42,   // each part represents 2 months
+  kMonthly84,     // partitioned monthly
+  kBiWeekly169,   // partitioned bi-weekly
+  kWeekly361,     // partitioned weekly
+};
+
+/// Number of leaf partitions for a variant (0 for kNone). Matches the paper's
+/// Table 2 row labels.
+int LineitemPartitionCount(LineitemPartitioning partitioning);
+
+const char* LineitemPartitioningName(LineitemPartitioning partitioning);
+
+/// TPC-H-style lineitem generator configuration: 7 years of ship dates, a
+/// deterministic seed, and a row count scaled to the experiment.
+struct TpchConfig {
+  int start_year = 1998;
+  int years = 7;
+  size_t rows = 100000;
+  uint64_t seed = 20140622;
+};
+
+/// Creates `table_name` with schema
+///   (l_orderkey BIGINT, l_suppkey BIGINT, l_shipdate DATE,
+///    l_quantity DOUBLE, l_extendedprice DOUBLE, l_discount DOUBLE)
+/// hash-distributed on l_orderkey, range-partitioned on l_shipdate per the
+/// variant, and loads `config.rows` deterministic rows.
+Status CreateAndLoadLineitem(Database* db, const TpchConfig& config,
+                             LineitemPartitioning partitioning,
+                             const std::string& table_name);
+
+}  // namespace workload
+}  // namespace mppdb
+
+#endif  // MPPDB_WORKLOAD_TPCH_LITE_H_

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mppdb {
+namespace {
+
+TEST(StatusTest, OkAndErrorBasics) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::NotFound("thing missing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: thing missing");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kNotImplemented, StatusCode::kInternal, StatusCode::kParseError,
+        StatusCode::kBindError, StatusCode::kPlanError,
+        StatusCode::kExecutionError}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, ValueAndStatusAccess) {
+  Result<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  EXPECT_TRUE(value.status().ok());
+
+  Result<int> error(Status::Internal("boom"));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, OkStatusNormalizedToInternal) {
+  // Constructing a Result from an OK status is a bug; it must still be an
+  // error, not a trap.
+  Result<int> weird{Status::OK()};
+  EXPECT_FALSE(weird.ok());
+  EXPECT_EQ(weird.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> holder(std::make_unique<int>(5));
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> taken = std::move(holder).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+namespace {
+Result<int> FailingStep() { return Status::OutOfRange("nope"); }
+Status UsesAssignOrReturn(int* out) {
+  MPPDB_ASSIGN_OR_RETURN(*out, FailingStep());
+  return Status::OK();
+}
+}  // namespace
+
+TEST(MacroTest, AssignOrReturnPropagates) {
+  int out = 0;
+  Status st = UsesAssignOrReturn(&out);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("MiXeD_42"), "mixed_42");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_EQ(Repeat("ab", 3), "ababab");
+}
+
+}  // namespace
+}  // namespace mppdb

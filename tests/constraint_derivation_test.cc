@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "expr/constraint_derivation.h"
+#include "expr/eval.h"
+
+namespace mppdb {
+namespace {
+
+constexpr ColRefId kKey = 1;
+constexpr ColRefId kOther = 2;
+constexpr ColRefId kOuter = 3;
+
+ExprPtr Key() { return MakeColumnRef(kKey, "pk", TypeId::kInt64); }
+ExprPtr Other() { return MakeColumnRef(kOther, "x", TypeId::kInt64); }
+ExprPtr Lit(int64_t v) { return MakeConst(Datum::Int64(v)); }
+
+TEST(DeriveConstraintTest, SimpleComparisons) {
+  ConstraintSet c = DeriveConstraint(MakeComparison(CompareOp::kLt, Key(), Lit(10)), kKey);
+  EXPECT_TRUE(c.Contains(Datum::Int64(9)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(10)));
+}
+
+TEST(DeriveConstraintTest, ReversedSides) {
+  // 10 > pk  ==  pk < 10
+  ConstraintSet c = DeriveConstraint(MakeComparison(CompareOp::kGt, Lit(10), Key()), kKey);
+  EXPECT_TRUE(c.Contains(Datum::Int64(9)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(10)));
+}
+
+TEST(DeriveConstraintTest, ConstantFoldedSide) {
+  // pk = 2 + 3
+  ConstraintSet c = DeriveConstraint(
+      MakeComparison(CompareOp::kEq, Key(), MakeArith(ArithOp::kAdd, Lit(2), Lit(3))),
+      kKey);
+  EXPECT_TRUE(c.Contains(Datum::Int64(5)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(6)));
+}
+
+TEST(DeriveConstraintTest, AndIntersects) {
+  ExprPtr between = Conj({MakeComparison(CompareOp::kGe, Key(), Lit(10)),
+                          MakeComparison(CompareOp::kLe, Key(), Lit(12))});
+  ConstraintSet c = DeriveConstraint(between, kKey);
+  EXPECT_TRUE(c.Contains(Datum::Int64(10)));
+  EXPECT_TRUE(c.Contains(Datum::Int64(12)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(13)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(9)));
+}
+
+TEST(DeriveConstraintTest, OrUnions) {
+  ExprPtr either = MakeOr({MakeComparison(CompareOp::kEq, Key(), Lit(1)),
+                           MakeComparison(CompareOp::kEq, Key(), Lit(5))});
+  ConstraintSet c = DeriveConstraint(either, kKey);
+  EXPECT_TRUE(c.Contains(Datum::Int64(1)));
+  EXPECT_TRUE(c.Contains(Datum::Int64(5)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(3)));
+}
+
+TEST(DeriveConstraintTest, OrWithUnanalyzableBranchIsAll) {
+  ExprPtr either = MakeOr({MakeComparison(CompareOp::kEq, Key(), Lit(1)),
+                           MakeComparison(CompareOp::kEq, Other(), Lit(5))});
+  EXPECT_TRUE(DeriveConstraint(either, kKey).IsAll());
+}
+
+TEST(DeriveConstraintTest, AndWithUnanalyzableConjunctStillPrunes) {
+  ExprPtr pred = Conj({MakeComparison(CompareOp::kLt, Key(), Lit(10)),
+                       MakeComparison(CompareOp::kEq, Other(), Lit(5))});
+  ConstraintSet c = DeriveConstraint(pred, kKey);
+  EXPECT_TRUE(c.Contains(Datum::Int64(9)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(11)));
+}
+
+TEST(DeriveConstraintTest, InList) {
+  ConstraintSet c =
+      DeriveConstraint(MakeInList({Key(), Lit(3), Lit(7), Lit(11)}), kKey);
+  EXPECT_TRUE(c.Contains(Datum::Int64(7)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(8)));
+}
+
+TEST(DeriveConstraintTest, PredicateOnOtherColumnIsAll) {
+  EXPECT_TRUE(
+      DeriveConstraint(MakeComparison(CompareOp::kEq, Other(), Lit(5)), kKey).IsAll());
+}
+
+TEST(DeriveConstraintTest, NonConstantComparisonIsAll) {
+  // pk = x (join predicate before binding) cannot prune statically.
+  EXPECT_TRUE(
+      DeriveConstraint(MakeComparison(CompareOp::kEq, Key(), Other()), kKey).IsAll());
+}
+
+TEST(DeriveConstraintTest, ConstantFalseIsNone) {
+  EXPECT_TRUE(DeriveConstraint(MakeConst(Datum::Bool(false)), kKey).IsNone());
+  EXPECT_TRUE(DeriveConstraint(MakeConst(Datum::Null()), kKey).IsNone());
+}
+
+TEST(DeriveConstraintTest, NotNegatesComparisons) {
+  // NOT (pk = 5) excludes exactly 5.
+  ConstraintSet ne =
+      DeriveConstraint(MakeNot(MakeComparison(CompareOp::kEq, Key(), Lit(5))), kKey);
+  EXPECT_FALSE(ne.Contains(Datum::Int64(5)));
+  EXPECT_TRUE(ne.Contains(Datum::Int64(4)));
+  // NOT (pk < 10) == pk >= 10.
+  ConstraintSet ge =
+      DeriveConstraint(MakeNot(MakeComparison(CompareOp::kLt, Key(), Lit(10))), kKey);
+  EXPECT_TRUE(ge.Contains(Datum::Int64(10)));
+  EXPECT_FALSE(ge.Contains(Datum::Int64(9)));
+}
+
+TEST(DeriveConstraintTest, NotBetweenViaDeMorgan) {
+  // NOT (pk >= 10 AND pk <= 12) == pk < 10 OR pk > 12.
+  ExprPtr between = Conj({MakeComparison(CompareOp::kGe, Key(), Lit(10)),
+                          MakeComparison(CompareOp::kLe, Key(), Lit(12))});
+  ConstraintSet outside = DeriveConstraint(MakeNot(between), kKey);
+  EXPECT_TRUE(outside.Contains(Datum::Int64(9)));
+  EXPECT_TRUE(outside.Contains(Datum::Int64(13)));
+  EXPECT_FALSE(outside.Contains(Datum::Int64(11)));
+}
+
+TEST(DeriveConstraintTest, NotInList) {
+  ConstraintSet c =
+      DeriveConstraint(MakeNot(MakeInList({Key(), Lit(3), Lit(7)})), kKey);
+  EXPECT_FALSE(c.Contains(Datum::Int64(3)));
+  EXPECT_FALSE(c.Contains(Datum::Int64(7)));
+  EXPECT_TRUE(c.Contains(Datum::Int64(5)));
+}
+
+TEST(DeriveConstraintTest, DoubleNegationRoundTrips) {
+  ExprPtr pred = MakeComparison(CompareOp::kLt, Key(), Lit(10));
+  ConstraintSet twice = DeriveConstraint(MakeNot(MakeNot(pred)), kKey);
+  EXPECT_TRUE(twice.Contains(Datum::Int64(9)));
+  EXPECT_FALSE(twice.Contains(Datum::Int64(10)));
+}
+
+TEST(DeriveConstraintTest, NotOverUnanalyzableIsConservative) {
+  // NOT over a predicate on another column stays All.
+  EXPECT_TRUE(
+      DeriveConstraint(MakeNot(MakeComparison(CompareOp::kEq, Other(), Lit(5))), kKey)
+          .IsAll());
+}
+
+TEST(FindPredOnKeyTest, ExtractsStaticConjuncts) {
+  ExprPtr pred = Conj({MakeComparison(CompareOp::kGe, Key(), Lit(10)),
+                       MakeComparison(CompareOp::kEq, Other(), Lit(5))});
+  ExprPtr found = FindPredOnKey(kKey, pred, {});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->ToString(), "(pk#1 >= 10)");
+}
+
+TEST(FindPredOnKeyTest, RejectsConjunctsNeedingUnavailableColumns) {
+  ExprPtr pred = MakeComparison(CompareOp::kEq, Key(), Other());
+  EXPECT_EQ(FindPredOnKey(kKey, pred, {}), nullptr);
+  // With kOther available (join DPE), the conjunct qualifies.
+  EXPECT_NE(FindPredOnKey(kKey, pred, {kOther}), nullptr);
+}
+
+TEST(FindPredOnKeyTest, NoKeyReferenceReturnsNull) {
+  ExprPtr pred = MakeComparison(CompareOp::kEq, Other(), Lit(5));
+  EXPECT_EQ(FindPredOnKey(kKey, pred, {}), nullptr);
+}
+
+TEST(FindPredsOnKeysTest, MultiLevel) {
+  const ColRefId date_key = 10, region_key = 11;
+  ExprPtr pred =
+      Conj({MakeComparison(CompareOp::kEq, MakeColumnRef(date_key, "date", TypeId::kDate),
+                           MakeConst(Datum::DateFromString("2012-01-15"))),
+            MakeComparison(CompareOp::kEq,
+                           MakeColumnRef(region_key, "region", TypeId::kString),
+                           MakeConst(Datum::String("Region 1")))});
+  std::vector<ExprPtr> found = FindPredsOnKeys({date_key, region_key}, pred, {});
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_NE(found[0], nullptr);
+  EXPECT_NE(found[1], nullptr);
+
+  // Only one level constrained.
+  ExprPtr date_only = MakeComparison(CompareOp::kEq,
+                                     MakeColumnRef(date_key, "date", TypeId::kDate),
+                                     MakeConst(Datum::DateFromString("2012-01-15")));
+  found = FindPredsOnKeys({date_key, region_key}, date_only, {});
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_NE(found[0], nullptr);
+  EXPECT_EQ(found[1], nullptr);
+
+  // No level constrained -> empty result.
+  ExprPtr unrelated = MakeComparison(CompareOp::kEq, Other(), Lit(1));
+  EXPECT_TRUE(FindPredsOnKeys({date_key, region_key}, unrelated, {}).empty());
+}
+
+// Soundness property (the basis of partition pruning): if DeriveConstraint
+// says value v is excluded, then no row with pk=v can satisfy the predicate.
+TEST(DeriveConstraintPropertyTest, ExclusionIsSound) {
+  Random rng(424242);
+  ColumnLayout layout(std::vector<ColRefId>{kKey, kOther, kOuter});
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random predicate tree over key/other/const comparisons.
+    std::function<ExprPtr(int)> gen = [&](int depth) -> ExprPtr {
+      if (depth == 0 || rng.Bernoulli(0.5)) {
+        ExprPtr lhs = rng.Bernoulli(0.7) ? Key() : Other();
+        ExprPtr rhs = Lit(rng.UniformRange(-20, 20));
+        CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                           CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+        return MakeComparison(ops[rng.Uniform(6)], lhs, rhs);
+      }
+      if (rng.Bernoulli(0.2)) return MakeNot(gen(depth - 1));
+      if (rng.Bernoulli(0.5)) return Conj({gen(depth - 1), gen(depth - 1)});
+      return MakeOr({gen(depth - 1), gen(depth - 1)});
+    };
+    ExprPtr pred = gen(3);
+    ConstraintSet c = DeriveConstraint(pred, kKey);
+    for (int64_t v = -25; v <= 25; ++v) {
+      if (c.Contains(Datum::Int64(v))) continue;  // not excluded
+      // Try many values of the other columns: predicate must never hold.
+      for (int64_t o = -25; o <= 25; o += 5) {
+        Row row = {Datum::Int64(v), Datum::Int64(o), Datum::Int64(o + 1)};
+        auto result = EvalPredicate(pred, layout, row);
+        ASSERT_TRUE(result.ok());
+        EXPECT_FALSE(*result) << "pred=" << pred->ToString() << " v=" << v
+                              << " o=" << o;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mppdb

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+
+namespace mppdb {
+namespace {
+
+ExprPtr Col(ColRefId id, const char* name = "c", TypeId type = TypeId::kInt64) {
+  return MakeColumnRef(id, name, type);
+}
+
+ExprPtr Lit(int64_t v) { return MakeConst(Datum::Int64(v)); }
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPtr e = MakeComparison(CompareOp::kGe, Col(1, "month"), Lit(10));
+  EXPECT_EQ(e->ToString(), "(month#1 >= 10)");
+  ExprPtr conj = Conj({e, MakeComparison(CompareOp::kLe, Col(1, "month"), Lit(12))});
+  EXPECT_EQ(conj->ToString(), "((month#1 >= 10) AND (month#1 <= 12))");
+}
+
+TEST(ExprTest, ConjDropsNullsAndFlattensSingleton) {
+  ExprPtr e = MakeComparison(CompareOp::kEq, Col(1), Lit(5));
+  EXPECT_EQ(Conj({nullptr, e, nullptr}), e);
+  EXPECT_EQ(Conj({nullptr, nullptr}), nullptr);
+  ExprPtr two = Conj({e, e});
+  ASSERT_NE(two, nullptr);
+  EXPECT_EQ(two->kind(), ExprKind::kAnd);
+}
+
+TEST(ExprTest, StructuralEquality) {
+  ExprPtr a = MakeComparison(CompareOp::kLt, Col(3), Lit(7));
+  ExprPtr b = MakeComparison(CompareOp::kLt, Col(3), Lit(7));
+  ExprPtr c = MakeComparison(CompareOp::kLe, Col(3), Lit(7));
+  ExprPtr d = MakeComparison(CompareOp::kLt, Col(4), Lit(7));
+  EXPECT_TRUE(Expr::Equals(a, b));
+  EXPECT_FALSE(Expr::Equals(a, c));
+  EXPECT_FALSE(Expr::Equals(a, d));
+}
+
+TEST(ExprTest, CollectAndReferences) {
+  ExprPtr e = Conj({MakeComparison(CompareOp::kEq, Col(1), Col(2)),
+                    MakeComparison(CompareOp::kGt, Col(3), Lit(0))});
+  std::unordered_set<ColRefId> refs;
+  CollectColumnRefs(e, &refs);
+  EXPECT_EQ(refs.size(), 3u);
+  EXPECT_TRUE(ReferencesColumn(e, 2));
+  EXPECT_FALSE(ReferencesColumn(e, 9));
+  EXPECT_FALSE(IsConstantExpr(e));
+  EXPECT_TRUE(IsConstantExpr(Lit(3)));
+}
+
+TEST(ExprTest, SplitConjunctsFlattensNestedAnds) {
+  ExprPtr a = MakeComparison(CompareOp::kEq, Col(1), Lit(1));
+  ExprPtr b = MakeComparison(CompareOp::kEq, Col(2), Lit(2));
+  ExprPtr c = MakeComparison(CompareOp::kEq, Col(3), Lit(3));
+  ExprPtr nested = Conj({Conj({a, b}), c});
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(nested);
+  ASSERT_EQ(conjuncts.size(), 3u);
+}
+
+TEST(ExprTest, SubstituteColumns) {
+  ExprPtr e = MakeComparison(CompareOp::kEq, Col(1, "pk"), Col(2, "a"));
+  ExprPtr bound = SubstituteColumns(e, {{2, Datum::Int64(42)}});
+  EXPECT_EQ(bound->ToString(), "(pk#1 = 42)");
+  // Key column untouched.
+  EXPECT_TRUE(ReferencesColumn(bound, 1));
+  EXPECT_FALSE(ReferencesColumn(bound, 2));
+  // No match: node shared.
+  EXPECT_EQ(SubstituteColumns(e, {{9, Datum::Int64(0)}}), e);
+}
+
+TEST(ExprTest, SubstituteParams) {
+  ExprPtr e = MakeComparison(CompareOp::kLt, Col(1), MakeParam(0, TypeId::kInt64));
+  ExprPtr bound = SubstituteParams(e, {Datum::Int64(99)});
+  EXPECT_EQ(bound->ToString(), "(c#1 < 99)");
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  ColumnLayout layout_{std::vector<ColRefId>{1, 2, 3}};
+  Row row_{Datum::Int64(10), Datum::String("CA"), Datum::Null()};
+};
+
+TEST_F(EvalTest, ColumnLookup) {
+  auto r = EvalExpr(Col(2, "state", TypeId::kString), layout_, row_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_value(), "CA");
+}
+
+TEST_F(EvalTest, MissingColumnIsError) {
+  auto r = EvalExpr(Col(9), layout_, row_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(EvalTest, ComparisonWithNullIsNull) {
+  auto r = EvalExpr(MakeComparison(CompareOp::kEq, Col(3), Lit(1)), layout_, row_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+  // WHERE semantics: null predicate filters the row out.
+  auto p = EvalPredicate(MakeComparison(CompareOp::kEq, Col(3), Lit(1)), layout_, row_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(*p);
+}
+
+TEST_F(EvalTest, ThreeValuedAnd) {
+  ExprPtr null_cmp = MakeComparison(CompareOp::kEq, Col(3), Lit(1));
+  ExprPtr true_cmp = MakeComparison(CompareOp::kEq, Col(1), Lit(10));
+  ExprPtr false_cmp = MakeComparison(CompareOp::kEq, Col(1), Lit(11));
+  // false AND null = false
+  auto r1 = EvalExpr(Conj({false_cmp, null_cmp}), layout_, row_);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1->is_null());
+  EXPECT_FALSE(r1->bool_value());
+  // true AND null = null
+  auto r2 = EvalExpr(Conj({true_cmp, null_cmp}), layout_, row_);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->is_null());
+}
+
+TEST_F(EvalTest, ThreeValuedOr) {
+  ExprPtr null_cmp = MakeComparison(CompareOp::kEq, Col(3), Lit(1));
+  ExprPtr true_cmp = MakeComparison(CompareOp::kEq, Col(1), Lit(10));
+  ExprPtr false_cmp = MakeComparison(CompareOp::kEq, Col(1), Lit(11));
+  auto r1 = EvalExpr(MakeOr({true_cmp, null_cmp}), layout_, row_);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->bool_value());
+  auto r2 = EvalExpr(MakeOr({false_cmp, null_cmp}), layout_, row_);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->is_null());
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  auto r = EvalExpr(MakeArith(ArithOp::kAdd, Col(1), Lit(5)), layout_, row_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->int64_value(), 15);
+  auto m = EvalExpr(MakeArith(ArithOp::kMod, Col(1), Lit(3)), layout_, row_);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->int64_value(), 1);
+  auto d = EvalExpr(MakeArith(ArithOp::kDiv, Col(1), Lit(0)), layout_, row_);
+  EXPECT_FALSE(d.ok());
+}
+
+TEST_F(EvalTest, DoublePromotion) {
+  auto r = EvalExpr(MakeArith(ArithOp::kMul, Col(1), MakeConst(Datum::Double(0.5))),
+                    layout_, row_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->double_value(), 5.0);
+}
+
+TEST_F(EvalTest, InList) {
+  ExprPtr in = MakeInList({Col(1), Lit(9), Lit(10), Lit(11)});
+  auto r = EvalExpr(in, layout_, row_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->bool_value());
+  ExprPtr not_in = MakeInList({Col(1), Lit(1), Lit(2)});
+  auto r2 = EvalExpr(not_in, layout_, row_);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->bool_value());
+}
+
+TEST_F(EvalTest, IsNull) {
+  auto r = EvalExpr(std::make_shared<IsNullExpr>(Col(3)), layout_, row_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->bool_value());
+}
+
+TEST_F(EvalTest, UnboundParamIsError) {
+  auto r = EvalExpr(MakeParam(0, TypeId::kInt64), layout_, row_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TryFoldConstTest, FoldsConstantsOnly) {
+  EXPECT_TRUE(TryFoldConst(Lit(5)).has_value());
+  auto folded = TryFoldConst(MakeArith(ArithOp::kAdd, Lit(2), Lit(3)));
+  ASSERT_TRUE(folded.has_value());
+  EXPECT_EQ(folded->int64_value(), 5);
+  EXPECT_FALSE(TryFoldConst(Col(1)).has_value());
+  EXPECT_FALSE(TryFoldConst(MakeArith(ArithOp::kDiv, Lit(1), Lit(0))).has_value());
+}
+
+}  // namespace
+}  // namespace mppdb

@@ -1,0 +1,197 @@
+// Tests for the index substrate and the Index-Join implementation of the
+// partition-selection model (paper §2.2: the outer child computes partition
+// keys; the inner child scans by looking up an index on the partition key).
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+using testutil::SameRows;
+
+int CountNodes(const PhysPtr& plan, PhysNodeKind kind) {
+  int count = plan->kind() == kind ? 1 : 0;
+  for (const auto& child : plan->children()) count += CountNodes(child, kind);
+  return count;
+}
+
+TEST(UnitIndexTest, LookupFindsAllDuplicates) {
+  testutil::TestDb db(1);
+  const TableDescriptor* t =
+      db.CreatePlainTable("t", Schema({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}));
+  TableStore* store = db.storage.GetStore(t->oid);
+  ASSERT_TRUE(store->CreateIndex(0).ok());
+  db.Insert(t, {{Datum::Int64(3), Datum::Int64(1)},
+                {Datum::Int64(1), Datum::Int64(2)},
+                {Datum::Int64(3), Datum::Int64(3)},
+                {Datum::Int64(2), Datum::Int64(4)}});
+  const auto& hits = store->IndexLookup(t->oid, 0, 0, Datum::Int64(3));
+  EXPECT_EQ(hits.size(), 2u);
+  for (size_t pos : hits) {
+    EXPECT_EQ(store->UnitRows(t->oid, 0)[pos][0].int64_value(), 3);
+  }
+  EXPECT_TRUE(store->IndexLookup(t->oid, 0, 0, Datum::Int64(99)).empty());
+  EXPECT_TRUE(store->IndexLookup(t->oid, 0, 0, Datum::Null()).empty());
+}
+
+TEST(UnitIndexTest, RebuildsAfterMutation) {
+  testutil::TestDb db(1);
+  const TableDescriptor* t =
+      db.CreatePlainTable("t", Schema({{"k", TypeId::kInt64}}));
+  TableStore* store = db.storage.GetStore(t->oid);
+  ASSERT_TRUE(store->CreateIndex(0).ok());
+  db.Insert(t, {{Datum::Int64(1)}, {Datum::Int64(2)}});
+  EXPECT_EQ(store->IndexLookup(t->oid, 0, 0, Datum::Int64(2)).size(), 1u);
+  // New insert invalidates; lookup sees the new row.
+  db.Insert(t, {{Datum::Int64(2)}});
+  EXPECT_EQ(store->IndexLookup(t->oid, 0, 0, Datum::Int64(2)).size(), 2u);
+  // In-place mutation through MutableUnitRows also invalidates.
+  std::vector<Row>* rows = store->MutableUnitRows(t->oid, 0);
+  rows->erase(rows->begin());  // drop k=1
+  EXPECT_TRUE(store->IndexLookup(t->oid, 0, 0, Datum::Int64(1)).empty());
+  EXPECT_EQ(store->IndexLookup(t->oid, 0, 0, Datum::Int64(2)).size(), 2u);
+}
+
+TEST(UnitIndexTest, InvalidColumnRejected) {
+  testutil::TestDb db(1);
+  const TableDescriptor* t =
+      db.CreatePlainTable("t", Schema({{"k", TypeId::kInt64}}));
+  EXPECT_FALSE(db.storage.GetStore(t->oid)->CreateIndex(7).ok());
+}
+
+class IndexJoinTest : public ::testing::Test {
+ protected:
+  IndexJoinTest() : db_(4) {
+    // fact: partitioned on sk (single level), hash-distributed on item.
+    MPPDB_CHECK(db_.CreatePartitionedTable(
+                       "fact", Schema({{"sk", TypeId::kInt64},
+                                       {"item", TypeId::kInt64},
+                                       {"price", TypeId::kDouble}}),
+                       TableDistribution::kHashed, {1},
+                       {{0, PartitionMethod::kRange}},
+                       {partition_bounds::IntRanges(0, 50, 20)})  // sk in [0,1000)
+                    .ok());
+    MPPDB_CHECK(db_.CreateTable("probe_keys",
+                                Schema({{"k", TypeId::kInt64},
+                                        {"tag", TypeId::kString}}),
+                                TableDistribution::kHashed, {0})
+                    .ok());
+    std::vector<Row> fact_rows;
+    for (int i = 0; i < 3000; ++i) {
+      fact_rows.push_back({Datum::Int64(i % 1000), Datum::Int64(i % 37),
+                           Datum::Double(i * 0.25)});
+    }
+    MPPDB_CHECK(db_.Load("fact", fact_rows).ok());
+    MPPDB_CHECK(db_.Load("probe_keys", {{Datum::Int64(17), Datum::String("a")},
+                                        {Datum::Int64(955), Datum::String("b")},
+                                        {Datum::Int64(5000), Datum::String("c")}})
+                    .ok());
+    MPPDB_CHECK(db_.Run("CREATE INDEX ON fact (sk)").ok());
+    fact_oid_ = db_.catalog().FindTable("fact")->oid;
+  }
+
+  Database db_;
+  Oid fact_oid_ = kInvalidOid;
+};
+
+TEST_F(IndexJoinTest, OptimizerPicksIndexJoinForSmallOuter) {
+  const char* sql =
+      "SELECT count(*) FROM probe_keys p JOIN fact f ON p.k = f.sk";
+  auto plan = db_.PlanSql(sql);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(CountNodes(*plan, PhysNodeKind::kIndexNLJoin), 1);
+  EXPECT_EQ(CountNodes(*plan, PhysNodeKind::kDynamicScan), 0);
+
+  auto result = db_.ExecutePlan(*plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // sk 17 and 955 each appear 3 times in fact; 5000 routes to ⊥ (no match).
+  EXPECT_EQ(result->rows[0][0].int64_value(), 6);
+  // Only the partitions holding 17 and 955 were touched, and only matching
+  // tuples were read through the index (plus the 3 probe rows).
+  EXPECT_EQ(result->stats.PartitionsScanned(fact_oid_), 2u);
+  EXPECT_LT(result->stats.tuples_scanned, 50u);
+}
+
+TEST_F(IndexJoinTest, MatchesHashJoinResults) {
+  const char* sql =
+      "SELECT p.tag, f.price FROM probe_keys p JOIN fact f ON p.k = f.sk "
+      "WHERE f.price < 200";
+  auto with_index = db_.Run(sql);
+  ASSERT_TRUE(with_index.ok()) << with_index.status().ToString();
+  QueryOptions no_index;
+  no_index.enable_index_join = false;
+  auto without_index = db_.Run(sql, no_index);
+  ASSERT_TRUE(without_index.ok());
+  EXPECT_TRUE(SameRows(with_index->rows, without_index->rows));
+  EXPECT_EQ(CountNodes(without_index->plan, PhysNodeKind::kIndexNLJoin), 0);
+  // The index plan reads far fewer tuples.
+  EXPECT_LT(with_index->stats.tuples_scanned, without_index->stats.tuples_scanned);
+}
+
+TEST_F(IndexJoinTest, NotChosenWithoutAnIndex) {
+  ASSERT_TRUE(db_.Run("CREATE TABLE fact2 (sk bigint, v double) "
+                      "DISTRIBUTED BY (v) "
+                      "PARTITION BY RANGE (sk) START 0 END 1000 EVERY 50")
+                  .ok());
+  ASSERT_TRUE(db_.Run("INSERT INTO fact2 VALUES (17, 1.0), (400, 2.0)").ok());
+  auto plan = db_.PlanSql("SELECT count(*) FROM probe_keys p "
+                          "JOIN fact2 f ON p.k = f.sk");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountNodes(*plan, PhysNodeKind::kIndexNLJoin), 0);
+  EXPECT_EQ(CountNodes(*plan, PhysNodeKind::kDynamicScan), 1);
+}
+
+TEST_F(IndexJoinTest, IndexOnNonPartitionKeyUnusedForPartitionedTable) {
+  // An index on a non-partitioning column cannot drive per-tuple routing.
+  ASSERT_TRUE(db_.Run("CREATE INDEX ON fact (item)").ok());
+  auto plan = db_.PlanSql(
+      "SELECT count(*) FROM probe_keys p JOIN fact f ON p.k = f.item");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountNodes(*plan, PhysNodeKind::kIndexNLJoin), 0);
+}
+
+TEST_F(IndexJoinTest, WorksOnUnpartitionedTables) {
+  ASSERT_TRUE(db_.Run("CREATE TABLE plain (k bigint, v bigint) "
+                      "DISTRIBUTED BY (v)")
+                  .ok());
+  ASSERT_TRUE(db_.Run("INSERT INTO plain VALUES (17, 100), (17, 200), (3, 5)").ok());
+  // Filler so that a full scan is visibly worse than three index seeks.
+  std::vector<Row> filler;
+  for (int i = 0; i < 2000; ++i) {
+    filler.push_back({Datum::Int64(10000 + i), Datum::Int64(i)});
+  }
+  ASSERT_TRUE(db_.Load("plain", filler).ok());
+  ASSERT_TRUE(db_.Run("CREATE INDEX ON plain (k)").ok());
+  const char* sql = "SELECT count(*) FROM probe_keys p JOIN plain t ON p.k = t.k";
+  auto plan = db_.PlanSql(sql);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(CountNodes(*plan, PhysNodeKind::kIndexNLJoin), 1);
+  auto result = db_.ExecutePlan(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int64_value(), 2);
+}
+
+TEST_F(IndexJoinTest, IndexJoinSurvivesDml) {
+  // Mutations invalidate per-unit indexes; the next lookup rebuilds.
+  ASSERT_TRUE(db_.Run("DELETE FROM fact WHERE sk = 17").ok());
+  auto result = db_.Run("SELECT count(*) FROM probe_keys p JOIN fact f ON p.k = f.sk");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int64_value(), 3);  // only sk=955 remains
+  ASSERT_TRUE(db_.Run("INSERT INTO fact VALUES (17, 1, 9.9)").ok());
+  result = db_.Run("SELECT count(*) FROM probe_keys p JOIN fact f ON p.k = f.sk");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int64_value(), 4);
+}
+
+TEST_F(IndexJoinTest, DdlIndexErrors) {
+  EXPECT_FALSE(db_.Run("CREATE INDEX ON nope (x)").ok());
+  EXPECT_FALSE(db_.Run("CREATE INDEX ON fact (nope)").ok());
+  // Duplicate index rejected.
+  EXPECT_FALSE(db_.Run("CREATE INDEX ON fact (sk)").ok());
+}
+
+}  // namespace
+}  // namespace mppdb

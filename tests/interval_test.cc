@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "expr/interval.h"
+
+namespace mppdb {
+namespace {
+
+Datum I(int64_t v) { return Datum::Int64(v); }
+
+TEST(IntervalTest, EmptyDetection) {
+  EXPECT_FALSE(Interval::All().IsEmpty());
+  EXPECT_FALSE(Interval::Point(I(5)).IsEmpty());
+  EXPECT_TRUE(Interval::RightOpen(I(5), I(5)).IsEmpty());
+  EXPECT_FALSE(Interval::RightOpen(I(5), I(6)).IsEmpty());
+  EXPECT_TRUE(Interval(IntervalBound::Exclusive(I(5)), IntervalBound::Inclusive(I(5)))
+                  .IsEmpty());
+  EXPECT_TRUE(Interval::Closed(I(7), I(6)).IsEmpty());
+}
+
+TEST(IntervalTest, Contains) {
+  Interval in = Interval::RightOpen(I(10), I(20));
+  EXPECT_TRUE(in.Contains(I(10)));
+  EXPECT_TRUE(in.Contains(I(19)));
+  EXPECT_FALSE(in.Contains(I(20)));
+  EXPECT_FALSE(in.Contains(I(9)));
+  EXPECT_FALSE(in.Contains(Datum::Null()));
+  EXPECT_TRUE(Interval::All().Contains(I(-1000000)));
+}
+
+TEST(IntervalTest, IntersectAndOverlap) {
+  Interval a = Interval::RightOpen(I(0), I(10));
+  Interval b = Interval::RightOpen(I(5), I(15));
+  Interval c = Interval::RightOpen(I(10), I(20));
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));  // [0,10) and [10,20) share no point
+  Interval x = Interval::Intersect(a, b);
+  EXPECT_TRUE(x.Contains(I(5)));
+  EXPECT_TRUE(x.Contains(I(9)));
+  EXPECT_FALSE(x.Contains(I(10)));
+}
+
+TEST(IntervalTest, ClosedTouchingOverlaps) {
+  EXPECT_TRUE(Interval::Closed(I(0), I(10)).Overlaps(Interval::Closed(I(10), I(20))));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval outer = Interval::Closed(I(0), I(100));
+  EXPECT_TRUE(outer.ContainsInterval(Interval::Closed(I(10), I(20))));
+  EXPECT_TRUE(outer.ContainsInterval(Interval::Closed(I(0), I(100))));
+  EXPECT_FALSE(outer.ContainsInterval(Interval::Closed(I(50), I(101))));
+  EXPECT_TRUE(Interval::All().ContainsInterval(outer));
+  EXPECT_FALSE(outer.ContainsInterval(Interval::All()));
+}
+
+TEST(ConstraintSetTest, FromComparison) {
+  ConstraintSet lt = ConstraintSet::FromComparison(CompareOp::kLt, I(10));
+  EXPECT_TRUE(lt.Contains(I(9)));
+  EXPECT_FALSE(lt.Contains(I(10)));
+
+  ConstraintSet ge = ConstraintSet::FromComparison(CompareOp::kGe, I(10));
+  EXPECT_TRUE(ge.Contains(I(10)));
+  EXPECT_FALSE(ge.Contains(I(9)));
+
+  ConstraintSet eq = ConstraintSet::FromComparison(CompareOp::kEq, I(10));
+  EXPECT_TRUE(eq.Contains(I(10)));
+  EXPECT_FALSE(eq.Contains(I(11)));
+
+  ConstraintSet ne = ConstraintSet::FromComparison(CompareOp::kNe, I(10));
+  EXPECT_FALSE(ne.Contains(I(10)));
+  EXPECT_TRUE(ne.Contains(I(11)));
+  EXPECT_TRUE(ne.Contains(I(9)));
+}
+
+TEST(ConstraintSetTest, ComparisonWithNullIsNone) {
+  EXPECT_TRUE(ConstraintSet::FromComparison(CompareOp::kEq, Datum::Null()).IsNone());
+  EXPECT_TRUE(ConstraintSet::FromComparison(CompareOp::kLt, Datum::Null()).IsNone());
+}
+
+TEST(ConstraintSetTest, UnionMergesOverlapping) {
+  ConstraintSet a = ConstraintSet::FromInterval(Interval::RightOpen(I(0), I(10)));
+  ConstraintSet b = ConstraintSet::FromInterval(Interval::RightOpen(I(5), I(20)));
+  ConstraintSet u = a.Union(b);
+  EXPECT_EQ(u.intervals().size(), 1u);
+  EXPECT_TRUE(u.Contains(I(0)));
+  EXPECT_TRUE(u.Contains(I(19)));
+  EXPECT_FALSE(u.Contains(I(20)));
+}
+
+TEST(ConstraintSetTest, UnionMergesTouching) {
+  // [0,10) U [10,20) is contiguous.
+  ConstraintSet u = ConstraintSet::FromInterval(Interval::RightOpen(I(0), I(10)))
+                        .Union(ConstraintSet::FromInterval(Interval::RightOpen(I(10), I(20))));
+  EXPECT_EQ(u.intervals().size(), 1u);
+  EXPECT_TRUE(u.Contains(I(10)));
+}
+
+TEST(ConstraintSetTest, UnionKeepsGaps) {
+  ConstraintSet u = ConstraintSet::FromInterval(Interval::RightOpen(I(0), I(5)))
+                        .Union(ConstraintSet::FromInterval(Interval::RightOpen(I(10), I(15))));
+  EXPECT_EQ(u.intervals().size(), 2u);
+  EXPECT_FALSE(u.Contains(I(7)));
+}
+
+TEST(ConstraintSetTest, IntersectBasics) {
+  ConstraintSet range = ConstraintSet::FromInterval(Interval::Closed(I(0), I(100)));
+  ConstraintSet points = ConstraintSet::FromPoints({I(-5), I(50), I(105)});
+  ConstraintSet x = range.Intersect(points);
+  EXPECT_TRUE(x.Contains(I(50)));
+  EXPECT_FALSE(x.Contains(I(-5)));
+  EXPECT_FALSE(x.Contains(I(105)));
+}
+
+TEST(ConstraintSetTest, AllAndNone) {
+  EXPECT_TRUE(ConstraintSet::All().IsAll());
+  EXPECT_TRUE(ConstraintSet::None().IsNone());
+  EXPECT_TRUE(ConstraintSet::All().Intersect(ConstraintSet::None()).IsNone());
+  EXPECT_TRUE(ConstraintSet::All().Union(ConstraintSet::None()).IsAll());
+  ConstraintSet x = ConstraintSet::FromComparison(CompareOp::kLt, I(3));
+  EXPECT_TRUE(x.Intersect(ConstraintSet::All()).Contains(I(2)));
+  EXPECT_TRUE(x.Union(ConstraintSet::All()).IsAll());
+}
+
+// Property: for randomized interval unions, membership in the union equals
+// membership in at least one source interval, and intersect/union are
+// consistent with boolean algebra on membership.
+TEST(ConstraintSetPropertyTest, RandomizedAlgebraConsistency) {
+  Random rng(20140622);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_set = [&rng]() {
+      ConstraintSet s = ConstraintSet::None();
+      int n = static_cast<int>(rng.Uniform(4));
+      for (int i = 0; i < n; ++i) {
+        int64_t lo = rng.UniformRange(-50, 50);
+        int64_t hi = lo + rng.UniformRange(0, 30);
+        s = s.Union(ConstraintSet::FromInterval(
+            rng.Bernoulli(0.5) ? Interval::RightOpen(I(lo), I(hi))
+                               : Interval::Closed(I(lo), I(hi))));
+      }
+      return s;
+    };
+    ConstraintSet a = random_set();
+    ConstraintSet b = random_set();
+    ConstraintSet u = a.Union(b);
+    ConstraintSet x = a.Intersect(b);
+    for (int64_t v = -60; v <= 90; ++v) {
+      bool in_a = a.Contains(I(v));
+      bool in_b = b.Contains(I(v));
+      EXPECT_EQ(u.Contains(I(v)), in_a || in_b) << "v=" << v;
+      EXPECT_EQ(x.Contains(I(v)), in_a && in_b) << "v=" << v;
+    }
+  }
+}
+
+// Property: normalized interval lists are pairwise disjoint and sorted.
+TEST(ConstraintSetPropertyTest, NormalizedFormIsDisjoint) {
+  Random rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    ConstraintSet s = ConstraintSet::None();
+    for (int i = 0; i < 6; ++i) {
+      int64_t lo = rng.UniformRange(-100, 100);
+      s = s.Union(ConstraintSet::FromInterval(
+          Interval::RightOpen(I(lo), I(lo + rng.UniformRange(1, 40)))));
+    }
+    const auto& intervals = s.intervals();
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_FALSE(intervals[i - 1].Overlaps(intervals[i]));
+      // Sorted: previous upper bound strictly below next lower bound.
+      EXPECT_LT(Datum::Compare(intervals[i - 1].hi().value, intervals[i].lo().value),
+                1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mppdb

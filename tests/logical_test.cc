@@ -1,0 +1,138 @@
+// Tests for the logical plan layer: NormalizeLogical's predicate pushdown
+// (the pass both optimizers rely on to find partition-eliminating
+// predicates near the scans) and equi-join key extraction.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/logical.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+class LogicalTest : public ::testing::Test {
+ protected:
+  LogicalTest() {
+    left_table_ = db_.CreatePlainTable("l", Schema({{"a", TypeId::kInt64},
+                                                    {"b", TypeId::kInt64}}));
+    right_table_ = db_.CreatePlainTable("r", Schema({{"c", TypeId::kInt64},
+                                                     {"d", TypeId::kInt64}}));
+    left_ = std::make_shared<LogicalGet>(left_table_, "l",
+                                         std::vector<ColRefId>{1, 2});
+    right_ = std::make_shared<LogicalGet>(right_table_, "r",
+                                          std::vector<ColRefId>{3, 4});
+  }
+
+  ExprPtr Col(ColRefId id) {
+    return MakeColumnRef(id, "c" + std::to_string(id), TypeId::kInt64);
+  }
+  ExprPtr Lit(int64_t v) { return MakeConst(Datum::Int64(v)); }
+
+  testutil::TestDb db_{2};
+  const TableDescriptor* left_table_;
+  const TableDescriptor* right_table_;
+  LogicalPtr left_, right_;
+};
+
+TEST_F(LogicalTest, PushdownSplitsSingleSideConjuncts) {
+  // Select(l.a=1 AND r.c=2 AND l.b=r.d, Join(true, l, r)) normalizes to
+  // Join(l.b=r.d, Select(l.a=1, l), Select(r.c=2, r)).
+  ExprPtr pred = Conj({MakeComparison(CompareOp::kEq, Col(1), Lit(1)),
+                       MakeComparison(CompareOp::kEq, Col(3), Lit(2)),
+                       MakeComparison(CompareOp::kEq, Col(2), Col(4))});
+  LogicalPtr join = std::make_shared<LogicalJoin>(JoinType::kInner, nullptr, left_,
+                                                  right_);
+  LogicalPtr tree = std::make_shared<LogicalSelect>(pred, join);
+  LogicalPtr normalized = NormalizeLogical(tree);
+
+  ASSERT_EQ(normalized->kind(), LogicalKind::kJoin);
+  const auto& new_join = static_cast<const LogicalJoin&>(*normalized);
+  // The spanning conjunct became the join predicate.
+  ASSERT_NE(new_join.predicate(), nullptr);
+  EXPECT_TRUE(ReferencesColumn(new_join.predicate(), 2));
+  EXPECT_TRUE(ReferencesColumn(new_join.predicate(), 4));
+  // Single-side conjuncts sit above their Gets.
+  EXPECT_EQ(new_join.child(0)->kind(), LogicalKind::kSelect);
+  EXPECT_EQ(new_join.child(1)->kind(), LogicalKind::kSelect);
+}
+
+TEST_F(LogicalTest, AdjacentSelectsMerge) {
+  LogicalPtr tree = std::make_shared<LogicalSelect>(
+      MakeComparison(CompareOp::kGt, Col(1), Lit(0)),
+      std::make_shared<LogicalSelect>(MakeComparison(CompareOp::kLt, Col(1), Lit(9)),
+                                      left_));
+  LogicalPtr normalized = NormalizeLogical(tree);
+  ASSERT_EQ(normalized->kind(), LogicalKind::kSelect);
+  // A single Select with both conjuncts over the Get.
+  EXPECT_EQ(normalized->child(0)->kind(), LogicalKind::kGet);
+  EXPECT_EQ(SplitConjuncts(static_cast<const LogicalSelect&>(*normalized).predicate())
+                .size(),
+            2u);
+}
+
+TEST_F(LogicalTest, PushdownThroughIdentityProject) {
+  std::vector<ProjectItem> items = {{Col(1), 1, "a"}, {Col(2), 2, "b"}};
+  LogicalPtr project = std::make_shared<LogicalProject>(items, left_);
+  LogicalPtr tree = std::make_shared<LogicalSelect>(
+      MakeComparison(CompareOp::kEq, Col(1), Lit(7)), project);
+  LogicalPtr normalized = NormalizeLogical(tree);
+  // Select descends below the (identity) Project.
+  ASSERT_EQ(normalized->kind(), LogicalKind::kProject);
+  EXPECT_EQ(normalized->child(0)->kind(), LogicalKind::kSelect);
+}
+
+TEST_F(LogicalTest, ComputedProjectBlocksPushdown) {
+  std::vector<ProjectItem> items = {
+      {MakeArith(ArithOp::kAdd, Col(1), Lit(1)), 9, "a1"}};
+  LogicalPtr project = std::make_shared<LogicalProject>(items, left_);
+  LogicalPtr tree = std::make_shared<LogicalSelect>(
+      MakeComparison(CompareOp::kEq, Col(9), Lit(7)), project);
+  LogicalPtr normalized = NormalizeLogical(tree);
+  // The filter references the computed column: stays above the Project.
+  ASSERT_EQ(normalized->kind(), LogicalKind::kSelect);
+  EXPECT_EQ(normalized->child(0)->kind(), LogicalKind::kProject);
+}
+
+TEST_F(LogicalTest, SemiJoinKeepsRightConjunctsAbove) {
+  // For semi joins the right side is existential; only left-side conjuncts
+  // may descend into the preserved side.
+  ExprPtr pred = MakeComparison(CompareOp::kEq, Col(1), Lit(5));
+  LogicalPtr semi = std::make_shared<LogicalJoin>(
+      JoinType::kSemi, MakeComparison(CompareOp::kEq, Col(2), Col(3)), left_, right_);
+  LogicalPtr tree = std::make_shared<LogicalSelect>(pred, semi);
+  LogicalPtr normalized = NormalizeLogical(tree);
+  ASSERT_EQ(normalized->kind(), LogicalKind::kJoin);
+  EXPECT_EQ(normalized->child(0)->kind(), LogicalKind::kSelect);
+}
+
+TEST_F(LogicalTest, ExtractEquiJoinKeysSplitsResidual) {
+  ExprPtr pred = Conj({MakeComparison(CompareOp::kEq, Col(1), Col(3)),
+                       MakeComparison(CompareOp::kEq, Col(4), Col(2)),  // reversed
+                       MakeComparison(CompareOp::kLt, Col(1), Col(4))});
+  EquiJoinKeys keys = ExtractEquiJoinKeys(pred, {1, 2}, {3, 4});
+  ASSERT_EQ(keys.left.size(), 2u);
+  EXPECT_EQ(keys.left, (std::vector<ColRefId>{1, 2}));
+  EXPECT_EQ(keys.right, (std::vector<ColRefId>{3, 4}));
+  ASSERT_NE(keys.residual, nullptr);
+  EXPECT_EQ(keys.residual->kind(), ExprKind::kComparison);
+}
+
+TEST_F(LogicalTest, ExtractEquiJoinKeysIgnoresSameSideEqualities) {
+  ExprPtr pred = MakeComparison(CompareOp::kEq, Col(1), Col(2));  // both left
+  EquiJoinKeys keys = ExtractEquiJoinKeys(pred, {1, 2}, {3, 4});
+  EXPECT_TRUE(keys.left.empty());
+  EXPECT_NE(keys.residual, nullptr);
+}
+
+TEST_F(LogicalTest, OutputIdsAndDescriptions) {
+  LogicalPtr join = std::make_shared<LogicalJoin>(
+      JoinType::kInner, MakeComparison(CompareOp::kEq, Col(2), Col(3)), left_, right_);
+  EXPECT_EQ(join->OutputIds(), (std::vector<ColRefId>{1, 2, 3, 4}));
+  LogicalPtr semi = std::make_shared<LogicalJoin>(
+      JoinType::kSemi, MakeComparison(CompareOp::kEq, Col(2), Col(3)), left_, right_);
+  EXPECT_EQ(semi->OutputIds(), (std::vector<ColRefId>{1, 2}));
+  EXPECT_FALSE(LogicalToString(join).empty());
+}
+
+}  // namespace
+}  // namespace mppdb

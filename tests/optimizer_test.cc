@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "optimizer/placement.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+using testutil::SameRows;
+
+int CountNodes(const PhysPtr& plan, PhysNodeKind kind) {
+  int count = plan->kind() == kind ? 1 : 0;
+  for (const auto& child : plan->children()) count += CountNodes(child, kind);
+  return count;
+}
+
+/// Star-schema fixture: `orders` partitioned monthly over 2013 (12 leaves),
+/// `date_dim` with one row per 2013 day, `customer` dimension.
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : db_(4) {
+    MPPDB_CHECK(db_.CreatePartitionedTable(
+                       "orders",
+                       Schema({{"date", TypeId::kDate},
+                               {"amount", TypeId::kDouble},
+                               {"cust_id", TypeId::kInt64}}),
+                       TableDistribution::kHashed, {2},
+                       {{0, PartitionMethod::kRange}},
+                       {partition_bounds::Monthly(2013, 1, 12)})
+                    .ok());
+    MPPDB_CHECK(db_.CreateTable("date_dim",
+                                Schema({{"id", TypeId::kDate},
+                                        {"year", TypeId::kInt64},
+                                        {"month", TypeId::kInt64}}),
+                                TableDistribution::kHashed, {0})
+                    .ok());
+    MPPDB_CHECK(db_.CreateTable("customer",
+                                Schema({{"id", TypeId::kInt64},
+                                        {"state", TypeId::kString}}),
+                                TableDistribution::kHashed, {0})
+                    .ok());
+
+    std::vector<Row> orders, dates;
+    int cust = 0;
+    for (int month = 1; month <= 12; ++month) {
+      for (int day = 1; day <= date::DaysInMonth(2013, month); ++day) {
+        int32_t d = date::FromYMD(2013, month, day);
+        dates.push_back({Datum::Date(d), Datum::Int64(2013), Datum::Int64(month)});
+        orders.push_back({Datum::Date(d), Datum::Double(month * 1.0 + day * 0.01),
+                          Datum::Int64(cust++ % 50)});
+      }
+    }
+    MPPDB_CHECK(db_.Load("orders", orders).ok());
+    MPPDB_CHECK(db_.Load("date_dim", dates).ok());
+    std::vector<Row> customers;
+    for (int i = 0; i < 50; ++i) {
+      customers.push_back({Datum::Int64(i), Datum::String(i % 5 == 0 ? "CA" : "WA")});
+    }
+    MPPDB_CHECK(db_.Load("customer", customers).ok());
+    orders_oid_ = db_.catalog().FindTable("orders")->oid;
+  }
+
+  QueryOptions Cascades() {
+    QueryOptions options;
+    options.optimizer = OptimizerKind::kCascades;
+    return options;
+  }
+  QueryOptions Planner() {
+    QueryOptions options;
+    options.optimizer = OptimizerKind::kLegacyPlanner;
+    return options;
+  }
+
+  /// Runs under both optimizers, checks result equivalence, and returns the
+  /// pair (cascades result, planner result).
+  std::pair<QueryResult, QueryResult> RunBoth(const std::string& sql) {
+    auto cascades = db_.Run(sql, Cascades());
+    EXPECT_TRUE(cascades.ok()) << sql << " -> " << cascades.status().ToString();
+    auto planner = db_.Run(sql, Planner());
+    EXPECT_TRUE(planner.ok()) << sql << " -> " << planner.status().ToString();
+    MPPDB_CHECK(cascades.ok() && planner.ok());
+    EXPECT_TRUE(SameRows(cascades->rows, planner->rows))
+        << sql << "\ncascades rows=" << cascades->rows.size()
+        << " planner rows=" << planner->rows.size();
+    return {std::move(*cascades), std::move(*planner)};
+  }
+
+  Database db_;
+  Oid orders_oid_ = kInvalidOid;
+};
+
+TEST_F(OptimizerTest, FullScan) {
+  auto [cascades, planner] = RunBoth("SELECT * FROM orders");
+  EXPECT_EQ(cascades.rows.size(), 365u);
+  EXPECT_EQ(cascades.stats.PartitionsScanned(orders_oid_), 12u);
+  EXPECT_EQ(planner.stats.PartitionsScanned(orders_oid_), 12u);
+  // Cascades plans use one DynamicScan; the legacy plan enumerates leaves.
+  EXPECT_EQ(CountNodes(cascades.plan, PhysNodeKind::kDynamicScan), 1);
+  EXPECT_EQ(CountNodes(planner.plan, PhysNodeKind::kTableScan), 12);
+}
+
+TEST_F(OptimizerTest, StaticPruningLastQuarter) {
+  // The paper's Fig. 2 query.
+  auto [cascades, planner] = RunBoth(
+      "SELECT avg(amount) FROM orders "
+      "WHERE date BETWEEN '2013-10-01' AND '2013-12-31'");
+  ASSERT_EQ(cascades.rows.size(), 1u);
+  EXPECT_EQ(cascades.stats.PartitionsScanned(orders_oid_), 3u);
+  EXPECT_EQ(planner.stats.PartitionsScanned(orders_oid_), 3u);
+}
+
+TEST_F(OptimizerTest, StaticPruningEquality) {
+  auto [cascades, planner] = RunBoth(
+      "SELECT count(*) FROM orders WHERE date = '2013-05-20'");
+  EXPECT_EQ(cascades.rows[0][0].int64_value(), 1);
+  EXPECT_EQ(cascades.stats.PartitionsScanned(orders_oid_), 1u);
+  EXPECT_EQ(planner.stats.PartitionsScanned(orders_oid_), 1u);
+}
+
+TEST_F(OptimizerTest, StaticPruningInList) {
+  auto [cascades, planner] = RunBoth(
+      "SELECT count(*) FROM orders WHERE date IN ('2013-01-15', '2013-07-04')");
+  EXPECT_EQ(cascades.rows[0][0].int64_value(), 2);
+  EXPECT_EQ(cascades.stats.PartitionsScanned(orders_oid_), 2u);
+}
+
+TEST_F(OptimizerTest, JoinDynamicElimination) {
+  // The paper's Fig. 4 pattern, as an explicit join.
+  const char* sql =
+      "SELECT avg(o.amount) FROM orders o JOIN date_dim d ON o.date = d.id "
+      "WHERE d.year = 2013 AND d.month BETWEEN 10 AND 12";
+  auto [cascades, planner] = RunBoth(sql);
+  ASSERT_EQ(cascades.rows.size(), 1u);
+  // Join-induced DPE prunes to Q4 partitions at run time.
+  EXPECT_EQ(cascades.stats.PartitionsScanned(orders_oid_), 3u);
+  // The legacy planner's parameter-style DPE also scans 3 ...
+  EXPECT_EQ(planner.stats.PartitionsScanned(orders_oid_), 3u);
+  // ... but its plan lists all 12 partitions as CheckedPartScans, while the
+  // cascades plan has exactly one DynamicScan + a pass-through selector.
+  EXPECT_EQ(CountNodes(planner.plan, PhysNodeKind::kCheckedPartScan), 12);
+  EXPECT_EQ(CountNodes(cascades.plan, PhysNodeKind::kDynamicScan), 1);
+  EXPECT_EQ(CountNodes(cascades.plan, PhysNodeKind::kPartitionSelector), 1);
+  EXPECT_TRUE(ValidateSelectorPlacement(cascades.plan).ok());
+}
+
+TEST_F(OptimizerTest, InSubqueryDynamicElimination) {
+  // The paper's Fig. 4 query shape (IN subquery -> semi join).
+  const char* sql =
+      "SELECT avg(amount) FROM orders WHERE date IN "
+      "(SELECT id FROM date_dim WHERE month = 5)";
+  auto [cascades, planner] = RunBoth(sql);
+  EXPECT_EQ(cascades.stats.PartitionsScanned(orders_oid_), 1u);
+  EXPECT_LE(planner.stats.PartitionsScanned(orders_oid_), 12u);
+}
+
+TEST_F(OptimizerTest, ThreeTableStarJoin) {
+  // The paper's Fig. 6 query shape.
+  const char* sql =
+      "SELECT count(*) FROM orders o "
+      "JOIN date_dim d ON o.date = d.id "
+      "JOIN customer c ON o.cust_id = c.id "
+      "WHERE d.month BETWEEN 10 AND 12 AND c.state = 'CA'";
+  auto [cascades, planner] = RunBoth(sql);
+  EXPECT_EQ(cascades.stats.PartitionsScanned(orders_oid_), 3u);
+  EXPECT_GT(cascades.rows[0][0].int64_value(), 0);
+}
+
+TEST_F(OptimizerTest, PartitionSelectionDisabledScansEverything) {
+  // The Fig. 17 A/B switch.
+  const char* sql =
+      "SELECT avg(o.amount) FROM orders o JOIN date_dim d ON o.date = d.id "
+      "WHERE d.month = 7";
+  QueryOptions disabled = Cascades();
+  disabled.enable_partition_selection = false;
+  auto off = db_.Run(sql, disabled);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  auto on = db_.Run(sql, Cascades());
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(SameRows(off->rows, on->rows));
+  EXPECT_EQ(off->stats.PartitionsScanned(orders_oid_), 12u);
+  EXPECT_EQ(on->stats.PartitionsScanned(orders_oid_), 1u);
+  EXPECT_GT(off->stats.tuples_scanned, on->stats.tuples_scanned);
+}
+
+TEST_F(OptimizerTest, DynamicEliminationAloneCanBeDisabled) {
+  const char* sql =
+      "SELECT count(*) FROM orders o JOIN date_dim d ON o.date = d.id "
+      "WHERE d.month = 7 AND o.date >= '2013-06-01'";
+  QueryOptions no_dpe = Cascades();
+  no_dpe.enable_dynamic_elimination = false;
+  auto result = db_.Run(sql, no_dpe);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Static elimination still applies (date >= June): 7 partitions.
+  EXPECT_EQ(result->stats.PartitionsScanned(orders_oid_), 7u);
+  auto full = db_.Run(sql, Cascades());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->stats.PartitionsScanned(orders_oid_), 1u);
+  EXPECT_TRUE(SameRows(result->rows, full->rows));
+}
+
+TEST_F(OptimizerTest, PreparedStatementParamPrunesAtRuntime) {
+  // Prepared-statement dynamic elimination (paper §1): the plan is built
+  // with $1 unknown; the selector prunes once the parameter is bound.
+  const char* sql = "SELECT count(*) FROM orders WHERE date < $1";
+  QueryOptions options = Cascades();
+  options.params = {Datum::DateFromString("2013-03-01")};
+  auto result = db_.Run(sql, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].int64_value(), 31 + 28);
+  EXPECT_EQ(result->stats.PartitionsScanned(orders_oid_), 2u);
+
+  // The legacy planner cannot prune statically for a parameter.
+  QueryOptions legacy = Planner();
+  legacy.params = options.params;
+  auto planner_result = db_.Run(sql, legacy);
+  ASSERT_TRUE(planner_result.ok()) << planner_result.status().ToString();
+  EXPECT_TRUE(SameRows(result->rows, planner_result->rows));
+  EXPECT_EQ(planner_result->stats.PartitionsScanned(orders_oid_), 12u);
+}
+
+TEST_F(OptimizerTest, GroupByBothOptimizers) {
+  auto [cascades, planner] = RunBoth(
+      "SELECT cust_id, count(*) AS c, sum(amount) AS s FROM orders "
+      "GROUP BY cust_id ORDER BY cust_id");
+  EXPECT_EQ(cascades.rows.size(), 50u);
+}
+
+TEST_F(OptimizerTest, ProjectionsAndArithmetic) {
+  RunBoth("SELECT amount * 2 + 1 AS x, cust_id FROM orders WHERE amount > 6");
+}
+
+TEST_F(OptimizerTest, SortLimit) {
+  auto [cascades, planner] =
+      RunBoth("SELECT date, amount FROM orders ORDER BY amount DESC LIMIT 10");
+  ASSERT_EQ(cascades.rows.size(), 10u);
+  // Both optimizers must return the same top row (largest amount).
+  EXPECT_EQ(cascades.rows[0][1].double_value(), planner.rows[0][1].double_value());
+}
+
+TEST_F(OptimizerTest, PlanSizeStaticEliminationShape) {
+  // Fig. 18(a): Planner plan size grows with selected partitions; cascades
+  // plan size stays constant.
+  auto size_for = [&](const char* hi, OptimizerKind kind) {
+    QueryOptions options;
+    options.optimizer = kind;
+    auto plan = db_.PlanSql(std::string("SELECT * FROM orders WHERE date < '") + hi +
+                                "'",
+                            options);
+    MPPDB_CHECK(plan.ok());
+    return SerializePlan(*plan).size();
+  };
+  size_t planner_small = size_for("2013-02-01", OptimizerKind::kLegacyPlanner);
+  size_t planner_large = size_for("2014-01-01", OptimizerKind::kLegacyPlanner);
+  EXPECT_GT(planner_large, planner_small * 3);
+
+  size_t cascades_small = size_for("2013-02-01", OptimizerKind::kCascades);
+  size_t cascades_large = size_for("2014-01-01", OptimizerKind::kCascades);
+  EXPECT_EQ(cascades_small, cascades_large);
+}
+
+TEST_F(OptimizerTest, DmlUpdateBothOptimizers) {
+  // Execute the same UPDATE under each optimizer on identical states and
+  // compare final table contents.
+  auto baseline = db_.Run("SELECT count(*) FROM orders WHERE amount > 1000");
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->rows[0][0].int64_value(), 0);
+
+  auto update = db_.Run("UPDATE orders SET amount = amount + 1000 WHERE cust_id = 3",
+                        Cascades());
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  int64_t updated = update->rows[0][0].int64_value();
+  EXPECT_GT(updated, 0);
+
+  auto check = db_.Run("SELECT count(*) FROM orders WHERE amount > 1000");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows[0][0].int64_value(), updated);
+
+  // Revert with the legacy planner; the state must return to baseline.
+  auto revert = db_.Run(
+      "UPDATE orders SET amount = amount - 1000 WHERE amount > 1000", Planner());
+  ASSERT_TRUE(revert.ok()) << revert.status().ToString();
+  EXPECT_EQ(revert->rows[0][0].int64_value(), updated);
+  auto after = db_.Run("SELECT count(*) FROM orders WHERE amount > 1000");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows[0][0].int64_value(), 0);
+}
+
+TEST_F(OptimizerTest, DmlUpdateMovesRowsAcrossPartitions) {
+  // Partition-key update: rows must migrate to the right leaf (f_T routing).
+  auto update = db_.Run(
+      "UPDATE orders SET date = '2013-12-25' WHERE date = '2013-01-15'", Cascades());
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_EQ(update->rows[0][0].int64_value(), 1);
+  auto jan = db_.Run("SELECT count(*) FROM orders WHERE date = '2013-01-15'");
+  ASSERT_TRUE(jan.ok());
+  EXPECT_EQ(jan->rows[0][0].int64_value(), 0);
+  auto dec = db_.Run("SELECT count(*) FROM orders WHERE date = '2013-12-25'");
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(dec->rows[0][0].int64_value(), 2);  // original + moved
+}
+
+TEST_F(OptimizerTest, InsertSelectAndDelete) {
+  ASSERT_TRUE(db_.CreateTable("order_archive",
+                              Schema({{"date", TypeId::kDate},
+                                      {"amount", TypeId::kDouble},
+                                      {"cust_id", TypeId::kInt64}}),
+                              TableDistribution::kHashed, {2})
+                  .ok());
+  auto insert = db_.Run(
+      "INSERT INTO order_archive SELECT date, amount, cust_id FROM orders "
+      "WHERE date >= '2013-12-01'",
+      Cascades());
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  EXPECT_EQ(insert->rows[0][0].int64_value(), 31);
+
+  auto del = db_.Run("DELETE FROM orders WHERE date >= '2013-12-01'", Cascades());
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(del->rows[0][0].int64_value(), 31);
+  auto count = db_.Run("SELECT count(*) FROM orders");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].int64_value(), 365 - 31);
+}
+
+TEST_F(OptimizerTest, SearchSpaceIsMemoized) {
+  CascadesOptimizer optimizer(&db_.catalog(), &db_.storage());
+  Binder binder(&db_.catalog());
+  auto stmt = binder.BindSql(
+      "SELECT count(*) FROM orders o JOIN date_dim d ON o.date = d.id "
+      "WHERE d.month = 3");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = optimizer.Plan(*stmt);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Sanity bound on the number of distinct (group, request) optimizations:
+  // far fewer than an exhaustive expansion.
+  EXPECT_GT(optimizer.last_request_count(), 5u);
+  EXPECT_LT(optimizer.last_request_count(), 500u);
+}
+
+}  // namespace
+}  // namespace mppdb

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "catalog/catalog.h"
+#include "catalog/partition_scheme.h"
+#include "common/random.h"
+#include "types/date.h"
+
+namespace mppdb {
+namespace {
+
+// Builds the paper's running example: a table partitioned into 24 monthly
+// partitions (Fig. 1), optionally subpartitioned by region (Fig. 9).
+std::unique_ptr<PartitionScheme> MonthlyScheme(int months = 24, int key_column = 0) {
+  Oid next_oid = 1;
+  auto root = BuildUniformHierarchy({partition_bounds::Monthly(2012, 1, months)},
+                                    &next_oid);
+  return std::make_unique<PartitionScheme>(
+      std::vector<PartitionLevelDesc>{{key_column, PartitionMethod::kRange}},
+      std::move(root));
+}
+
+std::unique_ptr<PartitionScheme> MonthlyRegionScheme(int months, int regions) {
+  Oid next_oid = 1;
+  std::vector<Datum> region_values;
+  for (int r = 1; r <= regions; ++r) {
+    region_values.push_back(Datum::String("Region " + std::to_string(r)));
+  }
+  auto root = BuildUniformHierarchy({partition_bounds::Monthly(2012, 1, months),
+                                     partition_bounds::ListValues(region_values)},
+                                    &next_oid);
+  return std::make_unique<PartitionScheme>(
+      std::vector<PartitionLevelDesc>{{0, PartitionMethod::kRange},
+                                      {1, PartitionMethod::kList}},
+      std::move(root));
+}
+
+TEST(PartitionSchemeTest, LeafCount) {
+  EXPECT_EQ(MonthlyScheme()->NumLeaves(), 24u);
+  EXPECT_EQ(MonthlyRegionScheme(24, 3)->NumLeaves(), 72u);
+}
+
+TEST(PartitionSchemeTest, RouteTupleToMonth) {
+  auto scheme = MonthlyScheme();
+  Oid jan = scheme->RouteValues({Datum::DateFromString("2012-01-15")});
+  Oid feb = scheme->RouteValues({Datum::DateFromString("2012-02-01")});
+  Oid dec13 = scheme->RouteValues({Datum::DateFromString("2013-12-31")});
+  EXPECT_NE(jan, kInvalidOid);
+  EXPECT_NE(jan, feb);
+  EXPECT_NE(dec13, kInvalidOid);
+  // Out of the 2-year range: the invalid partition ⊥.
+  EXPECT_EQ(scheme->RouteValues({Datum::DateFromString("2014-01-01")}), kInvalidOid);
+  EXPECT_EQ(scheme->RouteValues({Datum::DateFromString("2011-12-31")}), kInvalidOid);
+  // NULL key maps to ⊥ without a default partition.
+  EXPECT_EQ(scheme->RouteValues({Datum::Null()}), kInvalidOid);
+}
+
+TEST(PartitionSchemeTest, DefaultPartitionCatchesStrays) {
+  Oid next_oid = 1;
+  std::vector<PartitionBound> bounds = partition_bounds::Monthly(2012, 1, 3);
+  bounds.push_back(PartitionBound::Default("others"));
+  auto root = BuildUniformHierarchy({bounds}, &next_oid);
+  PartitionScheme scheme({{0, PartitionMethod::kRange}}, std::move(root));
+  Oid stray = scheme.RouteValues({Datum::DateFromString("2020-06-01")});
+  EXPECT_NE(stray, kInvalidOid);
+  // Default partition is always selected conservatively.
+  ConstraintSet jan_only = ConstraintSet::FromComparison(
+      CompareOp::kEq, Datum::DateFromString("2012-01-10"));
+  std::vector<Oid> selected = scheme.SelectPartitions({jan_only});
+  EXPECT_EQ(selected.size(), 2u);  // january + default
+  EXPECT_NE(std::find(selected.begin(), selected.end(), stray), selected.end());
+}
+
+TEST(PartitionSchemeTest, SelectByEquality) {
+  auto scheme = MonthlyScheme();
+  ConstraintSet eq = ConstraintSet::FromComparison(CompareOp::kEq,
+                                                   Datum::DateFromString("2013-05-20"));
+  std::vector<Oid> selected = scheme->SelectPartitions({eq});
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], scheme->RouteValues({Datum::DateFromString("2013-05-01")}));
+}
+
+TEST(PartitionSchemeTest, SelectByRangeLastQuarter) {
+  // The paper's Fig. 2 query: last quarter of 2013 = 3 of 24 partitions.
+  auto scheme = MonthlyScheme();
+  ConstraintSet q4 = ConstraintSet::FromInterval(
+      Interval::Closed(Datum::DateFromString("2013-10-01"),
+                       Datum::DateFromString("2013-12-31")));
+  EXPECT_EQ(scheme->SelectPartitions({q4}).size(), 3u);
+}
+
+TEST(PartitionSchemeTest, SelectAllWhenUnconstrained) {
+  auto scheme = MonthlyScheme();
+  EXPECT_EQ(scheme->SelectPartitions({}).size(), 24u);
+  EXPECT_EQ(scheme->SelectPartitions({ConstraintSet::All()}).size(), 24u);
+  EXPECT_TRUE(scheme->SelectPartitions({ConstraintSet::None()}).empty());
+}
+
+TEST(PartitionSchemeTest, MultiLevelSelection) {
+  // Paper Fig. 10: date eq selects one month's region partitions; region eq
+  // selects that region across all months; both select exactly one leaf.
+  auto scheme = MonthlyRegionScheme(24, 4);
+  ConstraintSet jan = ConstraintSet::FromComparison(
+      CompareOp::kEq, Datum::DateFromString("2012-01-05"));
+  ConstraintSet region1 =
+      ConstraintSet::FromComparison(CompareOp::kEq, Datum::String("Region 1"));
+
+  EXPECT_EQ(scheme->SelectPartitions({jan}).size(), 4u);
+  EXPECT_EQ(scheme->SelectPartitions({ConstraintSet::All(), region1}).size(), 24u);
+  EXPECT_EQ(scheme->SelectPartitions({jan, region1}).size(), 1u);
+  EXPECT_EQ(scheme->SelectPartitions({}).size(), 96u);
+}
+
+TEST(PartitionSchemeTest, MultiLevelRouting) {
+  auto scheme = MonthlyRegionScheme(2, 2);
+  Oid a = scheme->RouteValues({Datum::DateFromString("2012-01-10"),
+                               Datum::String("Region 1")});
+  Oid b = scheme->RouteValues({Datum::DateFromString("2012-01-10"),
+                               Datum::String("Region 2")});
+  Oid c = scheme->RouteValues({Datum::DateFromString("2012-02-10"),
+                               Datum::String("Region 1")});
+  EXPECT_NE(a, kInvalidOid);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(scheme->RouteValues({Datum::DateFromString("2012-01-10"),
+                                 Datum::String("Region 9")}),
+            kInvalidOid);
+}
+
+TEST(PartitionSchemeTest, LeafInfoConstraints) {
+  auto scheme = MonthlyScheme(3);
+  const auto& leaves = scheme->Leaves();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_TRUE(leaves[0].level_constraints[0].Contains(
+      Datum::DateFromString("2012-01-31")));
+  EXPECT_FALSE(leaves[0].level_constraints[0].Contains(
+      Datum::DateFromString("2012-02-01")));
+  EXPECT_TRUE(scheme->IsLeafOid(leaves[2].oid));
+  EXPECT_FALSE(scheme->IsLeafOid(99999));
+}
+
+// Soundness property of f*_T (the core pruning invariant): any value routed
+// to leaf L by f_T and satisfying constraint c implies L ∈ f*_T(c).
+TEST(PartitionSchemePropertyTest, SelectionCoversRouting) {
+  Random rng(99);
+  auto scheme = MonthlyRegionScheme(12, 3);
+  for (int trial = 0; trial < 500; ++trial) {
+    int32_t day = date::FromYMD(2012, 1, 1) + static_cast<int32_t>(rng.Uniform(366));
+    std::string region = "Region " + std::to_string(1 + rng.Uniform(3));
+    Datum date_val = Datum::Date(day);
+    Datum region_val = Datum::String(region);
+    Oid routed = scheme->RouteValues({date_val, region_val});
+    ASSERT_NE(routed, kInvalidOid);
+
+    // Random range constraint on date; point constraint on region.
+    int32_t lo = date::FromYMD(2012, 1, 1) + static_cast<int32_t>(rng.Uniform(366));
+    int32_t hi = lo + static_cast<int32_t>(rng.Uniform(120));
+    ConstraintSet date_c =
+        ConstraintSet::FromInterval(Interval::Closed(Datum::Date(lo), Datum::Date(hi)));
+    ConstraintSet region_c = ConstraintSet::FromComparison(CompareOp::kEq, region_val);
+
+    bool satisfies = date_c.Contains(date_val);
+    std::vector<Oid> selected = scheme->SelectPartitions({date_c, region_c});
+    bool in_selected =
+        std::find(selected.begin(), selected.end(), routed) != selected.end();
+    if (satisfies) {
+      EXPECT_TRUE(in_selected)
+          << "leaf holding a qualifying tuple was pruned (unsound)";
+    }
+  }
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog catalog;
+  Schema schema({{"id", TypeId::kInt64}, {"amount", TypeId::kDouble}});
+  auto oid = catalog.CreateTable("plain", schema, TableDistribution::kHashed, {0});
+  ASSERT_TRUE(oid.ok());
+  EXPECT_NE(catalog.FindTable("plain"), nullptr);
+  EXPECT_EQ(catalog.FindTable(*oid)->name, "plain");
+  EXPECT_EQ(catalog.FindTable("absent"), nullptr);
+  // Duplicate name rejected.
+  EXPECT_FALSE(catalog.CreateTable("plain", schema, TableDistribution::kRandom, {}).ok());
+  // Hash distribution without columns rejected.
+  EXPECT_FALSE(catalog.CreateTable("bad", schema, TableDistribution::kHashed, {}).ok());
+  // Bad column index rejected.
+  EXPECT_FALSE(catalog.CreateTable("bad2", schema, TableDistribution::kHashed, {7}).ok());
+}
+
+TEST(CatalogTest, CreatePartitionedTable) {
+  Catalog catalog;
+  Schema schema({{"date", TypeId::kDate}, {"amount", TypeId::kDouble}});
+  auto oid = catalog.CreatePartitionedTable(
+      "orders", schema, TableDistribution::kHashed, {1},
+      {{0, PartitionMethod::kRange}}, {partition_bounds::Monthly(2012, 1, 24)});
+  ASSERT_TRUE(oid.ok());
+  const TableDescriptor* table = catalog.FindTable("orders");
+  ASSERT_NE(table, nullptr);
+  ASSERT_TRUE(table->IsPartitioned());
+  EXPECT_EQ(table->partition_scheme->NumLeaves(), 24u);
+  EXPECT_EQ(table->PartitionKeyColumns(), std::vector<int>{0});
+  // Partition OIDs are distinct from the table OID.
+  for (Oid leaf : table->partition_scheme->AllLeafOids()) {
+    EXPECT_NE(leaf, table->oid);
+  }
+}
+
+}  // namespace
+}  // namespace mppdb

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "expr/expr.h"
+#include "optimizer/placement.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+using testutil::D;
+using testutil::SameRows;
+using testutil::TestDb;
+
+// Finds the first node of the given kind in pre-order; nullptr if absent.
+PhysPtr FindNode(const PhysPtr& plan, PhysNodeKind kind) {
+  if (plan->kind() == kind) return plan;
+  for (const auto& child : plan->children()) {
+    if (PhysPtr found = FindNode(child, kind)) return found;
+  }
+  return nullptr;
+}
+
+int CountNodes(const PhysPtr& plan, PhysNodeKind kind) {
+  int count = plan->kind() == kind ? 1 : 0;
+  for (const auto& child : plan->children()) count += CountNodes(child, kind);
+  return count;
+}
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    orders_ = db_.CreateOrdersTable(24);
+    // One row per month at day 15.
+    std::vector<Row> rows;
+    for (int year : {2012, 2013}) {
+      for (int month = 1; month <= 12; ++month) {
+        rows.push_back({Datum::Date(date::FromYMD(year, month, 15)),
+                        Datum::Double(month), Datum::String("r")});
+      }
+    }
+    db_.Insert(orders_, rows);
+
+    dates_ = db_.CreatePlainTable(
+        "date_dim",
+        Schema({{"id", TypeId::kDate}, {"month", TypeId::kInt32}}), {0});
+    std::vector<Row> dim;
+    for (int month = 1; month <= 12; ++month) {
+      dim.push_back({Datum::Date(date::FromYMD(2013, month, 15)),
+                     Datum::Int32(month)});
+    }
+    db_.Insert(dates_, dim);
+  }
+
+  PhysPtr OrdersScan(int scan_id = 1) {
+    return std::make_shared<DynamicScanNode>(orders_->oid, scan_id,
+                                             std::vector<ColRefId>{1, 2, 3});
+  }
+
+  ExprPtr DateCol() { return MakeColumnRef(1, "date", TypeId::kDate); }
+
+  TestDb db_{4};
+  const TableDescriptor* orders_ = nullptr;
+  const TableDescriptor* dates_ = nullptr;
+};
+
+TEST_F(PlacementTest, BareDynamicScanGetsSelectAllSelector) {
+  // Fig. 5(a): full scan.
+  auto placed = PlaceAllPartSelectors(OrdersScan(), db_.catalog);
+  ASSERT_TRUE(placed.ok()) << placed.status().ToString();
+  EXPECT_EQ((*placed)->kind(), PhysNodeKind::kSequence);
+  auto selector = FindNode(*placed, PhysNodeKind::kPartitionSelector);
+  ASSERT_NE(selector, nullptr);
+  const auto& sel = static_cast<const PartitionSelectorNode&>(*selector);
+  EXPECT_FALSE(sel.HasChild());
+  EXPECT_EQ(sel.level_predicates()[0], nullptr);
+
+  auto result = db_.executor.Execute(*placed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 24u);
+  EXPECT_EQ(db_.executor.stats().PartitionsScanned(orders_->oid), 24u);
+}
+
+TEST_F(PlacementTest, FilterPredicatePushedIntoSelector) {
+  // Fig. 5(c): range selection; Algorithm 3 collects the key conjuncts.
+  ExprPtr pred = Conj({MakeComparison(CompareOp::kGe, DateCol(),
+                                      MakeConst(D("2013-10-01"))),
+                       MakeComparison(CompareOp::kLe, DateCol(),
+                                      MakeConst(D("2013-12-31"))),
+                       MakeComparison(CompareOp::kGt,
+                                      MakeColumnRef(2, "amount", TypeId::kDouble),
+                                      MakeConst(Datum::Double(0)))});
+  PhysPtr plan = std::make_shared<FilterNode>(pred, OrdersScan());
+  auto placed = PlaceAllPartSelectors(plan, db_.catalog);
+  ASSERT_TRUE(placed.ok());
+
+  auto selector = FindNode(*placed, PhysNodeKind::kPartitionSelector);
+  ASSERT_NE(selector, nullptr);
+  const auto& sel = static_cast<const PartitionSelectorNode&>(*selector);
+  ASSERT_NE(sel.level_predicates()[0], nullptr);
+  // Only the date conjuncts made it into the selector predicate.
+  EXPECT_FALSE(ReferencesColumn(sel.level_predicates()[0], 2));
+  EXPECT_TRUE(ReferencesColumn(sel.level_predicates()[0], 1));
+
+  auto result = db_.executor.Execute(*placed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+  EXPECT_EQ(db_.executor.stats().PartitionsScanned(orders_->oid), 3u);
+}
+
+TEST_F(PlacementTest, JoinPredicateInducesPassThroughSelector) {
+  // Fig. 5(d): HashJoin(build=date_dim, probe=DynamicScan(orders)) on the
+  // partition key. Algorithm 4 pushes the augmented spec to the build side.
+  auto dim_scan = std::make_shared<TableScanNode>(dates_->oid, dates_->oid,
+                                                  std::vector<ColRefId>{11, 12});
+  auto bcast = std::make_shared<MotionNode>(MotionKind::kBroadcast,
+                                            std::vector<ColRefId>{}, dim_scan);
+  auto join = std::make_shared<HashJoinNode>(
+      JoinType::kInner, std::vector<ColRefId>{11}, std::vector<ColRefId>{1}, nullptr,
+      bcast, OrdersScan());
+  auto placed = PlaceAllPartSelectors(join, db_.catalog);
+  ASSERT_TRUE(placed.ok()) << placed.status().ToString();
+
+  // No Sequence: the selector is a pass-through above the build side.
+  EXPECT_EQ(CountNodes(*placed, PhysNodeKind::kSequence), 0);
+  auto selector = FindNode(*placed, PhysNodeKind::kPartitionSelector);
+  ASSERT_NE(selector, nullptr);
+  const auto& sel = static_cast<const PartitionSelectorNode&>(*selector);
+  EXPECT_TRUE(sel.HasChild());
+  ASSERT_NE(sel.level_predicates()[0], nullptr);
+  EXPECT_TRUE(ReferencesColumn(sel.level_predicates()[0], 11));
+
+  // The selector sits inside the build subtree of the join.
+  const auto& join_node = static_cast<const HashJoinNode&>(**placed);
+  EXPECT_EQ(join_node.kind(), PhysNodeKind::kHashJoin);
+  EXPECT_NE(FindNode(join_node.child(0), PhysNodeKind::kPartitionSelector), nullptr);
+
+  auto result = db_.executor.Execute(*placed);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 12u);  // 2013 months match
+  // Only the 12 partitions of 2013 get scanned.
+  EXPECT_EQ(db_.executor.stats().PartitionsScanned(orders_->oid), 12u);
+}
+
+TEST_F(PlacementTest, SpecForScanInOuterChildStaysOnThatSide) {
+  // DynamicScan on the build side: the join predicate cannot prune it
+  // (values of the probe side are not yet available); Algorithm 4 line 9.
+  auto dim_scan = std::make_shared<TableScanNode>(dates_->oid, dates_->oid,
+                                                  std::vector<ColRefId>{11, 12});
+  auto join = std::make_shared<HashJoinNode>(
+      JoinType::kInner, std::vector<ColRefId>{1}, std::vector<ColRefId>{11}, nullptr,
+      OrdersScan(), dim_scan);
+  auto placed = PlaceAllPartSelectors(join, db_.catalog);
+  ASSERT_TRUE(placed.ok());
+  // Selector resolved adjacent to the scan (Sequence on the build side).
+  auto top_join = *placed;
+  ASSERT_EQ(top_join->kind(), PhysNodeKind::kHashJoin);
+  EXPECT_EQ(top_join->child(0)->kind(), PhysNodeKind::kSequence);
+  const auto& sel = static_cast<const PartitionSelectorNode&>(
+      *FindNode(top_join, PhysNodeKind::kPartitionSelector));
+  EXPECT_FALSE(sel.HasChild());
+  EXPECT_EQ(sel.level_predicates()[0], nullptr);  // no static pred available
+}
+
+TEST_F(PlacementTest, MotionOnProbeSideFallsBackToAdjacentSelector) {
+  // A Redistribute between the join and the DynamicScan would strand the
+  // selector across a slice boundary; placement must fall back.
+  auto dim_scan = std::make_shared<TableScanNode>(dates_->oid, dates_->oid,
+                                                  std::vector<ColRefId>{11, 12});
+  auto probe = std::make_shared<MotionNode>(MotionKind::kRedistribute,
+                                            std::vector<ColRefId>{1}, OrdersScan());
+  auto bcast = std::make_shared<MotionNode>(MotionKind::kBroadcast,
+                                            std::vector<ColRefId>{}, dim_scan);
+  auto join = std::make_shared<HashJoinNode>(
+      JoinType::kInner, std::vector<ColRefId>{11}, std::vector<ColRefId>{1}, nullptr,
+      bcast, probe);
+  auto placed = PlaceAllPartSelectors(join, db_.catalog);
+  ASSERT_TRUE(placed.ok()) << placed.status().ToString();
+  // Selector ends up below the probe-side Motion, adjacent to the scan.
+  auto top = *placed;
+  auto probe_side = top->child(1);
+  EXPECT_EQ(probe_side->kind(), PhysNodeKind::kMotion);
+  EXPECT_EQ(probe_side->child(0)->kind(), PhysNodeKind::kSequence);
+  // And the whole plan still validates + executes (scanning all parts).
+  auto result = db_.executor.Execute(top);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(db_.executor.stats().PartitionsScanned(orders_->oid), 24u);
+}
+
+TEST_F(PlacementTest, ThreeTableQueryMatchesFig8Shape) {
+  // Paper Fig. 8: sales_fact ⋈ date_dim ⋈ customer_dim with a range filter
+  // on date_dim.month and both fact & dim partitioned.
+  //
+  // Here: date_dim is the partitioned `orders` table standing in (its
+  // partition key is `date`), and sales is a second partitioned table keyed
+  // by date.
+  const TableDescriptor* sales = db_.CreateOrdersTable(24, "sales_fact");
+  std::vector<Row> sales_rows;
+  for (int month = 1; month <= 12; ++month) {
+    sales_rows.push_back({Datum::Date(date::FromYMD(2013, month, 15)),
+                          Datum::Double(month), Datum::String("c")});
+  }
+  db_.Insert(sales, sales_rows);
+
+  // date_dim := orders (scan id 1, cols 1-3); sales_fact := scan id 2
+  // (cols 4-6). Join on date.
+  auto fact_scan = std::make_shared<DynamicScanNode>(sales->oid, 2,
+                                                     std::vector<ColRefId>{4, 5, 6});
+  ExprPtr dim_filter = Conj({MakeComparison(CompareOp::kGe, DateCol(),
+                                            MakeConst(D("2013-10-01"))),
+                             MakeComparison(CompareOp::kLe, DateCol(),
+                                            MakeConst(D("2013-12-31")))});
+  PhysPtr dim_side = std::make_shared<FilterNode>(dim_filter, OrdersScan(1));
+  auto join = std::make_shared<HashJoinNode>(
+      JoinType::kInner, std::vector<ColRefId>{1}, std::vector<ColRefId>{4}, nullptr,
+      dim_side, fact_scan);
+
+  auto placed = PlaceAllPartSelectors(join, db_.catalog);
+  ASSERT_TRUE(placed.ok()) << placed.status().ToString();
+  EXPECT_EQ(CountNodes(*placed, PhysNodeKind::kPartitionSelector), 2);
+
+  auto result = db_.executor.Execute(*placed);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 3u);  // Oct-Dec 2013
+  // Both tables pruned to Q4-2013: 3 partitions each.
+  EXPECT_EQ(db_.executor.stats().PartitionsScanned(orders_->oid), 3u);
+  EXPECT_EQ(db_.executor.stats().PartitionsScanned(sales->oid), 3u);
+}
+
+TEST_F(PlacementTest, MultiLevelPredicatesSplitByLevel) {
+  // Paper §2.4 / Fig. 9: orders partitioned by (date, region).
+  Schema schema({{"date", TypeId::kDate},
+                 {"amount", TypeId::kDouble},
+                 {"region", TypeId::kString}});
+  auto oid = db_.catalog.CreatePartitionedTable(
+      "orders2", schema, TableDistribution::kHashed, {1},
+      {{0, PartitionMethod::kRange}, {2, PartitionMethod::kList}},
+      {partition_bounds::Monthly(2012, 1, 24),
+       partition_bounds::ListValues({Datum::String("Region 1"),
+                                     Datum::String("Region 2")})});
+  ASSERT_TRUE(oid.ok());
+  const TableDescriptor* orders2 = db_.catalog.FindTable(*oid);
+  ASSERT_TRUE(db_.storage.CreateStorage(orders2).ok());
+  std::vector<Row> rows;
+  for (int month = 1; month <= 12; ++month) {
+    for (int region = 1; region <= 2; ++region) {
+      rows.push_back({Datum::Date(date::FromYMD(2012, month, 10)),
+                      Datum::Double(month),
+                      Datum::String("Region " + std::to_string(region))});
+    }
+  }
+  db_.Insert(orders2, rows);
+
+  auto scan = std::make_shared<DynamicScanNode>(orders2->oid, 5,
+                                                std::vector<ColRefId>{1, 2, 3});
+  ExprPtr pred = Conj({MakeComparison(CompareOp::kEq, DateCol(),
+                                      MakeConst(D("2012-01-10"))),
+                       MakeComparison(CompareOp::kEq,
+                                      MakeColumnRef(3, "region", TypeId::kString),
+                                      MakeConst(Datum::String("Region 1")))});
+  PhysPtr plan = std::make_shared<FilterNode>(pred, scan);
+  auto placed = PlaceAllPartSelectors(plan, db_.catalog);
+  ASSERT_TRUE(placed.ok());
+  const auto& sel = static_cast<const PartitionSelectorNode&>(
+      *FindNode(*placed, PhysNodeKind::kPartitionSelector));
+  ASSERT_EQ(sel.level_predicates().size(), 2u);
+  EXPECT_NE(sel.level_predicates()[0], nullptr);
+  EXPECT_NE(sel.level_predicates()[1], nullptr);
+
+  auto result = db_.executor.Execute(*placed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+  // Exactly one leaf (Jan-2012, Region 1) out of 48 scanned — Fig. 10 row 3.
+  EXPECT_EQ(db_.executor.stats().PartitionsScanned(orders2->oid), 1u);
+}
+
+TEST_F(PlacementTest, ValidatorRejectsScanWithoutSelector) {
+  EXPECT_FALSE(ValidateSelectorPlacement(OrdersScan()).ok());
+}
+
+TEST_F(PlacementTest, ValidatorRejectsSelectorAcrossMotion) {
+  // Selector below a Motion, scan above it: different slices.
+  auto selector = std::make_shared<PartitionSelectorNode>(
+      orders_->oid, 1, std::vector<ColRefId>{1}, std::vector<ExprPtr>{nullptr},
+      nullptr);
+  auto moved = std::make_shared<MotionNode>(MotionKind::kGather,
+                                            std::vector<ColRefId>{}, selector);
+  auto plan = std::make_shared<SequenceNode>(
+      std::vector<PhysPtr>{moved, OrdersScan()});
+  EXPECT_FALSE(ValidateSelectorPlacement(plan).ok());
+}
+
+TEST_F(PlacementTest, ValidatorAcceptsAdjacentPair) {
+  auto selector = std::make_shared<PartitionSelectorNode>(
+      orders_->oid, 1, std::vector<ColRefId>{1}, std::vector<ExprPtr>{nullptr},
+      nullptr);
+  auto plan = std::make_shared<SequenceNode>(
+      std::vector<PhysPtr>{selector, OrdersScan()});
+  EXPECT_TRUE(ValidateSelectorPlacement(plan).ok());
+}
+
+TEST_F(PlacementTest, CollectSkipsResolvedScans) {
+  auto selector = std::make_shared<PartitionSelectorNode>(
+      orders_->oid, 1, std::vector<ColRefId>{1}, std::vector<ExprPtr>{nullptr},
+      nullptr);
+  auto plan = std::make_shared<SequenceNode>(
+      std::vector<PhysPtr>{selector, OrdersScan()});
+  EXPECT_TRUE(CollectUnresolvedScans(plan, db_.catalog).empty());
+  EXPECT_EQ(CollectUnresolvedScans(OrdersScan(), db_.catalog).size(), 1u);
+}
+
+TEST_F(PlacementTest, PlanSizeIndependentOfSelectedPartitionCount) {
+  // The compactness claim (§4.4.1): the same plan shape serializes to the
+  // same size regardless of how many partitions the predicate selects.
+  auto plan_for = [&](const char* hi) {
+    ExprPtr pred = MakeComparison(CompareOp::kLt, DateCol(), MakeConst(D(hi)));
+    PhysPtr plan = std::make_shared<FilterNode>(pred, OrdersScan());
+    auto placed = PlaceAllPartSelectors(plan, db_.catalog);
+    MPPDB_CHECK(placed.ok());
+    return SerializePlan(*placed).size();
+  };
+  size_t size_1 = plan_for("2012-02-01");   // 1 partition
+  size_t size_12 = plan_for("2013-01-01");  // 12 partitions
+  size_t size_24 = plan_for("2014-01-01");  // all 24
+  EXPECT_EQ(size_1, size_12);
+  EXPECT_EQ(size_12, size_24);
+}
+
+}  // namespace
+}  // namespace mppdb

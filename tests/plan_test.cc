@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "exec/plan.h"
+#include "expr/expr.h"
+
+namespace mppdb {
+namespace {
+
+PhysPtr MakeScan(Oid table, Oid unit, std::vector<ColRefId> cols) {
+  return std::make_shared<TableScanNode>(table, unit, std::move(cols));
+}
+
+TEST(PlanTest, OutputIdsThroughOperators) {
+  PhysPtr scan = MakeScan(1, 1, {1, 2});
+  PhysPtr filter = std::make_shared<FilterNode>(
+      MakeComparison(CompareOp::kGt, MakeColumnRef(1, "a", TypeId::kInt64),
+                     MakeConst(Datum::Int64(0))),
+      scan);
+  EXPECT_EQ(filter->OutputIds(), (std::vector<ColRefId>{1, 2}));
+
+  PhysPtr project = std::make_shared<ProjectNode>(
+      std::vector<ProjectItem>{{MakeColumnRef(2, "b", TypeId::kInt64), 9, "b"}},
+      filter);
+  EXPECT_EQ(project->OutputIds(), (std::vector<ColRefId>{9}));
+
+  PhysPtr scan2 = MakeScan(2, 2, {3});
+  PhysPtr join = std::make_shared<HashJoinNode>(JoinType::kInner,
+                                                std::vector<ColRefId>{9},
+                                                std::vector<ColRefId>{3}, nullptr,
+                                                project, scan2);
+  EXPECT_EQ(join->OutputIds(), (std::vector<ColRefId>{9, 3}));
+
+  PhysPtr semi = std::make_shared<HashJoinNode>(JoinType::kSemi,
+                                                std::vector<ColRefId>{9},
+                                                std::vector<ColRefId>{3}, nullptr,
+                                                project, scan2);
+  // Semi join preserves probe-side columns only.
+  EXPECT_EQ(semi->OutputIds(), (std::vector<ColRefId>{3}));
+}
+
+TEST(PlanTest, RowidColumnsAppendToScanOutput) {
+  auto scan = std::make_shared<TableScanNode>(1, 1, std::vector<ColRefId>{1, 2},
+                                              std::vector<ColRefId>{7, 8, 9});
+  EXPECT_EQ(scan->OutputIds(), (std::vector<ColRefId>{1, 2, 7, 8, 9}));
+}
+
+TEST(PlanTest, CloneWithChildrenSharesWhenUnchanged) {
+  PhysPtr scan = MakeScan(1, 1, {1});
+  PhysPtr filter = std::make_shared<FilterNode>(
+      MakeComparison(CompareOp::kGt, MakeColumnRef(1, "a", TypeId::kInt64),
+                     MakeConst(Datum::Int64(0))),
+      scan);
+  PhysPtr same = CloneWithChildren(filter, {scan});
+  EXPECT_EQ(same, filter);
+
+  PhysPtr other_scan = MakeScan(1, 2, {1});
+  PhysPtr changed = CloneWithChildren(filter, {other_scan});
+  EXPECT_NE(changed, filter);
+  EXPECT_EQ(changed->kind(), PhysNodeKind::kFilter);
+  EXPECT_EQ(changed->child(0), other_scan);
+  // Predicate carried over.
+  EXPECT_TRUE(Expr::Equals(static_cast<const FilterNode&>(*changed).predicate(),
+                           static_cast<const FilterNode&>(*filter).predicate()));
+}
+
+TEST(PlanTest, CloneCoversEveryInnerNodeKind) {
+  PhysPtr scan = MakeScan(1, 1, {1, 2});
+  PhysPtr scan2 = MakeScan(2, 2, {3});
+  ExprPtr pred = MakeComparison(CompareOp::kEq, MakeColumnRef(1, "a", TypeId::kInt64),
+                                MakeColumnRef(3, "c", TypeId::kInt64));
+  std::vector<PhysPtr> nodes = {
+      std::make_shared<SequenceNode>(std::vector<PhysPtr>{scan, scan2}),
+      std::make_shared<AppendNode>(std::vector<PhysPtr>{scan}),
+      std::make_shared<FilterNode>(pred, scan),
+      std::make_shared<ProjectNode>(
+          std::vector<ProjectItem>{{MakeColumnRef(1, "a", TypeId::kInt64), 1, "a"}},
+          scan),
+      std::make_shared<HashJoinNode>(JoinType::kInner, std::vector<ColRefId>{1},
+                                     std::vector<ColRefId>{3}, nullptr, scan, scan2),
+      std::make_shared<NestedLoopJoinNode>(JoinType::kInner, pred, scan, scan2),
+      std::make_shared<HashAggNode>(std::vector<ColRefId>{1},
+                                    std::vector<AggItem>{}, scan),
+      std::make_shared<SortNode>(std::vector<SortKey>{{1, true}}, scan),
+      std::make_shared<LimitNode>(3, scan),
+      std::make_shared<MotionNode>(MotionKind::kGather, std::vector<ColRefId>{}, scan),
+      std::make_shared<PartitionSelectorNode>(1, 1, std::vector<ColRefId>{1},
+                                              std::vector<ExprPtr>{nullptr}, scan),
+      std::make_shared<InsertNode>(1, 50, scan),
+      std::make_shared<UpdateNode>(1, std::vector<ColRefId>{1, 2},
+                                   std::vector<ColRefId>{7, 8, 9},
+                                   std::vector<UpdateSetItem>{}, 50, scan),
+      std::make_shared<DeleteNode>(1, std::vector<ColRefId>{7, 8, 9}, 50, scan),
+  };
+  PhysPtr replacement1 = MakeScan(1, 9, {1, 2});
+  PhysPtr replacement2 = MakeScan(2, 9, {3});
+  for (const PhysPtr& node : nodes) {
+    std::vector<PhysPtr> children;
+    for (size_t i = 0; i < node->children().size(); ++i) {
+      children.push_back(i == 0 ? replacement1 : replacement2);
+    }
+    PhysPtr cloned = CloneWithChildren(node, children);
+    EXPECT_EQ(cloned->kind(), node->kind());
+    EXPECT_EQ(cloned->children().size(), node->children().size());
+    if (!children.empty()) {
+      EXPECT_EQ(cloned->child(0), replacement1);
+    }
+  }
+}
+
+TEST(PlanTest, SerializeIsDeterministicAndReflectsStructure) {
+  PhysPtr scan = MakeScan(1, 1, {1});
+  PhysPtr a = std::make_shared<LimitNode>(5, scan);
+  PhysPtr b = std::make_shared<LimitNode>(5, MakeScan(1, 1, {1}));
+  EXPECT_EQ(SerializePlan(a), SerializePlan(b));
+  PhysPtr c = std::make_shared<LimitNode>(6, scan);
+  EXPECT_NE(SerializePlan(a), SerializePlan(c));
+  // Appending more scans grows the serialization.
+  PhysPtr small = std::make_shared<AppendNode>(std::vector<PhysPtr>{scan});
+  PhysPtr large = std::make_shared<AppendNode>(
+      std::vector<PhysPtr>{scan, MakeScan(1, 2, {1}), MakeScan(1, 3, {1})});
+  EXPECT_GT(SerializePlan(large).size(), SerializePlan(small).size());
+}
+
+TEST(PlanTest, PlanToStringIndentsChildren) {
+  PhysPtr plan = std::make_shared<LimitNode>(
+      5, std::make_shared<MotionNode>(MotionKind::kGather, std::vector<ColRefId>{},
+                                      MakeScan(1, 1, {1})));
+  std::string rendered = PlanToString(plan);
+  EXPECT_NE(rendered.find("Limit 5\n  GatherMotion\n    TableScan"),
+            std::string::npos);
+}
+
+TEST(PlanTest, DescribeMentionsPartitionDetails) {
+  auto selector = std::make_shared<PartitionSelectorNode>(
+      42, 7, std::vector<ColRefId>{1},
+      std::vector<ExprPtr>{MakeComparison(CompareOp::kLt,
+                                          MakeColumnRef(1, "pk", TypeId::kInt64),
+                                          MakeConst(Datum::Int64(9)))},
+      nullptr);
+  std::string description = selector->Describe();
+  EXPECT_NE(description.find("table=42"), std::string::npos);
+  EXPECT_NE(description.find("scanId=7"), std::string::npos);
+  EXPECT_NE(description.find("pk#1 < 9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mppdb

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "runtime/partition_functions.h"
+#include "runtime/propagation.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+using testutil::D;
+using testutil::TestDb;
+
+class PartitionFunctionsTest : public ::testing::Test {
+ protected:
+  PartitionFunctionsTest() { orders_ = db_.CreateOrdersTable(24); }
+  TestDb db_{2};
+  const TableDescriptor* orders_ = nullptr;
+};
+
+TEST_F(PartitionFunctionsTest, PartitionExpansion) {
+  // Table 1: partition_expansion(rootOid) returns all child partition OIDs.
+  auto oids = partition_functions::PartitionExpansion(db_.catalog, orders_->oid);
+  ASSERT_TRUE(oids.ok());
+  EXPECT_EQ(oids->size(), 24u);
+}
+
+TEST_F(PartitionFunctionsTest, PartitionExpansionErrors) {
+  EXPECT_EQ(partition_functions::PartitionExpansion(db_.catalog, 424242).status().code(),
+            StatusCode::kNotFound);
+  const TableDescriptor* plain =
+      db_.CreatePlainTable("plain", Schema({{"x", TypeId::kInt64}}));
+  EXPECT_EQ(partition_functions::PartitionExpansion(db_.catalog, plain->oid)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PartitionFunctionsTest, PartitionSelection) {
+  // Table 1: partition_selection(rootOid, value) = OID of the child holding
+  // the value; ⊥ (kInvalidOid) outside the domain.
+  auto oid = partition_functions::PartitionSelection(db_.catalog, orders_->oid,
+                                                     D("2013-07-04"));
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(*oid, orders_->partition_scheme->RouteValues({D("2013-07-01")}));
+  auto missing = partition_functions::PartitionSelection(db_.catalog, orders_->oid,
+                                                         D("2031-01-01"));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(*missing, kInvalidOid);
+  // Wrong number of key values is an error.
+  EXPECT_FALSE(partition_functions::PartitionSelection(
+                   db_.catalog, orders_->oid,
+                   std::vector<Datum>{D("2013-07-04"), Datum::Int64(1)})
+                   .ok());
+}
+
+TEST_F(PartitionFunctionsTest, PartitionConstraints) {
+  // Table 1: partition_constraints(rootOid) returns (OID, interval) rows;
+  // Fig. 15(b)'s range-based selection filters over these.
+  auto leaves = partition_functions::PartitionConstraints(db_.catalog, orders_->oid);
+  ASSERT_TRUE(leaves.ok());
+  ASSERT_EQ(leaves->size(), 24u);
+  // Count partitions whose range starts before 2012-04-01 — the Fig. 15(b)
+  // pattern "range_start < constant": 3 partitions (Jan, Feb, Mar 2012).
+  int selected = 0;
+  for (const LeafPartitionInfo& leaf : *leaves) {
+    const Interval& range = leaf.level_constraints[0].intervals()[0];
+    if (Datum::Compare(range.lo().value, D("2012-04-01")) < 0) ++selected;
+  }
+  EXPECT_EQ(selected, 3);
+}
+
+TEST_F(PartitionFunctionsTest, PartitionPropagation) {
+  // Table 1: partition_propagation(scanId, oid) pushes into the channel the
+  // DynamicScan with that id consumes.
+  PartitionPropagationHub hub(2);
+  partition_functions::PartitionPropagation(&hub, 0, 7, 101);
+  partition_functions::PartitionPropagation(&hub, 0, 7, 102);
+  partition_functions::PartitionPropagation(&hub, 0, 7, 101);  // duplicate
+  ASSERT_TRUE(hub.HasChannel(0, 7));
+  EXPECT_EQ(hub.Selected(0, 7), (std::vector<Oid>{101, 102}));
+  // Other segments/scans unaffected.
+  EXPECT_FALSE(hub.HasChannel(1, 7));
+  EXPECT_FALSE(hub.HasChannel(0, 8));
+}
+
+TEST(PropagationHubTest, OpenChannelDistinguishesEmptyFromUnopened) {
+  PartitionPropagationHub hub(1);
+  EXPECT_FALSE(hub.HasChannel(0, 1));
+  hub.OpenChannel(0, 1);
+  EXPECT_TRUE(hub.HasChannel(0, 1));
+  EXPECT_TRUE(hub.Selected(0, 1).empty());
+}
+
+TEST(PropagationHubTest, ResetClearsAllChannels) {
+  PartitionPropagationHub hub(2);
+  hub.Push(0, 1, 10);
+  hub.Push(1, 2, 20);
+  hub.Reset();
+  EXPECT_FALSE(hub.HasChannel(0, 1));
+  EXPECT_FALSE(hub.HasChannel(1, 2));
+}
+
+TEST(PropagationHubTest, PreservesFirstPushOrder) {
+  PartitionPropagationHub hub(1);
+  for (Oid oid : {5, 3, 9, 3, 5, 1}) hub.Push(0, 1, oid);
+  EXPECT_EQ(hub.Selected(0, 1), (std::vector<Oid>{5, 3, 9, 1}));
+}
+
+}  // namespace
+}  // namespace mppdb

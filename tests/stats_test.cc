@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/stats.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+ExprPtr Col(ColRefId id) { return MakeColumnRef(id, "c", TypeId::kInt64); }
+ExprPtr Lit(int64_t v) { return MakeConst(Datum::Int64(v)); }
+
+TEST(SelectivityTest, ComparisonShapes) {
+  double eq = CardinalityEstimator::Selectivity(
+      MakeComparison(CompareOp::kEq, Col(1), Lit(5)));
+  double range = CardinalityEstimator::Selectivity(
+      MakeComparison(CompareOp::kLt, Col(1), Lit(5)));
+  double ne = CardinalityEstimator::Selectivity(
+      MakeComparison(CompareOp::kNe, Col(1), Lit(5)));
+  EXPECT_LT(eq, range);
+  EXPECT_LT(range, ne);
+  EXPECT_GT(eq, 0);
+  EXPECT_LE(ne, 1.0);
+}
+
+TEST(SelectivityTest, ConjunctionShrinksDisjunctionGrows) {
+  ExprPtr a = MakeComparison(CompareOp::kLt, Col(1), Lit(5));
+  ExprPtr b = MakeComparison(CompareOp::kGt, Col(2), Lit(5));
+  double sa = CardinalityEstimator::Selectivity(a);
+  EXPECT_LT(CardinalityEstimator::Selectivity(Conj({a, b})), sa);
+  EXPECT_GT(CardinalityEstimator::Selectivity(MakeOr({a, b})), sa);
+}
+
+TEST(SelectivityTest, NullPredicateIsOne) {
+  EXPECT_DOUBLE_EQ(CardinalityEstimator::Selectivity(nullptr), 1.0);
+}
+
+TEST(SelectivityTest, ConstantPredicates) {
+  EXPECT_DOUBLE_EQ(
+      CardinalityEstimator::Selectivity(MakeConst(Datum::Bool(false))), 0.0);
+  EXPECT_DOUBLE_EQ(CardinalityEstimator::Selectivity(MakeConst(Datum::Bool(true))),
+                   1.0);
+}
+
+TEST(EstimatorTest, TracksTableSizesAndOperators) {
+  testutil::TestDb db(2);
+  const TableDescriptor* big =
+      db.CreatePlainTable("big", Schema({{"x", TypeId::kInt64}}));
+  const TableDescriptor* small =
+      db.CreatePlainTable("small", Schema({{"y", TypeId::kInt64}}));
+  std::vector<Row> rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back({Datum::Int64(i)});
+  db.Insert(big, rows);
+  db.Insert(small, {{Datum::Int64(1)}, {Datum::Int64(2)}});
+
+  CardinalityEstimator estimator(&db.storage);
+  auto big_get = std::make_shared<LogicalGet>(big, "big", std::vector<ColRefId>{1});
+  auto small_get =
+      std::make_shared<LogicalGet>(small, "small", std::vector<ColRefId>{2});
+  EXPECT_DOUBLE_EQ(estimator.EstimateRows(big_get), 1000.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimateRows(small_get), 2.0);
+
+  // Selection shrinks.
+  auto select = std::make_shared<LogicalSelect>(
+      MakeComparison(CompareOp::kEq, Col(1), Lit(5)), big_get);
+  EXPECT_LT(estimator.EstimateRows(select), 1000.0);
+  EXPECT_GE(estimator.EstimateRows(select), 1.0);
+
+  // Equi join is bounded by the larger side under the containment heuristic.
+  auto join = std::make_shared<LogicalJoin>(
+      JoinType::kInner, MakeComparison(CompareOp::kEq, Col(1), Col(2)), big_get,
+      small_get);
+  double join_rows = estimator.EstimateRows(join);
+  EXPECT_GT(join_rows, 0);
+  EXPECT_LE(join_rows, 1000.0 * 2.0);
+
+  // Scalar aggregates produce one row; limits cap.
+  auto agg = std::make_shared<LogicalAgg>(std::vector<ColRefId>{},
+                                          std::vector<AggItem>{}, big_get);
+  EXPECT_DOUBLE_EQ(estimator.EstimateRows(agg), 1.0);
+  auto limit = std::make_shared<LogicalLimit>(10, big_get);
+  EXPECT_DOUBLE_EQ(estimator.EstimateRows(limit), 10.0);
+}
+
+}  // namespace
+}  // namespace mppdb

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "storage/storage.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+using testutil::D;
+using testutil::TestDb;
+
+TEST(StorageTest, InsertRoutesToPartitionAndSegment) {
+  TestDb db(4);
+  const TableDescriptor* orders = db.CreateOrdersTable(24);
+  TableStore* store = db.storage.GetStore(orders->oid);
+  ASSERT_NE(store, nullptr);
+
+  std::vector<Row> rows;
+  for (int day = 1; day <= 28; ++day) {
+    rows.push_back({D(("2013-05-" + std::string(day < 10 ? "0" : "") +
+                       std::to_string(day)).c_str()),
+                    Datum::Double(day * 1.5), Datum::String("west")});
+  }
+  ASSERT_TRUE(store->InsertBatch(rows).ok());
+  EXPECT_EQ(store->TotalRows(), 28u);
+
+  // All rows are in the May-2013 leaf.
+  Oid may = orders->partition_scheme->RouteValues({D("2013-05-01")});
+  EXPECT_EQ(store->UnitTotalRows(may), 28u);
+
+  // Hash distribution spread rows over more than one segment.
+  int nonempty_segments = 0;
+  for (int s = 0; s < 4; ++s) {
+    if (!store->UnitRows(may, s).empty()) ++nonempty_segments;
+  }
+  EXPECT_GT(nonempty_segments, 1);
+}
+
+TEST(StorageTest, InsertOutOfRangeFails) {
+  TestDb db(2);
+  const TableDescriptor* orders = db.CreateOrdersTable(24);
+  TableStore* store = db.storage.GetStore(orders->oid);
+  Status st = store->Insert({D("2030-01-01"), Datum::Double(1), Datum::String("x")});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+TEST(StorageTest, ArityMismatchFails) {
+  TestDb db(2);
+  const TableDescriptor* orders = db.CreateOrdersTable(24);
+  EXPECT_FALSE(db.storage.GetStore(orders->oid)->Insert({Datum::Int64(1)}).ok());
+}
+
+TEST(StorageTest, ReplicatedTableCopiesToAllSegments) {
+  TestDb db(3);
+  Schema schema({{"id", TypeId::kInt64}, {"name", TypeId::kString}});
+  auto oid = db.catalog.CreateTable("dim", schema, TableDistribution::kReplicated, {});
+  ASSERT_TRUE(oid.ok());
+  const TableDescriptor* dim = db.catalog.FindTable(*oid);
+  ASSERT_TRUE(db.storage.CreateStorage(dim).ok());
+  TableStore* store = db.storage.GetStore(dim->oid);
+  ASSERT_TRUE(store->Insert({Datum::Int64(1), Datum::String("a")}).ok());
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(store->UnitRows(dim->oid, s).size(), 1u);
+  }
+}
+
+TEST(StorageTest, RandomDistributionRoundRobins) {
+  TestDb db(2);
+  Schema schema({{"x", TypeId::kInt64}});
+  auto oid = db.catalog.CreateTable("rr", schema, TableDistribution::kRandom, {});
+  ASSERT_TRUE(oid.ok());
+  const TableDescriptor* table = db.catalog.FindTable(*oid);
+  ASSERT_TRUE(db.storage.CreateStorage(table).ok());
+  TableStore* store = db.storage.GetStore(table->oid);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store->Insert({Datum::Int64(i)}).ok());
+  }
+  EXPECT_EQ(store->UnitRows(table->oid, 0).size(), 5u);
+  EXPECT_EQ(store->UnitRows(table->oid, 1).size(), 5u);
+}
+
+TEST(StorageTest, UnpartitionedUnitIsTableOid) {
+  TestDb db(2);
+  const TableDescriptor* t =
+      db.CreatePlainTable("plain", Schema({{"x", TypeId::kInt64}}));
+  EXPECT_EQ(db.storage.GetStore(t->oid)->UnitOids(), std::vector<Oid>{t->oid});
+}
+
+TEST(StorageTest, DuplicateStorageRejected) {
+  TestDb db(2);
+  const TableDescriptor* t =
+      db.CreatePlainTable("plain", Schema({{"x", TypeId::kInt64}}));
+  EXPECT_FALSE(db.storage.CreateStorage(t).ok());
+}
+
+TEST(StorageTest, MutableUnitRowsAllowsInPlaceEdits) {
+  TestDb db(1);
+  const TableDescriptor* t =
+      db.CreatePlainTable("plain", Schema({{"x", TypeId::kInt64}}));
+  TableStore* store = db.storage.GetStore(t->oid);
+  ASSERT_TRUE(store->Insert({Datum::Int64(5)}).ok());
+  std::vector<Row>* rows = store->MutableUnitRows(t->oid, 0);
+  (*rows)[0][0] = Datum::Int64(6);
+  EXPECT_EQ(store->UnitRows(t->oid, 0)[0][0].int64_value(), 6);
+}
+
+}  // namespace
+}  // namespace mppdb

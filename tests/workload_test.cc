@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "optimizer/placement.h"
+#include "test_util.h"
+#include "workload/tpcds_lite.h"
+#include "workload/tpch_lite.h"
+
+namespace mppdb {
+namespace {
+
+using testutil::SameRows;
+using workload::CreateAndLoadLineitem;
+using workload::CreateAndLoadTpcds;
+using workload::LineitemPartitioning;
+using workload::TpcdsConfig;
+using workload::TpcdsQueries;
+using workload::TpchConfig;
+
+TEST(TpchLiteTest, LoadsAllVariantsWithSameContents) {
+  Database db(2);
+  TpchConfig config;
+  config.rows = 2000;
+  ASSERT_TRUE(CreateAndLoadLineitem(&db, config, LineitemPartitioning::kNone,
+                                    "lineitem_flat")
+                  .ok());
+  ASSERT_TRUE(CreateAndLoadLineitem(&db, config, LineitemPartitioning::kMonthly84,
+                                    "lineitem_84")
+                  .ok());
+  ASSERT_TRUE(CreateAndLoadLineitem(&db, config, LineitemPartitioning::kWeekly361,
+                                    "lineitem_361")
+                  .ok());
+  const TableDescriptor* flat = db.catalog().FindTable("lineitem_flat");
+  const TableDescriptor* monthly = db.catalog().FindTable("lineitem_84");
+  const TableDescriptor* weekly = db.catalog().FindTable("lineitem_361");
+  EXPECT_FALSE(flat->IsPartitioned());
+  EXPECT_EQ(monthly->partition_scheme->NumLeaves(), 84u);
+  EXPECT_EQ(weekly->partition_scheme->NumLeaves(), 361u);
+  // Deterministic generator: identical contents across variants.
+  auto a = db.Run("SELECT count(*), sum(l_quantity) FROM lineitem_flat");
+  auto b = db.Run("SELECT count(*), sum(l_quantity) FROM lineitem_84");
+  auto c = db.Run("SELECT count(*), sum(l_quantity) FROM lineitem_361");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE(SameRows(a->rows, b->rows));
+  EXPECT_TRUE(SameRows(b->rows, c->rows));
+  EXPECT_EQ(a->rows[0][0].int64_value(), 2000);
+}
+
+class TpcdsLiteTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(4);
+    config_ = new TpcdsConfig();
+    config_->base_rows = 1500;
+    MPPDB_CHECK(CreateAndLoadTpcds(db_, *config_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete config_;
+    db_ = nullptr;
+    config_ = nullptr;
+  }
+
+  static Database* db_;
+  static TpcdsConfig* config_;
+};
+
+Database* TpcdsLiteTest::db_ = nullptr;
+TpcdsConfig* TpcdsLiteTest::config_ = nullptr;
+
+TEST_F(TpcdsLiteTest, SchemaShape) {
+  for (const std::string& fact : workload::TpcdsFactTables()) {
+    const TableDescriptor* table = db_->catalog().FindTable(fact);
+    ASSERT_NE(table, nullptr) << fact;
+    ASSERT_TRUE(table->IsPartitioned()) << fact;
+    EXPECT_EQ(table->partition_scheme->NumLeaves(),
+              static_cast<size_t>(config_->months))
+        << fact;
+  }
+  EXPECT_NE(db_->catalog().FindTable("date_dim"), nullptr);
+  // One date_dim row per day across the span (2002-2003 = 730 days).
+  auto days = db_->Run("SELECT count(*) FROM date_dim");
+  ASSERT_TRUE(days.ok());
+  EXPECT_EQ(days->rows[0][0].int64_value(), 730);
+}
+
+// The workhorse integration test: every workload template returns identical
+// results under the Cascades optimizer (with and without partition
+// selection) and the legacy Planner — the paper's correctness baseline for
+// all of §4.3.
+TEST_F(TpcdsLiteTest, AllQueriesAgreeAcrossOptimizersAndModes) {
+  for (const auto& query : TpcdsQueries(*config_)) {
+    QueryOptions cascades;
+    auto reference = db_->Run(query.sql, cascades);
+    ASSERT_TRUE(reference.ok()) << query.name << ": "
+                                << reference.status().ToString() << "\n"
+                                << query.sql;
+
+    QueryOptions no_selection;
+    no_selection.enable_partition_selection = false;
+    auto unpruned = db_->Run(query.sql, no_selection);
+    ASSERT_TRUE(unpruned.ok()) << query.name << ": " << unpruned.status().ToString();
+    EXPECT_TRUE(SameRows(reference->rows, unpruned->rows)) << query.name;
+
+    QueryOptions planner;
+    planner.optimizer = OptimizerKind::kLegacyPlanner;
+    auto legacy = db_->Run(query.sql, planner);
+    ASSERT_TRUE(legacy.ok()) << query.name << ": " << legacy.status().ToString();
+    EXPECT_TRUE(SameRows(reference->rows, legacy->rows)) << query.name;
+
+    // Partition selection never scans MORE than selection-disabled mode.
+    EXPECT_LE(reference->stats.TotalPartitionsScanned(),
+              unpruned->stats.TotalPartitionsScanned())
+        << query.name;
+  }
+}
+
+// Every workload plan must satisfy the producer/consumer contract: each
+// DynamicScan preceded (in its slice) by a PartitionSelector.
+TEST_F(TpcdsLiteTest, AllPlansSatisfySelectorPlacementContract) {
+  for (const auto& query : TpcdsQueries(*config_)) {
+    for (bool selection : {true, false}) {
+      QueryOptions options;
+      options.enable_partition_selection = selection;
+      auto plan = db_->PlanSql(query.sql, options);
+      ASSERT_TRUE(plan.ok()) << query.name;
+      EXPECT_TRUE(ValidateSelectorPlacement(*plan).ok())
+          << query.name << " selection=" << selection << "\n"
+          << PlanToString(*plan);
+    }
+  }
+}
+
+// Plan compactness across the whole suite: no Cascades plan enumerates
+// partitions, so every serialized plan stays far below the per-partition
+// growth a 24-leaf enumeration would cause.
+TEST_F(TpcdsLiteTest, AllCascadesPlansAreCompact) {
+  for (const auto& query : TpcdsQueries(*config_)) {
+    auto plan = db_->PlanSql(query.sql);
+    ASSERT_TRUE(plan.ok()) << query.name;
+    EXPECT_LT(SerializePlan(*plan).size(), 4000u) << query.name;
+  }
+}
+
+TEST_F(TpcdsLiteTest, DynamicEliminationPrunesTheQuarterQuery) {
+  auto queries = TpcdsQueries(*config_);
+  const auto& q06 = queries[5];
+  ASSERT_EQ(q06.name, "q06_ss_join_quarter");
+  auto result = db_->Run(q06.sql);
+  ASSERT_TRUE(result.ok());
+  Oid ss = db_->catalog().FindTable("store_sales")->oid;
+  // Q4 of year 2 = 3 of 24 monthly partitions.
+  EXPECT_EQ(result->stats.PartitionsScanned(ss), 3u);
+}
+
+TEST_F(TpcdsLiteTest, StaticVsDynamicVsNoPruningBuckets) {
+  Oid ss = db_->catalog().FindTable("store_sales")->oid;
+  auto queries = TpcdsQueries(*config_);
+  // q01: static quarter -> 3 parts.
+  auto q01 = db_->Run(queries[0].sql);
+  ASSERT_TRUE(q01.ok());
+  EXPECT_EQ(q01->stats.PartitionsScanned(ss), 3u);
+  // q17: group-by with no date restriction -> all 24 parts.
+  auto q17 = db_->Run(queries[16].sql);
+  ASSERT_TRUE(q17.ok());
+  EXPECT_EQ(q17->stats.PartitionsScanned(ss), 24u);
+}
+
+}  // namespace
+}  // namespace mppdb
