@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_parts_scanned.dir/bench_fig16_parts_scanned.cc.o"
+  "CMakeFiles/bench_fig16_parts_scanned.dir/bench_fig16_parts_scanned.cc.o.d"
+  "bench_fig16_parts_scanned"
+  "bench_fig16_parts_scanned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_parts_scanned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18a_plan_size_static.dir/bench_fig18a_plan_size_static.cc.o"
+  "CMakeFiles/bench_fig18a_plan_size_static.dir/bench_fig18a_plan_size_static.cc.o.d"
+  "bench_fig18a_plan_size_static"
+  "bench_fig18a_plan_size_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18a_plan_size_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18c_plan_size_dml.dir/bench_fig18c_plan_size_dml.cc.o"
+  "CMakeFiles/bench_fig18c_plan_size_dml.dir/bench_fig18c_plan_size_dml.cc.o.d"
+  "bench_fig18c_plan_size_dml"
+  "bench_fig18c_plan_size_dml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18c_plan_size_dml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

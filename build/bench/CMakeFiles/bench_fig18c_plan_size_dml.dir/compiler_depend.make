@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig18c_plan_size_dml.
+# This may be replaced when dependencies are built.

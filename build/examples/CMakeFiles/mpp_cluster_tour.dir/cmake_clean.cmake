@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpp_cluster_tour.dir/mpp_cluster_tour.cpp.o"
+  "CMakeFiles/mpp_cluster_tour.dir/mpp_cluster_tour.cpp.o.d"
+  "mpp_cluster_tour"
+  "mpp_cluster_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpp_cluster_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

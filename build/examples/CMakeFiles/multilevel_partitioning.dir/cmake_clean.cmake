@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_partitioning.dir/multilevel_partitioning.cpp.o"
+  "CMakeFiles/multilevel_partitioning.dir/multilevel_partitioning.cpp.o.d"
+  "multilevel_partitioning"
+  "multilevel_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_size_explorer.dir/plan_size_explorer.cpp.o"
+  "CMakeFiles/plan_size_explorer.dir/plan_size_explorer.cpp.o.d"
+  "plan_size_explorer"
+  "plan_size_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_size_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_dpe.dir/star_schema_dpe.cpp.o"
+  "CMakeFiles/star_schema_dpe.dir/star_schema_dpe.cpp.o.d"
+  "star_schema_dpe"
+  "star_schema_dpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_dpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

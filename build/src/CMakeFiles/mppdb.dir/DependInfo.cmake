@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/mppdb.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/partition_scheme.cc" "src/CMakeFiles/mppdb.dir/catalog/partition_scheme.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/catalog/partition_scheme.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mppdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/mppdb.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/common/string_util.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/mppdb.dir/db/database.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/db/database.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/mppdb.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/CMakeFiles/mppdb.dir/exec/plan.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/exec/plan.cc.o.d"
+  "/root/repo/src/expr/constraint_derivation.cc" "src/CMakeFiles/mppdb.dir/expr/constraint_derivation.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/expr/constraint_derivation.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/mppdb.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/mppdb.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/interval.cc" "src/CMakeFiles/mppdb.dir/expr/interval.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/expr/interval.cc.o.d"
+  "/root/repo/src/optimizer/cascades/cascades_optimizer.cc" "src/CMakeFiles/mppdb.dir/optimizer/cascades/cascades_optimizer.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/optimizer/cascades/cascades_optimizer.cc.o.d"
+  "/root/repo/src/optimizer/cascades/memo.cc" "src/CMakeFiles/mppdb.dir/optimizer/cascades/memo.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/optimizer/cascades/memo.cc.o.d"
+  "/root/repo/src/optimizer/logical.cc" "src/CMakeFiles/mppdb.dir/optimizer/logical.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/optimizer/logical.cc.o.d"
+  "/root/repo/src/optimizer/placement.cc" "src/CMakeFiles/mppdb.dir/optimizer/placement.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/optimizer/placement.cc.o.d"
+  "/root/repo/src/optimizer/planner/legacy_planner.cc" "src/CMakeFiles/mppdb.dir/optimizer/planner/legacy_planner.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/optimizer/planner/legacy_planner.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/CMakeFiles/mppdb.dir/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/optimizer/stats.cc.o.d"
+  "/root/repo/src/runtime/partition_functions.cc" "src/CMakeFiles/mppdb.dir/runtime/partition_functions.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/runtime/partition_functions.cc.o.d"
+  "/root/repo/src/runtime/propagation.cc" "src/CMakeFiles/mppdb.dir/runtime/propagation.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/runtime/propagation.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/mppdb.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/mppdb.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/mppdb.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/storage.cc" "src/CMakeFiles/mppdb.dir/storage/storage.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/storage/storage.cc.o.d"
+  "/root/repo/src/types/date.cc" "src/CMakeFiles/mppdb.dir/types/date.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/types/date.cc.o.d"
+  "/root/repo/src/types/datum.cc" "src/CMakeFiles/mppdb.dir/types/datum.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/types/datum.cc.o.d"
+  "/root/repo/src/types/row.cc" "src/CMakeFiles/mppdb.dir/types/row.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/types/row.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/mppdb.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/types/schema.cc.o.d"
+  "/root/repo/src/workload/tpcds_lite.cc" "src/CMakeFiles/mppdb.dir/workload/tpcds_lite.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/workload/tpcds_lite.cc.o.d"
+  "/root/repo/src/workload/tpch_lite.cc" "src/CMakeFiles/mppdb.dir/workload/tpch_lite.cc.o" "gcc" "src/CMakeFiles/mppdb.dir/workload/tpch_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

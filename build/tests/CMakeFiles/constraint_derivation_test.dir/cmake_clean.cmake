@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_derivation_test.dir/constraint_derivation_test.cc.o"
+  "CMakeFiles/constraint_derivation_test.dir/constraint_derivation_test.cc.o.d"
+  "constraint_derivation_test"
+  "constraint_derivation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_derivation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

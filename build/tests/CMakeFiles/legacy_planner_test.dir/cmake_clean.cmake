@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_planner_test.dir/legacy_planner_test.cc.o"
+  "CMakeFiles/legacy_planner_test.dir/legacy_planner_test.cc.o.d"
+  "legacy_planner_test"
+  "legacy_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_sql_test.dir/multilevel_sql_test.cc.o"
+  "CMakeFiles/multilevel_sql_test.dir/multilevel_sql_test.cc.o.d"
+  "multilevel_sql_test"
+  "multilevel_sql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

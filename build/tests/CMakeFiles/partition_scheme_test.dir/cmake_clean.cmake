@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_scheme_test.dir/partition_scheme_test.cc.o"
+  "CMakeFiles/partition_scheme_test.dir/partition_scheme_test.cc.o.d"
+  "partition_scheme_test"
+  "partition_scheme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
