@@ -1,0 +1,88 @@
+// Serial vs parallel segment execution: wall-clock for a scan-heavy
+// aggregation at S ∈ {1, 2, 4, 8} segments, one worker thread per segment in
+// parallel mode. The simulated cluster splits the same table across more
+// segments as S grows, so parallel speedup approaches min(S, cores) once
+// per-segment work dominates thread coordination.
+//
+// Emits BENCH_parallel.json (entries keyed "S=<n>", plus an "env" entry with
+// the machine's hardware_concurrency — on a 1-core box the expected speedup
+// is ~1x regardless of S, so record the context alongside the numbers).
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "db/database.h"
+#include "workload/tpch_lite.h"
+
+namespace mppdb {
+namespace {
+
+constexpr const char* kQuery =
+    "SELECT count(*), sum(l_quantity), avg(l_extendedprice), min(l_shipdate), "
+    "max(l_discount) FROM lineitem";
+
+void RunBenchmark() {
+  benchutil::Header("Parallel segment execution: serial vs one worker per segment");
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %u\n", cores);
+
+  workload::TpchConfig config;
+  config.rows = 120000;
+
+  const int kIterations = 5;
+  std::vector<benchutil::BenchJsonEntry> entries;
+  entries.push_back(
+      {"env", {{"hardware_concurrency", static_cast<double>(cores)}}});
+
+  std::printf("%-6s %12s %12s %10s\n", "S", "serial (ms)", "parallel(ms)", "speedup");
+  benchutil::Rule(46);
+  for (int segments : {1, 2, 4, 8}) {
+    Database db(segments);
+    MPPDB_CHECK(workload::CreateAndLoadLineitem(&db, config,
+                                                workload::LineitemPartitioning::kNone,
+                                                "lineitem")
+                    .ok());
+    Result<PhysPtr> plan = db.PlanSql(kQuery);
+    MPPDB_CHECK(plan.ok());
+
+    Executor serial(&db.catalog(), &db.storage());
+    Executor parallel(&db.catalog(), &db.storage(), Executor::Options{
+                                                        .parallel = true});
+    // Identical-result check rides along with the measurement.
+    Result<std::vector<Row>> serial_rows = serial.Execute(*plan);
+    Result<std::vector<Row>> parallel_rows = parallel.Execute(*plan);
+    MPPDB_CHECK(serial_rows.ok() && parallel_rows.ok());
+    MPPDB_CHECK(*serial_rows == *parallel_rows);
+    MPPDB_CHECK(serial.stats() == parallel.stats());
+
+    benchutil::TimingStats serial_t = benchutil::MeasureMillis(
+        /*warmup=*/1, kIterations, [&]() { MPPDB_CHECK(serial.Execute(*plan).ok()); });
+    benchutil::TimingStats parallel_t =
+        benchutil::MeasureMillis(/*warmup=*/1, kIterations, [&]() {
+          MPPDB_CHECK(parallel.Execute(*plan).ok());
+        });
+    double speedup = serial_t.median_ms / parallel_t.median_ms;
+    std::printf("%-6d %12.2f %12.2f %9.2fx\n", segments, serial_t.median_ms,
+                parallel_t.median_ms, speedup);
+    entries.push_back({"S=" + std::to_string(segments),
+                       {{"segments", static_cast<double>(segments)},
+                        {"serial_ms", serial_t.median_ms},
+                        {"serial_min_ms", serial_t.min_ms},
+                        {"serial_mean_ms", serial_t.mean_ms},
+                        {"parallel_ms", parallel_t.median_ms},
+                        {"parallel_min_ms", parallel_t.min_ms},
+                        {"parallel_mean_ms", parallel_t.mean_ms},
+                        {"speedup", speedup}}});
+  }
+  benchutil::WriteBenchJson("BENCH_parallel.json", "parallel_speedup", entries);
+}
+
+}  // namespace
+}  // namespace mppdb
+
+int main() {
+  mppdb::RunBenchmark();
+  return 0;
+}

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -13,8 +15,21 @@
 namespace mppdb {
 namespace benchutil {
 
-/// Median wall-clock milliseconds over `iterations` runs of `fn`.
-inline double MedianMillis(int iterations, const std::function<void()>& fn) {
+/// Wall-clock timing summary over repeated runs of a workload.
+struct TimingStats {
+  double min_ms = 0;
+  double mean_ms = 0;
+  double median_ms = 0;
+};
+
+/// Runs `fn` `warmup` times untimed (populating caches, lazy indexes, and
+/// the allocator), then `iterations` times timed, and reports min / mean /
+/// median wall-clock milliseconds. Without a warmup, cold-start skew lands
+/// in the median at low iteration counts.
+inline TimingStats MeasureMillis(int warmup, int iterations,
+                                 const std::function<void()>& fn) {
+  MPPDB_CHECK(iterations > 0);
+  for (int i = 0; i < warmup; ++i) fn();
   std::vector<double> times;
   times.reserve(static_cast<size_t>(iterations));
   for (int i = 0; i < iterations; ++i) {
@@ -27,7 +42,48 @@ inline double MedianMillis(int iterations, const std::function<void()>& fn) {
             .count());
   }
   std::sort(times.begin(), times.end());
-  return times[times.size() / 2];
+  TimingStats stats;
+  stats.min_ms = times.front();
+  stats.mean_ms = std::accumulate(times.begin(), times.end(), 0.0) /
+                  static_cast<double>(times.size());
+  stats.median_ms = times[times.size() / 2];
+  return stats;
+}
+
+/// Median wall-clock milliseconds over `iterations` runs of `fn`, preceded
+/// by one untimed warmup run.
+inline double MedianMillis(int iterations, const std::function<void()>& fn) {
+  return MeasureMillis(/*warmup=*/1, iterations, fn).median_ms;
+}
+
+/// One record of a benchmark JSON report: a name plus numeric fields.
+struct BenchJsonEntry {
+  std::string name;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// Writes `{"bench": <bench>, "entries": [{"name": ..., <k>: <v>, ...}]}` to
+/// `path` so successive PRs can track the trajectory. Returns false (after
+/// printing a warning) if the file cannot be written.
+inline bool WriteBenchJson(const std::string& path, const std::string& bench,
+                           const std::vector<BenchJsonEntry>& entries) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n", bench.c_str());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::fprintf(out, "    {\"name\": \"%s\"", entries[i].name.c_str());
+    for (const auto& [key, value] : entries[i].fields) {
+      std::fprintf(out, ", \"%s\": %.6g", key.c_str(), value);
+    }
+    std::fprintf(out, "}%s\n", i + 1 == entries.size() ? "" : ",");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 /// Prints a horizontal rule sized to `width`.

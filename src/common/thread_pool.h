@@ -1,0 +1,47 @@
+#ifndef MPPDB_COMMON_THREAD_POOL_H_
+#define MPPDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mppdb {
+
+/// A fixed-size worker pool with a FIFO task queue. Workers start in the
+/// constructor and join in the destructor (after draining queued tasks).
+///
+/// Used by the parallel executor to run one plan slice per segment. Tasks may
+/// block on each other (the executor's Motion barriers do), so callers that
+/// submit mutually-rendezvousing task groups must not submit more blocking
+/// tasks than there are workers — see Executor::Options::max_workers for how
+/// the executor sizes the pool to make that safe.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn`; the future resolves when it has run. `fn` must not throw.
+  std::future<void> Submit(std::function<void()> fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_COMMON_THREAD_POOL_H_

@@ -49,15 +49,19 @@ struct QueryResult {
 ///   Database db(/*num_segments=*/4);
 ///   db.CreatePartitionedTable(...);
 ///   auto result = db.Run("SELECT avg(amount) FROM orders WHERE ...");
+///
+/// Pass Executor::Options{.parallel = true} to run every statement's plan
+/// with one worker thread per segment (identical results, see Executor).
 class Database {
  public:
-  explicit Database(int num_segments)
-      : storage_(num_segments), executor_(&catalog_, &storage_) {}
+  explicit Database(int num_segments, Executor::Options exec_options = {})
+      : storage_(num_segments), executor_(&catalog_, &storage_, exec_options) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
   Catalog& catalog() { return catalog_; }
   StorageEngine& storage() { return storage_; }
+  Executor& executor() { return executor_; }
   int num_segments() const { return storage_.num_segments(); }
 
   /// DDL: creates the table in the catalog and allocates storage.

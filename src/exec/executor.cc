@@ -1,8 +1,11 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <future>
 #include <set>
 #include <tuple>
+#include <utility>
 
 #include "common/macros.h"
 #include "expr/constraint_derivation.h"
@@ -21,19 +24,145 @@ size_t ExecStats::TotalPartitionsScanned() const {
   return total;
 }
 
+void ExecStats::MergeFrom(const ExecStats& other) {
+  for (const auto& [table, parts] : other.partitions_scanned) {
+    partitions_scanned[table].insert(parts.begin(), parts.end());
+  }
+  tuples_scanned += other.tuples_scanned;
+  rows_moved += other.rows_moved;
+}
+
+struct Executor::MotionExchange {
+  std::mutex mu;
+  std::condition_variable cv;
+  /// Segments that have deposited their source rows (parallel mode).
+  int arrived = 0;
+  /// Set exactly once, after `buffers`/`build_status` are final.
+  bool built = false;
+  Status build_status;
+  /// Per-source-segment child output, awaiting the exchange.
+  std::vector<std::vector<Row>> source_rows;
+  /// Per-destination-segment buffers; read-only once `built`.
+  std::vector<std::vector<Row>> buffers;
+};
+
+namespace {
+
+/// Error returned by workers woken from a Motion barrier by the abort flag;
+/// Execute prefers reporting the originating failure over this one.
+Status AbortedStatus() {
+  return Status::ExecutionError("execution aborted: a peer segment failed");
+}
+
+bool IsAbortedStatus(const Status& status) {
+  return status.code() == StatusCode::kExecutionError &&
+         status.message().rfind("execution aborted:", 0) == 0;
+}
+
+}  // namespace
+
 Executor::Executor(const Catalog* catalog, StorageEngine* storage)
+    : Executor(catalog, storage, Options()) {}
+
+Executor::Executor(const Catalog* catalog, StorageEngine* storage, Options options)
     : catalog_(catalog),
       storage_(storage),
       num_segments_(storage->num_segments()),
+      options_(options),
       hub_(storage->num_segments()) {}
+
+Executor::~Executor() = default;
+
+bool Executor::CollectMotions(const PhysPtr& node) {
+  if (node->kind() == PhysNodeKind::kMotion) {
+    auto exchange = std::make_unique<MotionExchange>();
+    exchange->source_rows.resize(static_cast<size_t>(num_segments_));
+    if (!exchanges_.emplace(node.get(), std::move(exchange)).second) {
+      return false;  // shared Motion subtree: once-semantics need the lazy path
+    }
+  }
+  for (const auto& child : node->children()) {
+    if (!CollectMotions(child)) return false;
+  }
+  return true;
+}
+
+void Executor::SignalAbort() {
+  abort_flag_.store(true, std::memory_order_release);
+  for (auto& [node, exchange] : exchanges_) {
+    // Empty critical section: a waiter is either inside cv.wait (sees the
+    // notify) or has not yet re-checked the predicate under the lock.
+    { std::lock_guard<std::mutex> lock(exchange->mu); }
+    exchange->cv.notify_all();
+  }
+}
 
 Result<std::vector<Row>> Executor::Execute(const PhysPtr& plan) {
   hub_.Reset();
   stats_ = ExecStats();
-  motion_cache_.clear();
+  seg_stats_.assign(static_cast<size_t>(num_segments_), ExecStats());
+  exchanges_.clear();
+  abort_flag_.store(false);
+  bool plan_is_tree = CollectMotions(plan);
+  parallel_run_ = options_.parallel && plan_is_tree &&
+                  (options_.max_workers == 0 ||
+                   options_.max_workers >= num_segments_);
+  Result<std::vector<Row>> result =
+      parallel_run_ ? ExecuteParallel(plan) : ExecuteSerial(plan);
+  // Leave the executor clean and reusable whatever the outcome: per-run
+  // scratch is dropped here, and stats_ carries the run's counters only if
+  // it succeeded.
+  hub_.Reset();
+  exchanges_.clear();
+  parallel_run_ = false;
+  if (result.ok()) {
+    for (const ExecStats& seg : seg_stats_) stats_.MergeFrom(seg);
+  }
+  seg_stats_.clear();
+  return result;
+}
+
+Result<std::vector<Row>> Executor::ExecuteSerial(const PhysPtr& plan) {
+  // One thread owns every segment's channels for the whole run.
+  for (int segment = 0; segment < num_segments_; ++segment) {
+    hub_.BindOwner(segment);
+  }
   std::vector<Row> result;
   for (int segment = 0; segment < num_segments_; ++segment) {
     MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(plan, segment));
+    result.insert(result.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+  }
+  return result;
+}
+
+Result<std::vector<Row>> Executor::ExecuteParallel(const PhysPtr& plan) {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_segments_);
+  std::vector<Result<std::vector<Row>>> seg_results(
+      static_cast<size_t>(num_segments_),
+      Result<std::vector<Row>>(Status::Internal("segment slice did not run")));
+  std::vector<std::future<void>> joins;
+  joins.reserve(static_cast<size_t>(num_segments_));
+  for (int segment = 0; segment < num_segments_; ++segment) {
+    joins.push_back(pool_->Submit([this, &plan, &seg_results, segment]() {
+      hub_.BindOwner(segment);
+      Result<std::vector<Row>> rows = ExecNode(plan, segment);
+      if (!rows.ok()) SignalAbort();
+      seg_results[static_cast<size_t>(segment)] = std::move(rows);
+    }));
+  }
+  for (std::future<void>& join : joins) join.wait();
+
+  // Report the originating failure, not a barrier's secondhand abort.
+  for (const auto& seg_result : seg_results) {
+    if (!seg_result.ok() && !IsAbortedStatus(seg_result.status())) {
+      return seg_result.status();
+    }
+  }
+  std::vector<Row> result;
+  for (auto& seg_result : seg_results) {
+    if (!seg_result.ok()) return seg_result.status();
+    std::vector<Row> rows = std::move(seg_result).value();
     result.insert(result.end(), std::make_move_iterator(rows.begin()),
                   std::make_move_iterator(rows.end()));
   }
@@ -108,8 +237,9 @@ Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
 void Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
                         int segment, bool emit_rowids, std::vector<Row>* out) {
   const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
-  stats_.partitions_scanned[table_oid].insert(unit_oid);
-  stats_.tuples_scanned += rows.size();
+  ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+  stats.partitions_scanned[table_oid].insert(unit_oid);
+  stats.tuples_scanned += rows.size();
   if (!emit_rowids) {
     out->insert(out->end(), rows.begin(), rows.end());
     return;
@@ -540,10 +670,11 @@ Result<std::vector<Row>> Executor::ExecIndexNLJoin(const IndexNLJoinNode& node,
       unit = scheme->RouteValues({key});
       if (unit == kInvalidOid) continue;  // the invalid partition: no match
     }
-    stats_.partitions_scanned[table.oid].insert(unit);
-    const std::vector<size_t>& positions =
+    ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+    stats.partitions_scanned[table.oid].insert(unit);
+    const std::vector<size_t> positions =
         store->IndexLookup(unit, segment, node.inner_key_column(), key);
-    stats_.tuples_scanned += positions.size();
+    stats.tuples_scanned += positions.size();
     if (positions.empty()) continue;
     const std::vector<Row>& unit_rows = store->UnitRows(unit, segment);
     for (size_t pos : positions) {
@@ -704,39 +835,96 @@ Result<std::vector<Row>> Executor::ExecSort(const SortNode& node, int segment) {
   return rows;
 }
 
-Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segment) {
-  auto it = motion_cache_.find(&node);
-  if (it == motion_cache_.end()) {
-    std::vector<std::vector<Row>> buffers(static_cast<size_t>(num_segments_));
-    ColumnLayout layout = node.child(0)->OutputLayout();
-    std::vector<int> hash_pos;
-    if (node.motion_kind() == MotionKind::kRedistribute) {
-      MPPDB_ASSIGN_OR_RETURN(hash_pos, ResolvePositions(layout, node.hash_columns()));
-    }
-    for (int source = 0; source < num_segments_; ++source) {
-      MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), source));
-      stats_.rows_moved += rows.size();
-      switch (node.motion_kind()) {
-        case MotionKind::kGather:
-          buffers[0].insert(buffers[0].end(), std::make_move_iterator(rows.begin()),
-                            std::make_move_iterator(rows.end()));
-          break;
-        case MotionKind::kBroadcast:
-          for (auto& buffer : buffers) {
-            buffer.insert(buffer.end(), rows.begin(), rows.end());
-          }
-          break;
-        case MotionKind::kRedistribute:
-          for (Row& row : rows) {
-            uint64_t h = HashRowColumns(row, hash_pos);
-            buffers[h % static_cast<uint64_t>(num_segments_)].push_back(std::move(row));
-          }
-          break;
-      }
-    }
-    it = motion_cache_.emplace(&node, std::move(buffers)).first;
+Result<std::vector<std::vector<Row>>> Executor::BuildMotionBuffers(
+    const MotionNode& node, std::vector<std::vector<Row>> source_rows) {
+  std::vector<std::vector<Row>> buffers(static_cast<size_t>(num_segments_));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  std::vector<int> hash_pos;
+  if (node.motion_kind() == MotionKind::kRedistribute) {
+    MPPDB_ASSIGN_OR_RETURN(hash_pos, ResolvePositions(layout, node.hash_columns()));
   }
-  return it->second[static_cast<size_t>(segment)];
+  // Source-segment order keeps buffer contents identical to serial execution.
+  for (auto& rows : source_rows) {
+    switch (node.motion_kind()) {
+      case MotionKind::kGather:
+        buffers[0].insert(buffers[0].end(), std::make_move_iterator(rows.begin()),
+                          std::make_move_iterator(rows.end()));
+        break;
+      case MotionKind::kBroadcast:
+        for (auto& buffer : buffers) {
+          buffer.insert(buffer.end(), rows.begin(), rows.end());
+        }
+        break;
+      case MotionKind::kRedistribute:
+        for (Row& row : rows) {
+          uint64_t h = HashRowColumns(row, hash_pos);
+          buffers[h % static_cast<uint64_t>(num_segments_)].push_back(std::move(row));
+        }
+        break;
+    }
+  }
+  return buffers;
+}
+
+Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segment) {
+  auto it = exchanges_.find(&node);
+  if (it == exchanges_.end()) {
+    // Only possible for a shared Motion subtree revisited in serial mode
+    // (CollectMotions bailed out); register the exchange lazily.
+    MPPDB_CHECK(!parallel_run_);
+    auto exchange = std::make_unique<MotionExchange>();
+    exchange->source_rows.resize(static_cast<size_t>(num_segments_));
+    it = exchanges_.emplace(&node, std::move(exchange)).first;
+  }
+  MotionExchange& exchange = *it->second;
+
+  if (!parallel_run_) {
+    // Serial: the first segment to arrive plays every source's part of the
+    // exchange, then all segments read their buffer.
+    if (!exchange.built) {
+      std::vector<std::vector<Row>> source_rows(static_cast<size_t>(num_segments_));
+      for (int source = 0; source < num_segments_; ++source) {
+        MPPDB_ASSIGN_OR_RETURN(source_rows[static_cast<size_t>(source)],
+                               ExecNode(node.child(0), source));
+        seg_stats_[static_cast<size_t>(source)].rows_moved +=
+            source_rows[static_cast<size_t>(source)].size();
+      }
+      MPPDB_ASSIGN_OR_RETURN(exchange.buffers,
+                             BuildMotionBuffers(node, std::move(source_rows)));
+      exchange.built = true;
+    }
+    return exchange.buffers[static_cast<size_t>(segment)];
+  }
+
+  // Parallel: compute this segment's contribution, then rendezvous with the
+  // other segments like a real interconnect exchange.
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  seg_stats_[static_cast<size_t>(segment)].rows_moved += rows.size();
+  std::unique_lock<std::mutex> lock(exchange.mu);
+  exchange.source_rows[static_cast<size_t>(segment)] = std::move(rows);
+  if (++exchange.arrived == num_segments_) {
+    // Last arriver builds the per-destination buffers exactly once.
+    Result<std::vector<std::vector<Row>>> buffers =
+        BuildMotionBuffers(node, std::move(exchange.source_rows));
+    if (buffers.ok()) {
+      exchange.buffers = std::move(buffers).value();
+    } else {
+      exchange.build_status = buffers.status();
+    }
+    exchange.built = true;
+    lock.unlock();
+    exchange.cv.notify_all();
+  } else {
+    exchange.cv.wait(lock, [this, &exchange]() {
+      return exchange.built || abort_flag_.load(std::memory_order_acquire);
+    });
+    if (!exchange.built) return AbortedStatus();
+    lock.unlock();
+  }
+  // `built` is final: buffers/build_status are immutable from here on, so
+  // lock-free concurrent reads are safe.
+  if (!exchange.build_status.ok()) return exchange.build_status;
+  return exchange.buffers[static_cast<size_t>(segment)];
 }
 
 Result<std::vector<Row>> Executor::ExecInsert(const InsertNode& node, int segment) {
@@ -746,8 +934,13 @@ Result<std::vector<Row>> Executor::ExecInsert(const InsertNode& node, int segmen
     return Status::ExecutionError("no storage for table oid " +
                                   std::to_string(node.table_oid()));
   }
-  for (const Row& row : rows) {
-    MPPDB_RETURN_IF_ERROR(store->Insert(row));
+  {
+    // Single-writer DML rule: input is gathered, so only segment 0 carries
+    // rows; the lock is defense in depth against plans that violate that.
+    std::lock_guard<std::mutex> lock(dml_mu_);
+    for (const Row& row : rows) {
+      MPPDB_RETURN_IF_ERROR(store->Insert(row));
+    }
   }
   if (segment != 0) return std::vector<Row>{};
   return std::vector<Row>{{Datum::Int64(static_cast<int64_t>(rows.size()))}};
@@ -822,10 +1015,14 @@ Result<std::vector<Row>> Executor::ExecUpdate(const UpdateNode& node, int segmen
     }
     to_insert.push_back(std::move(updated));
   }
-  // Delete-then-reinsert handles partition-key changes via f_T routing.
-  ApplyDeletes(store, std::move(to_delete));
-  for (const Row& row : to_insert) {
-    MPPDB_RETURN_IF_ERROR(store->Insert(row));
+  {
+    // Single-writer DML rule (see ExecInsert).
+    std::lock_guard<std::mutex> lock(dml_mu_);
+    // Delete-then-reinsert handles partition-key changes via f_T routing.
+    ApplyDeletes(store, std::move(to_delete));
+    for (const Row& row : to_insert) {
+      MPPDB_RETURN_IF_ERROR(store->Insert(row));
+    }
   }
   if (segment != 0) return std::vector<Row>{};
   return std::vector<Row>{{Datum::Int64(static_cast<int64_t>(rows.size()))}};
@@ -852,7 +1049,11 @@ Result<std::vector<Row>> Executor::ExecDelete(const DeleteNode& node, int segmen
     if (!seen_locators.insert({loc.unit, loc.segment, loc.index}).second) continue;
     to_delete.push_back(loc);
   }
-  ApplyDeletes(store, std::move(to_delete));
+  {
+    // Single-writer DML rule (see ExecInsert).
+    std::lock_guard<std::mutex> lock(dml_mu_);
+    ApplyDeletes(store, std::move(to_delete));
+  }
   if (segment != 0) return std::vector<Row>{};
   return std::vector<Row>{{Datum::Int64(static_cast<int64_t>(rows.size()))}};
 }

@@ -1,13 +1,17 @@
 #ifndef MPPDB_EXEC_EXECUTOR_H_
 #define MPPDB_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "exec/plan.h"
 #include "runtime/propagation.h"
 #include "storage/storage.h"
@@ -29,6 +33,13 @@ struct ExecStats {
   size_t PartitionsScanned(Oid table_oid) const;
   /// Sum over all tables.
   size_t TotalPartitionsScanned() const;
+
+  /// Folds another accumulator in (set-union partitions, sum counters).
+  /// Used to merge per-segment stats after a parallel run; commutative, so
+  /// merge order does not affect the result.
+  void MergeFrom(const ExecStats& other);
+
+  bool operator==(const ExecStats& other) const = default;
 };
 
 /// Executes physical plans against the simulated MPP cluster.
@@ -39,25 +50,94 @@ struct ExecStats {
 /// always completes before the DynamicScan in children[1] starts, on the
 /// same segment, matching the paper's producer/consumer contract.
 ///
+/// Serial vs parallel mode (Options::parallel):
+///  * Serial (the oracle): one thread walks segments 0..S-1 in order. The
+///    first segment to reach a Motion node executes the Motion's child for
+///    every source segment and materializes the per-destination buffers;
+///    later segments read their buffer.
+///  * Parallel: each segment's slice runs on its own worker thread (a
+///    reusable ThreadPool of exactly S workers — Motion nodes are rendezvous
+///    barriers, so fewer workers than segments could deadlock; if
+///    max_workers caps the pool below S, execution falls back to serial).
+///    Motion nodes act like a real interconnect exchange: every segment
+///    executes the Motion's child for itself, deposits its rows at the
+///    node's exchange, and blocks until all S segments have arrived; the
+///    last arriver partitions the rows into per-destination buffers exactly
+///    once. If any segment fails, the executor raises an abort flag and
+///    wakes all barriers so no thread waits forever.
+///    Runtime state is concurrency-safe by construction: the propagation hub
+///    is segment-scoped (each worker owns its segment's channels — enforced
+///    via PartitionPropagationHub::BindOwner), execution counters accumulate
+///    into per-segment ExecStats merged after the join (no contended global
+///    counters on the scan hot path), and storage writes follow the
+///    single-writer DML rule below.
+///    Parallel output is byte-identical to serial output: per-segment
+///    results are joined and concatenated in segment order, and Motion
+///    buffers are assembled in source-segment order.
+///
 /// Simulation conventions (documented deviations from a multi-process MPP):
 ///  * Gather delivers to segment 0 (standing in for the coordinator).
 ///  * Values nodes and scans of kReplicated base tables produce rows on
 ///    segment 0 only; runtime replication is expressed via Broadcast Motion.
 ///  * Scalar aggregates over empty input emit their single row on segment 0.
 ///  * DML nodes expect gathered input and apply changes through the global
-///    TableStore (which re-routes rows to partitions and segments).
+///    TableStore (which re-routes rows to partitions and segments). Because
+///    DML input is gathered, all reads complete at the Gather barrier before
+///    any write applies, and only segment 0 carries rows — the single-writer
+///    rule that keeps TableStore mutation safe in parallel mode (guarded by
+///    a DML mutex as defense in depth).
+///
+/// An Executor is reusable across Execute calls — including after a failed
+/// execution, which leaves zeroed stats and no stale per-run state — but is
+/// not itself thread-safe: run one Execute at a time.
 class Executor {
  public:
+  struct Options {
+    /// Fan segment slices out across a worker pool (see class comment).
+    bool parallel = false;
+    /// Upper bound on pool size; 0 means one worker per segment. Parallel
+    /// execution needs all S segments running concurrently (Motion nodes are
+    /// barriers), so a positive cap below num_segments forces the serial
+    /// fallback.
+    int max_workers = 0;
+  };
+
   Executor(const Catalog* catalog, StorageEngine* storage);
+  Executor(const Catalog* catalog, StorageEngine* storage, Options options);
+  ~Executor();
 
   /// Runs the plan and returns the concatenated root output (for plans with
   /// a Gather root this is exactly the coordinator's result).
   Result<std::vector<Row>> Execute(const PhysPtr& plan);
 
-  /// Stats of the most recent Execute call.
+  /// Stats of the most recent Execute call (zeroed if it failed).
   const ExecStats& stats() const { return stats_; }
 
+  const Options& options() const { return options_; }
+
  private:
+  /// Per-Motion-node exchange state: deposited source rows, the rendezvous
+  /// barrier, and the per-destination buffers built exactly once.
+  struct MotionExchange;
+
+  Result<std::vector<Row>> ExecuteSerial(const PhysPtr& plan);
+  Result<std::vector<Row>> ExecuteParallel(const PhysPtr& plan);
+
+  /// Pre-registers an exchange for every Motion node in the plan. Returns
+  /// false if a Motion node object appears more than once (a shared subtree),
+  /// in which case parallel execution falls back to serial, whose lazy
+  /// exchange handles re-visits.
+  bool CollectMotions(const PhysPtr& node);
+
+  /// Routes per-source rows into per-destination buffers according to the
+  /// Motion kind, in source-segment order (determinism).
+  Result<std::vector<std::vector<Row>>> BuildMotionBuffers(
+      const MotionNode& node, std::vector<std::vector<Row>> source_rows);
+
+  /// Marks the current run failed and wakes every Motion barrier so no
+  /// worker blocks on a segment that will never arrive.
+  void SignalAbort();
+
   Result<std::vector<Row>> ExecNode(const PhysPtr& node, int segment);
 
   Result<std::vector<Row>> ExecTableScan(const TableScanNode& node, int segment);
@@ -80,17 +160,30 @@ class Executor {
   Result<std::vector<Row>> ExecDelete(const DeleteNode& node, int segment);
 
   /// Scans one storage unit on one segment, appending (optionally
-  /// rowid-extended) rows to `out` and recording stats.
+  /// rowid-extended) rows to `out` and recording stats against the segment's
+  /// accumulator.
   void ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid, int segment,
                 bool emit_rowids, std::vector<Row>* out);
 
   const Catalog* catalog_;
   StorageEngine* storage_;
   int num_segments_;
+  Options options_;
   PartitionPropagationHub hub_;
+  /// Merged stats of the last successful Execute.
   ExecStats stats_;
-  /// Motion outputs computed once per node: node -> per-destination buffers.
-  std::unordered_map<const PhysicalNode*, std::vector<std::vector<Row>>> motion_cache_;
+  /// Per-segment accumulators for the run in progress; each is written only
+  /// by the thread executing that segment's slices.
+  std::vector<ExecStats> seg_stats_;
+  /// Exchange state per Motion node, pre-built for the run in progress.
+  std::unordered_map<const PhysicalNode*, std::unique_ptr<MotionExchange>> exchanges_;
+  /// True while the current run is fanned out across workers.
+  bool parallel_run_ = false;
+  std::atomic<bool> abort_flag_{false};
+  /// Defense in depth for the single-writer DML rule (see class comment).
+  std::mutex dml_mu_;
+  /// Lazily-created pool of num_segments_ workers, reused across runs.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace mppdb

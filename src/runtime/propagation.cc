@@ -4,32 +4,56 @@
 
 namespace mppdb {
 
+PartitionPropagationHub::SegmentChannels& PartitionPropagationHub::CheckedSegment(
+    int segment) {
+  MPPDB_CHECK(segment >= 0 && static_cast<size_t>(segment) < segments_.size());
+  SegmentChannels& channels = segments_[static_cast<size_t>(segment)];
+  // Enforce the segment-scoped ownership contract (see header): an unbound
+  // segment accepts any thread; a bound one only its owner.
+  std::thread::id owner = channels.owner.load(std::memory_order_relaxed);
+  MPPDB_CHECK(owner == std::thread::id() || owner == std::this_thread::get_id());
+  return channels;
+}
+
+const PartitionPropagationHub::SegmentChannels& PartitionPropagationHub::CheckedSegment(
+    int segment) const {
+  return const_cast<PartitionPropagationHub*>(this)->CheckedSegment(segment);
+}
+
+void PartitionPropagationHub::BindOwner(int segment) {
+  MPPDB_CHECK(segment >= 0 && static_cast<size_t>(segment) < segments_.size());
+  segments_[static_cast<size_t>(segment)].owner.store(std::this_thread::get_id(),
+                                                      std::memory_order_relaxed);
+}
+
 void PartitionPropagationHub::Push(int segment, int scan_id, Oid oid) {
-  MPPDB_CHECK(segment >= 0 && static_cast<size_t>(segment) < channels_.size());
-  Channel& channel = channels_[static_cast<size_t>(segment)][scan_id];
+  Channel& channel = CheckedSegment(segment).map[scan_id];
   if (channel.seen.insert(oid).second) {
     channel.ordered.push_back(oid);
   }
 }
 
 void PartitionPropagationHub::OpenChannel(int segment, int scan_id) {
-  MPPDB_CHECK(segment >= 0 && static_cast<size_t>(segment) < channels_.size());
-  channels_[static_cast<size_t>(segment)][scan_id];  // default-construct
+  CheckedSegment(segment).map[scan_id];  // default-construct
 }
 
 bool PartitionPropagationHub::HasChannel(int segment, int scan_id) const {
-  MPPDB_CHECK(segment >= 0 && static_cast<size_t>(segment) < channels_.size());
-  return channels_[static_cast<size_t>(segment)].count(scan_id) > 0;
+  return CheckedSegment(segment).map.count(scan_id) > 0;
 }
 
 const std::vector<Oid>& PartitionPropagationHub::Selected(int segment,
                                                           int scan_id) const {
-  MPPDB_CHECK(HasChannel(segment, scan_id));
-  return channels_[static_cast<size_t>(segment)].at(scan_id).ordered;
+  const SegmentChannels& channels = CheckedSegment(segment);
+  auto it = channels.map.find(scan_id);
+  MPPDB_CHECK(it != channels.map.end());
+  return it->second.ordered;
 }
 
 void PartitionPropagationHub::Reset() {
-  for (auto& segment : channels_) segment.clear();
+  for (SegmentChannels& segment : segments_) {
+    segment.map.clear();
+    segment.owner.store(std::thread::id(), std::memory_order_relaxed);
+  }
 }
 
 }  // namespace mppdb

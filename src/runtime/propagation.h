@@ -1,6 +1,8 @@
 #ifndef MPPDB_RUNTIME_PROPAGATION_H_
 #define MPPDB_RUNTIME_PROPAGATION_H_
 
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -14,10 +16,24 @@ namespace mppdb {
 /// partition_propagation built-in of Table 1). In a real MPP system this is
 /// segment-process shared memory, which is why the optimizer forbids Motion
 /// between the pair; here it is scoped per simulated segment.
+///
+/// Thread safety: channels are segment-scoped and lock-free. The outer
+/// per-segment vector is sized once at construction, and the contract — which
+/// makes concurrent slice execution safe without locks — is that all accesses
+/// for a given segment come from the one thread currently executing that
+/// segment's slices. The parallel executor registers that thread via
+/// BindOwner at slice start, and every access checks it (a violated contract
+/// is a data race, so it aborts rather than limping on). Reset and BindOwner
+/// are the only cross-segment calls; both happen while no slices run.
 class PartitionPropagationHub {
  public:
   explicit PartitionPropagationHub(int num_segments)
-      : channels_(static_cast<size_t>(num_segments)) {}
+      : segments_(static_cast<size_t>(num_segments)) {}
+
+  /// Declares `this_thread` the unique owner of `segment`'s channels until
+  /// the next Reset/BindOwner. Must not be called while the segment's slices
+  /// are executing on another thread.
+  void BindOwner(int segment);
 
   /// Pushes one selected partition OID for (segment, scan_id). Duplicate
   /// pushes (e.g. one per joining tuple) are deduplicated; first-push order
@@ -34,6 +50,8 @@ class PartitionPropagationHub {
   /// Selected OIDs in first-push order. Channel must exist.
   const std::vector<Oid>& Selected(int segment, int scan_id) const;
 
+  /// Clears all channels and owner bindings. Single-threaded: callers must
+  /// ensure no slice is executing.
   void Reset();
 
  private:
@@ -41,7 +59,17 @@ class PartitionPropagationHub {
     std::vector<Oid> ordered;
     std::unordered_set<Oid> seen;
   };
-  std::vector<std::unordered_map<int, Channel>> channels_;  // per segment
+  struct SegmentChannels {
+    std::unordered_map<int, Channel> map;
+    /// Owning thread; default (no thread) means unbound — any thread may
+    /// claim by access in serial mode, where BindOwner is still called.
+    std::atomic<std::thread::id> owner{std::thread::id()};
+  };
+
+  SegmentChannels& CheckedSegment(int segment);
+  const SegmentChannels& CheckedSegment(int segment) const;
+
+  std::vector<SegmentChannels> segments_;
 };
 
 }  // namespace mppdb

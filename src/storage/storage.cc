@@ -98,14 +98,19 @@ Status TableStore::CreateIndex(int column) {
   if (column < 0 || static_cast<size_t>(column) >= desc_->schema.size()) {
     return Status::InvalidArgument("index column out of range for " + desc_->name);
   }
+  std::lock_guard<std::mutex> lock(index_mu_);
   indexes_[column];  // default-construct per-unit maps lazily
   return Status::OK();
 }
 
-bool TableStore::HasIndex(int column) const { return indexes_.count(column) > 0; }
+bool TableStore::HasIndex(int column) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return indexes_.count(column) > 0;
+}
 
-const std::vector<size_t>& TableStore::IndexLookup(Oid unit_oid, int segment,
-                                                   int column, const Datum& key) {
+std::vector<size_t> TableStore::IndexLookup(Oid unit_oid, int segment, int column,
+                                            const Datum& key) {
+  std::lock_guard<std::mutex> lock(index_mu_);
   auto index_it = indexes_.find(column);
   MPPDB_CHECK(index_it != indexes_.end());
   auto& per_unit = index_it->second;
@@ -138,17 +143,17 @@ const std::vector<size_t>& TableStore::IndexLookup(Oid unit_oid, int segment,
     index.built_version = current_version;
   }
 
-  lookup_scratch_.clear();
-  if (key.is_null()) return lookup_scratch_;  // NULL keys never match
+  std::vector<size_t> positions;
+  if (key.is_null()) return positions;  // NULL keys never match
   auto lower = std::lower_bound(index.entries.begin(), index.entries.end(), key,
                                 [](const auto& entry, const Datum& probe) {
                                   return Datum::Compare(entry.first, probe) < 0;
                                 });
   for (auto it = lower;
        it != index.entries.end() && Datum::Compare(it->first, key) == 0; ++it) {
-    lookup_scratch_.push_back(it->second);
+    positions.push_back(it->second);
   }
-  return lookup_scratch_;
+  return positions;
 }
 
 std::vector<Oid> TableStore::UnitOids() const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,16 @@ struct UnitIndex {
 /// Mirrors GPDB's layout (paper §3.2): each leaf partition is its own
 /// physical storage unit, sliced across segments by the table's distribution.
 /// Unpartitioned tables have a single unit keyed by the table OID itself.
+///
+/// Thread safety (audited for the parallel executor): the const read paths —
+/// UnitRows, HasUnit, UnitOids, TotalRows, UnitTotalRows, descriptor — touch
+/// only the units_ map, whose shape is fixed at construction, so any number
+/// of threads may read concurrently as long as no writer is active. Writers
+/// (Insert, InsertBatch, MutableUnitRows) follow the executor's single-writer
+/// DML rule: all reads complete at the Gather barrier before DML applies, and
+/// only one thread applies it. The index path (CreateIndex, HasIndex,
+/// IndexLookup) builds lazily and therefore mutates under concurrent readers;
+/// it is internally serialized by index_mu_.
 class TableStore {
  public:
   TableStore(const TableDescriptor* desc, int num_segments);
@@ -42,6 +53,7 @@ class TableStore {
 
   /// Rows of one storage unit on one segment. `unit_oid` must be a leaf
   /// partition OID (partitioned) or the table OID (unpartitioned).
+  /// Safe for concurrent readers (no writer active).
   const std::vector<Row>& UnitRows(Oid unit_oid, int segment) const;
   std::vector<Row>* MutableUnitRows(Oid unit_oid, int segment);
 
@@ -56,13 +68,16 @@ class TableStore {
   /// Declares an index on a schema column. Indexes build lazily per
   /// (unit, segment) at first lookup and rebuild automatically after the
   /// slice mutates (inserts or in-place DML edits bump a version counter).
+  /// Safe to call concurrently (idempotent, serialized on index_mu_).
   Status CreateIndex(int column);
   bool HasIndex(int column) const;
 
   /// Equality seek: positions (into UnitRows(unit_oid, segment)) of rows
-  /// whose `column` value equals `key`. The index must exist.
-  const std::vector<size_t>& IndexLookup(Oid unit_oid, int segment, int column,
-                                         const Datum& key);
+  /// whose `column` value equals `key`. The index must exist. Safe for
+  /// concurrent callers: lazy (re)builds are serialized on index_mu_ and the
+  /// result is returned by value.
+  std::vector<size_t> IndexLookup(Oid unit_oid, int segment, int column,
+                                  const Datum& key);
 
  private:
   int SegmentForRow(const Row& row);
@@ -75,10 +90,11 @@ class TableStore {
   std::unordered_map<Oid, std::vector<std::vector<Row>>> units_;
   /// Mutation counters, aligned with units_ ((unit, segment) granularity).
   std::unordered_map<Oid, std::vector<uint64_t>> versions_;
+  /// Serializes the lazily-built index structures below, which concurrent
+  /// read-only queries mutate as a side effect.
+  mutable std::mutex index_mu_;
   /// column -> unit oid -> per-segment index.
   std::map<int, std::unordered_map<Oid, std::vector<UnitIndex>>> indexes_;
-  /// Scratch result for IndexLookup (single-threaded executor).
-  std::vector<size_t> lookup_scratch_;
 };
 
 /// Owns the TableStores of all tables in a catalog-backed database instance.
