@@ -104,6 +104,67 @@ void BM_OptimizeStarJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizeStarJoin);
 
+// Row-at-a-time vs vectorized filter-over-scan at the selectivity given by
+// state.range(0) (percent). One shared database; the two benchmarks differ
+// only in Executor::Options::vectorized.
+Database* FilterBenchDb() {
+  static Database* db = [] {
+    auto* database = new Database(4);
+    MPPDB_CHECK(database
+                    ->CreateTable("bm_filter",
+                                  Schema({{"k", TypeId::kInt64},
+                                          {"u", TypeId::kInt64}}),
+                                  TableDistribution::kHashed, {0})
+                    .ok());
+    Random rng(5);
+    std::vector<Row> rows;
+    rows.reserve(50000);
+    for (int64_t i = 0; i < 50000; ++i) {
+      rows.push_back({Datum::Int64(i), Datum::Int64(rng.UniformRange(0, 99))});
+    }
+    MPPDB_CHECK(database->Load("bm_filter", rows).ok());
+    return database;
+  }();
+  return db;
+}
+
+PhysPtr FilterBenchPlan(Database* db, int64_t threshold) {
+  const TableDescriptor* t = db->catalog().FindTable("bm_filter");
+  auto scan = std::make_shared<TableScanNode>(t->oid, t->oid,
+                                              std::vector<ColRefId>{1, 2});
+  ExprPtr pred = MakeComparison(CompareOp::kLt,
+                                MakeColumnRef(2, "u", TypeId::kInt64),
+                                MakeConst(Datum::Int64(threshold)));
+  auto filter = std::make_shared<FilterNode>(pred, scan);
+  return std::make_shared<MotionNode>(MotionKind::kGather, std::vector<ColRefId>{},
+                                      filter);
+}
+
+void BM_FilterScanRow(benchmark::State& state) {
+  Database* db = FilterBenchDb();
+  PhysPtr plan = FilterBenchPlan(db, state.range(0));
+  Executor exec(&db->catalog(), &db->storage());
+  for (auto _ : state) {
+    auto result = exec.Execute(plan);
+    MPPDB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FilterScanRow)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_FilterScanVectorized(benchmark::State& state) {
+  Database* db = FilterBenchDb();
+  PhysPtr plan = FilterBenchPlan(db, state.range(0));
+  Executor exec(&db->catalog(), &db->storage(),
+                Executor::Options{.vectorized = true});
+  for (auto _ : state) {
+    auto result = exec.Execute(plan);
+    MPPDB_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FilterScanVectorized)->Arg(1)->Arg(10)->Arg(50);
+
 void BM_ExecutePrunedScan(benchmark::State& state) {
   static Database* db = [] {
     auto* database = new Database(4);

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "exec/agg_state.h"
+#include "exec/join_hash.h"
 #include "expr/constraint_derivation.h"
 #include "runtime/partition_functions.h"
 
@@ -160,6 +162,11 @@ Result<std::vector<Row>> Executor::ExecuteParallel(const PhysPtr& plan) {
     }
   }
   std::vector<Row> result;
+  size_t total_rows = 0;
+  for (const auto& seg_result : seg_results) {
+    if (seg_result.ok()) total_rows += seg_result.value().size();
+  }
+  result.reserve(total_rows);
   for (auto& seg_result : seg_results) {
     if (!seg_result.ok()) return seg_result.status();
     std::vector<Row> rows = std::move(seg_result).value();
@@ -198,16 +205,28 @@ Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
       return out;
     }
     case PhysNodeKind::kFilter:
+      if (options_.vectorized) {
+        return ExecFilterVec(static_cast<const FilterNode&>(*node), segment);
+      }
       return ExecFilter(static_cast<const FilterNode&>(*node), segment);
     case PhysNodeKind::kProject:
+      if (options_.vectorized) {
+        return ExecProjectVec(static_cast<const ProjectNode&>(*node), segment);
+      }
       return ExecProject(static_cast<const ProjectNode&>(*node), segment);
     case PhysNodeKind::kHashJoin:
+      if (options_.vectorized) {
+        return ExecHashJoinVec(static_cast<const HashJoinNode&>(*node), segment);
+      }
       return ExecHashJoin(static_cast<const HashJoinNode&>(*node), segment);
     case PhysNodeKind::kNestedLoopJoin:
       return ExecNestedLoopJoin(static_cast<const NestedLoopJoinNode&>(*node), segment);
     case PhysNodeKind::kIndexNLJoin:
       return ExecIndexNLJoin(static_cast<const IndexNLJoinNode&>(*node), segment);
     case PhysNodeKind::kHashAgg:
+      if (options_.vectorized) {
+        return ExecHashAggVec(static_cast<const HashAggNode&>(*node), segment);
+      }
       return ExecHashAgg(static_cast<const HashAggNode&>(*node), segment);
     case PhysNodeKind::kSort:
       return ExecSort(static_cast<const SortNode&>(*node), segment);
@@ -244,6 +263,7 @@ void Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
     out->insert(out->end(), rows.begin(), rows.end());
     return;
   }
+  out->reserve(out->size() + rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     Row row = rows[i];
     row.push_back(Datum::Int64(unit_oid));
@@ -482,62 +502,6 @@ Result<std::vector<Row>> Executor::ExecProject(const ProjectNode& node, int segm
   return out;
 }
 
-namespace {
-
-// Hash-map key over a subset of row columns.
-struct JoinKey {
-  std::vector<Datum> values;
-
-  bool HasNull() const {
-    for (const auto& v : values) {
-      if (v.is_null()) return true;
-    }
-    return false;
-  }
-
-  bool operator==(const JoinKey& other) const {
-    if (values.size() != other.values.size()) return false;
-    for (size_t i = 0; i < values.size(); ++i) {
-      if (Datum::Compare(values[i], other.values[i]) != 0) return false;
-    }
-    return true;
-  }
-};
-
-struct JoinKeyHash {
-  size_t operator()(const JoinKey& key) const {
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (const auto& v : key.values) {
-      h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-JoinKey ExtractKey(const Row& row, const std::vector<int>& positions) {
-  JoinKey key;
-  key.values.reserve(positions.size());
-  for (int pos : positions) key.values.push_back(row[static_cast<size_t>(pos)]);
-  return key;
-}
-
-Result<std::vector<int>> ResolvePositions(const ColumnLayout& layout,
-                                          const std::vector<ColRefId>& ids) {
-  std::vector<int> positions;
-  positions.reserve(ids.size());
-  for (ColRefId id : ids) {
-    int pos = layout.PositionOf(id);
-    if (pos < 0) {
-      return Status::ExecutionError("column #" + std::to_string(id) +
-                                    " not found in child layout");
-    }
-    positions.push_back(pos);
-  }
-  return positions;
-}
-
-}  // namespace
-
 Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int segment) {
   // children[0] (build) runs to completion first — the property
   // PartitionSelector placement relies on.
@@ -561,6 +525,7 @@ Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int se
 
   ColumnLayout joint_layout = ColumnLayout::Concat(build_layout, probe_layout);
   std::vector<Row> out;
+  out.reserve(probe_rows.size());
   for (const Row& probe : probe_rows) {
     JoinKey key = ExtractKey(probe, probe_pos);
     if (key.HasNull()) continue;
@@ -587,6 +552,33 @@ Result<std::vector<Row>> Executor::ExecNestedLoopJoin(const NestedLoopJoinNode& 
                                                       int segment) {
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> outer_rows, ExecNode(node.child(0), segment));
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> inner_rows, ExecNode(node.child(1), segment));
+  // No pairs, no output — skip the O(n*m) loop entirely. The children have
+  // already run (side effects and stats), and with zero pairs the row path
+  // never evaluates the predicate either, so this is behavior-preserving.
+  if (outer_rows.empty() || inner_rows.empty()) return std::vector<Row>{};
+
+  // Hoist constant-foldable conjuncts out of the per-pair loop. A conjunct
+  // folding to TRUE never changes the conjunction's value and cannot error,
+  // so it is dropped. One folding to FALSE empties the result — but only
+  // when every earlier conjunct was dropped: AND evaluates left to right and
+  // short-circuits on the first false, so with const-true conjuncts before
+  // it no pair can reach (and error in) a later conjunct. A NULL constant
+  // does not short-circuit AND evaluation and is kept as-is.
+  ExprPtr predicate = node.predicate();
+  if (predicate != nullptr) {
+    std::vector<ExprPtr> kept;
+    for (const ExprPtr& conjunct : SplitConjuncts(predicate)) {
+      std::optional<Datum> folded = TryFoldConst(conjunct);
+      if (folded.has_value() && !folded->is_null() &&
+          folded->type() == TypeId::kBool) {
+        if (folded->bool_value()) continue;  // drop const TRUE
+        if (kept.empty()) return std::vector<Row>{};  // leading const FALSE
+      }
+      kept.push_back(conjunct);
+    }
+    predicate = Conj(std::move(kept));
+  }
+
   ColumnLayout joint_layout = ColumnLayout::Concat(node.child(0)->OutputLayout(),
                                                    node.child(1)->OutputLayout());
   std::vector<Row> out;
@@ -596,9 +588,9 @@ Result<std::vector<Row>> Executor::ExecNestedLoopJoin(const NestedLoopJoinNode& 
         Row joined = outer;
         joined.insert(joined.end(), inner.begin(), inner.end());
         bool keep = true;
-        if (node.predicate() != nullptr) {
+        if (predicate != nullptr) {
           MPPDB_ASSIGN_OR_RETURN(keep,
-                                 EvalPredicate(node.predicate(), joint_layout, joined));
+                                 EvalPredicate(predicate, joint_layout, joined));
         }
         if (keep) {
           out.push_back(inner);
@@ -608,14 +600,15 @@ Result<std::vector<Row>> Executor::ExecNestedLoopJoin(const NestedLoopJoinNode& 
     }
     return out;
   }
+  out.reserve(outer_rows.size());
   for (const Row& outer : outer_rows) {
     for (const Row& inner : inner_rows) {
       Row joined = outer;
       joined.insert(joined.end(), inner.begin(), inner.end());
       bool keep = true;
-      if (node.predicate() != nullptr) {
+      if (predicate != nullptr) {
         MPPDB_ASSIGN_OR_RETURN(keep,
-                               EvalPredicate(node.predicate(), joint_layout, joined));
+                               EvalPredicate(predicate, joint_layout, joined));
       }
       if (keep) out.push_back(std::move(joined));
     }
@@ -692,20 +685,6 @@ Result<std::vector<Row>> Executor::ExecIndexNLJoin(const IndexNLJoinNode& node,
   return out;
 }
 
-namespace {
-
-struct AggState {
-  int64_t count = 0;          // non-null inputs (or all rows for count(*))
-  double sum_double = 0;
-  int64_t sum_int = 0;
-  bool saw_double = false;
-  bool saw_value = false;
-  Datum min;
-  Datum max;
-};
-
-}  // namespace
-
 Result<std::vector<Row>> Executor::ExecHashAgg(const HashAggNode& node, int segment) {
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
   ColumnLayout layout = node.child(0)->OutputLayout();
@@ -732,31 +711,7 @@ Result<std::vector<Row>> Executor::ExecHashAgg(const HashAggNode& node, int segm
       }
       MPPDB_ASSIGN_OR_RETURN(Datum v, EvalExpr(agg.arg, layout, row));
       if (v.is_null()) continue;
-      ++state.count;
-      switch (agg.func) {
-        case AggFunc::kSum:
-        case AggFunc::kAvg:
-          if (!IsNumeric(v.type())) {
-            return Status::ExecutionError("sum/avg over a non-numeric value");
-          }
-          if (v.type() == TypeId::kDouble) {
-            state.saw_double = true;
-            state.sum_double += v.double_value();
-          } else {
-            state.sum_int += v.AsInt64();
-            state.sum_double += static_cast<double>(v.AsInt64());
-          }
-          break;
-        case AggFunc::kMin:
-          if (!state.saw_value || Datum::Compare(v, state.min) < 0) state.min = v;
-          break;
-        case AggFunc::kMax:
-          if (!state.saw_value || Datum::Compare(v, state.max) > 0) state.max = v;
-          break;
-        default:
-          break;
-      }
-      state.saw_value = true;
+      MPPDB_RETURN_IF_ERROR(AccumulateAgg(state, agg.func, v));
     }
   }
 
@@ -773,37 +728,7 @@ Result<std::vector<Row>> Executor::ExecHashAgg(const HashAggNode& node, int segm
     const std::vector<AggState>& states = groups.at(key);
     Row row = key.values;
     for (size_t i = 0; i < node.aggs().size(); ++i) {
-      const AggItem& agg = node.aggs()[i];
-      const AggState& state = states[i];
-      switch (agg.func) {
-        case AggFunc::kCount:
-        case AggFunc::kCountStar:
-          row.push_back(Datum::Int64(state.count));
-          break;
-        case AggFunc::kSum:
-          if (state.count == 0) {
-            row.push_back(Datum::Null());
-          } else if (state.saw_double) {
-            row.push_back(Datum::Double(state.sum_double));
-          } else {
-            row.push_back(Datum::Int64(state.sum_int));
-          }
-          break;
-        case AggFunc::kAvg:
-          if (state.count == 0) {
-            row.push_back(Datum::Null());
-          } else {
-            row.push_back(
-                Datum::Double(state.sum_double / static_cast<double>(state.count)));
-          }
-          break;
-        case AggFunc::kMin:
-          row.push_back(state.saw_value ? state.min : Datum::Null());
-          break;
-        case AggFunc::kMax:
-          row.push_back(state.saw_value ? state.max : Datum::Null());
-          break;
-      }
+      row.push_back(FinalizeAgg(states[i], node.aggs()[i].func));
     }
     out.push_back(std::move(row));
   }
@@ -824,15 +749,33 @@ Result<std::vector<Row>> Executor::ExecSort(const SortNode& node, int segment) {
     positions.push_back(pos);
     ascending.push_back(key.ascending);
   }
-  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
-    for (size_t i = 0; i < positions.size(); ++i) {
-      int c = Datum::Compare(a[static_cast<size_t>(positions[i])],
-                             b[static_cast<size_t>(positions[i])]);
+  // Gather the sort keys into one contiguous buffer up front — O(n) key
+  // extractions instead of O(n log n) row indexing inside the comparator —
+  // then stable-sort a permutation and move the rows into place. Stability
+  // makes the permutation identical to sorting the rows directly.
+  const size_t num_keys = positions.size();
+  std::vector<Datum> keys;
+  keys.reserve(rows.size() * num_keys);
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < num_keys; ++i) {
+      keys.push_back(row[static_cast<size_t>(positions[i])]);
+    }
+  }
+  std::vector<uint32_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const Datum* ka = keys.data() + a * num_keys;
+    const Datum* kb = keys.data() + b * num_keys;
+    for (size_t i = 0; i < num_keys; ++i) {
+      int c = Datum::Compare(ka[i], kb[i]);
       if (c != 0) return ascending[i] ? c < 0 : c > 0;
     }
     return false;
   });
-  return rows;
+  std::vector<Row> sorted;
+  sorted.reserve(rows.size());
+  for (uint32_t idx : order) sorted.push_back(std::move(rows[idx]));
+  return sorted;
 }
 
 Result<std::vector<std::vector<Row>>> Executor::BuildMotionBuffers(
@@ -842,6 +785,19 @@ Result<std::vector<std::vector<Row>>> Executor::BuildMotionBuffers(
   std::vector<int> hash_pos;
   if (node.motion_kind() == MotionKind::kRedistribute) {
     MPPDB_ASSIGN_OR_RETURN(hash_pos, ResolvePositions(layout, node.hash_columns()));
+  }
+  size_t total_rows = 0;
+  for (const auto& rows : source_rows) total_rows += rows.size();
+  switch (node.motion_kind()) {
+    case MotionKind::kGather:
+      buffers[0].reserve(total_rows);
+      break;
+    case MotionKind::kBroadcast:
+      for (auto& buffer : buffers) buffer.reserve(total_rows);
+      break;
+    case MotionKind::kRedistribute:
+      // Destination sizes depend on the hash distribution; skip the guess.
+      break;
   }
   // Source-segment order keeps buffer contents identical to serial execution.
   for (auto& rows : source_rows) {

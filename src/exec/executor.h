@@ -100,6 +100,13 @@ class Executor {
     /// barriers), so a positive cap below num_segments forces the serial
     /// fallback.
     int max_workers = 0;
+    /// Run Filter/Project/HashJoin/HashAgg through the batch kernel path
+    /// (src/expr/vector_eval.h) with selection-vector scans and hashed join
+    /// pipelines (src/exec/vectorized.cc). Output rows and ExecStats are
+    /// bit-identical to the row-at-a-time path, which remains the correctness
+    /// oracle; composes with `parallel` (each segment worker runs its own
+    /// kernels).
+    bool vectorized = false;
   };
 
   Executor(const Catalog* catalog, StorageEngine* storage);
@@ -158,6 +165,30 @@ class Executor {
   Result<std::vector<Row>> ExecInsert(const InsertNode& node, int segment);
   Result<std::vector<Row>> ExecUpdate(const UpdateNode& node, int segment);
   Result<std::vector<Row>> ExecDelete(const DeleteNode& node, int segment);
+
+  // --- Vectorized operators (src/exec/vectorized.cc) ------------------------
+  // Selected by Options::vectorized; each produces rows and stats
+  // bit-identical to its row-at-a-time counterpart above.
+
+  /// A Motion-free scan subtree a Filter can fuse with: optional Sequence
+  /// prefixes (PartitionSelectors) followed by TableScan/DynamicScan/
+  /// CheckedPartScan leaves, possibly under an Append.
+  struct ScanFragment;
+
+  /// Matches `node` against the fusable scan-fragment grammar. Returns false
+  /// for shapes the fused path does not cover (`out` may be partially
+  /// filled and must only be used on success).
+  static bool MatchScanFragment(const PhysPtr& node, ScanFragment* out);
+
+  Result<std::vector<Row>> ExecFilterVec(const FilterNode& node, int segment);
+  /// Fused filter-over-scan: evaluates the predicate in chunks directly over
+  /// TableStore::UnitRows slices via a selection vector; rows that fail the
+  /// predicate are never copied.
+  Result<std::vector<Row>> ExecFusedFilterScan(const FilterNode& node,
+                                               const ScanFragment& frag, int segment);
+  Result<std::vector<Row>> ExecProjectVec(const ProjectNode& node, int segment);
+  Result<std::vector<Row>> ExecHashJoinVec(const HashJoinNode& node, int segment);
+  Result<std::vector<Row>> ExecHashAggVec(const HashAggNode& node, int segment);
 
   /// Scans one storage unit on one segment, appending (optionally
   /// rowid-extended) rows to `out` and recording stats against the segment's

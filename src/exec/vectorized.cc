@@ -1,0 +1,447 @@
+// Vectorized execution path (Executor::Options::vectorized).
+//
+// Operators here are drop-in replacements for their row-at-a-time
+// counterparts in executor.cc: same output rows in the same order, same
+// ExecStats, same success/failure behavior. The row path stays the
+// correctness oracle (the pattern PR 1 used for parallel vs serial); the
+// oracle tests in tests/vectorized_exec_test.cc assert bit-identical results
+// across the whole workload suite. The one documented deviation: when several
+// rows of a batch would each raise an error, the batch path may surface a
+// different one of those errors than strict row order would (column-major vs
+// row-major evaluation) — which error wins is unspecified, but ok/not-ok is
+// always identical (see DESIGN.md §6).
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/macros.h"
+#include "exec/agg_state.h"
+#include "exec/executor.h"
+#include "exec/join_hash.h"
+#include "expr/vector_eval.h"
+
+namespace mppdb {
+
+void HashRowKeys(const std::vector<Row>& rows, const std::vector<int>& positions,
+                 std::vector<uint64_t>* hashes, std::vector<uint8_t>* has_null) {
+  hashes->resize(rows.size());
+  has_null->resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    uint64_t h = kKeyHashSeed;
+    uint8_t null_flag = 0;
+    for (int pos : positions) {
+      const Datum& v = rows[i][static_cast<size_t>(pos)];
+      null_flag = static_cast<uint8_t>(null_flag | (v.is_null() ? 1 : 0));
+      h = CombineKeyHash(h, v);
+    }
+    (*hashes)[i] = h;
+    (*has_null)[i] = null_flag;
+  }
+}
+
+namespace {
+
+/// Fills `sel` with the identity selection [base, end).
+void IdentitySel(size_t base, size_t end, SelVec* sel) {
+  sel->clear();
+  for (size_t i = base; i < end; ++i) sel->push_back(static_cast<uint32_t>(i));
+}
+
+}  // namespace
+
+struct Executor::ScanFragment {
+  /// Sequence prefix children (PartitionSelectors feeding DynamicScans),
+  /// executed in order for their side effects before any scanning; their
+  /// outputs are discarded, exactly as SequenceNode does.
+  std::vector<PhysPtr> prefix;
+  /// The scan leaves, in the order the row path would scan them.
+  std::vector<const PhysicalNode*> scans;
+};
+
+bool Executor::MatchScanFragment(const PhysPtr& node, ScanFragment* out) {
+  switch (node->kind()) {
+    case PhysNodeKind::kTableScan:
+      // Rowid-emitting scans synthesize extra columns per row; they stay on
+      // the row path (DML plans, not hot scans).
+      if (!static_cast<const TableScanNode&>(*node).rowid_ids().empty()) return false;
+      out->scans.push_back(node.get());
+      return true;
+    case PhysNodeKind::kDynamicScan:
+      if (!static_cast<const DynamicScanNode&>(*node).rowid_ids().empty()) return false;
+      out->scans.push_back(node.get());
+      return true;
+    case PhysNodeKind::kCheckedPartScan:
+      out->scans.push_back(node.get());
+      return true;
+    case PhysNodeKind::kSequence: {
+      if (node->children().empty()) return false;
+      for (size_t i = 0; i + 1 < node->children().size(); ++i) {
+        out->prefix.push_back(node->child(i));
+      }
+      return MatchScanFragment(node->children().back(), out);
+    }
+    case PhysNodeKind::kAppend: {
+      for (const PhysPtr& child : node->children()) {
+        if (!MatchScanFragment(child, out)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+Result<std::vector<Row>> Executor::ExecFilterVec(const FilterNode& node, int segment) {
+  ScanFragment frag;
+  if (MatchScanFragment(node.child(0), &frag)) {
+    return ExecFusedFilterScan(node, frag, segment);
+  }
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  KernelProgram program = KernelProgram::Compile(node.predicate(), layout);
+  KernelContext ctx;
+  ctx.Prepare(program, KernelContext::kDefaultChunkRows);
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  SelVec sel, keep;
+  for (size_t base = 0; base < rows.size(); base += ctx.chunk_capacity()) {
+    size_t end = std::min(rows.size(), base + ctx.chunk_capacity());
+    IdentitySel(base, end, &sel);
+    MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
+    for (uint32_t r : keep) out.push_back(std::move(rows[r]));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
+                                                       const ScanFragment& frag,
+                                                       int segment) {
+  for (const PhysPtr& prefix : frag.prefix) {
+    MPPDB_ASSIGN_OR_RETURN(std::vector<Row> discarded, ExecNode(prefix, segment));
+    (void)discarded;
+  }
+
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  KernelProgram program = KernelProgram::Compile(node.predicate(), layout);
+  KernelContext ctx;
+  ctx.Prepare(program, KernelContext::kDefaultChunkRows);
+  std::vector<Row> out;
+  SelVec sel, keep;
+
+  // Evaluates the predicate in chunks directly over the storage slice and
+  // copies only the surviving rows — filtered-out tuples are never
+  // materialized. Stats are recorded exactly as ScanUnit would.
+  auto scan_unit_filtered = [&](const TableStore& store, Oid table_oid,
+                                Oid unit_oid) -> Status {
+    const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
+    ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+    stats.partitions_scanned[table_oid].insert(unit_oid);
+    stats.tuples_scanned += rows.size();
+    for (size_t base = 0; base < rows.size(); base += ctx.chunk_capacity()) {
+      size_t end = std::min(rows.size(), base + ctx.chunk_capacity());
+      IdentitySel(base, end, &sel);
+      MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
+      for (uint32_t r : keep) out.push_back(rows[r]);
+    }
+    return Status::OK();
+  };
+
+  for (const PhysicalNode* scan : frag.scans) {
+    switch (scan->kind()) {
+      case PhysNodeKind::kTableScan: {
+        const auto& ts = static_cast<const TableScanNode&>(*scan);
+        const TableStore* store = storage_->GetStore(ts.table_oid());
+        if (store == nullptr) {
+          return Status::ExecutionError("no storage for table oid " +
+                                        std::to_string(ts.table_oid()));
+        }
+        if (store->descriptor().distribution == TableDistribution::kReplicated &&
+            segment != 0) {
+          break;
+        }
+        MPPDB_RETURN_IF_ERROR(scan_unit_filtered(*store, ts.table_oid(), ts.unit_oid()));
+        break;
+      }
+      case PhysNodeKind::kCheckedPartScan: {
+        const auto& cs = static_cast<const CheckedPartScanNode&>(*scan);
+        const TableStore* store = storage_->GetStore(cs.table_oid());
+        if (store == nullptr) {
+          return Status::ExecutionError("no storage for table oid " +
+                                        std::to_string(cs.table_oid()));
+        }
+        if (!hub_.HasChannel(segment, cs.scan_id())) {
+          return Status::ExecutionError(
+              "CheckedPartScan: no partition parameter for scan id " +
+              std::to_string(cs.scan_id()));
+        }
+        const std::vector<Oid>& selected = hub_.Selected(segment, cs.scan_id());
+        if (std::find(selected.begin(), selected.end(), cs.leaf_oid()) !=
+            selected.end()) {
+          MPPDB_RETURN_IF_ERROR(scan_unit_filtered(*store, cs.table_oid(), cs.leaf_oid()));
+        }
+        break;
+      }
+      case PhysNodeKind::kDynamicScan: {
+        const auto& ds = static_cast<const DynamicScanNode&>(*scan);
+        const TableStore* store = storage_->GetStore(ds.table_oid());
+        if (store == nullptr) {
+          return Status::ExecutionError("no storage for table oid " +
+                                        std::to_string(ds.table_oid()));
+        }
+        if (!hub_.HasChannel(segment, ds.scan_id())) {
+          return Status::ExecutionError(
+              "DynamicScan executed before its PartitionSelector (scan id " +
+              std::to_string(ds.scan_id()) + ", segment " + std::to_string(segment) +
+              ")");
+        }
+        if (store->descriptor().distribution == TableDistribution::kReplicated &&
+            segment != 0) {
+          break;
+        }
+        for (Oid oid : hub_.Selected(segment, ds.scan_id())) {
+          if (!store->HasUnit(oid)) {
+            return Status::ExecutionError("selected partition oid " +
+                                          std::to_string(oid) +
+                                          " is not a leaf of table " +
+                                          std::to_string(ds.table_oid()));
+          }
+          MPPDB_RETURN_IF_ERROR(scan_unit_filtered(*store, ds.table_oid(), oid));
+        }
+        break;
+      }
+      default:
+        return Status::Internal("unexpected scan kind in fused filter fragment");
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecProjectVec(const ProjectNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  const size_t num_items = node.items().size();
+  std::vector<KernelProgram> programs;
+  programs.reserve(num_items);
+  std::vector<KernelContext> ctxs(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    programs.push_back(KernelProgram::Compile(node.items()[i].expr, layout));
+    ctxs[i].Prepare(programs[i], KernelContext::kDefaultChunkRows);
+  }
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  SelVec sel;
+  const size_t chunk = KernelContext::kDefaultChunkRows;
+  for (size_t base = 0; base < rows.size(); base += chunk) {
+    size_t end = std::min(rows.size(), base + chunk);
+    IdentitySel(base, end, &sel);
+    for (size_t i = 0; i < num_items; ++i) {
+      MPPDB_RETURN_IF_ERROR(EvalExprBatch(programs[i], &ctxs[i], rows, base, sel));
+    }
+    for (uint32_t r : sel) {
+      Row projected;
+      projected.reserve(num_items);
+      for (size_t i = 0; i < num_items; ++i) {
+        // Moving out of the slot is safe: every kernel rewrites all selected
+        // positions on the next chunk before they are read again.
+        projected.push_back(std::move(ctxs[i].slot(programs[i].root())[r - base]));
+      }
+      out.push_back(std::move(projected));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
+                                                   int segment) {
+  // children[0] (build) runs to completion first — the property
+  // PartitionSelector placement relies on.
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> build_rows, ExecNode(node.child(0), segment));
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> probe_rows, ExecNode(node.child(1), segment));
+
+  ColumnLayout build_layout = node.child(0)->OutputLayout();
+  ColumnLayout probe_layout = node.child(1)->OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> build_pos,
+                         ResolvePositions(build_layout, node.build_keys()));
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> probe_pos,
+                         ResolvePositions(probe_layout, node.probe_keys()));
+
+  // Vectorized key passes: one tight loop per side computes every key's
+  // 64-bit hash and null flag up front. The hash table then stores only
+  // (hash, row pointer) — no JoinKey datum copies — and its equality check
+  // rejects almost every bucket collision with a single integer compare.
+  // The hash codes and equality verdicts are identical to the row path's
+  // JoinKey table (see join_hash.h), and with the same reserve and insertion
+  // sequence the bucket layout — and hence equal_range order and output row
+  // order — matches bit for bit.
+  std::vector<uint64_t> build_hashes, probe_hashes;
+  std::vector<uint8_t> build_null, probe_null;
+  HashRowKeys(build_rows, build_pos, &build_hashes, &build_null);
+  HashRowKeys(probe_rows, probe_pos, &probe_hashes, &probe_null);
+
+  std::unordered_multiset<RowKeyRef, RowKeyRefHash, RowKeyRefEq> table;
+  table.reserve(build_rows.size());
+  for (size_t i = 0; i < build_rows.size(); ++i) {
+    if (build_null[i]) continue;  // NULL keys never join
+    table.insert(RowKeyRef{build_hashes[i], &build_rows[i], &build_pos});
+  }
+
+  const bool semi = node.join_type() == JoinType::kSemi;
+  std::vector<Row> out;
+  out.reserve(probe_rows.size());
+
+  auto join_pair = [](const Row& build, const Row& probe) {
+    Row joined;
+    joined.reserve(build.size() + probe.size());
+    joined.insert(joined.end(), build.begin(), build.end());
+    joined.insert(joined.end(), probe.begin(), probe.end());
+    return joined;
+  };
+
+  if (node.residual() == nullptr) {
+    for (size_t p = 0; p < probe_rows.size(); ++p) {
+      if (probe_null[p]) continue;
+      auto [begin, end] =
+          table.equal_range(RowKeyRef{probe_hashes[p], &probe_rows[p], &probe_pos});
+      if (semi) {
+        if (begin != end) out.push_back(probe_rows[p]);
+        continue;
+      }
+      for (auto it = begin; it != end; ++it) {
+        out.push_back(join_pair(*it->row, probe_rows[p]));
+      }
+    }
+    return out;
+  }
+
+  ColumnLayout joint_layout = ColumnLayout::Concat(build_layout, probe_layout);
+  KernelProgram residual = KernelProgram::Compile(node.residual(), joint_layout);
+  KernelContext ctx;
+
+  if (semi) {
+    // Semi join stops evaluating the residual at the first keeping match —
+    // later candidates must not be evaluated (they could error), so the
+    // kernel runs one candidate at a time.
+    ctx.Prepare(residual, 1);
+    std::vector<Row> candidate(1);
+    const SelVec kOne{0};
+    SelVec keep;
+    for (size_t p = 0; p < probe_rows.size(); ++p) {
+      if (probe_null[p]) continue;
+      auto [begin, end] =
+          table.equal_range(RowKeyRef{probe_hashes[p], &probe_rows[p], &probe_pos});
+      for (auto it = begin; it != end; ++it) {
+        candidate[0] = join_pair(*it->row, probe_rows[p]);
+        MPPDB_RETURN_IF_ERROR(
+            EvalPredicateBatch(residual, &ctx, candidate, 0, kOne, &keep));
+        if (!keep.empty()) {
+          out.push_back(probe_rows[p]);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Inner join with residual: batch the joined candidates and evaluate the
+  // residual kernel over each full chunk, keeping survivors in order.
+  ctx.Prepare(residual, KernelContext::kDefaultChunkRows);
+  std::vector<Row> pending;
+  pending.reserve(ctx.chunk_capacity());
+  SelVec sel, keep;
+  auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    IdentitySel(0, pending.size(), &sel);
+    MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(residual, &ctx, pending, 0, sel, &keep));
+    for (uint32_t r : keep) out.push_back(std::move(pending[r]));
+    pending.clear();
+    return Status::OK();
+  };
+  for (size_t p = 0; p < probe_rows.size(); ++p) {
+    if (probe_null[p]) continue;
+    auto [begin, end] =
+        table.equal_range(RowKeyRef{probe_hashes[p], &probe_rows[p], &probe_pos});
+    for (auto it = begin; it != end; ++it) {
+      pending.push_back(join_pair(*it->row, probe_rows[p]));
+      if (pending.size() == ctx.chunk_capacity()) MPPDB_RETURN_IF_ERROR(flush());
+    }
+  }
+  MPPDB_RETURN_IF_ERROR(flush());
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecHashAggVec(const HashAggNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<int> group_pos,
+                         ResolvePositions(layout, node.group_by()));
+
+  // One kernel per aggregate argument, evaluated chunk-at-a-time; count(*)
+  // has no argument.
+  const size_t num_aggs = node.aggs().size();
+  std::vector<std::optional<KernelProgram>> programs(num_aggs);
+  std::vector<KernelContext> ctxs(num_aggs);
+  for (size_t i = 0; i < num_aggs; ++i) {
+    if (node.aggs()[i].func == AggFunc::kCountStar) continue;
+    programs[i] = KernelProgram::Compile(node.aggs()[i].arg, layout);
+    ctxs[i].Prepare(*programs[i], KernelContext::kDefaultChunkRows);
+  }
+
+  // Grouping mirrors the row path exactly: same JoinKey map, same insertion
+  // order, same accumulation code (AccumulateAgg) in the same row order.
+  std::unordered_map<JoinKey, std::vector<AggState>, JoinKeyHash> groups;
+  std::vector<JoinKey> group_order;
+  SelVec sel;
+  const size_t chunk = KernelContext::kDefaultChunkRows;
+  for (size_t base = 0; base < rows.size(); base += chunk) {
+    size_t end = std::min(rows.size(), base + chunk);
+    IdentitySel(base, end, &sel);
+    for (size_t i = 0; i < num_aggs; ++i) {
+      if (!programs[i].has_value()) continue;
+      MPPDB_RETURN_IF_ERROR(EvalExprBatch(*programs[i], &ctxs[i], rows, base, sel));
+    }
+    for (uint32_t r : sel) {
+      const Row& row = rows[r];
+      JoinKey key = ExtractKey(row, group_pos);
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(key, std::vector<AggState>(num_aggs)).first;
+        group_order.push_back(key);
+      }
+      std::vector<AggState>& states = it->second;
+      for (size_t i = 0; i < num_aggs; ++i) {
+        AggState& state = states[i];
+        if (node.aggs()[i].func == AggFunc::kCountStar) {
+          ++state.count;
+          continue;
+        }
+        const Datum& v = ctxs[i].slot(programs[i]->root())[r - base];
+        if (v.is_null()) continue;
+        MPPDB_RETURN_IF_ERROR(AccumulateAgg(state, node.aggs()[i].func, v));
+      }
+    }
+  }
+
+  // Scalar aggregate over empty input still has one (empty-keyed) group —
+  // emitted on segment 0 only (see executor.h).
+  if (node.group_by().empty() && group_order.empty() && segment == 0) {
+    groups.emplace(JoinKey{}, std::vector<AggState>(num_aggs));
+    group_order.push_back(JoinKey{});
+  }
+
+  std::vector<Row> out;
+  out.reserve(group_order.size());
+  for (const JoinKey& key : group_order) {
+    const std::vector<AggState>& states = groups.at(key);
+    Row row = key.values;
+    for (size_t i = 0; i < num_aggs; ++i) {
+      row.push_back(FinalizeAgg(states[i], node.aggs()[i].func));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mppdb

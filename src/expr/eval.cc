@@ -21,11 +21,7 @@ ColumnLayout ColumnLayout::Concat(const ColumnLayout& left, const ColumnLayout& 
   return ColumnLayout(std::move(ids));
 }
 
-namespace {
-
-// True if the two non-null datums belong to the same comparison family
-// (numeric/date, string, or bool).
-bool Comparable(const Datum& a, const Datum& b) {
+bool DatumsComparable(const Datum& a, const Datum& b) {
   auto family = [](TypeId t) {
     if (t == TypeId::kString) return 0;
     if (t == TypeId::kBool) return 1;
@@ -33,6 +29,10 @@ bool Comparable(const Datum& a, const Datum& b) {
   };
   return family(a.type()) == family(b.type());
 }
+
+namespace {
+
+bool Comparable(const Datum& a, const Datum& b) { return DatumsComparable(a, b); }
 
 Result<Datum> EvalComparison(const ComparisonExpr& cmp, const ColumnLayout& layout,
                              const Row& row) {

@@ -47,6 +47,11 @@ Result<bool> EvalPredicate(const ExprPtr& expr, const ColumnLayout& layout,
 /// nullopt if it references columns or evaluation fails.
 std::optional<Datum> TryFoldConst(const ExprPtr& expr);
 
+/// True if the two non-null datums belong to the same comparison family
+/// (numeric/date, string, or bool). Shared by the row-at-a-time and batch
+/// evaluators so comparison-mismatch errors stay identical across paths.
+bool DatumsComparable(const Datum& a, const Datum& b);
+
 }  // namespace mppdb
 
 #endif  // MPPDB_EXPR_EVAL_H_

@@ -1,0 +1,434 @@
+#include "expr/vector_eval.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace mppdb {
+
+// --- Compilation -------------------------------------------------------------
+
+/// Recursive tree flattener. Children are emitted before their parent, so the
+/// instruction array is in postfix order and the root is the last instruction.
+class KernelCompiler {
+ public:
+  KernelCompiler(const ColumnLayout& layout, KernelProgram* out)
+      : layout_(layout), out_(out) {}
+
+  int CompileNode(const ExprPtr& expr) {
+    MPPDB_CHECK(expr != nullptr);
+    switch (expr->kind()) {
+      case ExprKind::kConst: {
+        KernelInstr instr;
+        instr.op = KernelOp::kLoadConst;
+        instr.arg = AddConst(static_cast<const ConstExpr&>(*expr).value());
+        return Emit(std::move(instr));
+      }
+      case ExprKind::kColumnRef: {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*expr);
+        int pos = layout_.PositionOf(ref.id());
+        if (pos < 0) {
+          return EmitError("column " + ref.ToString() + " not found in row layout");
+        }
+        KernelInstr instr;
+        instr.op = KernelOp::kLoadColumn;
+        instr.arg = pos;
+        return Emit(std::move(instr));
+      }
+      case ExprKind::kParam:
+        return EmitError("unbound parameter " + expr->ToString());
+      case ExprKind::kAggCall:
+        return EmitError("aggregate call evaluated outside an aggregation operator");
+      case ExprKind::kComparison: {
+        ValueSource lhs = CompileOperand(expr->child(0));
+        ValueSource rhs = CompileOperand(expr->child(1));
+        KernelInstr instr;
+        instr.op = KernelOp::kCompare;
+        instr.arg = static_cast<int>(static_cast<const ComparisonExpr&>(*expr).op());
+        instr.lhs = lhs;
+        instr.rhs = rhs;
+        return Emit(std::move(instr));
+      }
+      case ExprKind::kArith: {
+        ValueSource lhs = CompileOperand(expr->child(0));
+        ValueSource rhs = CompileOperand(expr->child(1));
+        KernelInstr instr;
+        instr.op = KernelOp::kArith;
+        instr.arg = static_cast<int>(static_cast<const ArithExpr&>(*expr).op());
+        instr.lhs = lhs;
+        instr.rhs = rhs;
+        return Emit(std::move(instr));
+      }
+      case ExprKind::kAnd:
+        return EmitVariadic(KernelOp::kAnd, expr->children());
+      case ExprKind::kOr:
+        return EmitVariadic(KernelOp::kOr, expr->children());
+      case ExprKind::kNot:
+        return EmitVariadic(KernelOp::kNot, expr->children());
+      case ExprKind::kIsNull:
+        return EmitVariadic(KernelOp::kIsNull, expr->children());
+      case ExprKind::kInList:
+        return EmitVariadic(KernelOp::kInList, expr->children());
+    }
+    return EmitError("unreachable expression kind");
+  }
+
+ private:
+  ValueSource CompileOperand(const ExprPtr& expr) {
+    MPPDB_CHECK(expr != nullptr);
+    // Leaf fusion: constants and resolvable column refs are read in place by
+    // the parent instruction instead of being materialized into a slot.
+    if (expr->kind() == ExprKind::kConst) {
+      return ValueSource{ValueSource::Kind::kConst,
+                         AddConst(static_cast<const ConstExpr&>(*expr).value())};
+    }
+    if (expr->kind() == ExprKind::kColumnRef) {
+      int pos = layout_.PositionOf(static_cast<const ColumnRefExpr&>(*expr).id());
+      if (pos >= 0) return ValueSource{ValueSource::Kind::kColumn, pos};
+    }
+    return ValueSource{ValueSource::Kind::kSlot, CompileNode(expr)};
+  }
+
+  int EmitVariadic(KernelOp op, const std::vector<ExprPtr>& children) {
+    std::vector<ValueSource> operands;
+    operands.reserve(children.size());
+    for (const auto& child : children) operands.push_back(CompileOperand(child));
+    KernelInstr instr;
+    instr.op = op;
+    instr.operands = std::move(operands);
+    return Emit(std::move(instr));
+  }
+
+  int EmitError(std::string message) {
+    KernelInstr instr;
+    instr.op = KernelOp::kError;
+    instr.error = std::move(message);
+    return Emit(std::move(instr));
+  }
+
+  int Emit(KernelInstr instr) {
+    out_->instrs_.push_back(std::move(instr));
+    return static_cast<int>(out_->instrs_.size()) - 1;
+  }
+
+  int AddConst(Datum value) {
+    out_->consts_.push_back(std::move(value));
+    return static_cast<int>(out_->consts_.size()) - 1;
+  }
+
+  const ColumnLayout& layout_;
+  KernelProgram* out_;
+};
+
+KernelProgram KernelProgram::Compile(const ExprPtr& expr, const ColumnLayout& layout) {
+  KernelProgram program;
+  KernelCompiler compiler(layout, &program);
+  compiler.CompileNode(expr);
+  return program;
+}
+
+void KernelContext::Prepare(const KernelProgram& program, size_t chunk_capacity) {
+  chunk_capacity_ = chunk_capacity;
+  size_t n = program.instrs().size();
+  slots_.resize(n);
+  active_.resize(n);
+  next_.resize(n);
+  flags_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    slots_[i].resize(chunk_capacity);
+    flags_[i].resize(chunk_capacity);
+    active_[i].reserve(chunk_capacity);
+    next_[i].reserve(chunk_capacity);
+  }
+}
+
+// --- Evaluation --------------------------------------------------------------
+
+namespace {
+
+/// Reads an operand value for one row. Column and constant operands are read
+/// in place; slot operands must have been evaluated over a selection
+/// containing `row` first.
+inline const Datum& OperandValue(const ValueSource& src, const KernelProgram& prog,
+                                 const std::vector<Row>& rows, size_t base,
+                                 uint32_t row, KernelContext* ctx) {
+  switch (src.kind) {
+    case ValueSource::Kind::kColumn:
+      return rows[row][static_cast<size_t>(src.index)];
+    case ValueSource::Kind::kConst:
+      return prog.consts()[static_cast<size_t>(src.index)];
+    case ValueSource::Kind::kSlot:
+      break;
+  }
+  return ctx->slot(src.index)[row - base];
+}
+
+}  // namespace
+
+Status EvalKernelInstr(const KernelProgram& prog, int idx, const std::vector<Row>& rows,
+                       size_t base, const SelVec& sel, KernelContext* ctx) {
+  const KernelInstr& instr = prog.instrs()[static_cast<size_t>(idx)];
+  std::vector<Datum>& out = ctx->slot(idx);
+
+  // Evaluates a slot operand's sub-program over `operand_sel`; column/const
+  // operands need no evaluation pass.
+  auto ensure = [&](const ValueSource& src, const SelVec& operand_sel) -> Status {
+    if (src.kind != ValueSource::Kind::kSlot) return Status::OK();
+    return EvalKernelInstr(prog, src.index, rows, base, operand_sel, ctx);
+  };
+  auto value = [&](const ValueSource& src, uint32_t row) -> const Datum& {
+    return OperandValue(src, prog, rows, base, row, ctx);
+  };
+
+  switch (instr.op) {
+    case KernelOp::kLoadConst: {
+      const Datum& v = prog.consts()[static_cast<size_t>(instr.arg)];
+      for (uint32_t r : sel) out[r - base] = v;
+      return Status::OK();
+    }
+    case KernelOp::kLoadColumn: {
+      size_t pos = static_cast<size_t>(instr.arg);
+      for (uint32_t r : sel) out[r - base] = rows[r][pos];
+      return Status::OK();
+    }
+    case KernelOp::kError:
+      // A row-at-a-time evaluation would raise this error the moment the node
+      // is reached for any row; with an empty selection it is never reached.
+      if (sel.empty()) return Status::OK();
+      return Status::ExecutionError(instr.error);
+    case KernelOp::kCompare: {
+      MPPDB_RETURN_IF_ERROR(ensure(instr.lhs, sel));
+      MPPDB_RETURN_IF_ERROR(ensure(instr.rhs, sel));
+      auto op = static_cast<CompareOp>(instr.arg);
+      for (uint32_t r : sel) {
+        const Datum& left = value(instr.lhs, r);
+        const Datum& right = value(instr.rhs, r);
+        if (left.is_null() || right.is_null()) {
+          out[r - base] = Datum::Null();
+          continue;
+        }
+        if (!DatumsComparable(left, right)) {
+          return Status::ExecutionError("cannot compare " +
+                                        std::string(TypeIdToString(left.type())) +
+                                        " with " + TypeIdToString(right.type()));
+        }
+        int c = Datum::Compare(left, right);
+        bool result = false;
+        switch (op) {
+          case CompareOp::kEq:
+            result = c == 0;
+            break;
+          case CompareOp::kNe:
+            result = c != 0;
+            break;
+          case CompareOp::kLt:
+            result = c < 0;
+            break;
+          case CompareOp::kLe:
+            result = c <= 0;
+            break;
+          case CompareOp::kGt:
+            result = c > 0;
+            break;
+          case CompareOp::kGe:
+            result = c >= 0;
+            break;
+        }
+        out[r - base] = Datum::Bool(result);
+      }
+      return Status::OK();
+    }
+    case KernelOp::kArith: {
+      MPPDB_RETURN_IF_ERROR(ensure(instr.lhs, sel));
+      MPPDB_RETURN_IF_ERROR(ensure(instr.rhs, sel));
+      auto op = static_cast<ArithOp>(instr.arg);
+      for (uint32_t r : sel) {
+        const Datum& left = value(instr.lhs, r);
+        const Datum& right = value(instr.rhs, r);
+        if (left.is_null() || right.is_null()) {
+          out[r - base] = Datum::Null();
+          continue;
+        }
+        if (!IsNumeric(left.type()) || !IsNumeric(right.type())) {
+          return Status::ExecutionError("arithmetic requires numeric operands");
+        }
+        bool use_double =
+            left.type() == TypeId::kDouble || right.type() == TypeId::kDouble;
+        if (use_double) {
+          double a = left.AsDouble(), b = right.AsDouble();
+          switch (op) {
+            case ArithOp::kAdd:
+              out[r - base] = Datum::Double(a + b);
+              continue;
+            case ArithOp::kSub:
+              out[r - base] = Datum::Double(a - b);
+              continue;
+            case ArithOp::kMul:
+              out[r - base] = Datum::Double(a * b);
+              continue;
+            case ArithOp::kDiv:
+              if (b == 0) return Status::ExecutionError("division by zero");
+              out[r - base] = Datum::Double(a / b);
+              continue;
+            case ArithOp::kMod:
+              return Status::ExecutionError("modulo on double");
+          }
+        }
+        int64_t a = left.AsInt64(), b = right.AsInt64();
+        switch (op) {
+          case ArithOp::kAdd:
+            out[r - base] = Datum::Int64(a + b);
+            continue;
+          case ArithOp::kSub:
+            out[r - base] = Datum::Int64(a - b);
+            continue;
+          case ArithOp::kMul:
+            out[r - base] = Datum::Int64(a * b);
+            continue;
+          case ArithOp::kDiv:
+            if (b == 0) return Status::ExecutionError("division by zero");
+            out[r - base] = Datum::Int64(a / b);
+            continue;
+          case ArithOp::kMod:
+            if (b == 0) return Status::ExecutionError("modulo by zero");
+            out[r - base] = Datum::Int64(a % b);
+            continue;
+        }
+        return Status::Internal("unreachable arithmetic op");
+      }
+      return Status::OK();
+    }
+    case KernelOp::kNot: {
+      const ValueSource& src = instr.operands[0];
+      MPPDB_RETURN_IF_ERROR(ensure(src, sel));
+      for (uint32_t r : sel) {
+        const Datum& v = value(src, r);
+        if (v.is_null()) {
+          out[r - base] = Datum::Null();
+          continue;
+        }
+        if (v.type() != TypeId::kBool) {
+          return Status::ExecutionError("NOT operand is not a boolean");
+        }
+        out[r - base] = Datum::Bool(!v.bool_value());
+      }
+      return Status::OK();
+    }
+    case KernelOp::kIsNull: {
+      const ValueSource& src = instr.operands[0];
+      MPPDB_RETURN_IF_ERROR(ensure(src, sel));
+      for (uint32_t r : sel) out[r - base] = Datum::Bool(value(src, r).is_null());
+      return Status::OK();
+    }
+    case KernelOp::kAnd:
+    case KernelOp::kOr: {
+      // Three-valued logic with per-row short-circuit. A row decided by an
+      // earlier operand (false for AND, true for OR) leaves the active set, so
+      // later operands are never evaluated for it — matching the row-at-a-time
+      // evaluator, including which errors can fire.
+      const bool is_and = instr.op == KernelOp::kAnd;
+      SelVec& active = ctx->active_[static_cast<size_t>(idx)];
+      SelVec& next = ctx->next_[static_cast<size_t>(idx)];
+      std::vector<uint8_t>& saw_null = ctx->flags_[static_cast<size_t>(idx)];
+      active = sel;
+      for (uint32_t r : sel) saw_null[r - base] = 0;
+      for (const ValueSource& src : instr.operands) {
+        if (active.empty()) break;
+        MPPDB_RETURN_IF_ERROR(ensure(src, active));
+        next.clear();
+        for (uint32_t r : active) {
+          const Datum& v = value(src, r);
+          if (v.is_null()) {
+            saw_null[r - base] = 1;
+            next.push_back(r);
+            continue;
+          }
+          if (v.type() != TypeId::kBool) {
+            return Status::ExecutionError(is_and ? "AND operand is not a boolean"
+                                                 : "OR operand is not a boolean");
+          }
+          if (v.bool_value() != is_and) {
+            out[r - base] = Datum::Bool(!is_and);
+            continue;
+          }
+          next.push_back(r);
+        }
+        active.swap(next);
+      }
+      for (uint32_t r : active) {
+        out[r - base] = saw_null[r - base] ? Datum::Null() : Datum::Bool(is_and);
+      }
+      return Status::OK();
+    }
+    case KernelOp::kInList: {
+      const ValueSource& probe = instr.operands[0];
+      MPPDB_RETURN_IF_ERROR(ensure(probe, sel));
+      SelVec& active = ctx->active_[static_cast<size_t>(idx)];
+      SelVec& next = ctx->next_[static_cast<size_t>(idx)];
+      std::vector<uint8_t>& saw_null = ctx->flags_[static_cast<size_t>(idx)];
+      active.clear();
+      for (uint32_t r : sel) {
+        // A null probe yields NULL without evaluating any list items.
+        if (value(probe, r).is_null()) {
+          out[r - base] = Datum::Null();
+          continue;
+        }
+        saw_null[r - base] = 0;
+        active.push_back(r);
+      }
+      for (size_t i = 1; i < instr.operands.size(); ++i) {
+        if (active.empty()) break;
+        const ValueSource& item = instr.operands[i];
+        MPPDB_RETURN_IF_ERROR(ensure(item, active));
+        next.clear();
+        for (uint32_t r : active) {
+          const Datum& probe_v = value(probe, r);
+          const Datum& item_v = value(item, r);
+          if (item_v.is_null()) {
+            saw_null[r - base] = 1;
+            next.push_back(r);
+            continue;
+          }
+          if (!DatumsComparable(probe_v, item_v)) {
+            return Status::ExecutionError("IN list item type mismatch");
+          }
+          if (probe_v.Equals(item_v)) {
+            out[r - base] = Datum::Bool(true);
+            continue;
+          }
+          next.push_back(r);
+        }
+        active.swap(next);
+      }
+      for (uint32_t r : active) {
+        out[r - base] = saw_null[r - base] ? Datum::Null() : Datum::Bool(false);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable kernel op");
+}
+
+Status EvalExprBatch(const KernelProgram& program, KernelContext* ctx,
+                     const std::vector<Row>& rows, size_t base, const SelVec& sel) {
+  return EvalKernelInstr(program, program.root(), rows, base, sel, ctx);
+}
+
+Status EvalPredicateBatch(const KernelProgram& program, KernelContext* ctx,
+                          const std::vector<Row>& rows, size_t base,
+                          const SelVec& sel, SelVec* out_sel) {
+  out_sel->clear();
+  MPPDB_RETURN_IF_ERROR(EvalExprBatch(program, ctx, rows, base, sel));
+  const std::vector<Datum>& result = ctx->slot(program.root());
+  for (uint32_t r : sel) {
+    const Datum& v = result[r - base];
+    if (v.is_null()) continue;  // WHERE semantics: NULL filters the row out.
+    if (v.type() != TypeId::kBool) {
+      return Status::ExecutionError("predicate did not evaluate to a boolean");
+    }
+    if (v.bool_value()) out_sel->push_back(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace mppdb

@@ -1,0 +1,127 @@
+#ifndef MPPDB_EXPR_VECTOR_EVAL_H_
+#define MPPDB_EXPR_VECTOR_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "types/row.h"
+
+namespace mppdb {
+
+/// Selection vector: indices of surviving rows within the row span a batch
+/// kernel evaluates over. Indices are absolute positions into the row vector;
+/// kernels translate them to chunk-relative buffer slots via the chunk base.
+using SelVec = std::vector<uint32_t>;
+
+/// Vectorized kernel opcodes. One instruction per expression-tree node that
+/// cannot be folded into its parent as a ValueSource.
+enum class KernelOp : uint8_t {
+  kLoadConst,   // broadcast consts[arg] into the output slot
+  kLoadColumn,  // copy input column `arg` into the output slot
+  kCompare,     // lhs <op> rhs, arg = CompareOp
+  kArith,       // lhs <op> rhs, arg = ArithOp
+  kNot,         // three-valued NOT of operands[0]
+  kIsNull,      // IS NULL of operands[0]
+  kAnd,         // three-valued AND over operands, short-circuit per row
+  kOr,          // three-valued OR over operands, short-circuit per row
+  kInList,      // operands[0] IN (operands[1..]), short-circuit per row
+  kError,       // raises `error` when evaluated over a non-empty selection
+};
+
+/// Where an instruction reads an operand from. Leaf operands (column refs and
+/// constants) are read in place — no buffer materialization — which keeps the
+/// common `col <op> const` predicate free of per-row Datum copies.
+struct ValueSource {
+  enum class Kind : uint8_t { kColumn, kConst, kSlot };
+  Kind kind = Kind::kSlot;
+  /// Column position (kColumn), constant-pool index (kConst), or the operand
+  /// sub-program's root instruction index (kSlot).
+  int index = -1;
+};
+
+struct KernelInstr {
+  KernelOp op = KernelOp::kError;
+  /// CompareOp/ArithOp code, column position (kLoadColumn), or constant-pool
+  /// index (kLoadConst).
+  int arg = 0;
+  /// Binary operands (kCompare / kArith).
+  ValueSource lhs, rhs;
+  /// Variadic operands (kAnd / kOr / kNot / kIsNull / kInList). For kInList,
+  /// operands[0] is the probe and operands[1..] the list items.
+  std::vector<ValueSource> operands;
+  /// Error raised when a kError instruction is reached (kept identical to the
+  /// row-at-a-time evaluator's message for the same expression).
+  std::string error;
+};
+
+/// An expression flattened once per operator into a postfix instruction
+/// array (root last). Positions are resolved against the operator's
+/// ColumnLayout at compile time, so evaluation never touches the layout's
+/// hash map. Compilation cannot fail: expressions the row-at-a-time path
+/// rejects at evaluation time (unbound params, aggregate calls, unknown
+/// columns) compile to kError instructions that raise the identical Status
+/// when — and only when — they would actually be evaluated over at least one
+/// row, preserving AND/OR short-circuit behaviour.
+class KernelProgram {
+ public:
+  /// Flattens `expr` against `layout`. `expr` must be non-null.
+  static KernelProgram Compile(const ExprPtr& expr, const ColumnLayout& layout);
+
+  const std::vector<KernelInstr>& instrs() const { return instrs_; }
+  const std::vector<Datum>& consts() const { return consts_; }
+  int root() const { return static_cast<int>(instrs_.size()) - 1; }
+
+ private:
+  friend class KernelCompiler;
+  std::vector<KernelInstr> instrs_;
+  std::vector<Datum> consts_;
+};
+
+/// Reusable per-operator evaluation scratch: one Datum column buffer per
+/// instruction plus selection/flag scratch for the short-circuiting ops.
+/// Buffers are sized to the chunk capacity once and reused across chunks, so
+/// steady-state evaluation performs no allocation. Not thread-safe; each
+/// executor worker owns its own context.
+class KernelContext {
+ public:
+  static constexpr size_t kDefaultChunkRows = 1024;
+
+  /// Sizes the scratch for `program` at `chunk_capacity` rows per batch.
+  void Prepare(const KernelProgram& program, size_t chunk_capacity);
+
+  size_t chunk_capacity() const { return chunk_capacity_; }
+
+  /// Output buffer of instruction `idx`, indexed chunk-relative.
+  std::vector<Datum>& slot(int idx) { return slots_[static_cast<size_t>(idx)]; }
+
+ private:
+  friend Status EvalKernelInstr(const KernelProgram&, int, const std::vector<Row>&,
+                                size_t, const SelVec&, KernelContext*);
+  size_t chunk_capacity_ = 0;
+  std::vector<std::vector<Datum>> slots_;
+  std::vector<SelVec> active_;
+  std::vector<SelVec> next_;
+  std::vector<std::vector<uint8_t>> flags_;
+};
+
+/// Evaluates `program` over rows[i] for each i in `sel` (absolute indices in
+/// [base, base + ctx->chunk_capacity())), leaving per-row results in
+/// ctx->slot(program.root()) at chunk-relative positions. Positions outside
+/// `sel` are unspecified. NULL semantics are identical to EvalExpr.
+Status EvalExprBatch(const KernelProgram& program, KernelContext* ctx,
+                     const std::vector<Row>& rows, size_t base, const SelVec& sel);
+
+/// WHERE semantics (identical to EvalPredicate): appends to `out_sel` the
+/// indices from `sel` whose predicate value is non-NULL true; NULL and false
+/// rows are dropped. `out_sel` is cleared first and must not alias `sel`.
+Status EvalPredicateBatch(const KernelProgram& program, KernelContext* ctx,
+                          const std::vector<Row>& rows, size_t base,
+                          const SelVec& sel, SelVec* out_sel);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_EXPR_VECTOR_EVAL_H_

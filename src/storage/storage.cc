@@ -62,8 +62,61 @@ Status TableStore::Insert(const Row& row) {
 }
 
 Status TableStore::InsertBatch(const std::vector<Row>& rows) {
+  // Pass 1: validate and route every row before touching storage, so a bad
+  // row leaves the store unchanged (all-or-nothing) and the append pass can
+  // reserve exact slice capacities instead of growing per row.
+  std::vector<Oid> units;
+  units.reserve(rows.size());
   for (const Row& row : rows) {
-    MPPDB_RETURN_IF_ERROR(Insert(row));
+    if (row.size() != desc_->schema.size()) {
+      return Status::InvalidArgument("row arity mismatch for table " + desc_->name);
+    }
+    Oid unit = desc_->oid;
+    if (desc_->IsPartitioned()) {
+      unit = desc_->partition_scheme->RouteTuple(row);
+      if (unit == kInvalidOid) {
+        return Status::OutOfRange("row " + RowToString(row) +
+                                  " does not map to any partition of " + desc_->name);
+      }
+    }
+    units.push_back(unit);
+  }
+
+  // Pass 2: pick segments (in row order, so round-robin placement matches a
+  // sequence of single Inserts), tally arrivals per slice, reserve and bump
+  // each touched slice's version once, then append.
+  const bool replicated = desc_->distribution == TableDistribution::kReplicated;
+  std::vector<int> segments;
+  std::map<std::pair<Oid, int>, size_t> slice_counts;
+  if (replicated) {
+    for (Oid unit : units) {
+      for (int segment = 0; segment < num_segments_; ++segment) {
+        ++slice_counts[{unit, segment}];
+      }
+    }
+  } else {
+    segments.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      segments.push_back(SegmentForRow(rows[i]));
+      ++slice_counts[{units[i], segments[i]}];
+    }
+  }
+  for (const auto& [slice, count] : slice_counts) {
+    auto it = units_.find(slice.first);
+    MPPDB_CHECK(it != units_.end());
+    std::vector<Row>& slice_rows = it->second[static_cast<size_t>(slice.second)];
+    slice_rows.reserve(slice_rows.size() + count);
+    BumpVersion(slice.first, slice.second);
+  }
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto it = units_.find(units[i]);
+    if (replicated) {
+      for (int segment = 0; segment < num_segments_; ++segment) {
+        it->second[static_cast<size_t>(segment)].push_back(rows[i]);
+      }
+    } else {
+      it->second[static_cast<size_t>(segments[i])].push_back(rows[i]);
+    }
   }
   return Status::OK();
 }

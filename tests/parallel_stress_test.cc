@@ -1,7 +1,8 @@
 // Concurrency stress: a PartitionSelector/DynamicScan join executed
-// repeatedly on 8 segments in parallel mode, to shake out races in
-// PartitionPropagationHub, the Motion exchange barrier, and the per-segment
-// stats accumulators. Built and run under ThreadSanitizer by the
+// repeatedly on 8 segments in parallel mode — row-at-a-time and vectorized —
+// to shake out races in PartitionPropagationHub, the Motion exchange barrier,
+// the per-segment stats accumulators, and the per-worker kernel contexts of
+// the batch path. Built and run under ThreadSanitizer by the
 // tsan_parallel_stress ctest entry (see tests/CMakeLists.txt), where any
 // race fails the build instead of flaking.
 
@@ -81,6 +82,44 @@ TEST(ParallelStressTest, SelectorDynamicScanJoinOn8Segments) {
                              << result.status().ToString();
     ASSERT_TRUE(*result == *oracle) << "iter " << iteration;
     ASSERT_TRUE(parallel.stats() == oracle_stats) << "iter " << iteration;
+  }
+}
+
+// Same selector/DynamicScan join hammered through the vectorized kernel path
+// composed with parallel mode: each segment worker owns its own kernel
+// contexts and join pipelines, so any shared mutable state in the batch path
+// shows up here (and as a race under the tsan_parallel_stress gate).
+TEST(ParallelStressTest, VectorizedParallelSelectorJoinOn8Segments) {
+  TestDb db(8);
+  const TableDescriptor* fact = db.CreateIntPartitionedTable("fact", 16);
+  std::vector<Row> fact_rows;
+  for (int64_t i = 0; i < 512; ++i) {
+    fact_rows.push_back({Datum::Int64(i), Datum::Int64(i % 160)});
+  }
+  db.Insert(fact, fact_rows);
+  const TableDescriptor* dim = db.CreatePlainTable(
+      "dim", Schema({{"id", TypeId::kInt64}, {"tag", TypeId::kInt64}}), {0});
+  std::vector<Row> dim_rows;
+  for (int64_t id : {3, 17, 42, 88, 131}) {
+    dim_rows.push_back({Datum::Int64(id), Datum::Int64(id * 2)});
+  }
+  db.Insert(dim, dim_rows);
+
+  PhysPtr plan = BuildSelectorJoinPlan(fact, dim);
+
+  auto oracle = db.executor.Execute(plan);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_FALSE(oracle->empty());
+  ExecStats oracle_stats = db.executor.stats();
+
+  Executor vec_parallel(&db.catalog, &db.storage,
+                        Executor::Options{.parallel = true, .vectorized = true});
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    auto result = vec_parallel.Execute(plan);
+    ASSERT_TRUE(result.ok()) << "iter " << iteration << ": "
+                             << result.status().ToString();
+    ASSERT_TRUE(*result == *oracle) << "iter " << iteration;
+    ASSERT_TRUE(vec_parallel.stats() == oracle_stats) << "iter " << iteration;
   }
 }
 

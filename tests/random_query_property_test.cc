@@ -8,6 +8,10 @@
 // This is the strongest form of the paper's implicit contract: partition
 // elimination — static or dynamic, under either optimizer — never changes
 // query results, only the partitions touched.
+//
+// Each query additionally runs through the executor-mode matrix
+// {serial, parallel} x {row-at-a-time, vectorized}, asserting bit-identical
+// rows and ExecStats against the serial row-at-a-time oracle.
 
 #include <gtest/gtest.h>
 
@@ -25,21 +29,12 @@ using testutil::SameRows;
 
 class RandomQueryTest : public ::testing::Test {
  protected:
-  RandomQueryTest() : db_(3) {
-    // fact(sk, qty, price) partitioned on sk into 16 ranges of 25.
-    MPPDB_CHECK(db_.CreatePartitionedTable(
-                       "fact", Schema({{"sk", TypeId::kInt64},
-                                       {"qty", TypeId::kInt64},
-                                       {"price", TypeId::kDouble}}),
-                       TableDistribution::kHashed, {1},
-                       {{0, PartitionMethod::kRange}},
-                       {partition_bounds::IntRanges(0, 25, 16)})
-                    .ok());
-    MPPDB_CHECK(db_.CreateTable("dim", Schema({{"k", TypeId::kInt64},
-                                               {"grp", TypeId::kInt64},
-                                               {"tag", TypeId::kString}}),
-                                TableDistribution::kHashed, {0})
-                    .ok());
+  RandomQueryTest()
+      : db_(3),
+        db_parallel_(3, Executor::Options{.parallel = true}),
+        db_vectorized_(3, Executor::Options{.vectorized = true}),
+        db_parallel_vec_(3,
+                         Executor::Options{.parallel = true, .vectorized = true}) {
     Random rng(4242);
     std::vector<Row> fact_rows;
     for (int i = 0; i < 600; ++i) {
@@ -47,13 +42,35 @@ class RandomQueryTest : public ::testing::Test {
                            Datum::Int64(rng.UniformRange(1, 10)),
                            Datum::Double(rng.NextDouble() * 100)});
     }
-    MPPDB_CHECK(db_.Load("fact", fact_rows).ok());
     std::vector<Row> dim_rows;
     for (int k = 0; k < 400; k += 3) {
       dim_rows.push_back({Datum::Int64(k), Datum::Int64(k % 7),
                           Datum::String(k % 2 == 0 ? "even" : "odd")});
     }
-    MPPDB_CHECK(db_.Load("dim", dim_rows).ok());
+    // All four executor-mode databases carry identical storage contents, so
+    // any divergence below is an executor-mode difference.
+    for (Database* db : AllModes()) {
+      // fact(sk, qty, price) partitioned on sk into 16 ranges of 25.
+      MPPDB_CHECK(db->CreatePartitionedTable(
+                         "fact", Schema({{"sk", TypeId::kInt64},
+                                         {"qty", TypeId::kInt64},
+                                         {"price", TypeId::kDouble}}),
+                         TableDistribution::kHashed, {1},
+                         {{0, PartitionMethod::kRange}},
+                         {partition_bounds::IntRanges(0, 25, 16)})
+                      .ok());
+      MPPDB_CHECK(db->CreateTable("dim", Schema({{"k", TypeId::kInt64},
+                                                 {"grp", TypeId::kInt64},
+                                                 {"tag", TypeId::kString}}),
+                                  TableDistribution::kHashed, {0})
+                      .ok());
+      MPPDB_CHECK(db->Load("fact", fact_rows).ok());
+      MPPDB_CHECK(db->Load("dim", dim_rows).ok());
+    }
+  }
+
+  std::vector<Database*> AllModes() {
+    return {&db_, &db_parallel_, &db_vectorized_, &db_parallel_vec_};
   }
 
   // Random predicate over the given column names (int-typed).
@@ -87,6 +104,21 @@ class RandomQueryTest : public ::testing::Test {
     auto reference = db_.Run(sql, reference_options);
     ASSERT_TRUE(reference.ok()) << sql << "\n" << reference.status().ToString();
 
+    // Executor-mode matrix: {serial, parallel} x {row, vectorized} must be
+    // bit-identical — same rows in the same order, same ExecStats — with the
+    // serial row-at-a-time mode as the oracle.
+    for (Database* db : {&db_parallel_, &db_vectorized_, &db_parallel_vec_}) {
+      auto mode_result = db->Run(sql, reference_options);
+      ASSERT_TRUE(mode_result.ok())
+          << sql << "\n" << mode_result.status().ToString();
+      EXPECT_TRUE(reference->rows == mode_result->rows)
+          << sql << " (parallel=" << db->executor().options().parallel
+          << " vectorized=" << db->executor().options().vectorized << ")";
+      EXPECT_TRUE(reference->stats == mode_result->stats)
+          << sql << " (parallel=" << db->executor().options().parallel
+          << " vectorized=" << db->executor().options().vectorized << ")";
+    }
+
     QueryOptions no_selection;
     no_selection.enable_partition_selection = false;
     auto unpruned = db_.Run(sql, no_selection);
@@ -112,6 +144,9 @@ class RandomQueryTest : public ::testing::Test {
   }
 
   Database db_;
+  Database db_parallel_;
+  Database db_vectorized_;
+  Database db_parallel_vec_;
 };
 
 TEST_F(RandomQueryTest, SingleTableFilters) {
