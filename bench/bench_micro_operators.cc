@@ -11,7 +11,9 @@
 #include "db/database.h"
 #include "expr/constraint_derivation.h"
 #include "optimizer/cascades/cascades_optimizer.h"
+#include "runtime/propagation.h"
 #include "sql/binder.h"
+#include "storage/storage.h"
 #include "types/date.h"
 #include "workload/tpcds_lite.h"
 
@@ -184,6 +186,61 @@ void BM_ExecutePrunedScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecutePrunedScan);
+
+// PartitionPropagationHub::Push sits on the selector's per-joining-tuple hot
+// path: one push per (tuple, selected partition), nearly all duplicates. The
+// argument is the distinct-OID range; 100k pushes drawn uniformly from it
+// per iteration exercise the dedup bitmap at different densities (the
+// structure the bitmap replaced was a per-push unordered_set probe).
+void BM_HubPushDedup(benchmark::State& state) {
+  const uint64_t distinct_oids = static_cast<uint64_t>(state.range(0));
+  Random rng(11);
+  std::vector<Oid> pushes;
+  pushes.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    pushes.push_back(static_cast<Oid>(rng.Uniform(distinct_oids)));
+  }
+  for (auto _ : state) {
+    PartitionPropagationHub hub(1);
+    hub.OpenChannel(0, 1);
+    for (Oid oid : pushes) hub.Push(0, 1, oid);
+    benchmark::DoNotOptimize(hub.Selected(0, 1).size());
+  }
+}
+BENCHMARK(BM_HubPushDedup)->Arg(16)->Arg(256)->Arg(4096);
+
+// Index equality seek: TableStore::IndexLookup with equal_range + exact
+// reserve over a lazily built sorted index. The argument is the duplicate
+// run width per key — wide runs are where sizing the result up front (vs
+// growing through push_back) pays.
+void BM_IndexEqualitySeek(benchmark::State& state) {
+  const int64_t run_width = state.range(0);
+  const int64_t total_rows = 60000;
+  Database db(1);
+  MPPDB_CHECK(db.CreateTable("bm_idx",
+                             Schema({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}),
+                             TableDistribution::kHashed, {0})
+                  .ok());
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(total_rows));
+  for (int64_t i = 0; i < total_rows; ++i) {
+    rows.push_back({Datum::Int64(i / run_width), Datum::Int64(i)});
+  }
+  MPPDB_CHECK(db.Load("bm_idx", rows).ok());
+  const TableDescriptor* t = db.catalog().FindTable("bm_idx");
+  TableStore* store = db.storage().GetStore(t->oid);
+  MPPDB_CHECK(store->CreateIndex(0).ok());
+  // Warm lookup so the lazy build lands outside the timed loop.
+  MPPDB_CHECK(store->IndexLookup(t->oid, 0, 0, Datum::Int64(0)).size() ==
+              static_cast<size_t>(run_width));
+  Random rng(13);
+  const uint64_t distinct_keys = static_cast<uint64_t>(total_rows / run_width);
+  for (auto _ : state) {
+    Datum key = Datum::Int64(static_cast<int64_t>(rng.Uniform(distinct_keys)));
+    benchmark::DoNotOptimize(store->IndexLookup(t->oid, 0, 0, key));
+  }
+}
+BENCHMARK(BM_IndexEqualitySeek)->Arg(1)->Arg(16)->Arg(256);
 
 }  // namespace
 }  // namespace mppdb

@@ -1,0 +1,160 @@
+// Zone-map data skipping for the row execution path, plus the scan-fragment
+// iteration shared with the vectorized fused filter (src/exec/vectorized.cc).
+//
+// The skipping filter is a drop-in replacement for Filter-over-scan subtrees:
+// same output rows in the same order, same error outcomes, same logical
+// ExecStats (partitions_scanned / tuples_scanned count skipped chunks too) —
+// only the chunks_total / chunks_skipped / units_skipped counters and the
+// work actually performed differ. Soundness rests on the maximal-safe-prefix
+// rule in expr/sargable.h: a chunk is skipped only when some prefix conjunct
+// is provably FALSE on every row and every conjunct up to it provably cannot
+// raise an error on the chunk.
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "exec/executor.h"
+#include "expr/sargable.h"
+#include "expr/vector_eval.h"
+
+namespace mppdb {
+
+// The synopsis chunk grid must coincide with the vectorized batch grid, so
+// the fused kernel path can skip per batch without re-chunking.
+static_assert(TableStore::kChunkRows == KernelContext::kDefaultChunkRows,
+              "storage chunk size must match the vectorized batch size");
+
+Status Executor::ForEachScanUnit(
+    const ScanFragment& frag, int segment,
+    const std::function<Status(const TableStore&, Oid, Oid)>& fn) {
+  for (const PhysicalNode* scan : frag.scans) {
+    switch (scan->kind()) {
+      case PhysNodeKind::kTableScan: {
+        const auto& ts = static_cast<const TableScanNode&>(*scan);
+        const TableStore* store = storage_->GetStore(ts.table_oid());
+        if (store == nullptr) {
+          return Status::ExecutionError("no storage for table oid " +
+                                        std::to_string(ts.table_oid()));
+        }
+        // Replicated base tables produce rows on one segment only.
+        if (store->descriptor().distribution == TableDistribution::kReplicated &&
+            segment != 0) {
+          break;
+        }
+        MPPDB_RETURN_IF_ERROR(fn(*store, ts.table_oid(), ts.unit_oid()));
+        break;
+      }
+      case PhysNodeKind::kCheckedPartScan: {
+        const auto& cs = static_cast<const CheckedPartScanNode&>(*scan);
+        const TableStore* store = storage_->GetStore(cs.table_oid());
+        if (store == nullptr) {
+          return Status::ExecutionError("no storage for table oid " +
+                                        std::to_string(cs.table_oid()));
+        }
+        if (!hub_.HasChannel(segment, cs.scan_id())) {
+          return Status::ExecutionError(
+              "CheckedPartScan: no partition parameter for scan id " +
+              std::to_string(cs.scan_id()));
+        }
+        const std::vector<Oid>& selected = hub_.Selected(segment, cs.scan_id());
+        if (std::find(selected.begin(), selected.end(), cs.leaf_oid()) !=
+            selected.end()) {
+          MPPDB_RETURN_IF_ERROR(fn(*store, cs.table_oid(), cs.leaf_oid()));
+        }
+        break;
+      }
+      case PhysNodeKind::kDynamicScan: {
+        const auto& ds = static_cast<const DynamicScanNode&>(*scan);
+        const TableStore* store = storage_->GetStore(ds.table_oid());
+        if (store == nullptr) {
+          return Status::ExecutionError("no storage for table oid " +
+                                        std::to_string(ds.table_oid()));
+        }
+        if (!hub_.HasChannel(segment, ds.scan_id())) {
+          return Status::ExecutionError(
+              "DynamicScan executed before its PartitionSelector (scan id " +
+              std::to_string(ds.scan_id()) + ", segment " + std::to_string(segment) +
+              ")");
+        }
+        if (store->descriptor().distribution == TableDistribution::kReplicated &&
+            segment != 0) {
+          break;
+        }
+        for (Oid oid : hub_.Selected(segment, ds.scan_id())) {
+          if (!store->HasUnit(oid)) {
+            return Status::ExecutionError("selected partition oid " +
+                                          std::to_string(oid) +
+                                          " is not a leaf of table " +
+                                          std::to_string(ds.table_oid()));
+          }
+          MPPDB_RETURN_IF_ERROR(fn(*store, ds.table_oid(), oid));
+        }
+        break;
+      }
+      default:
+        return Status::Internal("unexpected scan kind in fused filter fragment");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
+                                                     const ScanFragment& frag,
+                                                     int segment) {
+  for (const PhysPtr& prefix : frag.prefix) {
+    MPPDB_ASSIGN_OR_RETURN(std::vector<Row> discarded, ExecNode(prefix, segment));
+    (void)discarded;
+  }
+
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  const CompiledSargable compiled = CompileSargable(node.sargable(), layout);
+  const bool can_prune = compiled.CanPrune();
+  std::vector<Row> out;
+
+  auto scan_unit_filtered = [&](const TableStore& store, Oid table_oid,
+                                Oid unit_oid) -> Status {
+    const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
+    ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+    stats.partitions_scanned[table_oid].insert(unit_oid);
+    stats.tuples_scanned += rows.size();
+    if (rows.empty()) return Status::OK();
+    // chunks_total is pure arithmetic so the non-sargable case never forces a
+    // synopsis (re)build it would not use.
+    stats.chunks_total +=
+        (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
+    if (!can_prune) {
+      for (const Row& row : rows) {
+        MPPDB_ASSIGN_OR_RETURN(bool keep,
+                               EvalPredicate(node.predicate(), layout, row));
+        if (keep) out.push_back(row);
+      }
+      return Status::OK();
+    }
+    const SliceSynopsis& synopsis = store.UnitSynopsis(unit_oid, segment);
+    MPPDB_CHECK(synopsis.rollup.row_count == rows.size());
+    if (SynopsisCanSkip(compiled, synopsis.rollup)) {
+      ++stats.units_skipped;
+      stats.chunks_skipped += synopsis.chunks.size();
+      return Status::OK();
+    }
+    for (size_t c = 0; c < synopsis.chunks.size(); ++c) {
+      if (SynopsisCanSkip(compiled, synopsis.chunks[c])) {
+        ++stats.chunks_skipped;
+        continue;
+      }
+      const size_t base = c * TableStore::kChunkRows;
+      const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
+      for (size_t i = base; i < end; ++i) {
+        MPPDB_ASSIGN_OR_RETURN(bool keep,
+                               EvalPredicate(node.predicate(), layout, rows[i]));
+        if (keep) out.push_back(rows[i]);
+      }
+    }
+    return Status::OK();
+  };
+
+  MPPDB_RETURN_IF_ERROR(ForEachScanUnit(frag, segment, scan_unit_filtered));
+  return out;
+}
+
+}  // namespace mppdb

@@ -32,6 +32,9 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   }
   tuples_scanned += other.tuples_scanned;
   rows_moved += other.rows_moved;
+  chunks_total += other.chunks_total;
+  chunks_skipped += other.chunks_skipped;
+  units_skipped += other.units_skipped;
 }
 
 struct Executor::MotionExchange {
@@ -474,6 +477,15 @@ Result<std::vector<Row>> Executor::ExecPartitionSelector(
 }
 
 Result<std::vector<Row>> Executor::ExecFilter(const FilterNode& node, int segment) {
+  if (options_.data_skipping) {
+    // Filters directly over scan fragments take the skipping path whenever
+    // skipping is on — even if the predicate turns out non-sargable — so the
+    // chunks_* accounting matches the vectorized fused path exactly.
+    ScanFragment frag;
+    if (MatchScanFragment(node.child(0), &frag)) {
+      return ExecFilterRowSkip(node, frag, segment);
+    }
+  }
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
   ColumnLayout layout = node.child(0)->OutputLayout();
   std::vector<Row> out;

@@ -2,6 +2,7 @@
 #define MPPDB_EXEC_EXECUTOR_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -28,6 +29,18 @@ struct ExecStats {
   size_t tuples_scanned = 0;
   /// Total rows shipped through Motion operators.
   size_t rows_moved = 0;
+  /// Zone-map skipping counters (Options::data_skipping; all zero when it is
+  /// off). tuples_scanned and partitions_scanned stay *logical* — skipped
+  /// chunks still count there, so pruning-effect assertions keep one
+  /// skipping-independent baseline.
+  /// Chunks covered by skip-eligible filtered scans (ceil(rows / kChunkRows)
+  /// per slice).
+  size_t chunks_total = 0;
+  /// Chunks whose synopsis proved the predicate false for every row.
+  size_t chunks_skipped = 0;
+  /// (unit, segment) slices skipped wholesale via the rollup synopsis; their
+  /// chunks are also counted in chunks_skipped.
+  size_t units_skipped = 0;
 
   /// Distinct partitions scanned for `table_oid` (0 if never scanned).
   size_t PartitionsScanned(Oid table_oid) const;
@@ -107,6 +120,12 @@ class Executor {
     /// oracle; composes with `parallel` (each segment worker runs its own
     /// kernels).
     bool vectorized = false;
+    /// Consult chunk zone maps (storage/synopsis.h) to skip chunks and whole
+    /// slices a Filter's sargable predicate provably cannot match, in both
+    /// the row and vectorized paths. Output rows, ordering, error outcomes,
+    /// and the logical ExecStats counters are identical with it off — only
+    /// the chunks_* / units_skipped counters (and time spent) change.
+    bool data_skipping = true;
   };
 
   Executor(const Catalog* catalog, StorageEngine* storage);
@@ -172,13 +191,38 @@ class Executor {
 
   /// A Motion-free scan subtree a Filter can fuse with: optional Sequence
   /// prefixes (PartitionSelectors) followed by TableScan/DynamicScan/
-  /// CheckedPartScan leaves, possibly under an Append.
-  struct ScanFragment;
+  /// CheckedPartScan leaves, possibly under an Append. Shared by the
+  /// vectorized fused filter and the row-path skipping filter
+  /// (src/exec/data_skipping.cc).
+  struct ScanFragment {
+    /// Sequence prefix children (PartitionSelectors feeding DynamicScans),
+    /// executed in order for their side effects before any scanning; their
+    /// outputs are discarded, exactly as SequenceNode does.
+    std::vector<PhysPtr> prefix;
+    /// The scan leaves, in the order the row path would scan them.
+    std::vector<const PhysicalNode*> scans;
+  };
 
   /// Matches `node` against the fusable scan-fragment grammar. Returns false
   /// for shapes the fused path does not cover (`out` may be partially
   /// filled and must only be used on success).
   static bool MatchScanFragment(const PhysPtr& node, ScanFragment* out);
+
+  /// Runs `fn(store, table_oid, unit_oid)` for every storage unit the
+  /// fragment's scan leaves cover on `segment`, applying each leaf kind's
+  /// gating (replicated-on-segment-0, CheckedPartScan membership, DynamicScan
+  /// propagation) exactly as the unfused row operators do. The Sequence
+  /// prefixes must already have been executed.
+  Status ForEachScanUnit(const ScanFragment& frag, int segment,
+                         const std::function<Status(const TableStore&, Oid, Oid)>& fn);
+
+  /// Row-path fused filter-over-scan with zone-map skipping
+  /// (src/exec/data_skipping.cc): evaluates the predicate row-at-a-time
+  /// directly over storage slices, consulting chunk synopses to skip chunks
+  /// (and whole slices via the rollup) the sargable prefix proves empty.
+  /// Bit-identical rows/order/errors/logical stats to the unfused path.
+  Result<std::vector<Row>> ExecFilterRowSkip(const FilterNode& node,
+                                             const ScanFragment& frag, int segment);
 
   Result<std::vector<Row>> ExecFilterVec(const FilterNode& node, int segment);
   /// Fused filter-over-scan: evaluates the predicate in chunks directly over

@@ -9,6 +9,7 @@
 #include "catalog/catalog.h"
 #include "expr/eval.h"
 #include "expr/expr.h"
+#include "expr/sargable.h"
 
 namespace mppdb {
 
@@ -232,14 +233,20 @@ class FilterNode : public PhysicalNode {
  public:
   FilterNode(ExprPtr predicate, PhysPtr child)
       : PhysicalNode(PhysNodeKind::kFilter, {std::move(child)}),
-        predicate_(std::move(predicate)) {}
+        predicate_(std::move(predicate)),
+        sargable_(AnalyzeSargable(predicate_)) {}
 
   const ExprPtr& predicate() const { return predicate_; }
+  /// Sargable analysis of the predicate, computed once at plan build (see
+  /// expr/sargable.h). Plans rebuilt after parameter binding re-analyze, so
+  /// bound constants become sargable automatically.
+  const SargablePredicate& sargable() const { return sargable_; }
   std::vector<ColRefId> OutputIds() const override { return child(0)->OutputIds(); }
   std::string Describe() const override { return "Filter: " + predicate_->ToString(); }
 
  private:
   ExprPtr predicate_;
+  SargablePredicate sargable_;
 };
 
 /// One computed output column of a Project.

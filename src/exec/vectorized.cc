@@ -21,6 +21,7 @@
 #include "exec/agg_state.h"
 #include "exec/executor.h"
 #include "exec/join_hash.h"
+#include "expr/sargable.h"
 #include "expr/vector_eval.h"
 
 namespace mppdb {
@@ -51,15 +52,6 @@ void IdentitySel(size_t base, size_t end, SelVec* sel) {
 }
 
 }  // namespace
-
-struct Executor::ScanFragment {
-  /// Sequence prefix children (PartitionSelectors feeding DynamicScans),
-  /// executed in order for their side effects before any scanning; their
-  /// outputs are discarded, exactly as SequenceNode does.
-  std::vector<PhysPtr> prefix;
-  /// The scan leaves, in the order the row path would scan them.
-  std::vector<const PhysicalNode*> scans;
-};
 
 bool Executor::MatchScanFragment(const PhysPtr& node, ScanFragment* out) {
   switch (node->kind()) {
@@ -127,21 +119,51 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
   ColumnLayout layout = node.child(0)->OutputLayout();
   KernelProgram program = KernelProgram::Compile(node.predicate(), layout);
   KernelContext ctx;
-  ctx.Prepare(program, KernelContext::kDefaultChunkRows);
+  // TableStore::kChunkRows == KernelContext::kDefaultChunkRows (static_assert
+  // in data_skipping.cc), so batch boundaries land exactly on synopsis chunk
+  // boundaries and a skipped chunk is a skipped batch.
+  ctx.Prepare(program, TableStore::kChunkRows);
+  CompiledSargable compiled;
+  if (options_.data_skipping) {
+    compiled = CompileSargable(node.sargable(), layout);
+  }
+  const bool can_prune = compiled.CanPrune();
   std::vector<Row> out;
   SelVec sel, keep;
 
   // Evaluates the predicate in chunks directly over the storage slice and
   // copies only the surviving rows — filtered-out tuples are never
-  // materialized. Stats are recorded exactly as ScanUnit would.
+  // materialized. Stats are recorded exactly as ScanUnit would; the chunks_*
+  // accounting mirrors the row skipping path (ExecFilterRowSkip) so row and
+  // vectorized stats stay bit-identical.
   auto scan_unit_filtered = [&](const TableStore& store, Oid table_oid,
                                 Oid unit_oid) -> Status {
     const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
     ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
     stats.partitions_scanned[table_oid].insert(unit_oid);
     stats.tuples_scanned += rows.size();
+    if (rows.empty()) return Status::OK();
+    const SliceSynopsis* synopsis = nullptr;
+    if (options_.data_skipping) {
+      stats.chunks_total +=
+          (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
+      if (can_prune) {
+        synopsis = &store.UnitSynopsis(unit_oid, segment);
+        MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
+        if (SynopsisCanSkip(compiled, synopsis->rollup)) {
+          ++stats.units_skipped;
+          stats.chunks_skipped += synopsis->chunks.size();
+          return Status::OK();
+        }
+      }
+    }
     for (size_t base = 0; base < rows.size(); base += ctx.chunk_capacity()) {
       size_t end = std::min(rows.size(), base + ctx.chunk_capacity());
+      if (synopsis != nullptr &&
+          SynopsisCanSkip(compiled, synopsis->chunks[base / TableStore::kChunkRows])) {
+        ++stats.chunks_skipped;
+        continue;
+      }
       IdentitySel(base, end, &sel);
       MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
       for (uint32_t r : keep) out.push_back(rows[r]);
@@ -149,73 +171,7 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
     return Status::OK();
   };
 
-  for (const PhysicalNode* scan : frag.scans) {
-    switch (scan->kind()) {
-      case PhysNodeKind::kTableScan: {
-        const auto& ts = static_cast<const TableScanNode&>(*scan);
-        const TableStore* store = storage_->GetStore(ts.table_oid());
-        if (store == nullptr) {
-          return Status::ExecutionError("no storage for table oid " +
-                                        std::to_string(ts.table_oid()));
-        }
-        if (store->descriptor().distribution == TableDistribution::kReplicated &&
-            segment != 0) {
-          break;
-        }
-        MPPDB_RETURN_IF_ERROR(scan_unit_filtered(*store, ts.table_oid(), ts.unit_oid()));
-        break;
-      }
-      case PhysNodeKind::kCheckedPartScan: {
-        const auto& cs = static_cast<const CheckedPartScanNode&>(*scan);
-        const TableStore* store = storage_->GetStore(cs.table_oid());
-        if (store == nullptr) {
-          return Status::ExecutionError("no storage for table oid " +
-                                        std::to_string(cs.table_oid()));
-        }
-        if (!hub_.HasChannel(segment, cs.scan_id())) {
-          return Status::ExecutionError(
-              "CheckedPartScan: no partition parameter for scan id " +
-              std::to_string(cs.scan_id()));
-        }
-        const std::vector<Oid>& selected = hub_.Selected(segment, cs.scan_id());
-        if (std::find(selected.begin(), selected.end(), cs.leaf_oid()) !=
-            selected.end()) {
-          MPPDB_RETURN_IF_ERROR(scan_unit_filtered(*store, cs.table_oid(), cs.leaf_oid()));
-        }
-        break;
-      }
-      case PhysNodeKind::kDynamicScan: {
-        const auto& ds = static_cast<const DynamicScanNode&>(*scan);
-        const TableStore* store = storage_->GetStore(ds.table_oid());
-        if (store == nullptr) {
-          return Status::ExecutionError("no storage for table oid " +
-                                        std::to_string(ds.table_oid()));
-        }
-        if (!hub_.HasChannel(segment, ds.scan_id())) {
-          return Status::ExecutionError(
-              "DynamicScan executed before its PartitionSelector (scan id " +
-              std::to_string(ds.scan_id()) + ", segment " + std::to_string(segment) +
-              ")");
-        }
-        if (store->descriptor().distribution == TableDistribution::kReplicated &&
-            segment != 0) {
-          break;
-        }
-        for (Oid oid : hub_.Selected(segment, ds.scan_id())) {
-          if (!store->HasUnit(oid)) {
-            return Status::ExecutionError("selected partition oid " +
-                                          std::to_string(oid) +
-                                          " is not a leaf of table " +
-                                          std::to_string(ds.table_oid()));
-          }
-          MPPDB_RETURN_IF_ERROR(scan_unit_filtered(*store, ds.table_oid(), oid));
-        }
-        break;
-      }
-      default:
-        return Status::Internal("unexpected scan kind in fused filter fragment");
-    }
-  }
+  MPPDB_RETURN_IF_ERROR(ForEachScanUnit(frag, segment, scan_unit_filtered));
   return out;
 }
 

@@ -1,0 +1,327 @@
+#include "expr/sargable.h"
+
+#include "common/macros.h"
+
+namespace mppdb {
+
+namespace {
+
+bool IsBoolOrNull(const Datum& d) {
+  return d.is_null() || d.type() == TypeId::kBool;
+}
+
+/// If `e` is a comparison between a bare column reference and a foldable
+/// constant (either side), returns the column, the folded constant, and the
+/// operator normalized to column-op-constant form.
+bool MatchColOpConst(const Expr& e, const ColumnRefExpr** col, Datum* constant,
+                     CompareOp* op) {
+  if (e.kind() != ExprKind::kComparison) return false;
+  const auto& cmp = static_cast<const ComparisonExpr&>(e);
+  const ExprPtr& l = cmp.child(0);
+  const ExprPtr& r = cmp.child(1);
+  const ExprPtr* col_side = nullptr;
+  const ExprPtr* const_side = nullptr;
+  *op = cmp.op();
+  if (l->kind() == ExprKind::kColumnRef) {
+    col_side = &l;
+    const_side = &r;
+  } else if (r->kind() == ExprKind::kColumnRef) {
+    col_side = &r;
+    const_side = &l;
+    *op = SwapCompareOp(*op);
+  } else {
+    return false;
+  }
+  std::optional<Datum> folded = TryFoldConst(*const_side);
+  if (!folded) return false;  // references columns, or folding errors
+  *col = static_cast<const ColumnRefExpr*>(col_side->get());
+  *constant = std::move(*folded);
+  return true;
+}
+
+/// Extracts miss tests proving `e` FALSE-for-every-row, plus the family
+/// checks proving `e` error-free. Fails (returning false, outputs unusable)
+/// when no such proof exists — the caller falls back to IsErrorFreeBool.
+/// Precision note: a subexpression folding to TRUE or NULL must FAIL here,
+/// not contribute zero tests — inside an OR, `TRUE OR x < 5` is never false,
+/// so treating TRUE as "no tests" would let the x < 5 tests wrongly prune.
+bool CollectTests(const ExprPtr& e, std::vector<SargableTest>* tests,
+                  std::vector<std::pair<ColRefId, Datum>>* checks) {
+  switch (e->kind()) {
+    case ExprKind::kConst:
+    case ExprKind::kArith: {
+      std::optional<Datum> folded = TryFoldConst(e);
+      if (!folded) return false;
+      if (folded->is_null() || folded->type() != TypeId::kBool) return false;
+      if (folded->bool_value()) return false;  // constant TRUE: never a miss
+      tests->push_back({SargableTest::Kind::kAlwaysFalse, -1, ConstraintSet::None()});
+      return true;
+    }
+    case ExprKind::kColumnRef: {
+      // Bare boolean column as predicate: FALSE-for-all iff no row is TRUE
+      // (and none NULL). Family check against Bool guards the "AND operand is
+      // not a boolean" error on non-bool columns.
+      const auto& col = static_cast<const ColumnRefExpr&>(*e);
+      tests->push_back({SargableTest::Kind::kValueSet, col.id(),
+                        ConstraintSet::FromPoints({Datum::Bool(true)})});
+      checks->emplace_back(col.id(), Datum::Bool(true));
+      return true;
+    }
+    case ExprKind::kComparison: {
+      const ColumnRefExpr* col = nullptr;
+      Datum constant;
+      CompareOp op;
+      if (!MatchColOpConst(*e, &col, &constant, &op)) return false;
+      // col-op-NULL is NULL on every row — never FALSE, so no miss test; and
+      // the conjunct would not short-circuit the AND, so it cannot prune.
+      if (constant.is_null()) return false;
+      tests->push_back({SargableTest::Kind::kValueSet, col->id(),
+                        ConstraintSet::FromComparison(op, constant)});
+      checks->emplace_back(col->id(), std::move(constant));
+      return true;
+    }
+    case ExprKind::kInList: {
+      if (e->children().empty() ||
+          e->child(0)->kind() != ExprKind::kColumnRef) {
+        return false;
+      }
+      const auto& col = static_cast<const ColumnRefExpr&>(*e->child(0));
+      std::vector<Datum> points;
+      for (size_t i = 1; i < e->children().size(); ++i) {
+        std::optional<Datum> item = TryFoldConst(e->child(i));
+        if (!item) return false;
+        // A NULL item makes a non-matching IN yield NULL, never FALSE.
+        if (item->is_null()) return false;
+        checks->emplace_back(col.id(), *item);
+        points.push_back(std::move(*item));
+      }
+      tests->push_back({SargableTest::Kind::kValueSet, col.id(),
+                        ConstraintSet::FromPoints(std::move(points))});
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      if (e->child(0)->kind() != ExprKind::kColumnRef) return false;
+      const auto& col = static_cast<const ColumnRefExpr&>(*e->child(0));
+      tests->push_back(
+          {SargableTest::Kind::kIsNull, col.id(), ConstraintSet::None()});
+      return true;
+    }
+    case ExprKind::kNot: {
+      // Only NOT (col IS NULL): NOT of a general miss proof is not a miss
+      // proof (NOT NULL is NULL, and refuting "always false" proves nothing).
+      const ExprPtr& inner = e->child(0);
+      if (inner->kind() != ExprKind::kIsNull ||
+          inner->child(0)->kind() != ExprKind::kColumnRef) {
+        return false;
+      }
+      const auto& col = static_cast<const ColumnRefExpr&>(*inner->child(0));
+      tests->push_back(
+          {SargableTest::Kind::kNotNull, col.id(), ConstraintSet::None()});
+      return true;
+    }
+    case ExprKind::kOr: {
+      // An OR is FALSE-for-all iff every disjunct is: all children must
+      // produce proofs, and all their tests must miss together.
+      for (const ExprPtr& child : e->children()) {
+        if (!CollectTests(child, tests, checks)) return false;
+      }
+      return !e->children().empty();
+    }
+    default:
+      return false;  // kAnd (not flattened here), kParam, kAggCall
+  }
+}
+
+/// Proves `e` evaluates without error to a boolean or NULL on every possible
+/// row, accumulating the family checks the proof is conditional on. This is
+/// the prefix-extension fallback for conjuncts with no skip power.
+bool IsErrorFreeBool(const ExprPtr& e,
+                     std::vector<std::pair<ColRefId, Datum>>* checks) {
+  switch (e->kind()) {
+    case ExprKind::kConst: {
+      const auto& c = static_cast<const ConstExpr&>(*e);
+      return IsBoolOrNull(c.value());
+    }
+    case ExprKind::kColumnRef: {
+      const auto& col = static_cast<const ColumnRefExpr&>(*e);
+      checks->emplace_back(col.id(), Datum::Bool(true));
+      return true;
+    }
+    case ExprKind::kComparison: {
+      const ColumnRefExpr* col = nullptr;
+      Datum constant;
+      CompareOp op;
+      if (MatchColOpConst(*e, &col, &constant, &op)) {
+        // Comparison against NULL yields NULL before any family check runs,
+        // so it needs no check at all.
+        if (!constant.is_null()) checks->emplace_back(col->id(), std::move(constant));
+        return true;
+      }
+      if (e->child(0)->kind() == ExprKind::kColumnRef &&
+          e->child(1)->kind() == ExprKind::kColumnRef) {
+        return false;  // two columns: no constant representative to check
+      }
+      // Constant-only comparison (including erroring ones like 1/0 = 1).
+      std::optional<Datum> folded = TryFoldConst(e);
+      return folded && IsBoolOrNull(*folded);
+    }
+    case ExprKind::kIsNull:
+      return e->child(0)->kind() == ExprKind::kColumnRef;
+    case ExprKind::kNot:
+      return IsErrorFreeBool(e->child(0), checks);
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      for (const ExprPtr& child : e->children()) {
+        if (!IsErrorFreeBool(child, checks)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kInList: {
+      if (e->children().empty() ||
+          e->child(0)->kind() != ExprKind::kColumnRef) {
+        return false;
+      }
+      const auto& col = static_cast<const ColumnRefExpr&>(*e->child(0));
+      for (size_t i = 1; i < e->children().size(); ++i) {
+        std::optional<Datum> item = TryFoldConst(e->child(i));
+        if (!item) return false;
+        // NULL items compare to NULL without a family check.
+        if (!item->is_null()) checks->emplace_back(col.id(), std::move(*item));
+      }
+      return true;
+    }
+    default:
+      return false;  // kParam, kArith (non-bool), kAggCall
+  }
+}
+
+/// Family guard for a kValueSet test: the synopsis extremes must share a
+/// comparison family with the test's constants before ConstraintSet::Overlaps
+/// may run (Datum::Compare aborts across families). The conjunct's family
+/// checks normally guarantee this; this is the local precondition restated so
+/// the test is safe in isolation.
+bool ValueSetFamilyMatches(const ConstraintSet& values, const Datum& probe) {
+  for (const Interval& in : values.intervals()) {
+    if (!in.lo().unbounded) return DatumsComparable(in.lo().value, probe);
+    if (!in.hi().unbounded) return DatumsComparable(in.hi().value, probe);
+  }
+  return true;  // All() / None(): the overlap answer needs no comparison
+}
+
+bool TestMisses(const CompiledSkipTest& test, const ChunkSynopsis& chunk) {
+  if (test.kind == SargableTest::Kind::kAlwaysFalse) return true;
+  MPPDB_CHECK(test.position >= 0 &&
+              static_cast<size_t>(test.position) < chunk.columns.size());
+  const ColumnSynopsis& col = chunk.columns[static_cast<size_t>(test.position)];
+  switch (test.kind) {
+    case SargableTest::Kind::kIsNull:
+      return col.null_count == 0;
+    case SargableTest::Kind::kNotNull:
+      return col.non_null_count == 0;
+    case SargableTest::Kind::kValueSet:
+      // NULL rows make the conjunct NULL, not FALSE — no miss proof then.
+      if (col.null_count != 0) return false;
+      if (col.non_null_count == 0) return false;  // empty column run
+      if (!col.comparable) return false;
+      if (!ValueSetFamilyMatches(test.values, col.min)) return false;
+      return !test.values.Overlaps(Interval::Closed(col.min, col.max));
+    case SargableTest::Kind::kAlwaysFalse:
+      break;  // handled above
+  }
+  return false;
+}
+
+}  // namespace
+
+SargablePredicate AnalyzeSargable(const ExprPtr& predicate) {
+  SargablePredicate out;
+  if (!predicate) return out;
+  for (const ExprPtr& conjunct : SplitConjuncts(predicate)) {
+    SargableConjunct sc;
+    sc.expr = conjunct;
+    if (!CollectTests(conjunct, &sc.tests, &sc.family_checks)) {
+      sc.tests.clear();
+      sc.family_checks.clear();
+      if (!IsErrorFreeBool(conjunct, &sc.family_checks)) {
+        out.truncated = true;
+        break;
+      }
+    }
+    out.prefix.push_back(std::move(sc));
+  }
+  return out;
+}
+
+bool CompiledSargable::CanPrune() const {
+  for (const CompiledSkipConjunct& c : conjuncts) {
+    if (c.prunes()) return true;
+  }
+  return false;
+}
+
+CompiledSargable CompileSargable(const SargablePredicate& pred,
+                                 const ColumnLayout& layout) {
+  CompiledSargable out;
+  for (const SargableConjunct& sc : pred.prefix) {
+    CompiledSkipConjunct compiled;
+    bool resolved = true;
+    for (const SargableTest& test : sc.tests) {
+      CompiledSkipTest ct;
+      ct.kind = test.kind;
+      ct.values = test.values;
+      if (test.kind != SargableTest::Kind::kAlwaysFalse) {
+        ct.position = layout.PositionOf(test.column);
+        if (ct.position < 0) {
+          resolved = false;
+          break;
+        }
+      }
+      compiled.tests.push_back(std::move(ct));
+    }
+    for (const auto& [column, rep] : sc.family_checks) {
+      if (!resolved) break;
+      int position = layout.PositionOf(column);
+      if (position < 0) {
+        resolved = false;
+        break;
+      }
+      compiled.family_checks.emplace_back(position, rep);
+    }
+    // Prefix safety is ordered: an unresolvable conjunct ends compilation,
+    // it does not just drop out (later misses could not short-circuit it).
+    if (!resolved) break;
+    out.conjuncts.push_back(std::move(compiled));
+  }
+  return out;
+}
+
+bool SynopsisCanSkip(const CompiledSargable& compiled, const ChunkSynopsis& chunk) {
+  if (chunk.row_count == 0) return false;
+  for (const CompiledSkipConjunct& conjunct : compiled.conjuncts) {
+    // Error-freedom gate: all-NULL columns pass trivially (every comparison
+    // yields NULL), otherwise the synopsis family must match the constant's.
+    for (const auto& [position, rep] : conjunct.family_checks) {
+      MPPDB_CHECK(position >= 0 &&
+                  static_cast<size_t>(position) < chunk.columns.size());
+      const ColumnSynopsis& col = chunk.columns[static_cast<size_t>(position)];
+      if (col.non_null_count == 0) continue;
+      if (!col.comparable || !DatumsComparable(col.min, rep)) {
+        // The conjunct might error on some row: no skip may be licensed by
+        // it OR by anything after it (evaluation would have stopped here).
+        return false;
+      }
+    }
+    if (conjunct.tests.empty()) continue;
+    bool all_miss = true;
+    for (const CompiledSkipTest& test : conjunct.tests) {
+      if (!TestMisses(test, chunk)) {
+        all_miss = false;
+        break;
+      }
+    }
+    if (all_miss) return true;
+  }
+  return false;
+}
+
+}  // namespace mppdb

@@ -1,0 +1,117 @@
+#ifndef MPPDB_EXPR_SARGABLE_H_
+#define MPPDB_EXPR_SARGABLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "expr/interval.h"
+#include "storage/synopsis.h"
+
+namespace mppdb {
+
+/// Sargable-predicate analysis for zone-map data skipping (see DESIGN.md §7).
+///
+/// A Filter's predicate is split into its top-level conjuncts, and a *maximal
+/// safe prefix* of them — conjuncts provably unable to raise an evaluation
+/// error on any row — is analyzed into per-column skip tests over the
+/// Interval/ConstraintSet algebra. A chunk may be skipped when some conjunct
+/// in the prefix is provably FALSE (not NULL) for every row of the chunk,
+/// because AND short-circuits to FALSE there and all earlier conjuncts are
+/// error-free on the chunk, so skipping cannot hide an error, change a
+/// result, or mask a type mismatch. Conjuncts past the prefix (the residual)
+/// never license skips; they only run over surviving chunks.
+
+/// One provable-miss test extracted from a sargable conjunct. A test "misses"
+/// a chunk when the chunk's synopsis proves no row can satisfy it.
+struct SargableTest {
+  enum class Kind {
+    /// Row satisfies the conjunct only if column ∈ values. Misses when the
+    /// column has no NULLs (NULL rows make the conjunct NULL, not FALSE) and
+    /// [min, max] is disjoint from the value set.
+    kValueSet,
+    /// column IS NULL; misses when null_count == 0.
+    kIsNull,
+    /// column IS NOT NULL; misses when non_null_count == 0.
+    kNotNull,
+    /// Conjunct folded to constant FALSE; misses every chunk.
+    kAlwaysFalse,
+  };
+  Kind kind = Kind::kValueSet;
+  /// Referenced column; unused for kAlwaysFalse.
+  ColRefId column = -1;
+  /// kValueSet only.
+  ConstraintSet values = ConstraintSet::None();
+};
+
+/// One top-level conjunct of the analyzed predicate, in evaluation order.
+struct SargableConjunct {
+  ExprPtr expr;
+  /// The conjunct is provably FALSE on every row of a chunk iff ALL tests
+  /// miss the chunk. Empty when the conjunct contributes no skip power (it is
+  /// in the prefix only because it is provably error-free).
+  std::vector<SargableTest> tests;
+  /// (column, representative constant) pairs: evaluating the conjunct cannot
+  /// raise a type-mismatch error on a chunk iff, for each pair, the column's
+  /// non-null values share the representative's comparison family (all-NULL
+  /// columns pass trivially — comparisons against NULL yield NULL).
+  std::vector<std::pair<ColRefId, Datum>> family_checks;
+};
+
+/// Analysis result: the maximal safe prefix plus whether a residual exists.
+struct SargablePredicate {
+  std::vector<SargableConjunct> prefix;
+  /// True if some conjunct could not be proven error-free; it and everything
+  /// after it were dropped from the prefix (their errors must surface).
+  bool truncated = false;
+};
+
+/// Analyzes a pushed-down predicate once at plan-build time (FilterNode
+/// caches the result). Deterministic and side-effect free.
+SargablePredicate AnalyzeSargable(const ExprPtr& predicate);
+
+// --- Compiled form (per scan) ------------------------------------------------
+// ColRefIds resolved to row positions against the scan's output layout, so
+// the per-chunk test is position lookups and interval overlap checks only.
+
+struct CompiledSkipTest {
+  SargableTest::Kind kind = SargableTest::Kind::kValueSet;
+  /// Row position of the column; -1 for kAlwaysFalse.
+  int position = -1;
+  ConstraintSet values = ConstraintSet::None();
+};
+
+struct CompiledSkipConjunct {
+  std::vector<CompiledSkipTest> tests;
+  /// (row position, representative constant); see SargableConjunct.
+  std::vector<std::pair<int, Datum>> family_checks;
+
+  /// True if this conjunct can ever license a skip (has tests).
+  bool prunes() const { return !tests.empty(); }
+};
+
+struct CompiledSargable {
+  std::vector<CompiledSkipConjunct> conjuncts;
+
+  /// True if any conjunct can license a skip — when false, callers should
+  /// bypass synopsis fetches entirely (the answer is always "keep").
+  bool CanPrune() const;
+};
+
+/// Resolves the analyzed prefix against a scan's column layout. A conjunct
+/// referencing a column absent from the layout truncates compilation there
+/// (it and later conjuncts are dropped — prefix safety is positional).
+CompiledSargable CompileSargable(const SargablePredicate& pred,
+                                 const ColumnLayout& layout);
+
+/// True if the chunk (or a slice rollup) can be skipped: walking conjuncts in
+/// evaluation order, every conjunct reached passes its family checks (no
+/// possible error), and some conjunct's tests all miss. Never true for an
+/// empty chunk. `chunk.columns` must be the scan's schema columns, matching
+/// the layout given to CompileSargable.
+bool SynopsisCanSkip(const CompiledSargable& compiled, const ChunkSynopsis& chunk);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_EXPR_SARGABLE_H_

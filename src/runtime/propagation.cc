@@ -28,7 +28,14 @@ void PartitionPropagationHub::BindOwner(int segment) {
 
 void PartitionPropagationHub::Push(int segment, int scan_id, Oid oid) {
   Channel& channel = CheckedSegment(segment).map[scan_id];
-  if (channel.seen.insert(oid).second) {
+  MPPDB_CHECK(oid >= 0);
+  const size_t word = static_cast<size_t>(oid) >> 6;
+  const uint64_t bit = uint64_t{1} << (static_cast<size_t>(oid) & 63);
+  if (word >= channel.seen_bits.size()) {
+    channel.seen_bits.resize(word + 1, 0);
+  }
+  if ((channel.seen_bits[word] & bit) == 0) {
+    channel.seen_bits[word] |= bit;
     channel.ordered.push_back(oid);
   }
 }

@@ -2,9 +2,9 @@
 #define MPPDB_RUNTIME_PROPAGATION_H_
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "catalog/partition_scheme.h"
@@ -57,7 +57,13 @@ class PartitionPropagationHub {
  private:
   struct Channel {
     std::vector<Oid> ordered;
-    std::unordered_set<Oid> seen;
+    /// Dedup bitmap indexed by OID (OIDs are small dense integers — the
+    /// catalog allocates them sequentially), one bit per OID word-packed.
+    /// Replaces a per-push unordered_set probe: Push is on the selector's
+    /// per-joining-tuple hot path, and the bit test is branch-predictable
+    /// and allocation-free once the bitmap has grown to the table's OID
+    /// range (see bench_micro_operators.cc, BM_HubPush*).
+    std::vector<uint64_t> seen_bits;
   };
   struct SegmentChannels {
     std::unordered_map<int, Channel> map;

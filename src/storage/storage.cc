@@ -19,6 +19,11 @@ TableStore::TableStore(const TableDescriptor* desc, int num_segments)
     units_.emplace(desc->oid, std::vector<std::vector<Row>>(
                                   static_cast<size_t>(num_segments)));
   }
+  for (const auto& [oid, segments] : units_) {
+    synopses_.emplace(
+        oid, std::vector<SliceSynopsis>(static_cast<size_t>(num_segments),
+                                        SliceSynopsis(desc->schema.size())));
+  }
 }
 
 int TableStore::SegmentForRow(const Row& row) {
@@ -50,13 +55,17 @@ Status TableStore::Insert(const Row& row) {
   MPPDB_CHECK(it != units_.end());
   if (desc_->distribution == TableDistribution::kReplicated) {
     for (int segment = 0; segment < num_segments_; ++segment) {
+      const bool was_fresh = SynopsisFresh(unit, segment);
       it->second[static_cast<size_t>(segment)].push_back(row);
       BumpVersion(unit, segment);
+      SynopsisAppend(unit, segment, row, was_fresh);
     }
   } else {
     int segment = SegmentForRow(row);
+    const bool was_fresh = SynopsisFresh(unit, segment);
     it->second[static_cast<size_t>(segment)].push_back(row);
     BumpVersion(unit, segment);
+    SynopsisAppend(unit, segment, row, was_fresh);
   }
   return Status::OK();
 }
@@ -101,11 +110,13 @@ Status TableStore::InsertBatch(const std::vector<Row>& rows) {
       ++slice_counts[{units[i], segments[i]}];
     }
   }
+  std::map<std::pair<Oid, int>, bool> slice_was_fresh;
   for (const auto& [slice, count] : slice_counts) {
     auto it = units_.find(slice.first);
     MPPDB_CHECK(it != units_.end());
     std::vector<Row>& slice_rows = it->second[static_cast<size_t>(slice.second)];
     slice_rows.reserve(slice_rows.size() + count);
+    slice_was_fresh[slice] = SynopsisFresh(slice.first, slice.second);
     BumpVersion(slice.first, slice.second);
   }
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -113,9 +124,12 @@ Status TableStore::InsertBatch(const std::vector<Row>& rows) {
     if (replicated) {
       for (int segment = 0; segment < num_segments_; ++segment) {
         it->second[static_cast<size_t>(segment)].push_back(rows[i]);
+        SynopsisAppend(units[i], segment, rows[i], slice_was_fresh[{units[i], segment}]);
       }
     } else {
       it->second[static_cast<size_t>(segments[i])].push_back(rows[i]);
+      SynopsisAppend(units[i], segments[i], rows[i],
+                     slice_was_fresh[{units[i], segments[i]}]);
     }
   }
   return Status::OK();
@@ -145,6 +159,45 @@ void TableStore::BumpVersion(Oid unit_oid, int segment) {
              .first;
   }
   ++it->second[static_cast<size_t>(segment)];
+}
+
+uint64_t TableStore::SliceVersion(Oid unit_oid, int segment) const {
+  auto it = versions_.find(unit_oid);
+  if (it == versions_.end()) return 0;
+  return it->second[static_cast<size_t>(segment)];
+}
+
+bool TableStore::SynopsisFresh(Oid unit_oid, int segment) const {
+  auto it = synopses_.find(unit_oid);
+  MPPDB_CHECK(it != synopses_.end());
+  return it->second[static_cast<size_t>(segment)].built_version ==
+         SliceVersion(unit_oid, segment);
+}
+
+void TableStore::SynopsisAppend(Oid unit_oid, int segment, const Row& row,
+                                bool was_fresh) {
+  if (!was_fresh) return;  // staled by in-place DML; UnitSynopsis will rebuild
+  auto it = synopses_.find(unit_oid);
+  MPPDB_CHECK(it != synopses_.end());
+  SliceSynopsis& synopsis = it->second[static_cast<size_t>(segment)];
+  synopsis.Append(row);
+  synopsis.built_version = SliceVersion(unit_oid, segment);
+}
+
+const SliceSynopsis& TableStore::UnitSynopsis(Oid unit_oid, int segment) const {
+  auto it = synopses_.find(unit_oid);
+  MPPDB_CHECK(it != synopses_.end());
+  MPPDB_CHECK(segment >= 0 && segment < num_segments_);
+  SliceSynopsis& synopsis = it->second[static_cast<size_t>(segment)];
+  const uint64_t version = SliceVersion(unit_oid, segment);
+  if (synopsis.built_version != version) {
+    const std::vector<Row>& rows = UnitRows(unit_oid, segment);
+    synopsis.chunks.clear();
+    synopsis.rollup = ChunkSynopsis(desc_->schema.size());
+    for (const Row& row : rows) synopsis.Append(row);
+    synopsis.built_version = version;
+  }
+  return synopsis;
 }
 
 Status TableStore::CreateIndex(int column) {
@@ -198,20 +251,32 @@ std::vector<size_t> TableStore::IndexLookup(Oid unit_oid, int segment, int colum
 
   std::vector<size_t> positions;
   if (key.is_null()) return positions;  // NULL keys never match
-  auto lower = std::lower_bound(index.entries.begin(), index.entries.end(), key,
-                                [](const auto& entry, const Datum& probe) {
-                                  return Datum::Compare(entry.first, probe) < 0;
-                                });
-  for (auto it = lower;
-       it != index.entries.end() && Datum::Compare(it->first, key) == 0; ++it) {
-    positions.push_back(it->second);
-  }
+  // equal_range bounds the match run up front so positions can be sized
+  // exactly, instead of growing through push_back reallocations on wide runs.
+  struct KeyOrder {
+    bool operator()(const std::pair<Datum, size_t>& entry, const Datum& probe) const {
+      return Datum::Compare(entry.first, probe) < 0;
+    }
+    bool operator()(const Datum& probe, const std::pair<Datum, size_t>& entry) const {
+      return Datum::Compare(probe, entry.first) < 0;
+    }
+  };
+  auto [lower, upper] = std::equal_range(index.entries.begin(), index.entries.end(),
+                                         key, KeyOrder{});
+  positions.reserve(static_cast<size_t>(upper - lower));
+  for (auto it = lower; it != upper; ++it) positions.push_back(it->second);
   return positions;
 }
 
 std::vector<Oid> TableStore::UnitOids() const {
-  if (desc_->IsPartitioned()) return desc_->partition_scheme->AllLeafOids();
-  return {desc_->oid};
+  std::vector<Oid> oids;
+  if (desc_->IsPartitioned()) {
+    oids = desc_->partition_scheme->AllLeafOids();
+  } else {
+    oids.push_back(desc_->oid);
+  }
+  std::sort(oids.begin(), oids.end());
+  return oids;
 }
 
 size_t TableStore::TotalRows() const {

@@ -10,6 +10,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "storage/synopsis.h"
 #include "types/row.h"
 
 namespace mppdb {
@@ -29,6 +30,13 @@ struct UnitIndex {
 /// physical storage unit, sliced across segments by the table's distribution.
 /// Unpartitioned tables have a single unit keyed by the table OID itself.
 ///
+/// Each slice is summarized by chunk-level zone maps (see synopsis.h): every
+/// kChunkRows-row logical chunk carries per-column min/max/null-count
+/// synopses plus a slice-wide rollup, maintained incrementally on inserts and
+/// invalidated (then lazily rebuilt) when in-place DML bumps the slice's
+/// version counter. Scans consult them through UnitSynopsis to skip chunks a
+/// predicate provably cannot match.
+///
 /// Thread safety (audited for the parallel executor): the const read paths —
 /// UnitRows, HasUnit, UnitOids, TotalRows, UnitTotalRows, descriptor — touch
 /// only the units_ map, whose shape is fixed at construction, so any number
@@ -37,9 +45,16 @@ struct UnitIndex {
 /// DML rule: all reads complete at the Gather barrier before DML applies, and
 /// only one thread applies it. The index path (CreateIndex, HasIndex,
 /// IndexLookup) builds lazily and therefore mutates under concurrent readers;
-/// it is internally serialized by index_mu_.
+/// it is internally serialized by index_mu_. UnitSynopsis also rebuilds
+/// lazily, but per (unit, segment) slice and without a lock: it relies on the
+/// executor's segment-ownership contract (all reads of a segment's slices
+/// come from the one thread executing that segment), the same contract that
+/// makes UnitRows safe.
 class TableStore {
  public:
+  /// Rows per logical chunk (matches the vectorized executor's batch size).
+  static constexpr size_t kChunkRows = kStorageChunkRows;
+
   TableStore(const TableDescriptor* desc, int num_segments);
 
   const TableDescriptor& descriptor() const { return *desc_; }
@@ -57,7 +72,14 @@ class TableStore {
   const std::vector<Row>& UnitRows(Oid unit_oid, int segment) const;
   std::vector<Row>* MutableUnitRows(Oid unit_oid, int segment);
 
-  /// All storage-unit OIDs (leaf partitions, or the table itself).
+  /// Chunk synopses of one slice, rebuilt here if in-place DML staled them.
+  /// Caller must be the thread owning the segment's slices (the UnitRows
+  /// contract); the returned reference is valid until the slice next mutates.
+  const SliceSynopsis& UnitSynopsis(Oid unit_oid, int segment) const;
+
+  /// All storage-unit OIDs (leaf partitions, or the table itself), in
+  /// ascending OID order — deterministic across platforms and libstdc++
+  /// versions, unlike iterating the units_ hash map.
   std::vector<Oid> UnitOids() const;
 
   bool HasUnit(Oid unit_oid) const { return units_.count(unit_oid) > 0; }
@@ -82,6 +104,16 @@ class TableStore {
  private:
   int SegmentForRow(const Row& row);
   void BumpVersion(Oid unit_oid, int segment);
+  /// Current version counter of one slice (0 if never mutated).
+  uint64_t SliceVersion(Oid unit_oid, int segment) const;
+  /// True if the slice's synopsis reflects its current version.
+  bool SynopsisFresh(Oid unit_oid, int segment) const;
+  /// Folds a just-appended row into the slice's synopsis and stamps it with
+  /// the current version. `was_fresh` is the SynopsisFresh value from before
+  /// this mutation's BumpVersion: a synopsis already staled by earlier
+  /// in-place DML must not be patched incrementally — it stays stale until
+  /// the next UnitSynopsis read rebuilds it from the rows.
+  void SynopsisAppend(Oid unit_oid, int segment, const Row& row, bool was_fresh);
 
   const TableDescriptor* desc_;
   int num_segments_;
@@ -90,6 +122,10 @@ class TableStore {
   std::unordered_map<Oid, std::vector<std::vector<Row>>> units_;
   /// Mutation counters, aligned with units_ ((unit, segment) granularity).
   std::unordered_map<Oid, std::vector<uint64_t>> versions_;
+  /// Chunk synopses, aligned with units_. Shape fixed at construction;
+  /// mutable for the lazy rebuild in UnitSynopsis, which is confined to the
+  /// slice's owning segment thread (see class comment).
+  mutable std::unordered_map<Oid, std::vector<SliceSynopsis>> synopses_;
   /// Serializes the lazily-built index structures below, which concurrent
   /// read-only queries mutate as a side effect.
   mutable std::mutex index_mu_;

@@ -1,0 +1,44 @@
+#include "storage/synopsis.h"
+
+#include "common/macros.h"
+#include "expr/eval.h"
+
+namespace mppdb {
+
+void ColumnSynopsis::AddValue(const Datum& v) {
+  if (v.is_null()) {
+    ++null_count;
+    return;
+  }
+  ++non_null_count;
+  if (min.is_null()) {  // first non-null value
+    min = v;
+    max = v;
+    return;
+  }
+  if (!comparable) return;
+  // Datum::Compare aborts across comparison families, so the family check
+  // must come first; a mixed-family column keeps its last single-family
+  // extremes but is never trusted by skip decisions.
+  if (!DatumsComparable(min, v)) {
+    comparable = false;
+    return;
+  }
+  if (Datum::Compare(v, min) < 0) min = v;
+  if (Datum::Compare(v, max) > 0) max = v;
+}
+
+void ChunkSynopsis::AddRow(const Row& row) {
+  MPPDB_CHECK(row.size() == columns.size());
+  ++row_count;
+  for (size_t i = 0; i < columns.size(); ++i) columns[i].AddValue(row[i]);
+}
+
+void SliceSynopsis::Append(const Row& row) {
+  const size_t chunk = rollup.row_count / kStorageChunkRows;
+  if (chunk == chunks.size()) chunks.emplace_back(rollup.columns.size());
+  chunks[chunk].AddRow(row);
+  rollup.AddRow(row);
+}
+
+}  // namespace mppdb

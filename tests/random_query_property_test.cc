@@ -10,8 +10,10 @@
 // query results, only the partitions touched.
 //
 // Each query additionally runs through the executor-mode matrix
-// {serial, parallel} x {row-at-a-time, vectorized}, asserting bit-identical
-// rows and ExecStats against the serial row-at-a-time oracle.
+// {serial, parallel} x {row-at-a-time, vectorized} x {data skipping on, off},
+// asserting bit-identical rows and ExecStats against the serial row-at-a-time
+// oracle (zone-map skip counters are zeroed before comparing on-vs-off, since
+// those are exactly what skipping is allowed to change).
 
 #include <gtest/gtest.h>
 
@@ -34,7 +36,13 @@ class RandomQueryTest : public ::testing::Test {
         db_parallel_(3, Executor::Options{.parallel = true}),
         db_vectorized_(3, Executor::Options{.vectorized = true}),
         db_parallel_vec_(3,
-                         Executor::Options{.parallel = true, .vectorized = true}) {
+                         Executor::Options{.parallel = true, .vectorized = true}),
+        db_noskip_(3, Executor::Options{.data_skipping = false}),
+        db_noskip_vec_(3, Executor::Options{.vectorized = true,
+                                            .data_skipping = false}),
+        db_noskip_parallel_vec_(3, Executor::Options{.parallel = true,
+                                                     .vectorized = true,
+                                                     .data_skipping = false}) {
     Random rng(4242);
     std::vector<Row> fact_rows;
     for (int i = 0; i < 600; ++i) {
@@ -70,7 +78,9 @@ class RandomQueryTest : public ::testing::Test {
   }
 
   std::vector<Database*> AllModes() {
-    return {&db_, &db_parallel_, &db_vectorized_, &db_parallel_vec_};
+    return {&db_,        &db_parallel_,    &db_vectorized_,
+            &db_parallel_vec_, &db_noskip_, &db_noskip_vec_,
+            &db_noskip_parallel_vec_};
   }
 
   // Random predicate over the given column names (int-typed).
@@ -119,6 +129,25 @@ class RandomQueryTest : public ::testing::Test {
           << " vectorized=" << db->executor().options().vectorized << ")";
     }
 
+    // Skipping-off modes: identical rows, and identical stats once the skip
+    // counters — the only thing zone maps may change — are zeroed on the
+    // skipping-on side.
+    ExecStats reference_noskip = reference->stats;
+    reference_noskip.chunks_total = 0;
+    reference_noskip.chunks_skipped = 0;
+    reference_noskip.units_skipped = 0;
+    for (Database* db : {&db_noskip_, &db_noskip_vec_, &db_noskip_parallel_vec_}) {
+      auto mode_result = db->Run(sql, reference_options);
+      ASSERT_TRUE(mode_result.ok())
+          << sql << "\n" << mode_result.status().ToString();
+      EXPECT_TRUE(reference->rows == mode_result->rows)
+          << sql << " (skipping off, parallel=" << db->executor().options().parallel
+          << " vectorized=" << db->executor().options().vectorized << ")";
+      EXPECT_TRUE(reference_noskip == mode_result->stats)
+          << sql << " (skipping off, parallel=" << db->executor().options().parallel
+          << " vectorized=" << db->executor().options().vectorized << ")";
+    }
+
     QueryOptions no_selection;
     no_selection.enable_partition_selection = false;
     auto unpruned = db_.Run(sql, no_selection);
@@ -147,6 +176,9 @@ class RandomQueryTest : public ::testing::Test {
   Database db_parallel_;
   Database db_vectorized_;
   Database db_parallel_vec_;
+  Database db_noskip_;
+  Database db_noskip_vec_;
+  Database db_noskip_parallel_vec_;
 };
 
 TEST_F(RandomQueryTest, SingleTableFilters) {
