@@ -209,6 +209,69 @@ void BM_HubPushDedup(benchmark::State& state) {
 }
 BENCHMARK(BM_HubPushDedup)->Arg(16)->Arg(256)->Arg(4096);
 
+// Motion exchange throughput: rows per second through one Motion of each
+// kind over a 120k-row scan. Exercises the exchange hot path — rows are
+// moved (not copied) into the per-destination send buffers, receive vectors
+// reserve() from the sender's batch hints, and Broadcast materializes the
+// batch once and shares it across the S-1 remote receiver queues.
+Database* MotionBenchDb() {
+  static Database* db = [] {
+    auto* database = new Database(4);
+    MPPDB_CHECK(database
+                    ->CreateTable("bm_motion",
+                                  Schema({{"k", TypeId::kInt64},
+                                          {"v", TypeId::kInt64}}),
+                                  TableDistribution::kHashed, {0})
+                    .ok());
+    Random rng(17);
+    std::vector<Row> rows;
+    rows.reserve(120000);
+    for (int64_t i = 0; i < 120000; ++i) {
+      rows.push_back({Datum::Int64(i), Datum::Int64(rng.UniformRange(0, 999))});
+    }
+    MPPDB_CHECK(database->Load("bm_motion", rows).ok());
+    return database;
+  }();
+  return db;
+}
+
+void BM_MotionThroughput(benchmark::State& state) {
+  Database* db = MotionBenchDb();
+  const TableDescriptor* t = db->catalog().FindTable("bm_motion");
+  MotionKind kind = MotionKind::kGather;
+  std::vector<ColRefId> motion_cols;
+  switch (state.range(0)) {
+    case 0:
+      kind = MotionKind::kGather;
+      state.SetLabel("gather");
+      break;
+    case 1:
+      kind = MotionKind::kRedistribute;
+      // Redistribute on v, not the stored hash column, so rows reshuffle.
+      motion_cols = {2};
+      state.SetLabel("redistribute");
+      break;
+    default:
+      kind = MotionKind::kBroadcast;
+      state.SetLabel("broadcast");
+      break;
+  }
+  auto scan = std::make_shared<TableScanNode>(t->oid, t->oid,
+                                              std::vector<ColRefId>{1, 2});
+  PhysPtr plan = std::make_shared<MotionNode>(kind, motion_cols, scan);
+  Executor exec(&db->catalog(), &db->storage());
+  size_t rows_moved = 0;
+  for (auto _ : state) {
+    auto result = exec.Execute(plan);
+    MPPDB_CHECK(result.ok());
+    rows_moved = exec.stats().rows_moved;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows_moved));
+}
+BENCHMARK(BM_MotionThroughput)->Arg(0)->Arg(1)->Arg(2);
+
 // Index equality seek: TableStore::IndexLookup with equal_range + exact
 // reserve over a lazily built sorted index. The argument is the duplicate
 // run width per key — wide runs are where sizing the result up front (vs

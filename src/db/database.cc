@@ -42,6 +42,14 @@ Result<BoundStatement> Database::BindSql(const std::string& sql) {
 
 namespace {
 
+// Rebuilt nodes must keep the original's join-filter annotations (the
+// placement pass runs before parameter binding).
+PhysPtr KeepJoinFilters(const PhysicalNode& original,
+                        std::shared_ptr<PhysicalNode> rebuilt) {
+  rebuilt->CopyJoinFiltersFrom(original);
+  return rebuilt;
+}
+
 // Rewrites every scalar expression embedded in a plan with `fn`.
 PhysPtr RewritePlanExprs(const PhysPtr& node,
                          const std::function<ExprPtr(const ExprPtr&)>& fn) {
@@ -53,32 +61,39 @@ PhysPtr RewritePlanExprs(const PhysPtr& node,
   switch (node->kind()) {
     case PhysNodeKind::kFilter: {
       const auto& filter = static_cast<const FilterNode&>(*node);
-      return std::make_shared<FilterNode>(fn(filter.predicate()), children[0]);
+      return KeepJoinFilters(*node, std::make_shared<FilterNode>(
+                                        fn(filter.predicate()), children[0]));
     }
     case PhysNodeKind::kProject: {
       const auto& project = static_cast<const ProjectNode&>(*node);
       std::vector<ProjectItem> items = project.items();
       for (auto& item : items) item.expr = fn(item.expr);
-      return std::make_shared<ProjectNode>(std::move(items), children[0]);
+      return KeepJoinFilters(*node, std::make_shared<ProjectNode>(
+                                        std::move(items), children[0]));
     }
     case PhysNodeKind::kHashJoin: {
       const auto& join = static_cast<const HashJoinNode&>(*node);
-      return std::make_shared<HashJoinNode>(
-          join.join_type(), join.build_keys(), join.probe_keys(),
-          join.residual() ? fn(join.residual()) : nullptr, children[0], children[1]);
+      return KeepJoinFilters(
+          *node, std::make_shared<HashJoinNode>(
+                     join.join_type(), join.build_keys(), join.probe_keys(),
+                     join.residual() ? fn(join.residual()) : nullptr,
+                     children[0], children[1]));
     }
     case PhysNodeKind::kNestedLoopJoin: {
       const auto& join = static_cast<const NestedLoopJoinNode&>(*node);
-      return std::make_shared<NestedLoopJoinNode>(
-          join.join_type(), join.predicate() ? fn(join.predicate()) : nullptr,
-          children[0], children[1]);
+      return KeepJoinFilters(
+          *node, std::make_shared<NestedLoopJoinNode>(
+                     join.join_type(),
+                     join.predicate() ? fn(join.predicate()) : nullptr,
+                     children[0], children[1]));
     }
     case PhysNodeKind::kIndexNLJoin: {
       const auto& join = static_cast<const IndexNLJoinNode&>(*node);
-      return std::make_shared<IndexNLJoinNode>(
-          children[0], join.inner_table(), join.inner_column_ids(),
-          join.inner_key_column(), join.outer_key(),
-          join.residual() ? fn(join.residual()) : nullptr);
+      return KeepJoinFilters(
+          *node, std::make_shared<IndexNLJoinNode>(
+                     children[0], join.inner_table(), join.inner_column_ids(),
+                     join.inner_key_column(), join.outer_key(),
+                     join.residual() ? fn(join.residual()) : nullptr));
     }
     case PhysNodeKind::kHashAgg: {
       const auto& agg = static_cast<const HashAggNode&>(*node);
@@ -86,8 +101,9 @@ PhysPtr RewritePlanExprs(const PhysPtr& node,
       for (auto& item : aggs) {
         if (item.arg != nullptr) item.arg = fn(item.arg);
       }
-      return std::make_shared<HashAggNode>(agg.group_by(), std::move(aggs),
-                                           children[0]);
+      return KeepJoinFilters(*node, std::make_shared<HashAggNode>(
+                                        agg.group_by(), std::move(aggs),
+                                        children[0]));
     }
     case PhysNodeKind::kPartitionSelector: {
       const auto& sel = static_cast<const PartitionSelectorNode&>(*node);
@@ -95,18 +111,20 @@ PhysPtr RewritePlanExprs(const PhysPtr& node,
       for (auto& pred : preds) {
         if (pred != nullptr) pred = fn(pred);
       }
-      return std::make_shared<PartitionSelectorNode>(
-          sel.table_oid(), sel.scan_id(), sel.level_keys(), std::move(preds),
-          children.empty() ? nullptr : children[0]);
+      return KeepJoinFilters(
+          *node, std::make_shared<PartitionSelectorNode>(
+                     sel.table_oid(), sel.scan_id(), sel.level_keys(),
+                     std::move(preds), children.empty() ? nullptr : children[0]));
     }
     case PhysNodeKind::kUpdate: {
       const auto& update = static_cast<const UpdateNode&>(*node);
       std::vector<UpdateSetItem> items = update.set_items();
       for (auto& item : items) item.value = fn(item.value);
-      return std::make_shared<UpdateNode>(update.table_oid(),
-                                          update.table_column_ids(),
-                                          update.rowid_ids(), std::move(items),
-                                          update.OutputIds()[0], children[0]);
+      return KeepJoinFilters(
+          *node, std::make_shared<UpdateNode>(
+                     update.table_oid(), update.table_column_ids(),
+                     update.rowid_ids(), std::move(items),
+                     update.OutputIds()[0], children[0]));
     }
     default:
       return CloneWithChildren(node, std::move(children));
@@ -128,6 +146,7 @@ Result<PhysPtr> Database::PlanStatement(const BoundStatement& stmt,
     opt.enable_dynamic_elimination = options.enable_dynamic_elimination;
     opt.enable_two_phase_agg = options.enable_two_phase_agg;
     opt.enable_index_join = options.enable_index_join;
+    opt.enable_join_filters = options.enable_join_filters;
     CascadesOptimizer optimizer(&catalog_, &storage_, opt);
     return optimizer.Plan(stmt);
   }

@@ -29,6 +29,11 @@ struct QueryOptions {
   bool enable_two_phase_agg = true;
   /// Disable the index nested-loop join alternative.
   bool enable_index_join = true;
+  /// Disable the optimizer's runtime join-filter placement pass (the
+  /// executor side has its own Executor::Options::join_filters switch).
+  /// Results and all pre-existing ExecStats are identical either way; only
+  /// the joinfilter_* counters (and the work saved) differ.
+  bool enable_join_filters = true;
   /// Values for $1, $2, ... parameters, substituted before optimization.
   std::vector<Datum> params;
 };

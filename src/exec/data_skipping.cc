@@ -109,7 +109,46 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
   ColumnLayout layout = node.child(0)->OutputLayout();
   const CompiledSargable compiled = CompileSargable(node.sargable(), layout);
   const bool can_prune = compiled.CanPrune();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
+                         BindJoinFilterProbes(node, layout, segment));
   std::vector<Row> out;
+
+  // Tests a predicate survivor against the bound join filters; returns true
+  // if the row survives those too (and records the probe counters).
+  auto probe_row = [&](const Row& row, ExecStats& stats) {
+    if (join_filters.empty()) return true;
+    ++stats.joinfilter_probed;
+    for (const BoundJoinFilter& filter : join_filters) {
+      if (filter.summary->RowMayMatch(row, filter.key_positions)) continue;
+      ++stats.joinfilter_rows_rejected;
+      if (filter.below_motion) {
+        ++stats.rows_moved;  // rows_moved stays logical
+        ++stats.joinfilter_motion_rows_saved;
+      }
+      return false;
+    }
+    return true;
+  };
+
+  // A join filter may skip a whole chunk only when (a) no Motion sits between
+  // this Filter and the join — below a Motion the dropped rows' rows_moved
+  // compensation needs exact per-row predicate outcomes — and (b) the whole
+  // predicate is provably error-free on the chunk: unlike a predicate-driven
+  // skip, the dropped rows may *satisfy* the predicate, so no conjunct may be
+  // allowed to error behind the skip.
+  auto join_filter_chunk_skip = [&](const ChunkSynopsis& chunk,
+                                    ExecStats& stats) {
+    if (join_filters.empty()) return false;
+    if (!SynopsisErrorFree(node.sargable(), compiled, chunk)) return false;
+    for (const BoundJoinFilter& filter : join_filters) {
+      if (filter.below_motion) continue;
+      if (filter.summary->ChunkProvablyDisjoint(chunk, filter.key_positions)) {
+        ++stats.joinfilter_chunks_skipped;
+        return true;
+      }
+    }
+    return false;
+  };
 
   auto scan_unit_filtered = [&](const TableStore& store, Oid table_oid,
                                 Oid unit_oid) -> Status {
@@ -122,7 +161,7 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
     // synopsis (re)build it would not use.
     stats.chunks_total +=
         (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
-    if (!can_prune) {
+    if (!can_prune && join_filters.empty()) {
       for (const Row& row : rows) {
         MPPDB_ASSIGN_OR_RETURN(bool keep,
                                EvalPredicate(node.predicate(), layout, row));
@@ -132,22 +171,25 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
     }
     const SliceSynopsis& synopsis = store.UnitSynopsis(unit_oid, segment);
     MPPDB_CHECK(synopsis.rollup.row_count == rows.size());
-    if (SynopsisCanSkip(compiled, synopsis.rollup)) {
+    if (can_prune && SynopsisCanSkip(compiled, synopsis.rollup)) {
       ++stats.units_skipped;
       stats.chunks_skipped += synopsis.chunks.size();
       return Status::OK();
     }
     for (size_t c = 0; c < synopsis.chunks.size(); ++c) {
-      if (SynopsisCanSkip(compiled, synopsis.chunks[c])) {
+      // Predicate-driven skips run first so chunks_skipped is identical with
+      // join filters on or off; only then may a join filter claim the chunk.
+      if (can_prune && SynopsisCanSkip(compiled, synopsis.chunks[c])) {
         ++stats.chunks_skipped;
         continue;
       }
+      if (join_filter_chunk_skip(synopsis.chunks[c], stats)) continue;
       const size_t base = c * TableStore::kChunkRows;
       const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
       for (size_t i = base; i < end; ++i) {
         MPPDB_ASSIGN_OR_RETURN(bool keep,
                                EvalPredicate(node.predicate(), layout, rows[i]));
-        if (keep) out.push_back(rows[i]);
+        if (keep && probe_row(rows[i], stats)) out.push_back(rows[i]);
       }
     }
     return Status::OK();

@@ -35,6 +35,11 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   chunks_total += other.chunks_total;
   chunks_skipped += other.chunks_skipped;
   units_skipped += other.units_skipped;
+  joinfilter_built += other.joinfilter_built;
+  joinfilter_probed += other.joinfilter_probed;
+  joinfilter_rows_rejected += other.joinfilter_rows_rejected;
+  joinfilter_chunks_skipped += other.joinfilter_chunks_skipped;
+  joinfilter_motion_rows_saved += other.joinfilter_motion_rows_saved;
 }
 
 struct Executor::MotionExchange {
@@ -42,13 +47,21 @@ struct Executor::MotionExchange {
   std::condition_variable cv;
   /// Segments that have deposited their source rows (parallel mode).
   int arrived = 0;
-  /// Set exactly once, after `buffers`/`build_status` are final.
+  /// Set exactly once, after the buffers/`build_status` are final.
   bool built = false;
   Status build_status;
+  /// True when registered lazily for a shared Motion subtree (serial-only):
+  /// each segment may read its buffer more than once, so reads must copy
+  /// instead of moving out.
+  bool lazily_registered = false;
   /// Per-source-segment child output, awaiting the exchange.
   std::vector<std::vector<Row>> source_rows;
-  /// Per-destination-segment buffers; read-only once `built`.
+  /// Per-destination-segment buffers (gather/redistribute); each slot is
+  /// read by exactly one segment once `built`, so reads move out of it.
   std::vector<std::vector<Row>> buffers;
+  /// Broadcast motions materialize the batch here once and every
+  /// destination copies from it, instead of filling S identical buffers.
+  std::vector<Row> broadcast_shared;
 };
 
 namespace {
@@ -257,23 +270,114 @@ Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
 }
 
 void Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
-                        int segment, bool emit_rowids, std::vector<Row>* out) {
+                        int segment, bool emit_rowids,
+                        const std::vector<BoundJoinFilter>& join_filters,
+                        std::vector<Row>* out) {
   const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
   ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
   stats.partitions_scanned[table_oid].insert(unit_oid);
+  // Logical accounting: join-filter-rejected rows still count as scanned.
   stats.tuples_scanned += rows.size();
-  if (!emit_rowids) {
-    out->insert(out->end(), rows.begin(), rows.end());
+  if (join_filters.empty()) {
+    if (!emit_rowids) {
+      out->insert(out->end(), rows.begin(), rows.end());
+      return;
+    }
+    out->reserve(out->size() + rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Row row = rows[i];
+      row.push_back(Datum::Int64(unit_oid));
+      row.push_back(Datum::Int64(segment));
+      row.push_back(Datum::Int64(static_cast<int64_t>(i)));
+      out->push_back(std::move(row));
+    }
     return;
   }
-  out->reserve(out->size() + rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    Row row = rows[i];
-    row.push_back(Datum::Int64(unit_oid));
-    row.push_back(Datum::Int64(segment));
-    row.push_back(Datum::Int64(static_cast<int64_t>(i)));
-    out->push_back(std::move(row));
+  // Join-filtered scan. Placement never annotates rowid-emitting scans
+  // (those exist for DML plans, which get no placement pass at all).
+  MPPDB_CHECK(!emit_rowids);
+  if (rows.empty()) return;
+  // At a bare scan there is no predicate between storage and the consumer
+  // site, so chunk-level skipping needs no error-safety gate: any dropped
+  // row is provably outside the build keys' min/max and could never join.
+  const SliceSynopsis* synopsis =
+      options_.data_skipping ? &store.UnitSynopsis(unit_oid, segment) : nullptr;
+  for (size_t base = 0; base < rows.size(); base += TableStore::kChunkRows) {
+    const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
+    const BoundJoinFilter* chunk_skipper = nullptr;
+    if (synopsis != nullptr) {
+      const ChunkSynopsis& chunk = synopsis->chunks[base / TableStore::kChunkRows];
+      for (const BoundJoinFilter& filter : join_filters) {
+        if (filter.summary->ChunkProvablyDisjoint(chunk, filter.key_positions)) {
+          chunk_skipper = &filter;
+          break;
+        }
+      }
+    }
+    if (chunk_skipper != nullptr) {
+      ++stats.joinfilter_chunks_skipped;
+      if (chunk_skipper->below_motion) {
+        // rows_moved stays logical: these rows would have reached the Motion
+        // (nothing between a bare scan and its Motion drops rows).
+        stats.rows_moved += end - base;
+        stats.joinfilter_motion_rows_saved += end - base;
+      }
+      continue;
+    }
+    for (size_t i = base; i < end; ++i) {
+      ++stats.joinfilter_probed;
+      const BoundJoinFilter* rejecter = nullptr;
+      for (const BoundJoinFilter& filter : join_filters) {
+        if (!filter.summary->RowMayMatch(rows[i], filter.key_positions)) {
+          rejecter = &filter;
+          break;
+        }
+      }
+      if (rejecter == nullptr) {
+        out->push_back(rows[i]);
+        continue;
+      }
+      ++stats.joinfilter_rows_rejected;
+      if (rejecter->below_motion) {
+        ++stats.rows_moved;
+        ++stats.joinfilter_motion_rows_saved;
+      }
+    }
   }
+}
+
+Result<std::vector<Executor::BoundJoinFilter>> Executor::BindJoinFilterProbes(
+    const PhysicalNode& node, const ColumnLayout& layout, int segment) {
+  std::vector<BoundJoinFilter> bound;
+  if (!options_.join_filters || node.join_filters().probes.empty()) return bound;
+  for (const JoinFilterProbe& probe : node.join_filters().probes) {
+    const JoinFilterSummary* summary =
+        probe.global ? hub_.FindGlobalJoinFilter(probe.filter_id)
+                     : hub_.FindJoinFilter(segment, probe.filter_id);
+    // The filter is advisory: an unpublished summary (publisher disabled or
+    // never reached) just means no early rejection on this path.
+    if (summary == nullptr) continue;
+    MPPDB_ASSIGN_OR_RETURN(std::vector<int> positions,
+                           ResolvePositions(layout, probe.key_columns));
+    bound.push_back(BoundJoinFilter{summary, std::move(positions), probe.below_motion});
+  }
+  return bound;
+}
+
+Status Executor::PublishLocalJoinFilters(const PhysicalNode& node,
+                                         const ColumnLayout& build_layout,
+                                         const std::vector<Row>& build_rows,
+                                         int segment) {
+  if (!options_.join_filters) return Status::OK();
+  for (const JoinFilterSpec& spec : node.join_filters().publishes) {
+    MPPDB_ASSIGN_OR_RETURN(std::vector<int> positions,
+                           ResolvePositions(build_layout, spec.key_columns));
+    JoinFilterSummaryBuilder builder(positions.size(), build_rows.size());
+    for (const Row& row : build_rows) builder.Add(row, positions);
+    hub_.PublishJoinFilter(segment, spec.filter_id, builder.Finish());
+    ++seg_stats_[static_cast<size_t>(segment)].joinfilter_built;
+  }
+  return Status::OK();
 }
 
 Result<std::vector<Row>> Executor::ExecTableScan(const TableScanNode& node,
@@ -288,9 +392,11 @@ Result<std::vector<Row>> Executor::ExecTableScan(const TableScanNode& node,
       segment != 0) {
     return std::vector<Row>{};
   }
+  MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
+                         BindJoinFilterProbes(node, node.OutputLayout(), segment));
   std::vector<Row> out;
   ScanUnit(*store, node.table_oid(), node.unit_oid(), segment,
-           !node.rowid_ids().empty(), &out);
+           !node.rowid_ids().empty(), join_filters, &out);
   return out;
 }
 
@@ -309,7 +415,10 @@ Result<std::vector<Row>> Executor::ExecCheckedPartScan(const CheckedPartScanNode
   const std::vector<Oid>& selected = hub_.Selected(segment, node.scan_id());
   std::vector<Row> out;
   if (std::find(selected.begin(), selected.end(), node.leaf_oid()) != selected.end()) {
-    ScanUnit(*store, node.table_oid(), node.leaf_oid(), segment, false, &out);
+    MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
+                           BindJoinFilterProbes(node, node.OutputLayout(), segment));
+    ScanUnit(*store, node.table_oid(), node.leaf_oid(), segment, false, join_filters,
+             &out);
   }
   return out;
 }
@@ -330,6 +439,8 @@ Result<std::vector<Row>> Executor::ExecDynamicScan(const DynamicScanNode& node,
       segment != 0) {
     return std::vector<Row>{};
   }
+  MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
+                         BindJoinFilterProbes(node, node.OutputLayout(), segment));
   std::vector<Row> out;
   for (Oid oid : hub_.Selected(segment, node.scan_id())) {
     if (!store->HasUnit(oid)) {
@@ -337,7 +448,8 @@ Result<std::vector<Row>> Executor::ExecDynamicScan(const DynamicScanNode& node,
                                     " is not a leaf of table " +
                                     std::to_string(node.table_oid()));
     }
-    ScanUnit(*store, node.table_oid(), oid, segment, !node.rowid_ids().empty(), &out);
+    ScanUnit(*store, node.table_oid(), oid, segment, !node.rowid_ids().empty(),
+             join_filters, &out);
   }
   return out;
 }
@@ -488,11 +600,35 @@ Result<std::vector<Row>> Executor::ExecFilter(const FilterNode& node, int segmen
   }
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
   ColumnLayout layout = node.child(0)->OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
+                         BindJoinFilterProbes(node, layout, segment));
+  ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
   std::vector<Row> out;
   out.reserve(rows.size());
   for (Row& row : rows) {
     MPPDB_ASSIGN_OR_RETURN(bool keep, EvalPredicate(node.predicate(), layout, row));
-    if (keep) out.push_back(std::move(row));
+    if (!keep) continue;
+    // Join filters apply after the full predicate, so only rows the filter
+    // would have emitted anyway are probed (identical error behavior).
+    const BoundJoinFilter* rejecter = nullptr;
+    if (!join_filters.empty()) {
+      ++stats.joinfilter_probed;
+      for (const BoundJoinFilter& filter : join_filters) {
+        if (!filter.summary->RowMayMatch(row, filter.key_positions)) {
+          rejecter = &filter;
+          break;
+        }
+      }
+    }
+    if (rejecter == nullptr) {
+      out.push_back(std::move(row));
+      continue;
+    }
+    ++stats.joinfilter_rows_rejected;
+    if (rejecter->below_motion) {
+      ++stats.rows_moved;
+      ++stats.joinfilter_motion_rows_saved;
+    }
   }
   return out;
 }
@@ -518,9 +654,13 @@ Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int se
   // children[0] (build) runs to completion first — the property
   // PartitionSelector placement relies on.
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> build_rows, ExecNode(node.child(0), segment));
+  ColumnLayout build_layout = node.child(0)->OutputLayout();
+  // This segment's build-key summary goes out before the probe child runs,
+  // so probe-side consumers (same segment, same slice thread) can find it.
+  MPPDB_RETURN_IF_ERROR(
+      PublishLocalJoinFilters(node, build_layout, build_rows, segment));
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> probe_rows, ExecNode(node.child(1), segment));
 
-  ColumnLayout build_layout = node.child(0)->OutputLayout();
   ColumnLayout probe_layout = node.child(1)->OutputLayout();
   MPPDB_ASSIGN_OR_RETURN(std::vector<int> build_pos,
                          ResolvePositions(build_layout, node.build_keys()));
@@ -790,26 +930,52 @@ Result<std::vector<Row>> Executor::ExecSort(const SortNode& node, int segment) {
   return sorted;
 }
 
-Result<std::vector<std::vector<Row>>> Executor::BuildMotionBuffers(
-    const MotionNode& node, std::vector<std::vector<Row>> source_rows) {
-  std::vector<std::vector<Row>> buffers(static_cast<size_t>(num_segments_));
+Status Executor::BuildMotionBuffers(const MotionNode& node, int segment,
+                                    std::vector<std::vector<Row>> source_rows,
+                                    MotionExchange* exchange) {
   ColumnLayout layout = node.child(0)->OutputLayout();
-  std::vector<int> hash_pos;
-  if (node.motion_kind() == MotionKind::kRedistribute) {
-    MPPDB_ASSIGN_OR_RETURN(hash_pos, ResolvePositions(layout, node.hash_columns()));
-  }
   size_t total_rows = 0;
   for (const auto& rows : source_rows) total_rows += rows.size();
+
+  // Cross-segment join-filter publication: the summary covers every source
+  // segment's rows before they are routed, which is exactly the union of all
+  // segments' post-exchange build tables — sound for consumers below a
+  // probe-side Motion on any segment. Publishing here (before `built` is
+  // announced) means every consuming slice, still blocked on or short of
+  // this rendezvous, observes a complete summary.
+  if (options_.join_filters) {
+    for (const JoinFilterSpec& spec : node.join_filters().publishes) {
+      MPPDB_ASSIGN_OR_RETURN(std::vector<int> positions,
+                             ResolvePositions(layout, spec.key_columns));
+      JoinFilterSummaryBuilder builder(positions.size(), total_rows);
+      for (const auto& rows : source_rows) {
+        for (const Row& row : rows) builder.Add(row, positions);
+      }
+      hub_.PublishGlobalJoinFilter(spec.filter_id, builder.Finish());
+      ++seg_stats_[static_cast<size_t>(segment)].joinfilter_built;
+    }
+  }
+
+  std::vector<std::vector<Row>>& buffers = exchange->buffers;
+  buffers.assign(static_cast<size_t>(num_segments_), {});
+  std::vector<int> hash_pos;
   switch (node.motion_kind()) {
     case MotionKind::kGather:
       buffers[0].reserve(total_rows);
       break;
     case MotionKind::kBroadcast:
-      for (auto& buffer : buffers) buffer.reserve(total_rows);
+      // One shared materialization; destinations copy from it on read.
+      exchange->broadcast_shared.reserve(total_rows);
       break;
-    case MotionKind::kRedistribute:
-      // Destination sizes depend on the hash distribution; skip the guess.
+    case MotionKind::kRedistribute: {
+      MPPDB_ASSIGN_OR_RETURN(hash_pos, ResolvePositions(layout, node.hash_columns()));
+      // Sender batch hint: destinations receive ~total/S rows each under a
+      // uniform hash; reserve that plus slack to avoid most regrows.
+      const size_t expected =
+          total_rows / static_cast<size_t>(num_segments_);
+      for (auto& buffer : buffers) buffer.reserve(expected + expected / 4 + 4);
       break;
+    }
   }
   // Source-segment order keeps buffer contents identical to serial execution.
   for (auto& rows : source_rows) {
@@ -819,9 +985,9 @@ Result<std::vector<std::vector<Row>>> Executor::BuildMotionBuffers(
                           std::make_move_iterator(rows.end()));
         break;
       case MotionKind::kBroadcast:
-        for (auto& buffer : buffers) {
-          buffer.insert(buffer.end(), rows.begin(), rows.end());
-        }
+        exchange->broadcast_shared.insert(exchange->broadcast_shared.end(),
+                                          std::make_move_iterator(rows.begin()),
+                                          std::make_move_iterator(rows.end()));
         break;
       case MotionKind::kRedistribute:
         for (Row& row : rows) {
@@ -831,7 +997,20 @@ Result<std::vector<std::vector<Row>>> Executor::BuildMotionBuffers(
         break;
     }
   }
-  return buffers;
+  return Status::OK();
+}
+
+std::vector<Row> Executor::ReadMotionBuffer(const MotionNode& node,
+                                            MotionExchange& exchange, int segment) {
+  if (node.motion_kind() == MotionKind::kBroadcast) {
+    return exchange.broadcast_shared;  // every destination copies the batch
+  }
+  if (exchange.lazily_registered) {
+    // Shared Motion subtree (serial-only): this buffer may be read again.
+    return exchange.buffers[static_cast<size_t>(segment)];
+  }
+  // Sole reader of this slot: hand the buffer over without copying.
+  return std::move(exchange.buffers[static_cast<size_t>(segment)]);
 }
 
 Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segment) {
@@ -842,6 +1021,7 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
     MPPDB_CHECK(!parallel_run_);
     auto exchange = std::make_unique<MotionExchange>();
     exchange->source_rows.resize(static_cast<size_t>(num_segments_));
+    exchange->lazily_registered = true;
     it = exchanges_.emplace(&node, std::move(exchange)).first;
   }
   MotionExchange& exchange = *it->second;
@@ -857,11 +1037,11 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
         seg_stats_[static_cast<size_t>(source)].rows_moved +=
             source_rows[static_cast<size_t>(source)].size();
       }
-      MPPDB_ASSIGN_OR_RETURN(exchange.buffers,
-                             BuildMotionBuffers(node, std::move(source_rows)));
+      MPPDB_RETURN_IF_ERROR(
+          BuildMotionBuffers(node, segment, std::move(source_rows), &exchange));
       exchange.built = true;
     }
-    return exchange.buffers[static_cast<size_t>(segment)];
+    return ReadMotionBuffer(node, exchange, segment);
   }
 
   // Parallel: compute this segment's contribution, then rendezvous with the
@@ -872,13 +1052,8 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
   exchange.source_rows[static_cast<size_t>(segment)] = std::move(rows);
   if (++exchange.arrived == num_segments_) {
     // Last arriver builds the per-destination buffers exactly once.
-    Result<std::vector<std::vector<Row>>> buffers =
-        BuildMotionBuffers(node, std::move(exchange.source_rows));
-    if (buffers.ok()) {
-      exchange.buffers = std::move(buffers).value();
-    } else {
-      exchange.build_status = buffers.status();
-    }
+    exchange.build_status =
+        BuildMotionBuffers(node, segment, std::move(exchange.source_rows), &exchange);
     exchange.built = true;
     lock.unlock();
     exchange.cv.notify_all();
@@ -889,10 +1064,11 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
     if (!exchange.built) return AbortedStatus();
     lock.unlock();
   }
-  // `built` is final: buffers/build_status are immutable from here on, so
-  // lock-free concurrent reads are safe.
+  // `built` is final: the buffers/build_status are immutable from here on
+  // (each segment only moves out of its own buffer slot, and the broadcast
+  // batch is only copied), so lock-free concurrent reads are safe.
   if (!exchange.build_status.ok()) return exchange.build_status;
-  return exchange.buffers[static_cast<size_t>(segment)];
+  return ReadMotionBuffer(node, exchange, segment);
 }
 
 Result<std::vector<Row>> Executor::ExecInsert(const InsertNode& node, int segment) {

@@ -42,6 +42,28 @@ struct ExecStats {
   /// chunks are also counted in chunks_skipped.
   size_t units_skipped = 0;
 
+  /// Runtime join-filter counters (Options::join_filters; all zero when the
+  /// feature — or the optimizer's placement — is off). Like the zone-map
+  /// counters, every pre-existing field above stays identical with filters
+  /// on or off: rows_moved stays logical (rows a below-Motion consumer
+  /// rejects are still counted as moved, with the savings reported in
+  /// joinfilter_motion_rows_saved), and predicate-driven chunk skips are
+  /// tested before join-filter skips so chunks_skipped is unchanged.
+  /// Summaries published (one per filter per segment, plus one per
+  /// cross-segment merge).
+  size_t joinfilter_built = 0;
+  /// Probe rows tested row-at-a-time against a summary (predicate survivors
+  /// at Filter consumers; all slice rows at bare-scan consumers).
+  size_t joinfilter_probed = 0;
+  /// Probed rows rejected (NULL key, out of build min/max, or bloom miss).
+  size_t joinfilter_rows_rejected = 0;
+  /// Chunks (and, via rollups, whole slices) skipped because the build-key
+  /// min/max proved them disjoint; disjoint from chunks_skipped.
+  size_t joinfilter_chunks_skipped = 0;
+  /// Rows that were *not* serialized through an exchange because a consumer
+  /// below the Motion rejected them (rows_moved still counts them).
+  size_t joinfilter_motion_rows_saved = 0;
+
   /// Distinct partitions scanned for `table_oid` (0 if never scanned).
   size_t PartitionsScanned(Oid table_oid) const;
   /// Sum over all tables.
@@ -126,6 +148,15 @@ class Executor {
     /// and the logical ExecStats counters are identical with it off — only
     /// the chunks_* / units_skipped counters (and time spent) change.
     bool data_skipping = true;
+    /// Build and consume runtime join filters (runtime/join_filter.h) where
+    /// the optimizer placed JoinFilterSpec/JoinFilterProbe annotations:
+    /// build sides publish bloom + min/max summaries of their keys through
+    /// the propagation hub, probe-side scans reject non-joining rows early
+    /// (below Motions, before exchange). Rows, ordering, errors, and every
+    /// pre-existing ExecStats field are identical with it off — only the
+    /// joinfilter_* counters (and time spent) change. Chunk-level skipping
+    /// through the zone maps additionally requires data_skipping.
+    bool join_filters = true;
   };
 
   Executor(const Catalog* catalog, StorageEngine* storage);
@@ -155,16 +186,55 @@ class Executor {
   /// exchange handles re-visits.
   bool CollectMotions(const PhysPtr& node);
 
-  /// Routes per-source rows into per-destination buffers according to the
-  /// Motion kind, in source-segment order (determinism).
-  Result<std::vector<std::vector<Row>>> BuildMotionBuffers(
-      const MotionNode& node, std::vector<std::vector<Row>> source_rows);
+  /// Routes per-source rows into the exchange's per-destination buffers
+  /// according to the Motion kind, in source-segment order (determinism).
+  /// Broadcast materializes the batch once in the exchange's shared buffer
+  /// instead of once per destination. Also publishes any JoinFilterSpec the
+  /// optimizer attached to this Motion (the cross-segment merged summary),
+  /// before `built` is announced, so consumers blocked on the rendezvous
+  /// observe it. `segment` is the building segment (stats attribution).
+  Status BuildMotionBuffers(const MotionNode& node, int segment,
+                            std::vector<std::vector<Row>> source_rows,
+                            MotionExchange* exchange);
+
+  /// Reads `segment`'s output of a built exchange: the shared broadcast
+  /// buffer is copied (every destination reads it), per-destination buffers
+  /// are moved out unless the exchange was lazily registered for a shared
+  /// Motion subtree, whose buffers may be re-read.
+  std::vector<Row> ReadMotionBuffer(const MotionNode& node, MotionExchange& exchange,
+                                    int segment);
 
   /// Marks the current run failed and wakes every Motion barrier so no
   /// worker blocks on a segment that will never arrive.
   void SignalAbort();
 
   Result<std::vector<Row>> ExecNode(const PhysPtr& node, int segment);
+
+  /// A JoinFilterProbe resolved against a consumer's output layout, with the
+  /// published summary in hand. Bound once per operator execution.
+  struct BoundJoinFilter {
+    const JoinFilterSummary* summary;
+    std::vector<int> key_positions;
+    /// Consumer sits below a probe-side Motion: every rejected row (or
+    /// skipped chunk row) is compensated into rows_moved — which stays
+    /// logical — and credited to joinfilter_motion_rows_saved.
+    bool below_motion;
+  };
+
+  /// Resolves the node's JoinFilterProbe annotations against `layout`,
+  /// looking the summaries up in the hub (segment-local or global). Probes
+  /// whose summary was never published are silently dropped — the filter is
+  /// advisory. Empty when Options::join_filters is off.
+  Result<std::vector<BoundJoinFilter>> BindJoinFilterProbes(
+      const PhysicalNode& node, const ColumnLayout& layout, int segment);
+
+  /// Publishes the segment-local build-key summaries a hash join's
+  /// JoinFilterSpec annotations describe, from the already-materialized
+  /// build rows. Must run after the build child and before the probe child,
+  /// so probe-side consumers on the same slice thread can find them.
+  Status PublishLocalJoinFilters(const PhysicalNode& node,
+                                 const ColumnLayout& build_layout,
+                                 const std::vector<Row>& build_rows, int segment);
 
   Result<std::vector<Row>> ExecTableScan(const TableScanNode& node, int segment);
   Result<std::vector<Row>> ExecCheckedPartScan(const CheckedPartScanNode& node,
@@ -224,6 +294,14 @@ class Executor {
   Result<std::vector<Row>> ExecFilterRowSkip(const FilterNode& node,
                                              const ScanFragment& frag, int segment);
 
+  /// Vectorized join-filter probe: hashes each bound filter's key columns
+  /// over the surviving selection in one batch pass, then tests every row
+  /// and compacts the survivors into `sel` in place. Probe verdicts and
+  /// counter updates are identical to the row path's per-row RowMayMatch.
+  void ProbeJoinFiltersVec(const std::vector<Row>& rows,
+                           const std::vector<BoundJoinFilter>& filters, int segment,
+                           std::vector<uint32_t>* sel);
+
   Result<std::vector<Row>> ExecFilterVec(const FilterNode& node, int segment);
   /// Fused filter-over-scan: evaluates the predicate in chunks directly over
   /// TableStore::UnitRows slices via a selection vector; rows that fail the
@@ -236,9 +314,12 @@ class Executor {
 
   /// Scans one storage unit on one segment, appending (optionally
   /// rowid-extended) rows to `out` and recording stats against the segment's
-  /// accumulator.
+  /// accumulator. Bound join filters (never combined with rowid emission)
+  /// reject non-joining rows before they are materialized, skipping whole
+  /// chunks via the slice synopsis when Options::data_skipping allows.
   void ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid, int segment,
-                bool emit_rowids, std::vector<Row>* out);
+                bool emit_rowids, const std::vector<BoundJoinFilter>& join_filters,
+                std::vector<Row>* out);
 
   const Catalog* catalog_;
   StorageEngine* storage_;

@@ -228,23 +228,34 @@ std::string DeleteNode::Describe() const {
   return "Delete(table=" + std::to_string(table_oid_) + ")";
 }
 
-PhysPtr CloneWithChildren(const PhysPtr& node, std::vector<PhysPtr> children) {
+namespace {
+
+/// Always-constructing node rebuild: a fresh mutable copy of `node` over
+/// `children`, without annotations (callers decide whether to copy or
+/// replace them).
+std::shared_ptr<PhysicalNode> RebuildNode(const PhysPtr& node,
+                                          std::vector<PhysPtr> children) {
   MPPDB_CHECK(children.size() == node->children().size());
-  bool same = true;
-  for (size_t i = 0; i < children.size(); ++i) {
-    if (children[i] != node->child(i)) {
-      same = false;
-      break;
-    }
-  }
-  if (same) return node;
   switch (node->kind()) {
-    case PhysNodeKind::kTableScan:
-    case PhysNodeKind::kCheckedPartScan:
-    case PhysNodeKind::kDynamicScan:
-    case PhysNodeKind::kValues:
-      MPPDB_CHECK(false);  // leaves never reach the !same path
-      return node;
+    case PhysNodeKind::kTableScan: {
+      const auto& scan = static_cast<const TableScanNode&>(*node);
+      return std::make_shared<TableScanNode>(scan.table_oid(), scan.unit_oid(),
+                                             scan.column_ids(), scan.rowid_ids());
+    }
+    case PhysNodeKind::kCheckedPartScan: {
+      const auto& scan = static_cast<const CheckedPartScanNode&>(*node);
+      return std::make_shared<CheckedPartScanNode>(scan.table_oid(), scan.leaf_oid(),
+                                                   scan.scan_id(), scan.column_ids());
+    }
+    case PhysNodeKind::kDynamicScan: {
+      const auto& scan = static_cast<const DynamicScanNode&>(*node);
+      return std::make_shared<DynamicScanNode>(scan.table_oid(), scan.scan_id(),
+                                               scan.column_ids(), scan.rowid_ids());
+    }
+    case PhysNodeKind::kValues: {
+      const auto& values = static_cast<const ValuesNode&>(*node);
+      return std::make_shared<ValuesNode>(values.rows(), values.OutputIds());
+    }
     case PhysNodeKind::kPartitionSelector: {
       const auto& sel = static_cast<const PartitionSelectorNode&>(*node);
       return std::make_shared<PartitionSelectorNode>(
@@ -316,7 +327,31 @@ PhysPtr CloneWithChildren(const PhysPtr& node, std::vector<PhysPtr> children) {
     }
   }
   MPPDB_CHECK(false);
-  return node;
+  return nullptr;
+}
+
+}  // namespace
+
+PhysPtr CloneWithChildren(const PhysPtr& node, std::vector<PhysPtr> children) {
+  MPPDB_CHECK(children.size() == node->children().size());
+  bool same = true;
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children[i] != node->child(i)) {
+      same = false;
+      break;
+    }
+  }
+  if (same) return node;
+  std::shared_ptr<PhysicalNode> clone = RebuildNode(node, std::move(children));
+  clone->CopyJoinFiltersFrom(*node);
+  return clone;
+}
+
+PhysPtr WithJoinFilters(const PhysPtr& node, std::vector<PhysPtr> children,
+                        JoinFilterAnnotations annotations) {
+  std::shared_ptr<PhysicalNode> clone = RebuildNode(node, std::move(children));
+  clone->set_join_filters(std::move(annotations));
+  return clone;
 }
 
 namespace {

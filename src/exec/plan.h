@@ -53,6 +53,49 @@ enum class MotionKind { kGather, kRedistribute, kBroadcast };
 class PhysicalNode;
 using PhysPtr = std::shared_ptr<const PhysicalNode>;
 
+/// Producer half of a runtime join filter: attached by the optimizer to the
+/// hash join whose build keys are summarized (publishing on the build
+/// segment's local hub channel), or to the Motion feeding the join's build
+/// side (publishing a cross-segment merged summary on the global channel —
+/// required when the consumer sits below a probe-side Motion, see
+/// PartitionPropagationHub::PublishGlobalJoinFilter).
+struct JoinFilterSpec {
+  int filter_id = -1;
+  /// Build-key columns, resolved in the carrying node's input layout (the
+  /// join's build child output, or the Motion child's output).
+  std::vector<ColRefId> key_columns;
+  /// Optimizer estimate of build rows (bloom sizing hint / cost-gate trace).
+  double build_rows_est = 0;
+  /// Publish on the global (cross-segment) channel instead of the local one.
+  bool global = false;
+};
+
+/// Consumer half: attached to a probe-side Filter (applied after its full
+/// predicate, so predicate errors and skip decisions are unchanged) or to a
+/// bare probe-side scan. `key_columns` are the probe keys in the carrying
+/// node's output layout.
+struct JoinFilterProbe {
+  int filter_id = -1;
+  std::vector<ColRefId> key_columns;
+  /// Consume the cross-segment summary (consumer is below a probe-side
+  /// Motion, so local per-segment summaries would be unsound).
+  bool global = false;
+  /// Rows rejected here would otherwise have been exchanged over a Motion:
+  /// the executor keeps rows_moved logical (counts them as moved) and
+  /// reports the savings in joinfilter_motion_rows_saved instead.
+  bool below_motion = false;
+};
+
+/// Join-filter annotations carried by any physical node. Orthogonal to the
+/// node's identity: Describe()/SerializePlan output is unchanged, and clones
+/// (CloneWithChildren, expression rewrites) preserve them.
+struct JoinFilterAnnotations {
+  std::vector<JoinFilterSpec> publishes;
+  std::vector<JoinFilterProbe> probes;
+
+  bool empty() const { return publishes.empty() && probes.empty(); }
+};
+
 /// Base class of immutable physical plan nodes. Execution-order convention
 /// (paper §2.2/§2.3): children execute left to right — children[0] of a join
 /// is the build/outer side and runs to completion first, which is what makes
@@ -76,9 +119,21 @@ class PhysicalNode {
   /// One-line description of this node (no children).
   virtual std::string Describe() const = 0;
 
+  /// Runtime join-filter annotations (empty on almost every node). Set once
+  /// by the optimizer's placement pass on freshly built copies; plan
+  /// rewrites copy them through CopyJoinFiltersFrom.
+  const JoinFilterAnnotations& join_filters() const { return join_filters_; }
+  void set_join_filters(JoinFilterAnnotations annotations) {
+    join_filters_ = std::move(annotations);
+  }
+  void CopyJoinFiltersFrom(const PhysicalNode& other) {
+    join_filters_ = other.join_filters_;
+  }
+
  private:
   PhysNodeKind kind_;
   std::vector<PhysPtr> children_;
+  JoinFilterAnnotations join_filters_;
 };
 
 /// Scan of a single storage unit: an unpartitioned table (unit == table oid)
@@ -536,8 +591,15 @@ class DeleteNode : public PhysicalNode {
 };
 
 /// Rebuilds `node` with the given children (which must match the node's
-/// arity); shares the original node if the children are unchanged.
+/// arity); shares the original node if the children are unchanged. Clones
+/// keep the original's join-filter annotations.
 PhysPtr CloneWithChildren(const PhysPtr& node, std::vector<PhysPtr> children);
+
+/// Always-copying clone that replaces the node's join-filter annotations —
+/// the placement pass's primitive for annotating nodes inside shared
+/// (immutable) plan trees without mutating possibly shared originals.
+PhysPtr WithJoinFilters(const PhysPtr& node, std::vector<PhysPtr> children,
+                        JoinFilterAnnotations annotations);
 
 /// Multi-line indented rendering of a plan tree (EXPLAIN-style).
 std::string PlanToString(const PhysPtr& plan);

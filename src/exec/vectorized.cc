@@ -51,7 +51,58 @@ void IdentitySel(size_t base, size_t end, SelVec* sel) {
   for (size_t i = base; i < end; ++i) sel->push_back(static_cast<uint32_t>(i));
 }
 
+/// Batch kernel for the join-filter probe: the CombineKeyHash fold of the
+/// key columns for every row in `sel` (same formula as HashRowKeys, so the
+/// verdicts match the row path's RowMayMatch exactly).
+void HashKeysForSel(const std::vector<Row>& rows, const SelVec& sel,
+                    const std::vector<int>& positions,
+                    std::vector<uint64_t>* hashes) {
+  hashes->resize(sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    const Row& row = rows[sel[i]];
+    uint64_t h = kKeyHashSeed;
+    for (int pos : positions) h = CombineKeyHash(h, row[static_cast<size_t>(pos)]);
+    (*hashes)[i] = h;
+  }
+}
+
 }  // namespace
+
+void Executor::ProbeJoinFiltersVec(const std::vector<Row>& rows,
+                                   const std::vector<BoundJoinFilter>& filters,
+                                   int segment, std::vector<uint32_t>* sel) {
+  if (filters.empty() || sel->empty()) return;
+  ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+  std::vector<std::vector<uint64_t>> hashes(filters.size());
+  for (size_t f = 0; f < filters.size(); ++f) {
+    HashKeysForSel(rows, *sel, filters[f].key_positions, &hashes[f]);
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < sel->size(); ++i) {
+    const uint32_t r = (*sel)[i];
+    ++stats.joinfilter_probed;
+    // Rejection is attributed to the first rejecting filter, like the row
+    // path, so the below-Motion rows_moved compensation is identical.
+    const BoundJoinFilter* rejecter = nullptr;
+    for (size_t f = 0; f < filters.size(); ++f) {
+      if (!filters[f].summary->RowMayMatchHashed(rows[r], filters[f].key_positions,
+                                                 hashes[f][i])) {
+        rejecter = &filters[f];
+        break;
+      }
+    }
+    if (rejecter == nullptr) {
+      (*sel)[kept++] = r;
+      continue;
+    }
+    ++stats.joinfilter_rows_rejected;
+    if (rejecter->below_motion) {
+      ++stats.rows_moved;  // rows_moved stays logical
+      ++stats.joinfilter_motion_rows_saved;
+    }
+  }
+  sel->resize(kept);
+}
 
 bool Executor::MatchScanFragment(const PhysPtr& node, ScanFragment* out) {
   switch (node->kind()) {
@@ -93,6 +144,8 @@ Result<std::vector<Row>> Executor::ExecFilterVec(const FilterNode& node, int seg
   }
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
   ColumnLayout layout = node.child(0)->OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
+                         BindJoinFilterProbes(node, layout, segment));
   KernelProgram program = KernelProgram::Compile(node.predicate(), layout);
   KernelContext ctx;
   ctx.Prepare(program, KernelContext::kDefaultChunkRows);
@@ -103,6 +156,9 @@ Result<std::vector<Row>> Executor::ExecFilterVec(const FilterNode& node, int seg
     size_t end = std::min(rows.size(), base + ctx.chunk_capacity());
     IdentitySel(base, end, &sel);
     MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
+    // Join filters apply to predicate survivors only (identical error
+    // behavior to filters off).
+    ProbeJoinFiltersVec(rows, join_filters, segment, &keep);
     for (uint32_t r : keep) out.push_back(std::move(rows[r]));
   }
   return out;
@@ -128,8 +184,27 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
     compiled = CompileSargable(node.sargable(), layout);
   }
   const bool can_prune = compiled.CanPrune();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
+                         BindJoinFilterProbes(node, layout, segment));
   std::vector<Row> out;
   SelVec sel, keep;
+
+  // Join-filter chunk skip, under the same license as the row skipping path
+  // (see ExecFilterRowSkip): never below a Motion, and only when the whole
+  // predicate is provably error-free on the chunk.
+  auto join_filter_chunk_skip = [&](const ChunkSynopsis& chunk,
+                                    ExecStats& stats) {
+    if (join_filters.empty()) return false;
+    if (!SynopsisErrorFree(node.sargable(), compiled, chunk)) return false;
+    for (const BoundJoinFilter& filter : join_filters) {
+      if (filter.below_motion) continue;
+      if (filter.summary->ChunkProvablyDisjoint(chunk, filter.key_positions)) {
+        ++stats.joinfilter_chunks_skipped;
+        return true;
+      }
+    }
+    return false;
+  };
 
   // Evaluates the predicate in chunks directly over the storage slice and
   // copies only the surviving rows — filtered-out tuples are never
@@ -147,10 +222,10 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
     if (options_.data_skipping) {
       stats.chunks_total +=
           (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
-      if (can_prune) {
+      if (can_prune || !join_filters.empty()) {
         synopsis = &store.UnitSynopsis(unit_oid, segment);
         MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
-        if (SynopsisCanSkip(compiled, synopsis->rollup)) {
+        if (can_prune && SynopsisCanSkip(compiled, synopsis->rollup)) {
           ++stats.units_skipped;
           stats.chunks_skipped += synopsis->chunks.size();
           return Status::OK();
@@ -159,13 +234,19 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
     }
     for (size_t base = 0; base < rows.size(); base += ctx.chunk_capacity()) {
       size_t end = std::min(rows.size(), base + ctx.chunk_capacity());
-      if (synopsis != nullptr &&
-          SynopsisCanSkip(compiled, synopsis->chunks[base / TableStore::kChunkRows])) {
-        ++stats.chunks_skipped;
-        continue;
+      if (synopsis != nullptr) {
+        const ChunkSynopsis& chunk = synopsis->chunks[base / TableStore::kChunkRows];
+        // Predicate-driven skips run first so chunks_skipped is identical
+        // with join filters on or off.
+        if (can_prune && SynopsisCanSkip(compiled, chunk)) {
+          ++stats.chunks_skipped;
+          continue;
+        }
+        if (join_filter_chunk_skip(chunk, stats)) continue;
       }
       IdentitySel(base, end, &sel);
       MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
+      ProbeJoinFiltersVec(rows, join_filters, segment, &keep);
       for (uint32_t r : keep) out.push_back(rows[r]);
     }
     return Status::OK();
@@ -215,9 +296,13 @@ Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
   // children[0] (build) runs to completion first — the property
   // PartitionSelector placement relies on.
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> build_rows, ExecNode(node.child(0), segment));
+  ColumnLayout build_layout = node.child(0)->OutputLayout();
+  // Publish this segment's build-key summary before the probe child runs,
+  // exactly as the row path does.
+  MPPDB_RETURN_IF_ERROR(
+      PublishLocalJoinFilters(node, build_layout, build_rows, segment));
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> probe_rows, ExecNode(node.child(1), segment));
 
-  ColumnLayout build_layout = node.child(0)->OutputLayout();
   ColumnLayout probe_layout = node.child(1)->OutputLayout();
   MPPDB_ASSIGN_OR_RETURN(std::vector<int> build_pos,
                          ResolvePositions(build_layout, node.build_keys()));

@@ -324,4 +324,27 @@ bool SynopsisCanSkip(const CompiledSargable& compiled, const ChunkSynopsis& chun
   return false;
 }
 
+bool SynopsisErrorFree(const SargablePredicate& pred,
+                       const CompiledSargable& compiled,
+                       const ChunkSynopsis& chunk) {
+  // Every top-level conjunct must have survived analysis AND compilation —
+  // a dropped conjunct is one whose errors must surface, so no row of the
+  // chunk may be dropped behind its back.
+  if (pred.truncated) return false;
+  if (compiled.conjuncts.size() != pred.prefix.size()) return false;
+  for (const CompiledSkipConjunct& conjunct : compiled.conjuncts) {
+    // Same family gate as SynopsisCanSkip: all-NULL columns pass trivially
+    // (comparisons yield NULL), otherwise synopsis and constant families
+    // must match or some row could raise a type mismatch.
+    for (const auto& [position, rep] : conjunct.family_checks) {
+      MPPDB_CHECK(position >= 0 &&
+                  static_cast<size_t>(position) < chunk.columns.size());
+      const ColumnSynopsis& col = chunk.columns[static_cast<size_t>(position)];
+      if (col.non_null_count == 0) continue;
+      if (!col.comparable || !DatumsComparable(col.min, rep)) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace mppdb

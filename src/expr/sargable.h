@@ -112,6 +112,17 @@ CompiledSargable CompileSargable(const SargablePredicate& pred,
 /// the layout given to CompileSargable.
 bool SynopsisCanSkip(const CompiledSargable& compiled, const ChunkSynopsis& chunk);
 
+/// True if evaluating the *entire* predicate on any row of the chunk provably
+/// cannot raise an error: the analysis kept every top-level conjunct
+/// (!pred.truncated), compilation resolved them all, and each conjunct's
+/// family checks pass on the chunk. Runtime join filters use this to license
+/// chunk skips at Filter consumers — unlike SynopsisCanSkip, the rows being
+/// dropped may *satisfy* the predicate (they provably cannot join), so every
+/// conjunct must be error-free, not just those up to a provable miss.
+bool SynopsisErrorFree(const SargablePredicate& pred,
+                       const CompiledSargable& compiled,
+                       const ChunkSynopsis& chunk);
+
 }  // namespace mppdb
 
 #endif  // MPPDB_EXPR_SARGABLE_H_

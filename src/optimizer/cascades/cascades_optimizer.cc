@@ -5,6 +5,7 @@
 
 #include "common/macros.h"
 #include "expr/constraint_derivation.h"
+#include "optimizer/join_filter_placement.h"
 #include "optimizer/placement.h"
 
 namespace mppdb {
@@ -769,6 +770,9 @@ Result<PhysPtr> CascadesOptimizer::PlanSelect(const BoundStatement& stmt) {
     return Status::PlanError("cascades optimizer found no valid plan for statement");
   }
   MPPDB_RETURN_IF_ERROR(ValidateSelectorPlacement(best.plan));
+  if (options_.enable_join_filters) {
+    return PlaceJoinFilters(best.plan, estimator_);
+  }
   return best.plan;
 }
 

@@ -48,6 +48,10 @@ class CascadesOptimizer {
     /// When false, the Index-Join implementation of the partition-selection
     /// model (paper §2.2) is not considered.
     bool enable_index_join = true;
+    /// When false, the post-optimization runtime join-filter placement pass
+    /// (optimizer/join_filter_placement.h) is skipped entirely — the cost
+    /// gate's off switch. Plans differ only in join-filter annotations.
+    bool enable_join_filters = true;
   };
 
   CascadesOptimizer(const Catalog* catalog, const StorageEngine* storage);

@@ -1,0 +1,215 @@
+#include "optimizer/join_filter_placement.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mppdb {
+
+namespace {
+
+/// Cost gate: a filter must promise to pay for its build and probes. The
+/// probe side must dominate the build side, and the build side must be small
+/// enough that summarizing it (min/max fold + bloom inserts) is cheap
+/// relative to the scan work it can save.
+constexpr double kMinProbeToBuildRatio = 2.0;
+constexpr double kMaxBuildRowsEst = static_cast<double>(size_t{1} << 20);
+
+bool KeysPresent(const PhysicalNode& node, const std::vector<ColRefId>& keys) {
+  const std::vector<ColRefId> outputs = node.OutputIds();
+  for (ColRefId key : keys) {
+    if (std::find(outputs.begin(), outputs.end(), key) == outputs.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Placer {
+ public:
+  explicit Placer(const CardinalityEstimator& estimator)
+      : estimator_(estimator) {}
+
+  PhysPtr Rewrite(const PhysPtr& node) {
+    std::vector<PhysPtr> children;
+    children.reserve(node->children().size());
+    for (const PhysPtr& child : node->children()) {
+      children.push_back(Rewrite(child));
+    }
+    PhysPtr rebuilt = CloneWithChildren(node, std::move(children));
+    if (node->kind() != PhysNodeKind::kHashJoin) return rebuilt;
+    if (PhysPtr with_filter = TryAttach(rebuilt)) return with_filter;
+    return rebuilt;
+  }
+
+ private:
+  /// Attempts to place one runtime filter on `join` (a kHashJoin node whose
+  /// children are final). Returns nullptr when the cost gate or the
+  /// probe-side walk says no.
+  PhysPtr TryAttach(const PhysPtr& join) {
+    const auto& hj = static_cast<const HashJoinNode&>(*join);
+    if (hj.build_keys().empty()) return nullptr;
+    const PhysPtr& build = join->child(0);
+    const PhysPtr& probe = join->child(1);
+    const double build_est = estimator_.EstimatePhysicalRows(*build);
+    const double probe_est = estimator_.EstimatePhysicalRows(*probe);
+    if (build_est > kMaxBuildRowsEst) return nullptr;
+    if (probe_est < kMinProbeToBuildRatio * build_est) return nullptr;
+    // The build keys must be live in the build child's output (they are by
+    // construction of the join, but the publish site resolves them there).
+    if (!KeysPresent(*build, hj.build_keys())) return nullptr;
+
+    const bool global = build->kind() == PhysNodeKind::kMotion;
+    const int filter_id = next_filter_id_;
+    std::optional<PhysPtr> annotated_probe = Descend(
+        probe, hj.probe_keys(), filter_id, global, /*below_motion=*/false);
+    if (!annotated_probe) return nullptr;
+    ++next_filter_id_;
+
+    JoinFilterSpec spec;
+    spec.filter_id = filter_id;
+    spec.key_columns = hj.build_keys();
+    spec.build_rows_est = build_est;
+    spec.global = global;
+
+    if (global) {
+      // Publish from the Motion feeding the build side: the merged summary
+      // over every segment's source rows, available to any segment.
+      JoinFilterAnnotations motion_ann = build->join_filters();
+      motion_ann.publishes.push_back(std::move(spec));
+      PhysPtr annotated_build =
+          WithJoinFilters(build, build->children(), std::move(motion_ann));
+      return CloneWithChildren(join, {annotated_build, *annotated_probe});
+    }
+    // Publish from the join itself: one local summary per segment, built
+    // from that segment's materialized build rows.
+    JoinFilterAnnotations join_ann = join->join_filters();
+    join_ann.publishes.push_back(std::move(spec));
+    return WithJoinFilters(join, {build, *annotated_probe},
+                           std::move(join_ann));
+  }
+
+  /// Walks the probe side looking for consumer sites. Returns the annotated
+  /// copy of `node`, or nullopt if no site was reached on this path.
+  std::optional<PhysPtr> Descend(const PhysPtr& node,
+                                 const std::vector<ColRefId>& keys,
+                                 int filter_id, bool global,
+                                 bool below_motion) {
+    switch (node->kind()) {
+      case PhysNodeKind::kFilter: {
+        // Consume after the Filter's own predicate: skip decisions, error
+        // outcomes, and the predicate's counters stay untouched.
+        if (!KeysPresent(*node, keys)) return std::nullopt;
+        return Attach(node, keys, filter_id, global, below_motion);
+      }
+      case PhysNodeKind::kTableScan: {
+        const auto& scan = static_cast<const TableScanNode&>(*node);
+        // Rowid-emitting scans feed DML row location; never annotated.
+        if (!scan.rowid_ids().empty()) return std::nullopt;
+        if (!KeysPresent(*node, keys)) return std::nullopt;
+        return Attach(node, keys, filter_id, global, below_motion);
+      }
+      case PhysNodeKind::kDynamicScan: {
+        const auto& scan = static_cast<const DynamicScanNode&>(*node);
+        if (!scan.rowid_ids().empty()) return std::nullopt;
+        if (!KeysPresent(*node, keys)) return std::nullopt;
+        return Attach(node, keys, filter_id, global, below_motion);
+      }
+      case PhysNodeKind::kCheckedPartScan: {
+        if (!KeysPresent(*node, keys)) return std::nullopt;
+        return Attach(node, keys, filter_id, global, below_motion);
+      }
+      case PhysNodeKind::kProject: {
+        // Cross only if every key maps onto a plain column of the child; a
+        // computed item could raise an error on rows the filter would drop.
+        const auto& project = static_cast<const ProjectNode&>(*node);
+        std::vector<ColRefId> child_keys;
+        child_keys.reserve(keys.size());
+        for (ColRefId key : keys) {
+          const ProjectItem* match = nullptr;
+          for (const ProjectItem& item : project.items()) {
+            if (item.output_id == key) {
+              match = &item;
+              break;
+            }
+          }
+          if (match == nullptr ||
+              match->expr->kind() != ExprKind::kColumnRef) {
+            return std::nullopt;
+          }
+          child_keys.push_back(
+              static_cast<const ColumnRefExpr&>(*match->expr).id());
+        }
+        std::optional<PhysPtr> child =
+            Descend(node->child(0), child_keys, filter_id, global, below_motion);
+        if (!child) return std::nullopt;
+        return CloneWithChildren(node, {*child});
+      }
+      case PhysNodeKind::kSequence: {
+        // Only the last child produces the Sequence's rows.
+        std::vector<PhysPtr> children = node->children();
+        std::optional<PhysPtr> last = Descend(children.back(), keys, filter_id,
+                                              global, below_motion);
+        if (!last) return std::nullopt;
+        children.back() = *last;
+        return CloneWithChildren(node, std::move(children));
+      }
+      case PhysNodeKind::kAppend: {
+        // Each branch filters independently; branches that cannot host a
+        // probe simply pass their rows through (the filter is advisory).
+        std::vector<PhysPtr> children = node->children();
+        bool any = false;
+        for (PhysPtr& child : children) {
+          if (std::optional<PhysPtr> annotated =
+                  Descend(child, keys, filter_id, global, below_motion)) {
+            child = *annotated;
+            any = true;
+          }
+        }
+        if (!any) return std::nullopt;
+        return CloneWithChildren(node, std::move(children));
+      }
+      case PhysNodeKind::kMotion: {
+        // Filtering below the exchange is where the payoff is (rejected rows
+        // are never serialized), but it needs the cross-segment merged
+        // summary: sound only when the build side publishes globally, and
+        // the executor's rows_moved compensation covers exactly one Motion.
+        if (!global || below_motion) return std::nullopt;
+        std::optional<PhysPtr> child = Descend(node->child(0), keys, filter_id,
+                                               global, /*below_motion=*/true);
+        if (!child) return std::nullopt;
+        return CloneWithChildren(node, {*child});
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  PhysPtr Attach(const PhysPtr& node, const std::vector<ColRefId>& keys,
+                 int filter_id, bool global, bool below_motion) {
+    JoinFilterProbe probe;
+    probe.filter_id = filter_id;
+    probe.key_columns = keys;
+    probe.global = global;
+    probe.below_motion = below_motion;
+    JoinFilterAnnotations ann = node->join_filters();
+    ann.probes.push_back(std::move(probe));
+    return WithJoinFilters(node, node->children(), std::move(ann));
+  }
+
+  const CardinalityEstimator& estimator_;
+  int next_filter_id_ = 0;
+};
+
+}  // namespace
+
+PhysPtr PlaceJoinFilters(const PhysPtr& plan,
+                         const CardinalityEstimator& estimator) {
+  if (plan == nullptr) return plan;
+  Placer placer(estimator);
+  return placer.Rewrite(plan);
+}
+
+}  // namespace mppdb

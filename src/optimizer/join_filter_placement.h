@@ -1,0 +1,42 @@
+#ifndef MPPDB_OPTIMIZER_JOIN_FILTER_PLACEMENT_H_
+#define MPPDB_OPTIMIZER_JOIN_FILTER_PLACEMENT_H_
+
+#include "exec/plan.h"
+#include "optimizer/stats.h"
+
+namespace mppdb {
+
+/// Post-optimization pass attaching runtime join-filter annotations to a
+/// chosen physical plan (SELECT only; DML plans are left untouched).
+///
+/// For every hash join that passes the cost gate — estimated probe rows at
+/// least twice the estimated build rows, and a bounded build side — the pass
+/// walks the probe side looking for a consumer site: the first Filter node,
+/// or a bare scan (TableScan / DynamicScan / CheckedPartScan without rowid
+/// outputs). The walk crosses only row-preserving operators whose per-row
+/// accounting the executor can compensate exactly: pass-through Projects
+/// (key columns remapped through ColumnRef items; computed items stop the
+/// walk), Sequence (last child), Append (each child independently), and at
+/// most one Motion. Crossing a Motion requires the join's build child to be
+/// a Motion itself: only there can a cross-segment merged summary be
+/// published (PublishGlobalJoinFilter), which is the sound summary for rows
+/// that have not been exchanged yet. Limits, Sorts, aggregates, and nested
+/// joins stop the walk — a filter that is not provably transparent to
+/// results is simply not placed.
+///
+/// Producer placement mirrors the consumer: when the build child is a
+/// Motion, the JoinFilterSpec rides on that Motion (merged global summary,
+/// built from every source batch before routing); otherwise it rides on the
+/// join itself (per-segment local summary over the materialized build side,
+/// which matches the executor's per-segment join semantics exactly).
+///
+/// Annotations never change results: they are advisory (a consumer that
+/// finds no published summary scans normally), and the executor keeps all
+/// pre-existing ExecStats logical, so plans with and without annotations are
+/// observationally identical except for the joinfilter_* counters.
+PhysPtr PlaceJoinFilters(const PhysPtr& plan,
+                         const CardinalityEstimator& estimator);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_JOIN_FILTER_PLACEMENT_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/macros.h"
+#include "expr/eval.h"
+
 namespace mppdb {
 
 double CardinalityEstimator::Selectivity(const ExprPtr& pred) {
@@ -46,6 +49,195 @@ double CardinalityEstimator::Selectivity(const ExprPtr& pred) {
   }
 }
 
+std::optional<ColumnStats> CardinalityEstimator::TableColumnStats(
+    Oid table_oid, int column) const {
+  const TableStore* store = storage_->GetStore(table_oid);
+  if (store == nullptr || column < 0) return std::nullopt;
+  const size_t pos = static_cast<size_t>(column);
+  ColumnStats stats;
+  // Once any slice's rollup is untrustworthy (mixed comparison families) the
+  // global range stays invalid — a later clean slice must not revalidate it.
+  bool range_poisoned = false;
+  for (Oid unit : store->UnitOids()) {
+    for (int segment = 0; segment < store->num_segments(); ++segment) {
+      const SliceSynopsis& synopsis = store->UnitSynopsis(unit, segment);
+      if (pos >= synopsis.rollup.columns.size()) return std::nullopt;
+      const ColumnSynopsis& col = synopsis.rollup.columns[pos];
+      stats.row_count += static_cast<double>(synopsis.rollup.row_count);
+      stats.non_null_count += static_cast<double>(col.non_null_count);
+      if (col.non_null_count == 0) continue;
+      if (!col.comparable) {
+        stats.range_valid = false;
+        range_poisoned = true;
+        continue;
+      }
+      if (range_poisoned) continue;
+      if (!stats.range_valid) {
+        stats.min = col.min;
+        stats.max = col.max;
+        stats.range_valid = true;
+      } else if (!DatumsComparable(stats.min, col.min)) {
+        stats.range_valid = false;
+        range_poisoned = true;
+      } else {
+        if (Datum::Compare(col.min, stats.min) < 0) stats.min = col.min;
+        if (Datum::Compare(col.max, stats.max) > 0) stats.max = col.max;
+      }
+    }
+  }
+  stats.ndv = std::max(1.0, stats.non_null_count);
+  if (stats.range_valid && IsIntegral(stats.min.type()) &&
+      IsIntegral(stats.max.type())) {
+    const double span =
+        static_cast<double>(stats.max.AsInt64() - stats.min.AsInt64()) + 1.0;
+    stats.ndv = std::max(1.0, std::min(stats.ndv, span));
+  }
+  return stats;
+}
+
+std::optional<ColumnStats> CardinalityEstimator::ResolveColumnStats(
+    const LogicalPtr& node, ColRefId id) const {
+  switch (node->kind()) {
+    case LogicalKind::kGet: {
+      const auto& get = static_cast<const LogicalGet&>(*node);
+      for (size_t i = 0; i < get.column_ids().size(); ++i) {
+        if (get.column_ids()[i] == id) {
+          return TableColumnStats(get.table()->oid, static_cast<int>(i));
+        }
+      }
+      return std::nullopt;
+    }
+    case LogicalKind::kSelect:
+    case LogicalKind::kSort:
+    case LogicalKind::kLimit:
+      return ResolveColumnStats(node->child(0), id);
+    case LogicalKind::kProject: {
+      const auto& project = static_cast<const LogicalProject&>(*node);
+      for (const ProjectItem& item : project.items()) {
+        if (item.output_id != id) continue;
+        if (item.expr->kind() != ExprKind::kColumnRef) return std::nullopt;
+        return ResolveColumnStats(
+            node->child(0), static_cast<const ColumnRefExpr&>(*item.expr).id());
+      }
+      return std::nullopt;
+    }
+    case LogicalKind::kJoin: {
+      if (auto stats = ResolveColumnStats(node->child(0), id)) return stats;
+      return ResolveColumnStats(node->child(1), id);
+    }
+    case LogicalKind::kAgg: {
+      const auto& agg = static_cast<const LogicalAgg&>(*node);
+      const auto& keys = agg.group_by();
+      if (std::find(keys.begin(), keys.end(), id) == keys.end()) {
+        return std::nullopt;
+      }
+      return ResolveColumnStats(node->child(0), id);
+    }
+    case LogicalKind::kValues:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<ColumnStats> CardinalityEstimator::ResolvePhysicalColumnStats(
+    const PhysicalNode& node, ColRefId id) const {
+  switch (node.kind()) {
+    case PhysNodeKind::kTableScan: {
+      const auto& scan = static_cast<const TableScanNode&>(node);
+      for (size_t i = 0; i < scan.column_ids().size(); ++i) {
+        if (scan.column_ids()[i] == id) {
+          return TableColumnStats(scan.table_oid(), static_cast<int>(i));
+        }
+      }
+      return std::nullopt;
+    }
+    case PhysNodeKind::kCheckedPartScan: {
+      const auto& scan = static_cast<const CheckedPartScanNode&>(node);
+      for (size_t i = 0; i < scan.column_ids().size(); ++i) {
+        if (scan.column_ids()[i] == id) {
+          return TableColumnStats(scan.table_oid(), static_cast<int>(i));
+        }
+      }
+      return std::nullopt;
+    }
+    case PhysNodeKind::kDynamicScan: {
+      const auto& scan = static_cast<const DynamicScanNode&>(node);
+      for (size_t i = 0; i < scan.column_ids().size(); ++i) {
+        if (scan.column_ids()[i] == id) {
+          return TableColumnStats(scan.table_oid(), static_cast<int>(i));
+        }
+      }
+      return std::nullopt;
+    }
+    case PhysNodeKind::kIndexNLJoin: {
+      const auto& join = static_cast<const IndexNLJoinNode&>(node);
+      for (size_t i = 0; i < join.inner_column_ids().size(); ++i) {
+        if (join.inner_column_ids()[i] == id) {
+          return TableColumnStats(join.inner_table(), static_cast<int>(i));
+        }
+      }
+      return ResolvePhysicalColumnStats(*node.child(0), id);
+    }
+    case PhysNodeKind::kProject: {
+      const auto& project = static_cast<const ProjectNode&>(node);
+      for (const ProjectItem& item : project.items()) {
+        if (item.output_id != id) continue;
+        if (item.expr->kind() != ExprKind::kColumnRef) return std::nullopt;
+        return ResolvePhysicalColumnStats(
+            *node.child(0), static_cast<const ColumnRefExpr&>(*item.expr).id());
+      }
+      return std::nullopt;
+    }
+    case PhysNodeKind::kSequence:
+      return ResolvePhysicalColumnStats(*node.child(node.children().size() - 1),
+                                        id);
+    case PhysNodeKind::kAppend:
+    case PhysNodeKind::kHashJoin:
+    case PhysNodeKind::kNestedLoopJoin: {
+      for (const PhysPtr& child : node.children()) {
+        if (auto stats = ResolvePhysicalColumnStats(*child, id)) return stats;
+      }
+      return std::nullopt;
+    }
+    case PhysNodeKind::kHashAgg: {
+      const auto& agg = static_cast<const HashAggNode&>(node);
+      const auto& keys = agg.group_by();
+      if (std::find(keys.begin(), keys.end(), id) == keys.end()) {
+        return std::nullopt;
+      }
+      return ResolvePhysicalColumnStats(*node.child(0), id);
+    }
+    case PhysNodeKind::kPartitionSelector:
+    case PhysNodeKind::kFilter:
+    case PhysNodeKind::kSort:
+    case PhysNodeKind::kLimit:
+    case PhysNodeKind::kMotion:
+      return ResolvePhysicalColumnStats(*node.child(0), id);
+    default:
+      return std::nullopt;
+  }
+}
+
+double CardinalityEstimator::EquiJoinSelectivity(
+    const std::vector<std::optional<ColumnStats>>& left_stats,
+    const std::vector<std::optional<ColumnStats>>& right_stats,
+    double left_rows, double right_rows) {
+  MPPDB_CHECK(left_stats.size() == right_stats.size());
+  double sel = 1.0;
+  for (size_t i = 0; i < left_stats.size(); ++i) {
+    // An NDV can never exceed the rows feeding the join, and an unresolved
+    // side contributes its row count (every row potentially distinct).
+    const double ndv_left =
+        left_stats[i] ? std::min(left_stats[i]->ndv, std::max(1.0, left_rows))
+                      : std::max(1.0, left_rows);
+    const double ndv_right =
+        right_stats[i] ? std::min(right_stats[i]->ndv, std::max(1.0, right_rows))
+                       : std::max(1.0, right_rows);
+    sel *= 1.0 / std::max(1.0, std::max(ndv_left, ndv_right));
+  }
+  return sel;
+}
+
 double CardinalityEstimator::EstimateRows(const LogicalPtr& node) const {
   switch (node->kind()) {
     case LogicalKind::kGet: {
@@ -66,8 +258,22 @@ double CardinalityEstimator::EstimateRows(const LogicalPtr& node) const {
       if (join.join_type() == JoinType::kSemi) {
         return std::max(1.0, left * 0.5);
       }
-      // Equi-join heuristic: |L ⋈ R| ≈ L*R / max(L, R).
-      double sel = join.predicate() == nullptr ? 1.0 : 1.0 / std::max(left, right);
+      if (join.predicate() == nullptr) return std::max(1.0, left * right);
+      EquiJoinKeys keys =
+          ExtractEquiJoinKeys(join.predicate(), join.child(0)->OutputIds(),
+                              join.child(1)->OutputIds());
+      if (keys.left.empty()) {
+        // No equi pairs: fall back to the magic 1/max(L, R) shape.
+        return std::max(1.0, left * right / std::max(left, right));
+      }
+      std::vector<std::optional<ColumnStats>> left_stats;
+      std::vector<std::optional<ColumnStats>> right_stats;
+      for (size_t i = 0; i < keys.left.size(); ++i) {
+        left_stats.push_back(ResolveColumnStats(join.child(0), keys.left[i]));
+        right_stats.push_back(ResolveColumnStats(join.child(1), keys.right[i]));
+      }
+      const double sel = EquiJoinSelectivity(left_stats, right_stats, left, right) *
+                         Selectivity(keys.residual);
       return std::max(1.0, left * right * sel);
     }
     case LogicalKind::kProject:
@@ -89,6 +295,105 @@ double CardinalityEstimator::EstimateRows(const LogicalPtr& node) const {
           static_cast<const LogicalValues&>(*node).rows().size());
   }
   return 1000.0;
+}
+
+double CardinalityEstimator::EstimatePhysicalRows(const PhysicalNode& node) const {
+  switch (node.kind()) {
+    case PhysNodeKind::kTableScan: {
+      const auto& scan = static_cast<const TableScanNode&>(node);
+      const TableStore* store = storage_->GetStore(scan.table_oid());
+      if (store == nullptr) return 1000.0;
+      return std::max<double>(
+          1.0, static_cast<double>(store->UnitTotalRows(scan.unit_oid())));
+    }
+    case PhysNodeKind::kCheckedPartScan: {
+      const auto& scan = static_cast<const CheckedPartScanNode&>(node);
+      const TableStore* store = storage_->GetStore(scan.table_oid());
+      if (store == nullptr) return 1000.0;
+      return std::max<double>(
+          1.0, static_cast<double>(store->UnitTotalRows(scan.leaf_oid())));
+    }
+    case PhysNodeKind::kDynamicScan: {
+      // Which partitions survive is only known at runtime; assume all.
+      const auto& scan = static_cast<const DynamicScanNode&>(node);
+      const TableStore* store = storage_->GetStore(scan.table_oid());
+      if (store == nullptr) return 1000.0;
+      return std::max<double>(1.0, static_cast<double>(store->TotalRows()));
+    }
+    case PhysNodeKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      return std::max(1.0, EstimatePhysicalRows(*node.child(0)) *
+                               Selectivity(filter.predicate()));
+    }
+    case PhysNodeKind::kHashJoin: {
+      const auto& join = static_cast<const HashJoinNode&>(node);
+      const double build = EstimatePhysicalRows(*node.child(0));
+      const double probe = EstimatePhysicalRows(*node.child(1));
+      if (join.join_type() == JoinType::kSemi) {
+        return std::max(1.0, probe * 0.5);  // probe side is preserved
+      }
+      std::vector<std::optional<ColumnStats>> build_stats;
+      std::vector<std::optional<ColumnStats>> probe_stats;
+      for (size_t i = 0; i < join.build_keys().size(); ++i) {
+        build_stats.push_back(
+            ResolvePhysicalColumnStats(*node.child(0), join.build_keys()[i]));
+        probe_stats.push_back(
+            ResolvePhysicalColumnStats(*node.child(1), join.probe_keys()[i]));
+      }
+      const double sel =
+          (join.build_keys().empty()
+               ? 1.0 / std::max(build, probe)
+               : EquiJoinSelectivity(build_stats, probe_stats, build, probe)) *
+          Selectivity(join.residual());
+      return std::max(1.0, build * probe * sel);
+    }
+    case PhysNodeKind::kNestedLoopJoin: {
+      const auto& join = static_cast<const NestedLoopJoinNode&>(node);
+      const double left = EstimatePhysicalRows(*node.child(0));
+      const double right = EstimatePhysicalRows(*node.child(1));
+      if (join.join_type() == JoinType::kSemi) {
+        return std::max(1.0, left * 0.5);
+      }
+      return std::max(1.0, left * right * Selectivity(join.predicate()));
+    }
+    case PhysNodeKind::kIndexNLJoin: {
+      const auto& join = static_cast<const IndexNLJoinNode&>(node);
+      const double outer = EstimatePhysicalRows(*node.child(0));
+      auto inner = TableColumnStats(join.inner_table(), join.inner_key_column());
+      // Matches per outer row ≈ inner rows / inner-key NDV.
+      const double per_probe =
+          inner && inner->ndv >= 1.0 ? inner->row_count / inner->ndv : 1.0;
+      return std::max(1.0, outer * per_probe * Selectivity(join.residual()));
+    }
+    case PhysNodeKind::kHashAgg: {
+      const auto& agg = static_cast<const HashAggNode&>(node);
+      if (agg.group_by().empty()) return 1.0;
+      return std::max(1.0, std::sqrt(EstimatePhysicalRows(*node.child(0))));
+    }
+    case PhysNodeKind::kLimit:
+      return std::min(
+          static_cast<double>(static_cast<const LimitNode&>(node).limit()),
+          EstimatePhysicalRows(*node.child(0)));
+    case PhysNodeKind::kAppend: {
+      double total = 0;
+      for (const PhysPtr& child : node.children()) {
+        total += EstimatePhysicalRows(*child);
+      }
+      return std::max(1.0, total);
+    }
+    case PhysNodeKind::kSequence:
+      return EstimatePhysicalRows(*node.child(node.children().size() - 1));
+    case PhysNodeKind::kValues:
+      return static_cast<double>(
+          static_cast<const ValuesNode&>(node).rows().size());
+    case PhysNodeKind::kPartitionSelector:
+    case PhysNodeKind::kProject:
+    case PhysNodeKind::kSort:
+    case PhysNodeKind::kMotion:
+      return EstimatePhysicalRows(*node.child(0));
+    default:
+      return 1.0;
+  }
 }
 
 }  // namespace mppdb

@@ -1,15 +1,38 @@
 #ifndef MPPDB_OPTIMIZER_STATS_H_
 #define MPPDB_OPTIMIZER_STATS_H_
 
+#include <optional>
+
 #include "optimizer/logical.h"
 #include "storage/storage.h"
 
 namespace mppdb {
 
-/// Heuristic cardinality estimation over logical trees. Row counts of base
-/// tables come from storage; predicate selectivities use the classic
-/// System-R constants. Good enough to drive the broadcast-vs-redistribute
-/// and build-side choices the paper's experiments depend on.
+/// Synopsis-derived statistics of one base-table column, aggregated over the
+/// zone-map rollups of every (unit, segment) slice of the table. No separate
+/// stats-collection pass: the same synopses that drive data skipping double
+/// as the optimizer's column statistics.
+struct ColumnStats {
+  double row_count = 0;       ///< rows in the table
+  double non_null_count = 0;  ///< non-null values of the column
+  /// Estimated distinct non-null values, at least 1. For integral-family
+  /// columns the value span min..max capped by the non-null count — exact
+  /// for dense key domains, an upper bound otherwise; for other families the
+  /// non-null count (every value potentially distinct).
+  double ndv = 1;
+  /// Global extremes of the column; `range_valid` only when every slice
+  /// rollup is trustworthy (single comparison family, see ColumnSynopsis)
+  /// and all slices agree on the family.
+  Datum min;
+  Datum max;
+  bool range_valid = false;
+};
+
+/// Cardinality estimation over logical and physical trees. Base-table row
+/// counts come from storage; join-key NDV and min/max come from the zone-map
+/// slice rollups; predicate selectivities still use the classic System-R
+/// constants. Feeds the broadcast-vs-redistribute and build-side choices and
+/// the runtime join-filter placement cost gate.
 class CardinalityEstimator {
  public:
   explicit CardinalityEstimator(const StorageEngine* storage) : storage_(storage) {}
@@ -17,10 +40,42 @@ class CardinalityEstimator {
   /// Estimated output rows of a logical subtree.
   double EstimateRows(const LogicalPtr& node) const;
 
+  /// Estimated output rows of a physical subtree: the same arithmetic as
+  /// EstimateRows applied after implementation choices exist. The join-filter
+  /// placement pass runs on the chosen physical plan, so its cost gate
+  /// estimates build and probe sides here.
+  double EstimatePhysicalRows(const PhysicalNode& node) const;
+
+  /// Synopsis-backed statistics of one schema column (`column` is the schema
+  /// position) of a stored table. nullopt if the table has no storage or the
+  /// position is out of range.
+  std::optional<ColumnStats> TableColumnStats(Oid table_oid, int column) const;
+
+  /// Resolves a ColRefId through a logical subtree to its originating
+  /// base-table column — crossing row-preserving operators and ColumnRef
+  /// projections — and returns that column's stats. nullopt for computed
+  /// columns and Values outputs.
+  std::optional<ColumnStats> ResolveColumnStats(const LogicalPtr& node,
+                                                ColRefId id) const;
+
+  /// Physical-tree counterpart of ResolveColumnStats.
+  std::optional<ColumnStats> ResolvePhysicalColumnStats(const PhysicalNode& node,
+                                                        ColRefId id) const;
+
   /// Estimated selectivity of a predicate in [0, 1].
   static double Selectivity(const ExprPtr& pred);
 
  private:
+  /// Selectivity of an equi-join over aligned key pairs whose per-side stats
+  /// have been resolved (nullopt where resolution failed): the product over
+  /// pairs of 1 / max(ndv_left, ndv_right), every NDV capped by its side's
+  /// estimated input rows and unresolved sides falling back to the input
+  /// rows themselves (the classic |L⋈R| ≈ L·R / max(L, R) shape).
+  static double EquiJoinSelectivity(
+      const std::vector<std::optional<ColumnStats>>& left_stats,
+      const std::vector<std::optional<ColumnStats>>& right_stats,
+      double left_rows, double right_rows);
+
   const StorageEngine* storage_;
 };
 

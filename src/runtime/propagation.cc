@@ -56,11 +56,42 @@ const std::vector<Oid>& PartitionPropagationHub::Selected(int segment,
   return it->second.ordered;
 }
 
+void PartitionPropagationHub::PublishJoinFilter(int segment, int filter_id,
+                                                JoinFilterSummary summary) {
+  SegmentChannels& channels = CheckedSegment(segment);
+  auto [it, inserted] = channels.filters.emplace(filter_id, std::move(summary));
+  MPPDB_CHECK(inserted);  // one publication per (segment, filter) per run
+}
+
+const JoinFilterSummary* PartitionPropagationHub::FindJoinFilter(
+    int segment, int filter_id) const {
+  const SegmentChannels& channels = CheckedSegment(segment);
+  auto it = channels.filters.find(filter_id);
+  return it == channels.filters.end() ? nullptr : &it->second;
+}
+
+void PartitionPropagationHub::PublishGlobalJoinFilter(int filter_id,
+                                                      JoinFilterSummary summary) {
+  std::lock_guard<std::mutex> lock(global_filter_mu_);
+  auto [it, inserted] = global_filters_.emplace(filter_id, std::move(summary));
+  MPPDB_CHECK(inserted);  // the exchange is built (and publishes) exactly once
+}
+
+const JoinFilterSummary* PartitionPropagationHub::FindGlobalJoinFilter(
+    int filter_id) const {
+  std::lock_guard<std::mutex> lock(global_filter_mu_);
+  auto it = global_filters_.find(filter_id);
+  return it == global_filters_.end() ? nullptr : &it->second;
+}
+
 void PartitionPropagationHub::Reset() {
   for (SegmentChannels& segment : segments_) {
     segment.map.clear();
+    segment.filters.clear();
     segment.owner.store(std::thread::id(), std::memory_order_relaxed);
   }
+  std::lock_guard<std::mutex> lock(global_filter_mu_);
+  global_filters_.clear();
 }
 
 }  // namespace mppdb

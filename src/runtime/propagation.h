@@ -3,11 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/partition_scheme.h"
+#include "runtime/join_filter.h"
 
 namespace mppdb {
 
@@ -50,6 +53,35 @@ class PartitionPropagationHub {
   /// Selected OIDs in first-push order. Channel must exist.
   const std::vector<Oid>& Selected(int segment, int scan_id) const;
 
+  /// Join-filter channels: the hub generalization that carries value-level
+  /// build-key summaries (runtime/join_filter.h) alongside the OID channels.
+  ///
+  /// Segment-local channels follow the exact ownership contract of the OID
+  /// channels above: a hash join publishes its own segment's build-key
+  /// summary before executing its probe child, and probe-side scans of the
+  /// same segment consume it — producer and consumer share the segment's
+  /// slice thread, so no lock is needed. Publish aborts on duplicate ids
+  /// (each join publishes once per segment per execution).
+  void PublishJoinFilter(int segment, int filter_id, JoinFilterSummary summary);
+
+  /// Segment-local lookup; nullptr if nothing was published (e.g. runtime
+  /// join filters disabled). The pointer stays valid until Reset.
+  const JoinFilterSummary* FindJoinFilter(int segment, int filter_id) const;
+
+  /// Cross-segment (global) channel, used when the consumer sits below a
+  /// probe-side Motion: its rows are exchanged to other segments before
+  /// joining, so only a summary merged across every build source is sound.
+  /// Published exactly once per filter — by whichever thread builds the
+  /// build-side Motion's exchange buffers, while every consuming slice is
+  /// still blocked on (or has not yet reached) that Motion's rendezvous —
+  /// and mutex-protected so late readers see a fully published summary.
+  void PublishGlobalJoinFilter(int filter_id, JoinFilterSummary summary);
+
+  /// Global lookup; nullptr if nothing was published. Safe from any slice
+  /// thread; the pointer stays valid until Reset (node-based map, no
+  /// rehash invalidation).
+  const JoinFilterSummary* FindGlobalJoinFilter(int filter_id) const;
+
   /// Clears all channels and owner bindings. Single-threaded: callers must
   /// ensure no slice is executing.
   void Reset();
@@ -67,6 +99,10 @@ class PartitionPropagationHub {
   };
   struct SegmentChannels {
     std::unordered_map<int, Channel> map;
+    /// Segment-local join-filter summaries by filter id. std::map for
+    /// reference stability: consumers hold FindJoinFilter pointers across
+    /// later publishes.
+    std::map<int, JoinFilterSummary> filters;
     /// Owning thread; default (no thread) means unbound — any thread may
     /// claim by access in serial mode, where BindOwner is still called.
     std::atomic<std::thread::id> owner{std::thread::id()};
@@ -76,6 +112,11 @@ class PartitionPropagationHub {
   const SegmentChannels& CheckedSegment(int segment) const;
 
   std::vector<SegmentChannels> segments_;
+
+  /// Cross-segment join-filter summaries. Guarded by global_filter_mu_;
+  /// values are immutable once published.
+  mutable std::mutex global_filter_mu_;
+  std::map<int, JoinFilterSummary> global_filters_;
 };
 
 }  // namespace mppdb

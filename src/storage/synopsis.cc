@@ -28,6 +28,14 @@ void ColumnSynopsis::AddValue(const Datum& v) {
   if (Datum::Compare(v, max) > 0) max = v;
 }
 
+bool ColumnSynopsis::ProvablyDisjointFrom(const Datum& lo, const Datum& hi) const {
+  if (non_null_count == 0) return true;  // only NULLs, which match no range
+  if (!comparable) return false;
+  if (lo.is_null() || hi.is_null()) return false;
+  if (!DatumsComparable(min, lo) || !DatumsComparable(max, hi)) return false;
+  return Datum::Compare(max, lo) < 0 || Datum::Compare(min, hi) > 0;
+}
+
 void ChunkSynopsis::AddRow(const Row& row) {
   MPPDB_CHECK(row.size() == columns.size());
   ++row_count;

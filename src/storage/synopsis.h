@@ -33,6 +33,16 @@ struct ColumnSynopsis {
   bool comparable = true;
 
   void AddValue(const Datum& v);
+
+  /// Range probe: true if no non-null value of the summarized run can lie in
+  /// [lo, hi] — either the run is all-NULL, or its extremes are trustworthy
+  /// and provably outside the (non-null, same-family) probe bounds.
+  /// Conservative: returns false on mixed-family runs or when the probe
+  /// bounds are in a different comparison family than the extremes (a
+  /// cross-family Datum::Compare would abort). Used by predicate zone-map
+  /// skipping's runtime extension: join-filter min/max ranges probe chunk and
+  /// rollup synopses through this single entry point.
+  bool ProvablyDisjointFrom(const Datum& lo, const Datum& hi) const;
 };
 
 /// Per-column synopses plus the row count of one chunk (or of a whole slice,

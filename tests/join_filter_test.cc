@@ -1,0 +1,377 @@
+// Runtime join-filter correctness suite.
+//
+// The hard invariant under test: join filters never change results or any
+// pre-existing ExecStats counter — across {serial, parallel} x {row,
+// vectorized} x {data skipping on, off} — and every observable difference is
+// confined to the joinfilter_* counter family. On top of that, the suite
+// pins down the semantic corners: an empty build side rejects every probe
+// row, NULL join keys never pass a filter, filtering below a Redistribute
+// Motion reports exchange savings while rows_moved stays logical, probes
+// reach multi-level partitioned scans, and the cost gate (and its off
+// switch) keeps filters off joins that cannot pay for them.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "db/database.h"
+#include "runtime/join_filter.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+using testutil::SameRows;
+
+void ZeroJoinFilterCounters(ExecStats* stats) {
+  stats->joinfilter_built = 0;
+  stats->joinfilter_probed = 0;
+  stats->joinfilter_rows_rejected = 0;
+  stats->joinfilter_chunks_skipped = 0;
+  stats->joinfilter_motion_rows_saved = 0;
+}
+
+// --- BlockedBloomFilter / JoinFilterSummary unit coverage ----------------
+
+uint64_t TestHash(uint64_t i) {
+  // splitmix64-style scramble; the filter expects well-mixed hashes.
+  uint64_t z = i + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+TEST(BlockedBloomFilterTest, NoFalseNegativesAndLowFalsePositives) {
+  BlockedBloomFilter filter(1000);
+  for (uint64_t i = 0; i < 1000; ++i) filter.Insert(TestHash(i));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(filter.MayContain(TestHash(i))) << i;
+  }
+  size_t false_positives = 0;
+  for (uint64_t i = 1000; i < 21000; ++i) {
+    if (filter.MayContain(TestHash(i))) ++false_positives;
+  }
+  // ≥32 bits/key split-block filters sit far below 2% in practice.
+  EXPECT_LT(false_positives, 400u) << "false positive rate above 2%";
+}
+
+TEST(BlockedBloomFilterTest, InsertionOrderDoesNotMatter) {
+  BlockedBloomFilter forward(256);
+  BlockedBloomFilter backward(256);
+  for (uint64_t i = 0; i < 256; ++i) forward.Insert(TestHash(i));
+  for (uint64_t i = 256; i-- > 0;) backward.Insert(TestHash(i));
+  for (uint64_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(forward.MayContain(TestHash(i)), backward.MayContain(TestHash(i)))
+        << i;
+  }
+}
+
+TEST(JoinFilterSummaryTest, EmptyBuildRejectsEverything) {
+  JoinFilterSummaryBuilder builder(1, 0);
+  JoinFilterSummary summary = builder.Finish();
+  EXPECT_FALSE(summary.RowMayMatch({Datum::Int64(7)}, {0}));
+  ChunkSynopsis chunk(1);
+  chunk.AddRow({Datum::Int64(7)});
+  EXPECT_TRUE(summary.ChunkProvablyDisjoint(chunk, {0}));
+}
+
+TEST(JoinFilterSummaryTest, NullKeysNeverFoldOrMatch) {
+  JoinFilterSummaryBuilder builder(1, 4);
+  builder.Add({Datum::Int64(10)}, {0});
+  builder.Add({Datum::Null()}, {0});  // not folded: NULL never joins
+  builder.Add({Datum::Int64(20)}, {0});
+  JoinFilterSummary summary = builder.Finish();
+  EXPECT_EQ(summary.build_rows, 2u);
+  EXPECT_TRUE(summary.RowMayMatch({Datum::Int64(10)}, {0}));
+  EXPECT_FALSE(summary.RowMayMatch({Datum::Null()}, {0}));
+  EXPECT_FALSE(summary.RowMayMatch({Datum::Int64(30)}, {0}));  // out of range
+}
+
+TEST(JoinFilterSummaryTest, ChunkDisjointnessUsesBuildRange) {
+  JoinFilterSummaryBuilder builder(1, 4);
+  builder.Add({Datum::Int64(100)}, {0});
+  builder.Add({Datum::Int64(150)}, {0});
+  JoinFilterSummary summary = builder.Finish();
+  ChunkSynopsis below(1);
+  below.AddRow({Datum::Int64(1)});
+  below.AddRow({Datum::Int64(99)});
+  EXPECT_TRUE(summary.ChunkProvablyDisjoint(below, {0}));
+  ChunkSynopsis overlapping(1);
+  overlapping.AddRow({Datum::Int64(99)});
+  overlapping.AddRow({Datum::Int64(101)});
+  EXPECT_FALSE(summary.ChunkProvablyDisjoint(overlapping, {0}));
+}
+
+// --- End-to-end suite -----------------------------------------------------
+
+struct ModeResult {
+  std::vector<Row> rows;
+  ExecStats stats;
+};
+
+// Runs `sql` with filters on and off in one executor mode and asserts the
+// transparency contract; returns the filters-on outcome.
+ModeResult CheckTransparent(Database* db, const std::string& sql) {
+  QueryOptions on;
+  auto filtered = db->Run(sql, on);
+  EXPECT_TRUE(filtered.ok()) << sql << "\n" << filtered.status().ToString();
+  QueryOptions off;
+  off.enable_join_filters = false;
+  auto plain = db->Run(sql, off);
+  EXPECT_TRUE(plain.ok()) << sql << "\n" << plain.status().ToString();
+  if (!filtered.ok() || !plain.ok()) return {};
+  EXPECT_TRUE(filtered->rows == plain->rows) << sql;
+  ExecStats masked = filtered->stats;
+  ZeroJoinFilterCounters(&masked);
+  EXPECT_TRUE(masked == plain->stats)
+      << sql << ": join filters changed a pre-existing counter";
+  return {filtered->rows, filtered->stats};
+}
+
+std::vector<Executor::Options> ExecutorModeMatrix(bool with_noskip) {
+  std::vector<Executor::Options> modes = {
+      {},
+      {.parallel = true},
+      {.vectorized = true},
+      {.parallel = true, .vectorized = true},
+  };
+  if (with_noskip) {
+    modes.push_back({.data_skipping = false});
+    modes.push_back({.vectorized = true, .data_skipping = false});
+  }
+  return modes;
+}
+
+TEST(JoinFilterEndToEndTest, EmptyBuildSideRejectsAllProbeRows) {
+  for (const Executor::Options& mode : ExecutorModeMatrix(/*with_noskip=*/true)) {
+    Database db(4, mode);
+    ASSERT_TRUE(db.CreateTable("fact", Schema({{"sk", TypeId::kInt64},
+                                               {"qty", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {0})
+                    .ok());
+    ASSERT_TRUE(db.CreateTable("dim", Schema({{"k", TypeId::kInt64},
+                                              {"grp", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {0})
+                    .ok());
+    std::vector<Row> fact_rows;
+    for (int64_t i = 0; i < 3000; ++i) {
+      fact_rows.push_back({Datum::Int64(i % 500), Datum::Int64(i % 7)});
+    }
+    ASSERT_TRUE(db.Load("fact", fact_rows).ok());
+    // dim stays empty: every probe row is provably joinless.
+    ModeResult result =
+        CheckTransparent(&db, "SELECT * FROM fact f JOIN dim d ON f.sk = d.k");
+    EXPECT_TRUE(result.rows.empty());
+    EXPECT_GE(result.stats.joinfilter_built, 1u);
+    // The empty summary kills work before the join: either whole chunks are
+    // skipped (skipping on) or every row is rejected at the probe.
+    EXPECT_GT(result.stats.joinfilter_chunks_skipped +
+                  result.stats.joinfilter_rows_rejected,
+              0u);
+  }
+}
+
+TEST(JoinFilterEndToEndTest, NullJoinKeysNeverPassTheFilter) {
+  for (const Executor::Options& mode : ExecutorModeMatrix(/*with_noskip=*/true)) {
+    Database db(3, mode);
+    ASSERT_TRUE(db.CreateTable("fact", Schema({{"sk", TypeId::kInt64},
+                                               {"qty", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {0})
+                    .ok());
+    ASSERT_TRUE(db.CreateTable("dim", Schema({{"k", TypeId::kInt64},
+                                              {"grp", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {0})
+                    .ok());
+    std::vector<Row> fact_rows;
+    size_t null_keys = 0;
+    for (int64_t i = 0; i < 900; ++i) {
+      if (i % 4 == 0) {
+        fact_rows.push_back({Datum::Null(), Datum::Int64(i)});
+        ++null_keys;
+      } else {
+        fact_rows.push_back({Datum::Int64(i % 50), Datum::Int64(i)});
+      }
+    }
+    std::vector<Row> dim_rows;
+    for (int64_t k = 0; k < 50; ++k) {
+      dim_rows.push_back({Datum::Int64(k), Datum::Int64(k % 5)});
+    }
+    dim_rows.push_back({Datum::Null(), Datum::Int64(-1)});  // never folded
+    ASSERT_TRUE(db.Load("fact", fact_rows).ok());
+    ASSERT_TRUE(db.Load("dim", dim_rows).ok());
+    ModeResult result = CheckTransparent(
+        &db, "SELECT count(*) FROM fact f JOIN dim d ON f.sk = d.k");
+    ASSERT_EQ(result.rows.size(), 1u);
+    // Every non-null fact key 0..49 matches one dim key; NULLs match nothing.
+    EXPECT_EQ(result.rows[0][0],
+              Datum::Int64(static_cast<int64_t>(900 - null_keys)));
+    // Every NULL-key probe row is rejected by the filter before the join.
+    EXPECT_GE(result.stats.joinfilter_rows_rejected, null_keys);
+  }
+}
+
+TEST(JoinFilterEndToEndTest, FilterBelowRedistributeMotionSavesExchange) {
+  // Neither side is distributed on the join key and the sizes sit in the
+  // window where redistributing both sides beats broadcasting the build
+  // side, so the probe scan ends up below a Redistribute Motion and the
+  // build side below another — the global-filter configuration.
+  for (const Executor::Options& mode : ExecutorModeMatrix(/*with_noskip=*/true)) {
+    Database db(4, mode);
+    ASSERT_TRUE(db.CreateTable("fact", Schema({{"sk", TypeId::kInt64},
+                                               {"val", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {1})
+                    .ok());
+    ASSERT_TRUE(db.CreateTable("dim", Schema({{"k", TypeId::kInt64},
+                                              {"tag", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {1})
+                    .ok());
+    Random rng(99);
+    std::vector<Row> fact_rows;
+    for (int64_t i = 0; i < 650; ++i) {
+      // ~94% of fact keys miss the dim key domain [0, 300).
+      fact_rows.push_back(
+          {Datum::Int64(rng.UniformRange(0, 4999)), Datum::Int64(i)});
+    }
+    std::vector<Row> dim_rows;
+    for (int64_t k = 0; k < 300; ++k) {
+      dim_rows.push_back({Datum::Int64(k), Datum::Int64(k * 3)});
+    }
+    ASSERT_TRUE(db.Load("fact", fact_rows).ok());
+    ASSERT_TRUE(db.Load("dim", dim_rows).ok());
+    ModeResult result = CheckTransparent(
+        &db, "SELECT count(*) FROM fact f JOIN dim d ON f.sk = d.k");
+    // The merged (global) summary is published exactly once per query.
+    EXPECT_EQ(result.stats.joinfilter_built, 1u) << "expected one global filter";
+    // Rejected probe rows were counted into rows_moved (kept logical) but
+    // never exchanged; the savings are visible and substantial.
+    EXPECT_GT(result.stats.joinfilter_motion_rows_saved, 300u);
+  }
+}
+
+TEST(JoinFilterEndToEndTest, MultiLevelPartitionedProbeScans) {
+  for (const Executor::Options& mode : ExecutorModeMatrix(/*with_noskip=*/true)) {
+    Database db(3, mode);
+    // fact partitioned on sk (4 ranges of 100) then qty (3 ranges of 4).
+    ASSERT_TRUE(db.CreatePartitionedTable(
+                      "fact",
+                      Schema({{"sk", TypeId::kInt64},
+                              {"qty", TypeId::kInt64},
+                              {"val", TypeId::kInt64}}),
+                      TableDistribution::kHashed, {2},
+                      {{0, PartitionMethod::kRange}, {1, PartitionMethod::kRange}},
+                      {partition_bounds::IntRanges(0, 100, 4),
+                       partition_bounds::IntRanges(0, 4, 3)})
+                    .ok());
+    ASSERT_TRUE(db.CreateTable("dim", Schema({{"k", TypeId::kInt64},
+                                              {"grp", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {0})
+                    .ok());
+    Random rng(7);
+    std::vector<Row> fact_rows;
+    for (int64_t i = 0; i < 1200; ++i) {
+      fact_rows.push_back({Datum::Int64(rng.UniformRange(0, 399)),
+                           Datum::Int64(rng.UniformRange(0, 11)),
+                           Datum::Int64(i)});
+    }
+    std::vector<Row> dim_rows;
+    for (int64_t k = 0; k < 400; k += 16) {
+      dim_rows.push_back({Datum::Int64(k), Datum::Int64(k % 3)});
+    }
+    ASSERT_TRUE(db.Load("fact", fact_rows).ok());
+    ASSERT_TRUE(db.Load("dim", dim_rows).ok());
+    ModeResult result = CheckTransparent(
+        &db,
+        "SELECT count(*), sum(f.val) FROM fact f JOIN dim d ON f.sk = d.k "
+        "WHERE f.qty < 9");
+    // The probe consumer sits on the partitioned side's leaf scans.
+    EXPECT_GT(result.stats.joinfilter_probed +
+                  result.stats.joinfilter_chunks_skipped,
+              0u)
+        << "filter never reached the partitioned probe side";
+    EXPECT_GT(result.stats.joinfilter_rows_rejected +
+                  result.stats.joinfilter_chunks_skipped,
+              0u);
+  }
+}
+
+TEST(JoinFilterEndToEndTest, CostGateAndOffSwitch) {
+  Database db(3);
+  ASSERT_TRUE(db.CreateTable("big", Schema({{"a", TypeId::kInt64},
+                                            {"pad", TypeId::kInt64}}),
+                             TableDistribution::kHashed, {0})
+                  .ok());
+  ASSERT_TRUE(db.CreateTable("near_big", Schema({{"b", TypeId::kInt64},
+                                                 {"pad", TypeId::kInt64}}),
+                             TableDistribution::kHashed, {0})
+                  .ok());
+  std::vector<Row> big_rows;
+  for (int64_t i = 0; i < 500; ++i) {
+    big_rows.push_back({Datum::Int64(i), Datum::Int64(i)});
+  }
+  std::vector<Row> near_rows;
+  for (int64_t i = 0; i < 400; ++i) {
+    near_rows.push_back({Datum::Int64(i), Datum::Int64(i)});
+  }
+  ASSERT_TRUE(db.Load("big", big_rows).ok());
+  ASSERT_TRUE(db.Load("near_big", near_rows).ok());
+
+  // Probe (500) is under twice the build (400): the gate keeps filters off.
+  auto gated =
+      db.Run("SELECT count(*) FROM big JOIN near_big ON big.a = near_big.b");
+  ASSERT_TRUE(gated.ok());
+  EXPECT_EQ(gated->stats.joinfilter_built, 0u);
+  EXPECT_EQ(gated->stats.joinfilter_probed, 0u);
+
+  // A clearly profitable join places a filter — and the off switch removes
+  // it again without touching anything else.
+  ASSERT_TRUE(db.CreateTable("tiny", Schema({{"t", TypeId::kInt64}}),
+                             TableDistribution::kHashed, {0})
+                  .ok());
+  ASSERT_TRUE(db.Load("tiny", {{Datum::Int64(3)}, {Datum::Int64(4)}}).ok());
+  auto filtered = db.Run("SELECT count(*) FROM big JOIN tiny ON big.a = tiny.t");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_GE(filtered->stats.joinfilter_built, 1u);
+  QueryOptions off;
+  off.enable_join_filters = false;
+  auto plain =
+      db.Run("SELECT count(*) FROM big JOIN tiny ON big.a = tiny.t", off);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->stats.joinfilter_built, 0u);
+  EXPECT_EQ(plain->stats.joinfilter_probed, 0u);
+  EXPECT_EQ(plain->stats.joinfilter_rows_rejected, 0u);
+  EXPECT_TRUE(filtered->rows == plain->rows);
+}
+
+TEST(JoinFilterEndToEndTest, SemiJoinProbesAreFiltered) {
+  for (const Executor::Options& mode : ExecutorModeMatrix(/*with_noskip=*/false)) {
+    Database db(3, mode);
+    ASSERT_TRUE(db.CreateTable("fact", Schema({{"sk", TypeId::kInt64},
+                                               {"qty", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {0})
+                    .ok());
+    ASSERT_TRUE(db.CreateTable("dim", Schema({{"k", TypeId::kInt64},
+                                              {"grp", TypeId::kInt64}}),
+                               TableDistribution::kHashed, {0})
+                    .ok());
+    std::vector<Row> fact_rows;
+    for (int64_t i = 0; i < 800; ++i) {
+      fact_rows.push_back({Datum::Int64(i), Datum::Int64(i % 9)});
+    }
+    std::vector<Row> dim_rows;
+    for (int64_t k = 0; k < 20; ++k) {
+      dim_rows.push_back({Datum::Int64(k * 2), Datum::Int64(k)});
+    }
+    ASSERT_TRUE(db.Load("fact", fact_rows).ok());
+    ASSERT_TRUE(db.Load("dim", dim_rows).ok());
+    ModeResult result = CheckTransparent(
+        &db,
+        "SELECT count(*) FROM fact WHERE sk IN (SELECT k FROM dim)");
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0][0], Datum::Int64(20));
+  }
+}
+
+}  // namespace
+}  // namespace mppdb

@@ -232,5 +232,91 @@ TEST(ParallelStressTest, SynopsisReadsDuringLazyIndexBuilds) {
   EXPECT_EQ(hit_total, static_cast<size_t>(kRows) / 4);
 }
 
+// Runtime join-filter rendezvous: the build-side Redistribute publishes the
+// merged (global) join-filter summary from whichever worker arrives last at
+// the exchange, and every worker's probe-side scan — sitting below its own
+// Redistribute Motion — consumes it as soon as its segment resumes. This
+// races PublishGlobalJoinFilter against FindGlobalJoinFilter from all eight
+// probe slices every iteration; under the tsan_parallel_stress gate any
+// publication that is not happens-before the probes fails as a race, and the
+// stats equality below catches any lost or double publication.
+TEST(ParallelStressTest, JoinFilterPublicationRacesParallelProbeScans) {
+  TestDb db(8);
+  const TableDescriptor* fact = db.CreatePlainTable(
+      "fact", Schema({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}}), {0});
+  std::vector<Row> fact_rows;
+  for (int64_t i = 0; i < 600; ++i) {
+    fact_rows.push_back({Datum::Int64(i), Datum::Int64(i % 500)});
+  }
+  db.Insert(fact, fact_rows);
+  const TableDescriptor* dim = db.CreatePlainTable(
+      "dim", Schema({{"id", TypeId::kInt64}, {"tag", TypeId::kInt64}}), {0});
+  std::vector<Row> dim_rows;
+  for (int64_t id : {3, 17, 42, 88, 131, 257, 263, 499}) {
+    dim_rows.push_back({Datum::Int64(id), Datum::Int64(id * 2)});
+  }
+  db.Insert(dim, dim_rows);
+
+  // Both sides redistribute on the join key (neither is stored on it), so
+  // the filter must be the cross-segment merged summary: published by the
+  // build Motion, consumed by the probe scans below the probe Motion.
+  auto dim_scan = std::make_shared<TableScanNode>(dim->oid, dim->oid,
+                                                  std::vector<ColRefId>{11, 12});
+  PhysPtr build_motion = std::make_shared<MotionNode>(
+      MotionKind::kRedistribute, std::vector<ColRefId>{11}, dim_scan);
+  JoinFilterAnnotations publish_ann;
+  JoinFilterSpec spec;
+  spec.filter_id = 0;
+  spec.key_columns = {11};
+  spec.build_rows_est = 8;
+  spec.global = true;
+  publish_ann.publishes.push_back(spec);
+  build_motion =
+      WithJoinFilters(build_motion, build_motion->children(), publish_ann);
+
+  PhysPtr fact_scan = std::make_shared<TableScanNode>(
+      fact->oid, fact->oid, std::vector<ColRefId>{1, 2});
+  JoinFilterAnnotations probe_ann;
+  JoinFilterProbe probe;
+  probe.filter_id = 0;
+  probe.key_columns = {2};
+  probe.global = true;
+  probe.below_motion = true;
+  probe_ann.probes.push_back(probe);
+  fact_scan = WithJoinFilters(fact_scan, fact_scan->children(), probe_ann);
+  auto probe_motion = std::make_shared<MotionNode>(
+      MotionKind::kRedistribute, std::vector<ColRefId>{2}, fact_scan);
+
+  auto join = std::make_shared<HashJoinNode>(
+      JoinType::kInner, std::vector<ColRefId>{11}, std::vector<ColRefId>{2},
+      nullptr, build_motion, probe_motion);
+  auto gather = std::make_shared<MotionNode>(MotionKind::kGather,
+                                             std::vector<ColRefId>{}, join);
+
+  auto oracle = db.executor.Execute(gather);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  // Each fact row with b in the dim id set joins once; b = i % 500 repeats
+  // ids below 100 twice across 600 rows.
+  ASSERT_FALSE(oracle->empty());
+  ExecStats oracle_stats = db.executor.stats();
+  ASSERT_EQ(oracle_stats.joinfilter_built, 1u);
+  ASSERT_GT(oracle_stats.joinfilter_motion_rows_saved, 0u);
+
+  for (const bool vectorized : {false, true}) {
+    Executor parallel(
+        &db.catalog, &db.storage,
+        Executor::Options{.parallel = true, .vectorized = vectorized});
+    for (int iteration = 0; iteration < 25; ++iteration) {
+      auto result = parallel.Execute(gather);
+      ASSERT_TRUE(result.ok()) << "iter " << iteration << ": "
+                               << result.status().ToString();
+      ASSERT_TRUE(*result == *oracle)
+          << "iter " << iteration << " vectorized=" << vectorized;
+      ASSERT_TRUE(parallel.stats() == oracle_stats)
+          << "iter " << iteration << " vectorized=" << vectorized;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mppdb

@@ -13,7 +13,9 @@
 // {serial, parallel} x {row-at-a-time, vectorized} x {data skipping on, off},
 // asserting bit-identical rows and ExecStats against the serial row-at-a-time
 // oracle (zone-map skip counters are zeroed before comparing on-vs-off, since
-// those are exactly what skipping is allowed to change).
+// those are exactly what skipping is allowed to change), plus a runtime
+// join-filter on/off toggle whose only allowed stats difference is the
+// joinfilter_* counter family.
 
 #include <gtest/gtest.h>
 
@@ -109,6 +111,14 @@ class RandomQueryTest : public ::testing::Test {
            RandomPredicate(rng, columns, depth - 1) + ")";
   }
 
+  static void ZeroJoinFilterCounters(ExecStats* stats) {
+    stats->joinfilter_built = 0;
+    stats->joinfilter_probed = 0;
+    stats->joinfilter_rows_rejected = 0;
+    stats->joinfilter_chunks_skipped = 0;
+    stats->joinfilter_motion_rows_saved = 0;
+  }
+
   void CheckAllConfigsAgree(const std::string& sql) {
     QueryOptions reference_options;
     auto reference = db_.Run(sql, reference_options);
@@ -131,22 +141,40 @@ class RandomQueryTest : public ::testing::Test {
 
     // Skipping-off modes: identical rows, and identical stats once the skip
     // counters — the only thing zone maps may change — are zeroed on the
-    // skipping-on side.
+    // skipping-on side. Join-filter counters are zeroed on both sides: how
+    // many rows a filter probes (vs skips wholesale at chunk level) depends
+    // on zone maps, but everything the filters feed downstream does not.
     ExecStats reference_noskip = reference->stats;
     reference_noskip.chunks_total = 0;
     reference_noskip.chunks_skipped = 0;
     reference_noskip.units_skipped = 0;
+    ZeroJoinFilterCounters(&reference_noskip);
     for (Database* db : {&db_noskip_, &db_noskip_vec_, &db_noskip_parallel_vec_}) {
       auto mode_result = db->Run(sql, reference_options);
       ASSERT_TRUE(mode_result.ok())
           << sql << "\n" << mode_result.status().ToString();
+      ExecStats mode_stats = mode_result->stats;
+      ZeroJoinFilterCounters(&mode_stats);
       EXPECT_TRUE(reference->rows == mode_result->rows)
           << sql << " (skipping off, parallel=" << db->executor().options().parallel
           << " vectorized=" << db->executor().options().vectorized << ")";
-      EXPECT_TRUE(reference_noskip == mode_result->stats)
+      EXPECT_TRUE(reference_noskip == mode_stats)
           << sql << " (skipping off, parallel=" << db->executor().options().parallel
           << " vectorized=" << db->executor().options().vectorized << ")";
     }
+
+    // Runtime join filters are transparent: with filters disabled the same
+    // plan shape produces the same rows in the same order and bit-identical
+    // stats except the joinfilter_* counters, which must all read zero.
+    QueryOptions no_filters = reference_options;
+    no_filters.enable_join_filters = false;
+    auto unfiltered = db_.Run(sql, no_filters);
+    ASSERT_TRUE(unfiltered.ok()) << sql << "\n" << unfiltered.status().ToString();
+    EXPECT_TRUE(reference->rows == unfiltered->rows) << sql << " (filters off)";
+    ExecStats reference_nofilter = reference->stats;
+    ZeroJoinFilterCounters(&reference_nofilter);
+    EXPECT_TRUE(reference_nofilter == unfiltered->stats)
+        << sql << " (filters off)";
 
     QueryOptions no_selection;
     no_selection.enable_partition_selection = false;
