@@ -1,0 +1,95 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mppdb {
+
+const char* const FaultInjector::kPoints[7] = {
+    "storage.scan_chunk", "motion.send", "motion.recv",  "hub.push",
+    "joinfilter.publish", "exec.batch",  "alloc.budget",
+};
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState state;
+  state.spec = spec;
+  state.remaining_skips = spec.skip_first;
+  points_[point] = state;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
+}
+
+void FaultInjector::Reset(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  if (seed != 0) seed_ = seed;
+  rng_ = Random(seed_);
+}
+
+Status FaultInjector::Hit(const char* point, int segment,
+                          const StopSource* stop) {
+  FaultKind kind;
+  int delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    PointState& state = it->second;
+    if (state.spec.segment >= 0 && state.spec.segment != segment) {
+      return Status::OK();
+    }
+    ++state.hits;
+    if (state.remaining_skips > 0) {
+      --state.remaining_skips;
+      return Status::OK();
+    }
+    if (state.spec.max_fires >= 0 &&
+        state.fires >= static_cast<size_t>(state.spec.max_fires)) {
+      return Status::OK();
+    }
+    if (state.spec.probability < 1.0 && !rng_.Bernoulli(state.spec.probability)) {
+      return Status::OK();
+    }
+    ++state.fires;
+    kind = state.spec.kind;
+    delay_ms = state.spec.delay_ms;
+  }
+  const std::string where =
+      std::string(point) + " (segment " + std::to_string(segment) + ")";
+  switch (kind) {
+    case FaultKind::kTransient:
+      return Status::TransientIO("injected transient fault at " + where);
+    case FaultKind::kFatal:
+      return Status::Internal("injected fatal fault at " + where);
+    case FaultKind::kDelay: {
+      // Sleep in short slices outside the mutex so a cancelled or expired
+      // query does not stay wedged behind a simulated stall.
+      const auto end = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(delay_ms);
+      while (std::chrono::steady_clock::now() < end) {
+        if (stop != nullptr && stop->ShouldStop()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+size_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+size_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace mppdb

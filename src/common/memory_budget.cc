@@ -1,0 +1,11 @@
+#include "common/memory_budget.h"
+
+namespace mppdb {
+
+std::string MemoryBudget::DebugString() const {
+  if (!limited()) return "unlimited";
+  return std::to_string(used()) + "/" + std::to_string(limit_) +
+         " bytes (peak " + std::to_string(peak()) + ")";
+}
+
+}  // namespace mppdb

@@ -26,6 +26,14 @@ const char* StatusCodeToString(StatusCode code) {
       return "PlanError";
     case StatusCode::kExecutionError:
       return "ExecutionError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kTransientIO:
+      return "TransientIO";
   }
   return "Unknown";
 }

@@ -21,6 +21,19 @@ enum class StatusCode {
   kBindError,
   kPlanError,
   kExecutionError,
+  // Resilience taxonomy (DESIGN.md "Failure model"): how a query died, typed
+  // so callers can branch on it (retry, report, shed) without message
+  // sniffing.
+  /// The query was cancelled by request (Database::Cancel / QueryContext).
+  kCancelled,
+  /// The query's deadline expired before it finished.
+  kDeadlineExceeded,
+  /// A per-query resource budget (memory) was exhausted.
+  kResourceExhausted,
+  /// A transient I/O-style failure (e.g. an injected storage/interconnect
+  /// hiccup). The only retriable code: a bounded query-level retry after
+  /// idempotent teardown is expected to succeed.
+  kTransientIO,
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -64,10 +77,27 @@ class Status {
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status TransientIO(std::string msg) {
+    return Status(StatusCode::kTransientIO, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
+
+  /// True for failures a query-level retry (after idempotent teardown) may
+  /// cure. Cancellation, deadlines, and budget exhaustion are deliberate
+  /// terminations and are never retried.
+  bool IsRetriable() const { return code_ == StatusCode::kTransientIO; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,5 +1,8 @@
 #include "db/database.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/macros.h"
 #include "sql/parser.h"
 #include "types/date.h"
@@ -324,6 +327,74 @@ Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
   return result;
 }
 
+namespace {
+
+bool PlanHasDml(const PhysPtr& node) {
+  if (node->kind() == PhysNodeKind::kInsert ||
+      node->kind() == PhysNodeKind::kUpdate ||
+      node->kind() == PhysNodeKind::kDelete) {
+    return true;
+  }
+  for (const auto& child : node->children()) {
+    if (PlanHasDml(child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> Database::ExecuteWithContext(const PhysPtr& plan,
+                                                      const QueryOptions& options) {
+  auto ctx = std::make_shared<QueryContext>();
+  if (options.timeout_ms > 0) {
+    ctx->SetTimeout(std::chrono::milliseconds(options.timeout_ms));
+  }
+  ctx->budget().set_limit(options.memory_limit_bytes);
+  ctx->set_fault_injector(options.fault_injector);
+  if (options.query_id != 0) {
+    std::lock_guard<std::mutex> lock(query_mu_);
+    active_queries_[options.query_id] = ctx;
+  }
+  // Transient failures (kTransientIO) retry at query level: Execute's
+  // start-and-end teardown is idempotent (hub channels, exchanges, join
+  // filters, budget usage all reset), so re-running the same plan on the
+  // same context is safe. DML plans are excluded — a transient fault after
+  // the apply phase must not apply the writes twice. Cancellation, deadline
+  // expiry, and budget exhaustion are deliberate verdicts, never retried.
+  const bool retriable_plan = !PlanHasDml(plan);
+  Result<std::vector<Row>> rows = executor_.Execute(plan, ctx.get());
+  for (int attempt = 0; !rows.ok() && rows.status().IsRetriable() &&
+                        retriable_plan && attempt < options.max_transient_retries;
+       ++attempt) {
+    if (options.retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.retry_backoff_ms << attempt));
+    }
+    rows = executor_.Execute(plan, ctx.get());
+  }
+  if (options.query_id != 0) {
+    std::lock_guard<std::mutex> lock(query_mu_);
+    auto it = active_queries_.find(options.query_id);
+    // Guard against a reused id registered by a newer statement.
+    if (it != active_queries_.end() && it->second == ctx) active_queries_.erase(it);
+  }
+  return rows;
+}
+
+bool Database::Cancel(uint64_t query_id) {
+  std::shared_ptr<QueryContext> ctx;
+  {
+    std::lock_guard<std::mutex> lock(query_mu_);
+    auto it = active_queries_.find(query_id);
+    if (it == active_queries_.end()) return false;
+    ctx = it->second;
+  }
+  // Outside query_mu_: Cancel runs the executor's abort callback, which may
+  // take its own locks — never while holding the registry lock.
+  ctx->Cancel();
+  return true;
+}
+
 Result<QueryResult> Database::Run(const std::string& sql, const QueryOptions& options) {
   MPPDB_ASSIGN_OR_RETURN(sql_ast::Statement parsed, ParseStatement(sql));
   if (parsed.kind == sql_ast::Statement::Kind::kCreateTable ||
@@ -345,7 +416,7 @@ Result<QueryResult> Database::Run(const std::string& sql, const QueryOptions& op
     explained.plan = plan;
     return explained;
   }
-  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, executor_.Execute(plan));
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteWithContext(plan, options));
   QueryResult result;
   result.rows = std::move(rows);
   result.columns = stmt.output_names;
@@ -356,6 +427,16 @@ Result<QueryResult> Database::Run(const std::string& sql, const QueryOptions& op
 
 Result<QueryResult> Database::ExecutePlan(const PhysPtr& plan) {
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, executor_.Execute(plan));
+  QueryResult result;
+  result.rows = std::move(rows);
+  result.plan = plan;
+  result.stats = executor_.stats();
+  return result;
+}
+
+Result<QueryResult> Database::ExecutePlan(const PhysPtr& plan,
+                                          const QueryOptions& options) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteWithContext(plan, options));
   QueryResult result;
   result.rows = std::move(rows);
   result.plan = plan;

@@ -1,8 +1,11 @@
 #ifndef MPPDB_DB_DATABASE_H_
 #define MPPDB_DB_DATABASE_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -36,6 +39,30 @@ struct QueryOptions {
   bool enable_join_filters = true;
   /// Values for $1, $2, ... parameters, substituted before optimization.
   std::vector<Datum> params;
+
+  /// --- Resilience (DESIGN.md "Failure model") -----------------------------
+  /// Registers the statement under this id while it executes, so another
+  /// thread can terminate it with Database::Cancel(query_id). 0 = not
+  /// registered (still cancellable via a caller-owned QueryContext at the
+  /// Executor layer).
+  uint64_t query_id = 0;
+  /// Wall-clock budget for the whole statement, retries included; expiry
+  /// surfaces as kDeadlineExceeded. 0 = no deadline.
+  int64_t timeout_ms = 0;
+  /// Per-query memory budget charged by build tables, sort buffers, motion
+  /// buffers, and join-filter summaries; exhaustion surfaces as
+  /// kResourceExhausted after advisory allocations shed. 0 = unlimited.
+  size_t memory_limit_bytes = 0;
+  /// Query-level retries for retriable failures (Status::IsRetriable, i.e.
+  /// kTransientIO): the executor's idempotent teardown resets hub channels,
+  /// exchanges, and join filters between attempts. DML plans never retry —
+  /// an attempt that failed after applying writes must not apply them twice.
+  int max_transient_retries = 2;
+  /// Base backoff between attempts, doubling per retry. 0 = immediate.
+  int retry_backoff_ms = 1;
+  /// Deterministic fault injector threaded through execution (tests and
+  /// resilience benchmarks). Not owned; null = no injection.
+  FaultInjector* fault_injector = nullptr;
 };
 
 /// Result of one statement: rows, column names, the executed plan, and the
@@ -94,9 +121,23 @@ class Database {
 
   /// Executes a pre-built physical plan.
   Result<QueryResult> ExecutePlan(const PhysPtr& plan);
+  /// Same, under the options' resilience controls (query_id registration,
+  /// deadline, memory budget, fault injection, transient retries). The
+  /// optimizer-selection fields are ignored — the plan is already built.
+  Result<QueryResult> ExecutePlan(const PhysPtr& plan, const QueryOptions& options);
+
+  /// Requests cooperative cancellation of the running statement registered
+  /// under `query_id` (QueryOptions::query_id). Returns false if no such
+  /// statement is active. The cancelled statement terminates within one
+  /// batch with kCancelled, all workers joined and storage untouched.
+  bool Cancel(uint64_t query_id);
 
  private:
   Result<BoundStatement> BindSql(const std::string& sql);
+  /// Runs the plan under a QueryContext built from the options, with the
+  /// query-id registry bookkeeping and the transient-retry loop.
+  Result<std::vector<Row>> ExecuteWithContext(const PhysPtr& plan,
+                                              const QueryOptions& options);
   Result<PhysPtr> PlanStatement(const BoundStatement& stmt,
                                 const QueryOptions& options);
   /// Executes CREATE TABLE / DROP TABLE statements (paper §3.2's DDL: range
@@ -106,6 +147,11 @@ class Database {
   Catalog catalog_;
   StorageEngine storage_;
   Executor executor_;
+  /// Live statements by QueryOptions::query_id, for Cancel(). shared_ptr so
+  /// a cancel thread can safely poke a context the query thread is about to
+  /// unregister.
+  std::mutex query_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<QueryContext>> active_queries_;
 };
 
 /// Substitutes $N parameters throughout a physical plan's expressions

@@ -161,29 +161,39 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
     // synopsis (re)build it would not use.
     stats.chunks_total +=
         (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
-    if (!can_prune && join_filters.empty()) {
-      for (const Row& row : rows) {
-        MPPDB_ASSIGN_OR_RETURN(bool keep,
-                               EvalPredicate(node.predicate(), layout, row));
-        if (keep) out.push_back(row);
+    // Unskipped chunk-wise scan: the non-sargable case and the shed-synopsis
+    // fallback below share it (same rows, same order, no skipping counters).
+    auto scan_unskipped = [&]() -> Status {
+      for (size_t base = 0; base < rows.size(); base += TableStore::kChunkRows) {
+        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
+        const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
+        for (size_t i = base; i < end; ++i) {
+          MPPDB_ASSIGN_OR_RETURN(bool keep,
+                                 EvalPredicate(node.predicate(), layout, rows[i]));
+          if (keep && probe_row(rows[i], stats)) out.push_back(rows[i]);
+        }
       }
       return Status::OK();
-    }
-    const SliceSynopsis& synopsis = store.UnitSynopsis(unit_oid, segment);
-    MPPDB_CHECK(synopsis.rollup.row_count == rows.size());
-    if (can_prune && SynopsisCanSkip(compiled, synopsis.rollup)) {
+    };
+    if (!can_prune && join_filters.empty()) return scan_unskipped();
+    // A shed synopsis rebuild (budget pressure) returns null: scan unskipped.
+    const SliceSynopsis* synopsis = AcquireSynopsis(store, unit_oid, segment);
+    if (synopsis == nullptr) return scan_unskipped();
+    MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
+    if (can_prune && SynopsisCanSkip(compiled, synopsis->rollup)) {
       ++stats.units_skipped;
-      stats.chunks_skipped += synopsis.chunks.size();
+      stats.chunks_skipped += synopsis->chunks.size();
       return Status::OK();
     }
-    for (size_t c = 0; c < synopsis.chunks.size(); ++c) {
+    for (size_t c = 0; c < synopsis->chunks.size(); ++c) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
       // Predicate-driven skips run first so chunks_skipped is identical with
       // join filters on or off; only then may a join filter claim the chunk.
-      if (can_prune && SynopsisCanSkip(compiled, synopsis.chunks[c])) {
+      if (can_prune && SynopsisCanSkip(compiled, synopsis->chunks[c])) {
         ++stats.chunks_skipped;
         continue;
       }
-      if (join_filter_chunk_skip(synopsis.chunks[c], stats)) continue;
+      if (join_filter_chunk_skip(synopsis->chunks[c], stats)) continue;
       const size_t base = c * TableStore::kChunkRows;
       const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
       for (size_t i = base; i < end; ++i) {

@@ -40,6 +40,8 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   joinfilter_rows_rejected += other.joinfilter_rows_rejected;
   joinfilter_chunks_skipped += other.joinfilter_chunks_skipped;
   joinfilter_motion_rows_saved += other.joinfilter_motion_rows_saved;
+  joinfilter_shed += other.joinfilter_shed;
+  synopsis_rebuilds_shed += other.synopsis_rebuilds_shed;
 }
 
 struct Executor::MotionExchange {
@@ -67,13 +69,15 @@ struct Executor::MotionExchange {
 namespace {
 
 /// Error returned by workers woken from a Motion barrier by the abort flag;
-/// Execute prefers reporting the originating failure over this one.
+/// Execute prefers reporting the originating failure over this one, and
+/// rewrites an all-secondhand outcome (abort raised by a cancel callback,
+/// not by any worker) to the context's own kCancelled/kDeadlineExceeded.
 Status AbortedStatus() {
-  return Status::ExecutionError("execution aborted: a peer segment failed");
+  return Status::Cancelled("execution aborted: a peer segment failed");
 }
 
 bool IsAbortedStatus(const Status& status) {
-  return status.code() == StatusCode::kExecutionError &&
+  return status.code() == StatusCode::kCancelled &&
          status.message().rfind("execution aborted:", 0) == 0;
 }
 
@@ -107,6 +111,9 @@ bool Executor::CollectMotions(const PhysPtr& node) {
 
 void Executor::SignalAbort() {
   abort_flag_.store(true, std::memory_order_release);
+  // exchanges_mu_ keeps this iteration safe against a serial run's lazy
+  // exchange registration when a cancel thread calls in concurrently.
+  std::lock_guard<std::mutex> exchanges_lock(exchanges_mu_);
   for (auto& [node, exchange] : exchanges_) {
     // Empty critical section: a waiter is either inside cv.wait (sees the
     // notify) or has not yet re-checked the predicate under the lock.
@@ -115,23 +122,100 @@ void Executor::SignalAbort() {
   }
 }
 
+Status Executor::CheckExec(int segment, const char* point) {
+  MPPDB_RETURN_IF_ERROR(ctx_->CheckAlive());
+  if (abort_flag_.load(std::memory_order_acquire)) return AbortedStatus();
+  FaultInjector* injector = ctx_->fault_injector();
+  if (point != nullptr && injector != nullptr) {
+    return injector->Hit(point, segment, ctx_);
+  }
+  return Status::OK();
+}
+
+Status Executor::ChargeBudget(int segment, size_t bytes, const char* what) {
+  FaultInjector* injector = ctx_->fault_injector();
+  if (injector != nullptr) {
+    MPPDB_RETURN_IF_ERROR(injector->Hit("alloc.budget", segment, ctx_));
+  }
+  if (ctx_->budget().TryCharge(bytes)) return Status::OK();
+  return Status::ResourceExhausted(
+      std::string("query memory budget exhausted charging ") + what + " (" +
+      std::to_string(bytes) + " bytes, " + ctx_->budget().DebugString() + ")");
+}
+
+bool Executor::TryChargeOptional(size_t bytes) {
+  return ctx_->budget().TryCharge(bytes);
+}
+
+const SliceSynopsis* Executor::AcquireSynopsis(const TableStore& store,
+                                               Oid unit_oid, int segment) {
+  if (ctx_->budget().limited() && !store.SynopsisFresh(unit_oid, segment)) {
+    // Stale synopsis: UnitSynopsis would rebuild it from the rows. Charge a
+    // per-chunk-per-column scratch estimate; under pressure the rebuild is
+    // shed (zone maps are advisory) rather than failing the query.
+    const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
+    const size_t width = rows.empty() ? 0 : rows[0].size();
+    const size_t chunks =
+        (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
+    if (!TryChargeOptional((chunks + 1) * width * 64)) {
+      ++seg_stats_[static_cast<size_t>(segment)].synopsis_rebuilds_shed;
+      return nullptr;
+    }
+  }
+  return &store.UnitSynopsis(unit_oid, segment);
+}
+
 Result<std::vector<Row>> Executor::Execute(const PhysPtr& plan) {
+  return Execute(plan, nullptr);
+}
+
+Result<std::vector<Row>> Executor::Execute(const PhysPtr& plan,
+                                           QueryContext* ctx) {
+  // A shared never-cancelled, unlimited default keeps the hot-path checks
+  // unconditional (ctx_ is never null) without charging callers that want no
+  // context. Intentionally leaked: execution may outlive static teardown
+  // order in exotic embeddings.
+  static QueryContext* const default_ctx = new QueryContext();
+  ctx_ = ctx != nullptr ? ctx : default_ctx;
+  ctx_->budget().ResetUsage();
   hub_.Reset();
   stats_ = ExecStats();
   seg_stats_.assign(static_cast<size_t>(num_segments_), ExecStats());
-  exchanges_.clear();
+  {
+    std::lock_guard<std::mutex> lock(exchanges_mu_);
+    exchanges_.clear();
+  }
   abort_flag_.store(false);
   bool plan_is_tree = CollectMotions(plan);
   parallel_run_ = options_.parallel && plan_is_tree &&
                   (options_.max_workers == 0 ||
                    options_.max_workers >= num_segments_);
+  // Cancel() wakes every Motion barrier through the abort flag, so blocked
+  // workers notice within one wake-up instead of one batch. Registered on
+  // the caller's context only — nobody can cancel the default.
+  uint64_t cancel_cb = 0;
+  if (ctx != nullptr) {
+    cancel_cb = ctx->AddCancelCallback([this] { SignalAbort(); });
+  }
   Result<std::vector<Row>> result =
       parallel_run_ ? ExecuteParallel(plan) : ExecuteSerial(plan);
+  if (ctx != nullptr) ctx->RemoveCancelCallback(cancel_cb);
+  // An all-secondhand abort (every path woke via the flag, e.g. Cancel()
+  // raised it) is reported as the context's own verdict.
+  if (!result.ok() && IsAbortedStatus(result.status())) {
+    Status alive = ctx_->CheckAlive();
+    if (!alive.ok()) result = alive;
+  }
   // Leave the executor clean and reusable whatever the outcome: per-run
-  // scratch is dropped here, and stats_ carries the run's counters only if
-  // it succeeded.
+  // scratch is dropped here (the idempotent teardown the query-level retry
+  // loop relies on — hub channels, exchange buffers, and published join
+  // filters never leak into the next attempt), and stats_ carries the run's
+  // counters only if it succeeded.
   hub_.Reset();
-  exchanges_.clear();
+  {
+    std::lock_guard<std::mutex> lock(exchanges_mu_);
+    exchanges_.clear();
+  }
   parallel_run_ = false;
   if (result.ok()) {
     for (const ExecStats& seg : seg_stats_) stats_.MergeFrom(seg);
@@ -164,7 +248,12 @@ Result<std::vector<Row>> Executor::ExecuteParallel(const PhysPtr& plan) {
   for (int segment = 0; segment < num_segments_; ++segment) {
     joins.push_back(pool_->Submit([this, &plan, &seg_results, segment]() {
       hub_.BindOwner(segment);
-      Result<std::vector<Row>> rows = ExecNode(plan, segment);
+      // Task-body liveness gate: a query cancelled while its slices were
+      // still queued never starts executing them.
+      Status alive = CheckExec(segment, nullptr);
+      Result<std::vector<Row>> rows = alive.ok()
+                                          ? ExecNode(plan, segment)
+                                          : Result<std::vector<Row>>(alive);
       if (!rows.ok()) SignalAbort();
       seg_results[static_cast<size_t>(segment)] = std::move(rows);
     }));
@@ -193,6 +282,8 @@ Result<std::vector<Row>> Executor::ExecuteParallel(const PhysPtr& plan) {
 }
 
 Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
+  // Per-operator liveness check; the hot loops below add per-batch checks.
+  MPPDB_RETURN_IF_ERROR(CheckExec(segment, nullptr));
   switch (node->kind()) {
     case PhysNodeKind::kTableScan:
       return ExecTableScan(static_cast<const TableScanNode&>(*node), segment);
@@ -269,40 +360,49 @@ Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
   return Status::Internal("unreachable physical node kind");
 }
 
-void Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
-                        int segment, bool emit_rowids,
-                        const std::vector<BoundJoinFilter>& join_filters,
-                        std::vector<Row>* out) {
+Status Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
+                          int segment, bool emit_rowids,
+                          const std::vector<BoundJoinFilter>& join_filters,
+                          std::vector<Row>* out) {
   const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
   ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
   stats.partitions_scanned[table_oid].insert(unit_oid);
   // Logical accounting: join-filter-rejected rows still count as scanned.
   stats.tuples_scanned += rows.size();
   if (join_filters.empty()) {
-    if (!emit_rowids) {
-      out->insert(out->end(), rows.begin(), rows.end());
-      return;
-    }
     out->reserve(out->size() + rows.size());
+    if (!emit_rowids) {
+      for (size_t base = 0; base < rows.size(); base += TableStore::kChunkRows) {
+        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
+        const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
+        out->insert(out->end(), rows.begin() + static_cast<std::ptrdiff_t>(base),
+                    rows.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+      return Status::OK();
+    }
     for (size_t i = 0; i < rows.size(); ++i) {
+      if (i % TableStore::kChunkRows == 0) {
+        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
+      }
       Row row = rows[i];
       row.push_back(Datum::Int64(unit_oid));
       row.push_back(Datum::Int64(segment));
       row.push_back(Datum::Int64(static_cast<int64_t>(i)));
       out->push_back(std::move(row));
     }
-    return;
+    return Status::OK();
   }
   // Join-filtered scan. Placement never annotates rowid-emitting scans
   // (those exist for DML plans, which get no placement pass at all).
   MPPDB_CHECK(!emit_rowids);
-  if (rows.empty()) return;
+  if (rows.empty()) return Status::OK();
   // At a bare scan there is no predicate between storage and the consumer
   // site, so chunk-level skipping needs no error-safety gate: any dropped
   // row is provably outside the build keys' min/max and could never join.
   const SliceSynopsis* synopsis =
-      options_.data_skipping ? &store.UnitSynopsis(unit_oid, segment) : nullptr;
+      options_.data_skipping ? AcquireSynopsis(store, unit_oid, segment) : nullptr;
   for (size_t base = 0; base < rows.size(); base += TableStore::kChunkRows) {
+    MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
     const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
     const BoundJoinFilter* chunk_skipper = nullptr;
     if (synopsis != nullptr) {
@@ -344,6 +444,7 @@ void Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
       }
     }
   }
+  return Status::OK();
 }
 
 Result<std::vector<Executor::BoundJoinFilter>> Executor::BindJoinFilterProbes(
@@ -370,8 +471,16 @@ Status Executor::PublishLocalJoinFilters(const PhysicalNode& node,
                                          int segment) {
   if (!options_.join_filters) return Status::OK();
   for (const JoinFilterSpec& spec : node.join_filters().publishes) {
+    MPPDB_RETURN_IF_ERROR(CheckExec(segment, "joinfilter.publish"));
     MPPDB_ASSIGN_OR_RETURN(std::vector<int> positions,
                            ResolvePositions(build_layout, spec.key_columns));
+    // Summaries are advisory: under budget pressure the publish is shed
+    // (consumers tolerate a missing summary) instead of failing the query.
+    const size_t summary_bytes = 64 + positions.size() * 48 + build_rows.size();
+    if (!TryChargeOptional(summary_bytes)) {
+      ++seg_stats_[static_cast<size_t>(segment)].joinfilter_shed;
+      continue;
+    }
     JoinFilterSummaryBuilder builder(positions.size(), build_rows.size());
     for (const Row& row : build_rows) builder.Add(row, positions);
     hub_.PublishJoinFilter(segment, spec.filter_id, builder.Finish());
@@ -395,8 +504,8 @@ Result<std::vector<Row>> Executor::ExecTableScan(const TableScanNode& node,
   MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
                          BindJoinFilterProbes(node, node.OutputLayout(), segment));
   std::vector<Row> out;
-  ScanUnit(*store, node.table_oid(), node.unit_oid(), segment,
-           !node.rowid_ids().empty(), join_filters, &out);
+  MPPDB_RETURN_IF_ERROR(ScanUnit(*store, node.table_oid(), node.unit_oid(), segment,
+                                 !node.rowid_ids().empty(), join_filters, &out));
   return out;
 }
 
@@ -417,8 +526,8 @@ Result<std::vector<Row>> Executor::ExecCheckedPartScan(const CheckedPartScanNode
   if (std::find(selected.begin(), selected.end(), node.leaf_oid()) != selected.end()) {
     MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
                            BindJoinFilterProbes(node, node.OutputLayout(), segment));
-    ScanUnit(*store, node.table_oid(), node.leaf_oid(), segment, false, join_filters,
-             &out);
+    MPPDB_RETURN_IF_ERROR(ScanUnit(*store, node.table_oid(), node.leaf_oid(),
+                                   segment, false, join_filters, &out));
   }
   return out;
 }
@@ -448,8 +557,8 @@ Result<std::vector<Row>> Executor::ExecDynamicScan(const DynamicScanNode& node,
                                     " is not a leaf of table " +
                                     std::to_string(node.table_oid()));
     }
-    ScanUnit(*store, node.table_oid(), oid, segment, !node.rowid_ids().empty(),
-             join_filters, &out);
+    MPPDB_RETURN_IF_ERROR(ScanUnit(*store, node.table_oid(), oid, segment,
+                                   !node.rowid_ids().empty(), join_filters, &out));
   }
   return out;
 }
@@ -467,6 +576,7 @@ Result<std::vector<Row>> Executor::ExecPartitionSelector(
   MPPDB_CHECK(node.level_predicates().size() == num_levels);
 
   hub_.OpenChannel(segment, node.scan_id());
+  MPPDB_RETURN_IF_ERROR(CheckExec(segment, "hub.push"));
 
   auto select_with = [&](const std::vector<ExprPtr>& preds) {
     std::vector<ConstraintSet> constraints;
@@ -555,7 +665,13 @@ Result<std::vector<Row>> Executor::ExecPartitionSelector(
   }
   if (all_equality) {
     std::vector<Datum> key_values(num_levels);
+    size_t until_check = 0;
     for (const Row& row : rows) {
+      if (until_check == 0) {
+        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "hub.push"));
+        until_check = TableStore::kChunkRows;
+      }
+      --until_check;
       for (size_t level = 0; level < num_levels; ++level) {
         key_values[level] = row[static_cast<size_t>(eq_positions[level])];
       }
@@ -570,7 +686,13 @@ Result<std::vector<Row>> Executor::ExecPartitionSelector(
     return rows;
   }
 
+  size_t until_check = 0;
   for (const Row& row : rows) {
+    if (until_check == 0) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "hub.push"));
+      until_check = TableStore::kChunkRows;
+    }
+    --until_check;
     std::unordered_map<ColRefId, Datum> bindings;
     for (size_t i = 0; i < layout.ids().size(); ++i) {
       bindings.emplace(layout.ids()[i], row[i]);
@@ -605,7 +727,13 @@ Result<std::vector<Row>> Executor::ExecFilter(const FilterNode& node, int segmen
   ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
   std::vector<Row> out;
   out.reserve(rows.size());
+  size_t until_check = 0;
   for (Row& row : rows) {
+    if (until_check == 0) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+      until_check = TableStore::kChunkRows;
+    }
+    --until_check;
     MPPDB_ASSIGN_OR_RETURN(bool keep, EvalPredicate(node.predicate(), layout, row));
     if (!keep) continue;
     // Join filters apply after the full predicate, so only rows the filter
@@ -638,7 +766,13 @@ Result<std::vector<Row>> Executor::ExecProject(const ProjectNode& node, int segm
   ColumnLayout layout = node.child(0)->OutputLayout();
   std::vector<Row> out;
   out.reserve(rows.size());
+  size_t until_check = 0;
   for (const Row& row : rows) {
+    if (until_check == 0) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+      until_check = TableStore::kChunkRows;
+    }
+    --until_check;
     Row projected;
     projected.reserve(node.items().size());
     for (const auto& item : node.items()) {
@@ -655,6 +789,13 @@ Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int se
   // PartitionSelector placement relies on.
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> build_rows, ExecNode(node.child(0), segment));
   ColumnLayout build_layout = node.child(0)->OutputLayout();
+  // The build table pins every build row plus hash-table nodes for the whole
+  // probe phase: the query's dominant mandatory allocation. Charged before
+  // the advisory filter publication so that under budget pressure the
+  // optional summary sheds while the mandatory table still fits.
+  MPPDB_RETURN_IF_ERROR(ChargeBudget(
+      segment, ApproxRowsBytes(build_rows.size(), build_layout.ids().size()),
+      "hash join build table"));
   // This segment's build-key summary goes out before the probe child runs,
   // so probe-side consumers (same segment, same slice thread) can find it.
   MPPDB_RETURN_IF_ERROR(
@@ -678,7 +819,13 @@ Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int se
   ColumnLayout joint_layout = ColumnLayout::Concat(build_layout, probe_layout);
   std::vector<Row> out;
   out.reserve(probe_rows.size());
+  size_t until_check = 0;
   for (const Row& probe : probe_rows) {
+    if (until_check == 0) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+      until_check = TableStore::kChunkRows;
+    }
+    --until_check;
     JoinKey key = ExtractKey(probe, probe_pos);
     if (key.HasNull()) continue;
     auto [begin, end] = table.equal_range(key);
@@ -734,9 +881,17 @@ Result<std::vector<Row>> Executor::ExecNestedLoopJoin(const NestedLoopJoinNode& 
   ColumnLayout joint_layout = ColumnLayout::Concat(node.child(0)->OutputLayout(),
                                                    node.child(1)->OutputLayout());
   std::vector<Row> out;
+  // Pair-granular countdown: O(n*m) loops must observe cancellation within
+  // one batch of pairs, not one batch of outer rows.
+  size_t until_check = 0;
   if (node.join_type() == JoinType::kSemi) {
     for (const Row& inner : inner_rows) {
       for (const Row& outer : outer_rows) {
+        if (until_check == 0) {
+          MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+          until_check = TableStore::kChunkRows;
+        }
+        --until_check;
         Row joined = outer;
         joined.insert(joined.end(), inner.begin(), inner.end());
         bool keep = true;
@@ -755,6 +910,11 @@ Result<std::vector<Row>> Executor::ExecNestedLoopJoin(const NestedLoopJoinNode& 
   out.reserve(outer_rows.size());
   for (const Row& outer : outer_rows) {
     for (const Row& inner : inner_rows) {
+      if (until_check == 0) {
+        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+        until_check = TableStore::kChunkRows;
+      }
+      --until_check;
       Row joined = outer;
       joined.insert(joined.end(), inner.begin(), inner.end());
       bool keep = true;
@@ -805,7 +965,13 @@ Result<std::vector<Row>> Executor::ExecIndexNLJoin(const IndexNLJoinNode& node,
       ColumnLayout::Concat(outer_layout, ColumnLayout(node.inner_column_ids()));
 
   std::vector<Row> out;
+  size_t until_check = 0;
   for (const Row& outer : outer_rows) {
+    if (until_check == 0) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+      until_check = TableStore::kChunkRows;
+    }
+    --until_check;
     const Datum& key = outer[static_cast<size_t>(key_pos)];
     if (key.is_null()) continue;
     // The outer child computes "the keys of partitions to be scanned"
@@ -846,10 +1012,23 @@ Result<std::vector<Row>> Executor::ExecHashAgg(const HashAggNode& node, int segm
   std::unordered_map<JoinKey, std::vector<AggState>, JoinKeyHash> groups;
   std::vector<JoinKey> group_order;
 
+  // Grouping state grows with distinct keys, not input rows — charge it
+  // incrementally as groups appear (the vectorized path mirrors this
+  // formula exactly, keeping budget outcomes path-independent).
+  const size_t group_bytes =
+      ApproxRowsBytes(1, group_pos.size() + node.aggs().size());
+  size_t until_check = 0;
   for (const Row& row : rows) {
+    if (until_check == 0) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+      until_check = TableStore::kChunkRows;
+    }
+    --until_check;
     JoinKey key = ExtractKey(row, group_pos);
     auto it = groups.find(key);
     if (it == groups.end()) {
+      MPPDB_RETURN_IF_ERROR(
+          ChargeBudget(segment, group_bytes, "hash aggregate group"));
       it = groups.emplace(key, std::vector<AggState>(node.aggs().size())).first;
       group_order.push_back(key);
     }
@@ -906,6 +1085,10 @@ Result<std::vector<Row>> Executor::ExecSort(const SortNode& node, int segment) {
   // then stable-sort a permutation and move the rows into place. Stability
   // makes the permutation identical to sorting the rows directly.
   const size_t num_keys = positions.size();
+  MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+  // Scoped charge: the key buffer and permutation live only for the sort.
+  const size_t sort_bytes = ApproxRowsBytes(rows.size(), num_keys);
+  MPPDB_RETURN_IF_ERROR(ChargeBudget(segment, sort_bytes, "sort key buffer"));
   std::vector<Datum> keys;
   keys.reserve(rows.size() * num_keys);
   for (const Row& row : rows) {
@@ -927,6 +1110,7 @@ Result<std::vector<Row>> Executor::ExecSort(const SortNode& node, int segment) {
   std::vector<Row> sorted;
   sorted.reserve(rows.size());
   for (uint32_t idx : order) sorted.push_back(std::move(rows[idx]));
+  ctx_->budget().Release(sort_bytes);
   return sorted;
 }
 
@@ -937,6 +1121,13 @@ Status Executor::BuildMotionBuffers(const MotionNode& node, int segment,
   size_t total_rows = 0;
   for (const auto& rows : source_rows) total_rows += rows.size();
 
+  // The exchange's receive buffers hold every in-flight row until the
+  // destinations drain them: a mandatory charge, like a real interconnect's
+  // receive-queue quota.
+  MPPDB_RETURN_IF_ERROR(
+      ChargeBudget(segment, ApproxRowsBytes(total_rows, layout.ids().size()),
+                   "motion receive buffers"));
+
   // Cross-segment join-filter publication: the summary covers every source
   // segment's rows before they are routed, which is exactly the union of all
   // segments' post-exchange build tables — sound for consumers below a
@@ -945,11 +1136,25 @@ Status Executor::BuildMotionBuffers(const MotionNode& node, int segment,
   // this rendezvous, observes a complete summary.
   if (options_.join_filters) {
     for (const JoinFilterSpec& spec : node.join_filters().publishes) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "joinfilter.publish"));
       MPPDB_ASSIGN_OR_RETURN(std::vector<int> positions,
                              ResolvePositions(layout, spec.key_columns));
+      // Advisory, like the segment-local summaries: shed under pressure.
+      const size_t summary_bytes = 64 + positions.size() * 48 + total_rows;
+      if (!TryChargeOptional(summary_bytes)) {
+        ++seg_stats_[static_cast<size_t>(segment)].joinfilter_shed;
+        continue;
+      }
       JoinFilterSummaryBuilder builder(positions.size(), total_rows);
+      size_t rows_since_check = 0;
       for (const auto& rows : source_rows) {
-        for (const Row& row : rows) builder.Add(row, positions);
+        for (const Row& row : rows) {
+          if (++rows_since_check >= TableStore::kChunkRows) {
+            rows_since_check = 0;
+            MPPDB_RETURN_IF_ERROR(CheckExec(segment, nullptr));
+          }
+          builder.Add(row, positions);
+        }
       }
       hub_.PublishGlobalJoinFilter(spec.filter_id, builder.Finish());
       ++seg_stats_[static_cast<size_t>(segment)].joinfilter_built;
@@ -978,7 +1183,13 @@ Status Executor::BuildMotionBuffers(const MotionNode& node, int segment,
     }
   }
   // Source-segment order keeps buffer contents identical to serial execution.
+  // The routing loop is the longest uninterruptible stretch on the parallel
+  // path (the last arriver routes every segment's rows while its peers wait
+  // on the rendezvous), so it re-checks liveness at batch granularity like
+  // the operator hot loops do.
+  size_t rows_since_check = 0;
   for (auto& rows : source_rows) {
+    MPPDB_RETURN_IF_ERROR(CheckExec(segment, nullptr));
     switch (node.motion_kind()) {
       case MotionKind::kGather:
         buffers[0].insert(buffers[0].end(), std::make_move_iterator(rows.begin()),
@@ -991,6 +1202,10 @@ Status Executor::BuildMotionBuffers(const MotionNode& node, int segment,
         break;
       case MotionKind::kRedistribute:
         for (Row& row : rows) {
+          if (++rows_since_check >= TableStore::kChunkRows) {
+            rows_since_check = 0;
+            MPPDB_RETURN_IF_ERROR(CheckExec(segment, nullptr));
+          }
           uint64_t h = HashRowColumns(row, hash_pos);
           buffers[h % static_cast<uint64_t>(num_segments_)].push_back(std::move(row));
         }
@@ -1017,11 +1232,14 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
   auto it = exchanges_.find(&node);
   if (it == exchanges_.end()) {
     // Only possible for a shared Motion subtree revisited in serial mode
-    // (CollectMotions bailed out); register the exchange lazily.
+    // (CollectMotions bailed out); register the exchange lazily — under
+    // exchanges_mu_, because a cancel thread's SignalAbort may be iterating
+    // the map concurrently.
     MPPDB_CHECK(!parallel_run_);
     auto exchange = std::make_unique<MotionExchange>();
     exchange->source_rows.resize(static_cast<size_t>(num_segments_));
     exchange->lazily_registered = true;
+    std::lock_guard<std::mutex> exchanges_lock(exchanges_mu_);
     it = exchanges_.emplace(&node, std::move(exchange)).first;
   }
   MotionExchange& exchange = *it->second;
@@ -1034,6 +1252,7 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
       for (int source = 0; source < num_segments_; ++source) {
         MPPDB_ASSIGN_OR_RETURN(source_rows[static_cast<size_t>(source)],
                                ExecNode(node.child(0), source));
+        MPPDB_RETURN_IF_ERROR(CheckExec(source, "motion.send"));
         seg_stats_[static_cast<size_t>(source)].rows_moved +=
             source_rows[static_cast<size_t>(source)].size();
       }
@@ -1041,26 +1260,47 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
           BuildMotionBuffers(node, segment, std::move(source_rows), &exchange));
       exchange.built = true;
     }
+    MPPDB_RETURN_IF_ERROR(CheckExec(segment, "motion.recv"));
     return ReadMotionBuffer(node, exchange, segment);
   }
 
   // Parallel: compute this segment's contribution, then rendezvous with the
   // other segments like a real interconnect exchange.
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  MPPDB_RETURN_IF_ERROR(CheckExec(segment, "motion.send"));
   seg_stats_[static_cast<size_t>(segment)].rows_moved += rows.size();
   std::unique_lock<std::mutex> lock(exchange.mu);
   exchange.source_rows[static_cast<size_t>(segment)] = std::move(rows);
   if (++exchange.arrived == num_segments_) {
-    // Last arriver builds the per-destination buffers exactly once.
-    exchange.build_status =
-        BuildMotionBuffers(node, segment, std::move(exchange.source_rows), &exchange);
+    // Last arriver builds the per-destination buffers exactly once — unless
+    // the run is already doomed (a peer failed between its deposit and our
+    // arrival): announce the abort instead of building dead buffers.
+    exchange.build_status = CheckExec(segment, nullptr);
+    if (exchange.build_status.ok()) {
+      exchange.build_status = BuildMotionBuffers(
+          node, segment, std::move(exchange.source_rows), &exchange);
+    }
     exchange.built = true;
     lock.unlock();
     exchange.cv.notify_all();
   } else {
-    exchange.cv.wait(lock, [this, &exchange]() {
+    auto woken = [this, &exchange]() {
       return exchange.built || abort_flag_.load(std::memory_order_acquire);
-    });
+    };
+    // Deadline-aware rendezvous: without the timeout, a peer that never
+    // arrives (stalled, or sleeping in an injected delay) would pin every
+    // waiter until some outside actor cancels. The first waiter to time out
+    // raises the abort so the whole fleet unwinds.
+    if (ctx_->has_deadline()) {
+      if (!exchange.cv.wait_until(lock, ctx_->deadline(), woken)) {
+        lock.unlock();
+        SignalAbort();
+        return Status::DeadlineExceeded(
+            "query deadline exceeded at Motion rendezvous");
+      }
+    } else {
+      exchange.cv.wait(lock, woken);
+    }
     if (!exchange.built) return AbortedStatus();
     lock.unlock();
   }
@@ -1068,6 +1308,7 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
   // (each segment only moves out of its own buffer slot, and the broadcast
   // batch is only copied), so lock-free concurrent reads are safe.
   if (!exchange.build_status.ok()) return exchange.build_status;
+  MPPDB_RETURN_IF_ERROR(CheckExec(segment, "motion.recv"));
   return ReadMotionBuffer(node, exchange, segment);
 }
 
@@ -1078,6 +1319,9 @@ Result<std::vector<Row>> Executor::ExecInsert(const InsertNode& node, int segmen
     return Status::ExecutionError("no storage for table oid " +
                                   std::to_string(node.table_oid()));
   }
+  // Last liveness check before mutating storage: a cancelled or expired
+  // query aborts here with storage untouched, never mid-apply.
+  MPPDB_RETURN_IF_ERROR(CheckExec(segment, nullptr));
   {
     // Single-writer DML rule: input is gathered, so only segment 0 carries
     // rows; the lock is defense in depth against plans that violate that.
@@ -1159,6 +1403,8 @@ Result<std::vector<Row>> Executor::ExecUpdate(const UpdateNode& node, int segmen
     }
     to_insert.push_back(std::move(updated));
   }
+  // Storage-untouched-on-cancel guarantee (see ExecInsert).
+  MPPDB_RETURN_IF_ERROR(CheckExec(segment, nullptr));
   {
     // Single-writer DML rule (see ExecInsert).
     std::lock_guard<std::mutex> lock(dml_mu_);
@@ -1193,6 +1439,8 @@ Result<std::vector<Row>> Executor::ExecDelete(const DeleteNode& node, int segmen
     if (!seen_locators.insert({loc.unit, loc.segment, loc.index}).second) continue;
     to_delete.push_back(loc);
   }
+  // Storage-untouched-on-cancel guarantee (see ExecInsert).
+  MPPDB_RETURN_IF_ERROR(CheckExec(segment, nullptr));
   {
     // Single-writer DML rule (see ExecInsert).
     std::lock_guard<std::mutex> lock(dml_mu_);

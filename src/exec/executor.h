@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "exec/plan.h"
 #include "runtime/propagation.h"
+#include "runtime/query_context.h"
 #include "storage/storage.h"
 
 namespace mppdb {
@@ -63,6 +64,18 @@ struct ExecStats {
   /// Rows that were *not* serialized through an exchange because a consumer
   /// below the Motion rejected them (rows_moved still counts them).
   size_t joinfilter_motion_rows_saved = 0;
+
+  /// Memory-budget shedding counters (zero unless the query ran with a
+  /// limited QueryContext budget — so the {serial,parallel}x{row,vec}
+  /// bit-identity matrix, which runs budget-free, is unaffected). Shedding
+  /// order under pressure: join-filter summaries first, stale zone-map
+  /// rebuilds second, and only then do mandatory charges fail the query with
+  /// kResourceExhausted.
+  /// Join-filter summaries not published because their charge was refused.
+  size_t joinfilter_shed = 0;
+  /// Stale slice synopses scanned without rebuilding because their rebuild
+  /// charge was refused (the scan runs unskipped instead).
+  size_t synopsis_rebuilds_shed = 0;
 
   /// Distinct partitions scanned for `table_oid` (0 if never scanned).
   size_t PartitionsScanned(Oid table_oid) const;
@@ -167,6 +180,17 @@ class Executor {
   /// a Gather root this is exactly the coordinator's result).
   Result<std::vector<Row>> Execute(const PhysPtr& plan);
 
+  /// Same, under a QueryContext: cooperative cancellation, deadline, memory
+  /// budget, and fault injection (see runtime/query_context.h). `ctx` may be
+  /// null (a shared unlimited default is used) and must outlive the call.
+  /// Cancellation or deadline expiry terminates the run within one batch
+  /// with kCancelled / kDeadlineExceeded: every worker joins, every Motion
+  /// barrier wakes, hub channels and exchanges are drained by the usual
+  /// end-of-run reset, and storage is untouched (DML liveness is re-checked
+  /// after the read phase, before any write applies). Budget usage is
+  /// per-execution: ResetUsage runs at the start of every call.
+  Result<std::vector<Row>> Execute(const PhysPtr& plan, QueryContext* ctx);
+
   /// Stats of the most recent Execute call (zeroed if it failed).
   const ExecStats& stats() const { return stats_; }
 
@@ -205,8 +229,34 @@ class Executor {
                                     int segment);
 
   /// Marks the current run failed and wakes every Motion barrier so no
-  /// worker blocks on a segment that will never arrive.
+  /// worker blocks on a segment that will never arrive. Safe from any
+  /// thread, including a QueryContext cancel callback racing a serial run's
+  /// lazy exchange registration (exchanges_mu_).
   void SignalAbort();
+
+  /// The batch-granularity liveness + fault check, called at operator
+  /// dispatch and once per chunk/batch inside the hot loops: kCancelled /
+  /// kDeadlineExceeded from the context, the peer-abort status when another
+  /// segment failed, or the armed fault at `point` (null = no fault point
+  /// here). Fault-free cost: three predictable loads.
+  Status CheckExec(int segment, const char* point);
+
+  /// Charges `bytes` of mandatory operator state (build tables, sort
+  /// buffers, motion buffers) against the query budget, first passing
+  /// through the alloc.budget fault point. Refused charges fail the query
+  /// with kResourceExhausted naming `what`.
+  Status ChargeBudget(int segment, size_t bytes, const char* what);
+
+  /// Charges advisory state (join-filter summaries, synopsis rebuilds);
+  /// false means the caller must shed the allocation instead of failing.
+  bool TryChargeOptional(size_t bytes);
+
+  /// Budget-aware synopsis access for scans: returns the slice synopsis,
+  /// charging a rebuild estimate when in-place DML staled it. A refused
+  /// rebuild charge sheds the synopsis (returns nullptr, counted in
+  /// synopsis_rebuilds_shed) and the scan proceeds unskipped.
+  const SliceSynopsis* AcquireSynopsis(const TableStore& store, Oid unit_oid,
+                                       int segment);
 
   Result<std::vector<Row>> ExecNode(const PhysPtr& node, int segment);
 
@@ -317,9 +367,10 @@ class Executor {
   /// accumulator. Bound join filters (never combined with rowid emission)
   /// reject non-joining rows before they are materialized, skipping whole
   /// chunks via the slice synopsis when Options::data_skipping allows.
-  void ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid, int segment,
-                bool emit_rowids, const std::vector<BoundJoinFilter>& join_filters,
-                std::vector<Row>* out);
+  Status ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
+                  int segment, bool emit_rowids,
+                  const std::vector<BoundJoinFilter>& join_filters,
+                  std::vector<Row>* out);
 
   const Catalog* catalog_;
   StorageEngine* storage_;
@@ -333,9 +384,16 @@ class Executor {
   std::vector<ExecStats> seg_stats_;
   /// Exchange state per Motion node, pre-built for the run in progress.
   std::unordered_map<const PhysicalNode*, std::unique_ptr<MotionExchange>> exchanges_;
+  /// Guards exchanges_ mutations (serial-mode lazy registration, end-of-run
+  /// clear) against SignalAbort's iteration from a cancel thread. Parallel
+  /// workers read the map lock-free: it is immutable during a parallel run.
+  std::mutex exchanges_mu_;
   /// True while the current run is fanned out across workers.
   bool parallel_run_ = false;
   std::atomic<bool> abort_flag_{false};
+  /// Context of the run in progress; never null while executing (a shared
+  /// unlimited default stands in when the caller passed none).
+  QueryContext* ctx_ = nullptr;
   /// Defense in depth for the single-writer DML rule (see class comment).
   std::mutex dml_mu_;
   /// Lazily-created pool of num_segments_ workers, reused across runs.

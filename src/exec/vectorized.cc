@@ -153,6 +153,7 @@ Result<std::vector<Row>> Executor::ExecFilterVec(const FilterNode& node, int seg
   out.reserve(rows.size());
   SelVec sel, keep;
   for (size_t base = 0; base < rows.size(); base += ctx.chunk_capacity()) {
+    MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
     size_t end = std::min(rows.size(), base + ctx.chunk_capacity());
     IdentitySel(base, end, &sel);
     MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
@@ -223,16 +224,21 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
       stats.chunks_total +=
           (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
       if (can_prune || !join_filters.empty()) {
-        synopsis = &store.UnitSynopsis(unit_oid, segment);
-        MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
-        if (can_prune && SynopsisCanSkip(compiled, synopsis->rollup)) {
-          ++stats.units_skipped;
-          stats.chunks_skipped += synopsis->chunks.size();
-          return Status::OK();
+        // A shed synopsis rebuild (budget pressure) returns null: the slice
+        // scans unskipped, exactly like the row path.
+        synopsis = AcquireSynopsis(store, unit_oid, segment);
+        if (synopsis != nullptr) {
+          MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
+          if (can_prune && SynopsisCanSkip(compiled, synopsis->rollup)) {
+            ++stats.units_skipped;
+            stats.chunks_skipped += synopsis->chunks.size();
+            return Status::OK();
+          }
         }
       }
     }
     for (size_t base = 0; base < rows.size(); base += ctx.chunk_capacity()) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
       size_t end = std::min(rows.size(), base + ctx.chunk_capacity());
       if (synopsis != nullptr) {
         const ChunkSynopsis& chunk = synopsis->chunks[base / TableStore::kChunkRows];
@@ -272,6 +278,7 @@ Result<std::vector<Row>> Executor::ExecProjectVec(const ProjectNode& node, int s
   SelVec sel;
   const size_t chunk = KernelContext::kDefaultChunkRows;
   for (size_t base = 0; base < rows.size(); base += chunk) {
+    MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
     size_t end = std::min(rows.size(), base + chunk);
     IdentitySel(base, end, &sel);
     for (size_t i = 0; i < num_items; ++i) {
@@ -297,6 +304,12 @@ Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
   // PartitionSelector placement relies on.
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> build_rows, ExecNode(node.child(0), segment));
   ColumnLayout build_layout = node.child(0)->OutputLayout();
+  // Same charge formula and charge/publish order as the row path's build
+  // table, so budget outcomes are path-independent: mandatory table first,
+  // advisory summary second (the one that sheds under pressure).
+  MPPDB_RETURN_IF_ERROR(ChargeBudget(
+      segment, ApproxRowsBytes(build_rows.size(), build_layout.ids().size()),
+      "hash join build table"));
   // Publish this segment's build-key summary before the probe child runs,
   // exactly as the row path does.
   MPPDB_RETURN_IF_ERROR(
@@ -343,6 +356,9 @@ Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
 
   if (node.residual() == nullptr) {
     for (size_t p = 0; p < probe_rows.size(); ++p) {
+      if (p % TableStore::kChunkRows == 0) {
+        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+      }
       if (probe_null[p]) continue;
       auto [begin, end] =
           table.equal_range(RowKeyRef{probe_hashes[p], &probe_rows[p], &probe_pos});
@@ -370,6 +386,9 @@ Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
     const SelVec kOne{0};
     SelVec keep;
     for (size_t p = 0; p < probe_rows.size(); ++p) {
+      if (p % TableStore::kChunkRows == 0) {
+        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+      }
       if (probe_null[p]) continue;
       auto [begin, end] =
           table.equal_range(RowKeyRef{probe_hashes[p], &probe_rows[p], &probe_pos});
@@ -401,6 +420,9 @@ Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
     return Status::OK();
   };
   for (size_t p = 0; p < probe_rows.size(); ++p) {
+    if (p % TableStore::kChunkRows == 0) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+    }
     if (probe_null[p]) continue;
     auto [begin, end] =
         table.equal_range(RowKeyRef{probe_hashes[p], &probe_rows[p], &probe_pos});
@@ -434,9 +456,12 @@ Result<std::vector<Row>> Executor::ExecHashAggVec(const HashAggNode& node, int s
   // order, same accumulation code (AccumulateAgg) in the same row order.
   std::unordered_map<JoinKey, std::vector<AggState>, JoinKeyHash> groups;
   std::vector<JoinKey> group_order;
+  // Same per-group charge formula as the row path (see ExecHashAgg).
+  const size_t group_bytes = ApproxRowsBytes(1, group_pos.size() + num_aggs);
   SelVec sel;
   const size_t chunk = KernelContext::kDefaultChunkRows;
   for (size_t base = 0; base < rows.size(); base += chunk) {
+    MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
     size_t end = std::min(rows.size(), base + chunk);
     IdentitySel(base, end, &sel);
     for (size_t i = 0; i < num_aggs; ++i) {
@@ -448,6 +473,8 @@ Result<std::vector<Row>> Executor::ExecHashAggVec(const HashAggNode& node, int s
       JoinKey key = ExtractKey(row, group_pos);
       auto it = groups.find(key);
       if (it == groups.end()) {
+        MPPDB_RETURN_IF_ERROR(
+            ChargeBudget(segment, group_bytes, "hash aggregate group"));
         it = groups.emplace(key, std::vector<AggState>(num_aggs)).first;
         group_order.push_back(key);
       }

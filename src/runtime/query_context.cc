@@ -1,0 +1,54 @@
+#include "runtime/query_context.h"
+
+namespace mppdb {
+
+void QueryContext::Cancel() {
+  // Callbacks run under cb_mu_, which also serializes Add/Remove: a racing
+  // RemoveCancelCallback blocks until an in-flight callback has finished, so
+  // removers may safely tear down what their callback touches.
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  if (cancelled_.exchange(true, std::memory_order_acq_rel)) return;
+  for (const auto& [handle, fn] : callbacks_) fn();
+}
+
+Status QueryContext::CheckAlive() const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+bool QueryContext::ShouldStop() const {
+  if (cancelled_.load(std::memory_order_acquire)) return true;
+  return has_deadline_ && std::chrono::steady_clock::now() > deadline_;
+}
+
+uint64_t QueryContext::AddCancelCallback(std::function<void()> fn) {
+  std::unique_lock<std::mutex> lock(cb_mu_);
+  if (cancelled_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    fn();
+    return 0;
+  }
+  uint64_t handle = next_cb_handle_++;
+  callbacks_.emplace(handle, std::move(fn));
+  return handle;
+}
+
+void QueryContext::RemoveCancelCallback(uint64_t handle) {
+  if (handle == 0) return;
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  callbacks_.erase(handle);
+}
+
+void QueryContext::Reset() {
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  cancelled_.store(false, std::memory_order_release);
+  has_deadline_ = false;
+  budget_.ResetUsage();
+}
+
+}  // namespace mppdb

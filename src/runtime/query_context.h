@@ -1,0 +1,90 @@
+#ifndef MPPDB_RUNTIME_QUERY_CONTEXT_H_
+#define MPPDB_RUNTIME_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "common/fault_injection.h"
+#include "common/memory_budget.h"
+#include "common/status.h"
+
+namespace mppdb {
+
+/// Per-query execution context: a cooperative cancellation token, an optional
+/// deadline, a memory budget, and an optional fault injector. The executor
+/// checks it at batch granularity in every hot loop (CheckAlive), in Motion
+/// exchanges, and in ThreadPool task bodies, so Cancel() and deadline expiry
+/// terminate any query — serial or parallel, row or vectorized — within one
+/// batch, with a typed Status (kCancelled / kDeadlineExceeded), all threads
+/// joined, and storage untouched (DML re-checks liveness before applying any
+/// write, never mid-apply).
+///
+/// Thread safety: Cancel/CheckAlive/ShouldStop are callable from any thread.
+/// Setters (deadline, budget limit, injector) must run before the query
+/// starts. A context is reusable across executions; the executor resets the
+/// budget usage per attempt, and cancellation is sticky until Reset().
+class QueryContext : public StopSource {
+ public:
+  QueryContext() = default;
+
+  /// Requests cooperative termination and runs the registered cancel
+  /// callbacks (the executor hooks its barrier wake-up here), exactly once.
+  void Cancel();
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void SetTimeout(std::chrono::milliseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+  /// OK while the query may keep running; kCancelled / kDeadlineExceeded
+  /// once it must stop. The batch-granularity check: two loads when no
+  /// deadline is set, one clock read when one is.
+  Status CheckAlive() const;
+
+  /// StopSource: lets fault-injected delays (and other interruptible waits)
+  /// bail out as soon as the query is cancelled or past its deadline.
+  bool ShouldStop() const override;
+
+  MemoryBudget& budget() { return budget_; }
+  const MemoryBudget& budget() const { return budget_; }
+
+  FaultInjector* fault_injector() const { return injector_; }
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Registers a callback Cancel() invokes (immediately, if already
+  /// cancelled). Returns a handle for RemoveCancelCallback. The callback
+  /// must not call back into this context.
+  uint64_t AddCancelCallback(std::function<void()> fn);
+  void RemoveCancelCallback(uint64_t handle);
+
+  /// Clears cancellation, deadline, and budget usage for reuse. Must run
+  /// while no query executes against this context.
+  void Reset();
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  MemoryBudget budget_;
+  FaultInjector* injector_ = nullptr;
+
+  std::mutex cb_mu_;
+  uint64_t next_cb_handle_ = 1;
+  std::map<uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_RUNTIME_QUERY_CONTEXT_H_

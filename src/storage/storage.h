@@ -101,13 +101,17 @@ class TableStore {
   std::vector<size_t> IndexLookup(Oid unit_oid, int segment, int column,
                                   const Datum& key);
 
+  /// True if the slice's synopsis reflects its current version — i.e. the
+  /// next UnitSynopsis read returns it without a rebuild. The executor's
+  /// memory accountant uses this to charge (or shed) rebuild scratch before
+  /// asking for the synopsis.
+  bool SynopsisFresh(Oid unit_oid, int segment) const;
+
  private:
   int SegmentForRow(const Row& row);
   void BumpVersion(Oid unit_oid, int segment);
   /// Current version counter of one slice (0 if never mutated).
   uint64_t SliceVersion(Oid unit_oid, int segment) const;
-  /// True if the slice's synopsis reflects its current version.
-  bool SynopsisFresh(Oid unit_oid, int segment) const;
   /// Folds a just-appended row into the slice's synopsis and stamps it with
   /// the current version. `was_fresh` is the SynopsisFresh value from before
   /// this mutation's BumpVersion: a synopsis already staled by earlier

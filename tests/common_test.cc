@@ -25,9 +25,27 @@ TEST(StatusTest, EveryCodeHasAName) {
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kNotImplemented, StatusCode::kInternal, StatusCode::kParseError,
         StatusCode::kBindError, StatusCode::kPlanError,
-        StatusCode::kExecutionError}) {
+        StatusCode::kExecutionError, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
+        StatusCode::kTransientIO}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, ResilienceTaxonomy) {
+  EXPECT_EQ(Status::Cancelled("c").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("d").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("r").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::TransientIO("t").code(), StatusCode::kTransientIO);
+  // Only transient I/O faults are retriable; cancellation, deadline expiry,
+  // and budget exhaustion are deliberate verdicts.
+  EXPECT_TRUE(Status::TransientIO("t").IsRetriable());
+  EXPECT_FALSE(Status::Cancelled("c").IsRetriable());
+  EXPECT_FALSE(Status::DeadlineExceeded("d").IsRetriable());
+  EXPECT_FALSE(Status::ResourceExhausted("r").IsRetriable());
+  EXPECT_FALSE(Status::Internal("i").IsRetriable());
+  EXPECT_FALSE(Status::OK().IsRetriable());
 }
 
 TEST(ResultTest, ValueAndStatusAccess) {

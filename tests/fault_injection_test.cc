@@ -1,0 +1,306 @@
+// Unit tests for the resilience building blocks: the deterministic
+// FaultInjector, the MemoryBudget accountant, and the QueryContext
+// cancellation/deadline token. Executor-level integration lives in
+// resilience_exec_test.cc and fault_matrix_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/memory_budget.h"
+#include "runtime/query_context.h"
+
+namespace mppdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, UnarmedPointNeverFires) {
+  FaultInjector injector(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.Hit("storage.scan_chunk", 0).ok());
+  }
+  EXPECT_EQ(injector.hits("storage.scan_chunk"), 0u);
+  EXPECT_EQ(injector.fires("storage.scan_chunk"), 0u);
+}
+
+TEST(FaultInjectorTest, CertainFaultFiresWithTypedStatus) {
+  FaultInjector injector(1);
+  injector.Arm("motion.send", FaultSpec{FaultKind::kTransient, 1.0});
+  Status st = injector.Hit("motion.send", 3);
+  EXPECT_EQ(st.code(), StatusCode::kTransientIO);
+  EXPECT_TRUE(st.IsRetriable());
+
+  injector.Arm("motion.send", FaultSpec{FaultKind::kFatal, 1.0});
+  st = injector.Hit("motion.send", 3);
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_FALSE(st.IsRetriable());
+}
+
+TEST(FaultInjectorTest, SegmentFilterRestrictsEligibility) {
+  FaultInjector injector(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kFatal;
+  spec.segment = 2;
+  injector.Arm("exec.batch", spec);
+  EXPECT_TRUE(injector.Hit("exec.batch", 0).ok());
+  EXPECT_TRUE(injector.Hit("exec.batch", 1).ok());
+  EXPECT_FALSE(injector.Hit("exec.batch", 2).ok());
+  // Hits from other segments are not even counted as eligible.
+  EXPECT_EQ(injector.hits("exec.batch"), 1u);
+  EXPECT_EQ(injector.fires("exec.batch"), 1u);
+}
+
+TEST(FaultInjectorTest, SkipFirstArmsLater) {
+  FaultInjector injector(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.skip_first = 3;
+  injector.Arm("hub.push", spec);
+  EXPECT_TRUE(injector.Hit("hub.push", 0).ok());
+  EXPECT_TRUE(injector.Hit("hub.push", 0).ok());
+  EXPECT_TRUE(injector.Hit("hub.push", 0).ok());
+  EXPECT_FALSE(injector.Hit("hub.push", 0).ok());
+  EXPECT_EQ(injector.hits("hub.push"), 4u);
+  EXPECT_EQ(injector.fires("hub.push"), 1u);
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsTheFault) {
+  FaultInjector injector(7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.max_fires = 2;
+  injector.Arm("motion.recv", spec);
+  EXPECT_FALSE(injector.Hit("motion.recv", 0).ok());
+  EXPECT_FALSE(injector.Hit("motion.recv", 0).ok());
+  // Exhausted: behaves like a cured fault from here on.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.Hit("motion.recv", 0).ok());
+  }
+  EXPECT_EQ(injector.fires("motion.recv"), 2u);
+}
+
+TEST(FaultInjectorTest, ProbabilityIsDeterministicPerSeed) {
+  auto fire_pattern = [](uint64_t seed) {
+    FaultInjector injector(seed);
+    FaultSpec spec;
+    spec.kind = FaultKind::kTransient;
+    spec.probability = 0.5;
+    injector.Arm("exec.batch", spec);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(!injector.Hit("exec.batch", 0).ok());
+    }
+    return pattern;
+  };
+  std::vector<bool> a = fire_pattern(42);
+  std::vector<bool> b = fire_pattern(42);
+  EXPECT_EQ(a, b);
+  // With p=0.5 over 200 draws both outcomes must appear.
+  size_t fires = 0;
+  for (bool f : a) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 200u);
+}
+
+TEST(FaultInjectorTest, ResetDisarmsAndReplays) {
+  FaultInjector injector(5);
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.probability = 0.3;
+  injector.Arm("exec.batch", spec);
+  std::vector<bool> first;
+  for (int i = 0; i < 50; ++i) first.push_back(!injector.Hit("exec.batch", 0).ok());
+
+  injector.Reset();  // reseeds with the construction seed
+  EXPECT_TRUE(injector.Hit("exec.batch", 0).ok());  // disarmed now
+  EXPECT_EQ(injector.hits("exec.batch"), 0u);
+
+  injector.Arm("exec.batch", spec);
+  std::vector<bool> second;
+  for (int i = 0; i < 50; ++i) second.push_back(!injector.Hit("exec.batch", 0).ok());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectorTest, DelaySleepsAndHonorsStopSource) {
+  FaultInjector injector(1);
+  FaultSpec spec;
+  spec.kind = FaultKind::kDelay;
+  spec.delay_ms = 2000;
+  injector.Arm("motion.send", spec);
+
+  QueryContext ctx;
+  ctx.Cancel();  // already stopped: the delay must cut short immediately
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(injector.Hit("motion.send", 0, &ctx).ok());
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 500);
+}
+
+TEST(FaultInjectorTest, PointListIsStable) {
+  // The executor's named fault points; matrix tests iterate this list.
+  std::vector<std::string> points(FaultInjector::kPoints,
+                                  FaultInjector::kPoints + 7);
+  EXPECT_EQ(points, (std::vector<std::string>{
+                        "storage.scan_chunk", "motion.send", "motion.recv",
+                        "hub.push", "joinfilter.publish", "exec.batch",
+                        "alloc.budget"}));
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBudget
+// ---------------------------------------------------------------------------
+
+TEST(MemoryBudgetTest, UnlimitedNeverCounts) {
+  MemoryBudget budget;
+  EXPECT_FALSE(budget.limited());
+  EXPECT_TRUE(budget.TryCharge(~size_t{0}));  // even "infinite" charges pass
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.peak(), 0u);
+}
+
+TEST(MemoryBudgetTest, ChargeReleaseAndPeak) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.TryCharge(600));
+  EXPECT_TRUE(budget.TryCharge(300));
+  EXPECT_EQ(budget.used(), 900u);
+  EXPECT_EQ(budget.peak(), 900u);
+  budget.Release(300);
+  EXPECT_EQ(budget.used(), 600u);
+  EXPECT_EQ(budget.peak(), 900u);  // peak is monotone
+}
+
+TEST(MemoryBudgetTest, RefusedChargeLeavesUsageUnchanged) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.TryCharge(800));
+  EXPECT_FALSE(budget.TryCharge(300));
+  EXPECT_EQ(budget.used(), 800u);
+  EXPECT_TRUE(budget.TryCharge(200));  // exact fit succeeds
+  EXPECT_FALSE(budget.TryCharge(1));
+}
+
+TEST(MemoryBudgetTest, ResetUsageKeepsLimit) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.TryCharge(100));
+  budget.ResetUsage();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.peak(), 0u);
+  EXPECT_EQ(budget.limit(), 100u);
+  EXPECT_TRUE(budget.TryCharge(100));
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesNeverExceedLimit) {
+  MemoryBudget budget(10000);
+  std::atomic<size_t> granted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 1000; ++i) {
+        if (budget.TryCharge(7)) granted.fetch_add(7);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(budget.used(), granted.load());
+  EXPECT_LE(budget.used(), 10000u);
+  EXPECT_LE(budget.peak(), 10000u);
+  EXPECT_GE(budget.peak(), budget.used());
+}
+
+TEST(MemoryBudgetTest, ApproxRowsBytesModel) {
+  EXPECT_EQ(ApproxRowsBytes(0, 5), 0u);
+  EXPECT_EQ(ApproxRowsBytes(1, 0), 32u);
+  EXPECT_EQ(ApproxRowsBytes(10, 2), 10u * (2 * 24 + 32));
+}
+
+// ---------------------------------------------------------------------------
+// QueryContext
+// ---------------------------------------------------------------------------
+
+TEST(QueryContextTest, FreshContextIsAlive) {
+  QueryContext ctx;
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_TRUE(ctx.CheckAlive().ok());
+  EXPECT_FALSE(ctx.ShouldStop());
+}
+
+TEST(QueryContextTest, CancelIsStickyAndTyped) {
+  QueryContext ctx;
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.cancelled());
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(ctx.ShouldStop());
+  ctx.Cancel();  // idempotent
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, DeadlineExpiryIsTyped) {
+  QueryContext ctx;
+  ctx.SetDeadline(std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1));
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(ctx.ShouldStop());
+
+  QueryContext future;
+  future.SetTimeout(std::chrono::hours(1));
+  EXPECT_TRUE(future.CheckAlive().ok());
+}
+
+TEST(QueryContextTest, CancelCallbacksRunOnce) {
+  QueryContext ctx;
+  std::atomic<int> calls{0};
+  ctx.AddCancelCallback([&]() { calls.fetch_add(1); });
+  ctx.Cancel();
+  ctx.Cancel();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(QueryContextTest, CallbackAddedAfterCancelFiresImmediately) {
+  QueryContext ctx;
+  ctx.Cancel();
+  std::atomic<int> calls{0};
+  ctx.AddCancelCallback([&]() { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(QueryContextTest, RemovedCallbackDoesNotFire) {
+  QueryContext ctx;
+  std::atomic<int> calls{0};
+  uint64_t handle = ctx.AddCancelCallback([&]() { calls.fetch_add(1); });
+  ctx.RemoveCancelCallback(handle);
+  ctx.Cancel();
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(QueryContextTest, ResetClearsStateForReuse) {
+  QueryContext ctx;
+  ctx.SetTimeout(std::chrono::milliseconds(0));
+  ctx.budget().set_limit(100);
+  ASSERT_TRUE(ctx.budget().TryCharge(100));
+  ctx.Cancel();
+  ASSERT_FALSE(ctx.CheckAlive().ok());
+
+  ctx.Reset();
+  EXPECT_FALSE(ctx.cancelled());
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.CheckAlive().ok());
+  EXPECT_EQ(ctx.budget().used(), 0u);
+  EXPECT_EQ(ctx.budget().limit(), 100u);  // the limit survives Reset
+}
+
+TEST(QueryContextTest, CancelFromAnotherThreadIsVisible) {
+  QueryContext ctx;
+  std::thread canceller([&]() { ctx.Cancel(); });
+  canceller.join();
+  EXPECT_EQ(ctx.CheckAlive().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace mppdb

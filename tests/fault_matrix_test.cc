@@ -1,0 +1,221 @@
+// Fault-matrix property test: random SQL queries over a partitioned star
+// schema, executed under every named fault point × fault kind ×
+// {serial, parallel} × {row, vectorized}, with query-level transient retries
+// enabled. The contract for every cell of the matrix:
+//
+//   - success means BIT-IDENTICAL rows and ExecStats to the fault-free
+//     serial row-at-a-time oracle (a cured transient retry leaves no trace);
+//   - failure means a clean typed Status from the resilience taxonomy —
+//     never a hang, a crash, or an untyped error;
+//   - the Database (executor, hub, exchanges, join filters) is immediately
+//     reusable for the next cell, with no state leaking across runs.
+//
+// A second sweep drives random memory budgets through the same queries:
+// every run either succeeds with oracle rows (advisory allocations may shed)
+// or fails kResourceExhausted.
+//
+// Built under AddressSanitizer by the asan_fault_matrix ctest entry (see
+// tests/CMakeLists.txt), where injected teardown paths run leak- and
+// use-after-free-checked.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  FaultMatrixTest()
+      : db_(3),
+        db_parallel_(3, Executor::Options{.parallel = true}),
+        db_vectorized_(3, Executor::Options{.vectorized = true}),
+        db_parallel_vec_(3,
+                         Executor::Options{.parallel = true, .vectorized = true}) {
+    Random rng(20260807);
+    std::vector<Row> fact_rows;
+    for (int i = 0; i < 500; ++i) {
+      fact_rows.push_back({Datum::Int64(rng.UniformRange(0, 399)),
+                           Datum::Int64(rng.UniformRange(1, 10)),
+                           Datum::Int64(rng.UniformRange(0, 99))});
+    }
+    std::vector<Row> dim_rows;
+    for (int k = 0; k < 400; k += 5) {
+      dim_rows.push_back({Datum::Int64(k), Datum::Int64(k % 7)});
+    }
+    for (Database* db : AllModes()) {
+      MPPDB_CHECK(db->CreatePartitionedTable(
+                         "fact", Schema({{"sk", TypeId::kInt64},
+                                         {"qty", TypeId::kInt64},
+                                         {"v", TypeId::kInt64}}),
+                         TableDistribution::kHashed, {1},
+                         {{0, PartitionMethod::kRange}},
+                         {partition_bounds::IntRanges(0, 25, 16)})
+                      .ok());
+      MPPDB_CHECK(db->CreateTable("dim", Schema({{"k", TypeId::kInt64},
+                                                 {"grp", TypeId::kInt64}}),
+                                  TableDistribution::kHashed, {0})
+                      .ok());
+      MPPDB_CHECK(db->Load("fact", fact_rows).ok());
+      MPPDB_CHECK(db->Load("dim", dim_rows).ok());
+    }
+  }
+
+  std::vector<Database*> AllModes() {
+    return {&db_, &db_parallel_, &db_vectorized_, &db_parallel_vec_};
+  }
+
+  std::string RandomPredicate(Random* rng) {
+    switch (rng->Uniform(4)) {
+      case 0:
+        return "sk < " + std::to_string(rng->UniformRange(50, 400));
+      case 1:
+        return "sk BETWEEN " + std::to_string(rng->UniformRange(0, 150)) +
+               " AND " + std::to_string(rng->UniformRange(100, 380));
+      case 2:
+        return "qty >= " + std::to_string(rng->UniformRange(2, 8));
+      default:
+        return "(sk < " + std::to_string(rng->UniformRange(100, 300)) +
+               " AND qty < " + std::to_string(rng->UniformRange(3, 9)) + ")";
+    }
+  }
+
+  // Query shapes chosen to reach every fault point: partitioned scans with
+  // sargable predicates (storage.scan_chunk, exec.batch), joins with
+  // selector-driven dynamic elimination and runtime filters (hub.push,
+  // joinfilter.publish, alloc.budget), aggregation and ordering (exec.batch,
+  // alloc.budget), and Motions everywhere (motion.send / motion.recv).
+  std::vector<std::string> RandomQueries(Random* rng) {
+    return {
+        "SELECT sk, qty FROM fact WHERE " + RandomPredicate(rng),
+        "SELECT qty, count(*), sum(v) FROM fact WHERE " + RandomPredicate(rng) +
+            " GROUP BY qty ORDER BY qty",
+        "SELECT count(*) FROM fact f JOIN dim d ON f.sk = d.k WHERE " +
+            RandomPredicate(rng),
+        "SELECT sk FROM fact WHERE " + RandomPredicate(rng) + " ORDER BY sk",
+    };
+  }
+
+  static bool IsTypedResilienceError(const Status& status) {
+    switch (status.code()) {
+      case StatusCode::kTransientIO:
+      case StatusCode::kInternal:
+      case StatusCode::kCancelled:
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kResourceExhausted:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Database db_;
+  Database db_parallel_;
+  Database db_vectorized_;
+  Database db_parallel_vec_;
+};
+
+TEST_F(FaultMatrixTest, EveryFaultPointInEveryModeIsIdenticalOrTyped) {
+  Random rng(99);
+  const std::vector<std::string> queries = RandomQueries(&rng);
+
+  for (const std::string& sql : queries) {
+    // Fault-free oracle: serial row-at-a-time.
+    auto oracle = db_.Run(sql);
+    ASSERT_TRUE(oracle.ok()) << sql << "\n" << oracle.status().ToString();
+
+    for (Database* db : AllModes()) {
+      const std::string mode =
+          std::string(" [parallel=") +
+          (db->executor().options().parallel ? "1" : "0") + " vectorized=" +
+          (db->executor().options().vectorized ? "1" : "0") + "]";
+      for (const char* point : FaultInjector::kPoints) {
+        for (FaultKind kind : {FaultKind::kTransient, FaultKind::kFatal}) {
+          FaultInjector injector(rng.Next());
+          FaultSpec spec;
+          spec.kind = kind;
+          spec.probability = 0.7;
+          spec.skip_first = static_cast<int>(rng.Uniform(4));
+          injector.Arm(point, spec);
+
+          QueryOptions options;
+          options.fault_injector = &injector;
+          options.max_transient_retries = 2;
+          options.retry_backoff_ms = 0;
+          auto result = db->Run(sql, options);
+          const std::string cell =
+              sql + mode + " point=" + point +
+              (kind == FaultKind::kTransient ? " transient" : " fatal");
+          if (result.ok()) {
+            // Either the fault never fired or a retry cured a transient —
+            // both must leave a bit-identical result.
+            EXPECT_TRUE(result->rows == oracle->rows) << cell;
+            EXPECT_TRUE(result->stats == oracle->stats) << cell;
+            if (kind == FaultKind::kFatal) {
+              EXPECT_EQ(injector.fires(point), 0u) << cell;
+            }
+          } else {
+            EXPECT_TRUE(IsTypedResilienceError(result.status()))
+                << cell << ": " << result.status().ToString();
+            EXPECT_GT(injector.fires(point), 0u) << cell;
+            if (kind == FaultKind::kFatal) {
+              EXPECT_EQ(result.status().code(), StatusCode::kInternal) << cell;
+            } else {
+              EXPECT_EQ(result.status().code(), StatusCode::kTransientIO) << cell;
+            }
+          }
+        }
+      }
+      // No state leaks across cells: a fault-free run on the same Database
+      // still matches the oracle exactly.
+      auto clean = db->Run(sql);
+      ASSERT_TRUE(clean.ok()) << sql << mode << "\n" << clean.status().ToString();
+      EXPECT_TRUE(clean->rows == oracle->rows) << sql << mode;
+      EXPECT_TRUE(clean->stats == oracle->stats) << sql << mode;
+    }
+  }
+}
+
+TEST_F(FaultMatrixTest, RandomMemoryBudgetsAreOracleRowsOrResourceExhausted) {
+  Random rng(7);
+  const std::vector<std::string> queries = RandomQueries(&rng);
+  const size_t budgets[] = {64, 512, 4096, 32768, 1u << 20};
+
+  for (const std::string& sql : queries) {
+    auto oracle = db_.Run(sql);
+    ASSERT_TRUE(oracle.ok()) << sql << "\n" << oracle.status().ToString();
+
+    for (Database* db : AllModes()) {
+      for (size_t budget : budgets) {
+        QueryOptions options;
+        options.memory_limit_bytes = budget;
+        auto result = db->Run(sql, options);
+        const std::string cell = sql + " budget=" + std::to_string(budget);
+        if (result.ok()) {
+          // Advisory allocations (join-filter summaries, synopsis rebuilds)
+          // may shed under pressure, so stats can legitimately differ — the
+          // rows may not.
+          EXPECT_TRUE(result->rows == oracle->rows) << cell;
+        } else {
+          EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+              << cell << ": " << result.status().ToString();
+        }
+      }
+      // Unlimited again: bit-identical, no residue from refused charges.
+      auto clean = db->Run(sql);
+      ASSERT_TRUE(clean.ok()) << sql << "\n" << clean.status().ToString();
+      EXPECT_TRUE(clean->rows == oracle->rows) << sql;
+      EXPECT_TRUE(clean->stats == oracle->stats) << sql;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mppdb

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -315,6 +316,162 @@ TEST(ParallelStressTest, JoinFilterPublicationRacesParallelProbeScans) {
       ASSERT_TRUE(parallel.stats() == oracle_stats)
           << "iter " << iteration << " vectorized=" << vectorized;
     }
+  }
+}
+
+// --- Resilience under concurrency ------------------------------------------
+//
+// The three stress tests below race the cooperative-termination machinery
+// against live parallel workers: an external cancel thread, a deadline that
+// expires mid-rendezvous, and a memory budget the workers exhaust
+// concurrently. Under the tsan_parallel_stress gate, any unsynchronized
+// touch between Cancel()/the abort flag and the worker hot loops — or
+// between a failed run's teardown and the next run — fails as a race.
+
+TEST(ParallelStressTest, CancellationRacesParallelWorkers) {
+  TestDb db(8);
+  const TableDescriptor* fact = db.CreateIntPartitionedTable("fact", 16);
+  std::vector<Row> fact_rows;
+  for (int64_t i = 0; i < 512; ++i) {
+    fact_rows.push_back({Datum::Int64(i), Datum::Int64(i % 160)});
+  }
+  db.Insert(fact, fact_rows);
+  const TableDescriptor* dim = db.CreatePlainTable(
+      "dim", Schema({{"id", TypeId::kInt64}, {"tag", TypeId::kInt64}}), {0});
+  std::vector<Row> dim_rows;
+  for (int64_t id : {3, 17, 42, 88, 131}) {
+    dim_rows.push_back({Datum::Int64(id), Datum::Int64(id * 2)});
+  }
+  db.Insert(dim, dim_rows);
+  PhysPtr plan = BuildSelectorJoinPlan(fact, dim);
+
+  auto oracle = db.executor.Execute(plan);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ExecStats oracle_stats = db.executor.stats();
+
+  for (const bool vectorized : {false, true}) {
+    Executor parallel(
+        &db.catalog, &db.storage,
+        Executor::Options{.parallel = true, .vectorized = vectorized});
+    for (int iteration = 0; iteration < 15; ++iteration) {
+      QueryContext ctx;
+      // The cancel lands at an arbitrary point of the run — before the first
+      // batch, mid-exchange, or after completion — and every landing must be
+      // clean: either a full oracle-identical result or typed kCancelled.
+      std::thread canceller([&ctx, iteration]() {
+        for (int spin = 0; spin < iteration * 97; ++spin) {
+          std::this_thread::yield();
+        }
+        ctx.Cancel();
+      });
+      auto result = parallel.Execute(plan, &ctx);
+      canceller.join();
+      if (result.ok()) {
+        ASSERT_TRUE(*result == *oracle) << "iter " << iteration;
+        ASSERT_TRUE(parallel.stats() == oracle_stats) << "iter " << iteration;
+      } else {
+        ASSERT_EQ(result.status().code(), StatusCode::kCancelled)
+            << "iter " << iteration << ": " << result.status().ToString();
+      }
+      // The run after a cancellation must be whole again.
+      ctx.Reset();
+      auto retry = parallel.Execute(plan, &ctx);
+      ASSERT_TRUE(retry.ok()) << "iter " << iteration << ": "
+                              << retry.status().ToString();
+      ASSERT_TRUE(*retry == *oracle) << "iter " << iteration;
+      ASSERT_TRUE(parallel.stats() == oracle_stats) << "iter " << iteration;
+    }
+  }
+}
+
+TEST(ParallelStressTest, DeadlinesExpireAcrossParallelRendezvous) {
+  TestDb db(8);
+  const TableDescriptor* t = db.CreatePlainTable(
+      "t", Schema({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}), {0});
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 400; ++i) {
+    rows.push_back({Datum::Int64(i), Datum::Int64(i % 7)});
+  }
+  db.Insert(t, rows);
+  auto scan = std::make_shared<TableScanNode>(t->oid, t->oid,
+                                              std::vector<ColRefId>{1, 2});
+  auto redist = std::make_shared<MotionNode>(MotionKind::kRedistribute,
+                                             std::vector<ColRefId>{2}, scan);
+  PhysPtr plan = std::make_shared<MotionNode>(MotionKind::kGather,
+                                              std::vector<ColRefId>{}, redist);
+
+  auto oracle = db.executor.Execute(plan);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  Executor parallel(&db.catalog, &db.storage, Executor::Options{.parallel = true});
+  for (int iteration = 0; iteration < 15; ++iteration) {
+    QueryContext ctx;
+    // Deadlines from "already expired" to "comfortably far": each must yield
+    // either the full result or typed kDeadlineExceeded, with all eight
+    // workers joined either way (Execute returning proves the join).
+    ctx.SetDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(iteration * 400));
+    auto result = parallel.Execute(plan, &ctx);
+    if (result.ok()) {
+      ASSERT_TRUE(*result == *oracle) << "iter " << iteration;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << "iter " << iteration << ": " << result.status().ToString();
+    }
+    ctx.Reset();
+    auto retry = parallel.Execute(plan, &ctx);
+    ASSERT_TRUE(retry.ok()) << "iter " << iteration << ": "
+                            << retry.status().ToString();
+    ASSERT_TRUE(*retry == *oracle) << "iter " << iteration;
+  }
+}
+
+TEST(ParallelStressTest, BudgetExhaustionRacesParallelCharges) {
+  TestDb db(8);
+  const TableDescriptor* fact = db.CreateIntPartitionedTable("fact", 16);
+  std::vector<Row> fact_rows;
+  for (int64_t i = 0; i < 512; ++i) {
+    fact_rows.push_back({Datum::Int64(i), Datum::Int64(i % 160)});
+  }
+  db.Insert(fact, fact_rows);
+  const TableDescriptor* dim = db.CreatePlainTable(
+      "dim", Schema({{"id", TypeId::kInt64}, {"tag", TypeId::kInt64}}), {0});
+  std::vector<Row> dim_rows;
+  for (int64_t id : {3, 17, 42, 88, 131}) {
+    dim_rows.push_back({Datum::Int64(id), Datum::Int64(id * 2)});
+  }
+  db.Insert(dim, dim_rows);
+  PhysPtr plan = BuildSelectorJoinPlan(fact, dim);
+
+  auto oracle = db.executor.Execute(plan);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  // Find the parallel run's peak, then sweep budgets across it: eight
+  // workers race TryCharge against the shared accountant at every limit.
+  Executor parallel(&db.catalog, &db.storage, Executor::Options{.parallel = true});
+  QueryContext probe_ctx;
+  probe_ctx.budget().set_limit(size_t{1} << 40);
+  auto probe = parallel.Execute(plan, &probe_ctx);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const size_t peak = probe_ctx.budget().peak();
+  ASSERT_GT(peak, 0u);
+
+  for (int iteration = 0; iteration < 15; ++iteration) {
+    QueryContext ctx;
+    ctx.budget().set_limit(1 + (peak + 2) * static_cast<size_t>(iteration) / 12);
+    auto result = parallel.Execute(plan, &ctx);
+    if (result.ok()) {
+      // Advisory shedding may change joinfilter/synopsis counters, never rows.
+      ASSERT_TRUE(*result == *oracle) << "iter " << iteration;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+          << "iter " << iteration << ": " << result.status().ToString();
+    }
+    ctx.budget().set_limit(0);
+    auto retry = parallel.Execute(plan, &ctx);
+    ASSERT_TRUE(retry.ok()) << "iter " << iteration << ": "
+                            << retry.status().ToString();
+    ASSERT_TRUE(*retry == *oracle) << "iter " << iteration;
   }
 }
 
