@@ -83,11 +83,20 @@ struct QueryResult {
 ///   auto result = db.Run("SELECT avg(amount) FROM orders WHERE ...");
 ///
 /// Pass Executor::Options{.parallel = true} to run every statement's plan
-/// with one worker thread per segment (identical results, see Executor).
+/// on the database's shared morsel scheduler (identical results, see
+/// Executor): one work-stealing pool, sized to max_workers (default:
+/// hardware_concurrency), is created up front and reused by every Execute
+/// call rather than rebuilt per statement.
 class Database {
  public:
   explicit Database(int num_segments, Executor::Options exec_options = {})
-      : storage_(num_segments), executor_(&catalog_, &storage_, exec_options) {}
+      : storage_(num_segments), executor_(&catalog_, &storage_, exec_options) {
+    if (exec_options.parallel) {
+      scheduler_ = std::make_unique<MorselScheduler>(
+          Executor::ResolveWorkerCount(exec_options.max_workers));
+      executor_.SetScheduler(scheduler_.get());
+    }
+  }
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -146,6 +155,10 @@ class Database {
 
   Catalog catalog_;
   StorageEngine storage_;
+  /// Shared work-stealing pool for parallel execution, created once per
+  /// Database and reused across statements. Declared before executor_ so it
+  /// outlives the executor that points at it.
+  std::unique_ptr<MorselScheduler> scheduler_;
   Executor executor_;
   /// Live statements by QueryOptions::query_id, for Cancel(). shared_ptr so
   /// a cancel thread can safely poke a context the query thread is about to

@@ -101,9 +101,18 @@ Status Executor::ForEachScanUnit(
 Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
                                                      const ScanFragment& frag,
                                                      int segment) {
-  for (const PhysPtr& prefix : frag.prefix) {
-    MPPDB_ASSIGN_OR_RETURN(std::vector<Row> discarded, ExecNode(prefix, segment));
-    (void)discarded;
+  for (size_t i = 0; i < frag.prefix.size(); ++i) {
+    Result<std::vector<Row>> discarded = ExecNode(frag.prefix[i], segment);
+    if (!discarded.ok()) {
+      if (parallel_run_ && IsSuspendedStatus(discarded.status())) {
+        // Prefix outputs are discarded; mark completed ones done so the
+        // re-walk skips their side-effecting subtrees (see kSequence in
+        // executor.cc).
+        SegmentRunState& memo = seg_run_[static_cast<size_t>(segment)];
+        for (size_t j = 0; j < i; ++j) memo.done.insert(frag.prefix[j].get());
+      }
+      return discarded.status();
+    }
   }
 
   ColumnLayout layout = node.child(0)->OutputLayout();
@@ -150,59 +159,65 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
     return false;
   };
 
+  // The chunk loop is morsel-ranged (RunMorselScan): chunk-aligned
+  // sub-ranges of the slice run as stealable tasks, each accumulating into
+  // its own stats shard and row slot, concatenated in range order. A null
+  // synopsis (non-sargable predicate with no join filters, or a shed
+  // rebuild) degrades each chunk to the plain unskipped scan.
   auto scan_unit_filtered = [&](const TableStore& store, Oid table_oid,
                                 Oid unit_oid) -> Status {
     const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
-    ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
-    stats.partitions_scanned[table_oid].insert(unit_oid);
-    stats.tuples_scanned += rows.size();
+    ExecStats& seg_stats = seg_stats_[static_cast<size_t>(segment)];
+    seg_stats.partitions_scanned[table_oid].insert(unit_oid);
+    seg_stats.tuples_scanned += rows.size();
     if (rows.empty()) return Status::OK();
     // chunks_total is pure arithmetic so the non-sargable case never forces a
     // synopsis (re)build it would not use.
-    stats.chunks_total +=
+    seg_stats.chunks_total +=
         (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
-    // Unskipped chunk-wise scan: the non-sargable case and the shed-synopsis
-    // fallback below share it (same rows, same order, no skipping counters).
-    auto scan_unskipped = [&]() -> Status {
-      for (size_t base = 0; base < rows.size(); base += TableStore::kChunkRows) {
+    const SliceSynopsis* synopsis = nullptr;
+    if (can_prune || !join_filters.empty()) {
+      // A shed synopsis rebuild (budget pressure) returns null: scan
+      // unskipped. Acquired here, in the spawning task (the lazy rebuild is
+      // owner-confined); morsel bodies only read it.
+      synopsis = AcquireSynopsis(store, unit_oid, segment);
+    }
+    if (synopsis != nullptr) {
+      MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
+      if (can_prune && SynopsisCanSkip(compiled, synopsis->rollup)) {
+        ++seg_stats.units_skipped;
+        seg_stats.chunks_skipped += synopsis->chunks.size();
+        return Status::OK();
+      }
+    }
+    auto body = [this, segment, &rows, &node, &layout, &compiled, can_prune,
+                 &probe_row, &join_filter_chunk_skip,
+                 synopsis](size_t begin, size_t end, ExecStats* stats,
+                           std::vector<Row>* mout) -> Status {
+      for (size_t base = begin; base < end; base += TableStore::kChunkRows) {
         MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
-        const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
-        for (size_t i = base; i < end; ++i) {
+        const size_t chunk_end = std::min(end, base + TableStore::kChunkRows);
+        if (synopsis != nullptr) {
+          const ChunkSynopsis& chunk =
+              synopsis->chunks[base / TableStore::kChunkRows];
+          // Predicate-driven skips run first so chunks_skipped is identical
+          // with join filters on or off; only then may a join filter claim
+          // the chunk.
+          if (can_prune && SynopsisCanSkip(compiled, chunk)) {
+            ++stats->chunks_skipped;
+            continue;
+          }
+          if (join_filter_chunk_skip(chunk, *stats)) continue;
+        }
+        for (size_t i = base; i < chunk_end; ++i) {
           MPPDB_ASSIGN_OR_RETURN(bool keep,
                                  EvalPredicate(node.predicate(), layout, rows[i]));
-          if (keep && probe_row(rows[i], stats)) out.push_back(rows[i]);
+          if (keep && probe_row(rows[i], *stats)) mout->push_back(rows[i]);
         }
       }
       return Status::OK();
     };
-    if (!can_prune && join_filters.empty()) return scan_unskipped();
-    // A shed synopsis rebuild (budget pressure) returns null: scan unskipped.
-    const SliceSynopsis* synopsis = AcquireSynopsis(store, unit_oid, segment);
-    if (synopsis == nullptr) return scan_unskipped();
-    MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
-    if (can_prune && SynopsisCanSkip(compiled, synopsis->rollup)) {
-      ++stats.units_skipped;
-      stats.chunks_skipped += synopsis->chunks.size();
-      return Status::OK();
-    }
-    for (size_t c = 0; c < synopsis->chunks.size(); ++c) {
-      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
-      // Predicate-driven skips run first so chunks_skipped is identical with
-      // join filters on or off; only then may a join filter claim the chunk.
-      if (can_prune && SynopsisCanSkip(compiled, synopsis->chunks[c])) {
-        ++stats.chunks_skipped;
-        continue;
-      }
-      if (join_filter_chunk_skip(synopsis->chunks[c], stats)) continue;
-      const size_t base = c * TableStore::kChunkRows;
-      const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
-      for (size_t i = base; i < end; ++i) {
-        MPPDB_ASSIGN_OR_RETURN(bool keep,
-                               EvalPredicate(node.predicate(), layout, rows[i]));
-        if (keep && probe_row(rows[i], stats)) out.push_back(rows[i]);
-      }
-    }
-    return Status::OK();
+    return RunMorselScan(segment, rows.size(), body, &out);
   };
 
   MPPDB_RETURN_IF_ERROR(ForEachScanUnit(frag, segment, scan_unit_filtered));

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <condition_variable>
-#include <future>
 #include <set>
+#include <thread>
 #include <tuple>
 #include <utility>
 
@@ -46,9 +46,18 @@ void ExecStats::MergeFrom(const ExecStats& other) {
 
 struct Executor::MotionExchange {
   std::mutex mu;
-  std::condition_variable cv;
-  /// Segments that have deposited their source rows (parallel mode).
+  /// Count of segments that have deposited their source rows (parallel
+  /// mode). Arrival is this counter, not a set of blocked threads: the last
+  /// arriver builds the buffers and reschedules the `waiters` below.
   int arrived = 0;
+  /// Per-segment deposited flags (parallel mode): a resumed segment's
+  /// re-walk must read its Motion's buffer instead of re-executing the
+  /// Motion's child (whose results were already deposited and routed).
+  std::vector<char> deposited;
+  /// Segments suspended at this exchange, awaiting the build. Resumed
+  /// (resubmitted as scheduler tasks) by the last arriver, or by SignalAbort
+  /// so they observe the abort instead of waiting forever.
+  std::vector<int> waiters;
   /// Set exactly once, after the buffers/`build_status` are final.
   bool built = false;
   Status build_status;
@@ -83,6 +92,30 @@ bool IsAbortedStatus(const Status& status) {
 
 }  // namespace
 
+// The suspension sentinel: a segment task that reaches a Motion whose peers
+// have not all arrived unwinds its stack by returning this through the
+// ordinary error plumbing (every operator already propagates non-OK
+// statuses), after registering itself as a waiter on the exchange. It never
+// escapes RunSegmentTask, which translates it into "continuation pending".
+Status SuspendedStatus() {
+  return Status::Internal("suspended at motion rendezvous");
+}
+
+bool IsSuspendedStatus(const Status& status) {
+  return status.code() == StatusCode::kInternal &&
+         status.message() == "suspended at motion rendezvous";
+}
+
+/// Completion state of one parallel run. Lives on ExecuteParallel's frame;
+/// segment tasks record their verdicts here and the Execute thread sleeps
+/// until all have. This is the only blocking wait in parallel mode.
+struct Executor::ParallelRun {
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  std::vector<Result<std::vector<Row>>> seg_results;
+};
+
 Executor::Executor(const Catalog* catalog, StorageEngine* storage)
     : Executor(catalog, storage, Options()) {}
 
@@ -99,6 +132,7 @@ bool Executor::CollectMotions(const PhysPtr& node) {
   if (node->kind() == PhysNodeKind::kMotion) {
     auto exchange = std::make_unique<MotionExchange>();
     exchange->source_rows.resize(static_cast<size_t>(num_segments_));
+    exchange->deposited.assign(static_cast<size_t>(num_segments_), 0);
     if (!exchanges_.emplace(node.get(), std::move(exchange)).second) {
       return false;  // shared Motion subtree: once-semantics need the lazy path
     }
@@ -115,10 +149,20 @@ void Executor::SignalAbort() {
   // exchange registration when a cancel thread calls in concurrently.
   std::lock_guard<std::mutex> exchanges_lock(exchanges_mu_);
   for (auto& [node, exchange] : exchanges_) {
-    // Empty critical section: a waiter is either inside cv.wait (sees the
-    // notify) or has not yet re-checked the predicate under the lock.
-    { std::lock_guard<std::mutex> lock(exchange->mu); }
-    exchange->cv.notify_all();
+    // Reschedule every continuation suspended at this exchange. The flag is
+    // set before the drain, and a suspending segment re-checks it under the
+    // exchange lock before registering, so no waiter can slip in after the
+    // drain and strand: it either lands in this swap or observes the flag
+    // and fails on its own. Each resumed walk re-checks at its Motion and
+    // records the abort verdict.
+    std::vector<int> waiters;
+    {
+      std::lock_guard<std::mutex> lock(exchange->mu);
+      waiters.swap(exchange->waiters);
+    }
+    for (int waiter : waiters) {
+      scheduler_->Submit([this, waiter]() { RunSegmentTask(waiter); });
+    }
   }
 }
 
@@ -186,10 +230,13 @@ Result<std::vector<Row>> Executor::Execute(const PhysPtr& plan,
     exchanges_.clear();
   }
   abort_flag_.store(false);
+  // Serial only for plans with shared Motion subtrees (whose once-semantics
+  // need the lazy exchange path). Any worker count runs any segment count:
+  // Motion rendezvous is an arrival counter, not a set of blocked threads,
+  // so there is no minimum pool size and no max_workers fallback.
   bool plan_is_tree = CollectMotions(plan);
-  parallel_run_ = options_.parallel && plan_is_tree &&
-                  (options_.max_workers == 0 ||
-                   options_.max_workers >= num_segments_);
+  parallel_run_ = options_.parallel && plan_is_tree;
+  seg_run_.assign(static_cast<size_t>(num_segments_), SegmentRunState());
   // Cancel() wakes every Motion barrier through the abort flag, so blocked
   // workers notice within one wake-up instead of one batch. Registered on
   // the caller's context only — nobody can cancel the default.
@@ -217,11 +264,31 @@ Result<std::vector<Row>> Executor::Execute(const PhysPtr& plan,
     exchanges_.clear();
   }
   parallel_run_ = false;
+  seg_run_.clear();
   if (result.ok()) {
     for (const ExecStats& seg : seg_stats_) stats_.MergeFrom(seg);
   }
   seg_stats_.clear();
   return result;
+}
+
+void Executor::SetScheduler(MorselScheduler* scheduler) {
+  scheduler_ = scheduler;
+}
+
+int Executor::ResolveWorkerCount(int max_workers) {
+  if (max_workers > 0) return max_workers;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+void Executor::EnsureScheduler() {
+  if (scheduler_ != nullptr) return;
+  if (owned_scheduler_ == nullptr) {
+    owned_scheduler_ =
+        std::make_unique<MorselScheduler>(ResolveWorkerCount(options_.max_workers));
+  }
+  scheduler_ = owned_scheduler_.get();
 }
 
 Result<std::vector<Row>> Executor::ExecuteSerial(const PhysPtr& plan) {
@@ -239,40 +306,50 @@ Result<std::vector<Row>> Executor::ExecuteSerial(const PhysPtr& plan) {
 }
 
 Result<std::vector<Row>> Executor::ExecuteParallel(const PhysPtr& plan) {
-  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_segments_);
-  std::vector<Result<std::vector<Row>>> seg_results(
+  EnsureScheduler();
+  ParallelRun run;
+  run.seg_results.assign(
       static_cast<size_t>(num_segments_),
       Result<std::vector<Row>>(Status::Internal("segment slice did not run")));
-  std::vector<std::future<void>> joins;
-  joins.reserve(static_cast<size_t>(num_segments_));
+  run_ = &run;
+  current_plan_ = &plan;
   for (int segment = 0; segment < num_segments_; ++segment) {
-    joins.push_back(pool_->Submit([this, &plan, &seg_results, segment]() {
-      hub_.BindOwner(segment);
-      // Task-body liveness gate: a query cancelled while its slices were
-      // still queued never starts executing them.
-      Status alive = CheckExec(segment, nullptr);
-      Result<std::vector<Row>> rows = alive.ok()
-                                          ? ExecNode(plan, segment)
-                                          : Result<std::vector<Row>>(alive);
-      if (!rows.ok()) SignalAbort();
-      seg_results[static_cast<size_t>(segment)] = std::move(rows);
-    }));
+    scheduler_->Submit([this, segment]() { RunSegmentTask(segment); });
   }
-  for (std::future<void>& join : joins) join.wait();
+  {
+    std::unique_lock<std::mutex> lock(run.mu);
+    auto all_done = [this, &run]() { return run.done == num_segments_; };
+    if (ctx_->has_deadline()) {
+      // Deadline enforcement for segments suspended at a Motion whose peers
+      // never arrive (stalled, or sleeping in an injected delay): raise the
+      // abort, which reschedules every suspended continuation; each then
+      // fails its liveness check — CheckAlive itself reports
+      // kDeadlineExceeded past the deadline — and records a typed verdict,
+      // so the unconditional wait below always terminates.
+      if (!run.cv.wait_until(lock, ctx_->deadline(), all_done)) {
+        lock.unlock();
+        SignalAbort();
+        lock.lock();
+      }
+    }
+    run.cv.wait(lock, all_done);
+  }
+  run_ = nullptr;
+  current_plan_ = nullptr;
 
   // Report the originating failure, not a barrier's secondhand abort.
-  for (const auto& seg_result : seg_results) {
+  for (const auto& seg_result : run.seg_results) {
     if (!seg_result.ok() && !IsAbortedStatus(seg_result.status())) {
       return seg_result.status();
     }
   }
   std::vector<Row> result;
   size_t total_rows = 0;
-  for (const auto& seg_result : seg_results) {
+  for (const auto& seg_result : run.seg_results) {
     if (seg_result.ok()) total_rows += seg_result.value().size();
   }
   result.reserve(total_rows);
-  for (auto& seg_result : seg_results) {
+  for (auto& seg_result : run.seg_results) {
     if (!seg_result.ok()) return seg_result.status();
     std::vector<Row> rows = std::move(seg_result).value();
     result.insert(result.end(), std::make_move_iterator(rows.begin()),
@@ -281,7 +358,48 @@ Result<std::vector<Row>> Executor::ExecuteParallel(const PhysPtr& plan) {
   return result;
 }
 
+void Executor::RunSegmentTask(int segment) {
+  // A segment's tasks form a chain — initial task, then one continuation per
+  // Motion suspension — with a happens-before edge through the exchange (or
+  // scheduler) mutex at every hop, so re-binding the hub owner here keeps
+  // the single-owner contract even though hops may land on different
+  // workers.
+  hub_.BindOwner(segment);
+  // Task-body liveness gate: a query cancelled (or aborted by a peer) while
+  // this task sat queued never starts executing.
+  Status alive = CheckExec(segment, nullptr);
+  Result<std::vector<Row>> rows = alive.ok()
+                                      ? ExecNode(*current_plan_, segment)
+                                      : Result<std::vector<Row>>(alive);
+  if (!rows.ok() && IsSuspendedStatus(rows.status())) {
+    return;  // continuation registered at a Motion exchange; no verdict yet
+  }
+  if (!rows.ok()) SignalAbort();
+  ParallelRun* run = run_;
+  // Notify under the lock: once done hits S the Execute thread may wake and
+  // destroy `run`, so the cv must not be touched after the unlock.
+  std::lock_guard<std::mutex> lock(run->mu);
+  run->seg_results[static_cast<size_t>(segment)] = std::move(rows);
+  if (++run->done == num_segments_) run->cv.notify_all();
+}
+
 Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
+  if (parallel_run_) {
+    // Suspension memo: a re-walk after a Motion suspension must not repeat
+    // subtrees that already completed. Entries are consumed on use and
+    // re-created on the next unwind, so the memo is empty whenever the
+    // segment is not between an unwind and its re-walk — which also keeps
+    // legitimately shared non-Motion subtrees correct (their repeat visits
+    // find no entry).
+    SegmentRunState& memo = seg_run_[static_cast<size_t>(segment)];
+    if (memo.done.erase(node.get()) > 0) return std::vector<Row>{};
+    auto cached = memo.cache.find(node.get());
+    if (cached != memo.cache.end()) {
+      std::vector<Row> rows = std::move(cached->second);
+      memo.cache.erase(cached);
+      return rows;
+    }
+  }
   // Per-operator liveness check; the hot loops below add per-batch checks.
   MPPDB_RETURN_IF_ERROR(CheckExec(segment, nullptr));
   switch (node->kind()) {
@@ -296,18 +414,48 @@ Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
       return ExecPartitionSelector(static_cast<const PartitionSelectorNode&>(*node),
                                    segment);
     case PhysNodeKind::kSequence: {
+      const auto& children = node->children();
       std::vector<Row> last;
-      for (const auto& child : node->children()) {
-        MPPDB_ASSIGN_OR_RETURN(last, ExecNode(child, segment));
+      for (size_t i = 0; i < children.size(); ++i) {
+        Result<std::vector<Row>> rows = ExecNode(children[i], segment);
+        if (!rows.ok()) {
+          if (parallel_run_ && IsSuspendedStatus(rows.status())) {
+            // Earlier children completed and their outputs were discarded
+            // (only the last child's output survives a Sequence); mark them
+            // done so the re-walk skips their side-effecting subtrees.
+            SegmentRunState& memo = seg_run_[static_cast<size_t>(segment)];
+            for (size_t j = 0; j < i; ++j) memo.done.insert(children[j].get());
+          }
+          return rows.status();
+        }
+        last = std::move(rows).value();
       }
       return last;
     }
     case PhysNodeKind::kAppend: {
+      const auto& children = node->children();
+      std::vector<std::vector<Row>> parts(children.size());
+      for (size_t i = 0; i < children.size(); ++i) {
+        Result<std::vector<Row>> rows = ExecNode(children[i], segment);
+        if (!rows.ok()) {
+          if (parallel_run_ && IsSuspendedStatus(rows.status())) {
+            // Re-cache completed children for the re-walk to consume.
+            SegmentRunState& memo = seg_run_[static_cast<size_t>(segment)];
+            for (size_t j = 0; j < i; ++j) {
+              memo.cache[children[j].get()] = std::move(parts[j]);
+            }
+          }
+          return rows.status();
+        }
+        parts[i] = std::move(rows).value();
+      }
       std::vector<Row> out;
-      for (const auto& child : node->children()) {
-        MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(child, segment));
-        out.insert(out.end(), std::make_move_iterator(rows.begin()),
-                   std::make_move_iterator(rows.end()));
+      size_t total = 0;
+      for (const auto& part : parts) total += part.size();
+      out.reserve(total);
+      for (auto& part : parts) {
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
       }
       return out;
     }
@@ -360,37 +508,98 @@ Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
   return Status::Internal("unreachable physical node kind");
 }
 
+size_t Executor::MorselRows() const {
+  const size_t rows =
+      options_.morsel_rows == 0 ? 4 * TableStore::kChunkRows : options_.morsel_rows;
+  // Chunk-aligned so zone-map chunk skipping never straddles a morsel.
+  const size_t chunks =
+      (rows + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
+  return chunks * TableStore::kChunkRows;
+}
+
+Status Executor::RunMorselScan(int segment, size_t row_count,
+                               const MorselBody& body, std::vector<Row>* out) {
+  const size_t morsel_rows = MorselRows();
+  if (!parallel_run_ || !options_.morsels || scheduler_ == nullptr ||
+      scheduler_->num_workers() <= 1 || row_count <= morsel_rows) {
+    // Ineligible: run the body whole, against the segment accumulator — the
+    // exact loop the serial oracle runs.
+    return body(0, row_count, &seg_stats_[static_cast<size_t>(segment)], out);
+  }
+  // Determinism by construction: every morsel gets a pre-assigned slot, and
+  // rows/stats/errors are combined in range order no matter which worker ran
+  // which morsel when.
+  const size_t num_morsels = (row_count + morsel_rows - 1) / morsel_rows;
+  std::vector<std::vector<Row>> slot_rows(num_morsels);
+  std::vector<ExecStats> slot_stats(num_morsels);
+  std::vector<Status> slot_status(num_morsels, Status::OK());
+  MorselScheduler::TaskGroup group(scheduler_);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    const size_t begin = m * morsel_rows;
+    const size_t end = std::min(row_count, begin + morsel_rows);
+    group.Spawn([&body, &slot_rows, &slot_stats, &slot_status, m, begin, end]() {
+      slot_status[m] = body(begin, end, &slot_stats[m], &slot_rows[m]);
+    });
+  }
+  group.Wait();
+  // Lowest failing range wins: the error the serial loop would hit first.
+  for (const Status& status : slot_status) {
+    MPPDB_RETURN_IF_ERROR(status);
+  }
+  ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+  size_t total = 0;
+  for (const auto& slot : slot_rows) total += slot.size();
+  out->reserve(out->size() + total);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    stats.MergeFrom(slot_stats[m]);
+    out->insert(out->end(), std::make_move_iterator(slot_rows[m].begin()),
+                std::make_move_iterator(slot_rows[m].end()));
+  }
+  return Status::OK();
+}
+
 Status Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
                           int segment, bool emit_rowids,
                           const std::vector<BoundJoinFilter>& join_filters,
                           std::vector<Row>* out) {
   const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
-  ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
-  stats.partitions_scanned[table_oid].insert(unit_oid);
+  ExecStats& seg_stats = seg_stats_[static_cast<size_t>(segment)];
+  seg_stats.partitions_scanned[table_oid].insert(unit_oid);
   // Logical accounting: join-filter-rejected rows still count as scanned.
-  stats.tuples_scanned += rows.size();
+  seg_stats.tuples_scanned += rows.size();
   if (join_filters.empty()) {
-    out->reserve(out->size() + rows.size());
     if (!emit_rowids) {
-      for (size_t base = 0; base < rows.size(); base += TableStore::kChunkRows) {
-        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
-        const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
-        out->insert(out->end(), rows.begin() + static_cast<std::ptrdiff_t>(base),
-                    rows.begin() + static_cast<std::ptrdiff_t>(end));
+      auto body = [this, segment, &rows](size_t begin, size_t end, ExecStats*,
+                                         std::vector<Row>* mout) -> Status {
+        mout->reserve(mout->size() + (end - begin));
+        for (size_t base = begin; base < end; base += TableStore::kChunkRows) {
+          MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
+          const size_t chunk_end = std::min(end, base + TableStore::kChunkRows);
+          mout->insert(mout->end(),
+                       rows.begin() + static_cast<std::ptrdiff_t>(base),
+                       rows.begin() + static_cast<std::ptrdiff_t>(chunk_end));
+        }
+        return Status::OK();
+      };
+      return RunMorselScan(segment, rows.size(), body, out);
+    }
+    auto body = [this, segment, unit_oid, &rows](size_t begin, size_t end,
+                                                 ExecStats*,
+                                                 std::vector<Row>* mout) -> Status {
+      mout->reserve(mout->size() + (end - begin));
+      for (size_t i = begin; i < end; ++i) {
+        if (i % TableStore::kChunkRows == 0) {
+          MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
+        }
+        Row row = rows[i];
+        row.push_back(Datum::Int64(unit_oid));
+        row.push_back(Datum::Int64(segment));
+        row.push_back(Datum::Int64(static_cast<int64_t>(i)));
+        mout->push_back(std::move(row));
       }
       return Status::OK();
-    }
-    for (size_t i = 0; i < rows.size(); ++i) {
-      if (i % TableStore::kChunkRows == 0) {
-        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
-      }
-      Row row = rows[i];
-      row.push_back(Datum::Int64(unit_oid));
-      row.push_back(Datum::Int64(segment));
-      row.push_back(Datum::Int64(static_cast<int64_t>(i)));
-      out->push_back(std::move(row));
-    }
-    return Status::OK();
+    };
+    return RunMorselScan(segment, rows.size(), body, out);
   }
   // Join-filtered scan. Placement never annotates rowid-emitting scans
   // (those exist for DML plans, which get no placement pass at all).
@@ -399,52 +608,59 @@ Status Executor::ScanUnit(const TableStore& store, Oid table_oid, Oid unit_oid,
   // At a bare scan there is no predicate between storage and the consumer
   // site, so chunk-level skipping needs no error-safety gate: any dropped
   // row is provably outside the build keys' min/max and could never join.
+  // The synopsis is acquired here, in the spawning task (its lazy rebuild is
+  // owner-confined); morsel bodies only read it.
   const SliceSynopsis* synopsis =
       options_.data_skipping ? AcquireSynopsis(store, unit_oid, segment) : nullptr;
-  for (size_t base = 0; base < rows.size(); base += TableStore::kChunkRows) {
-    MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
-    const size_t end = std::min(rows.size(), base + TableStore::kChunkRows);
-    const BoundJoinFilter* chunk_skipper = nullptr;
-    if (synopsis != nullptr) {
-      const ChunkSynopsis& chunk = synopsis->chunks[base / TableStore::kChunkRows];
-      for (const BoundJoinFilter& filter : join_filters) {
-        if (filter.summary->ChunkProvablyDisjoint(chunk, filter.key_positions)) {
-          chunk_skipper = &filter;
-          break;
+  auto body = [this, segment, &rows, &join_filters, synopsis](
+                  size_t begin, size_t end, ExecStats* stats,
+                  std::vector<Row>* mout) -> Status {
+    for (size_t base = begin; base < end; base += TableStore::kChunkRows) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
+      const size_t chunk_end = std::min(end, base + TableStore::kChunkRows);
+      const BoundJoinFilter* chunk_skipper = nullptr;
+      if (synopsis != nullptr) {
+        const ChunkSynopsis& chunk = synopsis->chunks[base / TableStore::kChunkRows];
+        for (const BoundJoinFilter& filter : join_filters) {
+          if (filter.summary->ChunkProvablyDisjoint(chunk, filter.key_positions)) {
+            chunk_skipper = &filter;
+            break;
+          }
         }
       }
-    }
-    if (chunk_skipper != nullptr) {
-      ++stats.joinfilter_chunks_skipped;
-      if (chunk_skipper->below_motion) {
-        // rows_moved stays logical: these rows would have reached the Motion
-        // (nothing between a bare scan and its Motion drops rows).
-        stats.rows_moved += end - base;
-        stats.joinfilter_motion_rows_saved += end - base;
-      }
-      continue;
-    }
-    for (size_t i = base; i < end; ++i) {
-      ++stats.joinfilter_probed;
-      const BoundJoinFilter* rejecter = nullptr;
-      for (const BoundJoinFilter& filter : join_filters) {
-        if (!filter.summary->RowMayMatch(rows[i], filter.key_positions)) {
-          rejecter = &filter;
-          break;
+      if (chunk_skipper != nullptr) {
+        ++stats->joinfilter_chunks_skipped;
+        if (chunk_skipper->below_motion) {
+          // rows_moved stays logical: these rows would have reached the
+          // Motion (nothing between a bare scan and its Motion drops rows).
+          stats->rows_moved += chunk_end - base;
+          stats->joinfilter_motion_rows_saved += chunk_end - base;
         }
-      }
-      if (rejecter == nullptr) {
-        out->push_back(rows[i]);
         continue;
       }
-      ++stats.joinfilter_rows_rejected;
-      if (rejecter->below_motion) {
-        ++stats.rows_moved;
-        ++stats.joinfilter_motion_rows_saved;
+      for (size_t i = base; i < chunk_end; ++i) {
+        ++stats->joinfilter_probed;
+        const BoundJoinFilter* rejecter = nullptr;
+        for (const BoundJoinFilter& filter : join_filters) {
+          if (!filter.summary->RowMayMatch(rows[i], filter.key_positions)) {
+            rejecter = &filter;
+            break;
+          }
+        }
+        if (rejecter == nullptr) {
+          mout->push_back(rows[i]);
+          continue;
+        }
+        ++stats->joinfilter_rows_rejected;
+        if (rejecter->below_motion) {
+          ++stats->rows_moved;
+          ++stats->joinfilter_motion_rows_saved;
+        }
       }
     }
-  }
-  return Status::OK();
+    return Status::OK();
+  };
+  return RunMorselScan(segment, rows.size(), body, out);
 }
 
 Result<std::vector<Executor::BoundJoinFilter>> Executor::BindJoinFilterProbes(
@@ -789,18 +1005,35 @@ Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int se
   // PartitionSelector placement relies on.
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> build_rows, ExecNode(node.child(0), segment));
   ColumnLayout build_layout = node.child(0)->OutputLayout();
-  // The build table pins every build row plus hash-table nodes for the whole
-  // probe phase: the query's dominant mandatory allocation. Charged before
-  // the advisory filter publication so that under budget pressure the
-  // optional summary sheds while the mandatory table still fits.
-  MPPDB_RETURN_IF_ERROR(ChargeBudget(
-      segment, ApproxRowsBytes(build_rows.size(), build_layout.ids().size()),
-      "hash join build table"));
-  // This segment's build-key summary goes out before the probe child runs,
-  // so probe-side consumers (same segment, same slice thread) can find it.
-  MPPDB_RETURN_IF_ERROR(
-      PublishLocalJoinFilters(node, build_layout, build_rows, segment));
-  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> probe_rows, ExecNode(node.child(1), segment));
+  // One-shot effects, skipped when a probe-side Motion suspension already
+  // performed them on an earlier walk (the hub rejects a second publication
+  // of the same filter id, and the budget must not be charged twice).
+  const bool effects_pending =
+      !parallel_run_ ||
+      seg_run_[static_cast<size_t>(segment)].effects_done.erase(&node) == 0;
+  if (effects_pending) {
+    // The build table pins every build row plus hash-table nodes for the
+    // whole probe phase: the query's dominant mandatory allocation. Charged
+    // before the advisory filter publication so that under budget pressure
+    // the optional summary sheds while the mandatory table still fits.
+    MPPDB_RETURN_IF_ERROR(ChargeBudget(
+        segment, ApproxRowsBytes(build_rows.size(), build_layout.ids().size()),
+        "hash join build table"));
+    // This segment's build-key summary goes out before the probe child runs,
+    // so probe-side consumers (same segment, same slice chain) can find it.
+    MPPDB_RETURN_IF_ERROR(
+        PublishLocalJoinFilters(node, build_layout, build_rows, segment));
+  }
+  Result<std::vector<Row>> probe_result = ExecNode(node.child(1), segment);
+  if (!probe_result.ok()) {
+    if (parallel_run_ && IsSuspendedStatus(probe_result.status())) {
+      SegmentRunState& memo = seg_run_[static_cast<size_t>(segment)];
+      memo.cache[node.child(0).get()] = std::move(build_rows);
+      memo.effects_done.insert(&node);
+    }
+    return probe_result.status();
+  }
+  std::vector<Row> probe_rows = std::move(probe_result).value();
 
   ColumnLayout probe_layout = node.child(1)->OutputLayout();
   MPPDB_ASSIGN_OR_RETURN(std::vector<int> build_pos,
@@ -850,7 +1083,15 @@ Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int se
 Result<std::vector<Row>> Executor::ExecNestedLoopJoin(const NestedLoopJoinNode& node,
                                                       int segment) {
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> outer_rows, ExecNode(node.child(0), segment));
-  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> inner_rows, ExecNode(node.child(1), segment));
+  Result<std::vector<Row>> inner_result = ExecNode(node.child(1), segment);
+  if (!inner_result.ok()) {
+    if (parallel_run_ && IsSuspendedStatus(inner_result.status())) {
+      seg_run_[static_cast<size_t>(segment)].cache[node.child(0).get()] =
+          std::move(outer_rows);
+    }
+    return inner_result.status();
+  }
+  std::vector<Row> inner_rows = std::move(inner_result).value();
   // No pairs, no output — skip the O(n*m) loop entirely. The children have
   // already run (side effects and stats), and with zero pairs the row path
   // never evaluates the predicate either, so this is behavior-preserving.
@@ -1264,45 +1505,55 @@ Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segmen
     return ReadMotionBuffer(node, exchange, segment);
   }
 
-  // Parallel: compute this segment's contribution, then rendezvous with the
-  // other segments like a real interconnect exchange.
-  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
-  MPPDB_RETURN_IF_ERROR(CheckExec(segment, "motion.send"));
-  seg_stats_[static_cast<size_t>(segment)].rows_moved += rows.size();
-  std::unique_lock<std::mutex> lock(exchange.mu);
-  exchange.source_rows[static_cast<size_t>(segment)] = std::move(rows);
-  if (++exchange.arrived == num_segments_) {
-    // Last arriver builds the per-destination buffers exactly once — unless
-    // the run is already doomed (a peer failed between its deposit and our
-    // arrival): announce the abort instead of building dead buffers.
-    exchange.build_status = CheckExec(segment, nullptr);
-    if (exchange.build_status.ok()) {
-      exchange.build_status = BuildMotionBuffers(
-          node, segment, std::move(exchange.source_rows), &exchange);
-    }
-    exchange.built = true;
-    lock.unlock();
-    exchange.cv.notify_all();
-  } else {
-    auto woken = [this, &exchange]() {
-      return exchange.built || abort_flag_.load(std::memory_order_acquire);
-    };
-    // Deadline-aware rendezvous: without the timeout, a peer that never
-    // arrives (stalled, or sleeping in an injected delay) would pin every
-    // waiter until some outside actor cancels. The first waiter to time out
-    // raises the abort so the whole fleet unwinds.
-    if (ctx_->has_deadline()) {
-      if (!exchange.cv.wait_until(lock, ctx_->deadline(), woken)) {
+  // Parallel: a worker-count-independent exchange. Arrival is a counter each
+  // segment bumps when it deposits; a segment whose peers are outstanding
+  // suspends (registers a continuation and unwinds) instead of blocking a
+  // worker, and the last arriver builds the buffers and reschedules the
+  // suspended peers.
+  {
+    std::unique_lock<std::mutex> lock(exchange.mu);
+    if (!exchange.deposited[static_cast<size_t>(segment)]) {
+      lock.unlock();
+      MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "motion.send"));
+      seg_stats_[static_cast<size_t>(segment)].rows_moved += rows.size();
+      lock.lock();
+      exchange.source_rows[static_cast<size_t>(segment)] = std::move(rows);
+      exchange.deposited[static_cast<size_t>(segment)] = 1;
+      if (++exchange.arrived == num_segments_) {
+        // Last arriver builds the per-destination buffers exactly once —
+        // unless the run is already doomed (a peer failed between its
+        // deposit and our arrival): announce the abort instead of building
+        // dead buffers.
+        exchange.build_status = CheckExec(segment, nullptr);
+        if (exchange.build_status.ok()) {
+          exchange.build_status = BuildMotionBuffers(
+              node, segment, std::move(exchange.source_rows), &exchange);
+        }
+        exchange.built = true;
+        std::vector<int> waiters;
+        waiters.swap(exchange.waiters);
         lock.unlock();
-        SignalAbort();
-        return Status::DeadlineExceeded(
-            "query deadline exceeded at Motion rendezvous");
+        for (int waiter : waiters) {
+          scheduler_->Submit([this, waiter]() { RunSegmentTask(waiter); });
+        }
+      } else {
+        // The abort check under the exchange lock pairs with SignalAbort's
+        // drain: registering after the drain implies the flag is visible
+        // here, so no waiter can strand.
+        if (abort_flag_.load(std::memory_order_acquire)) return AbortedStatus();
+        exchange.waiters.push_back(segment);
+        return SuspendedStatus();
       }
-    } else {
-      exchange.cv.wait(lock, woken);
+    } else if (!exchange.built) {
+      // A resumed re-walk normally finds its suspension point built; being
+      // here means a stray resume (or a future multi-resume policy) raced
+      // the build. Re-register — some peer has yet to arrive (or the abort
+      // below fires), so a resume is guaranteed.
+      if (abort_flag_.load(std::memory_order_acquire)) return AbortedStatus();
+      exchange.waiters.push_back(segment);
+      return SuspendedStatus();
     }
-    if (!exchange.built) return AbortedStatus();
-    lock.unlock();
   }
   // `built` is final: the buffers/build_status are immutable from here on
   // (each segment only moves out of its own buffer slot, and the broadcast

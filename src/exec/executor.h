@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -19,6 +20,15 @@
 #include "storage/storage.h"
 
 namespace mppdb {
+
+/// Suspension sentinel for the morsel-driven parallel path (executor.cc):
+/// a segment task that reaches a Motion whose peers have not all arrived
+/// registers a continuation and unwinds by returning this status through
+/// the ordinary error plumbing. Operators with multi-child state to
+/// preserve (HashJoin, Append, Sequence, fused-scan prefixes) test for it
+/// with IsSuspendedStatus before propagating. Never escapes the executor.
+Status SuspendedStatus();
+bool IsSuspendedStatus(const Status& status);
 
 /// Counters collected during one query execution; the raw material for the
 /// paper's partition-elimination experiments (Table 3, Fig. 16, Fig. 17).
@@ -103,25 +113,33 @@ struct ExecStats {
 ///    first segment to reach a Motion node executes the Motion's child for
 ///    every source segment and materializes the per-destination buffers;
 ///    later segments read their buffer.
-///  * Parallel: each segment's slice runs on its own worker thread (a
-///    reusable ThreadPool of exactly S workers — Motion nodes are rendezvous
-///    barriers, so fewer workers than segments could deadlock; if
-///    max_workers caps the pool below S, execution falls back to serial).
-///    Motion nodes act like a real interconnect exchange: every segment
-///    executes the Motion's child for itself, deposits its rows at the
-///    node's exchange, and blocks until all S segments have arrived; the
-///    last arriver partitions the rows into per-destination buffers exactly
-///    once. If any segment fails, the executor raises an abort flag and
-///    wakes all barriers so no thread waits forever.
+///  * Parallel (morsel-driven, DESIGN.md §10): segments are tasks, not
+///    threads. Each segment's slice chain runs as a sequence of tasks on a
+///    shared work-stealing MorselScheduler sized to the hardware (or to
+///    max_workers), and heavy scan loops additionally split into fixed-size
+///    chunk-aligned morsels that idle workers steal. Motion nodes act like a
+///    real interconnect exchange, but arrival is a counter, not a blocked
+///    thread: a segment that reaches a Motion deposits its rows, bumps the
+///    arrival count, and — when peers are still outstanding — suspends by
+///    unwinding its task and registering a continuation; the last arriver
+///    partitions the rows into per-destination buffers exactly once and
+///    reschedules every suspended peer as a new task. No task ever blocks on
+///    another, so any worker count — including one — makes progress, and
+///    there is no minimum pool size. If any segment fails, the executor
+///    raises an abort flag and reschedules every suspended continuation so
+///    it observes the abort; queued-but-unstarted tasks fail their liveness
+///    gate.
 ///    Runtime state is concurrency-safe by construction: the propagation hub
-///    is segment-scoped (each worker owns its segment's channels — enforced
-///    via PartitionPropagationHub::BindOwner), execution counters accumulate
-///    into per-segment ExecStats merged after the join (no contended global
-///    counters on the scan hot path), and storage writes follow the
+///    is segment-scoped (each segment task re-binds its channels' owner at
+///    task start — a segment's tasks form a chain, never overlapping, so the
+///    single-owner contract holds across thread hops), execution counters
+///    accumulate into per-segment ExecStats (plus per-morsel shards merged
+///    in range order at each scan's join), and storage writes follow the
 ///    single-writer DML rule below.
 ///    Parallel output is byte-identical to serial output: per-segment
-///    results are joined and concatenated in segment order, and Motion
-///    buffers are assembled in source-segment order.
+///    results are concatenated in segment order, Motion buffers are
+///    assembled in source-segment order, and per-morsel outputs land in
+///    pre-assigned slots concatenated in range order.
 ///
 /// Simulation conventions (documented deviations from a multi-process MPP):
 ///  * Gather delivers to segment 0 (standing in for the coordinator).
@@ -141,13 +159,24 @@ struct ExecStats {
 class Executor {
  public:
   struct Options {
-    /// Fan segment slices out across a worker pool (see class comment).
+    /// Fan segment slices out across the morsel scheduler (see class
+    /// comment).
     bool parallel = false;
-    /// Upper bound on pool size; 0 means one worker per segment. Parallel
-    /// execution needs all S segments running concurrently (Motion nodes are
-    /// barriers), so a positive cap below num_segments forces the serial
-    /// fallback.
+    /// Exact size of the lazily-created scheduler pool; 0 means
+    /// hardware_concurrency. Any positive value works — Motion rendezvous is
+    /// an arrival counter, not a set of blocked threads, so there is no
+    /// minimum worker count and no serial fallback. Ignored when a shared
+    /// scheduler was injected via SetScheduler.
     int max_workers = 0;
+    /// Split heavy scan loops into fixed-size chunk-aligned morsels that idle
+    /// workers steal (parallel mode only). Off: each segment slice still runs
+    /// as one schedulable task, but scans stay whole. Output is bit-identical
+    /// either way.
+    bool morsels = true;
+    /// Rows per scan morsel; 0 means auto (4 storage chunks = 4096 rows).
+    /// Always rounded up to a whole number of 1024-row chunks so zone-map
+    /// chunk skipping never straddles a morsel boundary.
+    size_t morsel_rows = 0;
     /// Run Filter/Project/HashJoin/HashAgg through the batch kernel path
     /// (src/expr/vector_eval.h) with selection-vector scans and hashed join
     /// pipelines (src/exec/vectorized.cc). Output rows and ExecStats are
@@ -196,6 +225,17 @@ class Executor {
 
   const Options& options() const { return options_; }
 
+  /// Points parallel runs at an externally-owned scheduler instead of a
+  /// private lazily-created one — Database uses this to share one
+  /// hardware-sized pool across every Execute call (and, eventually, across
+  /// queries). `scheduler` must outlive the executor; null reverts to the
+  /// private pool. Call only between Execute calls.
+  void SetScheduler(MorselScheduler* scheduler);
+
+  /// Pool size implied by an Options::max_workers value: the value itself
+  /// when positive, otherwise hardware_concurrency (min 1).
+  static int ResolveWorkerCount(int max_workers);
+
  private:
   /// Per-Motion-node exchange state: deposited source rows, the rendezvous
   /// barrier, and the per-destination buffers built exactly once.
@@ -203,6 +243,60 @@ class Executor {
 
   Result<std::vector<Row>> ExecuteSerial(const PhysPtr& plan);
   Result<std::vector<Row>> ExecuteParallel(const PhysPtr& plan);
+
+  /// Completion state of one parallel run: per-segment verdicts and the
+  /// count of finished segments, waited on by the Execute thread (the only
+  /// blocking wait in parallel mode — scheduler tasks never block).
+  struct ParallelRun;
+
+  /// Per-segment memo for the suspension/re-walk protocol (see DESIGN.md
+  /// §10): results of subtrees that completed before a suspension unwound
+  /// the stack, nodes whose (discarded or consumed) execution must not
+  /// repeat, and one-shot side effects already performed. Touched only by
+  /// the segment's own task chain — no locks.
+  struct SegmentRunState {
+    /// Completed-child results cached across a suspension; consumed (moved
+    /// out and erased) by the first re-visit.
+    std::unordered_map<const PhysicalNode*, std::vector<Row>> cache;
+    /// Nodes that completed and whose output is discardable (Sequence
+    /// prefixes); re-visits return {} without executing.
+    std::unordered_set<const PhysicalNode*> done;
+    /// One-shot effects (hash-join budget charge + join-filter publication)
+    /// already performed before a later suspension.
+    std::unordered_set<const PhysicalNode*> effects_done;
+  };
+
+  /// Ensures scheduler_ points at a live pool (the injected one, or a
+  /// lazily-created private pool of max_workers / hardware_concurrency
+  /// workers).
+  void EnsureScheduler();
+
+  /// The body of one segment task: binds the hub owner, runs the segment's
+  /// plan walk, and either records the verdict in run_ (scheduling no
+  /// further work) or — when the walk suspended at a Motion — simply
+  /// returns, leaving the registered continuation to resume the chain.
+  void RunSegmentTask(int segment);
+
+  /// Morsel body: process rows [begin, end) of one storage slice into `out`,
+  /// accumulating into `stats`. Ranges are chunk-aligned at both ends
+  /// (except end == row_count).
+  using MorselBody =
+      std::function<Status(size_t begin, size_t end, ExecStats* stats,
+                           std::vector<Row>* out)>;
+
+  /// Runs `body` over [0, row_count): inline when morsels are ineligible
+  /// (serial mode, morsels off, single worker, or a slice smaller than one
+  /// morsel), otherwise split into chunk-aligned morsels spawned on a
+  /// TaskGroup. Per-morsel rows land in pre-assigned slots appended to `out`
+  /// in range order and per-morsel stats merge in range order, so output and
+  /// stats are bit-identical to the inline run; on error the lowest range's
+  /// status is returned (the serial loop's first error).
+  Status RunMorselScan(int segment, size_t row_count, const MorselBody& body,
+                       std::vector<Row>* out);
+
+  /// Effective rows-per-morsel: Options::morsel_rows (0 = 4 chunks) rounded
+  /// up to a whole number of storage chunks.
+  size_t MorselRows() const;
 
   /// Pre-registers an exchange for every Motion node in the plan. Returns
   /// false if a Motion node object appears more than once (a shared subtree),
@@ -228,10 +322,11 @@ class Executor {
   std::vector<Row> ReadMotionBuffer(const MotionNode& node, MotionExchange& exchange,
                                     int segment);
 
-  /// Marks the current run failed and wakes every Motion barrier so no
-  /// worker blocks on a segment that will never arrive. Safe from any
-  /// thread, including a QueryContext cancel callback racing a serial run's
-  /// lazy exchange registration (exchanges_mu_).
+  /// Marks the current run failed and reschedules every continuation
+  /// suspended at a Motion exchange, so each observes the abort and records
+  /// its verdict instead of waiting for peers that will never arrive. Safe
+  /// from any thread, including a QueryContext cancel callback racing a
+  /// serial run's lazy exchange registration (exchanges_mu_).
   void SignalAbort();
 
   /// The batch-granularity liveness + fault check, called at operator
@@ -348,9 +443,11 @@ class Executor {
   /// over the surviving selection in one batch pass, then tests every row
   /// and compacts the survivors into `sel` in place. Probe verdicts and
   /// counter updates are identical to the row path's per-row RowMayMatch.
+  /// Counters go to `stats` (a morsel-local shard inside morsel scans, the
+  /// segment accumulator elsewhere).
   void ProbeJoinFiltersVec(const std::vector<Row>& rows,
-                           const std::vector<BoundJoinFilter>& filters, int segment,
-                           std::vector<uint32_t>* sel);
+                           const std::vector<BoundJoinFilter>& filters,
+                           ExecStats* stats, std::vector<uint32_t>* sel);
 
   Result<std::vector<Row>> ExecFilterVec(const FilterNode& node, int segment);
   /// Fused filter-over-scan: evaluates the predicate in chunks directly over
@@ -396,8 +493,19 @@ class Executor {
   QueryContext* ctx_ = nullptr;
   /// Defense in depth for the single-writer DML rule (see class comment).
   std::mutex dml_mu_;
-  /// Lazily-created pool of num_segments_ workers, reused across runs.
-  std::unique_ptr<ThreadPool> pool_;
+  /// The pool parallel runs schedule onto: an injected shared scheduler
+  /// (SetScheduler) or the lazily-created private one below.
+  MorselScheduler* scheduler_ = nullptr;
+  std::unique_ptr<MorselScheduler> owned_scheduler_;
+  /// Per-segment suspension memos for the run in progress (parallel mode).
+  std::vector<SegmentRunState> seg_run_;
+  /// Completion state of the parallel run in progress (owned by
+  /// ExecuteParallel's frame); null otherwise. Segment tasks record their
+  /// verdicts here.
+  ParallelRun* run_ = nullptr;
+  /// Root of the plan being run in parallel; continuations re-enter through
+  /// it.
+  const PhysPtr* current_plan_ = nullptr;
 };
 
 }  // namespace mppdb

@@ -70,9 +70,10 @@ void HashKeysForSel(const std::vector<Row>& rows, const SelVec& sel,
 
 void Executor::ProbeJoinFiltersVec(const std::vector<Row>& rows,
                                    const std::vector<BoundJoinFilter>& filters,
-                                   int segment, std::vector<uint32_t>* sel) {
+                                   ExecStats* stats_out,
+                                   std::vector<uint32_t>* sel) {
   if (filters.empty() || sel->empty()) return;
-  ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+  ExecStats& stats = *stats_out;
   std::vector<std::vector<uint64_t>> hashes(filters.size());
   for (size_t f = 0; f < filters.size(); ++f) {
     HashKeysForSel(rows, *sel, filters[f].key_positions, &hashes[f]);
@@ -159,7 +160,8 @@ Result<std::vector<Row>> Executor::ExecFilterVec(const FilterNode& node, int seg
     MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
     // Join filters apply to predicate survivors only (identical error
     // behavior to filters off).
-    ProbeJoinFiltersVec(rows, join_filters, segment, &keep);
+    ProbeJoinFiltersVec(rows, join_filters, &seg_stats_[static_cast<size_t>(segment)],
+                        &keep);
     for (uint32_t r : keep) out.push_back(std::move(rows[r]));
   }
   return out;
@@ -168,18 +170,23 @@ Result<std::vector<Row>> Executor::ExecFilterVec(const FilterNode& node, int seg
 Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
                                                        const ScanFragment& frag,
                                                        int segment) {
-  for (const PhysPtr& prefix : frag.prefix) {
-    MPPDB_ASSIGN_OR_RETURN(std::vector<Row> discarded, ExecNode(prefix, segment));
-    (void)discarded;
+  for (size_t i = 0; i < frag.prefix.size(); ++i) {
+    Result<std::vector<Row>> discarded = ExecNode(frag.prefix[i], segment);
+    if (!discarded.ok()) {
+      if (parallel_run_ && IsSuspendedStatus(discarded.status())) {
+        // Prefix outputs are discarded; mark completed ones done so the
+        // re-walk skips their side-effecting subtrees (see kSequence).
+        SegmentRunState& memo = seg_run_[static_cast<size_t>(segment)];
+        for (size_t j = 0; j < i; ++j) memo.done.insert(frag.prefix[j].get());
+      }
+      return discarded.status();
+    }
   }
 
   ColumnLayout layout = node.child(0)->OutputLayout();
-  KernelProgram program = KernelProgram::Compile(node.predicate(), layout);
-  KernelContext ctx;
-  // TableStore::kChunkRows == KernelContext::kDefaultChunkRows (static_assert
-  // in data_skipping.cc), so batch boundaries land exactly on synopsis chunk
-  // boundaries and a skipped chunk is a skipped batch.
-  ctx.Prepare(program, TableStore::kChunkRows);
+  // The program is compiled once and shared read-only across morsels; each
+  // morsel runs its own KernelContext (the mutable evaluation scratch).
+  const KernelProgram program = KernelProgram::Compile(node.predicate(), layout);
   CompiledSargable compiled;
   if (options_.data_skipping) {
     compiled = CompileSargable(node.sargable(), layout);
@@ -188,7 +195,6 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
   MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
                          BindJoinFilterProbes(node, layout, segment));
   std::vector<Row> out;
-  SelVec sel, keep;
 
   // Join-filter chunk skip, under the same license as the row skipping path
   // (see ExecFilterRowSkip): never below a Motion, and only when the whole
@@ -211,51 +217,70 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
   // copies only the surviving rows — filtered-out tuples are never
   // materialized. Stats are recorded exactly as ScanUnit would; the chunks_*
   // accounting mirrors the row skipping path (ExecFilterRowSkip) so row and
-  // vectorized stats stay bit-identical.
+  // vectorized stats stay bit-identical. The chunk loop is morsel-ranged:
+  // chunk-aligned sub-ranges of the slice run as stealable tasks, each with
+  // its own kernel context and stats shard, concatenated in range order.
   auto scan_unit_filtered = [&](const TableStore& store, Oid table_oid,
                                 Oid unit_oid) -> Status {
     const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
-    ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
-    stats.partitions_scanned[table_oid].insert(unit_oid);
-    stats.tuples_scanned += rows.size();
+    ExecStats& seg_stats = seg_stats_[static_cast<size_t>(segment)];
+    seg_stats.partitions_scanned[table_oid].insert(unit_oid);
+    seg_stats.tuples_scanned += rows.size();
     if (rows.empty()) return Status::OK();
     const SliceSynopsis* synopsis = nullptr;
     if (options_.data_skipping) {
-      stats.chunks_total +=
+      seg_stats.chunks_total +=
           (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
       if (can_prune || !join_filters.empty()) {
         // A shed synopsis rebuild (budget pressure) returns null: the slice
-        // scans unskipped, exactly like the row path.
+        // scans unskipped, exactly like the row path. Acquired here, in the
+        // spawning task (the lazy rebuild is owner-confined); morsel bodies
+        // only read it.
         synopsis = AcquireSynopsis(store, unit_oid, segment);
         if (synopsis != nullptr) {
           MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
           if (can_prune && SynopsisCanSkip(compiled, synopsis->rollup)) {
-            ++stats.units_skipped;
-            stats.chunks_skipped += synopsis->chunks.size();
+            ++seg_stats.units_skipped;
+            seg_stats.chunks_skipped += synopsis->chunks.size();
             return Status::OK();
           }
         }
       }
     }
-    for (size_t base = 0; base < rows.size(); base += ctx.chunk_capacity()) {
-      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
-      size_t end = std::min(rows.size(), base + ctx.chunk_capacity());
-      if (synopsis != nullptr) {
-        const ChunkSynopsis& chunk = synopsis->chunks[base / TableStore::kChunkRows];
-        // Predicate-driven skips run first so chunks_skipped is identical
-        // with join filters on or off.
-        if (can_prune && SynopsisCanSkip(compiled, chunk)) {
-          ++stats.chunks_skipped;
-          continue;
+    auto body = [this, segment, &rows, &join_filters, &join_filter_chunk_skip,
+                 &program, &compiled, can_prune,
+                 synopsis](size_t begin, size_t end, ExecStats* stats,
+                           std::vector<Row>* mout) -> Status {
+      // TableStore::kChunkRows == KernelContext::kDefaultChunkRows
+      // (static_assert in data_skipping.cc), so batch boundaries land
+      // exactly on synopsis chunk boundaries and a skipped chunk is a
+      // skipped batch.
+      KernelContext ctx;
+      ctx.Prepare(program, TableStore::kChunkRows);
+      SelVec sel, keep;
+      for (size_t base = begin; base < end; base += TableStore::kChunkRows) {
+        MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
+        const size_t chunk_end = std::min(end, base + TableStore::kChunkRows);
+        if (synopsis != nullptr) {
+          const ChunkSynopsis& chunk =
+              synopsis->chunks[base / TableStore::kChunkRows];
+          // Predicate-driven skips run first so chunks_skipped is identical
+          // with join filters on or off.
+          if (can_prune && SynopsisCanSkip(compiled, chunk)) {
+            ++stats->chunks_skipped;
+            continue;
+          }
+          if (join_filter_chunk_skip(chunk, *stats)) continue;
         }
-        if (join_filter_chunk_skip(chunk, stats)) continue;
+        IdentitySel(base, chunk_end, &sel);
+        MPPDB_RETURN_IF_ERROR(
+            EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
+        ProbeJoinFiltersVec(rows, join_filters, stats, &keep);
+        for (uint32_t r : keep) mout->push_back(rows[r]);
       }
-      IdentitySel(base, end, &sel);
-      MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(program, &ctx, rows, base, sel, &keep));
-      ProbeJoinFiltersVec(rows, join_filters, segment, &keep);
-      for (uint32_t r : keep) out.push_back(rows[r]);
-    }
-    return Status::OK();
+      return Status::OK();
+    };
+    return RunMorselScan(segment, rows.size(), body, &out);
   };
 
   MPPDB_RETURN_IF_ERROR(ForEachScanUnit(frag, segment, scan_unit_filtered));
@@ -304,17 +329,33 @@ Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
   // PartitionSelector placement relies on.
   MPPDB_ASSIGN_OR_RETURN(std::vector<Row> build_rows, ExecNode(node.child(0), segment));
   ColumnLayout build_layout = node.child(0)->OutputLayout();
-  // Same charge formula and charge/publish order as the row path's build
-  // table, so budget outcomes are path-independent: mandatory table first,
-  // advisory summary second (the one that sheds under pressure).
-  MPPDB_RETURN_IF_ERROR(ChargeBudget(
-      segment, ApproxRowsBytes(build_rows.size(), build_layout.ids().size()),
-      "hash join build table"));
-  // Publish this segment's build-key summary before the probe child runs,
-  // exactly as the row path does.
-  MPPDB_RETURN_IF_ERROR(
-      PublishLocalJoinFilters(node, build_layout, build_rows, segment));
-  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> probe_rows, ExecNode(node.child(1), segment));
+  // One-shot effects guard, as in the row path: a probe-side Motion
+  // suspension must not re-charge the budget or re-publish the filter.
+  const bool effects_pending =
+      !parallel_run_ ||
+      seg_run_[static_cast<size_t>(segment)].effects_done.erase(&node) == 0;
+  if (effects_pending) {
+    // Same charge formula and charge/publish order as the row path's build
+    // table, so budget outcomes are path-independent: mandatory table first,
+    // advisory summary second (the one that sheds under pressure).
+    MPPDB_RETURN_IF_ERROR(ChargeBudget(
+        segment, ApproxRowsBytes(build_rows.size(), build_layout.ids().size()),
+        "hash join build table"));
+    // Publish this segment's build-key summary before the probe child runs,
+    // exactly as the row path does.
+    MPPDB_RETURN_IF_ERROR(
+        PublishLocalJoinFilters(node, build_layout, build_rows, segment));
+  }
+  Result<std::vector<Row>> probe_result = ExecNode(node.child(1), segment);
+  if (!probe_result.ok()) {
+    if (parallel_run_ && IsSuspendedStatus(probe_result.status())) {
+      SegmentRunState& memo = seg_run_[static_cast<size_t>(segment)];
+      memo.cache[node.child(0).get()] = std::move(build_rows);
+      memo.effects_done.insert(&node);
+    }
+    return probe_result.status();
+  }
+  std::vector<Row> probe_rows = std::move(probe_result).value();
 
   ColumnLayout probe_layout = node.child(1)->OutputLayout();
   MPPDB_ASSIGN_OR_RETURN(std::vector<int> build_pos,

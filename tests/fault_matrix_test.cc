@@ -1,7 +1,10 @@
 // Fault-matrix property test: random SQL queries over a partitioned star
 // schema, executed under every named fault point × fault kind ×
-// {serial, parallel} × {row, vectorized}, with query-level transient retries
-// enabled. The contract for every cell of the matrix:
+// {serial, parallel} × {row, vectorized} — plus a morsel-scheduler mode with
+// the pool (4 workers) wider than the segment count (3), so faults fire
+// across Motion suspension/resume and continuation rescheduling — with
+// query-level transient retries enabled. The contract for every cell of the
+// matrix:
 //
 //   - success means BIT-IDENTICAL rows and ExecStats to the fault-free
 //     serial row-at-a-time oracle (a cured transient retry leaves no trace);
@@ -38,7 +41,11 @@ class FaultMatrixTest : public ::testing::Test {
         db_parallel_(3, Executor::Options{.parallel = true}),
         db_vectorized_(3, Executor::Options{.vectorized = true}),
         db_parallel_vec_(3,
-                         Executor::Options{.parallel = true, .vectorized = true}) {
+                         Executor::Options{.parallel = true, .vectorized = true}),
+        db_parallel_morsel_(3, Executor::Options{.parallel = true,
+                                                 .max_workers = 4,
+                                                 .morsel_rows = 1024,
+                                                 .vectorized = true}) {
     Random rng(20260807);
     std::vector<Row> fact_rows;
     for (int i = 0; i < 500; ++i) {
@@ -69,7 +76,8 @@ class FaultMatrixTest : public ::testing::Test {
   }
 
   std::vector<Database*> AllModes() {
-    return {&db_, &db_parallel_, &db_vectorized_, &db_parallel_vec_};
+    return {&db_, &db_parallel_, &db_vectorized_, &db_parallel_vec_,
+            &db_parallel_morsel_};
   }
 
   std::string RandomPredicate(Random* rng) {
@@ -120,6 +128,7 @@ class FaultMatrixTest : public ::testing::Test {
   Database db_parallel_;
   Database db_vectorized_;
   Database db_parallel_vec_;
+  Database db_parallel_morsel_;
 };
 
 TEST_F(FaultMatrixTest, EveryFaultPointInEveryModeIsIdenticalOrTyped) {

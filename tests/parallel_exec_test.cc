@@ -1,6 +1,7 @@
 // Parallel segment execution: determinism against the serial oracle across
-// the TPC-DS-style workload, the serial fallback, abort propagation on
-// segment failure, and executor reusability after failed executions.
+// the TPC-DS-style workload, worker-count independence (pools smaller than
+// the segment count), abort propagation on segment failure, and executor
+// reusability after failed executions.
 
 #include <gtest/gtest.h>
 
@@ -72,27 +73,39 @@ TEST(ParallelDeterminismTest, TpchQueriesMatchSerialAt8Segments) {
   }
 }
 
-// A max_workers cap below num_segments cannot satisfy the one-worker-per-
-// segment barrier requirement, so the executor falls back to serial — and
-// still produces correct results.
-TEST(ParallelExecTest, MaxWorkersBelowSegmentsFallsBackToSerial) {
-  TestDb db(4);
-  const TableDescriptor* t =
-      db.CreatePlainTable("t", Schema({{"k", TypeId::kInt64}}), {0});
-  std::vector<Row> rows;
-  for (int64_t i = 0; i < 40; ++i) rows.push_back({Datum::Int64(i)});
-  db.Insert(t, rows);
+// Morsel scheduling decouples segments from threads: a pool capped below
+// num_segments (even a single worker) still runs the plan in parallel mode —
+// Motion arrival is a counter bumped by suspending tasks, not a blocked
+// thread — and matches the serial oracle row for row. The old executor
+// silently fell back to serial here; that fallback is gone.
+TEST(ParallelExecTest, PoolSmallerThanSegmentCountStillRunsParallel) {
+  for (int max_workers : {1, 2, 3}) {
+    TestDb db(4);
+    const TableDescriptor* t =
+        db.CreatePlainTable("t", Schema({{"k", TypeId::kInt64}}), {0});
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < 40; ++i) rows.push_back({Datum::Int64(i)});
+    db.Insert(t, rows);
 
-  Executor capped(&db.catalog, &db.storage,
-                  Executor::Options{.parallel = true, .max_workers = 2});
-  auto scan = std::make_shared<TableScanNode>(t->oid, t->oid,
-                                              std::vector<ColRefId>{1});
-  auto gather = std::make_shared<MotionNode>(MotionKind::kGather,
-                                             std::vector<ColRefId>{}, scan);
-  auto result = capped.Execute(gather);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->size(), 40u);
-  EXPECT_EQ(capped.stats().tuples_scanned, 40u);
+    auto make_plan = [&]() {
+      auto scan = std::make_shared<TableScanNode>(t->oid, t->oid,
+                                                  std::vector<ColRefId>{1});
+      return std::make_shared<MotionNode>(MotionKind::kGather,
+                                          std::vector<ColRefId>{}, scan);
+    };
+    Executor serial(&db.catalog, &db.storage, Executor::Options{});
+    auto oracle = serial.Execute(make_plan());
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+    Executor capped(&db.catalog, &db.storage,
+                    Executor::Options{.parallel = true, .max_workers = max_workers});
+    auto result = capped.Execute(make_plan());
+    ASSERT_TRUE(result.ok()) << "max_workers=" << max_workers << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(*result == *oracle) << "max_workers=" << max_workers;
+    EXPECT_EQ(capped.stats().tuples_scanned, 40u);
+    EXPECT_TRUE(capped.stats() == serial.stats()) << "max_workers=" << max_workers;
+  }
 }
 
 // A failure on one segment only (data-dependent division by zero on the

@@ -10,9 +10,11 @@
 
 #include <chrono>
 #include <memory>
+#include <random>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "exec/executor.h"
 #include "exec/plan.h"
 #include "expr/expr.h"
@@ -315,6 +317,111 @@ TEST(ParallelStressTest, JoinFilterPublicationRacesParallelProbeScans) {
           << "iter " << iteration << " vectorized=" << vectorized;
       ASSERT_TRUE(parallel.stats() == oracle_stats)
           << "iter " << iteration << " vectorized=" << vectorized;
+    }
+  }
+}
+
+// Morsel dispatch stress: per-segment slices big enough to decompose into
+// many morsels, executed across random morsel granularities (including sizes
+// that are not chunk multiples, exercising the round-up) and random pool
+// sizes — pools smaller than the segment count force every Motion
+// suspension/resume path, and single-digit morsel sizes on a shared deque
+// force steals. Every combination must reproduce the serial oracle's rows
+// and stats bit for bit, in both the row and vectorized paths. Runs under
+// the tsan_parallel_stress gate with the rest of this target.
+TEST(ParallelStressTest, MorselDispatchRandomGranularitiesAndPoolSizes) {
+  TestDb db(4);
+  const TableDescriptor* t = db.CreatePlainTable(
+      "t", Schema({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}), {0});
+  std::vector<Row> rows;
+  // ~6000 rows per segment: several chunks per slice even at the auto morsel
+  // size, dozens at the minimum.
+  for (int64_t i = 0; i < 24000; ++i) {
+    rows.push_back({Datum::Int64(i), Datum::Int64(i % 97)});
+  }
+  db.Insert(t, rows);
+
+  // Filter (sargable on k, plus a residual on v) over the scan, redistributed
+  // and gathered: morsel-ranged scans feed a Motion rendezvous.
+  auto make_plan = [&]() -> PhysPtr {
+    auto scan = std::make_shared<TableScanNode>(t->oid, t->oid,
+                                                std::vector<ColRefId>{1, 2});
+    ExprPtr pred = MakeComparison(
+        CompareOp::kLt, MakeColumnRef(1, "k", TypeId::kInt64),
+        MakeConst(Datum::Int64(20000)));
+    auto filter = std::make_shared<FilterNode>(pred, scan);
+    auto redist = std::make_shared<MotionNode>(MotionKind::kRedistribute,
+                                               std::vector<ColRefId>{2}, filter);
+    return std::make_shared<MotionNode>(MotionKind::kGather,
+                                        std::vector<ColRefId>{}, redist);
+  };
+  PhysPtr plan = make_plan();
+
+  auto oracle = db.executor.Execute(plan);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_EQ(oracle->size(), 20000u);
+  ExecStats oracle_stats = db.executor.stats();
+
+  std::mt19937 rng(20260809);
+  for (const bool vectorized : {false, true}) {
+    for (int iteration = 0; iteration < 10; ++iteration) {
+      const int max_workers = 1 + static_cast<int>(rng() % 4);
+      // Random granularity in [1, 3000]: mostly unaligned, rounded up to a
+      // chunk multiple internally; small values mean many morsels per slice.
+      const size_t morsel_rows = 1 + rng() % 3000;
+      const bool morsels = iteration % 5 != 4;  // sprinkle morsels-off runs
+      Executor parallel(&db.catalog, &db.storage,
+                        Executor::Options{.parallel = true,
+                                          .max_workers = max_workers,
+                                          .morsels = morsels,
+                                          .morsel_rows = morsel_rows,
+                                          .vectorized = vectorized});
+      auto result = parallel.Execute(plan);
+      ASSERT_TRUE(result.ok())
+          << "vec=" << vectorized << " workers=" << max_workers
+          << " morsel_rows=" << morsel_rows << ": " << result.status().ToString();
+      ASSERT_TRUE(*result == *oracle)
+          << "vec=" << vectorized << " workers=" << max_workers
+          << " morsel_rows=" << morsel_rows;
+      ASSERT_TRUE(parallel.stats() == oracle_stats)
+          << "vec=" << vectorized << " workers=" << max_workers
+          << " morsel_rows=" << morsel_rows;
+    }
+  }
+
+  // Fault sweep through actual morsel splits: with dozens of morsels per
+  // slice racing on a 4-worker pool, an injected storage.scan_chunk or
+  // motion fault must still yield either the oracle result (fault never
+  // drew) or a clean typed error, and the executor must be whole for the
+  // next iteration. Which morsel draws the fault is scheduling-dependent by
+  // design; the outcome contract is not.
+  Executor faulty(&db.catalog, &db.storage,
+                  Executor::Options{.parallel = true,
+                                    .max_workers = 4,
+                                    .morsel_rows = 1024,
+                                    .vectorized = true});
+  for (const char* point : {"storage.scan_chunk", "motion.send", "motion.recv"}) {
+    for (int iteration = 0; iteration < 6; ++iteration) {
+      FaultInjector injector(static_cast<uint64_t>(iteration) * 7919 + 13);
+      FaultSpec spec;
+      spec.kind = FaultKind::kFatal;
+      spec.probability = 0.4;
+      spec.skip_first = iteration * 3;
+      injector.Arm(point, spec);
+      QueryContext ctx;
+      ctx.set_fault_injector(&injector);
+      auto result = faulty.Execute(plan, &ctx);
+      if (result.ok()) {
+        ASSERT_TRUE(*result == *oracle) << point << " iter " << iteration;
+        ASSERT_TRUE(faulty.stats() == oracle_stats) << point << " iter " << iteration;
+      } else {
+        ASSERT_EQ(result.status().code(), StatusCode::kInternal)
+            << point << " iter " << iteration << ": " << result.status().ToString();
+      }
+      auto retry = faulty.Execute(plan);
+      ASSERT_TRUE(retry.ok()) << point << " iter " << iteration << ": "
+                              << retry.status().ToString();
+      ASSERT_TRUE(*retry == *oracle) << point << " iter " << iteration;
     }
   }
 }

@@ -10,12 +10,15 @@
 // query results, only the partitions touched.
 //
 // Each query additionally runs through the executor-mode matrix
-// {serial, parallel} x {row-at-a-time, vectorized} x {data skipping on, off},
-// asserting bit-identical rows and ExecStats against the serial row-at-a-time
-// oracle (zone-map skip counters are zeroed before comparing on-vs-off, since
-// those are exactly what skipping is allowed to change), plus a runtime
-// join-filter on/off toggle whose only allowed stats difference is the
-// joinfilter_* counter family.
+// {serial, parallel} x {row-at-a-time, vectorized} x {data skipping on, off}
+// x {morsels on, off, fine-grained} — the morsel legs use a 4-worker pool
+// above the 3 segments, and the fine-grained leg forces 1024-row morsels so
+// steals and per-morsel stat shards are exercised — asserting bit-identical
+// rows and ExecStats against the serial row-at-a-time oracle (zone-map skip
+// counters are zeroed before comparing on-vs-off, since those are exactly
+// what skipping is allowed to change), plus a runtime join-filter on/off
+// toggle whose only allowed stats difference is the joinfilter_* counter
+// family.
 
 #include <gtest/gtest.h>
 
@@ -44,7 +47,14 @@ class RandomQueryTest : public ::testing::Test {
                                             .data_skipping = false}),
         db_noskip_parallel_vec_(3, Executor::Options{.parallel = true,
                                                      .vectorized = true,
-                                                     .data_skipping = false}) {
+                                                     .data_skipping = false}),
+        db_parallel_nomorsel_(3, Executor::Options{.parallel = true,
+                                                   .max_workers = 4,
+                                                   .morsels = false}),
+        db_parallel_fine_(3, Executor::Options{.parallel = true,
+                                               .max_workers = 4,
+                                               .morsel_rows = 1024,
+                                               .vectorized = true}) {
     Random rng(4242);
     std::vector<Row> fact_rows;
     for (int i = 0; i < 600; ++i) {
@@ -82,7 +92,8 @@ class RandomQueryTest : public ::testing::Test {
   std::vector<Database*> AllModes() {
     return {&db_,        &db_parallel_,    &db_vectorized_,
             &db_parallel_vec_, &db_noskip_, &db_noskip_vec_,
-            &db_noskip_parallel_vec_};
+            &db_noskip_parallel_vec_, &db_parallel_nomorsel_,
+            &db_parallel_fine_};
   }
 
   // Random predicate over the given column names (int-typed).
@@ -124,10 +135,12 @@ class RandomQueryTest : public ::testing::Test {
     auto reference = db_.Run(sql, reference_options);
     ASSERT_TRUE(reference.ok()) << sql << "\n" << reference.status().ToString();
 
-    // Executor-mode matrix: {serial, parallel} x {row, vectorized} must be
-    // bit-identical — same rows in the same order, same ExecStats — with the
-    // serial row-at-a-time mode as the oracle.
-    for (Database* db : {&db_parallel_, &db_vectorized_, &db_parallel_vec_}) {
+    // Executor-mode matrix: {serial, parallel} x {row, vectorized} x
+    // {morsels on, off, fine-grained} must be bit-identical — same rows in
+    // the same order, same ExecStats — with the serial row-at-a-time mode as
+    // the oracle.
+    for (Database* db : {&db_parallel_, &db_vectorized_, &db_parallel_vec_,
+                         &db_parallel_nomorsel_, &db_parallel_fine_}) {
       auto mode_result = db->Run(sql, reference_options);
       ASSERT_TRUE(mode_result.ok())
           << sql << "\n" << mode_result.status().ToString();
@@ -207,6 +220,8 @@ class RandomQueryTest : public ::testing::Test {
   Database db_noskip_;
   Database db_noskip_vec_;
   Database db_noskip_parallel_vec_;
+  Database db_parallel_nomorsel_;
+  Database db_parallel_fine_;
 };
 
 TEST_F(RandomQueryTest, SingleTableFilters) {
