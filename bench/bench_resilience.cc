@@ -102,13 +102,6 @@ void ArmContext(QueryContext* ctx, FaultInjector* injector) {
   ctx->set_fault_injector(injector);
 }
 
-double Percentile(std::vector<double> sorted, double p) {
-  MPPDB_CHECK(!sorted.empty());
-  const size_t idx = std::min(
-      sorted.size() - 1, static_cast<size_t>(p * static_cast<double>(sorted.size())));
-  return sorted[idx];
-}
-
 int RunBenchmark(bool smoke) {
   const BenchSizes sizes = smoke ? SmokeSizes() : BenchSizes{};
   std::vector<benchutil::BenchJsonEntry> entries;
@@ -265,8 +258,10 @@ int RunBenchmark(bool smoke) {
       ++cancelled_runs;
     }
     std::sort(latencies.begin(), latencies.end());
-    const double p50 = latencies.empty() ? 0 : Percentile(latencies, 0.5);
-    const double p99 = latencies.empty() ? 0 : Percentile(latencies, 0.99);
+    const double p50 =
+        latencies.empty() ? 0 : benchutil::PercentileSorted(latencies, 0.5);
+    const double p99 =
+        latencies.empty() ? 0 : benchutil::PercentileSorted(latencies, 0.99);
     std::printf("query %.2f ms; %zu/%d cancelled mid-run; latency p50 %.3f ms, "
                 "p99 %.3f ms\n",
                 full_ms, cancelled_runs, sizes.cancel_samples, p50, p99);

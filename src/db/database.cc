@@ -1,5 +1,6 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -12,14 +13,34 @@ namespace mppdb {
 Result<Oid> Database::CreateTable(const std::string& name, Schema schema,
                                   TableDistribution distribution,
                                   std::vector<int> distribution_columns) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return CreateTableLocked(name, std::move(schema), distribution,
+                           std::move(distribution_columns));
+}
+
+Result<Oid> Database::CreatePartitionedTable(
+    const std::string& name, Schema schema, TableDistribution distribution,
+    std::vector<int> distribution_columns, std::vector<PartitionLevelDesc> level_descs,
+    const std::vector<std::vector<PartitionBound>>& bounds_per_level) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return CreatePartitionedTableLocked(name, std::move(schema), distribution,
+                                      std::move(distribution_columns),
+                                      std::move(level_descs), bounds_per_level);
+}
+
+Result<Oid> Database::CreateTableLocked(const std::string& name, Schema schema,
+                                        TableDistribution distribution,
+                                        std::vector<int> distribution_columns) {
   MPPDB_ASSIGN_OR_RETURN(Oid oid,
                          catalog_.CreateTable(name, std::move(schema), distribution,
                                               std::move(distribution_columns)));
   MPPDB_RETURN_IF_ERROR(storage_.CreateStorage(catalog_.FindTable(oid)));
+  // A name reused after DROP must not resurrect plans against the old oid.
+  plan_cache_.InvalidateTable(name);
   return oid;
 }
 
-Result<Oid> Database::CreatePartitionedTable(
+Result<Oid> Database::CreatePartitionedTableLocked(
     const std::string& name, Schema schema, TableDistribution distribution,
     std::vector<int> distribution_columns, std::vector<PartitionLevelDesc> level_descs,
     const std::vector<std::vector<PartitionBound>>& bounds_per_level) {
@@ -29,18 +50,15 @@ Result<Oid> Database::CreatePartitionedTable(
                                                std::move(level_descs),
                                                bounds_per_level));
   MPPDB_RETURN_IF_ERROR(storage_.CreateStorage(catalog_.FindTable(oid)));
+  plan_cache_.InvalidateTable(name);
   return oid;
 }
 
 Status Database::Load(const std::string& table, const std::vector<Row>& rows) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   const TableDescriptor* desc = catalog_.FindTable(table);
   if (desc == nullptr) return Status::NotFound("table '" + table + "' does not exist");
   return storage_.GetStore(desc->oid)->InsertBatch(rows);
-}
-
-Result<BoundStatement> Database::BindSql(const std::string& sql) {
-  Binder binder(&catalog_);
-  return binder.BindSql(sql);
 }
 
 namespace {
@@ -134,6 +152,72 @@ PhysPtr RewritePlanExprs(const PhysPtr& node,
   }
 }
 
+// Collects the distinct catalog (root) table oids a plan touches, for plan-
+// cache invalidation. Partition-level oids resolve to no catalog root and are
+// skipped; every scan over a partitioned table also carries the root oid
+// through its DynamicScan/CheckedPartScan/PartitionSelector nodes.
+void CollectPlanOids(const PhysPtr& node, std::vector<Oid>* out) {
+  Oid oid = kInvalidOid;
+  switch (node->kind()) {
+    case PhysNodeKind::kTableScan:
+      oid = static_cast<const TableScanNode&>(*node).table_oid();
+      break;
+    case PhysNodeKind::kCheckedPartScan:
+      oid = static_cast<const CheckedPartScanNode&>(*node).table_oid();
+      break;
+    case PhysNodeKind::kDynamicScan:
+      oid = static_cast<const DynamicScanNode&>(*node).table_oid();
+      break;
+    case PhysNodeKind::kPartitionSelector:
+      oid = static_cast<const PartitionSelectorNode&>(*node).table_oid();
+      break;
+    case PhysNodeKind::kIndexNLJoin:
+      oid = static_cast<const IndexNLJoinNode&>(*node).inner_table();
+      break;
+    case PhysNodeKind::kInsert:
+      oid = static_cast<const InsertNode&>(*node).table_oid();
+      break;
+    case PhysNodeKind::kUpdate:
+      oid = static_cast<const UpdateNode&>(*node).table_oid();
+      break;
+    case PhysNodeKind::kDelete:
+      oid = static_cast<const DeleteNode&>(*node).table_oid();
+      break;
+    default:
+      break;
+  }
+  if (oid != kInvalidOid) out->push_back(oid);
+  for (const PhysPtr& child : node->children()) CollectPlanOids(child, out);
+}
+
+std::vector<std::string> CollectPlanTables(const PhysPtr& plan, const Catalog& catalog) {
+  std::vector<Oid> oids;
+  if (plan != nullptr) CollectPlanOids(plan, &oids);
+  std::vector<std::string> names;
+  for (Oid oid : oids) {
+    const TableDescriptor* desc = catalog.FindTable(oid);
+    if (desc == nullptr) continue;
+    if (std::find(names.begin(), names.end(), desc->name) == names.end()) {
+      names.push_back(desc->name);
+    }
+  }
+  return names;
+}
+
+// Planning-relevant option fingerprint appended to the plan-cache key: the
+// same normalized text planned under a different optimizer or alternative
+// toggles is a different plan.
+std::string CacheKeySuffix(const QueryOptions& options) {
+  std::string suffix = "\n|opt=";
+  suffix += options.optimizer == OptimizerKind::kCascades ? 'C' : 'L';
+  suffix += options.enable_partition_selection ? '1' : '0';
+  suffix += options.enable_dynamic_elimination ? '1' : '0';
+  suffix += options.enable_two_phase_agg ? '1' : '0';
+  suffix += options.enable_index_join ? '1' : '0';
+  suffix += options.enable_join_filters ? '1' : '0';
+  return suffix;
+}
+
 }  // namespace
 
 Result<PhysPtr> BindPlanParams(const PhysPtr& plan, const std::vector<Datum>& params) {
@@ -165,7 +249,9 @@ Result<PhysPtr> Database::PlanStatement(const BoundStatement& stmt,
 }
 
 Result<PhysPtr> Database::PlanSql(const std::string& sql, const QueryOptions& options) {
-  MPPDB_ASSIGN_OR_RETURN(BoundStatement stmt, BindSql(sql));
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  Binder binder(&catalog_);
+  MPPDB_ASSIGN_OR_RETURN(BoundStatement stmt, binder.BindSql(sql));
   return PlanStatement(stmt, options);
 }
 
@@ -219,6 +305,8 @@ Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
     const TableDescriptor* table = catalog_.FindTable(index.table);
     MPPDB_RETURN_IF_ERROR(storage_.GetStore(table->oid)->CreateIndex(
         table->schema.FindColumn(index.column)));
+    // A new index changes which plan is optimal for the table's statements.
+    plan_cache_.InvalidateTable(index.table);
     result.rows = {{Datum::String("CREATE INDEX")}};
     return result;
   }
@@ -231,6 +319,7 @@ Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
     Oid oid = table->oid;
     MPPDB_RETURN_IF_ERROR(catalog_.DropTable(parsed.drop_table->table));
     MPPDB_RETURN_IF_ERROR(storage_.DropStorage(oid));
+    plan_cache_.InvalidateTable(parsed.drop_table->table);
     result.rows = {{Datum::String("DROP TABLE")}};
     return result;
   }
@@ -265,8 +354,8 @@ Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
 
   if (create.partition_levels.empty()) {
     MPPDB_RETURN_IF_ERROR(
-        CreateTable(create.table, std::move(schema), distribution,
-                    std::move(distribution_columns))
+        CreateTableLocked(create.table, std::move(schema), distribution,
+                          std::move(distribution_columns))
             .status());
     result.rows = {{Datum::String("CREATE TABLE")}};
     return result;
@@ -317,11 +406,11 @@ Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
     }
     bounds_per_level.push_back(std::move(bounds));
   }
-  MPPDB_RETURN_IF_ERROR(CreatePartitionedTable(create.table, std::move(schema),
-                                               distribution,
-                                               std::move(distribution_columns),
-                                               std::move(level_descs),
-                                               bounds_per_level)
+  MPPDB_RETURN_IF_ERROR(CreatePartitionedTableLocked(create.table, std::move(schema),
+                                                     distribution,
+                                                     std::move(distribution_columns),
+                                                     std::move(level_descs),
+                                                     bounds_per_level)
                             .status());
   result.rows = {{Datum::String("CREATE TABLE")}};
   return result;
@@ -343,8 +432,14 @@ bool PlanHasDml(const PhysPtr& node) {
 
 }  // namespace
 
-Result<std::vector<Row>> Database::ExecuteWithContext(const PhysPtr& plan,
-                                                      const QueryOptions& options) {
+Result<QueryResult> Database::ExecuteWithContext(const PhysPtr& plan,
+                                                 const QueryOptions& options) {
+  // Per-call executor: Run/Execute stay safe under concurrent callers because
+  // nothing per-run is shared — only the scheduler pool, which is built for
+  // concurrent task groups.
+  Executor executor(&catalog_, &storage_, exec_options_);
+  if (scheduler_ != nullptr) executor.SetScheduler(scheduler_.get());
+
   auto ctx = std::make_shared<QueryContext>();
   if (options.timeout_ms > 0) {
     ctx->SetTimeout(std::chrono::milliseconds(options.timeout_ms));
@@ -362,7 +457,7 @@ Result<std::vector<Row>> Database::ExecuteWithContext(const PhysPtr& plan,
   // the apply phase must not apply the writes twice. Cancellation, deadline
   // expiry, and budget exhaustion are deliberate verdicts, never retried.
   const bool retriable_plan = !PlanHasDml(plan);
-  Result<std::vector<Row>> rows = executor_.Execute(plan, ctx.get());
+  Result<std::vector<Row>> rows = executor.Execute(plan, ctx.get());
   for (int attempt = 0; !rows.ok() && rows.status().IsRetriable() &&
                         retriable_plan && attempt < options.max_transient_retries;
        ++attempt) {
@@ -370,7 +465,7 @@ Result<std::vector<Row>> Database::ExecuteWithContext(const PhysPtr& plan,
       std::this_thread::sleep_for(
           std::chrono::milliseconds(options.retry_backoff_ms << attempt));
     }
-    rows = executor_.Execute(plan, ctx.get());
+    rows = executor.Execute(plan, ctx.get());
   }
   if (options.query_id != 0) {
     std::lock_guard<std::mutex> lock(query_mu_);
@@ -378,7 +473,11 @@ Result<std::vector<Row>> Database::ExecuteWithContext(const PhysPtr& plan,
     // Guard against a reused id registered by a newer statement.
     if (it != active_queries_.end() && it->second == ctx) active_queries_.erase(it);
   }
-  return rows;
+  MPPDB_RETURN_IF_ERROR(rows.status());
+  QueryResult result;
+  result.rows = std::move(rows).value();
+  result.stats = executor.stats();
+  return result;
 }
 
 bool Database::Cancel(uint64_t query_id) {
@@ -395,13 +494,92 @@ bool Database::Cancel(uint64_t query_id) {
   return true;
 }
 
-Result<QueryResult> Database::Run(const std::string& sql, const QueryOptions& options) {
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const QueryOptions& options) {
+  if (options.use_plan_cache) {
+    Result<NormalizedSql> normalized = NormalizeSql(sql);
+    if (normalized.ok() && normalized->cacheable) {
+      return ExecuteCacheable(*normalized, options);
+    }
+    // Normalization failures fall through: the fresh parser owns the error
+    // message for malformed SQL.
+  }
+  return ExecuteFresh(sql, options);
+}
+
+Result<QueryResult> Database::ExecuteCacheable(const NormalizedSql& normalized,
+                                               const QueryOptions& options) {
+  // When the normalizer lifted the literals itself, its extracted values are
+  // the parameters; otherwise the statement already used $n and the caller's
+  // QueryOptions::params apply.
+  const std::vector<Datum>& values =
+      normalized.auto_params ? normalized.params : options.params;
+  const std::string key = normalized.text + CacheKeySuffix(options);
+
+  // Shared lock before the cache lookup: DDL invalidates under the exclusive
+  // lock, so an entry observed here stays consistent with the catalog for
+  // the whole execution.
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  std::shared_ptr<const CachedPlan> entry = plan_cache_.Lookup(key);
+  const bool hit = entry != nullptr;
+  if (!hit) {
+    // Miss: plan the *normalized* text once, with $n placeholders intact, so
+    // the published plan is value-independent (the paper's prepared-statement
+    // contract — PartitionSelectors evaluate the parameters at run time).
+    MPPDB_ASSIGN_OR_RETURN(sql_ast::Statement parsed,
+                           ParseStatement(normalized.text));
+    Binder binder(&catalog_);
+    MPPDB_ASSIGN_OR_RETURN(BoundStatement stmt, binder.Bind(parsed));
+    MPPDB_ASSIGN_OR_RETURN(PhysPtr plan, PlanStatement(stmt, options));
+    auto cached = std::make_shared<CachedPlan>();
+    cached->plan = std::move(plan);
+    cached->columns = stmt.output_names;
+    cached->params = AnalyzePlanParams(cached->plan);
+    cached->table_names = CollectPlanTables(cached->plan, catalog_);
+    if (cached->params.invariant && !stmt.explain) {
+      plan_cache_.Insert(key, cached);
+    }
+    entry = std::move(cached);
+  }
+
+  // Rebind this call's values into a private copy of the plan (validating
+  // arity and coercing strings where the plan expects dates), then execute.
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Datum> coerced,
+                         CoerceParamValues(entry->params, values));
+  PhysPtr bound = entry->plan;
+  if (!coerced.empty()) {
+    MPPDB_ASSIGN_OR_RETURN(bound, BindPlanParams(entry->plan, coerced));
+  }
+  MPPDB_ASSIGN_OR_RETURN(QueryResult result, ExecuteWithContext(bound, options));
+  result.columns = entry->columns;
+  result.plan = std::move(bound);
+  result.plan_cache_hit = hit;
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteFresh(const std::string& sql,
+                                           const QueryOptions& options) {
   MPPDB_ASSIGN_OR_RETURN(sql_ast::Statement parsed, ParseStatement(sql));
   if (parsed.kind == sql_ast::Statement::Kind::kCreateTable ||
       parsed.kind == sql_ast::Statement::Kind::kDropTable ||
       parsed.kind == sql_ast::Statement::Kind::kCreateIndex) {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
     return RunDdl(parsed);
   }
+  // Writers (DML) take the state lock exclusively: the executor's
+  // single-writer rule, upheld across concurrent statements. Reads (SELECT,
+  // EXPLAIN) share it.
+  const bool writes = parsed.kind == sql_ast::Statement::Kind::kInsert ||
+                      parsed.kind == sql_ast::Statement::Kind::kUpdate ||
+                      parsed.kind == sql_ast::Statement::Kind::kDelete;
+  std::shared_lock<std::shared_mutex> read_lock(state_mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> write_lock(state_mu_, std::defer_lock);
+  if (writes) {
+    write_lock.lock();
+  } else {
+    read_lock.lock();
+  }
+
   Binder binder(&catalog_);
   MPPDB_ASSIGN_OR_RETURN(BoundStatement stmt, binder.Bind(parsed));
   PhysPtr plan;
@@ -416,31 +594,29 @@ Result<QueryResult> Database::Run(const std::string& sql, const QueryOptions& op
     explained.plan = plan;
     return explained;
   }
-  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteWithContext(plan, options));
-  QueryResult result;
-  result.rows = std::move(rows);
+  MPPDB_ASSIGN_OR_RETURN(QueryResult result, ExecuteWithContext(plan, options));
   result.columns = stmt.output_names;
   result.plan = plan;
-  result.stats = executor_.stats();
   return result;
 }
 
 Result<QueryResult> Database::ExecutePlan(const PhysPtr& plan) {
-  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, executor_.Execute(plan));
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  Executor executor(&catalog_, &storage_, exec_options_);
+  if (scheduler_ != nullptr) executor.SetScheduler(scheduler_.get());
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, executor.Execute(plan));
   QueryResult result;
   result.rows = std::move(rows);
   result.plan = plan;
-  result.stats = executor_.stats();
+  result.stats = executor.stats();
   return result;
 }
 
 Result<QueryResult> Database::ExecutePlan(const PhysPtr& plan,
                                           const QueryOptions& options) {
-  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecuteWithContext(plan, options));
-  QueryResult result;
-  result.rows = std::move(rows);
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  MPPDB_ASSIGN_OR_RETURN(QueryResult result, ExecuteWithContext(plan, options));
   result.plan = plan;
-  result.stats = executor_.stats();
   return result;
 }
 

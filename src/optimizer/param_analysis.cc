@@ -1,0 +1,171 @@
+#include "optimizer/param_analysis.h"
+
+#include "sql/binder.h"
+#include "types/date.h"
+
+namespace mppdb {
+
+namespace {
+
+// Comparison family, mirroring the binder's: string / bool / numeric-and-date.
+int TypeFamily(TypeId t) {
+  if (t == TypeId::kString) return 0;
+  if (t == TypeId::kBool) return 1;
+  return 2;
+}
+
+void NoteParam(int index, std::optional<TypeId> expected, PlanParamAnalysis* out) {
+  if (index < 0) return;
+  if (index + 1 > out->param_count) {
+    out->param_count = index + 1;
+    out->slots.resize(static_cast<size_t>(out->param_count));
+  }
+  ParamSlot& slot = out->slots[static_cast<size_t>(index)];
+  slot.used = true;
+  if (!slot.expected.has_value() && expected.has_value()) slot.expected = expected;
+}
+
+// Marks `expr` (if a parameter) as expecting its context peer's type.
+void ExpectFromPeer(const ExprPtr& expr, const ExprPtr& peer,
+                    PlanParamAnalysis* out) {
+  if (expr == nullptr || expr->kind() != ExprKind::kParam) return;
+  if (peer == nullptr || peer->kind() == ExprKind::kParam) return;
+  NoteParam(static_cast<const ParamExpr&>(*expr).index(), InferExprType(peer), out);
+}
+
+void WalkExpr(const ExprPtr& expr, PlanParamAnalysis* out) {
+  if (expr == nullptr) return;
+  switch (expr->kind()) {
+    case ExprKind::kParam:
+      NoteParam(static_cast<const ParamExpr&>(*expr).index(), std::nullopt, out);
+      return;
+    case ExprKind::kComparison:
+      ExpectFromPeer(expr->child(0), expr->child(1), out);
+      ExpectFromPeer(expr->child(1), expr->child(0), out);
+      break;
+    case ExprKind::kInList: {
+      // Every list item pairs with the probe (and vice versa, against the
+      // first typed item) exactly as the binder's per-item CoercePair does.
+      const ExprPtr& probe = expr->child(0);
+      for (size_t i = 1; i < expr->children().size(); ++i) {
+        ExpectFromPeer(expr->child(i), probe, out);
+        ExpectFromPeer(probe, expr->child(i), out);
+      }
+      break;
+    }
+    case ExprKind::kArith:
+      // Arithmetic requires numeric operands; the binder exempts parameters,
+      // so record the expectation here for the rebind-time check.
+      for (const ExprPtr& child : expr->children()) {
+        if (child != nullptr && child->kind() == ExprKind::kParam) {
+          NoteParam(static_cast<const ParamExpr&>(*child).index(), TypeId::kInt64,
+                    out);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& child : expr->children()) WalkExpr(child, out);
+}
+
+void WalkNode(const PhysPtr& node, PlanParamAnalysis* out) {
+  switch (node->kind()) {
+    case PhysNodeKind::kFilter:
+      WalkExpr(static_cast<const FilterNode&>(*node).predicate(), out);
+      break;
+    case PhysNodeKind::kProject:
+      for (const ProjectItem& item : static_cast<const ProjectNode&>(*node).items()) {
+        WalkExpr(item.expr, out);
+      }
+      break;
+    case PhysNodeKind::kHashJoin:
+      WalkExpr(static_cast<const HashJoinNode&>(*node).residual(), out);
+      break;
+    case PhysNodeKind::kNestedLoopJoin:
+      WalkExpr(static_cast<const NestedLoopJoinNode&>(*node).predicate(), out);
+      break;
+    case PhysNodeKind::kIndexNLJoin:
+      WalkExpr(static_cast<const IndexNLJoinNode&>(*node).residual(), out);
+      break;
+    case PhysNodeKind::kHashAgg:
+      for (const AggItem& item : static_cast<const HashAggNode&>(*node).aggs()) {
+        WalkExpr(item.arg, out);
+      }
+      break;
+    case PhysNodeKind::kPartitionSelector:
+      for (const ExprPtr& pred :
+           static_cast<const PartitionSelectorNode&>(*node).level_predicates()) {
+        WalkExpr(pred, out);
+      }
+      break;
+    case PhysNodeKind::kUpdate:
+      for (const UpdateSetItem& item :
+           static_cast<const UpdateNode&>(*node).set_items()) {
+        WalkExpr(item.value, out);
+      }
+      break;
+    // Kinds that embed no scalar expressions (ValuesNode rows are folded
+    // Datums; Sort keys, Motion hash columns, and IndexNLJoin outer keys are
+    // column ids; Limit counts are plain integers).
+    case PhysNodeKind::kTableScan:
+    case PhysNodeKind::kCheckedPartScan:
+    case PhysNodeKind::kDynamicScan:
+    case PhysNodeKind::kSequence:
+    case PhysNodeKind::kAppend:
+    case PhysNodeKind::kSort:
+    case PhysNodeKind::kLimit:
+    case PhysNodeKind::kMotion:
+    case PhysNodeKind::kValues:
+    case PhysNodeKind::kInsert:
+    case PhysNodeKind::kDelete:
+      break;
+    default:
+      // A node kind this analysis does not know may carry parameters the
+      // rebind rewrite would miss: conservatively uncacheable.
+      out->invariant = false;
+      break;
+  }
+  for (const PhysPtr& child : node->children()) WalkNode(child, out);
+}
+
+}  // namespace
+
+PlanParamAnalysis AnalyzePlanParams(const PhysPtr& plan) {
+  PlanParamAnalysis out;
+  if (plan != nullptr) WalkNode(plan, &out);
+  return out;
+}
+
+Result<std::vector<Datum>> CoerceParamValues(const PlanParamAnalysis& analysis,
+                                             const std::vector<Datum>& values) {
+  if (values.size() < static_cast<size_t>(analysis.param_count)) {
+    return Status::InvalidArgument(
+        "statement needs " + std::to_string(analysis.param_count) +
+        " parameter(s), got " + std::to_string(values.size()));
+  }
+  std::vector<Datum> coerced = values;
+  for (size_t i = 0; i < analysis.slots.size(); ++i) {
+    const ParamSlot& slot = analysis.slots[i];
+    if (!slot.used || !slot.expected.has_value()) continue;
+    Datum& value = coerced[i];
+    if (value.is_null()) continue;
+    if (*slot.expected == TypeId::kDate && value.type() == TypeId::kString) {
+      int32_t days = 0;
+      if (!date::Parse(value.string_value(), &days)) {
+        return Status::BindError("expected a date literal, got '" +
+                                 value.string_value() + "'");
+      }
+      value = Datum::Date(days);
+      continue;
+    }
+    if (TypeFamily(*slot.expected) != TypeFamily(value.type())) {
+      return Status::BindError("cannot bind $" + std::to_string(i + 1) + " of type " +
+                               TypeIdToString(value.type()) + " where " +
+                               TypeIdToString(*slot.expected) + " is expected");
+    }
+  }
+  return coerced;
+}
+
+}  // namespace mppdb

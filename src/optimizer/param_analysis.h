@@ -1,0 +1,59 @@
+#ifndef MPPDB_OPTIMIZER_PARAM_ANALYSIS_H_
+#define MPPDB_OPTIMIZER_PARAM_ANALYSIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "types/datum.h"
+
+namespace mppdb {
+
+/// What one $n slot expects at rebind time, inferred from the contexts the
+/// parameter appears in (comparison peers, IN-list probes, arithmetic and
+/// sum/avg operands).
+struct ParamSlot {
+  /// True once the parameter was seen anywhere in the plan.
+  bool used = false;
+  /// Static type of the strongest typed context peer, when one exists. A
+  /// kDate expectation triggers string-to-date coercion at rebind (mirroring
+  /// the binder's CoerceToDate for inline literals); any other expectation is
+  /// checked by comparison family only.
+  std::optional<TypeId> expected;
+};
+
+/// Result of walking a physical plan for $n parameters.
+///
+/// `invariant` is the cacheability verdict: true iff every parameter sits in
+/// a scalar or partition-selection expression context that plan-parameter
+/// rebinding (BindPlanParams) rewrites — Filter/NLJ predicates, Project
+/// items, join residuals, HashAgg arguments, PartitionSelector level
+/// predicates, Update set items. A parameter anywhere else (or any plan node
+/// kind this analysis does not know) would survive rebinding as an unbound
+/// placeholder, so such plans must not be cached.
+struct PlanParamAnalysis {
+  bool invariant = true;
+  /// 1 + highest parameter index seen (0 when the plan has no parameters).
+  int param_count = 0;
+  /// Per-slot expectations, `param_count` entries.
+  std::vector<ParamSlot> slots;
+};
+
+/// Walks every expression embedded in `plan` (exhaustive over node kinds).
+PlanParamAnalysis AnalyzePlanParams(const PhysPtr& plan);
+
+/// Validates and coerces `values` against `analysis` before substitution:
+///  * arity: at least `param_count` values, else InvalidArgument;
+///  * kDate expectation + string value: parsed to a Date datum (the inline-
+///    literal bind path's CoerceToDate), BindError on a malformed date;
+///  * other typed expectations: comparison-family check (string / bool /
+///    numeric-and-date), BindError on mismatch — the same verdict the binder
+///    gives the equivalent inline literal.
+/// Returns the (possibly coerced) values ready for BindPlanParams.
+Result<std::vector<Datum>> CoerceParamValues(const PlanParamAnalysis& analysis,
+                                             const std::vector<Datum>& values);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_OPTIMIZER_PARAM_ANALYSIS_H_

@@ -27,6 +27,14 @@ namespace mppdb {
 /// Setters (deadline, budget limit, injector) must run before the query
 /// starts. A context is reusable across executions; the executor resets the
 /// budget usage per attempt, and cancellation is sticky until Reset().
+///
+/// In the serving stack (DESIGN.md §11) a context is built per statement by
+/// Database::Execute from its QueryOptions — timeout, memory limit, fault
+/// injector — and registered under QueryOptions::query_id for
+/// Database::Cancel. Concurrent statements therefore never share a context
+/// or a budget: a resource group's memory limit is parceled into each
+/// admitted query's own QueryOptions::memory_limit_bytes by SessionManager,
+/// and group accounting lives in the dispatcher, not here.
 class QueryContext : public StopSource {
  public:
   QueryContext() = default;

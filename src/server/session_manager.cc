@@ -1,0 +1,165 @@
+#include "server/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mppdb {
+
+SessionManager::SessionManager(Database* db, SessionManagerConfig config)
+    : db_(db), config_(std::move(config)) {
+  if (config_.worker_threads < 1) config_.worker_threads = 1;
+  if (config_.max_queue_depth < 1) config_.max_queue_depth = 1;
+  if (config_.groups.empty()) config_.groups.push_back(ResourceGroupConfig{});
+  for (const ResourceGroupConfig& group_config : config_.groups) {
+    Group group;
+    group.config = group_config;
+    if (group.config.max_concurrency < 1) group.config.max_concurrency = 1;
+    groups_.emplace(group.config.name, std::move(group));
+  }
+  workers_.reserve(static_cast<size_t>(config_.worker_threads));
+  for (int i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SessionManager::~SessionManager() { Shutdown(); }
+
+std::future<Result<QueryResult>> SessionManager::Submit(std::string sql,
+                                                        SubmitOptions options) {
+  std::promise<Result<QueryResult>> rejected;
+  std::future<Result<QueryResult>> rejected_future = rejected.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    lock.unlock();
+    rejected.set_value(Status::Cancelled("session manager is shut down"));
+    return rejected_future;
+  }
+  auto group_it = groups_.find(options.group);
+  if (group_it == groups_.end()) {
+    ++stats_.rejected_unknown_group;
+    lock.unlock();
+    rejected.set_value(
+        Status::NotFound("resource group '" + options.group + "' does not exist"));
+    return rejected_future;
+  }
+  if (queue_.size() >= config_.max_queue_depth) {
+    ++stats_.rejected_queue_full;
+    lock.unlock();
+    rejected.set_value(Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(config_.max_queue_depth) +
+        " queries waiting)"));
+    return rejected_future;
+  }
+
+  auto request = std::make_unique<Request>();
+  request->sql = std::move(sql);
+  request->query = options.query;
+  request->group = &group_it->second;
+  // The serving layer's cache policy applies on top of the caller's.
+  request->query.use_plan_cache =
+      request->query.use_plan_cache || config_.use_plan_cache;
+  // Parcel the group budget so max_concurrency running queries can never
+  // exceed it; a caller-supplied tighter limit is kept.
+  const ResourceGroupConfig& group_config = group_it->second.config;
+  if (group_config.memory_limit_bytes > 0) {
+    size_t parcel = group_config.memory_limit_bytes /
+                    static_cast<size_t>(group_config.max_concurrency);
+    parcel = std::max<size_t>(parcel, 1);
+    if (request->query.memory_limit_bytes == 0 ||
+        request->query.memory_limit_bytes > parcel) {
+      request->query.memory_limit_bytes = parcel;
+    }
+  }
+  std::future<Result<QueryResult>> future = request->promise.get_future();
+  queue_.push_back(std::move(request));
+  ++stats_.submitted;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  lock.unlock();
+  work_cv_.notify_one();
+  return future;
+}
+
+Result<QueryResult> SessionManager::Run(const std::string& sql,
+                                        SubmitOptions options) {
+  return Submit(sql, std::move(options)).get();
+}
+
+std::unique_ptr<SessionManager::Request> SessionManager::NextRequest() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Oldest request whose group has a free slot: FIFO within each group,
+    // and a saturated group's backlog never blocks other groups.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      Group* group = (*it)->group;
+      if (group->running < group->config.max_concurrency) {
+        std::unique_ptr<Request> request = std::move(*it);
+        queue_.erase(it);
+        ++group->running;
+        group->peak_running = std::max(group->peak_running, group->running);
+        return request;
+      }
+      if (!(*it)->counted_wait) {
+        (*it)->counted_wait = true;
+        ++stats_.group_waits;
+      }
+    }
+    if (shutdown_ && queue_.empty()) return nullptr;
+    work_cv_.wait(lock);
+  }
+}
+
+void SessionManager::FinishRequest(Group* group, bool ok) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --group->running;
+    ++group->completed;
+    if (ok) {
+      ++stats_.completed;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  // A freed slot may unblock a saturated group's queued requests; a finished
+  // drain may unblock exiting workers.
+  work_cv_.notify_all();
+}
+
+void SessionManager::WorkerLoop() {
+  while (std::unique_ptr<Request> request = NextRequest()) {
+    Result<QueryResult> result = db_->Execute(request->sql, request->query);
+    const bool ok = result.ok();
+    request->promise.set_value(std::move(result));
+    FinishRequest(request->group, ok);
+  }
+}
+
+void SessionManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::map<std::string, SessionManager::GroupState> SessionManager::group_states()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, GroupState> out;
+  for (const auto& [name, group] : groups_) {
+    out[name] = GroupState{group.running, group.peak_running, group.completed};
+  }
+  return out;
+}
+
+}  // namespace mppdb

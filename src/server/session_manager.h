@@ -1,0 +1,160 @@
+#ifndef MPPDB_SERVER_SESSION_MANAGER_H_
+#define MPPDB_SERVER_SESSION_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+
+namespace mppdb {
+
+/// One admission class for concurrent queries (GPDB resource groups): a slot
+/// count bounding how many of the group's queries run at once, and a memory
+/// budget parceled out to them.
+struct ResourceGroupConfig {
+  std::string name = "default";
+  /// Queries of this group executing concurrently; further admitted queries
+  /// wait in the queue (they do not fail).
+  int max_concurrency = 4;
+  /// Group-wide memory budget. Each running query gets an equal parcel
+  /// (limit / max_concurrency) as its QueryOptions::memory_limit_bytes, so
+  /// the group can never exceed its budget no matter what its queries do.
+  /// 0 = unlimited (queries keep their caller-supplied limit, if any).
+  size_t memory_limit_bytes = 0;
+};
+
+/// Serving-layer configuration.
+struct SessionManagerConfig {
+  /// Dispatcher threads executing admitted queries (each runs one query at a
+  /// time on the Database, whose per-statement executors share the morsel
+  /// scheduler pool). Effective global concurrency is therefore
+  /// min(worker_threads, sum of group slots).
+  int worker_threads = 4;
+  /// Bound on queries waiting for dispatch; a Submit beyond it is rejected
+  /// immediately with kResourceExhausted (admission control back-pressure).
+  size_t max_queue_depth = 256;
+  /// Serve statements through the Database's parameterized plan cache.
+  bool use_plan_cache = true;
+  /// Admission classes; a "default" group (4 slots, unlimited memory) is
+  /// added if none is given.
+  std::vector<ResourceGroupConfig> groups;
+};
+
+/// Per-submission options.
+struct SubmitOptions {
+  /// Resource group the query is admitted under; unknown names are rejected
+  /// with kNotFound.
+  std::string group = "default";
+  /// Per-statement options. The serving layer overrides use_plan_cache from
+  /// its config and memory_limit_bytes from the group parcel (keeping the
+  /// caller's limit when it is tighter); everything else — params, query_id,
+  /// timeout, optimizer toggles, fault injector — passes through.
+  QueryOptions query;
+};
+
+/// The concurrent-serving front end over an embedded Database: a bounded
+/// FIFO admission queue, a pool of dispatcher threads, per-resource-group
+/// concurrency and memory limits, and (via QueryOptions::use_plan_cache) the
+/// shared parameterized plan cache. DESIGN.md §11.
+///
+/// Admission flow: Submit enqueues (or rejects when the queue is at
+/// max_queue_depth) and returns a future. Dispatcher workers take the
+/// *oldest* queued request whose group has a free slot — FIFO order within
+/// every group, no group starved by another group's backlog — parcel the
+/// group budget into the query's memory limit, and run it on the Database.
+/// Saturated groups therefore queue instead of failing; kResourceExhausted
+/// surfaces only from queue overflow or a query's own budget.
+///
+/// Thread safety: all public methods are safe from any thread. Shutdown (and
+/// the destructor) stops admission, drains already-queued queries, and joins
+/// the workers.
+class SessionManager {
+ public:
+  SessionManager(Database* db, SessionManagerConfig config);
+  ~SessionManager();
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Enqueues `sql` for execution; the future resolves when the query
+  /// completes (or immediately, on rejection). Never blocks on query
+  /// execution — only on the queue mutex.
+  std::future<Result<QueryResult>> Submit(std::string sql, SubmitOptions options = {});
+
+  /// Convenience: Submit and wait.
+  Result<QueryResult> Run(const std::string& sql, SubmitOptions options = {});
+
+  /// Stops admission (further Submits are rejected with kCancelled), drains
+  /// the queued queries, and joins the dispatcher threads. Idempotent.
+  void Shutdown();
+
+  /// Monotonic serving counters.
+  struct Stats {
+    uint64_t submitted = 0;           ///< accepted into the queue
+    uint64_t rejected_queue_full = 0;  ///< bounced by admission control
+    uint64_t rejected_unknown_group = 0;
+    uint64_t completed = 0;  ///< finished OK
+    uint64_t failed = 0;     ///< finished with a non-OK status
+    /// Dispatches that found the group saturated at the head of the queue at
+    /// least once (i.e. the query actually waited on a group slot).
+    uint64_t group_waits = 0;
+    size_t peak_queue_depth = 0;
+  };
+  Stats stats() const;
+
+  /// Snapshot of one group's admission state.
+  struct GroupState {
+    int running = 0;
+    int peak_running = 0;
+    uint64_t completed = 0;
+  };
+  /// Group name -> state snapshot.
+  std::map<std::string, GroupState> group_states() const;
+
+  const SessionManagerConfig& config() const { return config_; }
+
+ private:
+  struct Group {
+    ResourceGroupConfig config;
+    int running = 0;
+    int peak_running = 0;
+    uint64_t completed = 0;
+  };
+
+  struct Request {
+    std::string sql;
+    QueryOptions query;
+    Group* group = nullptr;
+    std::promise<Result<QueryResult>> promise;
+    bool counted_wait = false;
+  };
+
+  void WorkerLoop();
+  /// Pops the oldest admissible request, claiming its group slot. Blocks
+  /// until one exists or shutdown drains the queue. Null on exit.
+  std::unique_ptr<Request> NextRequest();
+  void FinishRequest(Group* group, bool ok);
+
+  Database* db_;
+  SessionManagerConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::unique_ptr<Request>> queue_;
+  std::map<std::string, Group> groups_;
+  bool shutdown_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mppdb
+
+#endif  // MPPDB_SERVER_SESSION_MANAGER_H_

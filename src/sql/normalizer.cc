@@ -1,0 +1,121 @@
+#include "sql/normalizer.h"
+
+#include "common/macros.h"
+#include "sql/lexer.h"
+#include "types/date.h"
+
+namespace mppdb {
+
+namespace {
+
+// Renders a string literal back into quoted SQL form ('' escaping).
+void AppendQuoted(const std::string& contents, std::string* out) {
+  out->push_back('\'');
+  for (char c : contents) {
+    if (c == '\'') out->push_back('\'');
+    out->push_back(c);
+  }
+  out->push_back('\'');
+}
+
+void AppendToken(const Token& token, std::string* out) {
+  if (!out->empty()) out->push_back(' ');
+  switch (token.type) {
+    case TokenType::kStringLiteral:
+      AppendQuoted(token.text, out);
+      break;
+    case TokenType::kParam:
+      out->push_back('$');
+      out->append(std::to_string(token.int_value));
+      break;
+    default:
+      out->append(token.text);
+      break;
+  }
+}
+
+void AppendParamSlot(size_t index, std::string* out) {
+  if (!out->empty()) out->push_back(' ');
+  out->push_back('$');
+  out->append(std::to_string(index));
+}
+
+bool IsLiteral(const Token& token) {
+  return token.type == TokenType::kIntLiteral ||
+         token.type == TokenType::kDoubleLiteral ||
+         token.type == TokenType::kStringLiteral;
+}
+
+}  // namespace
+
+Result<NormalizedSql> NormalizeSql(const std::string& sql) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  NormalizedSql out;
+
+  // Statement classification from the leading keyword: only SELECT is
+  // cacheable (EXPLAIN results are plan strings, DML must re-apply writes
+  // through the fresh path, DDL mutates the catalog the cache is keyed on).
+  size_t first = 0;
+  bool is_select = first < tokens.size() &&
+                   tokens[first].type == TokenType::kKeyword &&
+                   tokens[first].text == "SELECT";
+  bool has_params = false;
+  for (const Token& token : tokens) {
+    if (token.type == TokenType::kParam) has_params = true;
+  }
+  out.cacheable = is_select;
+  out.auto_params = is_select && !has_params;
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.type == TokenType::kEnd) break;
+    if (!out.auto_params) {
+      AppendToken(token, &out.text);
+      continue;
+    }
+    // DATE 'x' folds into a single Date-typed slot (the lexer guarantees a
+    // string literal follows a DATE keyword). Malformed dates stay inline so
+    // the fresh bind path reports its usual error.
+    if (token.type == TokenType::kKeyword && token.text == "DATE" &&
+        i + 1 < tokens.size() &&
+        tokens[i + 1].type == TokenType::kStringLiteral) {
+      int32_t days = 0;
+      if (date::Parse(tokens[i + 1].text, &days)) {
+        out.params.push_back(Datum::Date(days));
+        AppendParamSlot(out.params.size(), &out.text);
+        ++i;  // consume the string literal too
+        continue;
+      }
+      AppendToken(token, &out.text);
+      AppendToken(tokens[++i], &out.text);
+      continue;
+    }
+    // LIMIT requires a plain integer literal in the grammar; keep it inline
+    // (it shapes the plan anyway, so caching per-limit is correct).
+    if (token.type == TokenType::kKeyword && token.text == "LIMIT" &&
+        i + 1 < tokens.size() && tokens[i + 1].type == TokenType::kIntLiteral) {
+      AppendToken(token, &out.text);
+      AppendToken(tokens[++i], &out.text);
+      continue;
+    }
+    if (IsLiteral(token)) {
+      switch (token.type) {
+        case TokenType::kIntLiteral:
+          out.params.push_back(Datum::Int64(token.int_value));
+          break;
+        case TokenType::kDoubleLiteral:
+          out.params.push_back(Datum::Double(token.double_value));
+          break;
+        default:
+          out.params.push_back(Datum::String(token.text));
+          break;
+      }
+      AppendParamSlot(out.params.size(), &out.text);
+      continue;
+    }
+    AppendToken(token, &out.text);
+  }
+  return out;
+}
+
+}  // namespace mppdb

@@ -168,6 +168,7 @@ uint64_t TableStore::SliceVersion(Oid unit_oid, int segment) const {
 }
 
 bool TableStore::SynopsisFresh(Oid unit_oid, int segment) const {
+  std::lock_guard<std::mutex> lock(synopsis_mu_);
   auto it = synopses_.find(unit_oid);
   MPPDB_CHECK(it != synopses_.end());
   return it->second[static_cast<size_t>(segment)].built_version ==
@@ -177,6 +178,7 @@ bool TableStore::SynopsisFresh(Oid unit_oid, int segment) const {
 void TableStore::SynopsisAppend(Oid unit_oid, int segment, const Row& row,
                                 bool was_fresh) {
   if (!was_fresh) return;  // staled by in-place DML; UnitSynopsis will rebuild
+  std::lock_guard<std::mutex> lock(synopsis_mu_);
   auto it = synopses_.find(unit_oid);
   MPPDB_CHECK(it != synopses_.end());
   SliceSynopsis& synopsis = it->second[static_cast<size_t>(segment)];
@@ -185,6 +187,10 @@ void TableStore::SynopsisAppend(Oid unit_oid, int segment, const Row& row,
 }
 
 const SliceSynopsis& TableStore::UnitSynopsis(Oid unit_oid, int segment) const {
+  // Serialized against other queries' freshness checks and rebuilds of the
+  // same slice; the reference returned is stable until the next DML, which
+  // the Database writer lock keeps out of any concurrent read's lifetime.
+  std::lock_guard<std::mutex> lock(synopsis_mu_);
   auto it = synopses_.find(unit_oid);
   MPPDB_CHECK(it != synopses_.end());
   MPPDB_CHECK(segment >= 0 && segment < num_segments_);

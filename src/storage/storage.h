@@ -45,11 +45,13 @@ struct UnitIndex {
 /// DML rule: all reads complete at the Gather barrier before DML applies, and
 /// only one thread applies it. The index path (CreateIndex, HasIndex,
 /// IndexLookup) builds lazily and therefore mutates under concurrent readers;
-/// it is internally serialized by index_mu_. UnitSynopsis also rebuilds
-/// lazily, but per (unit, segment) slice and without a lock: it relies on the
-/// executor's segment-ownership contract (all reads of a segment's slices
-/// come from the one thread executing that segment), the same contract that
-/// makes UnitRows safe.
+/// it is internally serialized by index_mu_. UnitSynopsis likewise rebuilds
+/// lazily under concurrent readers: within one query the executor's
+/// segment-ownership contract confines each slice to one thread, but
+/// concurrent queries scan the same slice from different threads, so the
+/// freshness check and rebuild are serialized by synopsis_mu_ (the returned
+/// reference is then stable until the next DML, which the Database-level
+/// writer lock keeps out of any read's lifetime).
 class TableStore {
  public:
   /// Rows per logical chunk (matches the vectorized executor's batch size).
@@ -127,9 +129,14 @@ class TableStore {
   /// Mutation counters, aligned with units_ ((unit, segment) granularity).
   std::unordered_map<Oid, std::vector<uint64_t>> versions_;
   /// Chunk synopses, aligned with units_. Shape fixed at construction;
-  /// mutable for the lazy rebuild in UnitSynopsis, which is confined to the
-  /// slice's owning segment thread (see class comment).
+  /// mutable for the lazy rebuild in UnitSynopsis (serialized by
+  /// synopsis_mu_, see class comment).
   mutable std::unordered_map<Oid, std::vector<SliceSynopsis>> synopses_;
+  /// Serializes the lazy synopsis rebuild and freshness checks: within one
+  /// query the segment-ownership contract already confines a slice to one
+  /// thread, but concurrent *queries* scan the same slice from different
+  /// threads and must not both rebuild a synopsis staled by earlier DML.
+  mutable std::mutex synopsis_mu_;
   /// Serializes the lazily-built index structures below, which concurrent
   /// read-only queries mutate as a side effect.
   mutable std::mutex index_mu_;

@@ -143,8 +143,8 @@ TEST_F(FaultMatrixTest, EveryFaultPointInEveryModeIsIdenticalOrTyped) {
     for (Database* db : AllModes()) {
       const std::string mode =
           std::string(" [parallel=") +
-          (db->executor().options().parallel ? "1" : "0") + " vectorized=" +
-          (db->executor().options().vectorized ? "1" : "0") + "]";
+          (db->exec_options().parallel ? "1" : "0") + " vectorized=" +
+          (db->exec_options().vectorized ? "1" : "0") + "]";
       for (const char* point : FaultInjector::kPoints) {
         for (FaultKind kind : {FaultKind::kTransient, FaultKind::kFatal}) {
           FaultInjector injector(rng.Next());

@@ -156,13 +156,19 @@ TEST(MorselSchedulerTest, ResetBusyTimeZeroes) {
     latch.CountDown();
   });
   latch.Wait();
-  uint64_t total = 0;
-  for (uint64_t ns : scheduler.BusyNanos()) total += ns;
-  EXPECT_GT(total, 0u);
+  // The worker adds the task's time to busy_ns after the task body (and the
+  // CountDown inside it) returns, so the latch doesn't order the accounting
+  // with this thread: poll until the lone task's time lands. Once it has,
+  // nothing races the reset below.
+  auto total_busy = [&]() {
+    uint64_t total = 0;
+    for (uint64_t ns : scheduler.BusyNanos()) total += ns;
+    return total;
+  };
+  while (total_busy() == 0) std::this_thread::yield();
+  EXPECT_GT(total_busy(), 0u);
   scheduler.ResetBusyTime();
-  total = 0;
-  for (uint64_t ns : scheduler.BusyNanos()) total += ns;
-  EXPECT_EQ(total, 0u);
+  EXPECT_EQ(total_busy(), 0u);
 }
 
 // Recursive fork-join: tasks split a range and spawn both halves back into

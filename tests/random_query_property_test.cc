@@ -145,11 +145,11 @@ class RandomQueryTest : public ::testing::Test {
       ASSERT_TRUE(mode_result.ok())
           << sql << "\n" << mode_result.status().ToString();
       EXPECT_TRUE(reference->rows == mode_result->rows)
-          << sql << " (parallel=" << db->executor().options().parallel
-          << " vectorized=" << db->executor().options().vectorized << ")";
+          << sql << " (parallel=" << db->exec_options().parallel
+          << " vectorized=" << db->exec_options().vectorized << ")";
       EXPECT_TRUE(reference->stats == mode_result->stats)
-          << sql << " (parallel=" << db->executor().options().parallel
-          << " vectorized=" << db->executor().options().vectorized << ")";
+          << sql << " (parallel=" << db->exec_options().parallel
+          << " vectorized=" << db->exec_options().vectorized << ")";
     }
 
     // Skipping-off modes: identical rows, and identical stats once the skip
@@ -169,11 +169,11 @@ class RandomQueryTest : public ::testing::Test {
       ExecStats mode_stats = mode_result->stats;
       ZeroJoinFilterCounters(&mode_stats);
       EXPECT_TRUE(reference->rows == mode_result->rows)
-          << sql << " (skipping off, parallel=" << db->executor().options().parallel
-          << " vectorized=" << db->executor().options().vectorized << ")";
+          << sql << " (skipping off, parallel=" << db->exec_options().parallel
+          << " vectorized=" << db->exec_options().vectorized << ")";
       EXPECT_TRUE(reference_noskip == mode_stats)
-          << sql << " (skipping off, parallel=" << db->executor().options().parallel
-          << " vectorized=" << db->executor().options().vectorized << ")";
+          << sql << " (skipping off, parallel=" << db->exec_options().parallel
+          << " vectorized=" << db->exec_options().vectorized << ")";
     }
 
     // Runtime join filters are transparent: with filters disabled the same
