@@ -4,6 +4,10 @@
 
 namespace mppdb {
 
+const char* StorageOrientationName(StorageOrientation orientation) {
+  return orientation == StorageOrientation::kColumn ? "column" : "row";
+}
+
 std::vector<int> TableDescriptor::PartitionKeyColumns() const {
   std::vector<int> keys;
   if (partition_scheme == nullptr) return keys;
@@ -118,6 +122,55 @@ Status Catalog::CreateIndex(const std::string& table_name,
                                  " already exists");
   }
   it->second->indexed_columns.push_back(column);
+  return Status::OK();
+}
+
+Status Catalog::SetTableOrientation(const std::string& table_name,
+                                    StorageOrientation orientation) {
+  auto it = by_name_.find(table_name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("table '" + table_name + "' does not exist");
+  }
+  it->second->default_orientation = orientation;
+  it->second->unit_orientations.clear();
+  return Status::OK();
+}
+
+Status Catalog::SetPartitionOrientation(const std::string& table_name,
+                                        const std::string& partition_name,
+                                        StorageOrientation orientation) {
+  auto it = by_name_.find(table_name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("table '" + table_name + "' does not exist");
+  }
+  TableDescriptor* table = it->second;
+  if (!table->IsPartitioned()) {
+    return Status::InvalidArgument("table '" + table_name +
+                                   "' is not partitioned");
+  }
+  size_t matched = 0;
+  for (const LeafPartitionInfo& leaf : table->partition_scheme->Leaves()) {
+    bool match = leaf.qualified_name == partition_name;
+    if (!match) {
+      // Bare bound name: match it as a path component at any level.
+      const std::string& path = leaf.qualified_name;
+      size_t pos = 0;
+      while (!match && pos <= path.size()) {
+        size_t next = path.find('/', pos);
+        if (next == std::string::npos) next = path.size();
+        match = path.compare(pos, next - pos, partition_name) == 0;
+        pos = next + 1;
+      }
+    }
+    if (match) {
+      table->unit_orientations[leaf.oid] = orientation;
+      ++matched;
+    }
+  }
+  if (matched == 0) {
+    return Status::NotFound("no partition of '" + table_name + "' matches '" +
+                            partition_name + "'");
+  }
   return Status::OK();
 }
 

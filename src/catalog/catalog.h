@@ -21,6 +21,15 @@ enum class TableDistribution {
   kRandom,      ///< round-robin
 };
 
+/// Physical layout of a storage unit's slices (DESIGN.md §12). kRow keeps
+/// only the canonical row vectors; kColumn additionally maintains encoded
+/// column chunks (dictionary/RLE/bit-packed/plain) as the scan fast path.
+/// Orientation is chosen per table with a per-leaf-partition override, so
+/// row- and column-oriented partitions coexist under one table.
+enum class StorageOrientation : uint8_t { kRow, kColumn };
+
+const char* StorageOrientationName(StorageOrientation orientation);
+
 /// Catalog entry for a table: schema, MPP distribution, and (optionally) the
 /// logical partition scheme.
 struct TableDescriptor {
@@ -32,8 +41,20 @@ struct TableDescriptor {
   std::unique_ptr<PartitionScheme> partition_scheme;  ///< null if unpartitioned
   /// Schema positions of columns with a secondary index.
   std::vector<int> indexed_columns;
+  /// Default physical layout of every storage unit, overridable per leaf.
+  StorageOrientation default_orientation = StorageOrientation::kRow;
+  /// Leaf-partition orientation overrides (keyed by leaf OID). Units absent
+  /// here use default_orientation.
+  std::unordered_map<Oid, StorageOrientation> unit_orientations;
 
   bool IsPartitioned() const { return partition_scheme != nullptr; }
+
+  /// Effective orientation of one storage unit (a leaf OID, or the table OID
+  /// itself when unpartitioned).
+  StorageOrientation UnitOrientation(Oid unit_oid) const {
+    auto it = unit_orientations.find(unit_oid);
+    return it == unit_orientations.end() ? default_orientation : it->second;
+  }
   bool HasIndexOn(int column) const {
     for (int c : indexed_columns) {
       if (c == column) return true;
@@ -76,6 +97,19 @@ class Catalog {
 
   /// Registers a secondary index on `column_name` of `table_name`.
   Status CreateIndex(const std::string& table_name, const std::string& column_name);
+
+  /// Sets the table-wide storage orientation and clears per-leaf overrides
+  /// (ALTER TABLE ... SET WITH (orientation=...)).
+  Status SetTableOrientation(const std::string& table_name,
+                             StorageOrientation orientation);
+
+  /// Overrides the orientation of leaf partitions addressed by name: an exact
+  /// qualified name ("p3/us") pins one leaf; a bare bound name ("p3", "us")
+  /// covers every leaf whose path contains that component. Fails if the table
+  /// is unpartitioned or no leaf matches.
+  Status SetPartitionOrientation(const std::string& table_name,
+                                 const std::string& partition_name,
+                                 StorageOrientation orientation);
 
   /// Reserves a fresh OID (used by components that create ad-hoc objects).
   Oid NextOid() { return next_oid_++; }

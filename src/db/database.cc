@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <set>
 #include <thread>
 
 #include "common/macros.h"
@@ -294,11 +296,50 @@ Result<Datum> DdlLiteral(const sql_ast::ParseExpr& expr, TypeId column_type) {
   }
 }
 
+/// Applies a WITH (key = value, ...) option list to a table (empty
+/// `partition`) or to matching leaf partitions. The only option today is
+/// orientation = row | column.
+Status ApplyStorageOptions(
+    Catalog* catalog, const std::string& table, const std::string& partition,
+    const std::vector<std::pair<std::string, std::string>>& options) {
+  for (const auto& [key, value] : options) {
+    if (key != "orientation") {
+      return Status::BindError("unknown storage option '" + key + "'");
+    }
+    StorageOrientation orientation;
+    if (value == "column") {
+      orientation = StorageOrientation::kColumn;
+    } else if (value == "row") {
+      orientation = StorageOrientation::kRow;
+    } else {
+      return Status::BindError("orientation must be 'row' or 'column', got '" +
+                               value + "'");
+    }
+    if (partition.empty()) {
+      MPPDB_RETURN_IF_ERROR(catalog->SetTableOrientation(table, orientation));
+    } else {
+      MPPDB_RETURN_IF_ERROR(
+          catalog->SetPartitionOrientation(table, partition, orientation));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
   QueryResult result;
   result.columns = {"status"};
+  if (parsed.kind == sql_ast::Statement::Kind::kAlterTable) {
+    const sql_ast::AlterTableStmt& alter = *parsed.alter_table;
+    MPPDB_RETURN_IF_ERROR(ApplyStorageOptions(&catalog_, alter.table,
+                                              alter.partition, alter.options));
+    // Orientation does not change plans, but cached entries may pin stale
+    // EXPLAIN artifacts; invalidation is cheap and safe.
+    plan_cache_.InvalidateTable(alter.table);
+    result.rows = {{Datum::String("ALTER TABLE")}};
+    return result;
+  }
   if (parsed.kind == sql_ast::Statement::Kind::kCreateIndex) {
     const sql_ast::CreateIndexStmt& index = *parsed.create_index;
     MPPDB_RETURN_IF_ERROR(catalog_.CreateIndex(index.table, index.column));
@@ -357,6 +398,8 @@ Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
         CreateTableLocked(create.table, std::move(schema), distribution,
                           std::move(distribution_columns))
             .status());
+    MPPDB_RETURN_IF_ERROR(
+        ApplyStorageOptions(&catalog_, create.table, "", create.with_options));
     result.rows = {{Datum::String("CREATE TABLE")}};
     return result;
   }
@@ -412,6 +455,8 @@ Result<QueryResult> Database::RunDdl(const sql_ast::Statement& parsed) {
                                                      std::move(level_descs),
                                                      bounds_per_level)
                             .status());
+  MPPDB_RETURN_IF_ERROR(
+      ApplyStorageOptions(&catalog_, create.table, "", create.with_options));
   result.rows = {{Datum::String("CREATE TABLE")}};
   return result;
 }
@@ -557,12 +602,112 @@ Result<QueryResult> Database::ExecuteCacheable(const NormalizedSql& normalized,
   return result;
 }
 
+namespace {
+
+void CollectScanTables(const PhysicalNode& node, std::set<Oid>* oids) {
+  switch (node.kind()) {
+    case PhysNodeKind::kTableScan:
+      oids->insert(static_cast<const TableScanNode&>(node).table_oid());
+      break;
+    case PhysNodeKind::kCheckedPartScan:
+      oids->insert(static_cast<const CheckedPartScanNode&>(node).table_oid());
+      break;
+    case PhysNodeKind::kDynamicScan:
+      oids->insert(static_cast<const DynamicScanNode&>(node).table_oid());
+      break;
+    default:
+      break;
+  }
+  for (const PhysPtr& child : node.children()) {
+    if (child != nullptr) CollectScanTables(*child, oids);
+  }
+}
+
+/// Per-column encoding summary of one column-oriented storage unit, e.g.
+/// "id: bit-packed, state: dictionary, note: plain". Chunks whose encodings
+/// disagree report "mixed"; units with no rows report "empty".
+std::string UnitEncodingSummary(const TableStore& store, Oid unit_oid,
+                                const Schema& schema) {
+  std::vector<std::map<ColumnEncoding, size_t>> counts(schema.size());
+  size_t total_chunks = 0;
+  for (int seg = 0; seg < store.num_segments(); ++seg) {
+    const SliceColumns* cols = store.UnitColumns(unit_oid, seg);
+    if (cols == nullptr || cols->row_count == 0) continue;
+    total_chunks += cols->num_chunks();
+    for (size_t c = 0; c < cols->columns.size() && c < counts.size(); ++c) {
+      for (const EncodedColumnChunk& chunk : cols->columns[c]) {
+        ++counts[c][chunk.encoding];
+      }
+    }
+  }
+  if (total_chunks == 0) return "empty";
+  std::string out;
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (!out.empty()) out += ", ";
+    out += schema.column(c).name;
+    out += ": ";
+    if (counts[c].size() == 1) {
+      out += ColumnEncodingName(counts[c].begin()->first);
+    } else {
+      out += "mixed";
+    }
+  }
+  return out;
+}
+
+/// EXPLAIN footer (appended after the plan tree): storage orientation of
+/// every scanned table that has column-oriented units, with each unit's
+/// per-column encodings. Tables that are entirely row-oriented print
+/// nothing, keeping pre-existing EXPLAIN output byte-identical.
+std::string StorageExplainFooter(const Catalog& catalog, StorageEngine& storage,
+                                 const PhysPtr& plan) {
+  if (plan == nullptr) return "";
+  std::set<Oid> oids;
+  CollectScanTables(*plan, &oids);
+  std::string out;
+  for (Oid oid : oids) {
+    const TableDescriptor* desc = catalog.FindTable(oid);
+    TableStore* store = storage.GetStore(oid);
+    if (desc == nullptr || store == nullptr) continue;
+    const std::vector<Oid> units = store->UnitOids();
+    bool any_column = false;
+    for (Oid unit : units) {
+      any_column |=
+          store->UnitOrientation(unit) == StorageOrientation::kColumn;
+    }
+    if (!any_column) continue;
+    out += "Storage: " + desc->name + " (default " +
+           StorageOrientationName(desc->default_orientation) + ")\n";
+    for (Oid unit : units) {
+      std::string label = desc->name;
+      if (desc->IsPartitioned()) {
+        for (const LeafPartitionInfo& leaf : desc->partition_scheme->Leaves()) {
+          if (leaf.oid == unit) {
+            label = leaf.qualified_name;
+            break;
+          }
+        }
+      }
+      const StorageOrientation orientation = store->UnitOrientation(unit);
+      out += "  " + label + ": " + StorageOrientationName(orientation);
+      if (orientation == StorageOrientation::kColumn) {
+        out += " (" + UnitEncodingSummary(*store, unit, desc->schema) + ")";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<QueryResult> Database::ExecuteFresh(const std::string& sql,
                                            const QueryOptions& options) {
   MPPDB_ASSIGN_OR_RETURN(sql_ast::Statement parsed, ParseStatement(sql));
   if (parsed.kind == sql_ast::Statement::Kind::kCreateTable ||
       parsed.kind == sql_ast::Statement::Kind::kDropTable ||
-      parsed.kind == sql_ast::Statement::Kind::kCreateIndex) {
+      parsed.kind == sql_ast::Statement::Kind::kCreateIndex ||
+      parsed.kind == sql_ast::Statement::Kind::kAlterTable) {
     std::unique_lock<std::shared_mutex> lock(state_mu_);
     return RunDdl(parsed);
   }
@@ -589,7 +734,8 @@ Result<QueryResult> Database::ExecuteFresh(const std::string& sql,
   }
   if (stmt.explain) {
     QueryResult explained;
-    explained.rows = {{Datum::String(PlanToString(plan))}};
+    explained.rows = {{Datum::String(
+        PlanToString(plan) + StorageExplainFooter(catalog_, storage_, plan))}};
     explained.columns = {"QUERY PLAN"};
     explained.plan = plan;
     return explained;
@@ -623,7 +769,10 @@ Result<QueryResult> Database::ExecutePlan(const PhysPtr& plan,
 Result<std::string> Database::Explain(const std::string& sql,
                                       const QueryOptions& options) {
   MPPDB_ASSIGN_OR_RETURN(PhysPtr plan, PlanSql(sql, options));
-  return PlanToString(plan);
+  // The footer reads storage (and may lazily build encoded images), so it
+  // shares the state lock like any read.
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return PlanToString(plan) + StorageExplainFooter(catalog_, storage_, plan);
 }
 
 }  // namespace mppdb

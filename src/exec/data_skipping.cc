@@ -14,6 +14,7 @@
 
 #include "common/macros.h"
 #include "exec/executor.h"
+#include "expr/encoded_eval.h"
 #include "expr/sargable.h"
 #include "expr/vector_eval.h"
 
@@ -116,8 +117,17 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
   }
 
   ColumnLayout layout = node.child(0)->OutputLayout();
-  const CompiledSargable compiled = CompileSargable(node.sargable(), layout);
+  CompiledSargable compiled;
+  if (options_.data_skipping) {
+    compiled = CompileSargable(node.sargable(), layout);
+  }
   const bool can_prune = compiled.CanPrune();
+  // Exactly-compiled conjunct prefix for column-oriented units: evaluated
+  // directly on encoded chunks, with the residual (and join-filter probes)
+  // running only on late-materialized survivors.
+  const EncodedPredicate encoded =
+      options_.encoded_eval ? CompileEncodedPredicate(node.predicate(), layout)
+                            : EncodedPredicate();
   MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
                          BindJoinFilterProbes(node, layout, segment));
   std::vector<Row> out;
@@ -171,16 +181,18 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
     seg_stats.partitions_scanned[table_oid].insert(unit_oid);
     seg_stats.tuples_scanned += rows.size();
     if (rows.empty()) return Status::OK();
-    // chunks_total is pure arithmetic so the non-sargable case never forces a
-    // synopsis (re)build it would not use.
-    seg_stats.chunks_total +=
-        (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
     const SliceSynopsis* synopsis = nullptr;
-    if (can_prune || !join_filters.empty()) {
-      // A shed synopsis rebuild (budget pressure) returns null: scan
-      // unskipped. Acquired here, in the spawning task (the lazy rebuild is
-      // owner-confined); morsel bodies only read it.
-      synopsis = AcquireSynopsis(store, unit_oid, segment);
+    if (options_.data_skipping) {
+      // chunks_total is pure arithmetic so the non-sargable case never
+      // forces a synopsis (re)build it would not use.
+      seg_stats.chunks_total +=
+          (rows.size() + TableStore::kChunkRows - 1) / TableStore::kChunkRows;
+      if (can_prune || !join_filters.empty()) {
+        // A shed synopsis rebuild (budget pressure) returns null: scan
+        // unskipped. Acquired here, in the spawning task (the lazy rebuild
+        // is owner-confined); morsel bodies only read it.
+        synopsis = AcquireSynopsis(store, unit_oid, segment);
+      }
     }
     if (synopsis != nullptr) {
       MPPDB_CHECK(synopsis->rollup.row_count == rows.size());
@@ -190,8 +202,14 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
         return Status::OK();
       }
     }
+    // Encoded image of column-oriented units (null for row-oriented ones, a
+    // shed re-encode, or a predicate with no compilable prefix). Acquired in
+    // the spawning task like the synopsis; morsel bodies only read it.
+    const SliceColumns* cols =
+        encoded.HasTerms() ? AcquireColumns(store, unit_oid, segment) : nullptr;
+    if (cols != nullptr) MPPDB_CHECK(cols->row_count == rows.size());
     auto body = [this, segment, &rows, &node, &layout, &compiled, can_prune,
-                 &probe_row, &join_filter_chunk_skip,
+                 &probe_row, &join_filter_chunk_skip, &encoded, cols,
                  synopsis](size_t begin, size_t end, ExecStats* stats,
                            std::vector<Row>* mout) -> Status {
       for (size_t base = begin; base < end; base += TableStore::kChunkRows) {
@@ -208,6 +226,33 @@ Result<std::vector<Row>> Executor::ExecFilterRowSkip(const FilterNode& node,
             continue;
           }
           if (join_filter_chunk_skip(chunk, *stats)) continue;
+        }
+        const size_t chunk_idx = base / TableStore::kChunkRows;
+        if (cols != nullptr && EncodedChunkEligible(encoded, *cols, chunk_idx)) {
+          // Encoded fast path: the compiled prefix runs on the encoded
+          // chunk; only survivors are materialized from the row image, for
+          // the residual, the join-filter probes, and the output copy.
+          ++stats->chunks_encoded_eval;
+          stats->encoded_bytes_scanned += cols->ChunkEncodedBytes(chunk_idx);
+          const bool has_residual = encoded.residual != nullptr;
+          SelVec sel;
+          std::vector<char> pure;
+          EvalEncodedPredicate(encoded, *cols, chunk_idx, base,
+                               chunk_end - base, &sel,
+                               has_residual ? &pure : nullptr);
+          stats->rows_late_materialized += sel.size();
+          for (size_t s = 0; s < sel.size(); ++s) {
+            const Row& row = rows[sel[s]];
+            bool keep = true;
+            if (has_residual) {
+              MPPDB_ASSIGN_OR_RETURN(
+                  bool residual_keep,
+                  EvalPredicate(encoded.residual, layout, row));
+              keep = residual_keep && pure[s] != 0;
+            }
+            if (keep && probe_row(row, *stats)) mout->push_back(row);
+          }
+          continue;
         }
         for (size_t i = base; i < chunk_end; ++i) {
           MPPDB_ASSIGN_OR_RETURN(bool keep,

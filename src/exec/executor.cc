@@ -42,6 +42,12 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   joinfilter_motion_rows_saved += other.joinfilter_motion_rows_saved;
   joinfilter_shed += other.joinfilter_shed;
   synopsis_rebuilds_shed += other.synopsis_rebuilds_shed;
+  chunks_encoded_eval += other.chunks_encoded_eval;
+  rows_late_materialized += other.rows_late_materialized;
+  encoded_bytes_scanned += other.encoded_bytes_scanned;
+  colstore_rebuilds_shed += other.colstore_rebuilds_shed;
+  motion_rows_encoded += other.motion_rows_encoded;
+  motion_bytes_saved += other.motion_bytes_saved;
 }
 
 struct Executor::MotionExchange {
@@ -73,6 +79,13 @@ struct Executor::MotionExchange {
   /// Broadcast motions materialize the batch here once and every
   /// destination copies from it, instead of filling S identical buffers.
   std::vector<Row> broadcast_shared;
+  /// Dictionary-coded wire form of the corresponding buffers slot / the
+  /// broadcast batch (Options::encoded_motion). When set, the row form above
+  /// is empty and readers decode at the receiving edge. Written only by the
+  /// builder before `built` is announced, read-only afterwards — the same
+  /// publication contract that makes the row buffers parallel-safe.
+  std::vector<std::optional<EncodedRowBatch>> encoded_buffers;
+  std::optional<EncodedRowBatch> encoded_broadcast;
 };
 
 namespace {
@@ -207,6 +220,26 @@ const SliceSynopsis* Executor::AcquireSynopsis(const TableStore& store,
     }
   }
   return &store.UnitSynopsis(unit_oid, segment);
+}
+
+const SliceColumns* Executor::AcquireColumns(const TableStore& store,
+                                             Oid unit_oid, int segment) {
+  if (store.UnitOrientation(unit_oid) != StorageOrientation::kColumn) {
+    return nullptr;
+  }
+  if (ctx_->budget().limited() && !store.ColumnsFresh(unit_oid, segment)) {
+    // Stale image: UnitColumns would re-encode the slice. Charge roughly one
+    // plain copy of the rows (encode scratch peaks near that); under
+    // pressure the encode is shed — the encoded image is a fast path, the
+    // row image stays authoritative.
+    const std::vector<Row>& rows = store.UnitRows(unit_oid, segment);
+    const size_t width = rows.empty() ? 0 : rows[0].size();
+    if (!TryChargeOptional(ApproxRowsBytes(rows.size(), width))) {
+      ++seg_stats_[static_cast<size_t>(segment)].colstore_rebuilds_shed;
+      return nullptr;
+    }
+  }
+  return store.UnitColumns(unit_oid, segment);
 }
 
 Result<std::vector<Row>> Executor::Execute(const PhysPtr& plan) {
@@ -927,10 +960,13 @@ Result<std::vector<Row>> Executor::ExecPartitionSelector(
 }
 
 Result<std::vector<Row>> Executor::ExecFilter(const FilterNode& node, int segment) {
-  if (options_.data_skipping) {
+  if (options_.data_skipping || options_.encoded_eval) {
     // Filters directly over scan fragments take the skipping path whenever
     // skipping is on — even if the predicate turns out non-sargable — so the
-    // chunks_* accounting matches the vectorized fused path exactly.
+    // chunks_* accounting matches the vectorized fused path exactly. The
+    // encoded-eval path lives on the same chunk loop (it needs the storage
+    // chunk grid), so it routes here too; ExecFilterRowSkip gates all
+    // synopsis work on data_skipping internally.
     ScanFragment frag;
     if (MatchScanFragment(node.child(0), &frag)) {
       return ExecFilterRowSkip(node, frag, segment);
@@ -1453,20 +1489,53 @@ Status Executor::BuildMotionBuffers(const MotionNode& node, int segment,
         break;
     }
   }
+  // Wire-format encoding happens after routing so each destination's batch
+  // is dictionary-coded independently (its value locality, its dictionary).
+  // The receive-buffer charge above deliberately stays the plain-row
+  // estimate: the budget models the logical exchange volume, encoded or not.
+  if (options_.encoded_motion) {
+    ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+    auto try_encode = [&stats](std::vector<Row>& rows,
+                               std::optional<EncodedRowBatch>* slot) {
+      std::optional<EncodedRowBatch> batch = TryEncodeMotionBatch(std::move(rows));
+      if (!batch) return;  // rows untouched
+      rows.clear();
+      stats.motion_rows_encoded += batch->num_rows;
+      stats.motion_bytes_saved += batch->plain_bytes - batch->encoded_bytes;
+      *slot = std::move(batch);
+    };
+    if (node.motion_kind() == MotionKind::kBroadcast) {
+      try_encode(exchange->broadcast_shared, &exchange->encoded_broadcast);
+    } else {
+      exchange->encoded_buffers.assign(buffers.size(), std::nullopt);
+      for (size_t dest = 0; dest < buffers.size(); ++dest) {
+        try_encode(buffers[dest], &exchange->encoded_buffers[dest]);
+      }
+    }
+  }
   return Status::OK();
 }
 
 std::vector<Row> Executor::ReadMotionBuffer(const MotionNode& node,
                                             MotionExchange& exchange, int segment) {
+  // Decoding an encoded slot is the receiving edge of the wire transfer: it
+  // synthesizes a fresh row batch, so it is safe on every path below —
+  // including the copy paths, where the encoded form stays for re-reads.
+  // Reads after `built` never mutate the exchange.
   if (node.motion_kind() == MotionKind::kBroadcast) {
+    if (exchange.encoded_broadcast) return exchange.encoded_broadcast->Decode();
     return exchange.broadcast_shared;  // every destination copies the batch
+  }
+  const size_t slot = static_cast<size_t>(segment);
+  if (slot < exchange.encoded_buffers.size() && exchange.encoded_buffers[slot]) {
+    return exchange.encoded_buffers[slot]->Decode();
   }
   if (exchange.lazily_registered) {
     // Shared Motion subtree (serial-only): this buffer may be read again.
-    return exchange.buffers[static_cast<size_t>(segment)];
+    return exchange.buffers[slot];
   }
   // Sole reader of this slot: hand the buffer over without copying.
-  return std::move(exchange.buffers[static_cast<size_t>(segment)]);
+  return std::move(exchange.buffers[slot]);
 }
 
 Result<std::vector<Row>> Executor::ExecMotion(const MotionNode& node, int segment) {

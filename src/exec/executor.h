@@ -87,6 +87,31 @@ struct ExecStats {
   /// charge was refused (the scan runs unskipped instead).
   size_t synopsis_rebuilds_shed = 0;
 
+  /// Columnar-execution counters (Options::encoded_eval / encoded_motion and
+  /// column-oriented partitions; all zero for row-oriented tables, so every
+  /// pre-existing stats-identity test is unaffected). Like the zone-map
+  /// counters, the logical fields above stay identical across storage
+  /// orientations — only these (and time spent) change.
+  /// Chunks whose sargable conjunct prefix was evaluated directly on the
+  /// encoded column data (dictionary codes, RLE runs, packed integers).
+  size_t chunks_encoded_eval = 0;
+  /// Rows materialized from the row image after surviving the encoded
+  /// prefix (the late-materialization survivors).
+  size_t rows_late_materialized = 0;
+  /// Encoded bytes of the chunks counted in chunks_encoded_eval (their
+  /// plain-row footprint is chunk rows * row width; the ratio is the
+  /// bytes-scanned saving).
+  size_t encoded_bytes_scanned = 0;
+  /// Stale encoded column images scanned via the row image instead because
+  /// their re-encode charge was refused under memory pressure.
+  size_t colstore_rebuilds_shed = 0;
+  /// Rows shipped through Motion in dictionary-coded form (rows_moved still
+  /// counts them; this is the subset that travelled encoded).
+  size_t motion_rows_encoded = 0;
+  /// Approximate wire bytes saved by dictionary-coding Motion buffers
+  /// (plain payload estimate minus encoded payload estimate).
+  size_t motion_bytes_saved = 0;
+
   /// Distinct partitions scanned for `table_oid` (0 if never scanned).
   size_t PartitionsScanned(Oid table_oid) const;
   /// Sum over all tables.
@@ -199,6 +224,21 @@ class Executor {
     /// joinfilter_* counters (and time spent) change. Chunk-level skipping
     /// through the zone maps additionally requires data_skipping.
     bool join_filters = true;
+    /// Evaluate the exactly-compilable conjunct prefix of a Filter directly
+    /// on encoded column chunks (expr/encoded_eval.h) when scanning
+    /// column-oriented partitions, materializing only surviving rows. Output
+    /// rows, ordering, error outcomes, and the logical ExecStats counters
+    /// are identical with it off — only chunks_encoded_eval /
+    /// rows_late_materialized / encoded_bytes_scanned (and time) change.
+    /// No effect on row-oriented partitions.
+    bool encoded_eval = true;
+    /// Ship large low-cardinality string columns through Motion in
+    /// dictionary-coded form (storage/column_store.h), decoding at the
+    /// receiving edge. Rows, ordering, and every pre-existing ExecStats
+    /// field are identical with it off — only motion_rows_encoded /
+    /// motion_bytes_saved change (rows_moved and the Motion memory charge
+    /// stay logical, computed from the plain row footprint).
+    bool encoded_motion = true;
   };
 
   Executor(const Catalog* catalog, StorageEngine* storage);
@@ -352,6 +392,14 @@ class Executor {
   /// synopsis_rebuilds_shed) and the scan proceeds unskipped.
   const SliceSynopsis* AcquireSynopsis(const TableStore& store, Oid unit_oid,
                                        int segment);
+
+  /// Budget-aware encoded-column access for scans of column-oriented units:
+  /// returns the slice's encoded image, charging a re-encode estimate when
+  /// DML staled it. Returns nullptr for row-oriented units, or when the
+  /// charge was refused (counted in colstore_rebuilds_shed) — the scan then
+  /// runs off the row image as usual.
+  const SliceColumns* AcquireColumns(const TableStore& store, Oid unit_oid,
+                                     int segment);
 
   Result<std::vector<Row>> ExecNode(const PhysPtr& node, int segment);
 

@@ -21,6 +21,7 @@
 #include "exec/agg_state.h"
 #include "exec/executor.h"
 #include "exec/join_hash.h"
+#include "expr/encoded_eval.h"
 #include "expr/sargable.h"
 #include "expr/vector_eval.h"
 
@@ -192,6 +193,17 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
     compiled = CompileSargable(node.sargable(), layout);
   }
   const bool can_prune = compiled.CanPrune();
+  // Exactly-compiled conjunct prefix for column-oriented units (see
+  // ExecFilterRowSkip): the prefix runs on encoded chunks, the residual as a
+  // kernel program over the late-materialized survivors — whose selection
+  // vector feeds straight into the batch evaluator.
+  const EncodedPredicate encoded =
+      options_.encoded_eval ? CompileEncodedPredicate(node.predicate(), layout)
+                            : EncodedPredicate();
+  std::optional<KernelProgram> residual_program;
+  if (encoded.HasTerms() && encoded.residual != nullptr) {
+    residual_program.emplace(KernelProgram::Compile(encoded.residual, layout));
+  }
   MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
                          BindJoinFilterProbes(node, layout, segment));
   std::vector<Row> out;
@@ -247,23 +259,33 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
         }
       }
     }
+    // Encoded image of column-oriented units (null for row-oriented ones, a
+    // shed re-encode, or a predicate with no compilable prefix).
+    const SliceColumns* cols =
+        encoded.HasTerms() ? AcquireColumns(store, unit_oid, segment) : nullptr;
+    if (cols != nullptr) MPPDB_CHECK(cols->row_count == rows.size());
     auto body = [this, segment, &rows, &join_filters, &join_filter_chunk_skip,
-                 &program, &compiled, can_prune,
-                 synopsis](size_t begin, size_t end, ExecStats* stats,
-                           std::vector<Row>* mout) -> Status {
+                 &program, &compiled, can_prune, &encoded, &residual_program,
+                 cols, synopsis](size_t begin, size_t end, ExecStats* stats,
+                                 std::vector<Row>* mout) -> Status {
       // TableStore::kChunkRows == KernelContext::kDefaultChunkRows
       // (static_assert in data_skipping.cc), so batch boundaries land
       // exactly on synopsis chunk boundaries and a skipped chunk is a
       // skipped batch.
       KernelContext ctx;
       ctx.Prepare(program, TableStore::kChunkRows);
+      KernelContext residual_ctx;
+      if (residual_program) {
+        residual_ctx.Prepare(*residual_program, TableStore::kChunkRows);
+      }
       SelVec sel, keep;
+      std::vector<char> pure;
       for (size_t base = begin; base < end; base += TableStore::kChunkRows) {
         MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
         const size_t chunk_end = std::min(end, base + TableStore::kChunkRows);
+        const size_t chunk_idx = base / TableStore::kChunkRows;
         if (synopsis != nullptr) {
-          const ChunkSynopsis& chunk =
-              synopsis->chunks[base / TableStore::kChunkRows];
+          const ChunkSynopsis& chunk = synopsis->chunks[chunk_idx];
           // Predicate-driven skips run first so chunks_skipped is identical
           // with join filters on or off.
           if (can_prune && SynopsisCanSkip(compiled, chunk)) {
@@ -271,6 +293,36 @@ Result<std::vector<Row>> Executor::ExecFusedFilterScan(const FilterNode& node,
             continue;
           }
           if (join_filter_chunk_skip(chunk, *stats)) continue;
+        }
+        if (cols != nullptr && EncodedChunkEligible(encoded, *cols, chunk_idx)) {
+          // Encoded fast path: prefix on the encoded chunk; the residual
+          // kernel program sees only the survivor selection (the kernel AND
+          // already short-circuits per row on FALSE, so this is the same set
+          // of rows it would evaluate the residual conjuncts on).
+          ++stats->chunks_encoded_eval;
+          stats->encoded_bytes_scanned += cols->ChunkEncodedBytes(chunk_idx);
+          EvalEncodedPredicate(encoded, *cols, chunk_idx, base,
+                               chunk_end - base, &sel,
+                               residual_program ? &pure : nullptr);
+          stats->rows_late_materialized += sel.size();
+          if (residual_program) {
+            MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(
+                *residual_program, &residual_ctx, rows, base, sel, &keep));
+            // Final keep needs every prefix verdict TRUE as well: intersect
+            // with the purity flags (aligned to sel; keep ⊆ sel, both
+            // ascending).
+            size_t kept = 0, si = 0;
+            for (uint32_t r : keep) {
+              while (sel[si] != r) ++si;
+              if (pure[si] != 0) keep[kept++] = r;
+            }
+            keep.resize(kept);
+          } else {
+            keep = sel;
+          }
+          ProbeJoinFiltersVec(rows, join_filters, stats, &keep);
+          for (uint32_t r : keep) mout->push_back(rows[r]);
+          continue;
         }
         IdentitySel(base, chunk_end, &sel);
         MPPDB_RETURN_IF_ERROR(

@@ -1,0 +1,403 @@
+#include "expr/encoded_eval.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace mppdb {
+
+namespace {
+
+/// Same normalization as sargable analysis: a comparison between a bare
+/// column reference and a foldable constant, as column-op-constant.
+bool MatchColOpConst(const Expr& e, const ColumnRefExpr** col, Datum* constant,
+                     CompareOp* op) {
+  if (e.kind() != ExprKind::kComparison) return false;
+  const auto& cmp = static_cast<const ComparisonExpr&>(e);
+  const ExprPtr& l = cmp.child(0);
+  const ExprPtr& r = cmp.child(1);
+  const ExprPtr* col_side = nullptr;
+  const ExprPtr* const_side = nullptr;
+  *op = cmp.op();
+  if (l->kind() == ExprKind::kColumnRef) {
+    col_side = &l;
+    const_side = &r;
+  } else if (r->kind() == ExprKind::kColumnRef) {
+    col_side = &r;
+    const_side = &l;
+    *op = SwapCompareOp(*op);
+  } else {
+    return false;
+  }
+  std::optional<Datum> folded = TryFoldConst(*const_side);
+  if (!folded) return false;
+  *col = static_cast<const ColumnRefExpr*>(col_side->get());
+  *constant = std::move(*folded);
+  return true;
+}
+
+/// Compiles one conjunct into an exact three-valued term, or fails (ending
+/// the prefix). The shapes and their verdicts are documented in the header;
+/// the recurring subtlety is NULL-vs-FALSE: only FALSE short-circuits the
+/// oracle's AND, so the distinction must be preserved exactly.
+bool CompileTerm(const ExprPtr& e, const ColumnLayout& layout,
+                 EncodedTerm* term) {
+  *term = EncodedTerm();
+  // Constant-foldable conjuncts (errors fail folding and must surface).
+  if (std::optional<Datum> folded = TryFoldConst(e)) {
+    if (!folded->is_null() && folded->type() != TypeId::kBool) {
+      return false;  // non-boolean predicate: the runtime error must surface
+    }
+    term->const_verdict = true;
+    term->const_value = folded->is_null()      ? TermVerdict::kNull
+                        : folded->bool_value() ? TermVerdict::kTrue
+                                               : TermVerdict::kFalse;
+    return true;
+  }
+  switch (e->kind()) {
+    case ExprKind::kColumnRef: {
+      // Bare boolean column: only statically-boolean columns compile (a
+      // non-boolean value would raise "AND operand is not a boolean", which
+      // the family gate does not model).
+      const auto& col = static_cast<const ColumnRefExpr&>(*e);
+      if (col.type() != TypeId::kBool) return false;
+      const int position = layout.PositionOf(col.id());
+      if (position < 0) return false;
+      term->position = position;
+      term->values = ConstraintSet::FromPoints({Datum::Bool(true)});
+      term->family_checks.emplace_back(position, Datum::Bool(true));
+      return true;
+    }
+    case ExprKind::kComparison: {
+      const ColumnRefExpr* col = nullptr;
+      Datum constant;
+      CompareOp op;
+      if (!MatchColOpConst(*e, &col, &constant, &op)) return false;
+      if (constant.is_null()) {
+        // col-op-NULL is NULL on every row (the comparison never runs, so no
+        // family check): a constant NULL verdict — rows still reach any
+        // residual, they just can never be kept.
+        term->const_verdict = true;
+        term->const_value = TermVerdict::kNull;
+        return true;
+      }
+      const int position = layout.PositionOf(col->id());
+      if (position < 0) return false;
+      term->position = position;
+      term->values = ConstraintSet::FromComparison(op, constant);
+      term->family_checks.emplace_back(position, std::move(constant));
+      return true;
+    }
+    case ExprKind::kInList: {
+      if (e->children().empty() || e->child(0)->kind() != ExprKind::kColumnRef) {
+        return false;
+      }
+      const auto& col = static_cast<const ColumnRefExpr&>(*e->child(0));
+      const int position = layout.PositionOf(col.id());
+      if (position < 0) return false;
+      // A NULL item turns a FALSE miss into NULL (unknown whether equal).
+      std::vector<Datum> points;
+      bool has_null_item = false;
+      for (size_t i = 1; i < e->children().size(); ++i) {
+        std::optional<Datum> item = TryFoldConst(e->child(i));
+        if (!item) return false;
+        if (item->is_null()) {
+          has_null_item = true;
+          continue;
+        }
+        term->family_checks.emplace_back(position, *item);
+        points.push_back(std::move(*item));
+      }
+      term->position = position;
+      term->values = ConstraintSet::FromPoints(std::move(points));
+      term->miss_verdict =
+          has_null_item ? TermVerdict::kNull : TermVerdict::kFalse;
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      if (e->child(0)->kind() != ExprKind::kColumnRef) return false;
+      const auto& col = static_cast<const ColumnRefExpr&>(*e->child(0));
+      const int position = layout.PositionOf(col.id());
+      if (position < 0) return false;
+      term->position = position;
+      term->values = ConstraintSet::None();
+      term->null_verdict = TermVerdict::kTrue;
+      return true;  // IS NULL is never NULL itself: non-null misses are FALSE
+    }
+    case ExprKind::kNot: {
+      // Only NOT (col IS NULL): general NOT would swap kTrue/kFalse but has
+      // to keep kNull fixed, which `values`-complementing cannot express for
+      // arbitrary children.
+      const ExprPtr& inner = e->child(0);
+      if (inner->kind() != ExprKind::kIsNull ||
+          inner->child(0)->kind() != ExprKind::kColumnRef) {
+        return false;
+      }
+      const auto& col = static_cast<const ColumnRefExpr&>(*inner->child(0));
+      const int position = layout.PositionOf(col.id());
+      if (position < 0) return false;
+      term->position = position;
+      term->values = ConstraintSet::All();
+      term->null_verdict = TermVerdict::kFalse;  // NOT TRUE, not NULL
+      return true;
+    }
+    case ExprKind::kOr: {
+      // OR of same-column terms: TRUE sets union; the NULL/miss verdicts OR
+      // as std::max in the kFalse < kNull < kTrue order. Family checks
+      // accumulate across all disjuncts — conservative where evaluation
+      // would short-circuit at an earlier TRUE, never unsound (the gate only
+      // decides fallback).
+      if (e->children().empty()) return false;
+      bool has_column = false;
+      TermVerdict const_floor = TermVerdict::kFalse;
+      for (const ExprPtr& child : e->children()) {
+        EncodedTerm sub;
+        if (!CompileTerm(child, layout, &sub)) return false;
+        for (auto& check : sub.family_checks) {
+          term->family_checks.push_back(std::move(check));
+        }
+        if (sub.const_verdict) {
+          const_floor = std::max(const_floor, sub.const_value);
+          continue;
+        }
+        if (!has_column) {
+          has_column = true;
+          term->position = sub.position;
+          term->values = sub.values;
+          term->null_verdict = sub.null_verdict;
+          term->miss_verdict = sub.miss_verdict;
+        } else if (term->position != sub.position) {
+          return false;  // multi-column OR is not a one-column verdict
+        } else {
+          term->values = term->values.Union(sub.values);
+          term->null_verdict = std::max(term->null_verdict, sub.null_verdict);
+          term->miss_verdict = std::max(term->miss_verdict, sub.miss_verdict);
+        }
+      }
+      if (const_floor == TermVerdict::kTrue || !has_column) {
+        // A constant TRUE disjunct decides every row; all-constant disjuncts
+        // reduce to their strongest verdict.
+        term->const_verdict = true;
+        term->const_value = const_floor;
+        return true;
+      }
+      // A constant NULL disjunct floors both non-TRUE verdicts at NULL.
+      term->null_verdict = std::max(term->null_verdict, const_floor);
+      term->miss_verdict = std::max(term->miss_verdict, const_floor);
+      return true;
+    }
+    default:
+      return false;  // kAnd (split upstream), kAggCall, kArith over columns
+  }
+}
+
+/// Closed int64 ranges equivalent to a ConstraintSet whose bounds are all
+/// integral — the bit-packed fast path. Fails (generic Datum path) on
+/// double/string bounds.
+struct IntRange {
+  int64_t lo;
+  int64_t hi;
+};
+
+bool BuildIntRanges(const ConstraintSet& values, std::vector<IntRange>* out) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  for (const Interval& in : values.intervals()) {
+    IntRange range{kMin, kMax};
+    if (!in.lo().unbounded) {
+      const Datum& v = in.lo().value;
+      if (v.type() == TypeId::kDouble || v.type() == TypeId::kString) return false;
+      range.lo = v.AsInt64();
+      if (!in.lo().inclusive) {
+        if (range.lo == kMax) continue;  // empty
+        ++range.lo;
+      }
+    }
+    if (!in.hi().unbounded) {
+      const Datum& v = in.hi().value;
+      if (v.type() == TypeId::kDouble || v.type() == TypeId::kString) return false;
+      range.hi = v.AsInt64();
+      if (!in.hi().inclusive) {
+        if (range.hi == kMin) continue;  // empty
+        --range.hi;
+      }
+    }
+    if (range.lo <= range.hi) out->push_back(range);
+  }
+  return true;
+}
+
+/// Whether a row with verdict `v` survives this term. Tracking mode (a
+/// residual exists) keeps non-FALSE rows, clearing the purity flag on NULL;
+/// exact mode (whole predicate compiled) keeps only TRUE.
+inline bool FoldVerdict(TermVerdict v, bool tracking, char* pure_slot) {
+  if (tracking) {
+    if (v == TermVerdict::kFalse) return false;
+    if (v != TermVerdict::kTrue) *pure_slot = 0;
+    return true;
+  }
+  return v == TermVerdict::kTrue;
+}
+
+void ApplyTerm(const EncodedTerm& term, const EncodedColumnChunk& col,
+               size_t base, SelVec* sel, std::vector<char>* pure) {
+  const bool tracking = pure != nullptr;
+  const TermVerdict null_v = term.null_verdict;
+  const TermVerdict miss_v = term.miss_verdict;
+  char scratch = 0;
+  size_t out = 0;
+  auto emit = [&](size_t i, uint32_t idx, TermVerdict v) {
+    if (FoldVerdict(v, tracking, tracking ? &(*pure)[i] : &scratch)) {
+      (*sel)[out] = idx;
+      if (tracking) (*pure)[out] = (*pure)[i];
+      ++out;
+    }
+  };
+  switch (col.encoding) {
+    case ColumnEncoding::kDictionary: {
+      // One verdict per dictionary code: O(|dict|) Datum work, then integer
+      // filtering only.
+      std::vector<TermVerdict> code_verdict(col.dict.size());
+      for (size_t d = 0; d < col.dict.size(); ++d) {
+        code_verdict[d] =
+            term.values.Contains(col.dict[d]) ? TermVerdict::kTrue : miss_v;
+      }
+      for (size_t i = 0; i < sel->size(); ++i) {
+        const uint32_t idx = (*sel)[i];
+        const uint32_t code = col.codes[idx - base];
+        emit(i, idx,
+             code == EncodedColumnChunk::kNullCode ? null_v : code_verdict[code]);
+      }
+      break;
+    }
+    case ColumnEncoding::kRunLength: {
+      // One verdict per run actually touched by the selection.
+      size_t run = 0;
+      size_t run_hi = base + col.run_lengths[0];
+      int memo = -1;
+      for (size_t i = 0; i < sel->size(); ++i) {
+        const uint32_t idx = (*sel)[i];
+        while (idx >= run_hi) {
+          ++run;
+          run_hi += col.run_lengths[run];
+          memo = -1;
+        }
+        if (memo < 0) {
+          const Datum& rv = col.run_values[run];
+          memo = static_cast<int>(rv.is_null()              ? null_v
+                                  : term.values.Contains(rv) ? TermVerdict::kTrue
+                                                             : miss_v);
+        }
+        emit(i, idx, static_cast<TermVerdict>(memo));
+      }
+      break;
+    }
+    case ColumnEncoding::kBitPacked: {
+      std::vector<IntRange> ranges;
+      const bool fast = BuildIntRanges(term.values, &ranges);
+      for (size_t i = 0; i < sel->size(); ++i) {
+        const uint32_t idx = (*sel)[i];
+        const size_t rel = idx - base;
+        TermVerdict v;
+        if (col.IsNullAt(rel)) {
+          v = null_v;
+        } else if (fast) {
+          const int64_t x = col.PackedValueAt(rel);
+          v = miss_v;
+          for (const IntRange& range : ranges) {
+            if (x >= range.lo && x <= range.hi) {
+              v = TermVerdict::kTrue;
+              break;
+            }
+          }
+        } else {
+          // Double-valued bounds: reconstruct the Datum and let the interval
+          // algebra compare in the numeric family.
+          v = term.values.Contains(col.ValueAt(rel)) ? TermVerdict::kTrue
+                                                     : miss_v;
+        }
+        emit(i, idx, v);
+      }
+      break;
+    }
+    case ColumnEncoding::kPlain: {
+      for (size_t i = 0; i < sel->size(); ++i) {
+        const uint32_t idx = (*sel)[i];
+        const Datum& dv = col.plain[idx - base];
+        emit(i, idx,
+             dv.is_null()              ? null_v
+             : term.values.Contains(dv) ? TermVerdict::kTrue
+                                        : miss_v);
+      }
+      break;
+    }
+  }
+  sel->resize(out);
+  if (tracking) pure->resize(out);
+}
+
+}  // namespace
+
+EncodedPredicate CompileEncodedPredicate(const ExprPtr& predicate,
+                                         const ColumnLayout& layout) {
+  EncodedPredicate out;
+  if (!predicate) return out;
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(predicate);
+  size_t compiled = 0;
+  for (const ExprPtr& conjunct : conjuncts) {
+    EncodedTerm term;
+    if (!CompileTerm(conjunct, layout, &term)) break;
+    out.terms.push_back(std::move(term));
+    ++compiled;
+  }
+  if (compiled < conjuncts.size()) {
+    out.residual = Conj(std::vector<ExprPtr>(conjuncts.begin() + compiled,
+                                             conjuncts.end()));
+  }
+  return out;
+}
+
+bool EncodedChunkEligible(const EncodedPredicate& pred, const SliceColumns& cols,
+                          size_t chunk) {
+  for (const EncodedTerm& term : pred.terms) {
+    for (const auto& [position, rep] : term.family_checks) {
+      MPPDB_CHECK(position >= 0 &&
+                  static_cast<size_t>(position) < cols.num_columns);
+      const ColumnSynopsis& stats =
+          cols.columns[static_cast<size_t>(position)][chunk].stats;
+      if (stats.non_null_count == 0) continue;  // comparisons all yield NULL
+      if (!stats.comparable || !DatumsComparable(stats.min, rep)) return false;
+    }
+  }
+  return true;
+}
+
+void EvalEncodedPredicate(const EncodedPredicate& pred, const SliceColumns& cols,
+                          size_t chunk, size_t base, size_t row_count,
+                          SelVec* sel, std::vector<char>* pure) {
+  sel->resize(row_count);
+  for (size_t i = 0; i < row_count; ++i) {
+    (*sel)[i] = static_cast<uint32_t>(base + i);
+  }
+  if (pure != nullptr) pure->assign(row_count, 1);
+  for (const EncodedTerm& term : pred.terms) {
+    if (sel->empty()) return;
+    if (term.const_verdict) {
+      if (term.const_value == TermVerdict::kFalse ||
+          (pure == nullptr && term.const_value != TermVerdict::kTrue)) {
+        sel->clear();
+        if (pure != nullptr) pure->clear();
+        return;
+      }
+      if (term.const_value == TermVerdict::kNull && pure != nullptr) {
+        std::fill(pure->begin(), pure->end(), 0);
+      }
+      continue;
+    }
+    ApplyTerm(term, cols.columns[static_cast<size_t>(term.position)][chunk],
+              base, sel, pure);
+  }
+}
+
+}  // namespace mppdb

@@ -1,0 +1,104 @@
+#ifndef MPPDB_EXPR_ENCODED_EVAL_H_
+#define MPPDB_EXPR_ENCODED_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "expr/interval.h"
+#include "expr/vector_eval.h"
+#include "storage/column_store.h"
+
+namespace mppdb {
+
+/// Encoded-data predicate evaluation (DESIGN.md §12).
+///
+/// Unlike sargable skip tests — *necessary* conditions used to prove whole
+/// chunks dead — the terms here are *exact*: a conjunct compiled into an
+/// EncodedTerm reproduces the conjunct's full three-valued verdict
+/// (TRUE / FALSE / NULL) for every row value. That lets the scan evaluate a
+/// prefix of the predicate directly on encoded column chunks — per-
+/// dictionary-code verdicts, per-RLE-run verdicts, frame-of-reference integer
+/// compares — and materialize only surviving rows, while remaining
+/// bit-identical (rows *and* error outcomes) to the row oracle.
+///
+/// Soundness mirrors the sargable prefix rule, with one refinement. Terms
+/// cover a maximal prefix of the top-level conjuncts; the first conjunct that
+/// cannot be compiled exactly ends the prefix and everything from it on
+/// becomes the residual. The row evaluator's AND short-circuits on FALSE but
+/// *not* on NULL (a NULL conjunct keeps evaluating, so a later conjunct can
+/// still raise an error), so the verdicts must be three-valued: a row is
+/// dropped before the residual only when some prefix term is FALSE on it —
+/// exactly when the oracle's short-circuit would never reach the residual. A
+/// row whose prefix verdicts are all TRUE/NULL reaches the residual, and its
+/// final keep additionally requires every prefix verdict to be TRUE. Per
+/// chunk, the same family-check gate as SynopsisCanSkip proves no prefix term
+/// can raise a type-mismatch error on any row of the chunk; a chunk failing
+/// the gate falls back to ordinary row/kernel evaluation in full.
+
+/// Three-valued conjunct verdict, ordered so OR-merging is std::max.
+enum class TermVerdict : uint8_t { kFalse = 0, kNull = 1, kTrue = 2 };
+
+/// One exactly-compiled conjunct. Verdict of a row value v:
+///   v NULL          -> null_verdict
+///   v in values     -> kTrue
+///   otherwise       -> miss_verdict (kNull for e.g. IN lists with NULL items)
+/// Constant conjuncts carry `const_value` for every row instead.
+struct EncodedTerm {
+  /// Row position of the referenced column; -1 for constant conjuncts.
+  int position = -1;
+  /// The set of non-null values with verdict kTrue.
+  ConstraintSet values = ConstraintSet::None();
+  TermVerdict null_verdict = TermVerdict::kNull;
+  /// Verdict of a non-null value outside `values`; never kTrue.
+  TermVerdict miss_verdict = TermVerdict::kFalse;
+  /// Constant conjunct: `const_value` decides for every row.
+  bool const_verdict = false;
+  TermVerdict const_value = TermVerdict::kFalse;
+  /// (row position, representative constant): same error-freedom gate
+  /// contract as SargableConjunct::family_checks.
+  std::vector<std::pair<int, Datum>> family_checks;
+};
+
+struct EncodedPredicate {
+  /// Exactly-compiled prefix of the top-level conjuncts, evaluation order.
+  std::vector<EncodedTerm> terms;
+  /// Conjunction of the remaining conjuncts (original order); nullptr when
+  /// the whole predicate compiled.
+  ExprPtr residual;
+
+  bool HasTerms() const { return !terms.empty(); }
+};
+
+/// Compiles the maximal exactly-representable conjunct prefix against a
+/// scan's output layout. Shapes compiled: col-op-const, col IN (consts),
+/// col IS NULL, NOT (col IS NULL), bare boolean columns, constant-foldable
+/// conjuncts, and ORs of those over one column. Deterministic and
+/// side-effect free; call once per scan.
+EncodedPredicate CompileEncodedPredicate(const ExprPtr& predicate,
+                                         const ColumnLayout& layout);
+
+/// True if every term's family checks pass against chunk `chunk` of the
+/// encoded slice — i.e. no term can raise an evaluation error on any row of
+/// the chunk, so the encoded verdicts below are exact there. Chunks failing
+/// this must be evaluated by the ordinary row/kernel path in full.
+bool EncodedChunkEligible(const EncodedPredicate& pred, const SliceColumns& cols,
+                          size_t chunk);
+
+/// Evaluates every term over chunk `chunk` (rows [base, base + row_count) in
+/// absolute positions), leaving the surviving absolute row indexes in *sel,
+/// in row order. With `pure` null, survivors are exactly the rows where every
+/// term is kTrue (correct when the whole predicate compiled: FALSE and NULL
+/// conjunctions both drop under WHERE). With `pure` non-null — required when
+/// a residual exists — survivors are the rows where no term is kFalse (the
+/// rows on which the oracle's AND short-circuit would reach the residual),
+/// and pure[i] is 1 iff every term is kTrue on sel[i]: the row's final keep
+/// is pure[i] AND the residual's verdict. Precondition: EncodedChunkEligible.
+void EvalEncodedPredicate(const EncodedPredicate& pred, const SliceColumns& cols,
+                          size_t chunk, size_t base, size_t row_count,
+                          SelVec* sel, std::vector<char>* pure);
+
+}  // namespace mppdb
+
+#endif  // MPPDB_EXPR_ENCODED_EVAL_H_

@@ -92,6 +92,11 @@ std::optional<ColumnStats> CardinalityEstimator::TableColumnStats(
         static_cast<double>(stats.max.AsInt64() - stats.min.AsInt64()) + 1.0;
     stats.ndv = std::max(1.0, std::min(stats.ndv, span));
   }
+  // Column-oriented tables whose slices are all dictionary/run-length encoded
+  // expose the exact distinct set; prefer it over the rollup estimate.
+  if (std::optional<size_t> exact = store->ExactDistinctFromDictionaries(column)) {
+    stats.ndv = std::max(1.0, static_cast<double>(*exact));
+  }
   return stats;
 }
 

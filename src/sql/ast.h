@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mppdb {
@@ -119,6 +120,19 @@ struct CreateTableStmt {
   Distribution distribution = Distribution::kRandom;
   std::vector<std::string> distribution_columns;
   std::vector<PartitionLevelSpec> partition_levels;
+  /// WITH (key = value, ...) storage options (GPDB-style); currently
+  /// orientation = row | column.
+  std::vector<std::pair<std::string, std::string>> with_options;
+};
+
+/// ALTER TABLE <t> SET [PARTITION <name>] WITH (key = value, ...).
+/// An empty partition name targets the whole table (and resets per-partition
+/// overrides); a partition name matches a leaf's qualified name or any path
+/// component ("p3" covers every subpartition under p3).
+struct AlterTableStmt {
+  std::string table;
+  std::string partition;
+  std::vector<std::pair<std::string, std::string>> options;
 };
 
 struct DropTableStmt {
@@ -139,6 +153,7 @@ struct Statement {
     kCreateTable,
     kDropTable,
     kCreateIndex,
+    kAlterTable,
   };
   Kind kind = Kind::kSelect;
   /// EXPLAIN prefix: plan the statement but return the plan text.
@@ -150,6 +165,7 @@ struct Statement {
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<DropTableStmt> drop_table;
   std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<AlterTableStmt> alter_table;
 };
 
 }  // namespace sql_ast

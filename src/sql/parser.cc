@@ -56,6 +56,25 @@ class Parser {
       MPPDB_ASSIGN_OR_RETURN(drop->table, ExpectIdentifier());
       stmt.kind = sql_ast::Statement::Kind::kDropTable;
       stmt.drop_table = std::move(drop);
+    } else if (AcceptWord("alter", "ALTER")) {
+      // ALTER TABLE <t> SET [PARTITION <name>] WITH (key = value, ...)
+      MPPDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+      auto alter = std::make_unique<sql_ast::AlterTableStmt>();
+      MPPDB_ASSIGN_OR_RETURN(alter->table, ExpectIdentifier());
+      MPPDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+      if (AcceptWord("partition", "PARTITION")) {
+        // Qualified leaf names contain '/', so string literals are accepted
+        // alongside bare identifiers.
+        if (Peek().type == TokenType::kStringLiteral) {
+          alter->partition = Advance().text;
+        } else {
+          MPPDB_ASSIGN_OR_RETURN(alter->partition, ExpectIdentifier());
+        }
+      }
+      MPPDB_RETURN_IF_ERROR(ExpectWord("with", "WITH"));
+      MPPDB_RETURN_IF_ERROR(ParseWithOptions(&alter->options));
+      stmt.kind = sql_ast::Statement::Kind::kAlterTable;
+      stmt.alter_table = std::move(alter);
     } else {
       return Error("expected SELECT, INSERT, UPDATE or DELETE");
     }
@@ -298,6 +317,30 @@ class Parser {
     return Status::OK();
   }
 
+  /// Parses the parenthesized option list of a WITH clause (the WITH word
+  /// itself was already consumed): ( key = value [, ...] ). Values are bare
+  /// words, string literals, or integers.
+  Status ParseWithOptions(
+      std::vector<std::pair<std::string, std::string>>* options) {
+    MPPDB_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      MPPDB_ASSIGN_OR_RETURN(std::string key, ExpectIdentifier());
+      MPPDB_RETURN_IF_ERROR(ExpectSymbol("="));
+      std::string value;
+      if (Peek().type == TokenType::kIdentifier ||
+          Peek().type == TokenType::kStringLiteral) {
+        value = Advance().text;
+      } else if (Peek().type == TokenType::kIntLiteral) {
+        value = std::to_string(Advance().int_value);
+      } else {
+        return Error("expected storage option value");
+      }
+      options->emplace_back(std::move(key), std::move(value));
+      if (!AcceptSymbol(",")) break;
+    }
+    return ExpectSymbol(")");
+  }
+
   Result<std::unique_ptr<sql_ast::CreateTableStmt>> ParseCreateTable() {
     MPPDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
     auto create = std::make_unique<sql_ast::CreateTableStmt>();
@@ -316,6 +359,12 @@ class Parser {
       if (!AcceptSymbol(",")) break;
     }
     MPPDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+
+    // GPDB puts storage options right after the column list; a trailing WITH
+    // after the partition clauses is accepted too (below).
+    if (AcceptWord("with", "WITH")) {
+      MPPDB_RETURN_IF_ERROR(ParseWithOptions(&create->with_options));
+    }
 
     if (AcceptWord("distributed", "DISTRIBUTED")) {
       if (AcceptWord("randomly", "RANDOMLY")) {
@@ -377,6 +426,9 @@ class Parser {
         MPPDB_RETURN_IF_ERROR(ExpectSymbol(")"));
       }
       create->partition_levels.push_back(std::move(level));
+    }
+    if (AcceptWord("with", "WITH")) {
+      MPPDB_RETURN_IF_ERROR(ParseWithOptions(&create->with_options));
     }
     return create;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "expr/eval.h"
 
 namespace mppdb {
 
@@ -23,6 +24,11 @@ TableStore::TableStore(const TableDescriptor* desc, int num_segments)
     synopses_.emplace(
         oid, std::vector<SliceSynopsis>(static_cast<size_t>(num_segments),
                                         SliceSynopsis(desc->schema.size())));
+    // Every unit gets an (empty, version-0) encoded-image slot: orientation
+    // can change per leaf at runtime (ALTER TABLE), so eligibility is checked
+    // at read time, not at construction.
+    column_cache_.emplace(
+        oid, std::vector<SliceColumns>(static_cast<size_t>(num_segments)));
   }
 }
 
@@ -197,13 +203,112 @@ const SliceSynopsis& TableStore::UnitSynopsis(Oid unit_oid, int segment) const {
   SliceSynopsis& synopsis = it->second[static_cast<size_t>(segment)];
   const uint64_t version = SliceVersion(unit_oid, segment);
   if (synopsis.built_version != version) {
-    const std::vector<Row>& rows = UnitRows(unit_oid, segment);
-    synopsis.chunks.clear();
-    synopsis.rollup = ChunkSynopsis(desc_->schema.size());
-    for (const Row& row : rows) synopsis.Append(row);
-    synopsis.built_version = version;
+    // Column-oriented slice with a fresh encoded image: assemble the synopsis
+    // from the per-chunk stats captured at encode time (dictionary extremes,
+    // RLE run values) instead of walking — and thereby decoding — every row.
+    bool from_columns = false;
+    if (desc_->UnitOrientation(unit_oid) == StorageOrientation::kColumn) {
+      std::lock_guard<std::mutex> col_lock(colstore_mu_);
+      auto col_it = column_cache_.find(unit_oid);
+      MPPDB_CHECK(col_it != column_cache_.end());
+      const SliceColumns& cols = col_it->second[static_cast<size_t>(segment)];
+      if (cols.built_version == version) {
+        synopsis = SynopsisFromColumns(cols);
+        synopsis.built_version = version;
+        from_columns = true;
+      }
+    }
+    if (!from_columns) {
+      const std::vector<Row>& rows = UnitRows(unit_oid, segment);
+      synopsis.chunks.clear();
+      synopsis.rollup = ChunkSynopsis(desc_->schema.size());
+      for (const Row& row : rows) synopsis.Append(row);
+      synopsis.built_version = version;
+    }
   }
   return synopsis;
+}
+
+const SliceColumns* TableStore::UnitColumns(Oid unit_oid, int segment) const {
+  if (desc_->UnitOrientation(unit_oid) != StorageOrientation::kColumn) {
+    return nullptr;
+  }
+  // Same serialization contract as UnitSynopsis: concurrent queries may race
+  // to re-encode a slice staled by earlier DML; the reference is stable until
+  // the next DML (kept out of read lifetimes by the Database writer lock).
+  std::lock_guard<std::mutex> lock(colstore_mu_);
+  auto it = column_cache_.find(unit_oid);
+  MPPDB_CHECK(it != column_cache_.end());
+  MPPDB_CHECK(segment >= 0 && segment < num_segments_);
+  SliceColumns& cols = it->second[static_cast<size_t>(segment)];
+  const uint64_t version = SliceVersion(unit_oid, segment);
+  if (cols.built_version != version) {
+    cols = EncodeSlice(UnitRows(unit_oid, segment), desc_->schema.size());
+    cols.built_version = version;
+  }
+  return &cols;
+}
+
+bool TableStore::ColumnsFresh(Oid unit_oid, int segment) const {
+  if (desc_->UnitOrientation(unit_oid) != StorageOrientation::kColumn) {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(colstore_mu_);
+  auto it = column_cache_.find(unit_oid);
+  MPPDB_CHECK(it != column_cache_.end());
+  return it->second[static_cast<size_t>(segment)].built_version ==
+         SliceVersion(unit_oid, segment);
+}
+
+std::optional<size_t> TableStore::ExactDistinctFromDictionaries(int column) const {
+  if (column < 0 || static_cast<size_t>(column) >= desc_->schema.size()) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(colstore_mu_);
+  // Sorted union of every slice's dictionary (and RLE value) sets. Exact only
+  // if every non-empty slice is a fresh column-oriented image whose chunks
+  // all enumerate their values.
+  std::vector<Datum> merged;
+  auto merge_value = [&merged](const Datum& v) -> bool {
+    if (v.is_null()) return true;
+    // The union spans slices that never met in one chunk; a cross-family
+    // Datum::Compare would abort, so bail out to the estimate instead.
+    if (!merged.empty() && !DatumsComparable(merged.front(), v)) return false;
+    auto it = std::lower_bound(merged.begin(), merged.end(), v);
+    if (it == merged.end() || !it->Equals(v)) merged.insert(it, v);
+    return true;
+  };
+  for (const auto& [oid, segments] : units_) {
+    for (int segment = 0; segment < num_segments_; ++segment) {
+      const std::vector<Row>& rows = segments[static_cast<size_t>(segment)];
+      if (rows.empty()) continue;
+      if (desc_->UnitOrientation(oid) != StorageOrientation::kColumn) {
+        return std::nullopt;
+      }
+      auto col_it = column_cache_.find(oid);
+      MPPDB_CHECK(col_it != column_cache_.end());
+      const SliceColumns& cols = col_it->second[static_cast<size_t>(segment)];
+      if (cols.built_version != SliceVersion(oid, segment)) return std::nullopt;
+      for (const EncodedColumnChunk& chunk :
+           cols.columns[static_cast<size_t>(column)]) {
+        switch (chunk.encoding) {
+          case ColumnEncoding::kDictionary:
+            for (const Datum& v : chunk.dict) {
+              if (!merge_value(v)) return std::nullopt;
+            }
+            break;
+          case ColumnEncoding::kRunLength:
+            for (const Datum& v : chunk.run_values) {
+              if (!merge_value(v)) return std::nullopt;
+            }
+            break;
+          default:
+            return std::nullopt;
+        }
+      }
+    }
+  }
+  return merged.size();
 }
 
 Status TableStore::CreateIndex(int column) {

@@ -5,11 +5,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "storage/column_store.h"
 #include "storage/synopsis.h"
 #include "types/row.h"
 
@@ -109,6 +111,32 @@ class TableStore {
   /// asking for the synopsis.
   bool SynopsisFresh(Oid unit_oid, int segment) const;
 
+  /// Effective storage orientation of one unit (catalog default plus per-leaf
+  /// overrides; see TableDescriptor::UnitOrientation).
+  StorageOrientation UnitOrientation(Oid unit_oid) const {
+    return desc_->UnitOrientation(unit_oid);
+  }
+
+  /// Encoded column image of one slice, or nullptr for row-oriented units.
+  /// Same lazy contract as UnitSynopsis: (re)encoded here when the slice
+  /// version moved (serialized on colstore_mu_); the returned pointer is
+  /// stable until the slice next mutates, which the Database-level writer
+  /// lock keeps out of any concurrent read's lifetime.
+  const SliceColumns* UnitColumns(Oid unit_oid, int segment) const;
+
+  /// True if the slice's encoded image reflects its current version (always
+  /// true for row-oriented units, which keep none). The executor charges or
+  /// sheds the encode scratch before asking, like SynopsisFresh.
+  bool ColumnsFresh(Oid unit_oid, int segment) const;
+
+  /// Exact distinct count of `column`'s non-null values, provable from the
+  /// encoded images alone: every non-empty slice must be column-oriented,
+  /// fresh, and hold the column purely dictionary- or run-length-encoded;
+  /// the result is the size of the merged value set. nullopt when not
+  /// provable (the CardinalityEstimator then falls back to its rollup
+  /// estimate).
+  std::optional<size_t> ExactDistinctFromDictionaries(int column) const;
+
  private:
   int SegmentForRow(const Row& row);
   void BumpVersion(Oid unit_oid, int segment);
@@ -137,6 +165,11 @@ class TableStore {
   /// thread, but concurrent *queries* scan the same slice from different
   /// threads and must not both rebuild a synopsis staled by earlier DML.
   mutable std::mutex synopsis_mu_;
+  /// Encoded column images, aligned with units_. Only populated for
+  /// column-oriented units; mutable for the lazy (re)encode in UnitColumns
+  /// (serialized by colstore_mu_, same pattern as the synopses).
+  mutable std::unordered_map<Oid, std::vector<SliceColumns>> column_cache_;
+  mutable std::mutex colstore_mu_;
   /// Serializes the lazily-built index structures below, which concurrent
   /// read-only queries mutate as a side effect.
   mutable std::mutex index_mu_;

@@ -11,7 +11,8 @@
 //
 // Each query additionally runs through the executor-mode matrix
 // {serial, parallel} x {row-at-a-time, vectorized} x {data skipping on, off}
-// x {morsels on, off, fine-grained} — the morsel legs use a 4-worker pool
+// x {morsels on, off, fine-grained} x {row-store, column-store, mixed-per-
+// partition} — the morsel legs use a 4-worker pool
 // above the 3 segments, and the fine-grained leg forces 1024-row morsels so
 // steals and per-morsel stat shards are exercised — asserting bit-identical
 // rows and ExecStats against the serial row-at-a-time oracle (zone-map skip
@@ -54,7 +55,10 @@ class RandomQueryTest : public ::testing::Test {
         db_parallel_fine_(3, Executor::Options{.parallel = true,
                                                .max_workers = 4,
                                                .morsel_rows = 1024,
-                                               .vectorized = true}) {
+                                               .vectorized = true}),
+        db_column_(3),
+        db_column_vec_(3, Executor::Options{.parallel = true, .vectorized = true}),
+        db_mixed_(3) {
     Random rng(4242);
     std::vector<Row> fact_rows;
     for (int i = 0; i < 600; ++i) {
@@ -87,13 +91,26 @@ class RandomQueryTest : public ::testing::Test {
       MPPDB_CHECK(db->Load("fact", fact_rows).ok());
       MPPDB_CHECK(db->Load("dim", dim_rows).ok());
     }
+    // Storage axis: same data, column-oriented (serial and parallel
+    // vectorized) and mixed-per-partition. Encoded-data evaluation may only
+    // change its own counters, never rows or downstream stats.
+    for (Database* db : {&db_column_, &db_column_vec_}) {
+      MPPDB_CHECK(db->Run("ALTER TABLE fact SET WITH (orientation = column)").ok());
+      MPPDB_CHECK(db->Run("ALTER TABLE dim SET WITH (orientation = column)").ok());
+    }
+    for (int p = 0; p < 16; p += 2) {
+      MPPDB_CHECK(db_mixed_
+                      .Run("ALTER TABLE fact SET PARTITION r" + std::to_string(p) +
+                           " WITH (orientation = column)")
+                      .ok());
+    }
   }
 
   std::vector<Database*> AllModes() {
     return {&db_,        &db_parallel_,    &db_vectorized_,
             &db_parallel_vec_, &db_noskip_, &db_noskip_vec_,
             &db_noskip_parallel_vec_, &db_parallel_nomorsel_,
-            &db_parallel_fine_};
+            &db_parallel_fine_, &db_column_, &db_column_vec_, &db_mixed_};
   }
 
   // Random predicate over the given column names (int-typed).
@@ -120,6 +137,13 @@ class RandomQueryTest : public ::testing::Test {
     std::string op = rng->Bernoulli(0.6) ? " AND " : " OR ";
     return "(" + RandomPredicate(rng, columns, depth - 1) + op +
            RandomPredicate(rng, columns, depth - 1) + ")";
+  }
+
+  static void ZeroEncodedCounters(ExecStats* stats) {
+    stats->chunks_encoded_eval = 0;
+    stats->rows_late_materialized = 0;
+    stats->encoded_bytes_scanned = 0;
+    stats->colstore_rebuilds_shed = 0;
   }
 
   static void ZeroJoinFilterCounters(ExecStats* stats) {
@@ -149,6 +173,24 @@ class RandomQueryTest : public ::testing::Test {
           << " vectorized=" << db->exec_options().vectorized << ")";
       EXPECT_TRUE(reference->stats == mode_result->stats)
           << sql << " (parallel=" << db->exec_options().parallel
+          << " vectorized=" << db->exec_options().vectorized << ")";
+    }
+
+    // Storage axis: row-store, column-store, and mixed-per-partition must
+    // produce bit-identical rows, and bit-identical stats once the encoded-
+    // path counters — the only thing the encoded fast path may change — are
+    // zeroed on the columnar side.
+    for (Database* db : {&db_column_, &db_column_vec_, &db_mixed_}) {
+      auto mode_result = db->Run(sql, reference_options);
+      ASSERT_TRUE(mode_result.ok())
+          << sql << "\n" << mode_result.status().ToString();
+      ExecStats mode_stats = mode_result->stats;
+      ZeroEncodedCounters(&mode_stats);
+      EXPECT_TRUE(reference->rows == mode_result->rows)
+          << sql << " (columnar, parallel=" << db->exec_options().parallel
+          << " vectorized=" << db->exec_options().vectorized << ")";
+      EXPECT_TRUE(reference->stats == mode_stats)
+          << sql << " (columnar, parallel=" << db->exec_options().parallel
           << " vectorized=" << db->exec_options().vectorized << ")";
     }
 
@@ -222,6 +264,9 @@ class RandomQueryTest : public ::testing::Test {
   Database db_noskip_parallel_vec_;
   Database db_parallel_nomorsel_;
   Database db_parallel_fine_;
+  Database db_column_;
+  Database db_column_vec_;
+  Database db_mixed_;
 };
 
 TEST_F(RandomQueryTest, SingleTableFilters) {
