@@ -1,0 +1,182 @@
+// Ordered index access paths: wall-clock for the three shapes the
+// Select2IndexSeek / Limit2DynamicIndexScan / MinMax2IndexSeek alternatives
+// serve — a selective range predicate, ORDER BY key + LIMIT k, and an
+// ungrouped MIN/MAX — each measured three ways over identical data:
+//   * full:    index paths off, zone-map skipping off (the pre-index scan),
+//   * zoneskip: index paths off, zone-map skipping on (the best the chunk
+//               synopses can do; the key column is load-clustered so their
+//               ranges are as tight as they get),
+//   * index:   index paths on (DynamicIndexScan seeks / walks / probes).
+// Bit-identical-result checks ride along with every measurement: all three
+// configurations must return the same rows in the same order, and only the
+// index leg may touch the index_seeks / index_rows_read / topn_rows_cut
+// counters.
+//
+// Emits BENCH_index.json with per-shape timings and speedups. `--smoke`
+// shrinks data and iterations for the ctest gate (release_index_smoke),
+// which asserts correctness and plan shape, not speed.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "db/database.h"
+
+namespace mppdb {
+namespace {
+
+struct BenchSizes {
+  size_t fact_rows = 400000;
+  int segments = 4;
+  int partitions = 8;
+  int iterations = 5;
+};
+
+BenchSizes SmokeSizes() {
+  BenchSizes sizes;
+  sizes.fact_rows = 40000;
+  sizes.segments = 2;
+  sizes.partitions = 4;
+  sizes.iterations = 2;
+  return sizes;
+}
+
+/// Runs `sql` under the three configurations, checks bit-identical rows and
+/// the stats contract, measures each, and appends a JSON entry. `db_noskip`
+/// and `db_skip` hold identical data and differ only in the executor's
+/// data_skipping option.
+void CompareAccessPaths(const std::string& name, const std::string& sql,
+                        Database* db_noskip, Database* db_skip, int iterations,
+                        std::vector<benchutil::BenchJsonEntry>* entries) {
+  QueryOptions no_index;
+  no_index.enable_index_paths = false;
+  QueryOptions with_index;
+
+  auto full = db_noskip->Run(sql, no_index);
+  MPPDB_CHECK(full.ok());
+  auto zoneskip = db_skip->Run(sql, no_index);
+  MPPDB_CHECK(zoneskip.ok());
+  auto index = db_skip->Run(sql, with_index);
+  MPPDB_CHECK(index.ok());
+
+  MPPDB_CHECK(full->rows == zoneskip->rows);
+  MPPDB_CHECK(full->rows == index->rows);
+  // The off legs must not touch the index counters; the index leg must
+  // actually have taken an index path (this bench only measures shapes the
+  // cost model should favor).
+  for (const QueryResult* off : {&*full, &*zoneskip}) {
+    MPPDB_CHECK(off->stats.index_seeks == 0);
+    MPPDB_CHECK(off->stats.index_rows_read == 0);
+    MPPDB_CHECK(off->stats.topn_rows_cut == 0);
+  }
+  MPPDB_CHECK(index->stats.index_seeks > 0);
+
+  benchutil::TimingStats full_t = benchutil::MeasureMillis(
+      /*warmup=*/1, iterations,
+      [&]() { MPPDB_CHECK(db_noskip->Run(sql, no_index).ok()); });
+  benchutil::TimingStats zoneskip_t = benchutil::MeasureMillis(
+      /*warmup=*/1, iterations,
+      [&]() { MPPDB_CHECK(db_skip->Run(sql, no_index).ok()); });
+  benchutil::TimingStats index_t = benchutil::MeasureMillis(
+      /*warmup=*/1, iterations,
+      [&]() { MPPDB_CHECK(db_skip->Run(sql, with_index).ok()); });
+
+  double speedup_full = full_t.median_ms / index_t.median_ms;
+  double speedup_skip = zoneskip_t.median_ms / index_t.median_ms;
+  std::printf("%-14s %8zu %9zu %11zu %9.2f %9.2f %9.2f %7.1fx %7.1fx\n",
+              name.c_str(), full->rows.size(), index->stats.index_seeks,
+              index->stats.index_rows_read, full_t.median_ms,
+              zoneskip_t.median_ms, index_t.median_ms, speedup_full,
+              speedup_skip);
+  entries->push_back(
+      {name,
+       {{"rows_out", static_cast<double>(full->rows.size())},
+        {"index_seeks", static_cast<double>(index->stats.index_seeks)},
+        {"index_rows_read", static_cast<double>(index->stats.index_rows_read)},
+        {"topn_rows_cut", static_cast<double>(index->stats.topn_rows_cut)},
+        {"full_ms", full_t.median_ms},
+        {"zoneskip_ms", zoneskip_t.median_ms},
+        {"index_ms", index_t.median_ms},
+        {"speedup_vs_fullscan", speedup_full},
+        {"speedup_vs_zoneskip", speedup_skip}}});
+}
+
+void LoadData(Database* db, const BenchSizes& sizes) {
+  // fact(k, b, u): partitioned on b, hashed on u, k ascending at load time
+  // so chunk synopses on k are as tight as possible (the zone-map leg gets
+  // its best case). Index on k.
+  MPPDB_CHECK(db->CreatePartitionedTable(
+                     "fact", Schema({{"k", TypeId::kInt64},
+                                     {"b", TypeId::kInt64},
+                                     {"u", TypeId::kInt64}}),
+                     TableDistribution::kHashed, {2},
+                     {{1, PartitionMethod::kRange}},
+                     {partition_bounds::IntRanges(0, 10, sizes.partitions)})
+                  .ok());
+  Random rng(7);
+  const int64_t b_domain = static_cast<int64_t>(sizes.partitions) * 10;
+  std::vector<Row> rows;
+  rows.reserve(sizes.fact_rows);
+  for (size_t i = 0; i < sizes.fact_rows; ++i) {
+    rows.push_back({Datum::Int64(static_cast<int64_t>(i)),
+                    Datum::Int64(static_cast<int64_t>(i) % b_domain),
+                    Datum::Int64(rng.UniformRange(0, 999999))});
+  }
+  MPPDB_CHECK(db->Load("fact", rows).ok());
+  MPPDB_CHECK(db->Run("CREATE INDEX ON fact (k)").ok());
+}
+
+int RunBenchmark(bool smoke) {
+  const BenchSizes sizes = smoke ? SmokeSizes() : BenchSizes{};
+  std::vector<benchutil::BenchJsonEntry> entries;
+  entries.push_back({"env", {{"smoke", smoke ? 1.0 : 0.0},
+                             {"fact_rows", static_cast<double>(sizes.fact_rows)}}});
+
+  benchutil::Header("Index access paths: seek vs full scan vs zone-map skip");
+  Database db_noskip(sizes.segments, Executor::Options{.data_skipping = false});
+  Database db_skip(sizes.segments);
+  LoadData(&db_noskip, sizes);
+  LoadData(&db_skip, sizes);
+
+  std::printf("%-14s %8s %9s %11s %9s %9s %9s %8s %8s\n", "shape", "out",
+              "seeks", "idx-rows", "full", "zoneskip", "index", "vs-full",
+              "vs-skip");
+  benchutil::Rule(94);
+
+  // Selective range over the indexed (non-partition) column: ~0.1% of rows.
+  const int64_t lo = static_cast<int64_t>(sizes.fact_rows / 2);
+  const int64_t hi = lo + static_cast<int64_t>(sizes.fact_rows / 1000);
+  CompareAccessPaths("range_seek",
+                     "SELECT k, u FROM fact WHERE k >= " + std::to_string(lo) +
+                         " AND k < " + std::to_string(hi),
+                     &db_noskip, &db_skip, sizes.iterations, &entries);
+
+  // ORDER BY key + LIMIT: per-partition ordered walks through a top-N heap
+  // against sorting the whole table.
+  CompareAccessPaths("orderby_limit", "SELECT k, u FROM fact ORDER BY k LIMIT 100",
+                     &db_noskip, &db_skip, sizes.iterations, &entries);
+
+  // Ungrouped MIN/MAX: one first/last-entry probe per unit against a full
+  // scan feeding the aggregate.
+  CompareAccessPaths("minmax", "SELECT max(k) FROM fact", &db_noskip, &db_skip,
+                     sizes.iterations, &entries);
+
+  if (!smoke) {
+    benchutil::WriteBenchJson("BENCH_index.json", "index_paths", entries);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mppdb
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return mppdb::RunBenchmark(smoke);
+}

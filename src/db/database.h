@@ -40,6 +40,12 @@ struct QueryOptions {
   /// Results and all pre-existing ExecStats are identical either way; only
   /// the joinfilter_* counters (and the work saved) differ.
   bool enable_join_filters = true;
+  /// Disable the index access-path alternatives (DynamicIndexScan range
+  /// seeks, ORDER BY + LIMIT ordered walks, ungrouped MIN/MAX probes) and
+  /// the fused bounded top-N operator. Results are bit-identical either way;
+  /// only the index_seeks / index_rows_read / topn_rows_cut counters (and
+  /// the work saved) differ.
+  bool enable_index_paths = true;
   /// Values for $1, $2, ... parameters, substituted before optimization.
   std::vector<Datum> params;
 

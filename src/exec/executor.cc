@@ -11,6 +11,7 @@
 #include "exec/agg_state.h"
 #include "exec/join_hash.h"
 #include "expr/constraint_derivation.h"
+#include "expr/vector_eval.h"
 #include "runtime/partition_functions.h"
 
 namespace mppdb {
@@ -48,6 +49,9 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   colstore_rebuilds_shed += other.colstore_rebuilds_shed;
   motion_rows_encoded += other.motion_rows_encoded;
   motion_bytes_saved += other.motion_bytes_saved;
+  index_seeks += other.index_seeks;
+  index_rows_read += other.index_rows_read;
+  topn_rows_cut += other.topn_rows_cut;
 }
 
 struct Executor::MotionExchange {
@@ -443,6 +447,9 @@ Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
                                  segment);
     case PhysNodeKind::kDynamicScan:
       return ExecDynamicScan(static_cast<const DynamicScanNode&>(*node), segment);
+    case PhysNodeKind::kDynamicIndexScan:
+      return ExecDynamicIndexScan(static_cast<const DynamicIndexScanNode&>(*node),
+                                  segment);
     case PhysNodeKind::kPartitionSelector:
       return ExecPartitionSelector(static_cast<const PartitionSelectorNode&>(*node),
                                    segment);
@@ -524,6 +531,8 @@ Result<std::vector<Row>> Executor::ExecNode(const PhysPtr& node, int segment) {
       if (rows.size() > limit.limit()) rows.resize(limit.limit());
       return rows;
     }
+    case PhysNodeKind::kTopN:
+      return ExecTopN(static_cast<const TopNNode&>(*node), segment);
     case PhysNodeKind::kMotion:
       return ExecMotion(static_cast<const MotionNode&>(*node), segment);
     case PhysNodeKind::kValues: {
@@ -809,6 +818,164 @@ Result<std::vector<Row>> Executor::ExecDynamicScan(const DynamicScanNode& node,
     MPPDB_RETURN_IF_ERROR(ScanUnit(*store, node.table_oid(), oid, segment,
                                    !node.rowid_ids().empty(), join_filters, &out));
   }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ExecDynamicIndexScan(
+    const DynamicIndexScanNode& node, int segment) {
+  TableStore* store = storage_->GetStore(node.table_oid());
+  if (store == nullptr) {
+    return Status::ExecutionError("no storage for table oid " +
+                                  std::to_string(node.table_oid()));
+  }
+  const TableDescriptor& table = store->descriptor();
+  if (node.scan_id() >= 0 && !hub_.HasChannel(segment, node.scan_id())) {
+    return Status::ExecutionError(
+        "DynamicIndexScan executed before its PartitionSelector (scan id " +
+        std::to_string(node.scan_id()) + ", segment " + std::to_string(segment) + ")");
+  }
+  if (table.distribution == TableDistribution::kReplicated && segment != 0) {
+    return std::vector<Row>{};
+  }
+  if (!table.HasIndexOn(node.index_column())) {
+    return Status::ExecutionError("DynamicIndexScan without an index on column " +
+                                  std::to_string(node.index_column()) + " of " +
+                                  table.name);
+  }
+  if (!store->HasIndex(node.index_column())) {
+    MPPDB_RETURN_IF_ERROR(store->CreateIndex(node.index_column()));
+  }
+
+  std::vector<Oid> units;
+  if (node.scan_id() >= 0) {
+    for (Oid oid : hub_.Selected(segment, node.scan_id())) {
+      if (!store->HasUnit(oid)) {
+        return Status::ExecutionError("selected partition oid " + std::to_string(oid) +
+                                      " is not a leaf of table " +
+                                      std::to_string(node.table_oid()));
+      }
+      units.push_back(oid);
+    }
+  } else {
+    units = store->UnitOids();
+  }
+
+  ColumnLayout layout = node.OutputLayout();
+  MPPDB_ASSIGN_OR_RETURN(std::vector<BoundJoinFilter> join_filters,
+                         BindJoinFilterProbes(node, layout, segment));
+  // Residual kernel compiled once per operator (vectorized path); each morsel
+  // body owns its evaluation scratch (KernelContext is not thread-safe).
+  std::optional<KernelProgram> residual_kernel;
+  if (options_.vectorized && node.residual() != nullptr) {
+    residual_kernel = KernelProgram::Compile(node.residual(), layout);
+  }
+
+  const Oid table_oid = node.table_oid();
+  // Unit-granular morsels: the surviving-unit list splits across the morsel
+  // scheduler exactly like a scan's row ranges; range-order output slots and
+  // range-order stats merging keep the result bit-identical to a serial loop.
+  auto body = [&, this](size_t begin, size_t end, ExecStats* stats,
+                        std::vector<Row>* mout) -> Status {
+    KernelContext kctx;
+    SelVec sel, survivors;
+    for (size_t u = begin; u < end; ++u) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "storage.scan_chunk"));
+      const Oid unit = units[u];
+      const std::vector<Row>& rows = store->UnitRows(unit, segment);
+      stats->partitions_scanned[table_oid].insert(unit);
+      // Logical accounting: the slice counts as scanned even though the index
+      // reads back only a fraction of it; only index_* counters reveal the
+      // access path.
+      stats->tuples_scanned += rows.size();
+      ++stats->index_seeks;
+      std::vector<size_t> positions;
+      switch (node.mode()) {
+        case IndexScanMode::kRangeSeek:
+          positions = store->IndexRangeSeek(unit, segment, node.index_column(),
+                                            node.lo(), node.hi());
+          break;
+        case IndexScanMode::kOrderedWalk:
+          positions = store->IndexOrderedWalk(unit, segment, node.index_column(),
+                                              node.ascending(), node.per_unit_limit());
+          break;
+        case IndexScanMode::kMinMax: {
+          std::optional<size_t> pos =
+              store->IndexMinMax(unit, segment, node.index_column(), node.ascending());
+          if (pos.has_value()) positions.push_back(*pos);
+          break;
+        }
+      }
+      stats->index_rows_read += positions.size();
+      if (positions.empty()) continue;
+      std::vector<Row> candidates;
+      candidates.reserve(positions.size());
+      for (size_t pos : positions) candidates.push_back(rows[pos]);
+      // Survivors of the full residual, in candidate order. Evaluating the
+      // whole original predicate (not just the non-sargable remainder) keeps
+      // rows and error behavior identical to Filter over the scan.
+      SelVec keep;
+      if (node.residual() == nullptr) {
+        keep.resize(candidates.size());
+        for (size_t i = 0; i < keep.size(); ++i) keep[i] = static_cast<uint32_t>(i);
+      } else if (residual_kernel.has_value()) {
+        if (kctx.chunk_capacity() == 0) {
+          kctx.Prepare(*residual_kernel, KernelContext::kDefaultChunkRows);
+        }
+        for (size_t base = 0; base < candidates.size();
+             base += kctx.chunk_capacity()) {
+          MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+          const size_t chunk_end =
+              std::min(candidates.size(), base + kctx.chunk_capacity());
+          sel.clear();
+          for (size_t i = base; i < chunk_end; ++i) {
+            sel.push_back(static_cast<uint32_t>(i));
+          }
+          MPPDB_RETURN_IF_ERROR(EvalPredicateBatch(*residual_kernel, &kctx,
+                                                   candidates, base, sel, &survivors));
+          keep.insert(keep.end(), survivors.begin(), survivors.end());
+        }
+      } else {
+        size_t until_check = 0;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (until_check == 0) {
+            MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+            until_check = TableStore::kChunkRows;
+          }
+          --until_check;
+          MPPDB_ASSIGN_OR_RETURN(
+              bool pass, EvalPredicate(node.residual(), layout, candidates[i]));
+          if (pass) keep.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      // Join filters apply after the full residual (the Filter consumer
+      // contract), so only rows the replaced plan would emit are probed.
+      for (uint32_t i : keep) {
+        Row& row = candidates[i];
+        const BoundJoinFilter* rejecter = nullptr;
+        if (!join_filters.empty()) {
+          ++stats->joinfilter_probed;
+          for (const BoundJoinFilter& filter : join_filters) {
+            if (!filter.summary->RowMayMatch(row, filter.key_positions)) {
+              rejecter = &filter;
+              break;
+            }
+          }
+        }
+        if (rejecter == nullptr) {
+          mout->push_back(std::move(row));
+          continue;
+        }
+        ++stats->joinfilter_rows_rejected;
+        if (rejecter->below_motion) {
+          ++stats->rows_moved;
+          ++stats->joinfilter_motion_rows_saved;
+        }
+      }
+    }
+    return Status::OK();
+  };
+  std::vector<Row> out;
+  MPPDB_RETURN_IF_ERROR(RunMorselScan(segment, units.size(), body, &out));
   return out;
 }
 
@@ -1389,6 +1556,87 @@ Result<std::vector<Row>> Executor::ExecSort(const SortNode& node, int segment) {
   for (uint32_t idx : order) sorted.push_back(std::move(rows[idx]));
   ctx_->budget().Release(sort_bytes);
   return sorted;
+}
+
+Result<std::vector<Row>> Executor::ExecTopN(const TopNNode& node, int segment) {
+  MPPDB_ASSIGN_OR_RETURN(std::vector<Row> rows, ExecNode(node.child(0), segment));
+  ColumnLayout layout = node.child(0)->OutputLayout();
+  std::vector<int> positions;
+  std::vector<bool> ascending;
+  for (const SortKey& key : node.keys()) {
+    int pos = layout.PositionOf(key.column);
+    if (pos < 0) {
+      return Status::ExecutionError("sort column #" + std::to_string(key.column) +
+                                    " not in child layout");
+    }
+    positions.push_back(pos);
+    ascending.push_back(key.ascending);
+  }
+  const size_t k = node.limit();
+  ExecStats& stats = seg_stats_[static_cast<size_t>(segment)];
+  if (k == 0 || rows.empty()) {
+    stats.topn_rows_cut += rows.size();
+    return std::vector<Row>{};
+  }
+  const size_t num_keys = positions.size();
+  // Heap state is O(k) — the retained rows' keys plus an arrival stamp — the
+  // whole point versus Sort's O(n) key buffer.
+  const size_t retain = std::min(k, rows.size());
+  const size_t heap_bytes = ApproxRowsBytes(retain, num_keys + 1);
+  MPPDB_RETURN_IF_ERROR(ChargeBudget(segment, heap_bytes, "top-n heap"));
+
+  struct Entry {
+    std::vector<Datum> keys;
+    size_t arrival;
+    Row row;
+  };
+  // Strict weak "ranks before" in the stable sort order: keys first, arrival
+  // order as the tie-break — so the retained set and its final ordering are
+  // exactly the first k rows of a stable sort (≡ Limit over Sort).
+  auto before = [&](const Entry& a, const Entry& b) {
+    for (size_t i = 0; i < num_keys; ++i) {
+      int c = Datum::Compare(a.keys[i], b.keys[i]);
+      if (c != 0) return ascending[i] ? c < 0 : c > 0;
+    }
+    return a.arrival < b.arrival;
+  };
+  // Max-heap under `before`: front is the worst retained entry.
+  std::vector<Entry> heap;
+  heap.reserve(retain);
+  size_t until_check = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (until_check == 0) {
+      MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
+      until_check = TableStore::kChunkRows;
+    }
+    --until_check;
+    Entry e;
+    e.keys.reserve(num_keys);
+    for (size_t i = 0; i < num_keys; ++i) {
+      e.keys.push_back(rows[r][static_cast<size_t>(positions[i])]);
+    }
+    e.arrival = r;
+    if (heap.size() < k) {
+      e.row = std::move(rows[r]);
+      heap.push_back(std::move(e));
+      std::push_heap(heap.begin(), heap.end(), before);
+      continue;
+    }
+    // A later arrival that ties the worst retained entry on every key ranks
+    // after it (stability), so only strictly-better rows displace.
+    if (!before(e, heap.front())) continue;
+    e.row = std::move(rows[r]);
+    std::pop_heap(heap.begin(), heap.end(), before);
+    heap.back() = std::move(e);
+    std::push_heap(heap.begin(), heap.end(), before);
+  }
+  stats.topn_rows_cut += rows.size() - heap.size();
+  std::sort(heap.begin(), heap.end(), before);
+  std::vector<Row> out;
+  out.reserve(heap.size());
+  for (Entry& e : heap) out.push_back(std::move(e.row));
+  ctx_->budget().Release(heap_bytes);
+  return out;
 }
 
 Status Executor::BuildMotionBuffers(const MotionNode& node, int segment,

@@ -112,6 +112,22 @@ struct ExecStats {
   /// (plain payload estimate minus encoded payload estimate).
   size_t motion_bytes_saved = 0;
 
+  /// Index access-path counters (QueryOptions::enable_index_paths; all zero
+  /// when the optimizer picked no index plan). Like the counters above, the
+  /// logical fields stay identical when an index plan replaces a scan plan:
+  /// partitions_scanned and tuples_scanned count the units and slice rows the
+  /// replaced scan would have covered. Only these three counters (and the
+  /// chunk/skip counters of the scan the index plan *avoided running*) differ.
+  /// Index accesses performed: one per (unit, segment) seek, walk, or min/max
+  /// probe.
+  size_t index_seeks = 0;
+  /// Row positions actually read back from index entries (seek/walk
+  /// survivors before residual filtering; at most one per unit for min/max).
+  size_t index_rows_read = 0;
+  /// Rows a bounded top-N heap discarded without sorting (input rows minus
+  /// retained rows, summed across TopN operators).
+  size_t topn_rows_cut = 0;
+
   /// Distinct partitions scanned for `table_oid` (0 if never scanned).
   size_t PartitionsScanned(Oid table_oid) const;
   /// Sum over all tables.
@@ -433,6 +449,12 @@ class Executor {
   Result<std::vector<Row>> ExecCheckedPartScan(const CheckedPartScanNode& node,
                                                int segment);
   Result<std::vector<Row>> ExecDynamicScan(const DynamicScanNode& node, int segment);
+  /// Partition-aware index access (row and vectorized paths share this
+  /// implementation; only residual evaluation dispatches on
+  /// Options::vectorized). One morsel-scheduler task per surviving unit when
+  /// morsels are eligible.
+  Result<std::vector<Row>> ExecDynamicIndexScan(const DynamicIndexScanNode& node,
+                                                int segment);
   Result<std::vector<Row>> ExecPartitionSelector(const PartitionSelectorNode& node,
                                                  int segment);
   Result<std::vector<Row>> ExecFilter(const FilterNode& node, int segment);
@@ -443,6 +465,10 @@ class Executor {
   Result<std::vector<Row>> ExecIndexNLJoin(const IndexNLJoinNode& node, int segment);
   Result<std::vector<Row>> ExecHashAgg(const HashAggNode& node, int segment);
   Result<std::vector<Row>> ExecSort(const SortNode& node, int segment);
+  /// Bounded top-N: keeps the k rows a stable sort by `keys` would rank
+  /// first, in that order — output is bit-identical to Limit(k) over
+  /// Sort(keys) — holding at most k rows of sort state (O(k) budget charge).
+  Result<std::vector<Row>> ExecTopN(const TopNNode& node, int segment);
   Result<std::vector<Row>> ExecMotion(const MotionNode& node, int segment);
   Result<std::vector<Row>> ExecInsert(const InsertNode& node, int segment);
   Result<std::vector<Row>> ExecUpdate(const UpdateNode& node, int segment);

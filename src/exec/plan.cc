@@ -13,6 +13,8 @@ const char* PhysNodeKindToString(PhysNodeKind kind) {
       return "CheckedPartScan";
     case PhysNodeKind::kDynamicScan:
       return "DynamicScan";
+    case PhysNodeKind::kDynamicIndexScan:
+      return "DynamicIndexScan";
     case PhysNodeKind::kPartitionSelector:
       return "PartitionSelector";
     case PhysNodeKind::kSequence:
@@ -35,6 +37,8 @@ const char* PhysNodeKindToString(PhysNodeKind kind) {
       return "Sort";
     case PhysNodeKind::kLimit:
       return "Limit";
+    case PhysNodeKind::kTopN:
+      return "TopN";
     case PhysNodeKind::kMotion:
       return "Motion";
     case PhysNodeKind::kValues:
@@ -89,6 +93,50 @@ std::string DynamicScanNode::Describe() const {
   return "DynamicScan(table=" + std::to_string(table_oid_) +
          ", scanId=" + std::to_string(scan_id_) + ", cols=" + IdsToString(column_ids_) +
          ")";
+}
+
+namespace {
+
+const char* IndexScanModeToString(IndexScanMode mode) {
+  switch (mode) {
+    case IndexScanMode::kRangeSeek:
+      return "rangeSeek";
+    case IndexScanMode::kOrderedWalk:
+      return "orderedWalk";
+    case IndexScanMode::kMinMax:
+      return "minMax";
+  }
+  return "?";
+}
+
+std::string BoundToString(const IndexBound& bound) {
+  if (bound.unbounded) return "*";
+  return bound.value.ToString() + (bound.inclusive ? " incl" : " excl");
+}
+
+}  // namespace
+
+std::string DynamicIndexScanNode::Describe() const {
+  std::string out = "DynamicIndexScan(table=" + std::to_string(table_oid_);
+  if (scan_id_ >= 0) out += ", scanId=" + std::to_string(scan_id_);
+  out += ", cols=" + IdsToString(column_ids_) +
+         ", keyCol=" + std::to_string(index_column_) +
+         ", mode=" + IndexScanModeToString(mode_);
+  switch (mode_) {
+    case IndexScanMode::kRangeSeek:
+      out += ", lo=" + BoundToString(lo_) + ", hi=" + BoundToString(hi_);
+      if (residual_ != nullptr) out += ", residual=" + residual_->ToString();
+      break;
+    case IndexScanMode::kOrderedWalk:
+      out += ascending_ ? ", asc" : ", desc";
+      if (per_unit_limit_ > 0) out += ", limit=" + std::to_string(per_unit_limit_);
+      break;
+    case IndexScanMode::kMinMax:
+      out += ascending_ ? ", min" : ", max";
+      break;
+  }
+  out += ")";
+  return out;
 }
 
 std::vector<ColRefId> PartitionSelectorNode::OutputIds() const {
@@ -198,6 +246,14 @@ std::string SortNode::Describe() const {
   return "Sort(" + Join(parts, ", ") + ")";
 }
 
+std::string TopNNode::Describe() const {
+  std::vector<std::string> parts;
+  for (const auto& key : keys_) {
+    parts.push_back(std::to_string(key.column) + (key.ascending ? " asc" : " desc"));
+  }
+  return "TopN(" + std::to_string(limit_) + " by " + Join(parts, ", ") + ")";
+}
+
 std::string MotionNode::Describe() const {
   switch (motion_kind_) {
     case MotionKind::kGather:
@@ -252,6 +308,13 @@ std::shared_ptr<PhysicalNode> RebuildNode(const PhysPtr& node,
       return std::make_shared<DynamicScanNode>(scan.table_oid(), scan.scan_id(),
                                                scan.column_ids(), scan.rowid_ids());
     }
+    case PhysNodeKind::kDynamicIndexScan: {
+      const auto& scan = static_cast<const DynamicIndexScanNode&>(*node);
+      return std::make_shared<DynamicIndexScanNode>(
+          scan.table_oid(), scan.scan_id(), scan.column_ids(), scan.index_column(),
+          scan.mode(), scan.lo(), scan.hi(), scan.residual(), scan.ascending(),
+          scan.per_unit_limit());
+    }
     case PhysNodeKind::kValues: {
       const auto& values = static_cast<const ValuesNode&>(*node);
       return std::make_shared<ValuesNode>(values.rows(), values.OutputIds());
@@ -303,6 +366,10 @@ std::shared_ptr<PhysicalNode> RebuildNode(const PhysPtr& node,
     case PhysNodeKind::kLimit: {
       const auto& limit = static_cast<const LimitNode&>(*node);
       return std::make_shared<LimitNode>(limit.limit(), children[0]);
+    }
+    case PhysNodeKind::kTopN: {
+      const auto& topn = static_cast<const TopNNode&>(*node);
+      return std::make_shared<TopNNode>(topn.keys(), topn.limit(), children[0]);
     }
     case PhysNodeKind::kMotion: {
       const auto& motion = static_cast<const MotionNode&>(*node);

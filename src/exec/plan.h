@@ -10,6 +10,7 @@
 #include "expr/eval.h"
 #include "expr/expr.h"
 #include "expr/sargable.h"
+#include "storage/storage.h"
 
 namespace mppdb {
 
@@ -21,6 +22,7 @@ enum class PhysNodeKind {
   kTableScan,
   kCheckedPartScan,
   kDynamicScan,
+  kDynamicIndexScan,
   kPartitionSelector,
   kSequence,
   kAppend,
@@ -32,6 +34,7 @@ enum class PhysNodeKind {
   kHashAgg,
   kSort,
   kLimit,
+  kTopN,
   kMotion,
   kValues,
   kInsert,
@@ -220,6 +223,80 @@ class DynamicScanNode : public PhysicalNode {
   int scan_id_;
   std::vector<ColRefId> column_ids_;
   std::vector<ColRefId> rowid_ids_;
+};
+
+/// Access mode of a DynamicIndexScanNode.
+enum class IndexScanMode : uint8_t {
+  kRangeSeek,    ///< sargable key range, residual filter, storage-order output
+  kOrderedWalk,  ///< key-ordered iteration with per-unit early stop
+  kMinMax,       ///< first (min) or last (max) live non-null entry per unit
+};
+
+/// Partition-aware ordered index access (the gporca DynamicIndexGet family):
+/// scans the leaves a PartitionSelector with the same scan_id selected — or
+/// every unit when scan_id is -1 (unpartitioned table) — through each slice's
+/// secondary index on `index_column` instead of reading the slice.
+///
+///  * kRangeSeek emits rows whose key falls in [lo, hi] in storage order and
+///    then applies the full `residual` predicate, so output rows, order, and
+///    error behavior are identical to Filter over the corresponding scan.
+///  * kOrderedWalk emits each unit's first `per_unit_limit` rows in key order
+///    (`ascending`; ties in storage order) — the per-unit input of a bounded
+///    top-N merge; `residual` must be null.
+///  * kMinMax emits at most one candidate row per unit: the one holding the
+///    slice's minimum (`ascending`) or maximum (!`ascending`) non-null key.
+///
+/// Only the new index counters (ExecStats::index_seeks / index_rows_read) and
+/// the work performed distinguish its execution from the scan it replaces;
+/// partitions_scanned and tuples_scanned stay logical.
+class DynamicIndexScanNode : public PhysicalNode {
+ public:
+  DynamicIndexScanNode(Oid table_oid, int scan_id, std::vector<ColRefId> column_ids,
+                       int index_column, IndexScanMode mode, IndexBound lo,
+                       IndexBound hi, ExprPtr residual, bool ascending,
+                       size_t per_unit_limit)
+      : PhysicalNode(PhysNodeKind::kDynamicIndexScan, {}),
+        table_oid_(table_oid),
+        scan_id_(scan_id),
+        column_ids_(std::move(column_ids)),
+        index_column_(index_column),
+        mode_(mode),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        residual_(std::move(residual)),
+        ascending_(ascending),
+        per_unit_limit_(per_unit_limit) {}
+
+  Oid table_oid() const { return table_oid_; }
+  /// PartitionSelector pairing id, or -1 for an unpartitioned table (every
+  /// unit — i.e. the single table-oid unit — is scanned, no hub channel).
+  int scan_id() const { return scan_id_; }
+  const std::vector<ColRefId>& column_ids() const { return column_ids_; }
+  /// Schema position of the indexed column.
+  int index_column() const { return index_column_; }
+  IndexScanMode mode() const { return mode_; }
+  const IndexBound& lo() const { return lo_; }
+  const IndexBound& hi() const { return hi_; }
+  /// Full original predicate re-applied to seek survivors (kRangeSeek only).
+  const ExprPtr& residual() const { return residual_; }
+  bool ascending() const { return ascending_; }
+  /// Early-stop row cap per (unit, segment) walk; 0 = uncapped.
+  size_t per_unit_limit() const { return per_unit_limit_; }
+
+  std::vector<ColRefId> OutputIds() const override { return column_ids_; }
+  std::string Describe() const override;
+
+ private:
+  Oid table_oid_;
+  int scan_id_;
+  std::vector<ColRefId> column_ids_;
+  int index_column_;
+  IndexScanMode mode_;
+  IndexBound lo_;
+  IndexBound hi_;
+  ExprPtr residual_;
+  bool ascending_;
+  size_t per_unit_limit_;
 };
 
 /// The paper's PartitionSelector (§2.2, extended for multi-level in §2.4).
@@ -469,6 +546,29 @@ class LimitNode : public PhysicalNode {
   std::string Describe() const override { return "Limit " + std::to_string(limit_); }
 
  private:
+  size_t limit_;
+};
+
+/// Bounded top-N: exactly the first `limit` rows of the stable sort of its
+/// input by `keys` — bit-identical to Limit over Sort — computed with an
+/// O(limit)-row heap instead of materializing the full sorted input. Fused
+/// from adjacent Sort+Limit by the optimizer, and the merge stage of the
+/// Limit2DynamicIndexScan alternative. Only topn_rows_cut (and the memory
+/// not spent) distinguishes its execution from Sort+Limit.
+class TopNNode : public PhysicalNode {
+ public:
+  TopNNode(std::vector<SortKey> keys, size_t limit, PhysPtr child)
+      : PhysicalNode(PhysNodeKind::kTopN, {std::move(child)}),
+        keys_(std::move(keys)),
+        limit_(limit) {}
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+  size_t limit() const { return limit_; }
+  std::vector<ColRefId> OutputIds() const override { return child(0)->OutputIds(); }
+  std::string Describe() const override;
+
+ private:
+  std::vector<SortKey> keys_;
   size_t limit_;
 };
 

@@ -5,8 +5,10 @@
 
 #include "common/macros.h"
 #include "expr/constraint_derivation.h"
+#include "expr/sargable.h"
 #include "optimizer/join_filter_placement.h"
 #include "optimizer/placement.h"
+#include "storage/storage.h"
 
 namespace mppdb {
 
@@ -16,6 +18,41 @@ constexpr double kSelectorRowCost = 0.1;
 constexpr double kFilterRowCost = 0.05;
 constexpr double kHashBuildRowCost = 1.5;
 constexpr double kPinnedScanFraction = 0.15;
+// Index access paths: probing a per-unit index costs a seek, and a row read
+// through the index (binary search neighborhood + position materialization)
+// costs more than a row streamed by a sequential scan (cost 1.0/row).
+constexpr double kIndexSeekCost = 1.0;
+constexpr double kIndexRowCost = 2.0;
+// Bounded top-N heap: cheaper than a full Sort (2.0/row) — most rows only
+// pay the heap-front comparison.
+constexpr double kTopNRowCost = 0.5;
+
+// Natural delivered distribution of a table scan.
+DistributionSpec NaturalDistribution(const LogicalGet& get) {
+  switch (get.table()->distribution) {
+    case TableDistribution::kHashed:
+      return DistributionSpec::Hashed(get.DistributionKeyIds());
+    case TableDistribution::kReplicated:
+      return DistributionSpec::Replicated();
+    case TableDistribution::kRandom:
+      return DistributionSpec::Random();
+  }
+  return DistributionSpec::Random();
+}
+
+// Schema position of ColRefId `id` in the Get's output, or -1.
+int SchemaColumnOf(const LogicalGet& get, ColRefId id) {
+  for (size_t c = 0; c < get.column_ids().size(); ++c) {
+    if (get.column_ids()[c] == id) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+IndexBound ToIndexBound(const IntervalBound& bound) {
+  if (bound.unbounded) return IndexBound::Unbounded();
+  return bound.inclusive ? IndexBound::Inclusive(bound.value)
+                         : IndexBound::Exclusive(bound.value);
+}
 
 PhysPtr MakeMotion(MotionKind kind, std::vector<ColRefId> cols, PhysPtr child) {
   return std::make_shared<MotionNode>(kind, std::move(cols), std::move(child));
@@ -195,18 +232,7 @@ CascadesOptimizer::BestPlan CascadesOptimizer::ImplementGet(const GroupExpr& exp
   const TableDescriptor* table = get.table();
   double rows = estimator_.EstimateRows(expr.op);
 
-  DistributionSpec natural = DistributionSpec::Random();
-  switch (table->distribution) {
-    case TableDistribution::kHashed:
-      natural = DistributionSpec::Hashed(get.DistributionKeyIds());
-      break;
-    case TableDistribution::kReplicated:
-      natural = DistributionSpec::Replicated();
-      break;
-    case TableDistribution::kRandom:
-      natural = DistributionSpec::Random();
-      break;
-  }
+  DistributionSpec natural = NaturalDistribution(get);
   if (!natural.Satisfies(req.dist)) return BestPlan{};
 
   BestPlan out;
@@ -266,6 +292,303 @@ CascadesOptimizer::BestPlan CascadesOptimizer::ImplementGet(const GroupExpr& exp
   return out;
 }
 
+CascadesOptimizer::IndexLeaf CascadesOptimizer::MakeIndexLeaf(
+    const LogicalGet& get, int scan_id, const PhysPtr& scan,
+    const Request& req) const {
+  IndexLeaf leaf;
+  const TableDescriptor* table = get.table();
+  const TableStore* store = storage_->GetStore(table->oid);
+  if (store == nullptr) return leaf;
+  leaf.units = std::max<double>(
+      1.0, static_cast<double>(store->UnitOids().size()) *
+               static_cast<double>(store->num_segments()));
+  if (!table->IsPartitioned()) {
+    leaf.valid = true;
+    leaf.plan = scan;
+    return leaf;
+  }
+  const PartitionScheme& scheme = *table->partition_scheme;
+  const PartSelectorSpec* spec = nullptr;
+  for (const auto& s : req.specs) {
+    if (s.scan_id == scan_id) {
+      spec = &s;
+      break;
+    }
+  }
+  const bool pinned =
+      std::find(req.pinned.begin(), req.pinned.end(), scan_id) != req.pinned.end();
+  if (spec != nullptr) {
+    PartSelectorSpec local = *spec;
+    if (!options_.enable_partition_selection) {
+      local.part_predicates.assign(local.part_keys.size(), nullptr);
+    }
+    PhysPtr selector = MakePartitionSelector(local, nullptr);
+    leaf.plan = std::make_shared<SequenceNode>(std::vector<PhysPtr>{selector, scan});
+    std::vector<ConstraintSet> constraints;
+    for (size_t level = 0; level < local.part_keys.size(); ++level) {
+      ExprPtr static_pred =
+          local.part_predicates[level] == nullptr
+              ? nullptr
+              : FindPredOnKey(local.part_keys[level], local.part_predicates[level], {});
+      constraints.push_back(static_pred == nullptr
+                                ? ConstraintSet::All()
+                                : DeriveConstraint(static_pred, local.part_keys[level]));
+    }
+    double selected = static_cast<double>(scheme.SelectPartitions(constraints).size());
+    leaf.part_fraction = selected / static_cast<double>(scheme.NumLeaves());
+    leaf.valid = true;
+  } else if (pinned) {
+    // Selector placed above by a join; the scan reads the propagation channel.
+    leaf.plan = scan;
+    leaf.part_fraction = kPinnedScanFraction;
+    leaf.valid = true;
+  }
+  return leaf;
+}
+
+double CascadesOptimizer::IndexMatchFraction(Oid table_oid, int column,
+                                             const Interval& interval,
+                                             const ExprPtr& conjunct) const {
+  std::optional<ColumnStats> stats = estimator_.TableColumnStats(table_oid, column);
+  if (stats && stats->range_valid && stats->row_count >= 1.0 &&
+      IsIntegral(stats->min.type()) && IsIntegral(stats->max.type())) {
+    const IntervalBound& blo = interval.lo();
+    const IntervalBound& bhi = interval.hi();
+    const bool bounds_integral =
+        (blo.unbounded || (!blo.value.is_null() && IsIntegral(blo.value.type()))) &&
+        (bhi.unbounded || (!bhi.value.is_null() && IsIntegral(bhi.value.type())));
+    if (bounds_integral) {
+      const double min_all = static_cast<double>(stats->min.AsInt64());
+      const double max_all = static_cast<double>(stats->max.AsInt64());
+      double lo = min_all;
+      double hi = max_all;
+      if (!blo.unbounded) {
+        lo = static_cast<double>(blo.value.AsInt64()) + (blo.inclusive ? 0.0 : 1.0);
+      }
+      if (!bhi.unbounded) {
+        hi = static_cast<double>(bhi.value.AsInt64()) - (bhi.inclusive ? 0.0 : 1.0);
+      }
+      lo = std::max(lo, min_all);
+      hi = std::min(hi, max_all);
+      if (hi < lo) return 0.0;
+      double fraction = (hi - lo + 1.0) / (max_all - min_all + 1.0);
+      if (hi == lo) fraction = std::min(fraction, 1.0 / stats->ndv);
+      const double non_null =
+          stats->row_count > 0 ? stats->non_null_count / stats->row_count : 1.0;
+      return std::min(1.0, fraction * non_null);
+    }
+  }
+  return CardinalityEstimator::Selectivity(conjunct);
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementIndexSeek(
+    const GroupExpr& expr, const Request& req, const Request& child_req) {
+  BestPlan none;
+  const auto& select = static_cast<const LogicalSelect&>(*expr.op);
+  const Group& child_group = memo_->group(expr.child_groups[0]);
+  if (child_group.exprs.size() != 1) return none;
+  const GroupExpr& get_expr = child_group.exprs[0];
+  if (get_expr.op->kind() != LogicalKind::kGet) return none;
+  const auto& get = static_cast<const LogicalGet&>(*get_expr.op);
+  if (!get.rowid_ids().empty()) return none;
+  const TableDescriptor* table = get.table();
+
+  DistributionSpec natural = NaturalDistribution(get);
+  if (!natural.Satisfies(req.dist)) return none;
+
+  // The seek drops rows whose key conjunct is FALSE *or NULL* without
+  // evaluating anything else on them; that is only observation-free when the
+  // whole predicate is provably error-free (a NULL conjunct does not
+  // short-circuit the oracle's AND, so truncated conjuncts would still run).
+  SargablePredicate sargable = AnalyzeSargable(select.predicate());
+  if (sargable.truncated) return none;
+
+  // Per indexed schema column, intersect the intervals of every single-test
+  // kValueSet conjunct: each such test is a row-level necessary condition
+  // (the row can satisfy its conjunct only if column ∈ values), so their
+  // intersection is one for the whole AND — this is what turns
+  // `k >= lo AND k < hi` into one bounded seek instead of two half-open
+  // candidates.
+  std::map<int, Interval> candidates;
+  std::map<int, ExprPtr> candidate_exprs;
+  for (const SargableConjunct& conjunct : sargable.prefix) {
+    if (conjunct.tests.size() != 1) continue;
+    const SargableTest& test = conjunct.tests[0];
+    if (test.kind != SargableTest::Kind::kValueSet) continue;
+    if (test.values.IsAll() || test.values.IsNone()) continue;
+    if (test.values.intervals().size() != 1) continue;
+    const Interval& interval = test.values.intervals()[0];
+    int column = SchemaColumnOf(get, test.column);
+    if (column < 0 || !table->HasIndexOn(column)) continue;
+    auto [it, fresh] = candidates.emplace(column, interval);
+    if (!fresh) it->second = Interval::Intersect(it->second, interval);
+    candidate_exprs.emplace(column, conjunct.expr);
+  }
+  int best_column = -1;
+  Interval best_interval = Interval::All();
+  double best_fraction = 1.0;
+  for (const auto& [column, interval] : candidates) {
+    if (interval.lo().unbounded && interval.hi().unbounded) continue;
+    // A provably-empty intersection would be sound to seek, but bounds in
+    // the wrong order are not worth special-casing in the executor.
+    if (interval.IsEmpty()) continue;
+    double fraction =
+        IndexMatchFraction(table->oid, column, interval, candidate_exprs.at(column));
+    if (best_column < 0 || fraction < best_fraction) {
+      best_column = column;
+      best_interval = interval;
+      best_fraction = fraction;
+    }
+  }
+  if (best_column < 0) return none;
+
+  const int scan_id = table->IsPartitioned() ? get_expr.scan_id : -1;
+  PhysPtr scan = std::make_shared<DynamicIndexScanNode>(
+      table->oid, scan_id, get.column_ids(), best_column,
+      IndexScanMode::kRangeSeek, ToIndexBound(best_interval.lo()),
+      ToIndexBound(best_interval.hi()), select.predicate(),
+      /*ascending=*/true, /*per_unit_limit=*/0);
+  IndexLeaf leaf = MakeIndexLeaf(get, scan_id, scan, child_req);
+  if (!leaf.valid) return none;
+
+  const double table_rows = child_group.row_estimate;
+  const double match_rows =
+      std::max(1.0, table_rows * best_fraction * leaf.part_fraction);
+  BestPlan out;
+  out.valid = true;
+  out.plan = leaf.plan;
+  out.cost = leaf.units * leaf.part_fraction * kIndexSeekCost +
+             match_rows * kIndexRowCost + kFilterRowCost * match_rows;
+  out.delivered = natural;
+  return out;
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementOrderedIndexLimit(
+    const GroupExpr& limit_expr, const GroupExpr& sort_expr, const Request& req) {
+  BestPlan none;
+  if (!req.pinned.empty()) return none;  // a Gather would split the pinned pair
+  const auto& limit = static_cast<const LogicalLimit&>(*limit_expr.op);
+  const auto& sort = static_cast<const LogicalSort&>(*sort_expr.op);
+  if (limit.limit() == 0) return none;
+  if (sort.keys().size() != 1) return none;
+  const Group& grand_group = memo_->group(sort_expr.child_groups[0]);
+  if (grand_group.exprs.size() != 1) return none;
+  // A bare Get, optionally under a pure column/constant Project (the shape
+  // the binder emits for SELECT <cols> ... ORDER BY ... LIMIT). Anything
+  // else breaks the per-unit early stop: a residual filter means the k-th
+  // *surviving* row can lie arbitrarily deep in a unit's walk, and a
+  // computed projection could error on a row the early stop skipped.
+  const Group* get_group = &grand_group;
+  const std::vector<ProjectItem>* proj_items = nullptr;
+  if (grand_group.exprs[0].op->kind() == LogicalKind::kProject) {
+    const auto& proj = static_cast<const LogicalProject&>(*grand_group.exprs[0].op);
+    for (const ProjectItem& item : proj.items()) {
+      if (item.expr == nullptr) return none;
+      if (item.expr->kind() != ExprKind::kColumnRef &&
+          item.expr->kind() != ExprKind::kConst) {
+        return none;
+      }
+    }
+    proj_items = &proj.items();
+    get_group = &memo_->group(grand_group.exprs[0].child_groups[0]);
+    if (get_group->exprs.size() != 1) return none;
+  }
+  const GroupExpr& get_expr = get_group->exprs[0];
+  if (get_expr.op->kind() != LogicalKind::kGet) return none;
+  const auto& get = static_cast<const LogicalGet&>(*get_expr.op);
+  if (!get.rowid_ids().empty()) return none;
+  const TableDescriptor* table = get.table();
+  const SortKey& key = sort.keys()[0];
+  // The sort key names a Project output when projecting: map it back to the
+  // underlying table column.
+  ColRefId key_id = key.column;
+  if (proj_items != nullptr) {
+    const ProjectItem* match = nullptr;
+    for (const ProjectItem& item : *proj_items) {
+      if (item.output_id == key.column) {
+        match = &item;
+        break;
+      }
+    }
+    if (match == nullptr || match->expr->kind() != ExprKind::kColumnRef) return none;
+    key_id = static_cast<const ColumnRefExpr&>(*match->expr).id();
+  }
+  const int column = SchemaColumnOf(get, key_id);
+  if (column < 0 || !table->HasIndexOn(column)) return none;
+
+  const int scan_id = table->IsPartitioned() ? get_expr.scan_id : -1;
+  PhysPtr scan = std::make_shared<DynamicIndexScanNode>(
+      table->oid, scan_id, get.column_ids(), column, IndexScanMode::kOrderedWalk,
+      IndexBound::Unbounded(), IndexBound::Unbounded(), nullptr, key.ascending,
+      /*per_unit_limit=*/limit.limit());
+  IndexLeaf leaf = MakeIndexLeaf(get, scan_id, scan, req);
+  if (!leaf.valid) return none;
+
+  PhysPtr gathered = MakeMotion(MotionKind::kGather, {}, leaf.plan);
+  if (proj_items != nullptr) {
+    gathered = std::make_shared<ProjectNode>(*proj_items, gathered);
+  }
+  const double table_rows = get_group->row_estimate;
+  const double walk_rows = std::max(
+      1.0, std::min(table_rows * leaf.part_fraction,
+                    static_cast<double>(limit.limit()) * leaf.units *
+                        leaf.part_fraction));
+  BestPlan out;
+  out.valid = true;
+  out.plan = std::make_shared<TopNNode>(sort.keys(), limit.limit(), gathered);
+  out.cost = leaf.units * leaf.part_fraction * kIndexSeekCost +
+             walk_rows * kIndexRowCost + MotionCost(MotionKind::kGather, walk_rows) +
+             walk_rows * kTopNRowCost;
+  out.delivered = DistributionSpec::Singleton();
+  return out;
+}
+
+CascadesOptimizer::BestPlan CascadesOptimizer::ImplementMinMaxIndexSeek(
+    const GroupExpr& expr, const Request& req) {
+  BestPlan none;
+  if (!req.pinned.empty()) return none;  // a Gather would split the pinned pair
+  const auto& agg = static_cast<const LogicalAgg&>(*expr.op);
+  if (!agg.group_by().empty() || agg.aggs().size() != 1) return none;
+  const AggItem& item = agg.aggs()[0];
+  if (item.func != AggFunc::kMin && item.func != AggFunc::kMax) return none;
+  if (item.arg == nullptr || item.arg->kind() != ExprKind::kColumnRef) return none;
+  const ColRefId arg_id = static_cast<const ColumnRefExpr&>(*item.arg).id();
+  const Group& child_group = memo_->group(expr.child_groups[0]);
+  if (child_group.exprs.size() != 1) return none;
+  const GroupExpr& get_expr = child_group.exprs[0];
+  if (get_expr.op->kind() != LogicalKind::kGet) return none;
+  const auto& get = static_cast<const LogicalGet&>(*get_expr.op);
+  if (!get.rowid_ids().empty()) return none;
+  const TableDescriptor* table = get.table();
+  const int column = SchemaColumnOf(get, arg_id);
+  if (column < 0 || !table->HasIndexOn(column)) return none;
+
+  DistributionSpec delivered = DistributionSpec::Singleton();
+  if (!delivered.Satisfies(req.dist)) return none;
+
+  const int scan_id = table->IsPartitioned() ? get_expr.scan_id : -1;
+  PhysPtr scan = std::make_shared<DynamicIndexScanNode>(
+      table->oid, scan_id, get.column_ids(), column, IndexScanMode::kMinMax,
+      IndexBound::Unbounded(), IndexBound::Unbounded(), nullptr,
+      /*ascending=*/item.func == AggFunc::kMin, /*per_unit_limit=*/0);
+  IndexLeaf leaf = MakeIndexLeaf(get, scan_id, scan, req);
+  if (!leaf.valid) return none;
+
+  // The true extreme is among the per-unit extremes; the unchanged aggregate
+  // over the gathered candidates reduces them (and yields NULL when no unit
+  // has a live non-NULL entry, matching the full-scan aggregate).
+  PhysPtr gathered = MakeMotion(MotionKind::kGather, {}, leaf.plan);
+  const double candidates = std::max(1.0, leaf.units * leaf.part_fraction);
+  BestPlan out;
+  out.valid = true;
+  out.plan = std::make_shared<HashAggNode>(agg.group_by(), agg.aggs(), gathered);
+  out.cost = leaf.units * leaf.part_fraction * kIndexSeekCost +
+             candidates * kIndexRowCost +
+             MotionCost(MotionKind::kGather, candidates) + candidates;
+  out.delivered = delivered;
+  return out;
+}
+
 CascadesOptimizer::BestPlan CascadesOptimizer::ImplementSelect(int group_id,
                                                                const GroupExpr& expr,
                                                                const Request& req) {
@@ -278,15 +601,22 @@ CascadesOptimizer::BestPlan CascadesOptimizer::ImplementSelect(int group_id,
       AugmentSpecFromPredicate(select.predicate(), {}, &spec);
     }
   }
+  BestPlan best;
   BestPlan child = OptimizeGroup(expr.child_groups[0], child_req);
-  if (!child.valid) return BestPlan{};
-  BestPlan out;
-  out.valid = true;
-  out.plan = std::make_shared<FilterNode>(select.predicate(), child.plan);
-  out.cost = child.cost +
-             kFilterRowCost * memo_->group(expr.child_groups[0]).row_estimate;
-  out.delivered = child.delivered;
-  return out;
+  if (child.valid) {
+    best.valid = true;
+    best.plan = std::make_shared<FilterNode>(select.predicate(), child.plan);
+    best.cost = child.cost +
+                kFilterRowCost * memo_->group(expr.child_groups[0]).row_estimate;
+    best.delivered = child.delivered;
+  }
+  if (options_.enable_index_paths) {
+    BestPlan seek = ImplementIndexSeek(expr, req, child_req);
+    if (seek.valid && (!best.valid || seek.cost < best.cost)) {
+      best = std::move(seek);
+    }
+  }
+  return best;
 }
 
 CascadesOptimizer::BestPlan CascadesOptimizer::ImplementProject(const GroupExpr& expr,
@@ -423,6 +753,13 @@ CascadesOptimizer::BestPlan CascadesOptimizer::ImplementAgg(const GroupExpr& exp
       }
     }
   }
+
+  // MinMax2IndexSeek: an ungrouped MIN/MAX of an indexed column needs one
+  // live index entry per unit, not a scan.
+  if (options_.enable_index_paths) {
+    BestPlan idx = ImplementMinMaxIndexSeek(expr, req);
+    if (idx.valid && (!best.valid || idx.cost < best.cost)) best = std::move(idx);
+  }
   return best;
 }
 
@@ -442,22 +779,54 @@ CascadesOptimizer::BestPlan CascadesOptimizer::ImplementSortLimitValues(
   // Sort and Limit are computed on gathered data.
   DistributionSpec delivered = DistributionSpec::Singleton();
   if (!delivered.Satisfies(req.dist)) return BestPlan{};
+  BestPlan out;
   BestPlan child = OptimizeGroup(expr.child_groups[0],
                                  ForwardToChild(req, DistributionSpec::Singleton()));
-  if (!child.valid) return BestPlan{};
-  BestPlan out;
-  out.valid = true;
   double child_rows = memo_->group(expr.child_groups[0]).row_estimate;
-  if (expr.op->kind() == LogicalKind::kSort) {
-    out.plan = std::make_shared<SortNode>(
-        static_cast<const LogicalSort&>(*expr.op).keys(), child.plan);
-    out.cost = child.cost + child_rows * 2;
-  } else {
-    out.plan = std::make_shared<LimitNode>(
-        static_cast<const LogicalLimit&>(*expr.op).limit(), child.plan);
-    out.cost = child.cost;
+  if (child.valid) {
+    out.valid = true;
+    if (expr.op->kind() == LogicalKind::kSort) {
+      out.plan = std::make_shared<SortNode>(
+          static_cast<const LogicalSort&>(*expr.op).keys(), child.plan);
+      out.cost = child.cost + child_rows * 2;
+    } else {
+      out.plan = std::make_shared<LimitNode>(
+          static_cast<const LogicalLimit&>(*expr.op).limit(), child.plan);
+      out.cost = child.cost;
+    }
+    out.delivered = delivered;
   }
-  out.delivered = delivered;
+
+  if (expr.op->kind() == LogicalKind::kLimit && options_.enable_index_paths) {
+    const auto& limit = static_cast<const LogicalLimit&>(*expr.op);
+    const Group& child_group = memo_->group(expr.child_groups[0]);
+    for (const GroupExpr& sort_expr : child_group.exprs) {
+      if (sort_expr.op->kind() != LogicalKind::kSort) continue;
+      const auto& sort = static_cast<const LogicalSort&>(*sort_expr.op);
+      // Fuse adjacent Sort+Limit into one bounded top-N heap: output is the
+      // first `limit` rows of the stable sort, at O(n log k) and O(k) space.
+      BestPlan grand =
+          OptimizeGroup(sort_expr.child_groups[0],
+                        ForwardToChild(req, DistributionSpec::Singleton()));
+      if (grand.valid) {
+        double grand_rows = memo_->group(sort_expr.child_groups[0]).row_estimate;
+        BestPlan fused;
+        fused.valid = true;
+        fused.plan =
+            std::make_shared<TopNNode>(sort.keys(), limit.limit(), grand.plan);
+        fused.cost = grand.cost + grand_rows * kTopNRowCost;
+        fused.delivered = delivered;
+        if (!out.valid || fused.cost < out.cost) out = std::move(fused);
+      }
+      // Limit2DynamicIndexScan: per-partition ordered index walks capped at
+      // `limit`, merged through the same top-N heap.
+      BestPlan walk = ImplementOrderedIndexLimit(expr, sort_expr, req);
+      if (walk.valid && (!out.valid || walk.cost < out.cost)) {
+        out = std::move(walk);
+      }
+      break;
+    }
+  }
   return out;
 }
 

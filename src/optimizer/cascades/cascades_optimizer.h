@@ -9,6 +9,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "exec/plan.h"
+#include "expr/interval.h"
 #include "optimizer/cascades/memo.h"
 #include "optimizer/distribution.h"
 #include "optimizer/part_selector_spec.h"
@@ -52,6 +53,11 @@ class CascadesOptimizer {
     /// (optimizer/join_filter_placement.h) is skipped entirely — the cost
     /// gate's off switch. Plans differ only in join-filter annotations.
     bool enable_join_filters = true;
+    /// When false, ordered index access paths (DynamicIndexScan for sargable
+    /// range seeks, ORDER BY + LIMIT walks, and ungrouped MIN/MAX) and the
+    /// fused bounded top-N operator are not considered; plans are exactly
+    /// those of the pre-index optimizer.
+    bool enable_index_paths = true;
   };
 
   CascadesOptimizer(const Catalog* catalog, const StorageEngine* storage);
@@ -91,6 +97,42 @@ class CascadesOptimizer {
   BestPlan ImplementProject(const GroupExpr& expr, const Request& req);
   BestPlan ImplementAgg(const GroupExpr& expr, const Request& req);
   BestPlan ImplementSortLimitValues(const GroupExpr& expr, const Request& req);
+
+  /// An index access-path leaf: the DynamicIndexScan plus, for a partitioned
+  /// table whose selector spec is in the request, its PartitionSelector
+  /// wrapped in a Sequence. `part_fraction` is the statically surviving
+  /// fraction of leaves (cost input); `units` the unit×segment seek count.
+  struct IndexLeaf {
+    bool valid = false;
+    PhysPtr plan;
+    double part_fraction = 1.0;
+    double units = 1.0;
+  };
+  IndexLeaf MakeIndexLeaf(const LogicalGet& get, int scan_id,
+                          const PhysPtr& scan, const Request& req) const;
+
+  /// Select2IndexSeek: sargable range conjunct over a bare Get with an index
+  /// on the tested column → IndexRangeSeek with the full predicate as
+  /// residual. `child_req` carries the predicate-augmented selector specs.
+  BestPlan ImplementIndexSeek(const GroupExpr& expr, const Request& req,
+                              const Request& child_req);
+
+  /// Limit2DynamicIndexScan: ORDER BY key + LIMIT k over a bare Get with an
+  /// index on the key → per-partition ordered walks capped at k, gathered
+  /// and merged through a bounded top-N heap.
+  BestPlan ImplementOrderedIndexLimit(const GroupExpr& limit_expr,
+                                      const GroupExpr& sort_expr,
+                                      const Request& req);
+
+  /// MinMax2IndexSeek: ungrouped MIN/MAX of an indexed column of a bare Get
+  /// → first/last live index entry per unit, gathered under the aggregate.
+  BestPlan ImplementMinMaxIndexSeek(const GroupExpr& expr, const Request& req);
+
+  /// Estimated fraction of table rows whose `column` value falls in
+  /// `interval` (synopsis-backed when the column range is integral; falls
+  /// back to the conjunct's heuristic selectivity).
+  double IndexMatchFraction(Oid table_oid, int column, const Interval& interval,
+                            const ExprPtr& conjunct) const;
 
   /// Routes request specs/pins to a unary operator's child (they all live in
   /// the child subtree).

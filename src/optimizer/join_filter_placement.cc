@@ -117,6 +117,11 @@ class Placer {
         if (!KeysPresent(*node, keys)) return std::nullopt;
         return Attach(node, keys, filter_id, global, below_motion);
       }
+      case PhysNodeKind::kDynamicIndexScan: {
+        // Index scans never emit rowids; probe after the residual filter.
+        if (!KeysPresent(*node, keys)) return std::nullopt;
+        return Attach(node, keys, filter_id, global, below_motion);
+      }
       case PhysNodeKind::kCheckedPartScan: {
         if (!KeysPresent(*node, keys)) return std::nullopt;
         return Attach(node, keys, filter_id, global, below_motion);

@@ -105,9 +105,15 @@ void WalkNode(const PhysPtr& node, PlanParamAnalysis* out) {
         WalkExpr(item.value, out);
       }
       break;
+    case PhysNodeKind::kDynamicIndexScan:
+      // Seek bounds are constant Datums by construction (sargable analysis
+      // yields no interval from a $n placeholder); only the residual
+      // predicate can carry parameters.
+      WalkExpr(static_cast<const DynamicIndexScanNode&>(*node).residual(), out);
+      break;
     // Kinds that embed no scalar expressions (ValuesNode rows are folded
-    // Datums; Sort keys, Motion hash columns, and IndexNLJoin outer keys are
-    // column ids; Limit counts are plain integers).
+    // Datums; Sort and TopN keys, Motion hash columns, and IndexNLJoin outer
+    // keys are column ids; Limit and TopN counts are plain integers).
     case PhysNodeKind::kTableScan:
     case PhysNodeKind::kCheckedPartScan:
     case PhysNodeKind::kDynamicScan:
@@ -115,6 +121,7 @@ void WalkNode(const PhysPtr& node, PlanParamAnalysis* out) {
     case PhysNodeKind::kAppend:
     case PhysNodeKind::kSort:
     case PhysNodeKind::kLimit:
+    case PhysNodeKind::kTopN:
     case PhysNodeKind::kMotion:
     case PhysNodeKind::kValues:
     case PhysNodeKind::kInsert:

@@ -24,6 +24,9 @@ bool HasScanId(const PhysPtr& node, int scan_id) {
   if (node->kind() == PhysNodeKind::kDynamicScan) {
     return static_cast<const DynamicScanNode&>(*node).scan_id() == scan_id;
   }
+  if (node->kind() == PhysNodeKind::kDynamicIndexScan) {
+    return static_cast<const DynamicIndexScanNode&>(*node).scan_id() == scan_id;
+  }
   for (const auto& child : node->children()) {
     if (HasScanId(child, scan_id)) return true;
   }
@@ -37,6 +40,9 @@ bool MotionFreePathToScan(const PhysPtr& node, int scan_id) {
   if (node->kind() == PhysNodeKind::kMotion) return false;
   if (node->kind() == PhysNodeKind::kDynamicScan) {
     return static_cast<const DynamicScanNode&>(*node).scan_id() == scan_id;
+  }
+  if (node->kind() == PhysNodeKind::kDynamicIndexScan) {
+    return static_cast<const DynamicIndexScanNode&>(*node).scan_id() == scan_id;
   }
   for (const auto& child : node->children()) {
     if (MotionFreePathToScan(child, scan_id)) return true;
@@ -275,6 +281,15 @@ struct PlacementValidator {
       if (produced.count(Key(scan.scan_id(), slice)) == 0) {
         status = Status::PlanError(
             "DynamicScan (scan id " + std::to_string(scan.scan_id()) +
+            ") has no PartitionSelector that runs earlier in its slice");
+      }
+    } else if (node->kind() == PhysNodeKind::kDynamicIndexScan) {
+      const auto& scan = static_cast<const DynamicIndexScanNode&>(*node);
+      // scan_id < 0 marks an unpartitioned table: no selector expected.
+      if (scan.scan_id() >= 0 &&
+          produced.count(Key(scan.scan_id(), slice)) == 0) {
+        status = Status::PlanError(
+            "DynamicIndexScan (scan id " + std::to_string(scan.scan_id()) +
             ") has no PartitionSelector that runs earlier in its slice");
       }
     }

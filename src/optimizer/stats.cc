@@ -174,6 +174,15 @@ std::optional<ColumnStats> CardinalityEstimator::ResolvePhysicalColumnStats(
       }
       return std::nullopt;
     }
+    case PhysNodeKind::kDynamicIndexScan: {
+      const auto& scan = static_cast<const DynamicIndexScanNode&>(node);
+      for (size_t i = 0; i < scan.column_ids().size(); ++i) {
+        if (scan.column_ids()[i] == id) {
+          return TableColumnStats(scan.table_oid(), static_cast<int>(i));
+        }
+      }
+      return std::nullopt;
+    }
     case PhysNodeKind::kIndexNLJoin: {
       const auto& join = static_cast<const IndexNLJoinNode&>(node);
       for (size_t i = 0; i < join.inner_column_ids().size(); ++i) {
@@ -216,6 +225,7 @@ std::optional<ColumnStats> CardinalityEstimator::ResolvePhysicalColumnStats(
     case PhysNodeKind::kFilter:
     case PhysNodeKind::kSort:
     case PhysNodeKind::kLimit:
+    case PhysNodeKind::kTopN:
     case PhysNodeKind::kMotion:
       return ResolvePhysicalColumnStats(*node.child(0), id);
     default:
@@ -325,6 +335,31 @@ double CardinalityEstimator::EstimatePhysicalRows(const PhysicalNode& node) cons
       if (store == nullptr) return 1000.0;
       return std::max<double>(1.0, static_cast<double>(store->TotalRows()));
     }
+    case PhysNodeKind::kDynamicIndexScan: {
+      const auto& scan = static_cast<const DynamicIndexScanNode&>(node);
+      const TableStore* store = storage_->GetStore(scan.table_oid());
+      if (store == nullptr) return 1000.0;
+      const double total =
+          std::max<double>(1.0, static_cast<double>(store->TotalRows()));
+      switch (scan.mode()) {
+        case IndexScanMode::kMinMax:
+          // At most one candidate row per unit/segment pair.
+          return std::max<double>(
+              1.0, static_cast<double>(store->UnitOids().size() *
+                                       static_cast<size_t>(
+                                           store->num_segments())));
+        case IndexScanMode::kOrderedWalk:
+          if (scan.per_unit_limit() > 0) {
+            return std::min(
+                total, static_cast<double>(scan.per_unit_limit() *
+                                           store->UnitOids().size()));
+          }
+          return total;
+        case IndexScanMode::kRangeSeek:
+          return std::max(1.0, total * Selectivity(scan.residual()));
+      }
+      return total;
+    }
     case PhysNodeKind::kFilter: {
       const auto& filter = static_cast<const FilterNode&>(node);
       return std::max(1.0, EstimatePhysicalRows(*node.child(0)) *
@@ -378,6 +413,10 @@ double CardinalityEstimator::EstimatePhysicalRows(const PhysicalNode& node) cons
     case PhysNodeKind::kLimit:
       return std::min(
           static_cast<double>(static_cast<const LimitNode&>(node).limit()),
+          EstimatePhysicalRows(*node.child(0)));
+    case PhysNodeKind::kTopN:
+      return std::min(
+          static_cast<double>(static_cast<const TopNNode&>(node).limit()),
           EstimatePhysicalRows(*node.child(0)));
     case PhysNodeKind::kAppend: {
       double total = 0;

@@ -311,6 +311,22 @@ std::optional<size_t> TableStore::ExactDistinctFromDictionaries(int column) cons
   return merged.size();
 }
 
+namespace {
+
+// Heterogeneous key comparator for binary searches over UnitIndex entries.
+// Datum::Compare places NULL before every non-null value, so NULL keys form a
+// prefix of the entry array.
+struct IndexKeyOrder {
+  bool operator()(const std::pair<Datum, size_t>& entry, const Datum& probe) const {
+    return Datum::Compare(entry.first, probe) < 0;
+  }
+  bool operator()(const Datum& probe, const std::pair<Datum, size_t>& entry) const {
+    return Datum::Compare(probe, entry.first) < 0;
+  }
+};
+
+}  // namespace
+
 Status TableStore::CreateIndex(int column) {
   if (column < 0 || static_cast<size_t>(column) >= desc_->schema.size()) {
     return Status::InvalidArgument("index column out of range for " + desc_->name);
@@ -325,9 +341,7 @@ bool TableStore::HasIndex(int column) const {
   return indexes_.count(column) > 0;
 }
 
-std::vector<size_t> TableStore::IndexLookup(Oid unit_oid, int segment, int column,
-                                            const Datum& key) {
-  std::lock_guard<std::mutex> lock(index_mu_);
+UnitIndex& TableStore::EnsureUnitIndex(Oid unit_oid, int segment, int column) {
   auto index_it = indexes_.find(column);
   MPPDB_CHECK(index_it != indexes_.end());
   auto& per_unit = index_it->second;
@@ -346,7 +360,9 @@ std::vector<size_t> TableStore::IndexLookup(Oid unit_oid, int segment, int colum
     current_version = version_it->second[static_cast<size_t>(segment)] + 1;
   }
   if (index.built_version != current_version) {
-    // (Re)build: the slice changed since the index was last built.
+    // (Re)build: the slice changed since the index was last built. The
+    // position tie-break keeps equal keys in storage order, which ordered
+    // walks rely on (see UnitIndex).
     const std::vector<Row>& rows = UnitRows(unit_oid, segment);
     index.entries.clear();
     index.entries.reserve(rows.size());
@@ -355,28 +371,113 @@ std::vector<size_t> TableStore::IndexLookup(Oid unit_oid, int segment, int colum
     }
     std::sort(index.entries.begin(), index.entries.end(),
               [](const auto& a, const auto& b) {
-                return Datum::Compare(a.first, b.first) < 0;
+                int c = Datum::Compare(a.first, b.first);
+                if (c != 0) return c < 0;
+                return a.second < b.second;
               });
     index.built_version = current_version;
   }
+  return index;
+}
+
+std::vector<size_t> TableStore::IndexLookup(Oid unit_oid, int segment, int column,
+                                            const Datum& key) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  UnitIndex& index = EnsureUnitIndex(unit_oid, segment, column);
 
   std::vector<size_t> positions;
   if (key.is_null()) return positions;  // NULL keys never match
   // equal_range bounds the match run up front so positions can be sized
   // exactly, instead of growing through push_back reallocations on wide runs.
-  struct KeyOrder {
-    bool operator()(const std::pair<Datum, size_t>& entry, const Datum& probe) const {
-      return Datum::Compare(entry.first, probe) < 0;
-    }
-    bool operator()(const Datum& probe, const std::pair<Datum, size_t>& entry) const {
-      return Datum::Compare(probe, entry.first) < 0;
-    }
-  };
   auto [lower, upper] = std::equal_range(index.entries.begin(), index.entries.end(),
-                                         key, KeyOrder{});
+                                         key, IndexKeyOrder{});
   positions.reserve(static_cast<size_t>(upper - lower));
   for (auto it = lower; it != upper; ++it) positions.push_back(it->second);
   return positions;
+}
+
+std::vector<size_t> TableStore::IndexRangeSeek(Oid unit_oid, int segment, int column,
+                                               const IndexBound& lo,
+                                               const IndexBound& hi) {
+  std::vector<size_t> positions;
+  if ((!lo.unbounded && lo.value.is_null()) || (!hi.unbounded && hi.value.is_null())) {
+    return positions;  // a NULL bound compares to nothing
+  }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  UnitIndex& index = EnsureUnitIndex(unit_oid, segment, column);
+  const auto& entries = index.entries;
+  // NULL column values never satisfy a range predicate; they sort first, so
+  // the walk over [first_non_null, end) covers every candidate.
+  auto begin = std::partition_point(
+      entries.begin(), entries.end(),
+      [](const std::pair<Datum, size_t>& e) { return e.first.is_null(); });
+  auto end = entries.end();
+  if (!lo.unbounded) {
+    begin = lo.inclusive
+                ? std::lower_bound(begin, end, lo.value, IndexKeyOrder{})
+                : std::upper_bound(begin, end, lo.value, IndexKeyOrder{});
+  }
+  if (!hi.unbounded) {
+    end = hi.inclusive ? std::upper_bound(begin, end, hi.value, IndexKeyOrder{})
+                       : std::lower_bound(begin, end, hi.value, IndexKeyOrder{});
+  }
+  positions.reserve(static_cast<size_t>(end - begin));
+  for (auto it = begin; it != end; ++it) positions.push_back(it->second);
+  // Ascending storage order: the caller's residual filter then visits rows in
+  // exactly the order a full scan would, keeping output order bit-identical.
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+std::vector<size_t> TableStore::IndexOrderedWalk(Oid unit_oid, int segment,
+                                                 int column, bool ascending_order,
+                                                 size_t limit) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  UnitIndex& index = EnsureUnitIndex(unit_oid, segment, column);
+  const auto& entries = index.entries;
+  const size_t cap = limit == 0 ? entries.size() : std::min(limit, entries.size());
+  std::vector<size_t> positions;
+  positions.reserve(cap);
+  if (ascending_order) {
+    // Entry order is already (key asc, position asc): NULLs first, ties in
+    // storage order — the stable ascending sort order.
+    for (size_t i = 0; i < cap; ++i) positions.push_back(entries[i].second);
+    return positions;
+  }
+  // Descending: iterate equal-key runs from the back, but emit each run
+  // forward so ties stay in storage order (the stable descending sort keeps
+  // input order within equal keys). NULLs — the lowest run — come out last.
+  size_t run_end = entries.size();
+  while (run_end > 0 && positions.size() < cap) {
+    size_t run_begin = run_end;
+    while (run_begin > 0 &&
+           Datum::Compare(entries[run_begin - 1].first, entries[run_end - 1].first) ==
+               0) {
+      --run_begin;
+    }
+    for (size_t i = run_begin; i < run_end && positions.size() < cap; ++i) {
+      positions.push_back(entries[i].second);
+    }
+    run_end = run_begin;
+  }
+  return positions;
+}
+
+std::optional<size_t> TableStore::IndexMinMax(Oid unit_oid, int segment, int column,
+                                              bool minimum) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  UnitIndex& index = EnsureUnitIndex(unit_oid, segment, column);
+  const auto& entries = index.entries;
+  auto first_non_null = std::partition_point(
+      entries.begin(), entries.end(),
+      [](const std::pair<Datum, size_t>& e) { return e.first.is_null(); });
+  if (first_non_null == entries.end()) return std::nullopt;
+  if (minimum) return first_non_null->second;
+  // Maximum: first entry of the highest-key run, for a deterministic pick.
+  auto last = entries.end() - 1;
+  auto run_begin = std::lower_bound(first_non_null, entries.end(), last->first,
+                                    IndexKeyOrder{});
+  return run_begin->second;
 }
 
 std::vector<Oid> TableStore::UnitOids() const {

@@ -18,12 +18,29 @@
 namespace mppdb {
 
 /// An ordered secondary index over one column of one storage unit's slice on
-/// one segment: sorted (key, row position) pairs supporting equality seeks.
-/// Rebuilt lazily when the underlying slice changed (see TableStore).
+/// one segment: sorted (key, row position) pairs supporting equality seeks,
+/// range seeks, and ordered walks. Rebuilt lazily when the underlying slice
+/// changed (see TableStore).
 struct UnitIndex {
-  /// Sorted by key (Datum::Compare); positions index into the unit's rows.
+  /// Sorted by (key, position) — Datum::Compare on the key (NULLs first),
+  /// storage position as the tie-break, so ordered walks yield equal-key rows
+  /// in storage order (the same relative order a stable sort of the slice
+  /// produces). Positions index into the unit's rows.
   std::vector<std::pair<Datum, size_t>> entries;
   uint64_t built_version = 0;
+};
+
+/// One end of a key range for TableStore::IndexRangeSeek. Mirrors the
+/// expression layer's IntervalBound (expr/interval.h) without depending on
+/// it — the executor/optimizer converts sargable intervals into these.
+struct IndexBound {
+  Datum value;
+  bool inclusive = false;
+  bool unbounded = true;
+
+  static IndexBound Unbounded() { return IndexBound{}; }
+  static IndexBound Inclusive(Datum v) { return IndexBound{std::move(v), true, false}; }
+  static IndexBound Exclusive(Datum v) { return IndexBound{std::move(v), false, false}; }
 };
 
 /// Physical storage of one table across the simulated MPP cluster.
@@ -46,8 +63,9 @@ struct UnitIndex {
 /// (Insert, InsertBatch, MutableUnitRows) follow the executor's single-writer
 /// DML rule: all reads complete at the Gather barrier before DML applies, and
 /// only one thread applies it. The index path (CreateIndex, HasIndex,
-/// IndexLookup) builds lazily and therefore mutates under concurrent readers;
-/// it is internally serialized by index_mu_. UnitSynopsis likewise rebuilds
+/// IndexLookup, IndexRangeSeek, IndexOrderedWalk, IndexMinMax) builds lazily
+/// and therefore mutates under concurrent readers; it is internally
+/// serialized by index_mu_. UnitSynopsis likewise rebuilds
 /// lazily under concurrent readers: within one query the executor's
 /// segment-ownership contract confines each slice to one thread, but
 /// concurrent queries scan the same slice from different threads, so the
@@ -105,6 +123,31 @@ class TableStore {
   std::vector<size_t> IndexLookup(Oid unit_oid, int segment, int column,
                                   const Datum& key);
 
+  /// Range seek: positions of rows whose `column` value falls in [lo, hi]
+  /// (each end optionally exclusive or unbounded), returned in ascending
+  /// storage order — the same order a full scan plus filter visits them.
+  /// NULL column values never match (SQL comparison semantics), and a NULL
+  /// bound value on a non-unbounded end matches nothing. Same concurrency
+  /// contract as IndexLookup.
+  std::vector<size_t> IndexRangeSeek(Oid unit_oid, int segment, int column,
+                                     const IndexBound& lo, const IndexBound& hi);
+
+  /// Ordered walk: positions of the first `limit` rows of the slice in
+  /// index-key order — ascending (NULLs first) or descending (NULLs last),
+  /// matching the executor's Sort comparator — with equal keys in storage
+  /// order either way, so the walk's prefix is exactly the stable-sorted
+  /// slice's prefix. `limit` == 0 means the whole slice. Same concurrency
+  /// contract as IndexLookup.
+  std::vector<size_t> IndexOrderedWalk(Oid unit_oid, int segment, int column,
+                                       bool ascending_order, size_t limit);
+
+  /// Position of the row holding the minimum (or maximum) non-null value of
+  /// `column` in the slice — the first entry of the run in key order, so the
+  /// result is deterministic. nullopt when the slice is empty or all-NULL.
+  /// Same concurrency contract as IndexLookup.
+  std::optional<size_t> IndexMinMax(Oid unit_oid, int segment, int column,
+                                    bool minimum);
+
   /// True if the slice's synopsis reflects its current version — i.e. the
   /// next UnitSynopsis read returns it without a rebuild. The executor's
   /// memory accountant uses this to charge (or shed) rebuild scratch before
@@ -138,6 +181,11 @@ class TableStore {
   std::optional<size_t> ExactDistinctFromDictionaries(int column) const;
 
  private:
+  /// Locates (building or rebuilding if stale) the per-slice index for
+  /// `column`. Caller must hold index_mu_; the returned reference is valid
+  /// while the lock is held.
+  UnitIndex& EnsureUnitIndex(Oid unit_oid, int segment, int column);
+
   int SegmentForRow(const Row& row);
   void BumpVersion(Oid unit_oid, int segment);
   /// Current version counter of one slice (0 if never mutated).

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <string>
 #include <thread>
@@ -181,6 +182,48 @@ TEST_F(PlanCacheTest, DdlInvalidatesAffectedEntriesOnly) {
                 .code(),
             StatusCode::kBindError);
   EXPECT_GE(db_.plan_cache().stats().invalidations, 2u);
+}
+
+TEST_F(PlanCacheTest, IndexDdlRefreshesCachedAccessPaths) {
+  auto count_index_scans = [](const PhysPtr& plan) {
+    int n = 0;
+    std::function<void(const PhysPtr&)> walk = [&](const PhysPtr& node) {
+      if (node->kind() == PhysNodeKind::kDynamicIndexScan) ++n;
+      for (const auto& child : node->children()) walk(child);
+    };
+    walk(plan);
+    return n;
+  };
+
+  // Cached before any index exists: a full-scan aggregate plan.
+  const char* sql = "SELECT min(amount) FROM orders";
+  auto first = db_.Execute(sql, cached_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->plan_cache_hit);
+  EXPECT_EQ(count_index_scans(first->plan), 0);
+  EXPECT_EQ(first->rows[0][0].int64_value(), 0);
+  auto hit = db_.Execute(sql, cached_);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->plan_cache_hit);
+  EXPECT_EQ(count_index_scans(hit->plan), 0);
+
+  // CREATE INDEX invalidates the entry; the re-plan must see the new index
+  // and switch to the min/max probe — a stale cached plan would silently
+  // keep full-scanning.
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ON orders (amount)").ok());
+  auto replanned = db_.Execute(sql, cached_);
+  ASSERT_TRUE(replanned.ok()) << replanned.status().ToString();
+  EXPECT_FALSE(replanned->plan_cache_hit);
+  EXPECT_EQ(count_index_scans(replanned->plan), 1);
+  EXPECT_GT(replanned->stats.index_seeks, 0u);
+  EXPECT_EQ(replanned->rows[0][0].int64_value(), 0);
+
+  // And the refreshed entry serves hits with the index plan.
+  auto rehit = db_.Execute(sql, cached_);
+  ASSERT_TRUE(rehit.ok());
+  EXPECT_TRUE(rehit->plan_cache_hit);
+  EXPECT_EQ(count_index_scans(rehit->plan), 1);
+  EXPECT_EQ(rehit->rows[0][0].int64_value(), 0);
 }
 
 TEST_F(PlanCacheTest, LruEvictsOldestBeyondCapacity) {

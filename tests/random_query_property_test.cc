@@ -90,6 +90,11 @@ class RandomQueryTest : public ::testing::Test {
                       .ok());
       MPPDB_CHECK(db->Load("fact", fact_rows).ok());
       MPPDB_CHECK(db->Load("dim", dim_rows).ok());
+      // Indexes on the join/partition keys: the reference legs may now pick
+      // index access paths (range seeks, index joins), so the whole matrix
+      // exercises them; the index-off leg below pins down their oracle.
+      MPPDB_CHECK(db->Run("CREATE INDEX ON fact (sk)").ok());
+      MPPDB_CHECK(db->Run("CREATE INDEX ON dim (k)").ok());
     }
     // Storage axis: same data, column-oriented (serial and parallel
     // vectorized) and mixed-per-partition. Encoded-data evaluation may only
@@ -231,6 +236,22 @@ class RandomQueryTest : public ::testing::Test {
     EXPECT_TRUE(reference_nofilter == unfiltered->stats)
         << sql << " (filters off)";
 
+    // Index access paths: with the toggle off the optimizer plans exactly
+    // as before indexes existed, yet the rows must be bit-identical — same
+    // rows in the same order — and the index/top-N counters must read zero.
+    // Scan-footprint stats are NOT compared: a seek can legitimately
+    // displace a dynamic-elimination arrangement (different partitions
+    // touched for the same answer); the shape-for-shape footprint contract
+    // lives in index_exec_test.
+    QueryOptions no_index = reference_options;
+    no_index.enable_index_paths = false;
+    auto unindexed = db_.Run(sql, no_index);
+    ASSERT_TRUE(unindexed.ok()) << sql << "\n" << unindexed.status().ToString();
+    EXPECT_TRUE(reference->rows == unindexed->rows) << sql << " (index off)";
+    EXPECT_EQ(unindexed->stats.index_seeks, 0u) << sql;
+    EXPECT_EQ(unindexed->stats.index_rows_read, 0u) << sql;
+    EXPECT_EQ(unindexed->stats.topn_rows_cut, 0u) << sql;
+
     QueryOptions no_selection;
     no_selection.enable_partition_selection = false;
     auto unpruned = db_.Run(sql, no_selection);
@@ -249,9 +270,21 @@ class RandomQueryTest : public ::testing::Test {
     ASSERT_TRUE(planner.ok()) << sql;
     EXPECT_TRUE(SameRows(reference->rows, planner->rows)) << sql;
 
-    // Pruning soundness: enabled never scans more than disabled.
-    EXPECT_LE(reference->stats.TotalPartitionsScanned(),
-              unpruned->stats.TotalPartitionsScanned())
+    // Pruning soundness: enabled never scans more than disabled. Compared
+    // on index-free legs so both sides have the same plan shape — with
+    // index paths in play, the cost model may pick a statically-pruned seek
+    // over a dynamically-eliminated scan, and the two footprints are not
+    // ordered.
+    QueryOptions pruned_opts = no_index;
+    pruned_opts.enable_index_join = false;
+    auto pruned_plain = db_.Run(sql, pruned_opts);
+    ASSERT_TRUE(pruned_plain.ok()) << sql;
+    QueryOptions no_selection_plain = pruned_opts;
+    no_selection_plain.enable_partition_selection = false;
+    auto unpruned_plain = db_.Run(sql, no_selection_plain);
+    ASSERT_TRUE(unpruned_plain.ok()) << sql;
+    EXPECT_LE(pruned_plain->stats.TotalPartitionsScanned(),
+              unpruned_plain->stats.TotalPartitionsScanned())
         << sql;
   }
 
