@@ -1,0 +1,240 @@
+// Out-of-core execution: the price of spilling, by data-to-budget ratio.
+//
+// Three operator legs back DESIGN.md §14 — hybrid hash join, hash
+// aggregation, and external sort — each measured with the operator's state
+// fitting in memory (unlimited budget) and at 1x / 4x / 16x
+// data-to-budget ratios (the budget is the operator's estimated state
+// divided by the ratio, so 16x means the operator holds sixteen times more
+// state than it may keep resident). Reported per leg: median wall-clock
+// milliseconds plus the spill counters (bytes written, passes, sort runs)
+// that explain the slope.
+//
+// Emits BENCH_spill.json. `--smoke` shrinks data and iterations for the
+// release_spill_smoke ctest gate, which asserts the correctness invariants —
+// spilled rows bit-identical to the in-memory oracle, spilling actually
+// engaged at the steep ratios, and zero spill files left behind — not
+// speed.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/memory_budget.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "exec/plan.h"
+
+namespace mppdb {
+namespace {
+
+using benchutil::BenchJsonEntry;
+
+struct BenchSizes {
+  size_t dim_rows = 100000;
+  size_t fact_rows = 200000;
+  size_t sort_rows = 200000;
+  int iterations = 5;
+};
+
+BenchSizes SmokeSizes() {
+  BenchSizes sizes;
+  sizes.dim_rows = 10000;
+  sizes.fact_rows = 20000;
+  sizes.sort_rows = 20000;
+  sizes.iterations = 2;
+  return sizes;
+}
+
+size_t FilesUnder(const std::string& dir) {
+  namespace fs = std::filesystem;
+  size_t n = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) ++n;
+  }
+  return n;
+}
+
+struct Leg {
+  std::string name;
+  PhysPtr plan;
+  size_t state_bytes;  // estimated operator state: the "data" in the ratio
+};
+
+int RunBenchmark(bool smoke) {
+  const BenchSizes sizes = smoke ? SmokeSizes() : BenchSizes{};
+  namespace fs = std::filesystem;
+  const std::string spill_dir =
+      (fs::temp_directory_path() / "mppdb-bench-spill").string();
+  fs::create_directories(spill_dir);
+
+  Database db(1);
+  MPPDB_CHECK(db.CreateTable("dim", Schema({{"id", TypeId::kInt64},
+                                            {"tag", TypeId::kInt64}}),
+                             TableDistribution::kHashed, {0})
+                  .ok());
+  MPPDB_CHECK(db.CreateTable("fact", Schema({{"a", TypeId::kInt64},
+                                             {"b", TypeId::kInt64}}),
+                             TableDistribution::kHashed, {0})
+                  .ok());
+  MPPDB_CHECK(db.CreateTable("t", Schema({{"a", TypeId::kInt64},
+                                          {"b", TypeId::kInt64},
+                                          {"c", TypeId::kDouble}}),
+                             TableDistribution::kHashed, {0})
+                  .ok());
+  Random rng(20260809);
+  {
+    std::vector<Row> rows;
+    for (size_t i = 0; i < sizes.dim_rows; ++i) {
+      rows.push_back({Datum::Int64(static_cast<int64_t>(i)),
+                      Datum::Int64(static_cast<int64_t>(i) * 2)});
+    }
+    MPPDB_CHECK(db.Load("dim", rows).ok());
+  }
+  {
+    std::vector<Row> rows;
+    for (size_t i = 0; i < sizes.fact_rows; ++i) {
+      rows.push_back({Datum::Int64(static_cast<int64_t>(i)),
+                      Datum::Int64(rng.UniformRange(
+                          0, static_cast<int64_t>(sizes.dim_rows) - 1))});
+    }
+    MPPDB_CHECK(db.Load("fact", rows).ok());
+  }
+  {
+    std::vector<Row> rows;
+    for (size_t i = 0; i < sizes.sort_rows; ++i) {
+      rows.push_back(
+          {Datum::Int64(static_cast<int64_t>(i)),
+           Datum::Int64(static_cast<int64_t>((i * 37) % (sizes.sort_rows / 4))),
+           Datum::Double(static_cast<double>(i) * 0.25)});
+    }
+    MPPDB_CHECK(db.Load("t", rows).ok());
+  }
+
+  const Oid dim_oid = db.catalog().FindTable("dim")->oid;
+  const Oid fact_oid = db.catalog().FindTable("fact")->oid;
+  const Oid t_oid = db.catalog().FindTable("t")->oid;
+
+  std::vector<Leg> legs;
+  {
+    // Hybrid hash join: build side = dim, every fact row matches.
+    auto build = std::make_shared<TableScanNode>(dim_oid, dim_oid,
+                                                 std::vector<ColRefId>{11, 12});
+    auto probe = std::make_shared<TableScanNode>(fact_oid, fact_oid,
+                                                 std::vector<ColRefId>{1, 2});
+    legs.push_back({"join",
+                    std::make_shared<HashJoinNode>(
+                        JoinType::kInner, std::vector<ColRefId>{11},
+                        std::vector<ColRefId>{2}, nullptr, build, probe),
+                    ApproxRowsBytes(sizes.dim_rows, 2)});
+  }
+  {
+    // Hash aggregation: sort_rows/4 distinct groups of the 3-column table.
+    auto scan = std::make_shared<TableScanNode>(t_oid, t_oid,
+                                                std::vector<ColRefId>{1, 2, 3});
+    legs.push_back(
+        {"agg",
+         std::make_shared<HashAggNode>(
+             std::vector<ColRefId>{2},
+             std::vector<AggItem>{
+                 {AggFunc::kCountStar, nullptr, 20, "cnt"},
+                 {AggFunc::kSum, MakeColumnRef(3, "c", TypeId::kDouble), 21,
+                  "sc"}},
+             scan),
+         ApproxRowsBytes(sizes.sort_rows / 4, 3)});
+  }
+  {
+    // External sort: duplicate-heavy keys over the full table.
+    auto scan = std::make_shared<TableScanNode>(t_oid, t_oid,
+                                                std::vector<ColRefId>{1, 2, 3});
+    legs.push_back({"sort",
+                    std::make_shared<SortNode>(
+                        std::vector<SortKey>{{2, /*ascending=*/true}}, scan),
+                    ApproxRowsBytes(sizes.sort_rows, 3)});
+  }
+
+  std::vector<BenchJsonEntry> entries;
+  entries.push_back({"env",
+                     {{"smoke", smoke ? 1.0 : 0.0},
+                      {"dim_rows", static_cast<double>(sizes.dim_rows)},
+                      {"fact_rows", static_cast<double>(sizes.fact_rows)},
+                      {"sort_rows", static_cast<double>(sizes.sort_rows)}}});
+
+  benchutil::Header("out-of-core execution: wall clock by data-to-budget ratio");
+  std::printf("%-6s %10s %12s %14s %12s %8s %6s\n", "leg", "ratio",
+              "budget", "median_ms", "spill_MB", "passes", "runs");
+  benchutil::Rule(76);
+
+  for (const Leg& leg : legs) {
+    QueryOptions unlimited;
+    unlimited.spill_dir = spill_dir;
+    auto oracle = db.ExecutePlan(leg.plan, unlimited);
+    MPPDB_CHECK(oracle.ok());
+    MPPDB_CHECK(oracle->stats.spill_bytes_written == 0);
+
+    const size_t ratios[] = {0, 1, 4, 16};  // 0 = unlimited baseline
+    for (size_t ratio : ratios) {
+      QueryOptions options;
+      options.spill_dir = spill_dir;
+      if (ratio > 0) options.memory_limit_bytes = leg.state_bytes / ratio;
+      ExecStats last_stats;
+      double median_ms = benchutil::MedianMillis(sizes.iterations, [&] {
+        auto result = db.ExecutePlan(leg.plan, options);
+        MPPDB_CHECK(result.ok());
+        // Spilling must be invisible in results: bit-identical rows in the
+        // same order at every ratio.
+        MPPDB_CHECK(result->rows == oracle->rows);
+        last_stats = result->stats;
+      });
+      MPPDB_CHECK(FilesUnder(spill_dir) == 0);
+      if (ratio >= 4) {
+        // The steep ratios must actually engage the spill machinery.
+        MPPDB_CHECK(last_stats.spill_bytes_written > 0);
+        MPPDB_CHECK(last_stats.spill_passes > 0);
+      }
+      const std::string name =
+          leg.name + (ratio == 0 ? "_mem" : "_" + std::to_string(ratio) + "x");
+      std::printf("%-6s %10s %12zu %14.2f %12.2f %8zu %6zu\n", leg.name.c_str(),
+                  ratio == 0 ? "mem" : (std::to_string(ratio) + "x").c_str(),
+                  ratio == 0 ? size_t{0} : leg.state_bytes / ratio, median_ms,
+                  static_cast<double>(last_stats.spill_bytes_written) / 1e6,
+                  last_stats.spill_passes, last_stats.sort_runs);
+      entries.push_back(
+          {name,
+           {{"median_ms", median_ms},
+            {"budget_bytes",
+             ratio == 0 ? 0.0
+                        : static_cast<double>(leg.state_bytes / ratio)},
+            {"spill_bytes_written",
+             static_cast<double>(last_stats.spill_bytes_written)},
+            {"spill_bytes_read",
+             static_cast<double>(last_stats.spill_bytes_read)},
+            {"spill_partitions",
+             static_cast<double>(last_stats.spill_partitions)},
+            {"spill_passes", static_cast<double>(last_stats.spill_passes)},
+            {"sort_runs", static_cast<double>(last_stats.sort_runs)}}});
+    }
+  }
+
+  benchutil::WriteBenchJson("BENCH_spill.json", "spill", entries);
+  std::error_code ec;
+  fs::remove_all(spill_dir, ec);
+  if (smoke) std::printf("smoke OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mppdb
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return mppdb::RunBenchmark(smoke);
+}

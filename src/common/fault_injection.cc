@@ -5,9 +5,10 @@
 
 namespace mppdb {
 
-const char* const FaultInjector::kPoints[7] = {
-    "storage.scan_chunk", "motion.send", "motion.recv",  "hub.push",
-    "joinfilter.publish", "exec.batch",  "alloc.budget",
+const char* const FaultInjector::kPoints[10] = {
+    "storage.scan_chunk", "motion.send", "motion.recv", "hub.push",
+    "joinfilter.publish", "exec.batch",  "alloc.budget", "spill.open",
+    "spill.write",        "spill.read",
 };
 
 void FaultInjector::Arm(const std::string& point, FaultSpec spec) {

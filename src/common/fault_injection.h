@@ -72,7 +72,7 @@ class FaultInjector {
  public:
   /// The named fault points the executor exposes, in the order they appear
   /// on a typical query's path. Tests iterate this list for matrix coverage.
-  static const char* const kPoints[7];
+  static const char* const kPoints[10];
 
   explicit FaultInjector(uint64_t seed) : rng_(seed), seed_(seed) {}
 

@@ -2,6 +2,7 @@
 #define MPPDB_COMMON_MEMORY_BUDGET_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <string>
 
@@ -54,9 +55,14 @@ class MemoryBudget {
 
   /// Returns a previously charged amount (scoped allocations like sort
   /// buffers; long-lived build tables are released by ResetUsage instead).
+  /// Releasing more than is currently charged is a caller bug — it would
+  /// wrap the unsigned counter and turn the budget into a no-op — so debug
+  /// builds assert and release builds clamp the counter to zero.
   void Release(size_t bytes) {
     if (!limited()) return;
-    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    size_t prior = used_.fetch_sub(bytes, std::memory_order_relaxed);
+    assert(prior >= bytes && "MemoryBudget::Release underflow");
+    if (prior < bytes) used_.store(0, std::memory_order_relaxed);
   }
 
   /// Clears usage (not the limit) between executions/retry attempts.

@@ -505,6 +505,7 @@ Result<QueryResult> Database::ExecuteWithContext(const PhysPtr& plan,
   }
   ctx->budget().set_limit(options.memory_limit_bytes);
   ctx->set_fault_injector(options.fault_injector);
+  ctx->set_spill_dir(options.spill_dir);
   if (options.query_id != 0) {
     std::lock_guard<std::mutex> lock(query_mu_);
     active_queries_[options.query_id] = ctx;
@@ -777,6 +778,23 @@ std::string IndexPathExplainFooter(const Catalog& catalog, const PhysPtr& plan) 
   return out;
 }
 
+/// EXPLAIN ANALYZE footer: execution counters from the completed run. The
+/// out-of-core counters (DESIGN.md §14) make spilling observable here and in
+/// ExecStats without perturbing result rows — the stats-only-visibility
+/// invariant.
+std::string ExecStatsExplainFooter(const QueryResult& result) {
+  const ExecStats& s = result.stats;
+  std::string out = "Execution: " + std::to_string(result.rows.size()) +
+                    " result rows, " + std::to_string(s.tuples_scanned) +
+                    " tuples scanned\n";
+  out += "Spill: partitions=" + std::to_string(s.spill_partitions) +
+         " bytes_written=" + std::to_string(s.spill_bytes_written) +
+         " bytes_read=" + std::to_string(s.spill_bytes_read) +
+         " passes=" + std::to_string(s.spill_passes) +
+         " sort_runs=" + std::to_string(s.sort_runs) + "\n";
+  return out;
+}
+
 }  // namespace
 
 Result<QueryResult> Database::ExecuteFresh(const std::string& sql,
@@ -792,9 +810,12 @@ Result<QueryResult> Database::ExecuteFresh(const std::string& sql,
   // Writers (DML) take the state lock exclusively: the executor's
   // single-writer rule, upheld across concurrent statements. Reads (SELECT,
   // EXPLAIN) share it.
-  const bool writes = parsed.kind == sql_ast::Statement::Kind::kInsert ||
-                      parsed.kind == sql_ast::Statement::Kind::kUpdate ||
-                      parsed.kind == sql_ast::Statement::Kind::kDelete;
+  const bool dml = parsed.kind == sql_ast::Statement::Kind::kInsert ||
+                   parsed.kind == sql_ast::Statement::Kind::kUpdate ||
+                   parsed.kind == sql_ast::Statement::Kind::kDelete;
+  // Plain EXPLAIN never executes, so DML under it only reads catalog state;
+  // EXPLAIN ANALYZE runs the statement and needs the writer lock for DML.
+  const bool writes = dml && !(parsed.explain && !parsed.explain_analyze);
   std::shared_lock<std::shared_mutex> read_lock(state_mu_, std::defer_lock);
   std::unique_lock<std::shared_mutex> write_lock(state_mu_, std::defer_lock);
   if (writes) {
@@ -811,10 +832,18 @@ Result<QueryResult> Database::ExecuteFresh(const std::string& sql,
     MPPDB_ASSIGN_OR_RETURN(plan, BindPlanParams(plan, options.params));
   }
   if (stmt.explain) {
+    std::string text = PlanToString(plan) +
+                       StorageExplainFooter(catalog_, storage_, plan) +
+                       IndexPathExplainFooter(catalog_, plan);
     QueryResult explained;
-    explained.rows = {{Datum::String(
-        PlanToString(plan) + StorageExplainFooter(catalog_, storage_, plan) +
-        IndexPathExplainFooter(catalog_, plan))}};
+    if (stmt.explain_analyze) {
+      // Execute the statement, then append execution counters (including
+      // the spill counters) to the rendered plan.
+      MPPDB_ASSIGN_OR_RETURN(QueryResult run, ExecuteWithContext(plan, options));
+      text += ExecStatsExplainFooter(run);
+      explained.stats = run.stats;
+    }
+    explained.rows = {{Datum::String(std::move(text))}};
     explained.columns = {"QUERY PLAN"};
     explained.plan = plan;
     return explained;

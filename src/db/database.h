@@ -91,6 +91,12 @@ struct QueryOptions {
   /// Deterministic fault injector threaded through execution (tests and
   /// resilience benchmarks). Not owned; null = no injection.
   FaultInjector* fault_injector = nullptr;
+  /// Directory for out-of-core spill files (hash join/agg partitions, sort
+  /// runs) written when the memory budget refuses mandatory state. Empty =
+  /// the system temp directory. Files live in a per-query subdirectory
+  /// removed on completion, cancellation, deadline expiry, and retry
+  /// teardown.
+  std::string spill_dir;
 };
 
 /// Result of one statement: rows, column names, the executed plan, and the

@@ -13,6 +13,8 @@
 #include "expr/constraint_derivation.h"
 #include "expr/vector_eval.h"
 #include "runtime/partition_functions.h"
+#include "runtime/spill/row_codec.h"
+#include "runtime/spill/spill_file.h"
 
 namespace mppdb {
 
@@ -52,6 +54,11 @@ void ExecStats::MergeFrom(const ExecStats& other) {
   index_seeks += other.index_seeks;
   index_rows_read += other.index_rows_read;
   topn_rows_cut += other.topn_rows_cut;
+  spill_partitions += other.spill_partitions;
+  spill_bytes_written += other.spill_bytes_written;
+  spill_bytes_read += other.spill_bytes_read;
+  spill_passes += other.spill_passes;
+  sort_runs += other.sort_runs;
 }
 
 struct Executor::MotionExchange {
@@ -208,6 +215,24 @@ bool Executor::TryChargeOptional(size_t bytes) {
   return ctx_->budget().TryCharge(bytes);
 }
 
+Result<bool> Executor::TryChargeSpill(int segment, size_t bytes) {
+  // Same fault point as ChargeBudget: an armed alloc.budget fault fires
+  // whether or not the query would have spilled.
+  FaultInjector* injector = ctx_->fault_injector();
+  if (injector != nullptr) {
+    MPPDB_RETURN_IF_ERROR(injector->Hit("alloc.budget", segment, ctx_));
+  }
+  return ctx_->budget().TryCharge(bytes);
+}
+
+Result<SpillFileManager*> Executor::EnsureSpillManager() {
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  if (spill_files_ == nullptr) {
+    spill_files_ = std::make_unique<SpillFileManager>(ctx_->spill_dir());
+  }
+  return spill_files_.get();
+}
+
 const SliceSynopsis* Executor::AcquireSynopsis(const TableStore& store,
                                                Oid unit_oid, int segment) {
   if (ctx_->budget().limited() && !store.SynopsisFresh(unit_oid, segment)) {
@@ -302,6 +327,11 @@ Result<std::vector<Row>> Executor::Execute(const PhysPtr& plan,
   }
   parallel_run_ = false;
   seg_run_.clear();
+  // Destroying the spill manager removes the per-query spill directory and
+  // every file in it — the single reclamation point covering success,
+  // cancellation, deadline expiry, injected faults, and the teardown between
+  // retry attempts (a retry re-enters here and spills afresh).
+  spill_files_.reset();
   if (result.ok()) {
     for (const ExecStats& seg : seg_stats_) stats_.MergeFrom(seg);
   }
@@ -1219,11 +1249,28 @@ Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int se
     // whole probe phase: the query's dominant mandatory allocation. Charged
     // before the advisory filter publication so that under budget pressure
     // the optional summary sheds while the mandatory table still fits.
-    MPPDB_RETURN_IF_ERROR(ChargeBudget(
-        segment, ApproxRowsBytes(build_rows.size(), build_layout.ids().size()),
-        "hash join build table"));
+    // String payloads count (RowsPayloadBytes), so wide-varchar builds
+    // don't undercharge and defeat the spill trigger.
+    const size_t build_bytes =
+        ApproxRowsBytes(build_rows.size(), build_layout.ids().size()) +
+        RowsPayloadBytes(build_rows);
+    if (options_.spill) {
+      // A refusal is the spill trigger, not a failure. The decision lands in
+      // the segment memo (not a local) because the probe child may suspend
+      // at a Motion and unwind this frame; it is consumed after the probe
+      // child completes.
+      MPPDB_ASSIGN_OR_RETURN(bool charged, TryChargeSpill(segment, build_bytes));
+      if (!charged) {
+        seg_run_[static_cast<size_t>(segment)].spill_decided.insert(&node);
+      }
+    } else {
+      MPPDB_RETURN_IF_ERROR(
+          ChargeBudget(segment, build_bytes, "hash join build table"));
+    }
     // This segment's build-key summary goes out before the probe child runs,
     // so probe-side consumers (same segment, same slice chain) can find it.
+    // Published when spilling too: filters are advisory (their own charges
+    // shed under pressure) and only ever reject non-joining probe rows.
     MPPDB_RETURN_IF_ERROR(
         PublishLocalJoinFilters(node, build_layout, build_rows, segment));
   }
@@ -1243,6 +1290,12 @@ Result<std::vector<Row>> Executor::ExecHashJoin(const HashJoinNode& node, int se
                          ResolvePositions(build_layout, node.build_keys()));
   MPPDB_ASSIGN_OR_RETURN(std::vector<int> probe_pos,
                          ResolvePositions(probe_layout, node.probe_keys()));
+
+  if (seg_run_[static_cast<size_t>(segment)].spill_decided.erase(&node) > 0) {
+    return SpillHashJoin(node, segment, std::move(build_rows),
+                         std::move(probe_rows), build_layout, probe_layout,
+                         build_pos, probe_pos);
+  }
 
   std::unordered_multimap<JoinKey, const Row*, JoinKeyHash> table;
   table.reserve(build_rows.size());
@@ -1458,9 +1511,12 @@ Result<std::vector<Row>> Executor::ExecHashAgg(const HashAggNode& node, int segm
 
   // Grouping state grows with distinct keys, not input rows — charge it
   // incrementally as groups appear (the vectorized path mirrors this
-  // formula exactly, keeping budget outcomes path-independent).
+  // formula exactly, keeping budget outcomes path-independent). String key
+  // payloads count on top of the fixed per-group estimate.
   const size_t group_bytes =
       ApproxRowsBytes(1, group_pos.size() + node.aggs().size());
+  size_t charged_bytes = 0;
+  bool spill = false;
   size_t until_check = 0;
   for (const Row& row : rows) {
     if (until_check == 0) {
@@ -1471,8 +1527,20 @@ Result<std::vector<Row>> Executor::ExecHashAgg(const HashAggNode& node, int segm
     JoinKey key = ExtractKey(row, group_pos);
     auto it = groups.find(key);
     if (it == groups.end()) {
-      MPPDB_RETURN_IF_ERROR(
-          ChargeBudget(segment, group_bytes, "hash aggregate group"));
+      const size_t this_group_bytes =
+          group_bytes + RowPayloadBytes(key.values);
+      if (options_.spill) {
+        MPPDB_ASSIGN_OR_RETURN(bool charged,
+                               TryChargeSpill(segment, this_group_bytes));
+        if (!charged) {
+          spill = true;
+          break;
+        }
+      } else {
+        MPPDB_RETURN_IF_ERROR(
+            ChargeBudget(segment, this_group_bytes, "hash aggregate group"));
+      }
+      charged_bytes += this_group_bytes;
       it = groups.emplace(key, std::vector<AggState>(node.aggs().size())).first;
       group_order.push_back(key);
     }
@@ -1488,6 +1556,16 @@ Result<std::vector<Row>> Executor::ExecHashAgg(const HashAggNode& node, int segm
       if (v.is_null()) continue;
       MPPDB_RETURN_IF_ERROR(AccumulateAgg(state, agg.func, v));
     }
+  }
+
+  if (spill) {
+    // Hand the intact input to the out-of-core path, which re-aggregates
+    // from scratch partition by partition; the charges accumulated so far
+    // return to the pool (the spill path charges per partition instead).
+    ctx_->budget().Release(charged_bytes);
+    groups.clear();
+    group_order.clear();
+    return SpillHashAgg(node, segment, rows, layout, group_pos);
   }
 
   // Scalar aggregate over empty input still has one (empty-keyed) group —
@@ -1531,8 +1609,23 @@ Result<std::vector<Row>> Executor::ExecSort(const SortNode& node, int segment) {
   const size_t num_keys = positions.size();
   MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
   // Scoped charge: the key buffer and permutation live only for the sort.
-  const size_t sort_bytes = ApproxRowsBytes(rows.size(), num_keys);
-  MPPDB_RETURN_IF_ERROR(ChargeBudget(segment, sort_bytes, "sort key buffer"));
+  // String key payloads count, so varchar sort keys don't undercharge.
+  size_t key_payload = 0;
+  for (const Row& row : rows) {
+    for (int pos : positions) {
+      key_payload += DatumPayloadBytes(row[static_cast<size_t>(pos)]);
+    }
+  }
+  const size_t sort_bytes = ApproxRowsBytes(rows.size(), num_keys) + key_payload;
+  if (options_.spill) {
+    MPPDB_ASSIGN_OR_RETURN(bool charged, TryChargeSpill(segment, sort_bytes));
+    if (!charged) {
+      return SpillSortRows(node, segment, std::move(rows), positions, ascending,
+                           sort_bytes);
+    }
+  } else {
+    MPPDB_RETURN_IF_ERROR(ChargeBudget(segment, sort_bytes, "sort key buffer"));
+  }
   std::vector<Datum> keys;
   keys.reserve(rows.size() * num_keys);
   for (const Row& row : rows) {

@@ -21,6 +21,8 @@
 
 namespace mppdb {
 
+class SpillFileManager;
+
 /// Suspension sentinel for the morsel-driven parallel path (executor.cc):
 /// a segment task that reaches a Motion whose peers have not all arrived
 /// registers a continuation and unwinds by returning this status through
@@ -127,6 +129,25 @@ struct ExecStats {
   /// Rows a bounded top-N heap discarded without sorting (input rows minus
   /// retained rows, summed across TopN operators).
   size_t topn_rows_cut = 0;
+
+  /// Out-of-core spill counters (Options::spill; all zero when the budget
+  /// never refused a mandatory charge). Spilling is stats-only-visible
+  /// (DESIGN.md invariant 14): rows are bit-identical to the in-memory
+  /// path, only these counters (and time spent) move.
+  /// Spill partition files that received at least one row (hash join build
+  /// and probe partitions, hash aggregate partitions; sorted runs are
+  /// counted in sort_runs instead).
+  size_t spill_partitions = 0;
+  /// Bytes written to spill files (frame headers included).
+  size_t spill_bytes_written = 0;
+  /// Bytes read back from spill files.
+  size_t spill_bytes_read = 0;
+  /// Passes over spilled data: one per hash partitioning fan-out (initial
+  /// and each recursive re-partition), one per sort run generation, one per
+  /// k-way merge.
+  size_t spill_passes = 0;
+  /// Sorted runs written by the external merge sort.
+  size_t sort_runs = 0;
 
   /// Distinct partitions scanned for `table_oid` (0 if never scanned).
   size_t PartitionsScanned(Oid table_oid) const;
@@ -255,6 +276,17 @@ class Executor {
     /// motion_bytes_saved change (rows_moved and the Motion memory charge
     /// stay logical, computed from the plain row footprint).
     bool encoded_motion = true;
+    /// Degrade to out-of-core execution (src/exec/spill_exec.cc) when the
+    /// memory budget refuses a mandatory hash-join build table, hash
+    /// aggregate group, or sort buffer: the refused state is partitioned by
+    /// a secondary hash into on-disk spill files (recursively, with a fresh
+    /// salt per depth) or sorted in budget-sized runs and merged. The budget
+    /// becomes the spill trigger instead of the failure point. Output rows
+    /// are bit-identical to the in-memory path; only the spill_* /
+    /// sort_runs counters move. Off: refused mandatory charges surface
+    /// kResourceExhausted exactly as before. Motion buffers and top-N heaps
+    /// never spill, so their charges stay mandatory either way.
+    bool spill = true;
   };
 
   Executor(const Catalog* catalog, StorageEngine* storage);
@@ -320,6 +352,12 @@ class Executor {
     /// One-shot effects (hash-join budget charge + join-filter publication)
     /// already performed before a later suspension.
     std::unordered_set<const PhysicalNode*> effects_done;
+    /// Hash joins whose build-table charge was refused (spill decided)
+    /// before the probe child ran. The decision is recorded here — not in a
+    /// local — because a probe-side Motion suspension unwinds the stack and
+    /// the re-walk must spill regardless of what the budget says by then.
+    /// Consumed (erased) once the probe child completes.
+    std::unordered_set<const PhysicalNode*> spill_decided;
   };
 
   /// Ensures scheduler_ points at a live pool (the injected one, or a
@@ -401,6 +439,58 @@ class Executor {
   /// Charges advisory state (join-filter summaries, synopsis rebuilds);
   /// false means the caller must shed the allocation instead of failing.
   bool TryChargeOptional(size_t bytes);
+
+  /// Attempts a mandatory charge the caller can satisfy out-of-core
+  /// instead: passes through the alloc.budget fault point (an armed fault
+  /// there still fails the query), then reports whether the budget accepted
+  /// the bytes. A refusal is not an error — it is the spill trigger.
+  Result<bool> TryChargeSpill(int segment, size_t bytes);
+
+  /// Lazily creates the per-run spill file manager rooted at the context's
+  /// spill_dir. Thread-safe (parallel segments may spill concurrently); the
+  /// manager — and with it every spill file — is destroyed by Execute's
+  /// end-of-run teardown on success, cancellation, deadline expiry, fault,
+  /// and retry alike.
+  Result<SpillFileManager*> EnsureSpillManager();
+
+  // --- Out-of-core operators (src/exec/spill_exec.cc) -----------------------
+  // Entered when TryChargeSpill refuses the corresponding in-memory state.
+  // One row-oriented implementation shared by the row and vectorized paths
+  // (so cross-path bit-identity of spilled results is structural). Each
+  // reproduces its in-memory oracle's output order exactly; see the file
+  // comment in spill_exec.cc for the order-restoration argument.
+
+  /// Hybrid hash join fallback: partitions both inputs by a salted
+  /// secondary hash into spill file pairs, recursively re-partitions
+  /// overfull partitions (bounded depth, then a block-streaming fallback
+  /// that never materializes the partition), joins each partition with the
+  /// oracle's hash-table code, and restores global probe order.
+  Result<std::vector<Row>> SpillHashJoin(const HashJoinNode& node, int segment,
+                                         std::vector<Row> build_rows,
+                                         std::vector<Row> probe_rows,
+                                         const ColumnLayout& build_layout,
+                                         const ColumnLayout& probe_layout,
+                                         const std::vector<int>& build_pos,
+                                         const std::vector<int>& probe_pos);
+
+  /// Hash aggregation fallback: partitions the input by a salted group-key
+  /// hash, aggregates each partition in memory when it fits (streaming with
+  /// per-group charges at max depth), and restores the oracle's
+  /// first-appearance group order via first-arrival input indexes.
+  Result<std::vector<Row>> SpillHashAgg(const HashAggNode& node, int segment,
+                                        const std::vector<Row>& rows,
+                                        const ColumnLayout& layout,
+                                        const std::vector<int>& group_pos);
+
+  /// External merge sort fallback: budget-sized sorted runs spilled to
+  /// disk, then a k-way merge with budget-aware read-back buffers. Run
+  /// boundaries are contiguous input slices and equal keys break ties by
+  /// run index, so the merge reproduces the oracle's stable sort exactly.
+  Result<std::vector<Row>> SpillSortRows(const SortNode& node, int segment,
+                                         std::vector<Row> rows,
+                                         const std::vector<int>& positions,
+                                         const std::vector<bool>& ascending,
+                                         size_t sort_bytes);
 
   /// Budget-aware synopsis access for scans: returns the slice synopsis,
   /// charging a rebuild estimate when in-place DML staled it. A refused
@@ -565,6 +655,12 @@ class Executor {
   /// Context of the run in progress; never null while executing (a shared
   /// unlimited default stands in when the caller passed none).
   QueryContext* ctx_ = nullptr;
+  /// Spill file manager of the run in progress; null until the first spill.
+  /// Reset (removing the per-query spill directory and every file in it) by
+  /// Execute's end-of-run teardown on every outcome.
+  std::unique_ptr<SpillFileManager> spill_files_;
+  /// Guards lazy creation of spill_files_ from concurrent segment tasks.
+  std::mutex spill_mu_;
   /// Defense in depth for the single-writer DML rule (see class comment).
   std::mutex dml_mu_;
   /// The pool parallel runs schedule onto: an injected shared scheduler

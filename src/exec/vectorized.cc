@@ -24,6 +24,7 @@
 #include "expr/encoded_eval.h"
 #include "expr/sargable.h"
 #include "expr/vector_eval.h"
+#include "runtime/spill/row_codec.h"
 
 namespace mppdb {
 
@@ -390,9 +391,20 @@ Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
     // Same charge formula and charge/publish order as the row path's build
     // table, so budget outcomes are path-independent: mandatory table first,
     // advisory summary second (the one that sheds under pressure).
-    MPPDB_RETURN_IF_ERROR(ChargeBudget(
-        segment, ApproxRowsBytes(build_rows.size(), build_layout.ids().size()),
-        "hash join build table"));
+    const size_t build_bytes =
+        ApproxRowsBytes(build_rows.size(), build_layout.ids().size()) +
+        RowsPayloadBytes(build_rows);
+    if (options_.spill) {
+      // Refusal = spill, recorded in the segment memo exactly as in the row
+      // path (the probe child may suspend and unwind this frame).
+      MPPDB_ASSIGN_OR_RETURN(bool charged, TryChargeSpill(segment, build_bytes));
+      if (!charged) {
+        seg_run_[static_cast<size_t>(segment)].spill_decided.insert(&node);
+      }
+    } else {
+      MPPDB_RETURN_IF_ERROR(
+          ChargeBudget(segment, build_bytes, "hash join build table"));
+    }
     // Publish this segment's build-key summary before the probe child runs,
     // exactly as the row path does.
     MPPDB_RETURN_IF_ERROR(
@@ -414,6 +426,15 @@ Result<std::vector<Row>> Executor::ExecHashJoinVec(const HashJoinNode& node,
                          ResolvePositions(build_layout, node.build_keys()));
   MPPDB_ASSIGN_OR_RETURN(std::vector<int> probe_pos,
                          ResolvePositions(probe_layout, node.probe_keys()));
+
+  if (seg_run_[static_cast<size_t>(segment)].spill_decided.erase(&node) > 0) {
+    // Out-of-core joins share one row-oriented implementation with the row
+    // path, so a spilled vectorized join is bit-identical to a spilled row
+    // join by construction (and both to the in-memory oracle).
+    return SpillHashJoin(node, segment, std::move(build_rows),
+                         std::move(probe_rows), build_layout, probe_layout,
+                         build_pos, probe_pos);
+  }
 
   // Vectorized key passes: one tight loop per side computes every key's
   // 64-bit hash and null flag up front. The hash table then stores only
@@ -551,9 +572,11 @@ Result<std::vector<Row>> Executor::ExecHashAggVec(const HashAggNode& node, int s
   std::vector<JoinKey> group_order;
   // Same per-group charge formula as the row path (see ExecHashAgg).
   const size_t group_bytes = ApproxRowsBytes(1, group_pos.size() + num_aggs);
+  size_t charged_bytes = 0;
+  bool spill = false;
   SelVec sel;
   const size_t chunk = KernelContext::kDefaultChunkRows;
-  for (size_t base = 0; base < rows.size(); base += chunk) {
+  for (size_t base = 0; base < rows.size() && !spill; base += chunk) {
     MPPDB_RETURN_IF_ERROR(CheckExec(segment, "exec.batch"));
     size_t end = std::min(rows.size(), base + chunk);
     IdentitySel(base, end, &sel);
@@ -566,8 +589,20 @@ Result<std::vector<Row>> Executor::ExecHashAggVec(const HashAggNode& node, int s
       JoinKey key = ExtractKey(row, group_pos);
       auto it = groups.find(key);
       if (it == groups.end()) {
-        MPPDB_RETURN_IF_ERROR(
-            ChargeBudget(segment, group_bytes, "hash aggregate group"));
+        const size_t this_group_bytes =
+            group_bytes + RowPayloadBytes(key.values);
+        if (options_.spill) {
+          MPPDB_ASSIGN_OR_RETURN(bool charged,
+                                 TryChargeSpill(segment, this_group_bytes));
+          if (!charged) {
+            spill = true;
+            break;
+          }
+        } else {
+          MPPDB_RETURN_IF_ERROR(
+              ChargeBudget(segment, this_group_bytes, "hash aggregate group"));
+        }
+        charged_bytes += this_group_bytes;
         it = groups.emplace(key, std::vector<AggState>(num_aggs)).first;
         group_order.push_back(key);
       }
@@ -583,6 +618,17 @@ Result<std::vector<Row>> Executor::ExecHashAggVec(const HashAggNode& node, int s
         MPPDB_RETURN_IF_ERROR(AccumulateAgg(state, node.aggs()[i].func, v));
       }
     }
+  }
+
+  if (spill) {
+    // Same hand-off as the row path: release the partial charges and
+    // re-aggregate out-of-core from the intact input. The shared
+    // implementation makes the spilled vectorized result bit-identical to
+    // the spilled row result by construction.
+    ctx_->budget().Release(charged_bytes);
+    groups.clear();
+    group_order.clear();
+    return SpillHashAgg(node, segment, rows, layout, group_pos);
   }
 
   // Scalar aggregate over empty input still has one (empty-keyed) group —

@@ -214,6 +214,8 @@ struct BoundStatement {
   Kind kind = Kind::kSelect;
   /// EXPLAIN prefix: plan only, return the rendered plan.
   bool explain = false;
+  /// EXPLAIN ANALYZE: execute too, appending execution statistics.
+  bool explain_analyze = false;
   LogicalPtr root;
   /// Names of the root output columns, aligned with root->OutputIds().
   std::vector<std::string> output_names;

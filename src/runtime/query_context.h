@@ -71,6 +71,11 @@ class QueryContext : public StopSource {
   FaultInjector* fault_injector() const { return injector_; }
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Directory for out-of-core spill files; empty means the system temp
+  /// directory. Configuration like the injector, so Reset() leaves it alone.
+  const std::string& spill_dir() const { return spill_dir_; }
+  void set_spill_dir(std::string dir) { spill_dir_ = std::move(dir); }
+
   /// Registers a callback Cancel() invokes (immediately, if already
   /// cancelled). Returns a handle for RemoveCancelCallback. The callback
   /// must not call back into this context.
@@ -87,6 +92,7 @@ class QueryContext : public StopSource {
   std::chrono::steady_clock::time_point deadline_{};
   MemoryBudget budget_;
   FaultInjector* injector_ = nullptr;
+  std::string spill_dir_;
 
   std::mutex cb_mu_;
   uint64_t next_cb_handle_ = 1;

@@ -158,6 +158,9 @@ struct Statement {
   Kind kind = Kind::kSelect;
   /// EXPLAIN prefix: plan the statement but return the plan text.
   bool explain = false;
+  /// EXPLAIN ANALYZE: execute the statement too, and append execution
+  /// statistics (rows, spill counters) to the rendered plan.
+  bool explain_analyze = false;
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<UpdateStmt> update;

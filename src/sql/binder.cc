@@ -632,6 +632,7 @@ Result<BoundStatement> Binder::Bind(const sql_ast::Statement& stmt) {
       BoundStatement bound;
       bound.kind = BoundStatement::Kind::kSelect;
       bound.explain = stmt.explain;
+      bound.explain_analyze = stmt.explain_analyze;
       bound.root = select.plan;
       bound.output_names = select.names;
       return bound;
@@ -639,16 +640,19 @@ Result<BoundStatement> Binder::Bind(const sql_ast::Statement& stmt) {
     case sql_ast::Statement::Kind::kInsert: {
       MPPDB_ASSIGN_OR_RETURN(BoundStatement bound, BindInsert(*stmt.insert));
       bound.explain = stmt.explain;
+      bound.explain_analyze = stmt.explain_analyze;
       return bound;
     }
     case sql_ast::Statement::Kind::kUpdate: {
       MPPDB_ASSIGN_OR_RETURN(BoundStatement bound, BindUpdate(*stmt.update));
       bound.explain = stmt.explain;
+      bound.explain_analyze = stmt.explain_analyze;
       return bound;
     }
     case sql_ast::Statement::Kind::kDelete: {
       MPPDB_ASSIGN_OR_RETURN(BoundStatement bound, BindDelete(*stmt.del));
       bound.explain = stmt.explain;
+      bound.explain_analyze = stmt.explain_analyze;
       return bound;
     }
     case sql_ast::Statement::Kind::kCreateTable:

@@ -17,7 +17,7 @@ const std::unordered_set<std::string>& Keywords() {
       "UPDATE", "SET",    "DELETE", "ASC",    "DESC",   "DATE",   "TRUE",
       "FALSE",  "COUNT",  "SUM",    "AVG",    "MIN",    "MAX",    "DISTINCT",
       "HAVING", "EXISTS", "LIKE",   "CASE",   "WHEN",   "THEN",   "ELSE",
-      "END",    "EXPLAIN", "CREATE", "TABLE",  "DROP",
+      "END",    "EXPLAIN", "ANALYZE", "CREATE", "TABLE",  "DROP",
   };
   return *kKeywords;
 }

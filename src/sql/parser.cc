@@ -16,7 +16,10 @@ class Parser {
 
   Result<sql_ast::Statement> ParseStatement() {
     sql_ast::Statement stmt;
-    if (AcceptKeyword("EXPLAIN")) stmt.explain = true;
+    if (AcceptKeyword("EXPLAIN")) {
+      stmt.explain = true;
+      if (AcceptKeyword("ANALYZE")) stmt.explain_analyze = true;
+    }
     if (AcceptKeyword("SELECT")) {
       --pos_;  // ParseSelect expects to consume SELECT
       MPPDB_ASSIGN_OR_RETURN(auto select, ParseSelect());

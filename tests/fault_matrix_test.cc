@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -224,6 +225,119 @@ TEST_F(FaultMatrixTest, RandomMemoryBudgetsAreOracleRowsOrResourceExhausted) {
       EXPECT_TRUE(clean->stats == oracle->stats) << sql;
     }
   }
+}
+
+// --- Spill fault points ---------------------------------------------------
+//
+// The sweeps above never trip the memory budget, so the spill.* points are
+// vacuous there. This matrix drives a query that must spill (both join
+// sides ~320 KB estimated against a 450 KB limit, DESIGN.md §14) through
+// every spill point × kind × executor mode, with the same contract — plus
+// one more: the spill directory is empty after every outcome, success or
+// failure, so injected I/O errors never leak temp files.
+TEST(SpillFaultMatrixTest, SpillPointsAreCuredOrTypedAndLeakFree) {
+  namespace fs = std::filesystem;
+  const auto files_under = [](const std::string& dir) {
+    size_t n = 0;
+    std::error_code ec;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (it->is_regular_file(ec)) ++n;
+    }
+    return n;
+  };
+  const std::string spill_dir =
+      (fs::temp_directory_path() /
+       ("mppdb-fault-matrix-spill-" + std::to_string(::getpid())))
+          .string();
+  fs::create_directories(spill_dir);
+
+  const Executor::Options modes[] = {
+      {},
+      {.vectorized = true},
+      {.parallel = true},
+      {.parallel = true, .vectorized = true},
+      {.parallel = true, .max_workers = 4, .morsel_rows = 1024,
+       .vectorized = true},
+  };
+
+  Random rng(20260809);
+  for (const Executor::Options& mode : modes) {
+    Database db(1, mode);
+    ASSERT_TRUE(db.Run("CREATE TABLE d (id BIGINT, t BIGINT)").ok());
+    ASSERT_TRUE(db.Run("CREATE TABLE f (a BIGINT, b BIGINT)").ok());
+    for (const char* table : {"d", "f"}) {
+      for (int64_t base = 0; base < 4000; base += 500) {
+        std::string sql = std::string("INSERT INTO ") + table + " VALUES ";
+        for (int64_t i = base; i < base + 500; ++i) {
+          if (i != base) sql += ", ";
+          sql += "(" + std::to_string(i) + ", " + std::to_string(i % 150) + ")";
+        }
+        ASSERT_TRUE(db.Run(sql).ok());
+      }
+    }
+    const std::string sql = "SELECT count(*) FROM f JOIN d ON f.b = d.id";
+    auto oracle = db.Run(sql);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+    for (const char* point : {"spill.open", "spill.write", "spill.read"}) {
+      for (FaultKind kind : {FaultKind::kTransient, FaultKind::kFatal}) {
+        // max_fires 1: a transient must be cured by the retry loop;
+        // unlimited: every attempt refaults and the typed error surfaces.
+        for (int max_fires : {1, -1}) {
+          FaultInjector injector(rng.Next());
+          FaultSpec spec;
+          spec.kind = kind;
+          spec.skip_first = static_cast<int>(rng.Uniform(6));
+          spec.max_fires = max_fires;
+          injector.Arm(point, spec);
+
+          QueryOptions options;
+          options.fault_injector = &injector;
+          options.max_transient_retries = 2;
+          options.retry_backoff_ms = 0;
+          options.memory_limit_bytes = 450 * 1000;
+          options.spill_dir = spill_dir;
+          auto result = db.Run(sql, options);
+          const std::string cell =
+              std::string("point=") + point +
+              (kind == FaultKind::kTransient ? " transient" : " fatal") +
+              " max_fires=" + std::to_string(max_fires) +
+              " parallel=" + (mode.parallel ? "1" : "0") +
+              " vectorized=" + (mode.vectorized ? "1" : "0");
+          EXPECT_GT(injector.hits(point), 0u) << cell << ": query never spilled";
+          if (kind == FaultKind::kTransient && max_fires == 1) {
+            // One transient fire, then the query-level retry completes.
+            ASSERT_TRUE(result.ok()) << cell << ": "
+                                     << result.status().ToString();
+          }
+          if (result.ok()) {
+            EXPECT_TRUE(result->rows == oracle->rows) << cell;
+            EXPECT_GT(result->stats.spill_bytes_written, 0u) << cell;
+          } else {
+            EXPECT_GT(injector.fires(point), 0u) << cell;
+            EXPECT_EQ(result.status().code(),
+                      kind == FaultKind::kFatal ? StatusCode::kInternal
+                                                : StatusCode::kTransientIO)
+                << cell << ": " << result.status().ToString();
+          }
+          EXPECT_EQ(files_under(spill_dir), 0u)
+              << cell << ": leaked spill files";
+        }
+      }
+    }
+    // The Database is immediately reusable after every injected outcome.
+    QueryOptions spill_only;
+    spill_only.memory_limit_bytes = 450 * 1000;
+    spill_only.spill_dir = spill_dir;
+    auto clean = db.Run(sql, spill_only);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    EXPECT_TRUE(clean->rows == oracle->rows);
+    EXPECT_GT(clean->stats.spill_bytes_written, 0u);
+    EXPECT_EQ(files_under(spill_dir), 0u);
+  }
+  std::error_code ec;
+  fs::remove_all(spill_dir, ec);
 }
 
 }  // namespace

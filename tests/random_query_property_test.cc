@@ -22,8 +22,11 @@
 // family.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <string>
+#include <utility>
 
 #include "common/random.h"
 #include "db/database.h"
@@ -58,7 +61,11 @@ class RandomQueryTest : public ::testing::Test {
                                                .vectorized = true}),
         db_column_(3),
         db_column_vec_(3, Executor::Options{.parallel = true, .vectorized = true}),
-        db_mixed_(3) {
+        db_mixed_(3),
+        db_nospill_(3, Executor::Options{.spill = false}),
+        db_nospill_parallel_vec_(3, Executor::Options{.parallel = true,
+                                                      .vectorized = true,
+                                                      .spill = false}) {
     Random rng(4242);
     std::vector<Row> fact_rows;
     for (int i = 0; i < 600; ++i) {
@@ -115,7 +122,8 @@ class RandomQueryTest : public ::testing::Test {
     return {&db_,        &db_parallel_,    &db_vectorized_,
             &db_parallel_vec_, &db_noskip_, &db_noskip_vec_,
             &db_noskip_parallel_vec_, &db_parallel_nomorsel_,
-            &db_parallel_fine_, &db_column_, &db_column_vec_, &db_mixed_};
+            &db_parallel_fine_, &db_column_, &db_column_vec_, &db_mixed_,
+            &db_nospill_, &db_nospill_parallel_vec_};
   }
 
   // Random predicate over the given column names (int-typed).
@@ -300,6 +308,8 @@ class RandomQueryTest : public ::testing::Test {
   Database db_column_;
   Database db_column_vec_;
   Database db_mixed_;
+  Database db_nospill_;
+  Database db_nospill_parallel_vec_;
 };
 
 TEST_F(RandomQueryTest, SingleTableFilters) {
@@ -342,6 +352,98 @@ TEST_F(RandomQueryTest, GroupByQueries) {
                       " GROUP BY qty ORDER BY qty";
     CheckAllConfigsAgree(sql);
   }
+}
+
+// Spill axis (DESIGN.md §14): random queries under random memory budgets,
+// spill on vs off, composed with {serial, parallel} × {row, vectorized}.
+// The property, per (query, budget, mode) cell:
+//   - if spill-off succeeds, the budget never constrained anything mandatory
+//     and spill-on must be bit-identical — rows, order, AND stats, so the
+//     spill machinery is provably inert until the budget actually refuses;
+//   - if spill-off fails kResourceExhausted, spill-on either completes with
+//     exactly the unlimited oracle's rows (spilling is invisible in results)
+//     or fails kResourceExhausted itself (Motion receive buffers and other
+//     never-spilled mandatory charges can still exceed the budget);
+//   - nothing else may happen, and no spill files survive either outcome.
+TEST_F(RandomQueryTest, SpillOnOffBudgetSweepAgrees) {
+  namespace fs = std::filesystem;
+  const std::string spill_dir =
+      (fs::temp_directory_path() /
+       ("mppdb-random-spill-" + std::to_string(::getpid())))
+          .string();
+  fs::create_directories(spill_dir);
+  const auto files_under = [&spill_dir]() {
+    size_t n = 0;
+    std::error_code ec;
+    for (auto it = fs::recursive_directory_iterator(spill_dir, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (it->is_regular_file(ec)) ++n;
+    }
+    return n;
+  };
+
+  const std::pair<Database*, Database*> pairs[] = {
+      {&db_, &db_nospill_},
+      {&db_parallel_vec_, &db_nospill_parallel_vec_},
+  };
+  size_t spilled_cells = 0;  // cells where spilling rescued a refused query
+  Random rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string sql;
+    switch (trial % 3) {
+      case 0:
+        sql = "SELECT qty, count(*), avg(price) FROM fact WHERE " +
+              RandomPredicate(&rng, {"sk"}, 1) + " GROUP BY qty ORDER BY qty";
+        break;
+      case 1:
+        sql = "SELECT count(*) FROM fact f JOIN dim d ON f.sk = d.k WHERE " +
+              RandomPredicate(&rng, {"qty"}, 1);
+        break;
+      default:
+        sql = "SELECT sk, qty FROM fact WHERE " +
+              RandomPredicate(&rng, {"sk", "qty"}, 1) + " ORDER BY sk";
+        break;
+    }
+    auto oracle = db_.Run(sql);
+    ASSERT_TRUE(oracle.ok()) << sql << "\n" << oracle.status().ToString();
+
+    for (const auto& [spill_db, nospill_db] : pairs) {
+      for (int b = 0; b < 4; ++b) {
+        const size_t budget = size_t{1} << rng.UniformRange(10, 17);
+        QueryOptions options;
+        options.memory_limit_bytes = budget;
+        options.spill_dir = spill_dir;
+        auto off = nospill_db->Run(sql, options);
+        auto on = spill_db->Run(sql, options);
+        const std::string cell =
+            sql + " budget=" + std::to_string(budget) +
+            " parallel=" + (spill_db->exec_options().parallel ? "1" : "0");
+        if (off.ok()) {
+          ASSERT_TRUE(on.ok()) << cell << ": " << on.status().ToString();
+          EXPECT_TRUE(on->rows == off->rows) << cell;
+          EXPECT_TRUE(on->stats == off->stats) << cell;
+          EXPECT_EQ(on->stats.spill_bytes_written, 0u) << cell;
+        } else {
+          ASSERT_EQ(off.status().code(), StatusCode::kResourceExhausted)
+              << cell << ": " << off.status().ToString();
+          if (on.ok()) {
+            EXPECT_TRUE(on->rows == oracle->rows) << cell;
+            EXPECT_GT(on->stats.spill_bytes_written, 0u) << cell;
+            ++spilled_cells;
+          } else {
+            EXPECT_EQ(on.status().code(), StatusCode::kResourceExhausted)
+                << cell << ": " << on.status().ToString();
+          }
+        }
+        EXPECT_EQ(files_under(), 0u) << cell << ": leaked spill files";
+      }
+    }
+  }
+  // The sweep is deterministic (fixed seed): the rescue branch — refused
+  // without spilling, completed with it — must actually be exercised.
+  EXPECT_GT(spilled_cells, 0u);
+  std::error_code ec;
+  fs::remove_all(spill_dir, ec);
 }
 
 TEST_F(RandomQueryTest, PreparedStatementsPruneConsistently) {

@@ -1,0 +1,664 @@
+// Out-of-core execution tests (DESIGN.md §14): hash join, hash aggregation,
+// and sort that exceed the memory budget must spill to disk and complete
+// with rows bit-identical to the unlimited-budget oracle — only the spill
+// counters in ExecStats may move. Also covers the recursion fallbacks
+// (all-duplicate keys), temp-file lifecycle across every outcome (success,
+// fatal spill I/O faults, cancellation mid-spill, budget exhaustion), and
+// the EXPLAIN ANALYZE spill footer.
+//
+// The fault × spill matrix lives in fault_matrix_test.cc; the randomized
+// spill-on/off axis in random_query_property_test.cc.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "db/database.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "expr/expr.h"
+#include "runtime/query_context.h"
+#include "storage/storage.h"
+#include "test_util.h"
+
+namespace mppdb {
+namespace {
+
+using testutil::TestDb;
+
+// All four executor modes; `spill` defaults on.
+const Executor::Options kModes[] = {
+    {.parallel = false, .vectorized = false},
+    {.parallel = false, .vectorized = true},
+    {.parallel = true, .vectorized = false},
+    {.parallel = true, .vectorized = true},
+};
+
+std::string ModeName(const Executor::Options& mode) {
+  return std::string(mode.parallel ? "parallel" : "serial") + "/" +
+         (mode.vectorized ? "vec" : "row");
+}
+
+Executor::Options SpillOff(Executor::Options mode) {
+  mode.spill = false;
+  return mode;
+}
+
+// Regular files anywhere under `dir` (0 if the directory does not exist).
+size_t FilesUnder(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return 0;
+  size_t n = 0;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file(ec)) ++n;
+  }
+  return n;
+}
+
+// A scratch directory handed to QueryContext::set_spill_dir, removed (with
+// anything leaked into it) on destruction.
+struct TempSpillDir {
+  TempSpillDir() {
+    static int counter = 0;
+    path = (std::filesystem::temp_directory_path() /
+            ("mppdb-spill-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter++)))
+               .string();
+    std::filesystem::create_directories(path);
+  }
+  ~TempSpillDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+// Zeroes the spill counters so a spilled run's stats can be compared to the
+// in-memory oracle's: every pre-existing field must be untouched.
+ExecStats WithoutSpillCounters(ExecStats stats) {
+  stats.spill_partitions = 0;
+  stats.spill_bytes_written = 0;
+  stats.spill_bytes_read = 0;
+  stats.spill_passes = 0;
+  stats.sort_runs = 0;
+  return stats;
+}
+
+// --- Fixtures -------------------------------------------------------------
+
+// Single-segment database: handcrafted operator-rooted plans are
+// distribution-correct in all four modes, so budget refusals land exactly
+// where each test intends. (Multi-segment planner-made plans are covered by
+// the probe-side-Motion test below and the SQL-level suites.)
+struct SpillJoinFixture {
+  SpillJoinFixture(int64_t dim_rows, int64_t fact_rows, bool all_dup_keys)
+      : db(1) {
+    dim = db.CreatePlainTable(
+        "dim", Schema({{"id", TypeId::kInt64}, {"tag", TypeId::kInt64}}), {0});
+    std::vector<Row> drows;
+    for (int64_t i = 0; i < dim_rows; ++i) {
+      drows.push_back({Datum::Int64(all_dup_keys ? 7 : i), Datum::Int64(i * 2)});
+    }
+    db.Insert(dim, drows);
+    fact = db.CreatePlainTable(
+        "fact", Schema({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}}), {0});
+    std::vector<Row> frows;
+    for (int64_t i = 0; i < fact_rows; ++i) {
+      int64_t b;
+      if (all_dup_keys) {
+        b = (i % 2 == 0) ? 7 : 9;  // half match the duplicated build key
+      } else {
+        b = (i < fact_rows / 2) ? i % 150 : 100000 + i;  // half match
+      }
+      frows.push_back({Datum::Int64(i), Datum::Int64(b)});
+    }
+    db.Insert(fact, frows);
+  }
+
+  PhysPtr JoinPlan(JoinType type, ExprPtr residual, bool gather) const {
+    auto build = std::make_shared<TableScanNode>(dim->oid, dim->oid,
+                                                 std::vector<ColRefId>{11, 12});
+    auto probe = std::make_shared<TableScanNode>(fact->oid, fact->oid,
+                                                 std::vector<ColRefId>{1, 2});
+    PhysPtr join = std::make_shared<HashJoinNode>(
+        type, std::vector<ColRefId>{11}, std::vector<ColRefId>{2},
+        std::move(residual), build, probe);
+    if (!gather) return join;
+    return std::make_shared<MotionNode>(MotionKind::kGather,
+                                        std::vector<ColRefId>{}, join);
+  }
+
+  TestDb db;
+  const TableDescriptor* dim;
+  const TableDescriptor* fact;
+};
+
+// Runs `plan` three ways per mode: unlimited oracle, limited with spill off
+// (must fail kResourceExhausted), limited with spill on (must match the
+// oracle bit-for-bit with nonzero spill counters and no leftover files).
+void ExpectSpillMatchesOracle(TestDb& db, const PhysPtr& plan, size_t limit,
+                              size_t min_spill_passes = 1) {
+  for (const Executor::Options& mode : kModes) {
+    TempSpillDir dir;
+    Executor exec(&db.catalog, &db.storage, mode);
+    QueryContext ctx;
+    ctx.set_spill_dir(dir.path);
+
+    auto oracle = exec.Execute(plan, &ctx);
+    ASSERT_TRUE(oracle.ok()) << ModeName(mode) << ": "
+                             << oracle.status().ToString();
+    const ExecStats oracle_stats = exec.stats();
+    EXPECT_EQ(oracle_stats.spill_bytes_written, 0u) << ModeName(mode);
+
+    Executor no_spill(&db.catalog, &db.storage, SpillOff(mode));
+    ctx.budget().set_limit(limit);
+    auto refused = no_spill.Execute(plan, &ctx);
+    ASSERT_FALSE(refused.ok()) << ModeName(mode) << ": spill-off run passed "
+                               << "— limit does not constrain this plan";
+    EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted)
+        << ModeName(mode) << ": " << refused.status().ToString();
+    EXPECT_EQ(FilesUnder(dir.path), 0u) << ModeName(mode);
+
+    auto spilled = exec.Execute(plan, &ctx);
+    ASSERT_TRUE(spilled.ok()) << ModeName(mode) << ": "
+                              << spilled.status().ToString();
+    EXPECT_TRUE(*spilled == *oracle) << ModeName(mode);
+    const ExecStats spilled_stats = exec.stats();
+    EXPECT_GT(spilled_stats.spill_bytes_written, 0u) << ModeName(mode);
+    EXPECT_GT(spilled_stats.spill_bytes_read, 0u) << ModeName(mode);
+    EXPECT_GE(spilled_stats.spill_passes, min_spill_passes) << ModeName(mode);
+    // Stats-only visibility: every pre-existing counter is identical to the
+    // in-memory run's.
+    EXPECT_TRUE(WithoutSpillCounters(spilled_stats) ==
+                WithoutSpillCounters(oracle_stats))
+        << ModeName(mode);
+    EXPECT_EQ(FilesUnder(dir.path), 0u)
+        << ModeName(mode) << ": leaked spill files";
+    ctx.budget().set_limit(0);
+  }
+}
+
+// --- Hash join ------------------------------------------------------------
+
+// Build table (4000 rows ≈ 320 KB estimated) exceeds a 200 KB budget; the
+// spilled join must be bit-identical through a Gather root (Motion buffers
+// never spill and still fit).
+TEST(SpillExecTest, JoinSpillsBitIdenticalAcrossModes) {
+  SpillJoinFixture fx(4000, 600, /*all_dup_keys=*/false);
+  PhysPtr plan = fx.JoinPlan(JoinType::kInner, nullptr, /*gather=*/true);
+  ExpectSpillMatchesOracle(fx.db, plan, 200 * 1000);
+}
+
+// Residual predicates are evaluated on the spill path too, over the same
+// joint layout.
+TEST(SpillExecTest, JoinResidualSpillsBitIdenticalAcrossModes) {
+  SpillJoinFixture fx(4000, 600, /*all_dup_keys=*/false);
+  // tag < a: build-side column against probe-side column.
+  ExprPtr residual =
+      MakeComparison(CompareOp::kLt, MakeColumnRef(12, "tag", TypeId::kInt64),
+                     MakeColumnRef(1, "a", TypeId::kInt64));
+  PhysPtr plan = fx.JoinPlan(JoinType::kInner, residual, /*gather=*/false);
+  ExpectSpillMatchesOracle(fx.db, plan, 200 * 1000);
+}
+
+// All-duplicate build keys: no salt can split the partition, so recursion
+// must bottom out at the block-streaming fallback (one pass per depth, then
+// blocks). Semi join exercises the per-probe satisfied bookkeeping across
+// blocks.
+TEST(SpillExecTest, SemiJoinAllDuplicateKeysHitsFallback) {
+  SpillJoinFixture fx(2500, 40, /*all_dup_keys=*/true);
+  PhysPtr plan = fx.JoinPlan(JoinType::kSemi, nullptr, /*gather=*/true);
+  // 1 initial partitioning pass + 3 re-partitions before depth is exhausted.
+  ExpectSpillMatchesOracle(fx.db, plan, 60 * 1000, /*min_spill_passes=*/4);
+}
+
+// Inner join through the fallback: matches are found block by block but
+// must come out in the oracle's per-probe reverse-build order, restored by
+// the rank tags.
+TEST(SpillExecTest, InnerJoinAllDuplicateKeysFallbackOrdering) {
+  SpillJoinFixture fx(2500, 6, /*all_dup_keys=*/true);
+  PhysPtr plan = fx.JoinPlan(JoinType::kInner, nullptr, /*gather=*/false);
+  ExpectSpillMatchesOracle(fx.db, plan, 60 * 1000, /*min_spill_passes=*/4);
+}
+
+// Empty probe side with a spill-triggering build: every partition is
+// probe-empty and is skipped without joining; no files leak. The converse
+// (empty build side) never trips the spill trigger — its estimate is zero —
+// and must keep working with a spill dir configured.
+TEST(SpillExecTest, EmptySidesWithSpillConfigured) {
+  TestDb db(1);
+  const TableDescriptor* dim = db.CreatePlainTable(
+      "dim", Schema({{"id", TypeId::kInt64}, {"tag", TypeId::kInt64}}), {0});
+  std::vector<Row> drows;
+  for (int64_t i = 0; i < 4000; ++i) {
+    drows.push_back({Datum::Int64(i), Datum::Int64(i * 2)});
+  }
+  db.Insert(dim, drows);
+  const TableDescriptor* empty = db.CreatePlainTable(
+      "empty_t", Schema({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}}), {0});
+
+  for (const Executor::Options& mode : kModes) {
+    TempSpillDir dir;
+    Executor exec(&db.catalog, &db.storage, mode);
+    QueryContext ctx;
+    ctx.set_spill_dir(dir.path);
+    ctx.budget().set_limit(200 * 1000);
+
+    // Build spills, probe is empty.
+    auto build_scan = std::make_shared<TableScanNode>(
+        dim->oid, dim->oid, std::vector<ColRefId>{11, 12});
+    auto probe_scan = std::make_shared<TableScanNode>(
+        empty->oid, empty->oid, std::vector<ColRefId>{1, 2});
+    PhysPtr plan = std::make_shared<HashJoinNode>(
+        JoinType::kInner, std::vector<ColRefId>{11}, std::vector<ColRefId>{2},
+        nullptr, build_scan, probe_scan);
+    auto result = exec.Execute(plan, &ctx);
+    ASSERT_TRUE(result.ok()) << ModeName(mode) << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result->empty()) << ModeName(mode);
+    EXPECT_EQ(FilesUnder(dir.path), 0u) << ModeName(mode);
+
+    // Build empty: a zero estimate is never refused, so no spill at all.
+    PhysPtr flipped = std::make_shared<HashJoinNode>(
+        JoinType::kInner, std::vector<ColRefId>{1}, std::vector<ColRefId>{12},
+        nullptr, probe_scan, build_scan);
+    auto flipped_result = exec.Execute(flipped, &ctx);
+    ASSERT_TRUE(flipped_result.ok())
+        << ModeName(mode) << ": " << flipped_result.status().ToString();
+    EXPECT_TRUE(flipped_result->empty()) << ModeName(mode);
+    EXPECT_EQ(exec.stats().spill_bytes_written, 0u) << ModeName(mode);
+    EXPECT_EQ(FilesUnder(dir.path), 0u) << ModeName(mode);
+    ctx.budget().set_limit(0);
+  }
+}
+
+// Probe side behind a Motion (broadcast): in parallel mode the probe child
+// suspends at the exchange and the join frame unwinds mid-decision — the
+// spill decision must survive the suspension (segment memo, not a local).
+// dim is hash-distributed on its join key, fact is broadcast, so the
+// multi-segment join is distribution-correct and the gathered result
+// matches the serial oracle as a set.
+TEST(SpillExecTest, JoinSpillSurvivesProbeSideMotionSuspension) {
+  TestDb db(4);
+  const TableDescriptor* dim = db.CreatePlainTable(
+      "dim", Schema({{"id", TypeId::kInt64}, {"tag", TypeId::kInt64}}), {0});
+  std::vector<Row> drows;
+  for (int64_t i = 0; i < 12000; ++i) {
+    drows.push_back({Datum::Int64(i), Datum::Int64(i * 2)});
+  }
+  db.Insert(dim, drows);
+  const TableDescriptor* fact = db.CreatePlainTable(
+      "fact", Schema({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}}), {0});
+  std::vector<Row> frows;
+  for (int64_t i = 0; i < 150; ++i) {
+    frows.push_back(
+        {Datum::Int64(i), Datum::Int64(i < 75 ? i : 100000 + i)});
+  }
+  db.Insert(fact, frows);
+
+  auto make_plan = [&]() -> PhysPtr {
+    auto build = std::make_shared<TableScanNode>(dim->oid, dim->oid,
+                                                 std::vector<ColRefId>{11, 12});
+    auto probe_scan = std::make_shared<TableScanNode>(
+        fact->oid, fact->oid, std::vector<ColRefId>{1, 2});
+    auto bcast = std::make_shared<MotionNode>(MotionKind::kBroadcast,
+                                              std::vector<ColRefId>{}, probe_scan);
+    auto join = std::make_shared<HashJoinNode>(
+        JoinType::kInner, std::vector<ColRefId>{11}, std::vector<ColRefId>{2},
+        nullptr, build, bcast);
+    return std::make_shared<MotionNode>(MotionKind::kGather,
+                                        std::vector<ColRefId>{}, join);
+  };
+  PhysPtr plan = make_plan();
+
+  std::vector<Row> oracle;
+  {
+    Executor exec(&db.catalog, &db.storage, kModes[0]);
+    auto result = exec.Execute(plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    oracle = std::move(result).value();
+    EXPECT_EQ(oracle.size(), 75u);
+  }
+
+  // Broadcast buffers (150 rows × 4 segments ≈ 48 KB) are mandatory and fit
+  // in 200 KB; each segment's build table (~3000 rows ≈ 240 KB estimated)
+  // does not, so every segment spills regardless of charge interleaving.
+  for (const Executor::Options& mode : kModes) {
+    TempSpillDir dir;
+    Executor exec(&db.catalog, &db.storage, mode);
+    QueryContext ctx;
+    ctx.set_spill_dir(dir.path);
+    ctx.budget().set_limit(200 * 1000);
+    auto spilled = exec.Execute(plan, &ctx);
+    ASSERT_TRUE(spilled.ok()) << ModeName(mode) << ": "
+                              << spilled.status().ToString();
+    EXPECT_TRUE(testutil::SameRows(*spilled, oracle)) << ModeName(mode);
+    EXPECT_GT(exec.stats().spill_bytes_written, 0u) << ModeName(mode);
+    EXPECT_EQ(FilesUnder(dir.path), 0u) << ModeName(mode);
+
+    Executor no_spill(&db.catalog, &db.storage, SpillOff(mode));
+    auto refused = no_spill.Execute(plan, &ctx);
+    ASSERT_FALSE(refused.ok()) << ModeName(mode);
+    EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted)
+        << ModeName(mode) << ": " << refused.status().ToString();
+  }
+}
+
+// --- Hash aggregation -----------------------------------------------------
+
+struct SpillAggFixture {
+  explicit SpillAggFixture(bool skewed) : db(1) {
+    t = db.CreatePlainTable("t", Schema({{"a", TypeId::kInt64},
+                                         {"b", TypeId::kInt64},
+                                         {"c", TypeId::kDouble}}),
+                            {0});
+    std::vector<Row> rows;
+    if (skewed) {
+      // One group holds 5000 rows, 1000 singleton groups around it: the
+      // heavy group's partition never fits and never splits, forcing the
+      // max-depth streaming path, while light partitions aggregate in
+      // memory.
+      for (int64_t i = 0; i < 6000; ++i) {
+        const int64_t key = (i % 6 == 5) ? 1000000 + i : 1;
+        rows.push_back({Datum::Int64(key), Datum::Int64(i % 97),
+                        Datum::Double(static_cast<double>(i) * 0.25)});
+      }
+    } else {
+      for (int64_t i = 0; i < 12000; ++i) {
+        rows.push_back({Datum::Int64(i), Datum::Int64(i % 97),
+                        Datum::Double(static_cast<double>(i) * 0.25)});
+      }
+    }
+    db.Insert(t, rows);
+  }
+
+  PhysPtr AggPlan() const {
+    auto scan = std::make_shared<TableScanNode>(
+        t->oid, t->oid, std::vector<ColRefId>{1, 2, 3});
+    return std::make_shared<HashAggNode>(
+        std::vector<ColRefId>{1},
+        std::vector<AggItem>{
+            {AggFunc::kCountStar, nullptr, 20, "cnt"},
+            {AggFunc::kSum, MakeColumnRef(2, "b", TypeId::kInt64), 21, "sb"},
+            // Double sum: accumulation order must match the oracle exactly
+            // for the comparison below to hold bit-for-bit.
+            {AggFunc::kSum, MakeColumnRef(3, "c", TypeId::kDouble), 22, "sc"}},
+        scan);
+  }
+
+  TestDb db;
+  const TableDescriptor* t;
+};
+
+// 12000 distinct groups ≈ 1.5 MB of grouping state against a 300 KB budget:
+// partitions aggregate in memory after one partitioning pass. Group emission
+// order and double sums must match the oracle exactly.
+TEST(SpillExecTest, AggSpillsBitIdenticalAcrossModes) {
+  SpillAggFixture fx(/*skewed=*/false);
+  ExpectSpillMatchesOracle(fx.db, fx.AggPlan(), 300 * 1000);
+}
+
+// Skewed groups: the heavy partition survives every re-partitioning salt
+// and streams at max depth with honest per-group charges.
+TEST(SpillExecTest, AggSkewedGroupsStreamAtMaxDepth) {
+  SpillAggFixture fx(/*skewed=*/true);
+  ExpectSpillMatchesOracle(fx.db, fx.AggPlan(), 50 * 1000,
+                           /*min_spill_passes=*/4);
+}
+
+// --- Sort -----------------------------------------------------------------
+
+struct SpillSortFixture {
+  explicit SpillSortFixture(int64_t n) : db(1) {
+    t = db.CreatePlainTable(
+        "t", Schema({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}}), {0});
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < n; ++i) {
+      // Heavily duplicated keys: stability is observable through column a.
+      rows.push_back({Datum::Int64(i), Datum::Int64((i * 37) % 1000)});
+    }
+    db.Insert(t, rows);
+  }
+
+  PhysPtr SortPlan(bool ascending) const {
+    auto scan = std::make_shared<TableScanNode>(t->oid, t->oid,
+                                                std::vector<ColRefId>{1, 2});
+    return std::make_shared<SortNode>(
+        std::vector<SortKey>{{2, ascending}}, scan);
+  }
+
+  TestDb db;
+  const TableDescriptor* t;
+};
+
+// 20000 rows ≈ 1.1 MB of sort state against 300 KB: a handful of runs, one
+// merge. Duplicate keys make any stability bug visible.
+TEST(SpillExecTest, SortSpillsBitIdenticalAcrossModes) {
+  SpillSortFixture fx(20000);
+  ExpectSpillMatchesOracle(fx.db, fx.SortPlan(/*ascending=*/true),
+                           300 * 1000, /*min_spill_passes=*/2);
+}
+
+TEST(SpillExecTest, SortDescendingSpillsBitIdentical) {
+  SpillSortFixture fx(20000);
+  ExpectSpillMatchesOracle(fx.db, fx.SortPlan(/*ascending=*/false),
+                           300 * 1000, /*min_spill_passes=*/2);
+}
+
+// A 40 KB budget yields ~32 runs — more than the merge fan-in — so the
+// cascaded (multi-level) merge path runs.
+TEST(SpillExecTest, SortCascadedMergeBitIdentical) {
+  SpillSortFixture fx(20000);
+  PhysPtr plan = fx.SortPlan(/*ascending=*/true);
+  ExpectSpillMatchesOracle(fx.db, plan, 40 * 1000, /*min_spill_passes=*/3);
+  // Confirm the run count actually exceeded the fan-in in one mode.
+  TempSpillDir dir;
+  Executor exec(&fx.db.catalog, &fx.db.storage, kModes[0]);
+  QueryContext ctx;
+  ctx.set_spill_dir(dir.path);
+  ctx.budget().set_limit(40 * 1000);
+  auto result = exec.Execute(plan, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(exec.stats().sort_runs, 16u);
+}
+
+// A budget below the irreducible spill working set (one run floor / one
+// spill block) still fails typed — and still cleans up.
+TEST(SpillExecTest, BudgetBelowSpillFloorFailsTypedAndClean) {
+  SpillSortFixture sort_fx(20000);
+  SpillJoinFixture join_fx(2500, 40, /*all_dup_keys=*/true);
+  const struct {
+    TestDb* db;
+    PhysPtr plan;
+  } cases[] = {
+      {&sort_fx.db, sort_fx.SortPlan(true)},
+      {&join_fx.db, join_fx.JoinPlan(JoinType::kInner, nullptr, false)},
+  };
+  for (const auto& c : cases) {
+    for (const Executor::Options& mode : kModes) {
+      TempSpillDir dir;
+      Executor exec(&c.db->catalog, &c.db->storage, mode);
+      QueryContext ctx;
+      ctx.set_spill_dir(dir.path);
+      ctx.budget().set_limit(500);
+      auto result = exec.Execute(c.plan, &ctx);
+      ASSERT_FALSE(result.ok()) << ModeName(mode);
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+          << ModeName(mode) << ": " << result.status().ToString();
+      EXPECT_EQ(FilesUnder(dir.path), 0u) << ModeName(mode);
+    }
+  }
+}
+
+// --- Temp-file lifecycle --------------------------------------------------
+
+// Spill files must be unlinked after every outcome: fatal faults at each
+// spill point (files already on disk when the error fires) and cancellation
+// arriving while a spill is in progress.
+TEST(SpillExecTest, SpillFilesReclaimedOnFaultAndCancel) {
+  SpillJoinFixture fx(4000, 600, /*all_dup_keys=*/false);
+  PhysPtr plan = fx.JoinPlan(JoinType::kInner, nullptr, /*gather=*/true);
+
+  for (const Executor::Options& mode : kModes) {
+    for (const char* point : {"spill.open", "spill.write", "spill.read"}) {
+      TempSpillDir dir;
+      Executor exec(&fx.db.catalog, &fx.db.storage, mode);
+      FaultInjector injector(7);
+      FaultSpec fatal;
+      fatal.kind = FaultKind::kFatal;
+      // Let some spill I/O happen first so files exist when the fault fires.
+      fatal.skip_first = 3;
+      injector.Arm(point, fatal);
+      QueryContext ctx;
+      ctx.set_fault_injector(&injector);
+      ctx.set_spill_dir(dir.path);
+      ctx.budget().set_limit(200 * 1000);
+      auto result = exec.Execute(plan, &ctx);
+      ASSERT_FALSE(result.ok()) << ModeName(mode) << " " << point;
+      EXPECT_EQ(result.status().code(), StatusCode::kInternal)
+          << ModeName(mode) << " " << point << ": "
+          << result.status().ToString();
+      EXPECT_GT(injector.fires(point), 0u) << ModeName(mode) << " " << point;
+      EXPECT_EQ(FilesUnder(dir.path), 0u)
+          << ModeName(mode) << " " << point << ": leaked spill files";
+    }
+  }
+
+  // Cancellation while a spill write stalls: the delay parks the query
+  // mid-spill (files on disk), Cancel() unwinds it, teardown reclaims.
+  for (const Executor::Options& mode : kModes) {
+    TempSpillDir dir;
+    Executor exec(&fx.db.catalog, &fx.db.storage, mode);
+    FaultInjector injector(7);
+    FaultSpec stall;
+    stall.kind = FaultKind::kDelay;
+    stall.delay_ms = 5000;
+    stall.skip_first = 3;
+    stall.max_fires = 1;
+    injector.Arm("spill.write", stall);
+    QueryContext ctx;
+    ctx.set_fault_injector(&injector);
+    ctx.set_spill_dir(dir.path);
+    ctx.budget().set_limit(200 * 1000);
+    std::thread canceller([&ctx] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      ctx.Cancel();
+    });
+    auto result = exec.Execute(plan, &ctx);
+    canceller.join();
+    ASSERT_FALSE(result.ok()) << ModeName(mode);
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+        << ModeName(mode) << ": " << result.status().ToString();
+    EXPECT_EQ(FilesUnder(dir.path), 0u) << ModeName(mode);
+
+    // The executor and context stay reusable: the retried query spills
+    // again and completes (idempotent teardown).
+    ctx.Reset();
+    ctx.budget().set_limit(200 * 1000);
+    auto retry = exec.Execute(plan, &ctx);
+    ASSERT_TRUE(retry.ok()) << ModeName(mode) << ": "
+                            << retry.status().ToString();
+    EXPECT_GT(exec.stats().spill_bytes_written, 0u) << ModeName(mode);
+    EXPECT_EQ(FilesUnder(dir.path), 0u) << ModeName(mode);
+  }
+}
+
+// --- Database level: retry, spill_dir option, EXPLAIN ANALYZE -------------
+
+void InsertBulk(Database& db, const std::string& table, int64_t begin,
+                int64_t end) {
+  for (int64_t base = begin; base < end; base += 500) {
+    std::string sql = "INSERT INTO " + table + " VALUES ";
+    for (int64_t i = base; i < std::min(end, base + 500); ++i) {
+      if (i != base) sql += ", ";
+      sql += "(" + std::to_string(i) + ", " + std::to_string(i % 150) + ")";
+    }
+    auto st = db.Run(sql);
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+  }
+}
+
+// A transient spill-write fault is cured by the query-level retry loop: the
+// statement succeeds, rows match the fault-free run, and the spill dir ends
+// empty (retry teardown reclaimed the first attempt's files).
+TEST(SpillDatabaseTest, TransientSpillFaultRetriedToSuccess) {
+  Database db(1);
+  ASSERT_TRUE(db.Run("CREATE TABLE d (id BIGINT, t BIGINT)").ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE f (a BIGINT, b BIGINT)").ok());
+  InsertBulk(db, "d", 0, 4000);
+  InsertBulk(db, "f", 0, 4000);
+
+  const std::string sql =
+      "SELECT count(*) FROM f JOIN d ON f.b = d.id";
+  auto oracle = db.Run(sql);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  // Both sides are 4000 rows (~320 KB estimated), so whichever side the
+  // optimizer broadcasts, its mandatory Motion receive buffers fit in
+  // 450 KB while the build table pushes past it and spills.
+  TempSpillDir dir;
+  FaultInjector injector(11);
+  FaultSpec transient;
+  transient.kind = FaultKind::kTransient;
+  transient.skip_first = 2;
+  transient.max_fires = 1;
+  injector.Arm("spill.write", transient);
+  QueryOptions options;
+  options.fault_injector = &injector;
+  options.memory_limit_bytes = 450 * 1000;
+  options.spill_dir = dir.path;
+  auto result = db.Execute(sql, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(injector.fires("spill.write"), 1u);
+  EXPECT_TRUE(result->rows == oracle->rows);
+  EXPECT_GT(result->stats.spill_bytes_written, 0u);
+  EXPECT_EQ(FilesUnder(dir.path), 0u);
+}
+
+// EXPLAIN ANALYZE executes the statement and reports the spill counters in
+// the plan footer; under an unconstrained budget the same footer reports
+// zeros.
+TEST(SpillDatabaseTest, ExplainAnalyzeReportsSpillCounters) {
+  Database db(1);
+  ASSERT_TRUE(db.Run("CREATE TABLE d (id BIGINT, t BIGINT)").ok());
+  ASSERT_TRUE(db.Run("CREATE TABLE f (a BIGINT, b BIGINT)").ok());
+  InsertBulk(db, "d", 0, 4000);
+  InsertBulk(db, "f", 0, 4000);
+
+  const std::string sql =
+      "EXPLAIN ANALYZE SELECT count(*) FROM f JOIN d ON f.b = d.id";
+  TempSpillDir dir;
+  QueryOptions options;
+  options.memory_limit_bytes = 450 * 1000;
+  options.spill_dir = dir.path;
+  auto analyzed = db.Execute(sql, options);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  ASSERT_EQ(analyzed->rows.size(), 1u);
+  const std::string text = analyzed->rows[0][0].string_value();
+  EXPECT_NE(text.find("Spill: partitions="), std::string::npos) << text;
+  EXPECT_EQ(text.find("bytes_written=0 "), std::string::npos) << text;
+  EXPECT_GT(analyzed->stats.spill_bytes_written, 0u);
+  EXPECT_GT(analyzed->stats.spill_passes, 0u);
+  EXPECT_EQ(FilesUnder(dir.path), 0u);
+
+  QueryOptions unlimited;
+  unlimited.spill_dir = dir.path;
+  auto no_spill = db.Execute(sql, unlimited);
+  ASSERT_TRUE(no_spill.ok()) << no_spill.status().ToString();
+  const std::string baseline = no_spill->rows[0][0].string_value();
+  EXPECT_NE(baseline.find("Spill: partitions=0 bytes_written=0"),
+            std::string::npos)
+      << baseline;
+}
+
+}  // namespace
+}  // namespace mppdb
